@@ -1,0 +1,88 @@
+//! Best-fixed-arm-in-hindsight: the strongest *non-contextual* competitor.
+//! If one hardware setting dominates on average, a context-free policy can
+//! match it — the gap between this baseline and the oracle is exactly the
+//! value of context.
+
+use banditware_core::{CoreError, Result};
+use banditware_linalg::stats;
+use banditware_workloads::Trace;
+
+/// The arm with the lowest mean observed runtime in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestFixedArm {
+    /// The chosen arm.
+    pub arm: usize,
+    /// Its mean runtime in the trace.
+    pub mean_runtime: f64,
+    /// Mean runtime of every arm (NaN for arms with no rows).
+    pub per_arm_means: Vec<f64>,
+}
+
+impl BestFixedArm {
+    /// Compute from a trace.
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] when the trace has no rows at all.
+    pub fn from_trace(trace: &Trace) -> Result<Self> {
+        if trace.is_empty() {
+            return Err(CoreError::NoArms);
+        }
+        let mut per_arm: Vec<Vec<f64>> = vec![Vec::new(); trace.hardware.len()];
+        for r in &trace.rows {
+            per_arm[r.hardware].push(r.runtime);
+        }
+        let per_arm_means: Vec<f64> = per_arm
+            .iter()
+            .map(|v| if v.is_empty() { f64::NAN } else { stats::mean(v) })
+            .collect();
+        let arm = per_arm_means
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_nan())
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN means"))
+            .map(|(i, _)| i)
+            .ok_or(CoreError::NoArms)?;
+        Ok(BestFixedArm { arm, mean_runtime: per_arm_means[arm], per_arm_means })
+    }
+
+    /// The fixed recommendation (context-independent).
+    pub fn recommend(&self) -> usize {
+        self.arm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::hardware::ndp_hardware;
+
+    #[test]
+    fn picks_lowest_mean() {
+        let mut t = Trace::new("t", vec!["x".into()], ndp_hardware());
+        t.push(vec![1.0], 0, 100.0);
+        t.push(vec![1.0], 0, 120.0);
+        t.push(vec![1.0], 1, 50.0);
+        t.push(vec![1.0], 1, 70.0);
+        t.push(vec![1.0], 2, 200.0);
+        let b = BestFixedArm::from_trace(&t).unwrap();
+        assert_eq!(b.arm, 1);
+        assert_eq!(b.recommend(), 1);
+        assert!((b.mean_runtime - 60.0).abs() < 1e-12);
+        assert!((b.per_arm_means[0] - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_empty_arms() {
+        let mut t = Trace::new("t", vec!["x".into()], ndp_hardware());
+        t.push(vec![1.0], 2, 30.0);
+        let b = BestFixedArm::from_trace(&t).unwrap();
+        assert_eq!(b.arm, 2);
+        assert!(b.per_arm_means[0].is_nan());
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let t = Trace::new("t", vec!["x".into()], ndp_hardware());
+        assert!(BestFixedArm::from_trace(&t).is_err());
+    }
+}

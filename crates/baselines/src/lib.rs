@@ -1,0 +1,27 @@
+//! The recommenders BanditWare is evaluated against.
+//!
+//! * [`linreg`] — the paper's main comparison (Figs. 5 and 8): offline
+//!   per-hardware linear regressions trained on small sample subsets,
+//!   evaluated by RMSE and R² on the full dataset, 100 models at a time.
+//!   The *full-data* fit is the paper's "theoretical best possible model"
+//!   reference (the red/orange lines of Figs. 4 and 7).
+//! * [`random`] — uniform random hardware choice, the accuracy floor the
+//!   paper quotes (1/3 for BP3D, 0.2 for the 5-way matmul experiment).
+//! * [`oracle`] — ground-truth best hardware per context (tolerance-aware),
+//!   available because our substrate's cost models are known; defines the
+//!   accuracy target and regret reference.
+//! * [`fixed`] — the best single arm in hindsight (no context), the classic
+//!   bandit yardstick.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod fixed;
+pub mod linreg;
+pub mod oracle;
+pub mod random;
+
+pub use fixed::BestFixedArm;
+pub use linreg::{FullFitBaseline, OfflineLinearRecommender, SubsetStats};
+pub use oracle::OracleRecommender;
+pub use random::RandomRecommender;

@@ -1,0 +1,370 @@
+//! Offline linear-regression recommenders (the paper's Figs. 5 and 8).
+//!
+//! The paper's comparison protocol: train `n_models` independent linear
+//! regression recommenders, each on a small random subset (25 samples) of
+//! the historical data, then report the distribution of RMSE and R² scores
+//! over the full dataset. The same machinery with *all* data is the
+//! "theoretical best possible model" ([`FullFitBaseline`]) that anchors the
+//! bandit's convergence plots (Figs. 4 and 7).
+
+use banditware_core::tolerance::{tolerant_select, Tolerance};
+use banditware_core::{CoreError, Result};
+use banditware_linalg::lstsq::{fit_ols, LinearFit};
+use banditware_linalg::stats;
+use banditware_workloads::Trace;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-hardware linear models fit offline on (a subset of) a trace.
+#[derive(Debug, Clone)]
+pub struct OfflineLinearRecommender {
+    models: Vec<LinearFit>,
+    n_features: usize,
+}
+
+impl OfflineLinearRecommender {
+    /// Fit one OLS model per hardware from all rows of `trace`. Hardware
+    /// settings with no rows get the zero model (predict 0).
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the regression layer.
+    pub fn fit(trace: &Trace) -> Result<Self> {
+        let n_features = trace.n_features();
+        let mut models = Vec::with_capacity(trace.hardware.len());
+        for hw in 0..trace.hardware.len() {
+            let (xs, ys) = trace.design_for_hardware(hw);
+            if ys.is_empty() {
+                models.push(LinearFit::zeros(n_features));
+            } else {
+                models.push(fit_ols(&xs, &ys).map_err(CoreError::from)?);
+            }
+        }
+        Ok(OfflineLinearRecommender { models, n_features })
+    }
+
+    /// Number of hardware settings.
+    pub fn n_arms(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The fitted model of one hardware setting.
+    pub fn model(&self, hw: usize) -> &LinearFit {
+        &self.models[hw]
+    }
+
+    /// Predicted runtime of `hw` for context `x`.
+    ///
+    /// # Errors
+    /// [`CoreError::ArmOutOfRange`] / [`CoreError::FeatureDimMismatch`].
+    pub fn predict(&self, hw: usize, x: &[f64]) -> Result<f64> {
+        if hw >= self.models.len() {
+            return Err(CoreError::ArmOutOfRange { arm: hw, n_arms: self.models.len() });
+        }
+        if x.len() != self.n_features {
+            return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: self.n_features });
+        }
+        Ok(self.models[hw].predict(x))
+    }
+
+    /// Predictions for every hardware setting.
+    ///
+    /// # Errors
+    /// Propagates [`OfflineLinearRecommender::predict`].
+    pub fn predict_all(&self, x: &[f64]) -> Result<Vec<f64>> {
+        (0..self.models.len()).map(|h| self.predict(h, x)).collect()
+    }
+
+    /// Tolerant recommendation (same rule as Algorithm 1 step 7) using the
+    /// offline models.
+    ///
+    /// # Errors
+    /// Propagates prediction and selection failures.
+    pub fn recommend(&self, x: &[f64], costs: &[f64], tolerance: Tolerance) -> Result<usize> {
+        let preds = self.predict_all(x)?;
+        tolerant_select(&preds, costs, tolerance)
+    }
+
+    /// RMSE of runtime predictions over `eval` (each row scored by the model
+    /// of the hardware it actually ran on).
+    pub fn rmse_on(&self, eval: &Trace) -> f64 {
+        if eval.is_empty() {
+            return 0.0;
+        }
+        let mse = eval
+            .rows
+            .iter()
+            .map(|r| {
+                let e = r.runtime - self.models[r.hardware].predict(&r.features);
+                e * e
+            })
+            .sum::<f64>()
+            / eval.len() as f64;
+        mse.sqrt()
+    }
+
+    /// R² (coefficient of determination) over `eval`, about the global mean
+    /// runtime. Can be negative for models worse than the mean predictor.
+    pub fn r2_on(&self, eval: &Trace) -> f64 {
+        if eval.is_empty() {
+            return 0.0;
+        }
+        let runtimes: Vec<f64> = eval.rows.iter().map(|r| r.runtime).collect();
+        let mean = stats::mean(&runtimes);
+        let ss_tot: f64 = runtimes.iter().map(|y| (y - mean) * (y - mean)).sum();
+        let ss_res: f64 = eval
+            .rows
+            .iter()
+            .map(|r| {
+                let e = r.runtime - self.models[r.hardware].predict(&r.features);
+                e * e
+            })
+            .sum();
+        if ss_tot == 0.0 {
+            return 0.0;
+        }
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// The paper's "theoretical best possible model": per-hardware OLS over the
+/// *entire* dataset, plus its RMSE on that same dataset — the red/orange
+/// reference lines of Figs. 4 and 7.
+#[derive(Debug, Clone)]
+pub struct FullFitBaseline {
+    /// The full-data recommender.
+    pub recommender: OfflineLinearRecommender,
+    /// Its RMSE on the full dataset.
+    pub rmse: f64,
+    /// Its R² on the full dataset.
+    pub r2: f64,
+}
+
+impl FullFitBaseline {
+    /// Fit on all rows of `trace`.
+    ///
+    /// # Errors
+    /// Propagates regression failures.
+    pub fn fit(trace: &Trace) -> Result<Self> {
+        let recommender = OfflineLinearRecommender::fit(trace)?;
+        let rmse = recommender.rmse_on(trace);
+        let r2 = recommender.r2_on(trace);
+        Ok(FullFitBaseline { recommender, rmse, r2 })
+    }
+}
+
+/// Score distribution over repeated small-subset trainings (Figs. 5 and 8).
+#[derive(Debug, Clone)]
+pub struct SubsetStats {
+    /// Per-model RMSE on the full dataset.
+    pub rmses: Vec<f64>,
+    /// Per-model R² on the full dataset.
+    pub r2s: Vec<f64>,
+}
+
+impl SubsetStats {
+    /// `(min, mean, max, range)` of the RMSE distribution.
+    pub fn rmse_summary(&self) -> (f64, f64, f64, f64) {
+        summary(&self.rmses)
+    }
+
+    /// `(min, mean, max, range)` of the R² distribution.
+    pub fn r2_summary(&self) -> (f64, f64, f64, f64) {
+        summary(&self.r2s)
+    }
+
+    /// Median RMSE (robust against the occasional degenerate draw).
+    pub fn rmse_median(&self) -> f64 {
+        stats::median(&self.rmses)
+    }
+
+    /// Median R².
+    pub fn r2_median(&self) -> f64 {
+        stats::median(&self.r2s)
+    }
+}
+
+fn summary(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let lo = stats::min(xs);
+    let hi = stats::max(xs);
+    (lo, stats::mean(xs), hi, hi - lo)
+}
+
+/// The paper's subset-training protocol: `n_models` independent recommenders,
+/// each trained on `n_samples` rows, each scored on the **full** trace.
+///
+/// Draws are *stratified by hardware* (round-robin over independently
+/// shuffled per-hardware row lists): the paper's datasets were collected by
+/// running workloads "across all hardware configurations", so every
+/// recommender sees every configuration. Without stratification a 25-sample
+/// draw over 5 configurations leaves an arm with ≤1 row a few percent of
+/// the time, and that arm's degenerate extrapolation dominates the score
+/// distribution.
+///
+/// # Errors
+/// Propagates regression failures; a trace smaller than `n_samples` is a
+/// [`CoreError::InvalidParameter`].
+pub fn train_on_subsets(
+    trace: &Trace,
+    n_models: usize,
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> Result<SubsetStats> {
+    if trace.len() < n_samples {
+        return Err(CoreError::InvalidParameter {
+            name: "n_samples",
+            detail: format!("trace has {} rows, need at least {n_samples}", trace.len()),
+        });
+    }
+    // Row indices per hardware, reshuffled for every model.
+    let mut per_hw: Vec<Vec<usize>> = vec![Vec::new(); trace.hardware.len()];
+    for (i, r) in trace.rows.iter().enumerate() {
+        per_hw[r.hardware].push(i);
+    }
+    let mut rmses = Vec::with_capacity(n_models);
+    let mut r2s = Vec::with_capacity(n_models);
+    for _ in 0..n_models {
+        for list in &mut per_hw {
+            list.shuffle(rng);
+        }
+        // Round-robin over the hardware lists until n_samples rows are drawn.
+        let mut subset = Trace::new(
+            trace.app.clone(),
+            trace.feature_names.clone(),
+            trace.hardware.clone(),
+        );
+        let mut cursor = vec![0usize; per_hw.len()];
+        let mut hw = 0usize;
+        while subset.len() < n_samples {
+            let list = &per_hw[hw];
+            if cursor[hw] < list.len() {
+                let r = &trace.rows[list[cursor[hw]]];
+                subset.push(r.features.clone(), r.hardware, r.runtime);
+                cursor[hw] += 1;
+            }
+            hw = (hw + 1) % per_hw.len();
+            // All lists exhausted (n_samples ≤ trace.len() guards this, but
+            // stay defensive against duplicate-free exhaustion).
+            if cursor.iter().zip(&per_hw).all(|(&c, l)| c >= l.len()) {
+                break;
+            }
+        }
+        let model = OfflineLinearRecommender::fit(&subset)?;
+        rmses.push(model.rmse_on(trace));
+        r2s.push(model.r2_on(trace));
+    }
+    Ok(SubsetStats { rmses, r2s })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::hardware::ndp_hardware;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Noise-free trace: runtime = (hw+1)·x + 10 on each hardware.
+    fn clean_trace(n: usize) -> Trace {
+        let mut t = Trace::new("t", vec!["x".into()], ndp_hardware());
+        for i in 0..n {
+            let x = (i % 20 + 1) as f64;
+            let hw = i % 3;
+            t.push(vec![x], hw, (hw + 1) as f64 * x + 10.0);
+        }
+        t
+    }
+
+    #[test]
+    fn fit_recovers_per_hardware_models() {
+        let t = clean_trace(60);
+        let r = OfflineLinearRecommender::fit(&t).unwrap();
+        assert_eq!(r.n_arms(), 3);
+        for hw in 0..3 {
+            let m = r.model(hw);
+            assert!((m.weights[0] - (hw + 1) as f64).abs() < 1e-8);
+            assert!((m.intercept - 10.0).abs() < 1e-7);
+        }
+        assert!(r.rmse_on(&t) < 1e-6);
+        assert!((r.r2_on(&t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_validates() {
+        let r = OfflineLinearRecommender::fit(&clean_trace(30)).unwrap();
+        assert!(r.predict(5, &[1.0]).is_err());
+        assert!(r.predict(0, &[1.0, 2.0]).is_err());
+        assert!((r.predict(1, &[4.0]).unwrap() - 18.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn recommend_uses_tolerant_selection() {
+        let t = clean_trace(60);
+        let r = OfflineLinearRecommender::fit(&t).unwrap();
+        let costs = [4.0, 6.0, 6.0];
+        // hw0 is fastest everywhere: slope 1 vs 2 vs 3
+        assert_eq!(r.recommend(&[10.0], &costs, Tolerance::ZERO).unwrap(), 0);
+        // huge tolerance → cheapest (hw0 is also cheapest, still 0)
+        assert_eq!(
+            r.recommend(&[10.0], &costs, Tolerance::seconds(1e6).unwrap()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_hardware_gets_zero_model() {
+        let mut t = Trace::new("t", vec!["x".into()], ndp_hardware());
+        t.push(vec![1.0], 0, 5.0);
+        t.push(vec![2.0], 0, 7.0);
+        let r = OfflineLinearRecommender::fit(&t).unwrap();
+        assert_eq!(r.predict(2, &[3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn full_fit_baseline_scores_itself() {
+        let t = clean_trace(90);
+        let b = FullFitBaseline::fit(&t).unwrap();
+        assert!(b.rmse < 1e-6);
+        assert!(b.r2 > 0.999);
+    }
+
+    #[test]
+    fn subset_training_is_noisier_than_full_fit() {
+        // Add noise so subset models genuinely vary.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = clean_trace(300);
+        for (i, row) in t.rows.iter_mut().enumerate() {
+            row.runtime *= 1.0 + 0.2 * (((i * 31) % 17) as f64 / 17.0 - 0.5);
+            let _ = i;
+        }
+        let stats = train_on_subsets(&t, 40, 25, &mut rng).unwrap();
+        assert_eq!(stats.rmses.len(), 40);
+        let (lo, mean, hi, range) = stats.rmse_summary();
+        assert!(lo <= mean && mean <= hi);
+        assert!(range >= 0.0);
+        let full = FullFitBaseline::fit(&t).unwrap();
+        // The mean subset RMSE can't beat the full fit (up to tiny slack).
+        assert!(mean >= full.rmse * 0.99, "subset mean {mean} vs full {}", full.rmse);
+        let (_, r2_mean, r2_hi, _) = stats.r2_summary();
+        assert!(r2_hi <= 1.0 + 1e-9);
+        assert!(r2_mean <= full.r2 + 1e-9);
+    }
+
+    #[test]
+    fn subset_protocol_validates_size() {
+        let t = clean_trace(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(train_on_subsets(&t, 5, 25, &mut rng).is_err());
+    }
+
+    #[test]
+    fn r2_negative_for_terrible_model() {
+        // Model fit on hardware-0 data evaluated on a trace whose runtimes
+        // are wildly different.
+        let t = clean_trace(30);
+        let r = OfflineLinearRecommender::fit(&t).unwrap();
+        let mut bad = t.clone();
+        for row in bad.rows.iter_mut() {
+            row.runtime += 1e5;
+        }
+        assert!(r.r2_on(&bad) < 0.0);
+    }
+}

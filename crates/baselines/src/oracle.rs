@@ -1,0 +1,112 @@
+//! Ground-truth oracle: the best hardware per context under the generator's
+//! cost model. Available in our reproduction because the substrate's cost
+//! models are known; defines accuracy targets and the regret reference.
+
+use banditware_core::tolerance::{tolerant_select, Tolerance};
+use banditware_core::Result;
+use banditware_workloads::{CostModel, HardwareConfig};
+
+/// Tolerance-aware oracle over a known cost model.
+pub struct OracleRecommender<'a, M: CostModel> {
+    model: &'a M,
+    hardware: &'a [HardwareConfig],
+    tolerance: Tolerance,
+}
+
+impl<'a, M: CostModel> OracleRecommender<'a, M> {
+    /// Build an oracle for `model` over `hardware` with the given tolerance.
+    pub fn new(model: &'a M, hardware: &'a [HardwareConfig], tolerance: Tolerance) -> Self {
+        OracleRecommender { model, hardware, tolerance }
+    }
+
+    /// Expected runtimes of every hardware setting for a context.
+    pub fn expected_runtimes(&self, features: &[f64]) -> Vec<f64> {
+        self.hardware.iter().map(|h| self.model.expected_runtime(h, features)).collect()
+    }
+
+    /// The tolerance-aware best hardware (Algorithm 1 step 7 applied to the
+    /// *true* expected runtimes).
+    ///
+    /// # Errors
+    /// Propagates selection failures (empty hardware set).
+    pub fn best(&self, features: &[f64]) -> Result<usize> {
+        let preds = self.expected_runtimes(features);
+        let costs: Vec<f64> = self.hardware.iter().map(HardwareConfig::resource_cost).collect();
+        tolerant_select(&preds, &costs, self.tolerance)
+    }
+
+    /// The strictly fastest hardware (zero tolerance).
+    ///
+    /// # Errors
+    /// Propagates selection failures.
+    pub fn fastest(&self, features: &[f64]) -> Result<usize> {
+        let preds = self.expected_runtimes(features);
+        let costs: Vec<f64> = self.hardware.iter().map(HardwareConfig::resource_cost).collect();
+        tolerant_select(&preds, &costs, Tolerance::ZERO)
+    }
+
+    /// Instantaneous regret of playing `arm` for `features`: the runtime
+    /// excess over the fastest choice (always ≥ 0).
+    pub fn regret(&self, arm: usize, features: &[f64]) -> f64 {
+        let preds = self.expected_runtimes(features);
+        let best = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+        (preds[arm] - best).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::cycles::CyclesModel;
+    use banditware_workloads::hardware::synthetic_hardware;
+
+    #[test]
+    fn oracle_matches_known_crossover() {
+        let model = CyclesModel::paper();
+        let hw = synthetic_hardware();
+        let oracle = OracleRecommender::new(&model, &hw, Tolerance::ZERO);
+        // From the Cycles model: tiny workflows → H0, large → H3.
+        assert_eq!(oracle.best(&[5.0]).unwrap(), 0);
+        assert_eq!(oracle.best(&[500.0]).unwrap(), 3);
+        assert_eq!(oracle.fastest(&[500.0]).unwrap(), 3);
+    }
+
+    #[test]
+    fn tolerance_shifts_choice_to_cheaper_hardware() {
+        let model = CyclesModel::paper();
+        let hw = synthetic_hardware();
+        // At 100 tasks H3 (360 s) narrowly beats H2 (370 s); with 20 s of
+        // slack the cheaper H2 is admissible and wins.
+        let strict = OracleRecommender::new(&model, &hw, Tolerance::ZERO);
+        let tolerant = OracleRecommender::new(&model, &hw, Tolerance::seconds(20.0).unwrap());
+        assert_eq!(strict.best(&[100.0]).unwrap(), 3);
+        assert_eq!(tolerant.best(&[100.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn regret_nonnegative_and_zero_for_best() {
+        let model = CyclesModel::paper();
+        let hw = synthetic_hardware();
+        let oracle = OracleRecommender::new(&model, &hw, Tolerance::ZERO);
+        let best = oracle.fastest(&[250.0]).unwrap();
+        assert_eq!(oracle.regret(best, &[250.0]), 0.0);
+        for arm in 0..4 {
+            assert!(oracle.regret(arm, &[250.0]) >= 0.0);
+        }
+        // the slowest arm has substantial regret at 500 tasks
+        assert!(oracle.regret(0, &[500.0]) > 1000.0);
+    }
+
+    #[test]
+    fn expected_runtimes_ordering() {
+        let model = CyclesModel::paper();
+        let hw = synthetic_hardware();
+        let oracle = OracleRecommender::new(&model, &hw, Tolerance::ZERO);
+        let rts = oracle.expected_runtimes(&[500.0]);
+        assert_eq!(rts.len(), 4);
+        // strictly decreasing at 500 tasks (slopes dominate)
+        for w in rts.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniform random hardware choice — the accuracy floor.
+//!
+//! The paper quotes this baseline explicitly: 1/3 ≈ 34.2 % for the 3-way
+//! BP3D experiment, 0.2 for the 5-way matmul experiment.
+
+use banditware_core::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recommends a uniformly random hardware setting, ignoring context.
+#[derive(Debug, Clone)]
+pub struct RandomRecommender {
+    n_arms: usize,
+    rng: StdRng,
+}
+
+impl RandomRecommender {
+    /// Build over `n_arms` hardware settings.
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] when `n_arms == 0`.
+    pub fn new(n_arms: usize, seed: u64) -> Result<Self> {
+        if n_arms == 0 {
+            return Err(CoreError::NoArms);
+        }
+        Ok(RandomRecommender { n_arms, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// Number of arms.
+    pub fn n_arms(&self) -> usize {
+        self.n_arms
+    }
+
+    /// A uniformly random arm.
+    pub fn recommend(&mut self) -> usize {
+        self.rng.gen_range(0..self.n_arms)
+    }
+
+    /// The expected accuracy of random guessing (`1 / n_arms`).
+    pub fn expected_accuracy(&self) -> f64 {
+        1.0 / self.n_arms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_arms_uniformly() {
+        let mut r = RandomRecommender::new(5, 3).unwrap();
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[r.recommend()] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "frac {frac}");
+        }
+        assert_eq!(r.expected_accuracy(), 0.2);
+        assert_eq!(r.n_arms(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = RandomRecommender::new(3, 7).unwrap();
+        let mut b = RandomRecommender::new(3, 7).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.recommend(), b.recommend());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_arms() {
+        assert!(RandomRecommender::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn paper_floor_values() {
+        assert!((RandomRecommender::new(3, 0).unwrap().expected_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(RandomRecommender::new(5, 0).unwrap().expected_accuracy(), 0.2);
+    }
+}

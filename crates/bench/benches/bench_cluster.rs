@@ -1,0 +1,44 @@
+//! Cluster-simulator throughput: synchronous execution and full
+//! submit → schedule → complete event cycles.
+
+use banditware_cluster::ClusterSim;
+use banditware_workloads::cycles::CyclesModel;
+use banditware_workloads::hardware::synthetic_hardware;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fresh_sim(slots: usize) -> ClusterSim {
+    ClusterSim::new(synthetic_hardware(), 2, slots, Box::new(CyclesModel::paper()), 11)
+}
+
+fn bench_execute(c: &mut Criterion) {
+    c.bench_function("cluster_execute_sync", |b| {
+        let mut sim = fresh_sim(4);
+        let mut hw = 0usize;
+        b.iter(|| {
+            hw = (hw + 1) % 4;
+            sim.execute("cycles", black_box(&[250.0]), hw)
+        })
+    });
+}
+
+fn bench_submit_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_submit_drain");
+    group.sample_size(20);
+    for &jobs in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &n| {
+            b.iter_with_setup(
+                || fresh_sim(4),
+                |mut sim| {
+                    for i in 0..n {
+                        sim.submit("cycles", vec![100.0 + (i % 400) as f64], i % 4);
+                    }
+                    sim.run_until_idle()
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute, bench_submit_drain);
+criterion_main!(benches);

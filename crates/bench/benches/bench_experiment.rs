@@ -1,0 +1,31 @@
+//! End-to-end experiment-protocol throughput: one full simulation (select →
+//! execute → observe → score, over all rounds) and the parallel multi-sim
+//! harness. These are the numbers that bound how fast the figure suite runs.
+
+use banditware_bench::datasets;
+use banditware_eval::protocol::{run_experiment, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_protocol");
+    group.sample_size(10);
+    let (cycles, cycles_model) = datasets::cycles();
+    let (bp3d, bp3d_model) = datasets::bp3d();
+
+    group.bench_with_input(BenchmarkId::new("cycles_50r", "1sim"), &(), |b, _| {
+        let cfg = ExperimentConfig::paper().with_rounds(50).with_sims(1);
+        b.iter(|| run_experiment(&cycles, &cycles_model, &cfg))
+    });
+    group.bench_with_input(BenchmarkId::new("bp3d_50r", "1sim"), &(), |b, _| {
+        let cfg = ExperimentConfig::paper().with_rounds(50).with_sims(1);
+        b.iter(|| run_experiment(&bp3d, &bp3d_model, &cfg))
+    });
+    group.bench_with_input(BenchmarkId::new("bp3d_50r", "16sims_parallel"), &(), |b, _| {
+        let cfg = ExperimentConfig::paper().with_rounds(50).with_sims(16);
+        b.iter(|| run_experiment(&bp3d, &bp3d_model, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_sim);
+criterion_main!(benches);

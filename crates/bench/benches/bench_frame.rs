@@ -1,0 +1,63 @@
+//! Dataframe microbenchmarks: CSV round-trips, group-by, join — the
+//! Fig.-1 pipeline operations at telemetry scale.
+
+use banditware_frame::{csv, Aggregation, Column, DataFrame};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn telemetry(n: usize) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(7);
+    DataFrame::from_columns(vec![
+        ("id", Column::I64((0..n as i64).collect())),
+        ("hardware", Column::I64((0..n).map(|_| rng.gen_range(0..3)).collect())),
+        ("size", Column::F64((0..n).map(|_| rng.gen_range(100.0..12500.0)).collect())),
+        ("runtime", Column::F64((0..n).map(|_| rng.gen_range(1.0..2000.0)).collect())),
+    ])
+    .unwrap()
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csv");
+    for &n in &[100usize, 1316, 2520] {
+        let df = telemetry(n);
+        let text = csv::write_str(&df);
+        group.bench_with_input(BenchmarkId::new("write", n), &(), |b, _| {
+            b.iter(|| csv::write_str(black_box(&df)))
+        });
+        group.bench_with_input(BenchmarkId::new("read", n), &(), |b, _| {
+            b.iter(|| csv::read_str(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby_agg");
+    for &n in &[1316usize, 10_000] {
+        let df = telemetry(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                df.group_by("hardware")
+                    .unwrap()
+                    .agg(&[("runtime", Aggregation::Mean), ("runtime", Aggregation::Std)])
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let df = telemetry(2520);
+    c.bench_function("filter_f64_2520", |b| {
+        b.iter(|| df.filter_f64("size", |s| s >= 5000.0).unwrap())
+    });
+    c.bench_function("sort_by_f64_2520", |b| b.iter(|| df.sort_by_f64("runtime").unwrap()));
+    c.bench_function("to_design_2520", |b| {
+        b.iter(|| df.to_design(&["size"], "runtime").unwrap())
+    });
+}
+
+criterion_group!(benches, bench_csv, bench_groupby, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! The real matrix-squaring kernel: thread scaling and tile-size sweep.
+//!
+//! This is the measured counterpart of the analytic cost model used for
+//! trace generation — the `threads` group shows the sub-linear parallel
+//! speedup the model's `cpus^0.9` term encodes, and the `block` group shows
+//! the cache-tiling win.
+
+use banditware_workloads::matmul::{generate_matrix, square_parallel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_threads_n256");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = generate_matrix(256, 0.0, -100, 100, &mut rng);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| square_parallel(black_box(&m), t, 64))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_block_n256_t4");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = generate_matrix(256, 0.0, -100, 100, &mut rng);
+    for &block in &[8usize, 32, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &blk| {
+            b.iter(|| square_parallel(black_box(&m), 4, blk))
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_size_t4");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[64usize, 128, 256] {
+        let m = generate_matrix(n, 0.0, -100, 100, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| square_parallel(black_box(&m), 4, 64))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_sparsity_n256_t4");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    for &sparsity in &[0.0f64, 0.5, 0.9] {
+        let m = generate_matrix(256, sparsity, -100, 100, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sparsity:.1}")),
+            &sparsity,
+            |b, _| b.iter(|| square_parallel(black_box(&m), 4, 64)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_block_size,
+    bench_size_scaling,
+    bench_sparsity
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks for the bandit hot path: select and observe latency as a
+//! function of arm count and feature dimension, plus the exact-vs-incremental
+//! arm update cost (the `ablation_arm_model` story at nanosecond granularity).
+
+use banditware_core::arm::{ArmEstimator, LinearArm, RecursiveArm};
+use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn context(m: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..m).map(|_| rng.gen_range(0.1..100.0)).collect()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    for &(n_arms, n_features) in &[(3usize, 1usize), (5, 4), (10, 7), (50, 16)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(n_arms),
+            n_features,
+            BanditConfig::paper().with_epsilon0(0.1),
+        )
+        .unwrap();
+        // Warm the arms so exploitation has real models to rank.
+        for _ in 0..50 {
+            let x = context(n_features, &mut rng);
+            let arm = rng.gen_range(0..n_arms);
+            policy.observe(arm, &x, rng.gen_range(1.0..1000.0)).unwrap();
+        }
+        let x = context(n_features, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_arms}arms_{n_features}feat")),
+            &x,
+            |b, x| b.iter(|| policy.select(black_box(x)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_observe");
+    for &n_features in &[1usize, 4, 7, 16] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(5),
+            n_features,
+            BanditConfig::paper(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n_features), &n_features, |b, _| {
+            b.iter(|| {
+                let x = context(n_features, &mut rng);
+                policy.observe(0, black_box(&x), 42.0).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The O(n·m²)-vs-O(m²) update contrast: the exact arm refits its whole
+/// history, the recursive arm folds one observation into sufficient
+/// statistics. Measured at a fixed history length.
+fn bench_arm_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arm_update_at_history_500");
+    let m = 4;
+    let mut rng = StdRng::seed_from_u64(3);
+    let history: Vec<(Vec<f64>, f64)> =
+        (0..500).map(|_| (context(m, &mut rng), rng.gen_range(1.0..100.0))).collect();
+
+    group.bench_function("exact_linear_arm", |b| {
+        b.iter_with_setup(
+            || {
+                let mut arm = LinearArm::new(m);
+                for (x, y) in &history {
+                    arm.update(x, *y).unwrap();
+                }
+                arm
+            },
+            |mut arm| arm.update(black_box(&history[0].0), 55.0).unwrap(),
+        )
+    });
+    group.bench_function("recursive_arm", |b| {
+        b.iter_with_setup(
+            || {
+                let mut arm = RecursiveArm::new(m);
+                for (x, y) in &history {
+                    arm.update(x, *y).unwrap();
+                }
+                arm
+            },
+            |mut arm| arm.update(black_box(&history[0].0), 55.0).unwrap(),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_observe, bench_arm_update);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation: exact-refit vs incremental arm estimators.
+fn main() {
+    println!("{}", banditware_bench::ablations::ablation_arm_model(100, 20));
+}

@@ -1,0 +1,4 @@
+//! Ablation: exploration decay factor.
+fn main() {
+    println!("{}", banditware_bench::ablations::ablation_decay(100, 20));
+}

@@ -1,0 +1,4 @@
+//! Ablation: drift adaptation after a mid-run hardware swap.
+fn main() {
+    println!("{}", banditware_bench::ablations::ablation_drift(150, 20));
+}

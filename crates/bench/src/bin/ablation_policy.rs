@@ -1,0 +1,4 @@
+//! Ablation: policy families on the Cycles workload.
+fn main() {
+    println!("{}", banditware_bench::ablations::ablation_policy(100, 20));
+}

@@ -1,0 +1,4 @@
+//! Ablation: tolerance sweep on the matmul subset.
+fn main() {
+    println!("{}", banditware_bench::ablations::ablation_tolerance(80, 20));
+}

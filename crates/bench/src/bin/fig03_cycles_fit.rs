@@ -1,0 +1,4 @@
+//! Regenerate Figure 3: Cycles linear fits on four synthetic hardware settings.
+fn main() {
+    println!("{}", banditware_bench::figures::fig03());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 4: Cycles RMSE/accuracy over 100 rounds, 10 simulations,
+//! tolerance 20 s (paper parameters).
+fn main() {
+    println!("{}", banditware_bench::figures::fig04(100, 10));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 5: 100 linear regressions on 25 BP3D samples.
+fn main() {
+    println!("{}", banditware_bench::figures::fig05(100, 25));
+}

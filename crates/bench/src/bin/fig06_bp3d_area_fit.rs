@@ -1,0 +1,5 @@
+//! Regenerate Figure 6: bandit fit vs full-data baseline on the area feature
+//! (50 learning rounds, the paper's n_rounds).
+fn main() {
+    println!("{}", banditware_bench::figures::fig06_scaled(50, 100));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 7: BP3D RMSE/accuracy, all features, 50 rounds x 100
+//! simulations (paper parameters).
+fn main() {
+    println!("{}", banditware_bench::figures::fig07(50, 100));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 8: 100 linear regressions on matmul data (full and
+//! truncated datasets).
+fn main() {
+    println!("{}", banditware_bench::figures::fig08(100, 25));
+}

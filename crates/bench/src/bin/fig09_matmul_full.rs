@@ -1,0 +1,5 @@
+//! Regenerate Figure 9: bandit on the full matmul dataset, size only, no
+//! tolerance (90 rounds as in the paper's x-axis).
+fn main() {
+    println!("{}", banditware_bench::figures::fig09(90, 50));
+}

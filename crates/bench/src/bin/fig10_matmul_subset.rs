@@ -1,0 +1,5 @@
+//! Regenerate Figure 10: bandit on the matmul subset (size >= 5000), size
+//! only, no tolerance.
+fn main() {
+    println!("{}", banditware_bench::figures::fig10(90, 50));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 11: full matmul dataset with tolerance_seconds = 20.
+fn main() {
+    println!("{}", banditware_bench::figures::fig11(90, 50));
+}

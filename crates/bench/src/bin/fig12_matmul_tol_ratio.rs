@@ -1,0 +1,4 @@
+//! Regenerate Figure 12: matmul subset with tolerance_ratio = 5%.
+fn main() {
+    println!("{}", banditware_bench::figures::fig12(90, 50));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (BurnPro3D inputs & outputs).
+fn main() {
+    println!("{}", banditware_bench::figures::table01());
+}

@@ -1,0 +1,93 @@
+//! Deterministic dataset builders shared by every figure binary.
+//!
+//! Seeds are pinned so each experiment sees the same synthetic dataset run
+//! to run — the reproduction's stand-in for the paper's fixed historical
+//! traces (80 Cycles runs, 1316 BP3D runs, 2520 matmul runs).
+
+use banditware_workloads::bp3d::{self, Bp3dModel};
+use banditware_workloads::cycles::{self, CyclesModel};
+use banditware_workloads::matmul::{self, MatMulModel};
+use banditware_workloads::Trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator seed for the Cycles dataset.
+pub const CYCLES_SEED: u64 = 1003;
+/// Generator seed for the BP3D dataset.
+pub const BP3D_SEED: u64 = 2017;
+/// Generator seed for the matmul dataset.
+pub const MATMUL_SEED: u64 = 3301;
+
+/// The Experiment-1 dataset: 80 Cycles runs (100- and 500-task workflows)
+/// over the four synthetic hardware settings.
+pub fn cycles() -> (Trace, CyclesModel) {
+    let model = CyclesModel::paper();
+    let mut rng = StdRng::seed_from_u64(CYCLES_SEED);
+    let trace = cycles::generate_paper_trace(&model, &mut rng);
+    (trace, model)
+}
+
+/// A denser Cycles trace (task counts spread over the whole 100–500 range);
+/// used by the Fig. 3 fits so the lines have support everywhere.
+pub fn cycles_dense(n_runs: usize) -> (Trace, CyclesModel) {
+    let model = CyclesModel::paper();
+    let mut rng = StdRng::seed_from_u64(CYCLES_SEED ^ 0xDE);
+    let trace = cycles::generate_trace(&model, n_runs, (100, 500), &mut rng);
+    (trace, model)
+}
+
+/// The Experiment-2 dataset: 1316 BP3D runs over six burn units on the
+/// three NDP hardware settings.
+pub fn bp3d() -> (Trace, Bp3dModel) {
+    let model = Bp3dModel::paper();
+    let mut rng = StdRng::seed_from_u64(BP3D_SEED);
+    let trace = bp3d::generate_paper_trace(&model, &mut rng);
+    (trace, model)
+}
+
+/// The Experiment-3 dataset: 2520 matmul runs (1800 with `size < 5000`)
+/// over five hardware settings.
+pub fn matmul() -> (Trace, MatMulModel) {
+    let model = MatMulModel::paper();
+    let mut rng = StdRng::seed_from_u64(MATMUL_SEED);
+    let trace = matmul::generate_paper_trace(&model, &mut rng);
+    (trace, model)
+}
+
+/// The paper's truncated matmul dataset: rows with `size ≥ 5000`.
+pub fn matmul_subset(full: &Trace) -> Trace {
+    let size_idx = full.feature_index("size").expect("matmul trace has a size feature");
+    full.filter(|r| r.features[size_idx] >= 5000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_paper() {
+        assert_eq!(cycles().0.len(), 80);
+        assert_eq!(bp3d().0.len(), 1316);
+        let (mm, _) = matmul();
+        assert_eq!(mm.len(), 2520);
+        assert_eq!(matmul_subset(&mm).len(), 720);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let (a, _) = bp3d();
+        let (b, _) = bp3d();
+        assert_eq!(a, b);
+        let (c, _) = matmul();
+        let (d, _) = matmul();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn subset_rows_all_large() {
+        let (mm, _) = matmul();
+        let sub = matmul_subset(&mm);
+        let idx = sub.feature_index("size").unwrap();
+        assert!(sub.rows.iter().all(|r| r.features[idx] >= 5000.0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure/table regeneration and ablation studies for the BanditWare paper.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! regeneration function in [`figures`] and a corresponding binary under
+//! `src/bin/` (`cargo run --release -p banditware-bench --bin fig07_bp3d_bandit`).
+//! The `run_all` binary executes the full suite and rewrites
+//! `EXPERIMENTS.md` at the workspace root.
+//!
+//! [`datasets`] pins the generator seeds so every binary (and the
+//! integration tests) sees the same synthetic datasets. [`ablations`] holds
+//! the design-choice studies DESIGN.md calls out (decay factor, arm
+//! estimator, policy family, tolerance sweep).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablations;
+pub mod datasets;
+pub mod figures;

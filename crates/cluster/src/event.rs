@@ -1,0 +1,139 @@
+//! The event queue: a min-heap of timestamped completions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event on the simulation clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Firing time (seconds).
+    pub time: f64,
+    /// Monotonic sequence number — ties on `time` fire in insertion order,
+    /// keeping the simulation deterministic.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A job finished on a node.
+    JobFinished {
+        /// The finished job's id.
+        job_id: u64,
+        /// Node that ran it.
+        node: usize,
+    },
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq). Times are finite by
+        // construction (runtimes are validated positive finite).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule an event.
+    ///
+    /// # Panics
+    /// Panics on a non-finite time (simulation bug).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Peek at the earliest event's time.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Events pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::JobFinished { job_id: 1, node: 0 });
+        q.push(1.0, EventKind::JobFinished { job_id: 2, node: 0 });
+        q.push(3.0, EventKind::JobFinished { job_id: 3, node: 0 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for id in 0..5u64 {
+            q.push(2.0, EventKind::JobFinished { job_id: id, node: 0 });
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::JobFinished { job_id, .. } => job_id,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_next_time() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(7.0, EventKind::JobFinished { job_id: 1, node: 2 });
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::JobFinished { job_id: 0, node: 0 });
+    }
+}

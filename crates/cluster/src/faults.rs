@@ -1,0 +1,186 @@
+//! Fault injection: preemptions and slowdowns.
+//!
+//! Shared clusters preempt and throttle: a pod gets evicted for a
+//! higher-priority tenant and restarts from scratch, or a noisy neighbour
+//! steals memory bandwidth and the job simply runs slower. Both corrupt the
+//! runtime signal the bandit learns from — [`FaultModel`] injects them with
+//! configurable probabilities so experiments (and tests) can measure how
+//! much corruption Algorithm 1 tolerates.
+
+use rand::Rng;
+
+/// What happened to a job's execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultOutcome {
+    /// Ran cleanly.
+    Clean,
+    /// Preempted `restarts` times: each preemption discards partial work at
+    /// a uniformly random point, so total time inflates by the wasted
+    /// fractions.
+    Preempted {
+        /// Number of evictions before the successful attempt.
+        restarts: u32,
+    },
+    /// Contended with a noisy neighbour: runtime inflated by `factor`.
+    Slowed {
+        /// Multiplicative slowdown (> 1).
+        factor: f64,
+    },
+}
+
+/// Per-execution fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that an execution attempt is preempted (each attempt
+    /// re-rolls, so multiple restarts are possible; capped at
+    /// [`FaultModel::max_restarts`]).
+    pub preemption_prob: f64,
+    /// Probability of neighbour contention.
+    pub slowdown_prob: f64,
+    /// Maximum contention slowdown factor (sampled uniformly in
+    /// `[1, max_slowdown]`).
+    pub max_slowdown: f64,
+    /// Restart cap: after this many evictions the job runs to completion
+    /// (mimicking priority aging).
+    pub max_restarts: u32,
+}
+
+impl FaultModel {
+    /// No faults at all.
+    pub const NONE: FaultModel = FaultModel {
+        preemption_prob: 0.0,
+        slowdown_prob: 0.0,
+        max_slowdown: 1.0,
+        max_restarts: 0,
+    };
+
+    /// Construct, validating ranges.
+    ///
+    /// # Panics
+    /// Panics on probabilities outside `[0, 1)` or `max_slowdown < 1`.
+    pub fn new(preemption_prob: f64, slowdown_prob: f64, max_slowdown: f64, max_restarts: u32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&preemption_prob),
+            "preemption_prob {preemption_prob} outside [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&slowdown_prob),
+            "slowdown_prob {slowdown_prob} outside [0, 1)"
+        );
+        assert!(max_slowdown >= 1.0, "max_slowdown {max_slowdown} < 1");
+        FaultModel { preemption_prob, slowdown_prob, max_slowdown, max_restarts }
+    }
+
+    /// Sample the fate of one execution and the resulting wall-clock
+    /// multiplier on the clean runtime (`≥ 1`).
+    pub fn sample(&self, rng: &mut impl Rng) -> (FaultOutcome, f64) {
+        // Preemption first: each attempt wastes a uniform fraction of the
+        // clean runtime before the eviction.
+        let mut restarts = 0u32;
+        let mut multiplier = 1.0;
+        while restarts < self.max_restarts && rng.gen::<f64>() < self.preemption_prob {
+            multiplier += rng.gen::<f64>(); // wasted partial attempt
+            restarts += 1;
+        }
+        if restarts > 0 {
+            return (FaultOutcome::Preempted { restarts }, multiplier);
+        }
+        if rng.gen::<f64>() < self.slowdown_prob {
+            let factor = 1.0 + rng.gen::<f64>() * (self.max_slowdown - 1.0);
+            return (FaultOutcome::Slowed { factor }, factor);
+        }
+        (FaultOutcome::Clean, 1.0)
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.preemption_prob == 0.0 && self.slowdown_prob == 0.0
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_always_clean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (outcome, mult) = FaultModel::NONE.sample(&mut rng);
+            assert_eq!(outcome, FaultOutcome::Clean);
+            assert_eq!(mult, 1.0);
+        }
+        assert!(FaultModel::NONE.is_none());
+        assert!(FaultModel::default().is_none());
+    }
+
+    #[test]
+    fn multipliers_always_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fm = FaultModel::new(0.3, 0.3, 3.0, 5);
+        for _ in 0..2000 {
+            let (_, mult) = fm.sample(&mut rng);
+            assert!(mult >= 1.0, "multiplier {mult}");
+        }
+        assert!(!fm.is_none());
+    }
+
+    #[test]
+    fn preemption_rate_close_to_configured() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fm = FaultModel::new(0.25, 0.0, 1.0, 10);
+        let n = 20_000;
+        let preempted = (0..n)
+            .filter(|_| matches!(fm.sample(&mut rng).0, FaultOutcome::Preempted { .. }))
+            .count();
+        let rate = preempted as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn restart_cap_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fm = FaultModel::new(0.95, 0.0, 1.0, 3);
+        for _ in 0..500 {
+            if let (FaultOutcome::Preempted { restarts }, _) = fm.sample(&mut rng) {
+                assert!(restarts <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fm = FaultModel::new(0.0, 0.8, 2.5, 0);
+        for _ in 0..2000 {
+            match fm.sample(&mut rng) {
+                (FaultOutcome::Slowed { factor }, mult) => {
+                    assert!((1.0..=2.5).contains(&factor));
+                    assert_eq!(factor, mult);
+                }
+                (FaultOutcome::Clean, mult) => assert_eq!(mult, 1.0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn validates_probability() {
+        let _ = FaultModel::new(1.5, 0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "< 1")]
+    fn validates_slowdown() {
+        let _ = FaultModel::new(0.1, 0.1, 0.5, 1);
+    }
+}

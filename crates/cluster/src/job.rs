@@ -1,0 +1,67 @@
+//! Jobs and their results.
+
+/// A workflow submission: context features plus the hardware it should run
+/// on (chosen by the recommender).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Unique job id (assigned by the submitter).
+    pub id: u64,
+    /// Application name (for telemetry only).
+    pub app: String,
+    /// Workload feature vector.
+    pub features: Vec<f64>,
+    /// Requested hardware configuration id.
+    pub hardware: usize,
+    /// Submission time on the simulation clock (seconds).
+    pub submit_time: f64,
+    /// Estimated runtime (seconds) for shortest-job-first scheduling; 0
+    /// when no estimate is available. BanditWare's predicted runtime is the
+    /// natural source.
+    pub cost_hint: f64,
+}
+
+/// The completion record of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The job's id.
+    pub job_id: u64,
+    /// Hardware configuration it ran on.
+    pub hardware: usize,
+    /// Node it was placed on.
+    pub node: usize,
+    /// Time spent waiting in the queue (seconds).
+    pub queue_wait: f64,
+    /// Execution start time.
+    pub start_time: f64,
+    /// Completion time.
+    pub end_time: f64,
+    /// Pure execution runtime (`end - start`).
+    pub runtime: f64,
+}
+
+impl JobResult {
+    /// Total turnaround (wait + runtime).
+    pub fn turnaround(&self) -> f64 {
+        self.queue_wait + self.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turnaround_sums_wait_and_runtime() {
+        let r = JobResult {
+            job_id: 1,
+            hardware: 0,
+            node: 0,
+            queue_wait: 5.0,
+            start_time: 5.0,
+            end_time: 15.0,
+            runtime: 10.0,
+        };
+        assert_eq!(r.turnaround(), 15.0);
+        assert_eq!(r.end_time - r.start_time, r.runtime);
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event simulator of a heterogeneous (NDP-like) cluster.
+//!
+//! The paper evaluates BanditWare on the National Data Platform's
+//! geo-distributed Kubernetes cluster; a hardware setting is a resource
+//! configuration `(#cpus, memory)` and what the recommender observes is the
+//! runtime of each submitted workflow. This crate reproduces exactly that
+//! interface as a simulator (see the substitution note in DESIGN.md):
+//!
+//! * [`node::Node`] — a machine of one hardware configuration with a fixed
+//!   number of concurrent job slots;
+//! * [`scheduler::FifoScheduler`] — per-hardware FIFO queues;
+//! * [`sim::ClusterSim`] — the event loop: submissions, placements,
+//!   completions on a virtual clock, with runtimes drawn from a pluggable
+//!   [`RuntimeSampler`] (any `banditware_workloads::CostModel` works);
+//! * [`telemetry::Telemetry`] — utilization, queue waits, completions.
+//!
+//! The bandit couples to the cluster through [`sim::ClusterSim::execute`]
+//! (run one workflow synchronously on a chosen hardware setting — the mode
+//! the paper's experiments use) or through full asynchronous submission with
+//! [`sim::ClusterSim::submit`] / [`sim::ClusterSim::run_until_idle`].
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod event;
+pub mod faults;
+pub mod job;
+pub mod node;
+pub mod scheduler;
+pub mod sim;
+pub mod telemetry;
+
+pub use faults::{FaultModel, FaultOutcome};
+pub use job::{Job, JobResult};
+pub use node::Node;
+pub use scheduler::Discipline;
+pub use sim::{ClusterSim, RuntimeSampler};
+pub use telemetry::Telemetry;

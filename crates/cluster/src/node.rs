@@ -1,0 +1,105 @@
+//! Cluster nodes.
+
+use banditware_workloads::HardwareConfig;
+
+/// A machine offering one hardware configuration with a fixed number of
+/// concurrent job slots (a Kubernetes node with `slots` schedulable pods of
+/// this flavour).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node id (dense).
+    pub id: usize,
+    /// The hardware configuration this node provides.
+    pub config: HardwareConfig,
+    /// Concurrent job capacity.
+    pub slots: usize,
+    /// Currently running jobs.
+    busy: usize,
+}
+
+impl Node {
+    /// Create a node.
+    ///
+    /// # Panics
+    /// Panics with zero slots — a node must be able to run something.
+    pub fn new(id: usize, config: HardwareConfig, slots: usize) -> Self {
+        assert!(slots > 0, "a node needs at least one slot");
+        Node { id, config, slots, busy: 0 }
+    }
+
+    /// Free slots right now.
+    pub fn free_slots(&self) -> usize {
+        self.slots - self.busy
+    }
+
+    /// True when at least one slot is free.
+    pub fn has_capacity(&self) -> bool {
+        self.busy < self.slots
+    }
+
+    /// Occupy one slot.
+    ///
+    /// # Panics
+    /// Panics when no slot is free (scheduler bug).
+    pub fn occupy(&mut self) {
+        assert!(self.has_capacity(), "node {} over-subscribed", self.id);
+        self.busy += 1;
+    }
+
+    /// Release one slot.
+    ///
+    /// # Panics
+    /// Panics when no slot is occupied (scheduler bug).
+    pub fn release(&mut self) {
+        assert!(self.busy > 0, "node {} released while idle", self.id);
+        self.busy -= 1;
+    }
+
+    /// Current busy count.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HardwareConfig {
+        HardwareConfig::new(0, 2.0, 16.0)
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let mut n = Node::new(0, config(), 2);
+        assert_eq!(n.free_slots(), 2);
+        n.occupy();
+        assert_eq!(n.busy(), 1);
+        assert!(n.has_capacity());
+        n.occupy();
+        assert!(!n.has_capacity());
+        n.release();
+        assert_eq!(n.free_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-subscribed")]
+    fn oversubscription_panics() {
+        let mut n = Node::new(0, config(), 1);
+        n.occupy();
+        n.occupy();
+    }
+
+    #[test]
+    #[should_panic(expected = "released while idle")]
+    fn release_idle_panics() {
+        let mut n = Node::new(0, config(), 1);
+        n.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = Node::new(0, config(), 0);
+    }
+}

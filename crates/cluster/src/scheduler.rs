@@ -1,0 +1,220 @@
+//! Scheduling of jobs onto nodes of the requested hardware flavour.
+//!
+//! Two queue disciplines are provided:
+//!
+//! * [`Discipline::Fifo`] — arrival order (the default; what Kubernetes'
+//!   default scheduler approximates for same-priority pods);
+//! * [`Discipline::ShortestHintFirst`] — among queued jobs of a flavour,
+//!   start the one with the smallest `cost_hint` first. The hint is the
+//!   *recommender's predicted runtime* — a natural synergy: BanditWare's
+//!   models don't just pick the hardware, they also give the scheduler an
+//!   SJF estimate, reducing mean wait under contention.
+
+use crate::job::Job;
+use crate::node::Node;
+use std::collections::VecDeque;
+
+/// Queue ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First in, first out.
+    #[default]
+    Fifo,
+    /// Smallest `cost_hint` first (ties: arrival order).
+    ShortestHintFirst,
+}
+
+/// Per-hardware queues plus the placement rule: a job runs on any node of
+/// its requested configuration with a free slot (lowest node id first —
+/// deterministic).
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queues: Vec<VecDeque<Job>>,
+    discipline: Discipline,
+}
+
+impl FifoScheduler {
+    /// FIFO scheduler over `n_hardware` configurations.
+    pub fn new(n_hardware: usize) -> Self {
+        Self::with_discipline(n_hardware, Discipline::Fifo)
+    }
+
+    /// Scheduler with an explicit queue discipline.
+    pub fn with_discipline(n_hardware: usize, discipline: Discipline) -> Self {
+        FifoScheduler {
+            queues: (0..n_hardware).map(|_| VecDeque::new()).collect(),
+            discipline,
+        }
+    }
+
+    /// The active discipline.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Enqueue a job.
+    ///
+    /// # Panics
+    /// Panics on an unknown hardware id (submission is validated upstream).
+    pub fn enqueue(&mut self, job: Job) {
+        assert!(job.hardware < self.queues.len(), "unknown hardware {}", job.hardware);
+        self.queues[job.hardware].push_back(job);
+    }
+
+    /// Jobs waiting for a given hardware configuration.
+    pub fn queued(&self, hardware: usize) -> usize {
+        self.queues[hardware].len()
+    }
+
+    /// Total queued jobs.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pop the next job of a flavour under the active discipline.
+    fn pop_next(&mut self, hw: usize) -> Option<Job> {
+        match self.discipline {
+            Discipline::Fifo => self.queues[hw].pop_front(),
+            Discipline::ShortestHintFirst => {
+                let idx = self.queues[hw]
+                    .iter()
+                    .enumerate()
+                    .min_by(|(ai, a), (bi, b)| {
+                        a.cost_hint
+                            .partial_cmp(&b.cost_hint)
+                            .expect("finite hints")
+                            .then(ai.cmp(bi))
+                    })
+                    .map(|(i, _)| i)?;
+                self.queues[hw].remove(idx)
+            }
+        }
+    }
+
+    /// Try to place queued jobs on free nodes. Returns `(job, node_id)`
+    /// placements; the node slots are occupied as a side effect.
+    pub fn place(&mut self, nodes: &mut [Node]) -> Vec<(Job, usize)> {
+        let mut placements = Vec::new();
+        for hw in 0..self.queues.len() {
+            while !self.queues[hw].is_empty() {
+                let node = nodes
+                    .iter_mut()
+                    .find(|n| n.config.id == hw && n.has_capacity());
+                match node {
+                    Some(n) => {
+                        n.occupy();
+                        let job = self.pop_next(hw).expect("checked non-empty");
+                        placements.push((job, n.id));
+                    }
+                    None => break, // this flavour is saturated; try the next
+                }
+            }
+        }
+        placements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::HardwareConfig;
+
+    fn job(id: u64, hw: usize) -> Job {
+        job_hinted(id, hw, 0.0)
+    }
+
+    fn job_hinted(id: u64, hw: usize, hint: f64) -> Job {
+        Job {
+            id,
+            app: "t".into(),
+            features: vec![],
+            hardware: hw,
+            submit_time: 0.0,
+            cost_hint: hint,
+        }
+    }
+
+    fn nodes() -> Vec<Node> {
+        vec![
+            Node::new(0, HardwareConfig::new(0, 2.0, 16.0), 1),
+            Node::new(1, HardwareConfig::new(1, 4.0, 16.0), 2),
+        ]
+    }
+
+    #[test]
+    fn fifo_order_within_flavour() {
+        let mut s = FifoScheduler::new(2);
+        assert_eq!(s.discipline(), Discipline::Fifo);
+        let mut ns = nodes();
+        s.enqueue(job(1, 1));
+        s.enqueue(job(2, 1));
+        s.enqueue(job(3, 1));
+        let placed = s.place(&mut ns);
+        // node 1 has 2 slots → jobs 1 and 2 placed, job 3 waits
+        assert_eq!(placed.len(), 2);
+        assert_eq!(placed[0].0.id, 1);
+        assert_eq!(placed[1].0.id, 2);
+        assert_eq!(s.queued(1), 1);
+        assert_eq!(s.total_queued(), 1);
+    }
+
+    #[test]
+    fn sjf_picks_smallest_hint() {
+        let mut s = FifoScheduler::with_discipline(2, Discipline::ShortestHintFirst);
+        let mut ns = nodes();
+        s.enqueue(job_hinted(1, 0, 50.0));
+        s.enqueue(job_hinted(2, 0, 10.0));
+        s.enqueue(job_hinted(3, 0, 30.0));
+        // Single flavour-0 slot: the shortest job goes first.
+        let placed = s.place(&mut ns);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].0.id, 2);
+        ns[0].release();
+        let placed = s.place(&mut ns);
+        assert_eq!(placed[0].0.id, 3);
+    }
+
+    #[test]
+    fn sjf_ties_break_by_arrival() {
+        let mut s = FifoScheduler::with_discipline(1, Discipline::ShortestHintFirst);
+        let mut ns = vec![Node::new(0, HardwareConfig::new(0, 2.0, 16.0), 1)];
+        s.enqueue(job_hinted(7, 0, 5.0));
+        s.enqueue(job_hinted(8, 0, 5.0));
+        let placed = s.place(&mut ns);
+        assert_eq!(placed[0].0.id, 7);
+    }
+
+    #[test]
+    fn placement_respects_flavour() {
+        let mut s = FifoScheduler::new(2);
+        let mut ns = nodes();
+        s.enqueue(job(1, 0));
+        s.enqueue(job(2, 0));
+        let placed = s.place(&mut ns);
+        // only one flavour-0 slot exists
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].1, 0);
+        assert_eq!(ns[0].busy(), 1);
+        assert_eq!(ns[1].busy(), 0);
+    }
+
+    #[test]
+    fn freeing_slots_allows_later_placement() {
+        let mut s = FifoScheduler::new(2);
+        let mut ns = nodes();
+        s.enqueue(job(1, 0));
+        s.enqueue(job(2, 0));
+        let _ = s.place(&mut ns);
+        ns[0].release();
+        let placed = s.place(&mut ns);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].0.id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hardware")]
+    fn unknown_flavour_panics() {
+        let mut s = FifoScheduler::new(1);
+        s.enqueue(job(1, 5));
+    }
+}

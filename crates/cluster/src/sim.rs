@@ -1,0 +1,425 @@
+//! The cluster simulation engine.
+
+use crate::event::{EventKind, EventQueue};
+use crate::faults::FaultModel;
+use crate::job::{Job, JobResult};
+use crate::node::Node;
+use crate::scheduler::{Discipline, FifoScheduler};
+use crate::telemetry::Telemetry;
+use banditware_workloads::{CostModel, HardwareConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Object-safe runtime sampling — the adapter between the simulator and the
+/// generic [`CostModel`] trait (whose `sample_runtime` is generic over the
+/// RNG and therefore not dyn-compatible).
+pub trait RuntimeSampler: Send {
+    /// Draw one runtime for a workload on a hardware configuration.
+    fn sample(&self, hw: &HardwareConfig, features: &[f64], rng: &mut StdRng) -> f64;
+}
+
+impl<M: CostModel + Send> RuntimeSampler for M {
+    fn sample(&self, hw: &HardwareConfig, features: &[f64], rng: &mut StdRng) -> f64 {
+        self.sample_runtime(hw, features, rng)
+    }
+}
+
+/// A discrete-event cluster of heterogeneous nodes.
+pub struct ClusterSim {
+    nodes: Vec<Node>,
+    hardware: Vec<HardwareConfig>,
+    scheduler: FifoScheduler,
+    events: EventQueue,
+    clock: f64,
+    running: HashMap<u64, RunningJob>,
+    results: Vec<JobResult>,
+    sampler: Box<dyn RuntimeSampler>,
+    rng: StdRng,
+    telemetry: Telemetry,
+    next_job_id: u64,
+    faults: FaultModel,
+}
+
+struct RunningJob {
+    job: Job,
+    start: f64,
+}
+
+impl ClusterSim {
+    /// Build a cluster with `nodes_per_config` nodes of every configuration
+    /// in `hardware`, each node offering `slots_per_node` concurrent slots.
+    ///
+    /// # Panics
+    /// Panics on an empty hardware list or zero node/slot counts, and if the
+    /// hardware ids are not dense `0..n` (the scheduler indexes by id).
+    pub fn new(
+        hardware: Vec<HardwareConfig>,
+        nodes_per_config: usize,
+        slots_per_node: usize,
+        sampler: Box<dyn RuntimeSampler>,
+        seed: u64,
+    ) -> Self {
+        assert!(!hardware.is_empty(), "cluster needs at least one hardware configuration");
+        assert!(nodes_per_config > 0, "need at least one node per configuration");
+        for (i, h) in hardware.iter().enumerate() {
+            assert_eq!(h.id, i, "hardware ids must be dense 0..n");
+        }
+        let mut nodes = Vec::new();
+        for h in &hardware {
+            for _ in 0..nodes_per_config {
+                nodes.push(Node::new(nodes.len(), h.clone(), slots_per_node));
+            }
+        }
+        let n_hw = hardware.len();
+        ClusterSim {
+            nodes,
+            hardware,
+            scheduler: FifoScheduler::new(n_hw),
+            events: EventQueue::new(),
+            clock: 0.0,
+            running: HashMap::new(),
+            results: Vec::new(),
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+            telemetry: Telemetry::new(n_hw),
+            next_job_id: 0,
+            faults: FaultModel::NONE,
+        }
+    }
+
+    /// Enable fault injection (preemptions and slowdowns) for every
+    /// subsequent execution, synchronous or queued.
+    pub fn set_fault_model(&mut self, faults: FaultModel) {
+        self.faults = faults;
+    }
+
+    /// The active fault model.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    fn faulted_runtime(&mut self, hardware: usize, features: &[f64]) -> f64 {
+        let clean = self.sampler.sample(&self.hardware[hardware], features, &mut self.rng);
+        let (_, multiplier) = self.faults.sample(&mut self.rng);
+        clean * multiplier
+    }
+
+    /// Current simulation time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The hardware configurations offered.
+    pub fn hardware(&self) -> &[HardwareConfig] {
+        &self.hardware
+    }
+
+    /// Telemetry gathered so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Completed job results (in completion order).
+    pub fn results(&self) -> &[JobResult] {
+        &self.results
+    }
+
+    /// Synchronous execution: run one workflow on `hardware` *now*, ignoring
+    /// queueing (the paper's experimental mode — each round observes a pure
+    /// runtime sample). The virtual clock advances by the runtime.
+    ///
+    /// # Panics
+    /// Panics on an unknown hardware id.
+    pub fn execute(&mut self, app: &str, features: &[f64], hardware: usize) -> f64 {
+        assert!(hardware < self.hardware.len(), "unknown hardware {hardware}");
+        let runtime = self.faulted_runtime(hardware, features);
+        self.telemetry.record_completion(hardware, runtime, 0.0);
+        self.clock += runtime;
+        self.results.push(JobResult {
+            job_id: self.next_job_id,
+            hardware,
+            node: usize::MAX, // synchronous path bypasses placement
+            queue_wait: 0.0,
+            start_time: self.clock - runtime,
+            end_time: self.clock,
+            runtime,
+        });
+        self.next_job_id += 1;
+        let _ = app;
+        runtime
+    }
+
+    /// Asynchronous submission at the current clock. Returns the job id.
+    ///
+    /// # Panics
+    /// Panics on an unknown hardware id.
+    pub fn submit(&mut self, app: &str, features: Vec<f64>, hardware: usize) -> u64 {
+        self.submit_with_hint(app, features, hardware, 0.0)
+    }
+
+    /// Submit with a runtime estimate for shortest-job-first scheduling
+    /// (ignored under FIFO). Returns the job id.
+    ///
+    /// # Panics
+    /// Panics on an unknown hardware id.
+    pub fn submit_with_hint(
+        &mut self,
+        app: &str,
+        features: Vec<f64>,
+        hardware: usize,
+        cost_hint: f64,
+    ) -> u64 {
+        assert!(hardware < self.hardware.len(), "unknown hardware {hardware}");
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        self.scheduler.enqueue(Job {
+            id,
+            app: app.to_string(),
+            features,
+            hardware,
+            submit_time: self.clock,
+            cost_hint,
+        });
+        self.try_place();
+        id
+    }
+
+    /// Switch the queue discipline (applies to jobs queued from now on and
+    /// to re-placements of already-queued jobs).
+    pub fn set_discipline(&mut self, discipline: Discipline) {
+        let n_hw = self.hardware.len();
+        let mut fresh = FifoScheduler::with_discipline(n_hw, discipline);
+        // Drain existing queues in FIFO order into the new scheduler.
+        let old = std::mem::replace(&mut self.scheduler, FifoScheduler::new(0));
+        for job in drain_scheduler(old, n_hw) {
+            fresh.enqueue(job);
+        }
+        self.scheduler = fresh;
+    }
+
+    fn try_place(&mut self) {
+        for (job, node_id) in self.scheduler.place(&mut self.nodes) {
+            let features = job.features.clone();
+            let runtime = self.faulted_runtime(job.hardware, &features);
+            let start = self.clock;
+            self.events.push(start + runtime, EventKind::JobFinished { job_id: job.id, node: node_id });
+            self.running.insert(job.id, RunningJob { job, start });
+        }
+    }
+
+    /// Advance the clock through one completion event. Returns the finished
+    /// job's result, or `None` when nothing is running.
+    pub fn step(&mut self) -> Option<JobResult> {
+        let event = self.events.pop()?;
+        self.clock = event.time;
+        let EventKind::JobFinished { job_id, node } = event.kind;
+        let running = self.running.remove(&job_id).expect("finished job was running");
+        self.nodes[node].release();
+        let result = JobResult {
+            job_id,
+            hardware: running.job.hardware,
+            node,
+            queue_wait: running.start - running.job.submit_time,
+            start_time: running.start,
+            end_time: self.clock,
+            runtime: self.clock - running.start,
+        };
+        self.telemetry.record_completion(result.hardware, result.runtime, result.queue_wait);
+        self.results.push(result.clone());
+        self.try_place();
+        Some(result)
+    }
+
+    /// Run until every submitted job has completed; returns the number of
+    /// jobs that finished during this call.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut finished = 0;
+        while self.step().is_some() {
+            finished += 1;
+        }
+        debug_assert_eq!(self.scheduler.total_queued(), 0);
+        finished
+    }
+
+    /// Jobs currently queued (not yet placed).
+    pub fn queued(&self) -> usize {
+        self.scheduler.total_queued()
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+}
+
+/// Pull every queued job out of a scheduler (helper for discipline swaps).
+fn drain_scheduler(mut s: FifoScheduler, n_hw: usize) -> Vec<Job> {
+    // Occupancy-free fake nodes of unbounded capacity would be cleaner, but
+    // placement needs real nodes; instead pop via the queues' public counts.
+    let mut out = Vec::new();
+    let mut nodes: Vec<crate::node::Node> = (0..n_hw)
+        .map(|i| crate::node::Node::new(i, HardwareConfig::new(i, 1.0, 1.0), usize::MAX / 2))
+        .collect();
+    for (job, _) in s.place(&mut nodes) {
+        out.push(job);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::hardware::ndp_hardware;
+    use banditware_workloads::NoiseModel;
+
+    /// Deterministic model: runtime = 10·(hw+1), no noise.
+    struct FixedModel {
+        noise: NoiseModel,
+    }
+
+    impl CostModel for FixedModel {
+        fn expected_runtime(&self, hw: &HardwareConfig, _features: &[f64]) -> f64 {
+            10.0 * (hw.id + 1) as f64
+        }
+        fn noise(&self) -> &NoiseModel {
+            &self.noise
+        }
+    }
+
+    fn sim(nodes_per_config: usize, slots: usize) -> ClusterSim {
+        ClusterSim::new(
+            ndp_hardware(),
+            nodes_per_config,
+            slots,
+            Box::new(FixedModel { noise: NoiseModel::None }),
+            42,
+        )
+    }
+
+    #[test]
+    fn execute_returns_model_runtime_and_advances_clock() {
+        let mut s = sim(1, 1);
+        let rt = s.execute("test", &[1.0], 0);
+        assert_eq!(rt, 10.0);
+        assert_eq!(s.clock(), 10.0);
+        let rt = s.execute("test", &[1.0], 2);
+        assert_eq!(rt, 30.0);
+        assert_eq!(s.clock(), 40.0);
+        assert_eq!(s.results().len(), 2);
+    }
+
+    #[test]
+    fn parallel_jobs_overlap() {
+        let mut s = sim(1, 2); // 2 slots per node
+        s.submit("a", vec![], 0);
+        s.submit("b", vec![], 0);
+        assert_eq!(s.running(), 2);
+        assert_eq!(s.queued(), 0);
+        let n = s.run_until_idle();
+        assert_eq!(n, 2);
+        // both ran concurrently: cluster finishes at t=10, not t=20
+        assert_eq!(s.clock(), 10.0);
+        for r in s.results() {
+            assert_eq!(r.queue_wait, 0.0);
+            assert_eq!(r.runtime, 10.0);
+        }
+    }
+
+    #[test]
+    fn saturated_flavour_queues_and_waits() {
+        let mut s = sim(1, 1); // one slot per flavour
+        s.submit("a", vec![], 1);
+        s.submit("b", vec![], 1);
+        assert_eq!(s.running(), 1);
+        assert_eq!(s.queued(), 1);
+        s.run_until_idle();
+        assert_eq!(s.clock(), 40.0); // two sequential 20 s jobs
+        let waits: Vec<f64> = s.results().iter().map(|r| r.queue_wait).collect();
+        assert_eq!(waits, vec![0.0, 20.0]);
+        assert_eq!(s.results()[1].turnaround(), 40.0);
+    }
+
+    #[test]
+    fn different_flavours_dont_block_each_other() {
+        let mut s = sim(1, 1);
+        s.submit("a", vec![], 0); // 10 s
+        s.submit("b", vec![], 2); // 30 s
+        s.run_until_idle();
+        assert_eq!(s.clock(), 30.0);
+        assert_eq!(s.telemetry().completed(0), 1);
+        assert_eq!(s.telemetry().completed(2), 1);
+        assert_eq!(s.telemetry().total_completed(), 2);
+    }
+
+    #[test]
+    fn step_returns_results_in_completion_order() {
+        let mut s = sim(1, 1);
+        s.submit("slow", vec![], 2); // 30 s
+        s.submit("fast", vec![], 0); // 10 s
+        let first = s.step().unwrap();
+        assert_eq!(first.hardware, 0, "fast job finishes first");
+        let second = s.step().unwrap();
+        assert_eq!(second.hardware, 2);
+        assert!(s.step().is_none());
+    }
+
+    #[test]
+    fn telemetry_accumulates() {
+        let mut s = sim(1, 1);
+        for hw in 0..3 {
+            s.submit("x", vec![], hw);
+        }
+        s.run_until_idle();
+        let t = s.telemetry();
+        assert_eq!(t.total_completed(), 3);
+        assert!((t.mean_runtime(2) - 30.0).abs() < 1e-12);
+        assert_eq!(t.mean_wait(0), 0.0);
+        assert!(t.busy_seconds(1) > 0.0);
+    }
+
+    #[test]
+    fn sjf_discipline_reduces_short_job_waits() {
+        let mut s = sim(1, 1); // one slot per flavour
+        s.set_discipline(Discipline::ShortestHintFirst);
+        // Occupy the only flavour-0 slot, then queue a long and a short job.
+        s.submit_with_hint("running", vec![], 0, 10.0);
+        s.submit_with_hint("long", vec![], 0, 500.0);
+        s.submit_with_hint("short", vec![], 0, 1.0);
+        assert_eq!(s.queued(), 2);
+        // First completion frees the slot → the *short* job runs next even
+        // though the long one arrived first.
+        let _first = s.step().unwrap();
+        let second = s.step().unwrap();
+        assert_eq!(second.job_id, 2, "short job jumped the queue");
+        s.run_until_idle();
+        assert_eq!(s.telemetry().total_completed(), 3);
+    }
+
+    #[test]
+    fn discipline_swap_preserves_queued_jobs() {
+        let mut s = sim(1, 1);
+        s.submit("a", vec![], 1);
+        s.submit("b", vec![], 1);
+        s.submit("c", vec![], 1);
+        assert_eq!(s.queued(), 2);
+        s.set_discipline(Discipline::ShortestHintFirst);
+        assert_eq!(s.queued(), 2, "queued jobs survive the swap");
+        s.run_until_idle();
+        assert_eq!(s.results().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hardware")]
+    fn unknown_hardware_rejected() {
+        let mut s = sim(1, 1);
+        s.submit("x", vec![], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let hw = vec![HardwareConfig::new(1, 2.0, 16.0)];
+        let _ = ClusterSim::new(hw, 1, 1, Box::new(FixedModel { noise: NoiseModel::None }), 0);
+    }
+}

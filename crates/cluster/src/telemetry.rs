@@ -1,0 +1,92 @@
+//! Per-hardware utilization and wait accounting.
+
+/// Aggregated execution statistics per hardware configuration.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    completed: Vec<usize>,
+    runtime_sum: Vec<f64>,
+    wait_sum: Vec<f64>,
+}
+
+impl Telemetry {
+    /// Empty telemetry over `n_hardware` configurations.
+    pub fn new(n_hardware: usize) -> Self {
+        Telemetry {
+            completed: vec![0; n_hardware],
+            runtime_sum: vec![0.0; n_hardware],
+            wait_sum: vec![0.0; n_hardware],
+        }
+    }
+
+    /// Record a completion.
+    pub fn record_completion(&mut self, hardware: usize, runtime: f64, wait: f64) {
+        self.completed[hardware] += 1;
+        self.runtime_sum[hardware] += runtime;
+        self.wait_sum[hardware] += wait;
+    }
+
+    /// Completions on one configuration.
+    pub fn completed(&self, hardware: usize) -> usize {
+        self.completed[hardware]
+    }
+
+    /// Total completions.
+    pub fn total_completed(&self) -> usize {
+        self.completed.iter().sum()
+    }
+
+    /// Mean runtime on a configuration (0 when unused).
+    pub fn mean_runtime(&self, hardware: usize) -> f64 {
+        if self.completed[hardware] == 0 {
+            0.0
+        } else {
+            self.runtime_sum[hardware] / self.completed[hardware] as f64
+        }
+    }
+
+    /// Mean queue wait on a configuration (0 when unused).
+    pub fn mean_wait(&self, hardware: usize) -> f64 {
+        if self.completed[hardware] == 0 {
+            0.0
+        } else {
+            self.wait_sum[hardware] / self.completed[hardware] as f64
+        }
+    }
+
+    /// Total busy seconds on a configuration.
+    pub fn busy_seconds(&self, hardware: usize) -> f64 {
+        self.runtime_sum[hardware]
+    }
+
+    /// Total runtime across all configurations (proxy for cluster work done).
+    pub fn total_busy_seconds(&self) -> f64 {
+        self.runtime_sum.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_means() {
+        let mut t = Telemetry::new(2);
+        t.record_completion(0, 10.0, 1.0);
+        t.record_completion(0, 20.0, 3.0);
+        t.record_completion(1, 5.0, 0.0);
+        assert_eq!(t.completed(0), 2);
+        assert_eq!(t.total_completed(), 3);
+        assert!((t.mean_runtime(0) - 15.0).abs() < 1e-12);
+        assert!((t.mean_wait(0) - 2.0).abs() < 1e-12);
+        assert_eq!(t.busy_seconds(1), 5.0);
+        assert_eq!(t.total_busy_seconds(), 35.0);
+    }
+
+    #[test]
+    fn unused_hardware_reports_zero() {
+        let t = Telemetry::new(3);
+        assert_eq!(t.mean_runtime(1), 0.0);
+        assert_eq!(t.mean_wait(2), 0.0);
+        assert_eq!(t.total_completed(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the discrete-event simulator: conservation
+//! laws and clock sanity under arbitrary submission patterns.
+
+use banditware_cluster::{ClusterSim, Discipline, FaultModel};
+use banditware_workloads::cycles::CyclesModel;
+use banditware_workloads::hardware::synthetic_hardware;
+use banditware_workloads::{CostModel, HardwareConfig, NoiseModel};
+use proptest::prelude::*;
+
+/// Deterministic linear model so properties are exact.
+struct LinearModel {
+    noise: NoiseModel,
+}
+
+impl CostModel for LinearModel {
+    fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64 {
+        let x = features.first().copied().unwrap_or(1.0);
+        10.0 + x / (hw.id + 1) as f64
+    }
+    fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+fn sim(seed: u64) -> ClusterSim {
+    ClusterSim::new(
+        synthetic_hardware(),
+        2,
+        2,
+        Box::new(LinearModel { noise: NoiseModel::None }),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every submitted job completes exactly once; nothing is lost or
+    /// duplicated, regardless of the arrival pattern.
+    #[test]
+    fn jobs_are_conserved(jobs in prop::collection::vec((0usize..4, 1.0..500.0f64), 1..60), seed in any::<u64>()) {
+        let mut s = sim(seed);
+        let mut ids = Vec::new();
+        for (hw, x) in &jobs {
+            ids.push(s.submit("w", vec![*x], *hw));
+        }
+        let finished = s.run_until_idle();
+        prop_assert_eq!(finished, jobs.len());
+        prop_assert_eq!(s.results().len(), jobs.len());
+        prop_assert_eq!(s.queued(), 0);
+        prop_assert_eq!(s.running(), 0);
+        // ids are unique and all accounted for
+        let mut seen: Vec<u64> = s.results().iter().map(|r| r.job_id).collect();
+        seen.sort_unstable();
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+        prop_assert_eq!(s.telemetry().total_completed(), jobs.len());
+    }
+
+    /// Timing sanity: waits are non-negative, runtimes positive, completion
+    /// order matches the event clock, and end = start + runtime.
+    #[test]
+    fn timing_invariants(jobs in prop::collection::vec((0usize..4, 1.0..300.0f64), 1..40)) {
+        let mut s = sim(1);
+        for (hw, x) in &jobs {
+            s.submit("w", vec![*x], *hw);
+        }
+        s.run_until_idle();
+        let mut last_end = 0.0f64;
+        for r in s.results() {
+            prop_assert!(r.queue_wait >= 0.0);
+            prop_assert!(r.runtime > 0.0);
+            prop_assert!((r.end_time - r.start_time - r.runtime).abs() < 1e-9);
+            prop_assert!(r.end_time + 1e-9 >= last_end, "completion order follows the clock");
+            last_end = r.end_time;
+            prop_assert!((r.start_time - r.queue_wait).abs() <= r.start_time + 1e-9);
+        }
+        // The final clock equals the last completion.
+        prop_assert!((s.clock() - last_end).abs() < 1e-9);
+    }
+
+    /// Makespan never *increases* when capacity doubles (same jobs, same
+    /// runtimes — the deterministic model makes this exact).
+    #[test]
+    fn more_slots_never_slower(jobs in prop::collection::vec((0usize..4, 1.0..300.0f64), 1..30)) {
+        let run_with = |slots: usize| -> f64 {
+            let mut s = ClusterSim::new(
+                synthetic_hardware(), 1, slots,
+                Box::new(LinearModel { noise: NoiseModel::None }), 7,
+            );
+            for (hw, x) in &jobs {
+                s.submit("w", vec![*x], *hw);
+            }
+            s.run_until_idle();
+            s.clock()
+        };
+        prop_assert!(run_with(4) <= run_with(2) + 1e-9);
+        prop_assert!(run_with(2) <= run_with(1) + 1e-9);
+    }
+
+    /// Fault injection only ever inflates runtimes, and conservation holds
+    /// under faults and SJF alike.
+    #[test]
+    fn faults_inflate_but_preserve_jobs(
+        jobs in prop::collection::vec((0usize..4, 1.0..200.0f64), 1..30),
+        preempt in 0.0..0.5f64,
+        slow in 0.0..0.5f64,
+    ) {
+        let model = LinearModel { noise: NoiseModel::None };
+        let mut s = ClusterSim::new(
+            synthetic_hardware(), 2, 2, Box::new(LinearModel { noise: NoiseModel::None }), 3,
+        );
+        s.set_fault_model(FaultModel::new(preempt, slow, 3.0, 4));
+        s.set_discipline(Discipline::ShortestHintFirst);
+        for (hw, x) in &jobs {
+            s.submit_with_hint("w", vec![*x], *hw, *x);
+        }
+        s.run_until_idle();
+        prop_assert_eq!(s.results().len(), jobs.len());
+        let hardware = synthetic_hardware();
+        for r in s.results() {
+            // find the submitted job's clean expectation
+            let clean = model.expected_runtime(&hardware[r.hardware], &[0.0]);
+            // runtime ≥ the overhead floor of the clean model
+            prop_assert!(r.runtime >= clean.min(10.0) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-arm runtime estimators.
+//!
+//! Algorithm 1 keeps, for every hardware `Hᵢ`, a linear model
+//! `R̂(Hᵢ, x) = wᵢᵀx + bᵢ` refit by least squares over the arm's stored data
+//! `Dᵢ` after each observation. Two implementations are provided:
+//!
+//! * [`LinearArm`] — the paper-faithful version: stores `Dᵢ` and re-solves
+//!   the full least-squares problem on every update (`O(|Dᵢ|·m²)`).
+//! * [`RecursiveArm`] — maintains the normal-equation sufficient statistics
+//!   incrementally (`O(m²)` per update, independent of history length).
+//!
+//! Both produce the same regression — `proptest` in
+//! `tests/proptest_core.rs` checks they agree to numerical precision — so
+//! `RecursiveArm` is the default and `LinearArm` serves as the executable
+//! specification (and powers the ablation bench `ablation_arm_model`).
+
+use crate::error::CoreError;
+use crate::Result;
+use banditware_linalg::lstsq::{fit_ols, fit_ridge, LinearFit};
+use banditware_linalg::online::NormalEquations;
+use banditware_linalg::Matrix;
+
+/// A runtime estimator for one hardware arm.
+pub trait ArmEstimator: Send {
+    /// Number of context features.
+    fn n_features(&self) -> usize;
+
+    /// Observations absorbed so far.
+    fn n_obs(&self) -> usize;
+
+    /// Predicted runtime for context `x`. Unfitted arms predict 0 — the
+    /// paper's zero initialization (`wᵢ ← 0, bᵢ ← 0`), which makes fresh
+    /// arms look maximally attractive and seeds optimistic exploration.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Absorb one `(x, runtime)` observation and refit.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`] / [`CoreError::InvalidRuntime`].
+    fn update(&mut self, x: &[f64], runtime: f64) -> Result<()>;
+
+    /// Current fitted coefficients.
+    fn fit(&self) -> LinearFit;
+
+    /// Reset to the unfitted state.
+    fn reset(&mut self);
+}
+
+fn validate(x: &[f64], n_features: usize, runtime: f64) -> Result<()> {
+    if x.len() != n_features {
+        return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: n_features });
+    }
+    if !runtime.is_finite() || runtime <= 0.0 {
+        return Err(CoreError::InvalidRuntime(runtime));
+    }
+    Ok(())
+}
+
+/// Paper-faithful arm: stores its data `Dᵢ` and refits the full least
+/// squares on every update (Algorithm 1, steps 10–11).
+#[derive(Debug, Clone)]
+pub struct LinearArm {
+    n_features: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    current: LinearFit,
+}
+
+impl LinearArm {
+    /// New unfitted arm over `n_features` context features.
+    pub fn new(n_features: usize) -> Self {
+        LinearArm { n_features, xs: Vec::new(), ys: Vec::new(), current: LinearFit::zeros(n_features) }
+    }
+
+    /// Borrow the stored observations `(contexts, runtimes)`.
+    pub fn data(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+}
+
+impl ArmEstimator for LinearArm {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_obs(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.current.predict(x)
+    }
+
+    fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
+        validate(x, self.n_features, runtime)?;
+        self.xs.push(x.to_vec());
+        self.ys.push(runtime);
+        let mut design = Matrix::zeros(0, 0);
+        for row in &self.xs {
+            design.push_row(row).expect("stored rows share arity");
+        }
+        self.current = fit_ols(&design, &self.ys)?;
+        Ok(())
+    }
+
+    fn fit(&self) -> LinearFit {
+        self.current.clone()
+    }
+
+    fn reset(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.current = LinearFit::zeros(self.n_features);
+    }
+}
+
+/// Incremental arm: normal-equation sufficient statistics, O(m²) per update.
+#[derive(Debug, Clone)]
+pub struct RecursiveArm {
+    acc: NormalEquations,
+    ridge: f64,
+    current: LinearFit,
+}
+
+impl RecursiveArm {
+    /// New unfitted arm over `n_features` features with plain OLS refits.
+    pub fn new(n_features: usize) -> Self {
+        Self::with_ridge(n_features, 0.0)
+    }
+
+    /// New arm whose refits apply ridge penalty `lambda ≥ 0`.
+    pub fn with_ridge(n_features: usize, lambda: f64) -> Self {
+        RecursiveArm {
+            acc: NormalEquations::new(n_features),
+            ridge: lambda.max(0.0),
+            current: LinearFit::zeros(n_features),
+        }
+    }
+}
+
+impl ArmEstimator for RecursiveArm {
+    fn n_features(&self) -> usize {
+        self.acc.n_features()
+    }
+
+    fn n_obs(&self) -> usize {
+        self.acc.n_obs()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.current.predict(x)
+    }
+
+    fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
+        validate(x, self.acc.n_features(), runtime)?;
+        self.acc.push(x, runtime)?;
+        self.current = self.acc.solve(self.ridge)?;
+        Ok(())
+    }
+
+    fn fit(&self) -> LinearFit {
+        self.current.clone()
+    }
+
+    fn reset(&mut self) {
+        self.acc.clear();
+        self.current = LinearFit::zeros(self.acc.n_features());
+    }
+}
+
+/// Non-contextual arm: the estimate is the running mean runtime. Used by
+/// the classic multi-armed-bandit policies ([`crate::plain`], [`crate::ucb`])
+/// where no context features exist.
+#[derive(Debug, Clone)]
+pub struct MeanArm {
+    n: usize,
+    mean: f64,
+}
+
+impl MeanArm {
+    /// New arm with no observations (predicts 0, optimistic).
+    pub fn new() -> Self {
+        MeanArm { n: 0, mean: 0.0 }
+    }
+
+    /// Running mean runtime (0 when unplayed).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Default for MeanArm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArmEstimator for MeanArm {
+    fn n_features(&self) -> usize {
+        0
+    }
+
+    fn n_obs(&self) -> usize {
+        self.n
+    }
+
+    fn predict(&self, _x: &[f64]) -> f64 {
+        self.mean
+    }
+
+    fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
+        if !x.is_empty() {
+            return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: 0 });
+        }
+        if !runtime.is_finite() || runtime <= 0.0 {
+            return Err(CoreError::InvalidRuntime(runtime));
+        }
+        self.n += 1;
+        self.mean += (runtime - self.mean) / self.n as f64;
+        Ok(())
+    }
+
+    fn fit(&self) -> LinearFit {
+        LinearFit { weights: vec![], intercept: self.mean, residual_ss: 0.0, n_obs: self.n }
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+    }
+}
+
+/// Build `n_arms` independent arms of a given kind (helper for policies).
+pub fn make_arms<A: ArmEstimator>(n_arms: usize, factory: impl Fn() -> A) -> Vec<A> {
+    (0..n_arms).map(|_| factory()).collect()
+}
+
+/// Boxed arms are arms: lets heterogeneous estimators (or runtime-chosen
+/// kinds, as in the drift ablation) drive the generic policies.
+impl ArmEstimator for Box<dyn ArmEstimator> {
+    fn n_features(&self) -> usize {
+        self.as_ref().n_features()
+    }
+
+    fn n_obs(&self) -> usize {
+        self.as_ref().n_obs()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.as_ref().predict(x)
+    }
+
+    fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
+        self.as_mut().update(x, runtime)
+    }
+
+    fn fit(&self) -> LinearFit {
+        self.as_ref().fit()
+    }
+
+    fn reset(&mut self) {
+        self.as_mut().reset()
+    }
+}
+
+/// Ridge-regularized batch refit helper shared by tests and baselines:
+/// identical to the arm's own behaviour but usable on external data.
+///
+/// # Errors
+/// Propagates linear-algebra failures.
+pub fn refit(xs: &Matrix, ys: &[f64], lambda: f64) -> Result<LinearFit> {
+    Ok(if lambda > 0.0 { fit_ridge(xs, ys, lambda)? } else { fit_ols(xs, ys)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(arm: &mut impl ArmEstimator, data: &[(Vec<f64>, f64)]) {
+        for (x, y) in data {
+            arm.update(x, *y).unwrap();
+        }
+    }
+
+    fn linear_data() -> Vec<(Vec<f64>, f64)> {
+        // runtime = 3·x₀ + 2·x₁ + 10
+        (0..15)
+            .map(|i| {
+                let x = vec![(i % 5) as f64, (i % 3) as f64];
+                let y = 3.0 * x[0] + 2.0 * x[1] + 10.0;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unfitted_arms_predict_zero() {
+        let lin = LinearArm::new(2);
+        let rec = RecursiveArm::new(2);
+        assert_eq!(lin.predict(&[5.0, 5.0]), 0.0);
+        assert_eq!(rec.predict(&[5.0, 5.0]), 0.0);
+        assert_eq!(lin.n_obs(), 0);
+        assert_eq!(rec.n_features(), 2);
+    }
+
+    #[test]
+    fn linear_arm_recovers_model() {
+        let mut arm = LinearArm::new(2);
+        feed(&mut arm, &linear_data());
+        let f = arm.fit();
+        assert!((f.weights[0] - 3.0).abs() < 1e-8);
+        assert!((f.weights[1] - 2.0).abs() < 1e-8);
+        assert!((f.intercept - 10.0).abs() < 1e-8);
+        assert!((arm.predict(&[10.0, 1.0]) - 42.0).abs() < 1e-6);
+        let (xs, ys) = arm.data();
+        assert_eq!(xs.len(), 15);
+        assert_eq!(ys.len(), 15);
+    }
+
+    #[test]
+    fn recursive_matches_exact() {
+        let data = linear_data();
+        let mut lin = LinearArm::new(2);
+        let mut rec = RecursiveArm::new(2);
+        for (i, (x, y)) in data.iter().enumerate() {
+            lin.update(x, *y).unwrap();
+            rec.update(x, *y).unwrap();
+            // Fitted values at *observed* contexts are unique even while the
+            // design is rank-deficient (the first three contexts here are
+            // collinear), so compare there after every update...
+            assert!(
+                (lin.predict(x) - rec.predict(x)).abs() < 1e-4 * (1.0 + y.abs()),
+                "diverged at observed point, n={}",
+                lin.n_obs()
+            );
+            // ...and at an off-data probe once the design has full rank
+            // (from the fourth, non-collinear context on) where the OLS
+            // solution is unique.
+            if i >= 3 {
+                let probe = [2.5, 1.5];
+                assert!(
+                    (lin.predict(&probe) - rec.predict(&probe)).abs() < 1e-6,
+                    "diverged at probe, n={}",
+                    lin.n_obs()
+                );
+            }
+        }
+        assert_eq!(lin.n_obs(), rec.n_obs());
+    }
+
+    #[test]
+    fn update_validates_input() {
+        let mut arm = RecursiveArm::new(2);
+        assert!(matches!(
+            arm.update(&[1.0], 5.0),
+            Err(CoreError::FeatureDimMismatch { got: 1, expected: 2 })
+        ));
+        assert!(matches!(arm.update(&[1.0, 2.0], -3.0), Err(CoreError::InvalidRuntime(_))));
+        assert!(matches!(arm.update(&[1.0, 2.0], f64::NAN), Err(CoreError::InvalidRuntime(_))));
+        assert!(matches!(arm.update(&[1.0, 2.0], 0.0), Err(CoreError::InvalidRuntime(_))));
+        assert_eq!(arm.n_obs(), 0, "failed updates must not be absorbed");
+        let mut lin = LinearArm::new(2);
+        assert!(lin.update(&[1.0, 2.0, 3.0], 1.0).is_err());
+        assert_eq!(lin.n_obs(), 0);
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let mut arm = RecursiveArm::new(1);
+        feed(&mut arm, &[(vec![1.0], 5.0), (vec![2.0], 9.0)]);
+        assert!(arm.predict(&[3.0]) > 0.0);
+        arm.reset();
+        assert_eq!(arm.n_obs(), 0);
+        assert_eq!(arm.predict(&[3.0]), 0.0);
+        let mut lin = LinearArm::new(1);
+        feed(&mut lin, &[(vec![1.0], 5.0)]);
+        lin.reset();
+        assert_eq!(lin.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ridge_arm_shrinks() {
+        let data = linear_data();
+        let mut plain = RecursiveArm::new(2);
+        let mut ridged = RecursiveArm::with_ridge(2, 50.0);
+        for (x, y) in &data {
+            plain.update(x, *y).unwrap();
+            ridged.update(x, *y).unwrap();
+        }
+        assert!(ridged.fit().weights[0].abs() < plain.fit().weights[0].abs());
+    }
+
+    #[test]
+    fn single_observation_prediction_is_sane() {
+        // After one observation the arm should predict that observation at
+        // its own context (ridge fallback handles the underdetermined fit).
+        let mut arm = LinearArm::new(2);
+        arm.update(&[3.0, 4.0], 120.0).unwrap();
+        assert!((arm.predict(&[3.0, 4.0]) - 120.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn mean_arm_running_mean() {
+        let mut arm = MeanArm::new();
+        assert_eq!(arm.predict(&[]), 0.0);
+        arm.update(&[], 10.0).unwrap();
+        arm.update(&[], 20.0).unwrap();
+        arm.update(&[], 30.0).unwrap();
+        assert!((arm.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(arm.n_obs(), 3);
+        assert!(arm.update(&[1.0], 5.0).is_err());
+        assert!(arm.update(&[], -5.0).is_err());
+        arm.reset();
+        assert_eq!(arm.mean(), 0.0);
+        assert_eq!(MeanArm::default().n_obs(), 0);
+        assert_eq!(arm.fit().weights.len(), 0);
+    }
+
+    #[test]
+    fn make_arms_builds_independent() {
+        let mut arms = make_arms(3, || RecursiveArm::new(1));
+        arms[0].update(&[1.0], 5.0).unwrap();
+        assert_eq!(arms[0].n_obs(), 1);
+        assert_eq!(arms[1].n_obs(), 0);
+        assert_eq!(arms.len(), 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! [`BanditWare`] — the user-facing recommender facade.
+//!
+//! Couples a [`Policy`] with the arm metadata and a complete run history, and
+//! exposes the two-call protocol of the framework: [`BanditWare::recommend`]
+//! for an incoming workflow, [`BanditWare::record`] once its runtime is
+//! observed. A convenience [`BanditWare::run_round`] does both around a
+//! user-supplied executor closure (e.g. a cluster submission).
+
+use crate::policy::{ArmSpec, Policy};
+use crate::Result;
+
+/// One remembered round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// 0-based round counter.
+    pub round: usize,
+    /// Chosen arm.
+    pub arm: usize,
+    /// The workflow's context features.
+    pub features: Vec<f64>,
+    /// Observed runtime (seconds).
+    pub runtime: f64,
+    /// Whether the round was an exploration draw.
+    pub explored: bool,
+}
+
+/// A recommendation returned to the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Chosen arm index.
+    pub arm: usize,
+    /// Arm display name.
+    pub name: String,
+    /// Arm resource cost.
+    pub resource_cost: f64,
+    /// Predicted runtime under the current model (NaN before any fit).
+    pub predicted_runtime: f64,
+    /// Whether this was an exploration draw.
+    pub explored: bool,
+}
+
+/// The BanditWare recommender: policy + hardware metadata + history.
+#[derive(Debug, Clone)]
+pub struct BanditWare<P: Policy> {
+    policy: P,
+    specs: Vec<ArmSpec>,
+    history: Vec<Observation>,
+    pending: Option<(usize, Vec<f64>, bool)>,
+}
+
+impl<P: Policy> BanditWare<P> {
+    /// Wrap a policy. `specs` must match the policy's arm count.
+    ///
+    /// # Panics
+    /// Panics on an arm-count mismatch (construction-time programmer error).
+    pub fn new(policy: P, specs: Vec<ArmSpec>) -> Self {
+        assert_eq!(policy.n_arms(), specs.len(), "policy arms != specs");
+        BanditWare { policy, specs, history: Vec::new(), pending: None }
+    }
+
+    /// The wrapped policy (read access, e.g. for reporting fitted models).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Arm metadata.
+    pub fn specs(&self) -> &[ArmSpec] {
+        &self.specs
+    }
+
+    /// All recorded rounds.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Recommend hardware for a workflow with the given features. The
+    /// selection is remembered so the following [`BanditWare::record`] can
+    /// attribute the runtime without the caller re-passing everything.
+    ///
+    /// # Errors
+    /// Propagates policy validation (feature arity).
+    pub fn recommend(&mut self, features: &[f64]) -> Result<Recommendation> {
+        let sel = self.policy.select(features)?;
+        let predicted = self.policy.predict(sel.arm, features).unwrap_or(f64::NAN);
+        self.pending = Some((sel.arm, features.to_vec(), sel.explored));
+        let spec = &self.specs[sel.arm];
+        Ok(Recommendation {
+            arm: sel.arm,
+            name: spec.name.clone(),
+            resource_cost: spec.resource_cost,
+            predicted_runtime: predicted,
+            explored: sel.explored,
+        })
+    }
+
+    /// Record the observed runtime of the **most recent recommendation**.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::InvalidRuntime`] (and policy validation); calling
+    /// without a pending recommendation is an
+    /// [`crate::CoreError::InvalidParameter`].
+    pub fn record(&mut self, runtime: f64) -> Result<()> {
+        let (arm, features, explored) =
+            self.pending.take().ok_or(crate::CoreError::InvalidParameter {
+                name: "pending",
+                detail: "record() called without a preceding recommend()".into(),
+            })?;
+        self.policy.observe(arm, &features, runtime).inspect_err(|_| {
+            // keep the pending slot consumed; the caller decides how to retry
+        })?;
+        self.history.push(Observation {
+            round: self.history.len(),
+            arm,
+            features,
+            runtime,
+            explored,
+        });
+        Ok(())
+    }
+
+    /// Record an externally chosen `(arm, features, runtime)` triple — e.g.
+    /// when warm-starting from historical traces.
+    ///
+    /// # Errors
+    /// Propagates policy validation.
+    pub fn record_external(&mut self, arm: usize, features: &[f64], runtime: f64) -> Result<()> {
+        self.policy.observe(arm, features, runtime)?;
+        self.history.push(Observation {
+            round: self.history.len(),
+            arm,
+            features: features.to_vec(),
+            runtime,
+            explored: false,
+        });
+        Ok(())
+    }
+
+    /// One full round: recommend, execute via the closure, record. Returns
+    /// `(recommendation, runtime)`.
+    ///
+    /// # Errors
+    /// Propagates recommendation/record failures.
+    pub fn run_round(
+        &mut self,
+        features: &[f64],
+        executor: impl FnOnce(&Recommendation) -> f64,
+    ) -> Result<(Recommendation, f64)> {
+        let rec = self.recommend(features)?;
+        let runtime = executor(&rec);
+        self.record(runtime)?;
+        Ok((rec, runtime))
+    }
+
+    /// Pulls per arm.
+    pub fn pulls(&self) -> Vec<usize> {
+        self.policy.pulls()
+    }
+
+    /// Mean observed runtime per arm from the history (NaN for unplayed).
+    pub fn mean_runtime_per_arm(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.specs.len()];
+        let mut counts = vec![0usize; self.specs.len()];
+        for o in &self.history {
+            sums[o.arm] += o.runtime;
+            counts[o.arm] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Reset the policy and clear the history.
+    pub fn reset(&mut self) {
+        self.policy.reset();
+        self.history.clear();
+        self.pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BanditConfig;
+    use crate::epsilon::EpsilonGreedy;
+    use crate::CoreError;
+
+    fn make() -> BanditWare<EpsilonGreedy> {
+        let specs = vec![ArmSpec::new(0, "H0", 4.0), ArmSpec::new(1, "H1", 6.0)];
+        let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(1)).unwrap();
+        BanditWare::new(policy, specs)
+    }
+
+    #[test]
+    fn recommend_then_record_builds_history() {
+        let mut bw = make();
+        let rec = bw.recommend(&[10.0]).unwrap();
+        assert!(rec.arm < 2);
+        assert!(rec.name.starts_with('H'));
+        bw.record(42.0).unwrap();
+        assert_eq!(bw.rounds(), 1);
+        let h = &bw.history()[0];
+        assert_eq!(h.runtime, 42.0);
+        assert_eq!(h.features, vec![10.0]);
+        assert_eq!(h.round, 0);
+    }
+
+    #[test]
+    fn record_without_recommend_errors() {
+        let mut bw = make();
+        assert!(matches!(bw.record(1.0), Err(CoreError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn double_record_errors() {
+        let mut bw = make();
+        bw.recommend(&[1.0]).unwrap();
+        bw.record(5.0).unwrap();
+        assert!(bw.record(5.0).is_err());
+    }
+
+    #[test]
+    fn run_round_executes_closure() {
+        let mut bw = make();
+        let (rec, rt) = bw
+            .run_round(&[3.0], |r| {
+                // slower hardware takes longer
+                100.0 + r.arm as f64 * 10.0
+            })
+            .unwrap();
+        assert_eq!(rt, 100.0 + rec.arm as f64 * 10.0);
+        assert_eq!(bw.rounds(), 1);
+    }
+
+    #[test]
+    fn record_external_warm_start() {
+        let mut bw = make();
+        for i in 1..=10 {
+            bw.record_external(0, &[i as f64], 2.0 * i as f64 + 5.0).unwrap();
+        }
+        assert_eq!(bw.rounds(), 10);
+        assert_eq!(bw.pulls(), vec![10, 0]);
+        // model learned from external data
+        let pred = bw.policy().predict(0, &[20.0]).unwrap();
+        assert!((pred - 45.0).abs() < 1.0, "pred {pred}");
+        let means = bw.mean_runtime_per_arm();
+        assert!((means[0] - 16.0).abs() < 1e-9);
+        assert!(means[1].is_nan());
+    }
+
+    #[test]
+    fn invalid_runtime_keeps_history_clean() {
+        let mut bw = make();
+        bw.recommend(&[1.0]).unwrap();
+        assert!(bw.record(-1.0).is_err());
+        assert_eq!(bw.rounds(), 0);
+        // a fresh recommendation works again
+        bw.recommend(&[1.0]).unwrap();
+        bw.record(3.0).unwrap();
+        assert_eq!(bw.rounds(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut bw = make();
+        bw.run_round(&[1.0], |_| 5.0).unwrap();
+        bw.reset();
+        assert_eq!(bw.rounds(), 0);
+        assert_eq!(bw.pulls(), vec![0, 0]);
+        assert!(bw.record(1.0).is_err(), "pending cleared");
+    }
+
+    #[test]
+    #[should_panic(expected = "policy arms != specs")]
+    fn spec_mismatch_panics() {
+        let policy = EpsilonGreedy::new(ArmSpec::unit_costs(2), 1, BanditConfig::paper()).unwrap();
+        let _ = BanditWare::new(policy, ArmSpec::unit_costs(3));
+    }
+
+    #[test]
+    fn predicted_runtime_populated_after_learning() {
+        let mut bw = make();
+        for _ in 0..30 {
+            bw.run_round(&[5.0], |_| 50.0).unwrap();
+        }
+        let rec = bw.recommend(&[5.0]).unwrap();
+        assert!((rec.predicted_runtime - 50.0).abs() < 5.0);
+        assert!(rec.resource_cost > 0.0);
+    }
+}

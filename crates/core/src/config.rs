@@ -1,0 +1,144 @@
+//! Configuration for the ε-greedy policy (Algorithm 1 parameters).
+
+use crate::error::CoreError;
+use crate::tolerance::Tolerance;
+use crate::Result;
+
+/// Parameters of Algorithm 1. The defaults are exactly the paper's
+/// experimental setting: `ε₀ = 1.0`, `α = 0.99`, zero tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BanditConfig {
+    /// Initial exploration probability `ε₀ ∈ [0, 1]`.
+    pub epsilon0: f64,
+    /// Geometric decay factor `α ∈ (0, 1]` applied after every observation.
+    pub decay: f64,
+    /// Tolerant-selection slack `(tr, ts)`.
+    pub tolerance: Tolerance,
+    /// Ridge penalty for arm refits (0 = plain OLS, the paper's choice).
+    pub ridge_lambda: f64,
+    /// RNG seed for exploration draws (experiments are reproducible).
+    pub seed: u64,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            epsilon0: 1.0,
+            decay: 0.99,
+            tolerance: Tolerance::ZERO,
+            ridge_lambda: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl BanditConfig {
+    /// The paper's configuration (`α = 0.99`, `ε₀ = 1`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Set the initial exploration rate.
+    pub fn with_epsilon0(mut self, epsilon0: f64) -> Self {
+        self.epsilon0 = epsilon0;
+        self
+    }
+
+    /// Set the decay factor.
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Set the tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Set the ridge penalty.
+    pub fn with_ridge(mut self, lambda: f64) -> Self {
+        self.ridge_lambda = lambda;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate all parameter ranges.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.epsilon0) || !self.epsilon0.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon0",
+                detail: format!("must be in [0, 1], got {}", self.epsilon0),
+            });
+        }
+        if !(self.decay > 0.0 && self.decay <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "decay",
+                detail: format!("must be in (0, 1], got {}", self.decay),
+            });
+        }
+        if !(self.ridge_lambda >= 0.0 && self.ridge_lambda.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "ridge_lambda",
+                detail: format!("must be finite and >= 0, got {}", self.ridge_lambda),
+            });
+        }
+        Tolerance::new(self.tolerance.ratio, self.tolerance.seconds)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = BanditConfig::paper();
+        assert_eq!(c.epsilon0, 1.0);
+        assert_eq!(c.decay, 0.99);
+        assert!(c.tolerance.is_zero());
+        assert_eq!(c.ridge_lambda, 0.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = BanditConfig::default()
+            .with_epsilon0(0.5)
+            .with_decay(0.9)
+            .with_tolerance(Tolerance { ratio: 0.05, seconds: 20.0 })
+            .with_ridge(1e-6)
+            .with_seed(7);
+        assert_eq!(c.epsilon0, 0.5);
+        assert_eq!(c.decay, 0.9);
+        assert_eq!(c.tolerance.seconds, 20.0);
+        assert_eq!(c.seed, 7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        assert!(BanditConfig::default().with_epsilon0(1.5).validate().is_err());
+        assert!(BanditConfig::default().with_epsilon0(-0.1).validate().is_err());
+        assert!(BanditConfig::default().with_decay(0.0).validate().is_err());
+        assert!(BanditConfig::default().with_decay(1.1).validate().is_err());
+        assert!(BanditConfig::default().with_ridge(-1.0).validate().is_err());
+        let mut c = BanditConfig::default();
+        c.tolerance = Tolerance { ratio: -1.0, seconds: 0.0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn decay_of_one_is_constant_epsilon() {
+        assert!(BanditConfig::default().with_decay(1.0).validate().is_ok());
+    }
+}

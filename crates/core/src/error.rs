@@ -1,0 +1,98 @@
+//! Error type for bandit policies.
+
+use banditware_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by policy construction and the select/observe loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An arm index outside `0..n_arms`.
+    ArmOutOfRange {
+        /// Requested arm.
+        arm: usize,
+        /// Arms available.
+        n_arms: usize,
+    },
+    /// A context with the wrong number of features.
+    FeatureDimMismatch {
+        /// Features provided.
+        got: usize,
+        /// Features expected.
+        expected: usize,
+    },
+    /// A policy cannot be built without arms.
+    NoArms,
+    /// A configuration parameter is out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint violation.
+        detail: String,
+    },
+    /// An observed runtime was not a positive finite number.
+    InvalidRuntime(f64),
+    /// Numerical failure bubbling up from the linear-algebra layer.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArmOutOfRange { arm, n_arms } => {
+                write!(f, "arm {arm} out of range (have {n_arms} arms)")
+            }
+            CoreError::FeatureDimMismatch { got, expected } => {
+                write!(f, "context has {got} features, policy expects {expected}")
+            }
+            CoreError::NoArms => write!(f, "policy requires at least one arm"),
+            CoreError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter {name}: {detail}")
+            }
+            CoreError::InvalidRuntime(v) => {
+                write!(f, "observed runtime must be positive and finite, got {v}")
+            }
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = CoreError::ArmOutOfRange { arm: 5, n_arms: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let e = CoreError::FeatureDimMismatch { got: 2, expected: 7 };
+        assert!(e.to_string().contains('7'));
+        assert!(CoreError::NoArms.to_string().contains("at least one"));
+        let e = CoreError::InvalidRuntime(-1.0);
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn linalg_conversion_preserves_source() {
+        use std::error::Error;
+        let le = LinalgError::InsufficientData { have: 0, need: 1 };
+        let ce: CoreError = le.clone().into();
+        assert_eq!(ce, CoreError::Linalg(le));
+        assert!(ce.source().is_some());
+        assert!(CoreError::NoArms.source().is_none());
+    }
+}

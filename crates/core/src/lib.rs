@@ -1,0 +1,59 @@
+//! BanditWare core: contextual-bandit policies for hardware recommendation.
+//!
+//! The paper's contribution is **Algorithm 1 — Decaying Contextual ε-Greedy
+//! with Tolerant Selection**: per-hardware linear runtime models
+//! `R(Hᵢ, x) = wᵢᵀx + bᵢ` refit by least squares after every observation, an
+//! exploration probability that decays geometrically (`ε ← α·ε`), and a
+//! *tolerant* exploitation step that picks the most resource-efficient
+//! hardware among those predicted within `(1 + tolerance_ratio)·R̂(fastest) +
+//! tolerance_seconds`.
+//!
+//! Layout:
+//!
+//! * [`arm`] — per-arm runtime estimators: [`arm::LinearArm`] (stores its
+//!   data and refits exactly, the paper's step 11) and [`arm::RecursiveArm`]
+//!   (incremental sufficient statistics, mathematically identical and O(m²)
+//!   per update).
+//! * [`tolerance`] — the tolerant-selection rule (Algorithm 1 step 7).
+//! * [`policy`] — the [`policy::Policy`] trait shared by every algorithm.
+//! * [`epsilon`] — [`epsilon::DecayingEpsilonGreedy`], Algorithm 1 itself.
+//! * [`linucb`], [`thompson`], [`ucb`], [`boltzmann`] — the "different and
+//!   more complex contextual bandit algorithms" the paper's §5 plans as
+//!   future work, implemented here for the ablation benches.
+//! * [`plain`] — the classic non-contextual ε-greedy of the paper's Fig. 2.
+//! * [`bandit`] — [`bandit::BanditWare`], the user-facing recommender facade
+//!   that couples a policy with hardware metadata and a run history.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arm;
+pub mod bandit;
+pub mod boltzmann;
+pub mod config;
+pub mod drift;
+pub mod epsilon;
+pub mod error;
+pub mod linucb;
+pub mod objective;
+pub mod persist;
+pub mod plain;
+pub mod policy;
+pub mod scaler;
+pub mod thompson;
+pub mod tolerance;
+pub mod ucb;
+
+pub use arm::{ArmEstimator, LinearArm, RecursiveArm};
+pub use bandit::{BanditWare, Observation, Recommendation};
+pub use config::BanditConfig;
+pub use epsilon::DecayingEpsilonGreedy;
+pub use drift::{DiscountedArm, WindowedArm};
+pub use error::CoreError;
+pub use objective::{BudgetedEpsilonGreedy, Objective};
+pub use scaler::{ScaledPolicy, StandardScaler};
+pub use policy::{ArmSpec, Policy, Selection};
+pub use tolerance::Tolerance;
+
+/// Result alias for bandit operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,288 @@
+//! Multi-metric selection — the paper's §5 plan to "adapt BanditWare to
+//! support multiple parameter minimization" and to monitor metrics beyond
+//! runtime.
+//!
+//! [`Objective`] scalarizes a vector of observed metrics into the single
+//! cost a policy minimizes: `Σ weightᵢ · metricᵢ`. The canonical instance
+//! is `runtime + price·resource_cost + patience·queue_wait`: a user who
+//! only cares about speed sets `price = patience = 0` and recovers the
+//! paper's objective exactly.
+//!
+//! [`BudgetedEpsilonGreedy`] is Algorithm 1 with the exploitation rule
+//! replaced by "minimize predicted runtime **plus** a per-second price on
+//! the arm's resources" — the continuous counterpart of tolerant selection
+//! (tolerance admits a *set* and picks the cheapest; a budget trades the
+//! two off smoothly).
+
+use crate::arm::{ArmEstimator, RecursiveArm};
+use crate::error::CoreError;
+use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weights for scalarizing observed metrics into one cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Weight on runtime seconds (usually 1).
+    pub runtime: f64,
+    /// Price per resource-cost unit per second of runtime: occupying a big
+    /// machine longer costs more.
+    pub resource_price: f64,
+    /// Weight on queue-wait seconds.
+    pub queue_wait: f64,
+}
+
+impl Objective {
+    /// Pure runtime minimization (the paper's objective).
+    pub const RUNTIME_ONLY: Objective =
+        Objective { runtime: 1.0, resource_price: 0.0, queue_wait: 0.0 };
+
+    /// Construct, validating non-negativity.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] on a negative or non-finite weight.
+    pub fn new(runtime: f64, resource_price: f64, queue_wait: f64) -> Result<Self> {
+        for (name, v) in [
+            ("runtime", runtime),
+            ("resource_price", resource_price),
+            ("queue_wait", queue_wait),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "objective",
+                    detail: format!("{name} weight must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        Ok(Objective { runtime, resource_price, queue_wait })
+    }
+
+    /// Scalarize an observation: `runtime·w_r + runtime·cost·price +
+    /// wait·w_q`. The resource term scales with runtime because resources
+    /// are *occupied for the duration* (core-seconds, the unit clusters
+    /// bill).
+    pub fn cost(&self, runtime_s: f64, resource_cost: f64, wait_s: f64) -> f64 {
+        self.runtime * runtime_s
+            + self.resource_price * resource_cost * runtime_s
+            + self.queue_wait * wait_s
+    }
+}
+
+/// Algorithm 1 with budget-aware exploitation: minimize
+/// `R̂(Hᵢ, x) · (w_runtime + price · costᵢ)` instead of raw predicted
+/// runtime.
+#[derive(Debug, Clone)]
+pub struct BudgetedEpsilonGreedy {
+    arms: Vec<RecursiveArm>,
+    specs: Vec<ArmSpec>,
+    objective: Objective,
+    epsilon: f64,
+    epsilon0: f64,
+    decay: f64,
+    n_features: usize,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl BudgetedEpsilonGreedy {
+    /// Build with the paper's schedule parameters and an [`Objective`].
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] / [`CoreError::InvalidParameter`].
+    pub fn new(
+        specs: Vec<ArmSpec>,
+        n_features: usize,
+        objective: Objective,
+        epsilon0: f64,
+        decay: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(CoreError::NoArms);
+        }
+        if !(0.0..=1.0).contains(&epsilon0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon0",
+                detail: format!("must be in [0, 1], got {epsilon0}"),
+            });
+        }
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "decay",
+                detail: format!("must be in (0, 1], got {decay}"),
+            });
+        }
+        Ok(BudgetedEpsilonGreedy {
+            arms: (0..specs.len()).map(|_| RecursiveArm::new(n_features)).collect(),
+            specs,
+            objective,
+            epsilon: epsilon0,
+            epsilon0,
+            decay,
+            n_features,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        })
+    }
+
+    /// The objective in force.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Scalarized predicted cost of an arm for a context.
+    ///
+    /// # Errors
+    /// Propagates arm/feature validation.
+    pub fn predicted_cost(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        check_arm(arm, self.arms.len())?;
+        check_features(x, self.n_features)?;
+        let runtime = self.arms[arm].predict(x);
+        Ok(self.objective.cost(runtime, self.specs[arm].resource_cost, 0.0))
+    }
+
+    /// The budget-aware exploitation choice (no randomness consumed).
+    ///
+    /// # Errors
+    /// Propagates prediction failures.
+    pub fn exploit(&self, x: &[f64]) -> Result<usize> {
+        let costs: Vec<f64> = (0..self.arms.len())
+            .map(|a| self.predicted_cost(a, x))
+            .collect::<Result<_>>()?;
+        banditware_linalg::vector::argmin(&costs).ok_or(CoreError::NoArms)
+    }
+}
+
+impl Policy for BudgetedEpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "budgeted-epsilon-greedy"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn select(&mut self, x: &[f64]) -> Result<Selection> {
+        check_features(x, self.n_features)?;
+        if self.rng.gen::<f64>() < self.epsilon {
+            let arm = self.rng.gen_range(0..self.arms.len());
+            return Ok(Selection { arm, explored: true });
+        }
+        Ok(Selection { arm: self.exploit(x)?, explored: false })
+    }
+
+    fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        check_arm(arm, self.arms.len())?;
+        self.arms[arm].update(x, runtime)?;
+        self.epsilon *= self.decay;
+        Ok(())
+    }
+
+    fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        check_arm(arm, self.arms.len())?;
+        check_features(x, self.n_features)?;
+        Ok(self.arms[arm].predict(x))
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        self.arms.iter().map(|a| a.n_obs()).collect()
+    }
+
+    fn reset(&mut self) {
+        self.arms.iter_mut().for_each(ArmEstimator::reset);
+        self.epsilon = self.epsilon0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_scalarization() {
+        let o = Objective::new(1.0, 0.5, 2.0).unwrap();
+        // runtime 100 s on cost-4 hardware after 10 s wait:
+        // 100 + 0.5·4·100 + 2·10 = 100 + 200 + 20
+        assert!((o.cost(100.0, 4.0, 10.0) - 320.0).abs() < 1e-12);
+        assert_eq!(Objective::RUNTIME_ONLY.cost(100.0, 4.0, 10.0), 100.0);
+        assert!(Objective::new(-1.0, 0.0, 0.0).is_err());
+        assert!(Objective::new(1.0, f64::NAN, 0.0).is_err());
+    }
+
+    fn train(policy: &mut BudgetedEpsilonGreedy, truths: &[f64]) {
+        for i in 0..120 {
+            let x = (i % 10 + 1) as f64;
+            let sel = policy.select(&[x]).unwrap();
+            policy.observe(sel.arm, &[x], truths[sel.arm] * x).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_price_recovers_pure_runtime_choice() {
+        // Arm 1 is faster but far more expensive.
+        let specs = vec![ArmSpec::new(0, "cheap", 1.0), ArmSpec::new(1, "big", 100.0)];
+        let mut p = BudgetedEpsilonGreedy::new(
+            specs,
+            1,
+            Objective::RUNTIME_ONLY,
+            0.3,
+            0.95,
+            1,
+        )
+        .unwrap();
+        train(&mut p, &[10.0, 8.0]);
+        assert_eq!(p.exploit(&[5.0]).unwrap(), 1, "price 0 → fastest wins");
+    }
+
+    #[test]
+    fn high_price_flips_to_cheap_arm() {
+        let specs = vec![ArmSpec::new(0, "cheap", 1.0), ArmSpec::new(1, "big", 100.0)];
+        let objective = Objective::new(1.0, 0.05, 0.0).unwrap();
+        let mut p = BudgetedEpsilonGreedy::new(specs, 1, objective, 0.3, 0.95, 1).unwrap();
+        train(&mut p, &[10.0, 8.0]);
+        // cost(cheap) = 10x·(1 + 0.05·1) = 10.5x; cost(big) = 8x·(1+5) = 48x
+        assert_eq!(p.exploit(&[5.0]).unwrap(), 0, "expensive speed is not worth it");
+        let c0 = p.predicted_cost(0, &[5.0]).unwrap();
+        let c1 = p.predicted_cost(1, &[5.0]).unwrap();
+        assert!(c0 < c1);
+    }
+
+    #[test]
+    fn policy_plumbing() {
+        let mut p = BudgetedEpsilonGreedy::new(
+            ArmSpec::unit_costs(3),
+            2,
+            Objective::RUNTIME_ONLY,
+            1.0,
+            0.9,
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.name(), "budgeted-epsilon-greedy");
+        assert_eq!(p.n_arms(), 3);
+        assert_eq!(p.n_features(), 2);
+        assert!(p.select(&[1.0]).is_err());
+        assert!(p.observe(9, &[1.0, 2.0], 1.0).is_err());
+        assert!(p.predict(0, &[1.0]).is_err());
+        p.observe(0, &[1.0, 2.0], 5.0).unwrap();
+        assert_eq!(p.pulls(), vec![1, 0, 0]);
+        p.reset();
+        assert_eq!(p.pulls(), vec![0, 0, 0]);
+        assert!(BudgetedEpsilonGreedy::new(vec![], 1, Objective::RUNTIME_ONLY, 1.0, 0.9, 0).is_err());
+        assert!(BudgetedEpsilonGreedy::new(
+            ArmSpec::unit_costs(2), 1, Objective::RUNTIME_ONLY, 1.5, 0.9, 0
+        )
+        .is_err());
+        assert!(BudgetedEpsilonGreedy::new(
+            ArmSpec::unit_costs(2), 1, Objective::RUNTIME_ONLY, 1.0, 0.0, 0
+        )
+        .is_err());
+        assert_eq!(p.objective(), &Objective::RUNTIME_ONLY);
+    }
+}

@@ -1,0 +1,220 @@
+//! Checkpointing: save a recommender's observation history and restore it
+//! by replay.
+//!
+//! BanditWare runs for the lifetime of a platform, not a process. The state
+//! that matters is exactly the observation log — every policy in this crate
+//! is a deterministic function of it — so persistence is "write the log,
+//! replay the log". The format is a small versioned text format (one
+//! observation per line) rather than a binary dump, so checkpoints survive
+//! crate upgrades and can be inspected or edited with standard tools.
+//!
+//! ```text
+//! banditware-history v1
+//! arm,explored,runtime,features...
+//! 0,1,153.2,100
+//! 2,0,98.7,350
+//! ```
+
+use crate::bandit::{BanditWare, Observation};
+use crate::error::CoreError;
+use crate::policy::Policy;
+use crate::Result;
+use std::io::{BufRead, BufReader, Read, Write};
+
+const MAGIC: &str = "banditware-history v1";
+
+/// Serialize a recommender's history to a writer.
+///
+/// # Errors
+/// [`CoreError::InvalidParameter`] wrapping IO failures.
+pub fn save_history<P: Policy>(bandit: &BanditWare<P>, mut writer: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| CoreError::InvalidParameter {
+        name: "writer",
+        detail: format!("IO failure while saving: {e}"),
+    };
+    writeln!(writer, "{MAGIC}").map_err(io_err)?;
+    writeln!(writer, "arm,explored,runtime,features...").map_err(io_err)?;
+    for o in bandit.history() {
+        let features: Vec<String> = o.features.iter().map(|f| format!("{f}")).collect();
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            o.arm,
+            if o.explored { 1 } else { 0 },
+            o.runtime,
+            features.join(",")
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Parse a history file back into observations (round numbers are assigned
+/// sequentially).
+///
+/// # Errors
+/// [`CoreError::InvalidParameter`] on format violations, with the offending
+/// line number in the message.
+pub fn load_history(reader: impl Read) -> Result<Vec<Observation>> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let parse_err = |line: usize, detail: String| CoreError::InvalidParameter {
+        name: "history",
+        detail: format!("line {}: {detail}", line + 1),
+    };
+
+    let (i, first) = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "empty input".into()))?;
+    let first = first.map_err(|e| parse_err(i, e.to_string()))?;
+    if first.trim() != MAGIC {
+        return Err(parse_err(i, format!("expected header {MAGIC:?}, found {first:?}")));
+    }
+    // Column header line (ignored beyond existence).
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "missing column header".into()))?;
+    header.map_err(|e| parse_err(i, e.to_string()))?;
+
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line = line.map_err(|e| parse_err(i, e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 3 {
+            return Err(parse_err(i, format!("expected >= 3 fields, found {}", fields.len())));
+        }
+        let arm: usize =
+            fields[0].parse().map_err(|e| parse_err(i, format!("bad arm: {e}")))?;
+        let explored = match fields[1] {
+            "0" => false,
+            "1" => true,
+            other => return Err(parse_err(i, format!("bad explored flag {other:?}"))),
+        };
+        let runtime: f64 =
+            fields[2].parse().map_err(|e| parse_err(i, format!("bad runtime: {e}")))?;
+        let features: Vec<f64> = fields[3..]
+            .iter()
+            .map(|f| f.parse::<f64>().map_err(|e| parse_err(i, format!("bad feature: {e}"))))
+            .collect::<Result<_>>()?;
+        out.push(Observation { round: out.len(), arm, features, runtime, explored });
+    }
+    Ok(out)
+}
+
+/// Restore a recommender by replaying a saved history into a fresh policy.
+/// The policy's models end up exactly as if it had observed the log live
+/// (ε schedule included — each replayed observation decays it).
+///
+/// # Errors
+/// Propagates policy validation (e.g. arm/feature mismatches between the
+/// log and the fresh policy).
+pub fn replay_into<P: Policy>(
+    bandit: &mut BanditWare<P>,
+    observations: &[Observation],
+) -> Result<()> {
+    for o in observations {
+        bandit.record_external(o.arm, &o.features, o.runtime)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::EpsilonGreedy;
+    use crate::{ArmSpec, BanditConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_bandit(rounds: usize) -> BanditWare<EpsilonGreedy> {
+        let specs = ArmSpec::unit_costs(3);
+        let policy = EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
+        let mut bandit = BanditWare::new(policy, specs);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..rounds {
+            let x = [rng.gen_range(1.0..50.0), rng.gen_range(0.0..5.0)];
+            bandit
+                .run_round(&x, |rec| 10.0 + x[0] * (rec.arm + 1) as f64 + x[1])
+                .unwrap();
+        }
+        bandit
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let bandit = trained_bandit(40);
+        let mut buf = Vec::new();
+        save_history(&bandit, &mut buf).unwrap();
+        let loaded = load_history(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 40);
+        for (a, b) in bandit.history().iter().zip(&loaded) {
+            assert_eq!(a.arm, b.arm);
+            assert_eq!(a.explored, b.explored);
+            assert_eq!(a.features, b.features);
+            assert!((a.runtime - b.runtime).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn restored_policy_predicts_identically() {
+        let original = trained_bandit(60);
+        let mut buf = Vec::new();
+        save_history(&original, &mut buf).unwrap();
+        let loaded = load_history(buf.as_slice()).unwrap();
+
+        let specs = ArmSpec::unit_costs(3);
+        let policy = EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
+        let mut restored = BanditWare::new(policy, specs);
+        replay_into(&mut restored, &loaded).unwrap();
+
+        for probe in [[5.0, 1.0], [25.0, 3.0], [49.0, 0.5]] {
+            for arm in 0..3 {
+                let a = original.policy().predict(arm, &probe).unwrap();
+                let b = restored.policy().predict(arm, &probe).unwrap();
+                assert!((a - b).abs() < 1e-9, "arm {arm}: {a} vs {b}");
+            }
+        }
+        // ε schedule replayed too (one decay per observation).
+        assert!((original.policy().epsilon() - restored.policy().epsilon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(load_history("".as_bytes()).is_err());
+        assert!(load_history("not-the-magic\n".as_bytes()).is_err());
+        assert!(load_history(format!("{MAGIC}\n").as_bytes()).is_err());
+        let bad_arm = format!("{MAGIC}\nheader\nxyz,0,1.0,2.0\n");
+        assert!(load_history(bad_arm.as_bytes()).is_err());
+        let bad_flag = format!("{MAGIC}\nheader\n0,yes,1.0,2.0\n");
+        assert!(load_history(bad_flag.as_bytes()).is_err());
+        let bad_rt = format!("{MAGIC}\nheader\n0,1,abc,2.0\n");
+        assert!(load_history(bad_rt.as_bytes()).is_err());
+        let too_short = format!("{MAGIC}\nheader\n0,1\n");
+        assert!(load_history(too_short.as_bytes()).is_err());
+        // Error messages carry line numbers.
+        let err = load_history(format!("{MAGIC}\nheader\n0,1,1.0,zz\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn empty_history_roundtrips() {
+        let specs = ArmSpec::unit_costs(2);
+        let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper()).unwrap();
+        let bandit = BanditWare::new(policy, specs);
+        let mut buf = Vec::new();
+        save_history(&bandit, &mut buf).unwrap();
+        assert!(load_history(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let text = format!("{MAGIC}\nheader\n0,1,5.0,1.5\n\n1,0,7.0,2.5\n");
+        let obs = load_history(text.as_bytes()).unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[1].round, 1);
+        assert_eq!(obs[1].arm, 1);
+    }
+}

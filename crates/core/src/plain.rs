@@ -1,0 +1,185 @@
+//! The classic non-contextual ε-greedy multi-armed bandit of the paper's
+//! Fig. 2 — slot machines with unknown payout, no context.
+//!
+//! Kept alongside the contextual algorithm both as the didactic example the
+//! paper opens with and as the degenerate baseline (`m = 0 features`) for
+//! the ablation benches: on context-dependent workloads it converges to the
+//! single best *average* arm and pays the price whenever the best arm
+//! depends on the workload.
+
+use crate::arm::{ArmEstimator, MeanArm};
+use crate::error::CoreError;
+use crate::policy::{check_arm, ArmSpec, Policy, Selection};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Non-contextual decaying ε-greedy over running mean runtimes.
+#[derive(Debug, Clone)]
+pub struct PlainEpsilonGreedy {
+    arms: Vec<MeanArm>,
+    specs: Vec<ArmSpec>,
+    epsilon: f64,
+    epsilon0: f64,
+    decay: f64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl PlainEpsilonGreedy {
+    /// Arm metadata this policy was built with.
+    pub fn specs(&self) -> &[ArmSpec] {
+        &self.specs
+    }
+
+    /// Build with initial exploration `epsilon0` decaying by `decay` per
+    /// observation.
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] / [`CoreError::InvalidParameter`].
+    pub fn new(specs: Vec<ArmSpec>, epsilon0: f64, decay: f64, seed: u64) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(CoreError::NoArms);
+        }
+        if !(0.0..=1.0).contains(&epsilon0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon0",
+                detail: format!("must be in [0, 1], got {epsilon0}"),
+            });
+        }
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "decay",
+                detail: format!("must be in (0, 1], got {decay}"),
+            });
+        }
+        Ok(PlainEpsilonGreedy {
+            arms: vec![MeanArm::new(); specs.len()],
+            specs,
+            epsilon: epsilon0,
+            epsilon0,
+            decay,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        })
+    }
+
+    /// Current exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The greedy (lowest-mean) arm; unplayed arms win ties optimistically.
+    pub fn greedy_arm(&self) -> usize {
+        let mut best = 0;
+        let mut best_mean = f64::INFINITY;
+        for (i, arm) in self.arms.iter().enumerate() {
+            // Unplayed arms predict 0 — optimistic, tried early.
+            let m = arm.mean();
+            if m < best_mean {
+                best_mean = m;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Policy for PlainEpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "plain-epsilon-greedy"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn n_features(&self) -> usize {
+        0
+    }
+
+    fn select(&mut self, _x: &[f64]) -> Result<Selection> {
+        if self.rng.gen::<f64>() < self.epsilon {
+            let arm = self.rng.gen_range(0..self.arms.len());
+            Ok(Selection { arm, explored: true })
+        } else {
+            Ok(Selection { arm: self.greedy_arm(), explored: false })
+        }
+    }
+
+    fn observe(&mut self, arm: usize, _x: &[f64], runtime: f64) -> Result<()> {
+        check_arm(arm, self.arms.len())?;
+        self.arms[arm].update(&[], runtime)?;
+        self.epsilon *= self.decay;
+        Ok(())
+    }
+
+    fn predict(&self, arm: usize, _x: &[f64]) -> Result<f64> {
+        check_arm(arm, self.arms.len())?;
+        Ok(self.arms[arm].mean())
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        self.arms.iter().map(|a| a.n_obs()).collect()
+    }
+
+    fn reset(&mut self) {
+        self.arms.iter_mut().for_each(ArmEstimator::reset);
+        self.epsilon = self.epsilon0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_best_slot_machine() {
+        // Fig. 2 setting: machines with different expected payouts
+        // (here: runtimes 30/10/20 — lower is better).
+        let mut p = PlainEpsilonGreedy::new(ArmSpec::unit_costs(3), 1.0, 0.98, 1).unwrap();
+        let means = [30.0, 10.0, 20.0];
+        for _ in 0..400 {
+            let s = p.select(&[]).unwrap();
+            p.observe(s.arm, &[], means[s.arm]).unwrap();
+        }
+        assert_eq!(p.greedy_arm(), 1);
+        let pulls = p.pulls();
+        assert!(pulls[1] > pulls[0] && pulls[1] > pulls[2], "{pulls:?}");
+    }
+
+    #[test]
+    fn epsilon_decays() {
+        let mut p = PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 1.0, 0.5, 0).unwrap();
+        p.observe(0, &[], 1.0).unwrap();
+        p.observe(0, &[], 1.0).unwrap();
+        assert!((p.epsilon() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_is_ignored() {
+        let mut p = PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 0.0, 1.0, 0).unwrap();
+        p.observe(0, &[], 5.0).unwrap();
+        p.observe(1, &[], 50.0).unwrap();
+        // any context width is accepted and ignored
+        assert_eq!(p.select(&[1.0, 2.0, 3.0]).unwrap().arm, 0);
+        assert_eq!(p.predict(1, &[9.9]).unwrap(), 50.0);
+        assert_eq!(p.n_features(), 0);
+    }
+
+    #[test]
+    fn validation_and_reset() {
+        assert!(PlainEpsilonGreedy::new(vec![], 1.0, 0.9, 0).is_err());
+        assert!(PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 1.5, 0.9, 0).is_err());
+        assert!(PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 1.0, 0.0, 0).is_err());
+        let mut p = PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 1.0, 0.9, 0).unwrap();
+        p.observe(1, &[], 2.0).unwrap();
+        assert!(p.observe(5, &[], 2.0).is_err());
+        p.reset();
+        assert_eq!(p.epsilon(), 1.0);
+        assert_eq!(p.pulls(), vec![0, 0]);
+        assert_eq!(p.name(), "plain-epsilon-greedy");
+        assert_eq!(p.n_arms(), 2);
+    }
+}

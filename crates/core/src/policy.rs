@@ -1,0 +1,131 @@
+//! The [`Policy`] trait shared by every bandit algorithm, plus arm metadata.
+
+use crate::Result;
+
+/// Metadata about one arm (hardware setting), independent of any concrete
+/// hardware type: the policy layer only ever needs an identifier and the
+/// scalar resource cost used by tolerant selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmSpec {
+    /// Dense arm index.
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// Scalar resource cost (lower = more efficient); see Algorithm 1 step 7.
+    pub resource_cost: f64,
+}
+
+impl ArmSpec {
+    /// Convenience constructor.
+    pub fn new(id: usize, name: impl Into<String>, resource_cost: f64) -> Self {
+        ArmSpec { id, name: name.into(), resource_cost }
+    }
+
+    /// Build specs with unit costs (for policies/tests that ignore cost).
+    pub fn unit_costs(n: usize) -> Vec<ArmSpec> {
+        (0..n).map(|i| ArmSpec::new(i, format!("arm-{i}"), 1.0)).collect()
+    }
+}
+
+/// The outcome of a selection round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The chosen arm index.
+    pub arm: usize,
+    /// True when the round was an exploration draw (uniform random), false
+    /// for exploitation (model-driven).
+    pub explored: bool,
+}
+
+/// A contextual bandit policy over a fixed arm set.
+///
+/// The protocol is the paper's loop: for each incoming workflow, call
+/// [`Policy::select`] with its feature vector, run it on the returned arm,
+/// then feed the observed runtime back via [`Policy::observe`].
+pub trait Policy: Send {
+    /// Short algorithm name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Number of arms.
+    fn n_arms(&self) -> usize;
+
+    /// Number of context features.
+    fn n_features(&self) -> usize;
+
+    /// Choose an arm for context `x`.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::FeatureDimMismatch`] on a wrong-arity context.
+    fn select(&mut self, x: &[f64]) -> Result<Selection>;
+
+    /// Record the observed runtime of `arm` on context `x` and refit.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::ArmOutOfRange`] /
+    /// [`crate::CoreError::FeatureDimMismatch`] /
+    /// [`crate::CoreError::InvalidRuntime`].
+    fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()>;
+
+    /// Current runtime prediction of `arm` for context `x`.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::ArmOutOfRange`] /
+    /// [`crate::CoreError::FeatureDimMismatch`].
+    fn predict(&self, arm: usize, x: &[f64]) -> Result<f64>;
+
+    /// Predictions of every arm for context `x` (Algorithm 1 step 5).
+    ///
+    /// # Errors
+    /// Propagates [`Policy::predict`].
+    fn predict_all(&self, x: &[f64]) -> Result<Vec<f64>> {
+        (0..self.n_arms()).map(|a| self.predict(a, x)).collect()
+    }
+
+    /// Observations absorbed per arm.
+    fn pulls(&self) -> Vec<usize>;
+
+    /// Reset every arm and internal schedule to the initial state.
+    fn reset(&mut self);
+}
+
+/// Validate a context's arity against a policy's feature count.
+pub(crate) fn check_features(x: &[f64], expected: usize) -> Result<()> {
+    if x.len() != expected {
+        Err(crate::CoreError::FeatureDimMismatch { got: x.len(), expected })
+    } else {
+        Ok(())
+    }
+}
+
+/// Validate an arm index.
+pub(crate) fn check_arm(arm: usize, n_arms: usize) -> Result<()> {
+    if arm >= n_arms {
+        Err(crate::CoreError::ArmOutOfRange { arm, n_arms })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_spec_constructors() {
+        let s = ArmSpec::new(2, "H2", 6.0);
+        assert_eq!(s.id, 2);
+        assert_eq!(s.name, "H2");
+        let specs = ArmSpec::unit_costs(3);
+        assert_eq!(specs.len(), 3);
+        assert!(specs.iter().all(|s| s.resource_cost == 1.0));
+        assert_eq!(specs[1].name, "arm-1");
+    }
+
+    #[test]
+    fn validators() {
+        assert!(check_features(&[1.0, 2.0], 2).is_ok());
+        assert!(check_features(&[1.0], 2).is_err());
+        assert!(check_arm(1, 2).is_ok());
+        assert!(check_arm(2, 2).is_err());
+    }
+}

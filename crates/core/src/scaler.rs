@@ -1,0 +1,259 @@
+//! Feature standardization.
+//!
+//! The BP3D feature vector mixes bytes (~10⁸) with moisture fractions
+//! (~10⁻¹). Least squares is scale-equivariant *in exact arithmetic*, but
+//! finite precision and ridge fallbacks are not, and distance-based
+//! exploration (LinUCB widths, Thompson covariances) is outright
+//! scale-sensitive. [`StandardScaler`] learns per-feature mean/std
+//! *online* (Welford) and [`ScaledPolicy`] wraps any [`Policy`] so callers
+//! keep passing raw features while the wrapped policy sees z-scores.
+
+use crate::error::CoreError;
+use crate::policy::{ArmSpec, Policy, Selection};
+use crate::Result;
+use banditware_linalg::stats::Welford;
+
+/// Online per-feature standardizer: `z = (x − mean) / std`.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    dims: Vec<Welford>,
+}
+
+impl StandardScaler {
+    /// New scaler over `n_features` dimensions.
+    pub fn new(n_features: usize) -> Self {
+        StandardScaler { dims: vec![Welford::new(); n_features] }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Observations absorbed.
+    pub fn n_obs(&self) -> u64 {
+        self.dims.first().map_or(0, Welford::count)
+    }
+
+    /// Absorb one raw feature vector.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn observe(&mut self, x: &[f64]) -> Result<()> {
+        if x.len() != self.dims.len() {
+            return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: self.dims.len() });
+        }
+        for (w, &v) in self.dims.iter_mut().zip(x) {
+            w.push(v);
+        }
+        Ok(())
+    }
+
+    /// Standardize a raw vector with the statistics learned so far.
+    /// Constant (zero-variance) features map to 0; with no observations the
+    /// input passes through unchanged (the identity is the only sane prior).
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.dims.len() {
+            return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: self.dims.len() });
+        }
+        if self.n_obs() == 0 {
+            return Ok(x.to_vec());
+        }
+        Ok(self
+            .dims
+            .iter()
+            .zip(x)
+            .map(|(w, &v)| {
+                let sd = w.std_dev();
+                if sd > 0.0 {
+                    (v - w.mean()) / sd
+                } else {
+                    0.0
+                }
+            })
+            .collect())
+    }
+
+    /// Per-feature means.
+    pub fn means(&self) -> Vec<f64> {
+        self.dims.iter().map(Welford::mean).collect()
+    }
+
+    /// Per-feature standard deviations.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.dims.iter().map(Welford::std_dev).collect()
+    }
+
+    /// Reset all statistics.
+    pub fn reset(&mut self) {
+        for w in &mut self.dims {
+            *w = Welford::new();
+        }
+    }
+}
+
+/// A policy wrapper that standardizes contexts before delegating.
+///
+/// The scaler is updated on every `select` and `observe`, so the
+/// standardization adapts as the workload distribution reveals itself —
+/// consistent with the framework's online-first philosophy.
+#[derive(Debug, Clone)]
+pub struct ScaledPolicy<P: Policy> {
+    inner: P,
+    scaler: StandardScaler,
+}
+
+impl<P: Policy> ScaledPolicy<P> {
+    /// Wrap a policy.
+    pub fn new(inner: P) -> Self {
+        let n = inner.n_features();
+        ScaledPolicy { inner, scaler: StandardScaler::new(n) }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The scaler's current statistics.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+}
+
+impl<P: Policy> Policy for ScaledPolicy<P> {
+    fn name(&self) -> &'static str {
+        "scaled-policy"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.inner.n_arms()
+    }
+
+    fn n_features(&self) -> usize {
+        self.inner.n_features()
+    }
+
+    fn select(&mut self, x: &[f64]) -> Result<Selection> {
+        self.scaler.observe(x)?;
+        let z = self.scaler.transform(x)?;
+        self.inner.select(&z)
+    }
+
+    fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        // Selection already absorbed the context; observing with a fresh
+        // context (warm starts) must also feed the scaler.
+        let z = self.scaler.transform(x)?;
+        self.inner.observe(arm, &z, runtime)
+    }
+
+    fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        let z = self.scaler.transform(x)?;
+        self.inner.predict(arm, &z)
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        self.inner.pulls()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.scaler.reset();
+    }
+}
+
+/// Convenience: a scaled Algorithm-1 policy.
+pub fn scaled_epsilon_greedy(
+    specs: Vec<ArmSpec>,
+    n_features: usize,
+    config: crate::BanditConfig,
+) -> Result<ScaledPolicy<crate::epsilon::EpsilonGreedy>> {
+    Ok(ScaledPolicy::new(crate::epsilon::EpsilonGreedy::new(specs, n_features, config)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BanditConfig, Policy};
+
+    #[test]
+    fn scaler_matches_batch_statistics() {
+        let data = [[1.0, 100.0], [2.0, 200.0], [3.0, 300.0], [4.0, 400.0]];
+        let mut s = StandardScaler::new(2);
+        for x in &data {
+            s.observe(x).unwrap();
+        }
+        assert_eq!(s.n_obs(), 4);
+        let means = s.means();
+        assert!((means[0] - 2.5).abs() < 1e-12);
+        assert!((means[1] - 250.0).abs() < 1e-12);
+        let z = s.transform(&[2.5, 250.0]).unwrap();
+        assert!(z[0].abs() < 1e-12 && z[1].abs() < 1e-12, "mean maps to zero");
+        let z = s.transform(&[4.0, 100.0]).unwrap();
+        assert!(z[0] > 0.0 && z[1] < 0.0);
+        // both dimensions on the same scale now
+        assert!((z[0].abs() - 1.3416).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let mut s = StandardScaler::new(1);
+        for _ in 0..5 {
+            s.observe(&[7.0]).unwrap();
+        }
+        assert_eq!(s.transform(&[7.0]).unwrap(), vec![0.0]);
+        assert_eq!(s.transform(&[100.0]).unwrap(), vec![0.0]);
+        assert_eq!(s.std_devs(), vec![0.0]);
+    }
+
+    #[test]
+    fn empty_scaler_is_identity() {
+        let s = StandardScaler::new(2);
+        assert_eq!(s.transform(&[3.0, 4.0]).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let mut s = StandardScaler::new(2);
+        assert!(s.observe(&[1.0]).is_err());
+        assert!(s.transform(&[1.0, 2.0, 3.0]).is_err());
+        s.reset();
+        assert_eq!(s.n_obs(), 0);
+        assert_eq!(s.n_features(), 2);
+    }
+
+    #[test]
+    fn scaled_policy_learns_on_wild_scales() {
+        // Features on scales 1e-1 and 1e8 — the BP3D situation. The scaled
+        // policy must separate two arms whose runtimes depend on the tiny
+        // feature only.
+        let mut p = scaled_epsilon_greedy(
+            ArmSpec::unit_costs(2),
+            2,
+            BanditConfig::paper().with_seed(3),
+        )
+        .unwrap();
+        let truth = |arm: usize, small: f64| if arm == 0 { 100.0 * small } else { 300.0 * small };
+        for i in 0..200 {
+            let small = (i % 9 + 1) as f64 * 0.1;
+            let huge = 1e8 + (i % 13) as f64 * 1e6;
+            let x = [small, huge];
+            let sel = p.select(&x).unwrap();
+            p.observe(sel.arm, &x, truth(sel.arm, small)).unwrap();
+        }
+        // Arm 0 strictly faster: exploitation should pick it.
+        let preds0 = p.predict(0, &[0.5, 1.05e8]).unwrap();
+        let preds1 = p.predict(1, &[0.5, 1.05e8]).unwrap();
+        assert!(preds0 < preds1, "{preds0} vs {preds1}");
+        assert_eq!(p.n_arms(), 2);
+        assert_eq!(p.name(), "scaled-policy");
+        assert!(p.pulls().iter().sum::<usize>() == 200);
+        assert!(p.scaler().n_obs() >= 200);
+        p.reset();
+        assert_eq!(p.pulls(), vec![0, 0]);
+        assert_eq!(p.scaler().n_obs(), 0);
+    }
+}

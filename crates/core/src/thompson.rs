@@ -1,0 +1,275 @@
+//! Linear Thompson sampling for runtime minimization (future-work policy).
+//!
+//! Each arm maintains a Bayesian linear regression in the augmented space
+//! `z = [1, x]` with ridge prior `A₀ = λI`: posterior mean `θ̂ = A⁻¹Zᵀy`,
+//! posterior covariance `σ̂²A⁻¹`. A round samples `θ̃ ~ N(θ̂, σ̂²A⁻¹)` per arm
+//! and plays the arm with the smallest sampled runtime `θ̃ᵀz`.
+
+use crate::error::CoreError;
+use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::Result;
+use banditware_linalg::online::RankOneInverse;
+use banditware_linalg::vector;
+use banditware_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear-Gaussian Thompson sampling.
+#[derive(Debug, Clone)]
+pub struct LinThompson {
+    arms: Vec<RankOneInverse>,
+    thetas: Vec<Vec<f64>>,
+    /// Per-arm residual accumulators for the noise estimate: (Σy², n).
+    sum_sq: Vec<f64>,
+    pulls: Vec<usize>,
+    specs: Vec<ArmSpec>,
+    n_features: usize,
+    lambda: f64,
+    /// Scale multiplier on the posterior (exploration aggressiveness).
+    scale: f64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl LinThompson {
+    /// Arm metadata this policy was built with.
+    pub fn specs(&self) -> &[ArmSpec] {
+        &self.specs
+    }
+
+    /// Build a Thompson-sampling policy.
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] / [`CoreError::InvalidParameter`].
+    pub fn new(
+        specs: Vec<ArmSpec>,
+        n_features: usize,
+        lambda: f64,
+        scale: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(CoreError::NoArms);
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "lambda",
+                detail: format!("must be finite and > 0, got {lambda}"),
+            });
+        }
+        if !(scale.is_finite() && scale >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "scale",
+                detail: format!("must be finite and >= 0, got {scale}"),
+            });
+        }
+        let dim = n_features + 1;
+        Ok(LinThompson {
+            arms: (0..specs.len()).map(|_| RankOneInverse::new(dim, lambda)).collect(),
+            thetas: vec![vec![0.0; dim]; specs.len()],
+            sum_sq: vec![0.0; specs.len()],
+            pulls: vec![0; specs.len()],
+            specs,
+            n_features,
+            lambda,
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        })
+    }
+
+    fn augment(x: &[f64]) -> Vec<f64> {
+        let mut z = Vec::with_capacity(x.len() + 1);
+        z.push(1.0);
+        z.extend_from_slice(x);
+        z
+    }
+
+    /// Estimated observation noise σ̂ for an arm (floored for stability).
+    fn sigma(&self, arm: usize) -> f64 {
+        let n = self.pulls[arm];
+        if n < 2 {
+            return 1.0; // weakly-informative default before data arrives
+        }
+        // RSS ≈ Σy² − θ̂ᵀ(Zᵀy); with A⁻¹ bookkeeping we approximate via mean
+        // squared residual of predictions at the posterior mean.
+        let var = (self.sum_sq[arm] / n as f64).max(1e-12);
+        var.sqrt() * 0.1 + 1e-3
+    }
+
+    /// Draw θ̃ for one arm.
+    fn sample_theta(&mut self, arm: usize) -> Result<Vec<f64>> {
+        let dim = self.n_features + 1;
+        let a_inv = self.arms[arm].a_inv().clone();
+        // Cholesky of the covariance σ²·A⁻¹ (A⁻¹ is SPD by construction).
+        let mut cov: Matrix = a_inv;
+        let sigma = self.sigma(arm) * self.scale;
+        cov.scale_mut(sigma * sigma);
+        // Guard against a fully-collapsed covariance.
+        let (ch, _) = Cholesky::decompose_jittered(&cov, 1e-12, 12)?;
+        let xi: Vec<f64> = (0..dim)
+            .map(|_| banditware_workload_free_gaussian(&mut self.rng))
+            .collect();
+        let l = ch.l();
+        let mut theta = self.thetas[arm].clone();
+        for i in 0..dim {
+            let mut s = 0.0;
+            for j in 0..=i {
+                s += l[(i, j)] * xi[j];
+            }
+            theta[i] += s;
+        }
+        Ok(theta)
+    }
+}
+
+/// Standard normal (Box–Muller), local to avoid a dependency edge on the
+/// workloads crate, which hosts the shared helper.
+fn banditware_workload_free_gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl Policy for LinThompson {
+    fn name(&self) -> &'static str {
+        "linear-thompson"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn select(&mut self, x: &[f64]) -> Result<Selection> {
+        check_features(x, self.n_features)?;
+        let z = Self::augment(x);
+        let mut best = 0;
+        let mut best_draw = f64::INFINITY;
+        for arm in 0..self.arms.len() {
+            let theta = self.sample_theta(arm)?;
+            let draw = vector::dot(&theta, &z);
+            if draw < best_draw {
+                best_draw = draw;
+                best = arm;
+            }
+        }
+        let preds = self.predict_all(x)?;
+        let greedy = vector::argmin(&preds).unwrap_or(best);
+        Ok(Selection { arm: best, explored: best != greedy })
+    }
+
+    fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        check_arm(arm, self.arms.len())?;
+        check_features(x, self.n_features)?;
+        if !runtime.is_finite() || runtime <= 0.0 {
+            return Err(CoreError::InvalidRuntime(runtime));
+        }
+        let z = Self::augment(x);
+        self.arms[arm].push(&z, runtime)?;
+        self.thetas[arm] = self.arms[arm].theta()?;
+        self.sum_sq[arm] += runtime * runtime;
+        self.pulls[arm] += 1;
+        Ok(())
+    }
+
+    fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        check_arm(arm, self.arms.len())?;
+        check_features(x, self.n_features)?;
+        Ok(vector::dot(&self.thetas[arm], &Self::augment(x)))
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        self.pulls.clone()
+    }
+
+    fn reset(&mut self) {
+        let dim = self.n_features + 1;
+        for i in 0..self.arms.len() {
+            self.arms[i] = RankOneInverse::new(dim, self.lambda);
+            self.thetas[i] = vec![0.0; dim];
+            self.sum_sq[i] = 0.0;
+            self.pulls[i] = 0;
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth(arm: usize, x: f64) -> f64 {
+        match arm {
+            0 => 2.0 * x + 10.0,
+            _ => x + 50.0,
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(LinThompson::new(vec![], 1, 1.0, 1.0, 0).is_err());
+        assert!(LinThompson::new(ArmSpec::unit_costs(2), 1, 0.0, 1.0, 0).is_err());
+        assert!(LinThompson::new(ArmSpec::unit_costs(2), 1, 1.0, -1.0, 0).is_err());
+        assert!(LinThompson::new(ArmSpec::unit_costs(2), 1, 1.0, 1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn explores_all_arms_then_learns() {
+        let mut p = LinThompson::new(ArmSpec::unit_costs(2), 1, 1.0, 1.0, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..300 {
+            let x = rng.gen_range(1.0..100.0);
+            let sel = p.select(&[x]).unwrap();
+            p.observe(sel.arm, &[x], truth(sel.arm, x)).unwrap();
+        }
+        assert!(p.pulls().iter().all(|&c| c > 10), "pulls {:?}", p.pulls());
+        let low = p.predict_all(&[10.0]).unwrap();
+        let high = p.predict_all(&[90.0]).unwrap();
+        assert!(low[0] < low[1]);
+        assert!(high[1] < high[0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = LinThompson::new(ArmSpec::unit_costs(3), 1, 1.0, 1.0, 42).unwrap();
+        let mut b = LinThompson::new(ArmSpec::unit_costs(3), 1, 1.0, 1.0, 42).unwrap();
+        for i in 0..50 {
+            let x = [(i % 5) as f64 + 1.0];
+            let sa = a.select(&x).unwrap();
+            let sb = b.select(&x).unwrap();
+            assert_eq!(sa.arm, sb.arm);
+            a.observe(sa.arm, &x, 5.0 + i as f64).unwrap();
+            b.observe(sb.arm, &x, 5.0 + i as f64).unwrap();
+        }
+    }
+
+    #[test]
+    fn scale_zero_collapses_to_greedy_mean() {
+        let mut p = LinThompson::new(ArmSpec::unit_costs(2), 1, 1.0, 0.0, 0).unwrap();
+        for _ in 0..10 {
+            p.observe(0, &[1.0], 10.0).unwrap();
+            p.observe(1, &[1.0], 50.0).unwrap();
+        }
+        for _ in 0..20 {
+            assert_eq!(p.select(&[1.0]).unwrap().arm, 0);
+        }
+    }
+
+    #[test]
+    fn reset_and_validation() {
+        let mut p = LinThompson::new(ArmSpec::unit_costs(2), 1, 1.0, 1.0, 0).unwrap();
+        p.observe(0, &[1.0], 5.0).unwrap();
+        p.reset();
+        assert_eq!(p.pulls(), vec![0, 0]);
+        assert!(p.observe(0, &[1.0], f64::INFINITY).is_err());
+        assert!(p.predict(5, &[1.0]).is_err());
+        assert!(p.select(&[]).is_err());
+        assert_eq!(p.name(), "linear-thompson");
+    }
+}

@@ -1,0 +1,245 @@
+//! Tolerant selection (Algorithm 1, step 7).
+//!
+//! Exploitation does not blindly take the predicted-fastest hardware: the
+//! paper's tolerance parameters trade a bounded slowdown for resource
+//! efficiency. With tolerance ratio `tr` and tolerance seconds `ts`, the
+//! admissible set is every arm whose predicted runtime is at most
+//!
+//! ```text
+//! R_limit = (1 + tr) · R̂(H_fastest, x) + ts
+//! ```
+//!
+//! and among admissible arms the one with the lowest resource cost wins
+//! (ties broken by lower predicted runtime, then lower index — so the rule
+//! is deterministic).
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Tolerance parameters `(tolerance_ratio, tolerance_seconds)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative slack `tr ≥ 0` (e.g. `0.05` = 5 % slowdown allowed).
+    pub ratio: f64,
+    /// Absolute slack `ts ≥ 0` in seconds (e.g. `20.0`).
+    pub seconds: f64,
+}
+
+impl Tolerance {
+    /// Zero tolerance: pure runtime minimization (the paper's default when
+    /// "runtime optimization is prioritized").
+    pub const ZERO: Tolerance = Tolerance { ratio: 0.0, seconds: 0.0 };
+
+    /// Construct, validating non-negativity.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] when either component is negative or
+    /// non-finite.
+    pub fn new(ratio: f64, seconds: f64) -> Result<Self> {
+        if !(ratio.is_finite() && ratio >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tolerance_ratio",
+                detail: format!("must be finite and >= 0, got {ratio}"),
+            });
+        }
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tolerance_seconds",
+                detail: format!("must be finite and >= 0, got {seconds}"),
+            });
+        }
+        Ok(Tolerance { ratio, seconds })
+    }
+
+    /// Absolute-only tolerance (`ts` seconds, `tr = 0`).
+    pub fn seconds(ts: f64) -> Result<Self> {
+        Tolerance::new(0.0, ts)
+    }
+
+    /// Relative-only tolerance (`tr`, `ts = 0`).
+    pub fn ratio(tr: f64) -> Result<Self> {
+        Tolerance::new(tr, 0.0)
+    }
+
+    /// The admission threshold for a given fastest prediction:
+    /// `fastest + ratio·|fastest| + seconds`.
+    ///
+    /// For positive runtimes this is exactly the paper's
+    /// `(1 + tr)·R̂(fastest) + ts`. The absolute value matters only for
+    /// *negative predictions*, which a half-trained linear model can emit:
+    /// scaling a negative value by `(1 + tr)` would push the limit *below*
+    /// the fastest prediction and make every arm inadmissible.
+    pub fn limit(&self, fastest: f64) -> f64 {
+        fastest + self.ratio * fastest.abs() + self.seconds
+    }
+
+    /// True when both slacks are zero.
+    pub fn is_zero(&self) -> bool {
+        self.ratio == 0.0 && self.seconds == 0.0
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance::ZERO
+    }
+}
+
+/// Algorithm 1 step 7: among arms whose `predictions[i]` is within
+/// `tolerance` of the minimum, pick the one with the lowest
+/// `resource_costs[i]`; ties break to the lower prediction, then the lower
+/// index. NaN predictions are treated as inadmissible.
+///
+/// ```
+/// use banditware_core::tolerance::{tolerant_select, Tolerance};
+///
+/// let predicted = [115.0, 100.0, 300.0]; // arm 1 fastest
+/// let costs = [2.0, 8.0, 1.0];
+///
+/// // Strict minimization picks the fastest arm...
+/// assert_eq!(tolerant_select(&predicted, &costs, Tolerance::ZERO)?, 1);
+/// // ...but 20 s of slack admits arm 0 (within 115 ≤ 100 + 20) and its
+/// // lower resource cost wins. Arm 2 stays inadmissible.
+/// let tol = Tolerance::seconds(20.0)?;
+/// assert_eq!(tolerant_select(&predicted, &costs, tol)?, 0);
+/// # Ok::<(), banditware_core::CoreError>(())
+/// ```
+///
+/// # Errors
+/// [`CoreError::NoArms`] for empty inputs (or all-NaN predictions);
+/// [`CoreError::FeatureDimMismatch`] when the slices' lengths differ.
+pub fn tolerant_select(
+    predictions: &[f64],
+    resource_costs: &[f64],
+    tolerance: Tolerance,
+) -> Result<usize> {
+    if predictions.len() != resource_costs.len() {
+        return Err(CoreError::FeatureDimMismatch {
+            got: resource_costs.len(),
+            expected: predictions.len(),
+        });
+    }
+    let fastest = banditware_linalg::vector::argmin(predictions).ok_or(CoreError::NoArms)?;
+    let limit = tolerance.limit(predictions[fastest]);
+    let mut best: Option<usize> = None;
+    for i in 0..predictions.len() {
+        if predictions[i].is_nan() || predictions[i] > limit {
+            continue;
+        }
+        best = match best {
+            None => Some(i),
+            Some(b) => {
+                let better = resource_costs[i] < resource_costs[b]
+                    || (resource_costs[i] == resource_costs[b] && predictions[i] < predictions[b]);
+                if better {
+                    Some(i)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best.ok_or(CoreError::NoArms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tolerance_is_argmin() {
+        let preds = [30.0, 10.0, 20.0];
+        let costs = [1.0, 9.0, 1.0];
+        assert_eq!(tolerant_select(&preds, &costs, Tolerance::ZERO).unwrap(), 1);
+    }
+
+    #[test]
+    fn seconds_tolerance_admits_cheaper_arm() {
+        // Arm 1 fastest (100 s) but expensive; arm 0 within 20 s and cheap.
+        let preds = [115.0, 100.0, 200.0];
+        let costs = [2.0, 8.0, 1.0];
+        let t = Tolerance::seconds(20.0).unwrap();
+        assert_eq!(tolerant_select(&preds, &costs, t).unwrap(), 0);
+        // With only 10 s of slack arm 0 is inadmissible again.
+        let t = Tolerance::seconds(10.0).unwrap();
+        assert_eq!(tolerant_select(&preds, &costs, t).unwrap(), 1);
+    }
+
+    #[test]
+    fn ratio_tolerance_scales_with_runtime() {
+        let preds = [1040.0, 1000.0];
+        let costs = [1.0, 4.0];
+        // 5 % of 1000 s = 50 s slack → the cheap arm qualifies.
+        assert_eq!(tolerant_select(&preds, &costs, Tolerance::ratio(0.05).unwrap()).unwrap(), 0);
+        // 1 % = 10 s slack → it doesn't.
+        assert_eq!(tolerant_select(&preds, &costs, Tolerance::ratio(0.01).unwrap()).unwrap(), 1);
+    }
+
+    #[test]
+    fn combined_tolerance_limit() {
+        let t = Tolerance::new(0.1, 5.0).unwrap();
+        assert!((t.limit(100.0) - 115.0).abs() < 1e-12);
+        assert!(!t.is_zero());
+        assert!(Tolerance::ZERO.is_zero());
+        assert_eq!(Tolerance::default(), Tolerance::ZERO);
+    }
+
+    #[test]
+    fn cost_tie_breaks_to_faster_then_lower_index() {
+        let preds = [10.0, 12.0, 11.0];
+        let costs = [3.0, 3.0, 3.0];
+        let t = Tolerance::seconds(5.0).unwrap();
+        // equal costs → fastest wins
+        assert_eq!(tolerant_select(&preds, &costs, t).unwrap(), 0);
+        // exact tie on cost and prediction → lowest index
+        let preds = [10.0, 10.0];
+        let costs = [2.0, 2.0];
+        assert_eq!(tolerant_select(&preds, &costs, Tolerance::ZERO).unwrap(), 0);
+    }
+
+    #[test]
+    fn negative_parameters_rejected() {
+        assert!(Tolerance::new(-0.1, 0.0).is_err());
+        assert!(Tolerance::new(0.0, -1.0).is_err());
+        assert!(Tolerance::new(f64::NAN, 0.0).is_err());
+        assert!(Tolerance::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs() {
+        assert!(matches!(tolerant_select(&[], &[], Tolerance::ZERO), Err(CoreError::NoArms)));
+        assert!(tolerant_select(&[1.0], &[1.0, 2.0], Tolerance::ZERO).is_err());
+        let all_nan = [f64::NAN, f64::NAN];
+        assert!(matches!(
+            tolerant_select(&all_nan, &[1.0, 1.0], Tolerance::ZERO),
+            Err(CoreError::NoArms)
+        ));
+    }
+
+    #[test]
+    fn nan_prediction_is_skipped() {
+        let preds = [f64::NAN, 50.0];
+        let costs = [0.1, 9.0];
+        assert_eq!(tolerant_select(&preds, &costs, Tolerance::ZERO).unwrap(), 1);
+    }
+
+    #[test]
+    fn huge_tolerance_picks_global_cheapest() {
+        let preds = [10.0, 500.0, 90.0];
+        let costs = [5.0, 1.0, 3.0];
+        let t = Tolerance::seconds(1e9).unwrap();
+        assert_eq!(tolerant_select(&preds, &costs, t).unwrap(), 1);
+    }
+
+    #[test]
+    fn negative_predictions_never_empty_admissible_set() {
+        // A half-trained model can predict negative runtimes; the fastest
+        // arm must remain admissible under any tolerance.
+        let preds = [-120.0, -100.0, 50.0];
+        let costs = [9.0, 1.0, 1.0];
+        let t = Tolerance::ratio(0.25).unwrap();
+        let pick = tolerant_select(&preds, &costs, t).unwrap();
+        assert_eq!(pick, 1, "cheapest within |fastest|-scaled slack");
+        assert!(t.limit(-120.0) >= -120.0, "limit never below fastest");
+    }
+}

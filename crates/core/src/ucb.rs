@@ -1,0 +1,181 @@
+//! UCB1 (non-contextual) for runtime minimization — a classic baseline for
+//! the ablation benches.
+//!
+//! Arms carry a running mean runtime; selection plays the arm minimizing
+//! `mean − c·√(2·ln t / nᵢ)` (the lower confidence bound — optimism for a
+//! minimization objective). Unplayed arms are always tried first.
+
+use crate::arm::{ArmEstimator, MeanArm};
+use crate::error::CoreError;
+use crate::policy::{check_arm, ArmSpec, Policy, Selection};
+use crate::Result;
+
+/// UCB1 policy. Contexts are accepted (the `Policy` trait is contextual)
+/// but ignored — `n_features` is reported as the configured width so the
+/// harness can feed the same data to every policy.
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    arms: Vec<MeanArm>,
+    specs: Vec<ArmSpec>,
+    n_features: usize,
+    rounds: usize,
+    /// Confidence width multiplier (√2 is the textbook choice; larger
+    /// explores more).
+    c: f64,
+}
+
+impl Ucb1 {
+    /// Arm metadata this policy was built with.
+    pub fn specs(&self) -> &[ArmSpec] {
+        &self.specs
+    }
+
+    /// Build a UCB1 policy over `specs`, accepting (and ignoring) contexts
+    /// of width `n_features`.
+    ///
+    /// # Errors
+    /// [`CoreError::NoArms`] / [`CoreError::InvalidParameter`].
+    pub fn new(specs: Vec<ArmSpec>, n_features: usize, c: f64) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(CoreError::NoArms);
+        }
+        if !(c.is_finite() && c >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "c",
+                detail: format!("must be finite and >= 0, got {c}"),
+            });
+        }
+        Ok(Ucb1 { arms: vec![MeanArm::new(); specs.len()], specs, n_features, rounds: 0, c })
+    }
+
+    /// Lower confidence bound of an arm (−∞ for unplayed arms, forcing an
+    /// initial sweep).
+    pub fn lcb(&self, arm: usize) -> f64 {
+        let n = self.arms[arm].n_obs();
+        if n == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let t = self.rounds.max(1) as f64;
+        self.arms[arm].mean() - self.c * (2.0 * t.ln() / n as f64).sqrt()
+    }
+}
+
+impl Policy for Ucb1 {
+    fn name(&self) -> &'static str {
+        "ucb1"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn select(&mut self, _x: &[f64]) -> Result<Selection> {
+        let mut best = 0;
+        let mut best_lcb = f64::INFINITY;
+        for i in 0..self.arms.len() {
+            let l = self.lcb(i);
+            if l < best_lcb {
+                best_lcb = l;
+                best = i;
+            }
+        }
+        let explored = self.arms[best].n_obs() == 0 || {
+            // exploration = the LCB choice differs from the greedy-mean choice
+            let greedy = (0..self.arms.len())
+                .filter(|&i| self.arms[i].n_obs() > 0)
+                .min_by(|&a, &b| {
+                    self.arms[a].mean().partial_cmp(&self.arms[b].mean()).expect("means finite")
+                });
+            greedy.map_or(true, |g| g != best)
+        };
+        Ok(Selection { arm: best, explored })
+    }
+
+    fn observe(&mut self, arm: usize, _x: &[f64], runtime: f64) -> Result<()> {
+        check_arm(arm, self.arms.len())?;
+        self.arms[arm].update(&[], runtime)?;
+        self.rounds += 1;
+        Ok(())
+    }
+
+    fn predict(&self, arm: usize, _x: &[f64]) -> Result<f64> {
+        check_arm(arm, self.arms.len())?;
+        Ok(self.arms[arm].mean())
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        self.arms.iter().map(|a| a.n_obs()).collect()
+    }
+
+    fn reset(&mut self) {
+        self.arms.iter_mut().for_each(ArmEstimator::reset);
+        self.rounds = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_unplayed_arms_first() {
+        let mut p = Ucb1::new(ArmSpec::unit_costs(3), 0, 2.0f64.sqrt()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let s = p.select(&[]).unwrap();
+            assert!(s.explored);
+            seen.insert(s.arm);
+            p.observe(s.arm, &[], 10.0 + s.arm as f64).unwrap();
+        }
+        assert_eq!(seen.len(), 3, "all arms tried in the first sweep");
+    }
+
+    #[test]
+    fn converges_to_fastest_arm() {
+        let mut p = Ucb1::new(ArmSpec::unit_costs(3), 0, 2.0f64.sqrt()).unwrap();
+        let means = [30.0, 10.0, 20.0];
+        for _ in 0..600 {
+            let s = p.select(&[]).unwrap();
+            p.observe(s.arm, &[], means[s.arm]).unwrap();
+        }
+        let pulls = p.pulls();
+        assert!(pulls[1] > pulls[0] && pulls[1] > pulls[2], "pulls {pulls:?}");
+        assert!((p.predict(1, &[]).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcb_tightens_with_pulls() {
+        let mut p = Ucb1::new(ArmSpec::unit_costs(1), 0, 1.0).unwrap();
+        assert_eq!(p.lcb(0), f64::NEG_INFINITY);
+        // After t=1 the width is zero (ln 1 = 0); measure from t=2 where the
+        // bound is meaningfully below the mean, then confirm it tightens as
+        // n grows faster than ln t.
+        p.observe(0, &[], 10.0).unwrap();
+        p.observe(0, &[], 10.0).unwrap();
+        let early = p.lcb(0);
+        assert!(early < 10.0);
+        for _ in 0..50 {
+            p.observe(0, &[], 10.0).unwrap();
+        }
+        assert!(p.lcb(0) > early, "bound tightens toward the mean");
+    }
+
+    #[test]
+    fn validation_and_reset() {
+        assert!(Ucb1::new(vec![], 0, 1.0).is_err());
+        assert!(Ucb1::new(ArmSpec::unit_costs(1), 0, f64::NAN).is_err());
+        let mut p = Ucb1::new(ArmSpec::unit_costs(2), 3, 1.0).unwrap();
+        assert_eq!(p.n_features(), 3);
+        assert!(p.observe(5, &[], 1.0).is_err());
+        assert!(p.observe(0, &[], -1.0).is_err());
+        p.observe(0, &[], 5.0).unwrap();
+        p.reset();
+        assert_eq!(p.pulls(), vec![0, 0]);
+        assert_eq!(p.name(), "ucb1");
+        assert_eq!(p.n_arms(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Convergence detection: when has the bandit "learned enough"?
+//!
+//! The paper's headline is sample efficiency ("learns an effective model in
+//! just a few rounds"); operators want that moment detected automatically —
+//! e.g. to stop forced exploration, or to alert when a model *de*-converges
+//! after a hardware change. [`ConvergenceDetector`] watches the per-round
+//! RMSE curve and declares convergence when the relative change over a
+//! trailing window stays below a threshold.
+
+use banditware_linalg::stats;
+
+/// Sliding-window plateau detector over a metric series.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    window: usize,
+    rel_tolerance: f64,
+    history: Vec<f64>,
+}
+
+impl ConvergenceDetector {
+    /// Detector declaring convergence when, over the last `window` values,
+    /// `(max − min) / max ≤ rel_tolerance`.
+    ///
+    /// # Panics
+    /// Panics on a window < 2 or a non-positive tolerance.
+    pub fn new(window: usize, rel_tolerance: f64) -> Self {
+        assert!(window >= 2, "window must cover at least two rounds");
+        assert!(
+            rel_tolerance > 0.0 && rel_tolerance.is_finite(),
+            "tolerance must be positive and finite"
+        );
+        ConvergenceDetector { window, rel_tolerance, history: Vec::new() }
+    }
+
+    /// Feed the next per-round value; returns `true` once the plateau
+    /// criterion holds for the current window.
+    pub fn push(&mut self, value: f64) -> bool {
+        self.history.push(value);
+        self.is_converged()
+    }
+
+    /// The plateau criterion on the current trailing window.
+    pub fn is_converged(&self) -> bool {
+        if self.history.len() < self.window {
+            return false;
+        }
+        let tail = &self.history[self.history.len() - self.window..];
+        let hi = stats::max(tail);
+        let lo = stats::min(tail);
+        if hi <= 0.0 {
+            return true; // a zero-error plateau is as converged as it gets
+        }
+        (hi - lo) / hi <= self.rel_tolerance
+    }
+
+    /// First round index at which the criterion held, scanning the full
+    /// history (useful post-hoc on an experiment's series).
+    pub fn first_converged_round(&self) -> Option<usize> {
+        (self.window..=self.history.len()).find_map(|end| {
+            let tail = &self.history[end - self.window..end];
+            let hi = stats::max(tail);
+            let lo = stats::min(tail);
+            let ok = hi <= 0.0 || (hi - lo) / hi <= self.rel_tolerance;
+            ok.then_some(end - 1)
+        })
+    }
+
+    /// Values observed so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before any value arrives.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Reset (e.g. after an intentional reconfiguration).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Post-hoc convergence round of a whole series (convenience wrapper).
+pub fn converged_round(series: &[f64], window: usize, rel_tolerance: f64) -> Option<usize> {
+    let mut d = ConvergenceDetector::new(window, rel_tolerance);
+    for &v in series {
+        d.push(v);
+    }
+    d.first_converged_round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_plateau_after_decay() {
+        let mut d = ConvergenceDetector::new(5, 0.05);
+        // Steep decay, then flat.
+        let series = [100.0, 60.0, 30.0, 15.0, 10.0, 9.9, 9.8, 9.85, 9.9, 9.8];
+        let mut converged_at = None;
+        for (i, &v) in series.iter().enumerate() {
+            if d.push(v) && converged_at.is_none() {
+                converged_at = Some(i);
+            }
+        }
+        let at = converged_at.expect("must converge");
+        assert!(at >= 7, "needs a full flat window, got {at}");
+        assert_eq!(d.first_converged_round(), Some(at));
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn never_converges_while_decaying() {
+        let mut d = ConvergenceDetector::new(4, 0.02);
+        for i in 0..50 {
+            let v = 1000.0 * 0.8f64.powi(i);
+            // 20 % decay per round >> 2 % tolerance window.
+            if i < 40 {
+                assert!(!d.push(v), "declared at round {i}");
+            } else {
+                // extremely small values: relative change still 20%, so no.
+                assert!(!d.push(v));
+            }
+        }
+        assert_eq!(d.first_converged_round(), None);
+    }
+
+    #[test]
+    fn zero_plateau_counts_as_converged() {
+        let mut d = ConvergenceDetector::new(3, 0.01);
+        d.push(5.0);
+        assert!(!d.is_converged());
+        d.push(0.0);
+        d.push(0.0);
+        assert!(!d.is_converged()); // window still contains 5.0
+        d.push(0.0);
+        assert!(d.is_converged());
+    }
+
+    #[test]
+    fn reset_and_empty() {
+        let mut d = ConvergenceDetector::new(2, 0.1);
+        assert!(d.is_empty());
+        d.push(1.0);
+        d.push(1.0);
+        assert!(d.is_converged());
+        d.reset();
+        assert!(d.is_empty());
+        assert!(!d.is_converged());
+    }
+
+    #[test]
+    fn helper_matches_detector() {
+        let series: Vec<f64> = (0..100).map(|i| 50.0 / (1.0 + i as f64)).collect();
+        let a = converged_round(&series, 5, 0.1);
+        let mut d = ConvergenceDetector::new(5, 0.1);
+        series.iter().for_each(|&v| {
+            d.push(v);
+        });
+        assert_eq!(a, d.first_converged_round());
+        assert!(a.is_some(), "1/x flattens eventually");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn validates_window() {
+        let _ = ConvergenceDetector::new(1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn validates_tolerance() {
+        let _ = ConvergenceDetector::new(3, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Export experiment results as DataFrames/CSV so external tooling
+//! (notebooks, gnuplot) can re-plot the paper's figures from our data.
+
+use crate::series::RoundSeries;
+use crate::ExperimentResult;
+use banditware_frame::{Column, DataFrame};
+
+/// One row per round: every aggregated curve of a series.
+pub fn series_to_frame(series: &RoundSeries) -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("round", Column::I64(series.rounds.iter().map(|&r| r as i64).collect())),
+        ("rmse_mean", Column::F64(series.rmse_mean.clone())),
+        ("rmse_std", Column::F64(series.rmse_std.clone())),
+        ("accuracy_mean", Column::F64(series.accuracy_mean.clone())),
+        ("accuracy_std", Column::F64(series.accuracy_std.clone())),
+        ("regret_mean", Column::F64(series.regret_mean.clone())),
+        ("explore_frac", Column::F64(series.explore_frac.clone())),
+        ("cost_mean", Column::F64(series.cost_mean.clone())),
+    ])
+    .expect("series columns share length by construction")
+}
+
+/// Series plus the experiment's reference lines as constant columns (the
+/// way the paper draws the red/orange full-fit lines).
+pub fn result_to_frame(result: &ExperimentResult) -> DataFrame {
+    let mut df = series_to_frame(&result.series);
+    let n = df.n_rows();
+    df.add_column("full_fit_rmse", Column::F64(vec![result.full_fit_rmse; n]))
+        .expect("fresh name");
+    df.add_column("full_fit_accuracy", Column::F64(vec![result.full_fit_accuracy; n]))
+        .expect("fresh name");
+    df.add_column("random_accuracy", Column::F64(vec![result.random_accuracy; n]))
+        .expect("fresh name");
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_experiment, ExperimentConfig};
+    use banditware_frame::csv;
+    use banditware_workloads::cycles::{generate_paper_trace, CyclesModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_result() -> ExperimentResult {
+        let model = CyclesModel::paper();
+        let trace = generate_paper_trace(&model, &mut StdRng::seed_from_u64(1));
+        let cfg = ExperimentConfig::paper().with_rounds(8).with_sims(2).with_seed(2);
+        run_experiment(&trace, &model, &cfg)
+    }
+
+    #[test]
+    fn frame_has_one_row_per_round() {
+        let res = small_result();
+        let df = series_to_frame(&res.series);
+        assert_eq!(df.n_rows(), 8);
+        assert_eq!(df.n_cols(), 8);
+        assert_eq!(df.column_f64("round").unwrap()[7], 7.0);
+        assert_eq!(df.column_f64("rmse_mean").unwrap(), res.series.rmse_mean);
+    }
+
+    #[test]
+    fn result_frame_adds_reference_columns_and_roundtrips_csv() {
+        let res = small_result();
+        let df = result_to_frame(&res);
+        assert_eq!(df.n_cols(), 11);
+        let ff = df.column_f64("full_fit_rmse").unwrap();
+        assert!(ff.iter().all(|&v| (v - res.full_fit_rmse).abs() < 1e-12));
+        let text = csv::write_str(&df);
+        let back = csv::read_str(&text).unwrap();
+        assert_eq!(back.n_rows(), df.n_rows());
+        assert_eq!(
+            back.column_f64("accuracy_mean").unwrap(),
+            df.column_f64("accuracy_mean").unwrap()
+        );
+    }
+}

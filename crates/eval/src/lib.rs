@@ -1,0 +1,38 @@
+//! Evaluation harness: metrics, the paper's simulation protocol, series
+//! aggregation, ASCII plots and report tables.
+//!
+//! The paper evaluates BanditWare by Monte-Carlo replay: `n_sims` independent
+//! simulations of `n_rounds` rounds each; at every round the bandit picks
+//! hardware for a workflow drawn from the dataset, observes a runtime, and
+//! two per-round curves are reported across simulations (mean ± std):
+//!
+//! * **RMSE over time** — the bandit's per-hardware models scored against
+//!   the full historical dataset, converging toward the full-data fit (the
+//!   red/orange reference lines of Figs. 4 and 7);
+//! * **Accuracy over time** — how often the bandit's tolerant choice is the
+//!   *actually best* hardware on a matched evaluation set (contexts with an
+//!   observed runtime on every hardware, the way the paper's datasets were
+//!   collected), within the experiment's tolerance.
+//!
+//! [`protocol::run_experiment`] runs the whole thing, parallelized across
+//! simulations with crossbeam scoped threads (each simulation is seeded
+//! independently, so results are reproducible regardless of thread count).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bootstrap;
+pub mod convergence;
+pub mod export;
+pub mod matched;
+pub mod metrics;
+pub mod plot;
+pub mod protocol;
+pub mod report;
+pub mod series;
+
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use convergence::ConvergenceDetector;
+pub use matched::MatchedSet;
+pub use protocol::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use series::RoundSeries;

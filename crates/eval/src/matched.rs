@@ -1,0 +1,189 @@
+//! Matched evaluation sets: contexts with an observed runtime on *every*
+//! hardware setting.
+//!
+//! The paper's datasets were collected by running each workload across all
+//! hardware configurations ("we ... repeated the process across all hardware
+//! configurations to create a well-rounded dataset"), so "the best hardware"
+//! for a context is an *empirical* quantity: the arm whose observed runtime
+//! was lowest. This is why even the full-data fit scores ≈ random accuracy
+//! on BP3D — when hardware settings are near-identical, the empirical best
+//! is decided by noise that no model can predict.
+//!
+//! [`MatchedSet`] holds that matrix of observed runtimes and answers
+//! "was this choice correct (within tolerance)?".
+
+use banditware_core::Tolerance;
+use banditware_workloads::{CostModel, HardwareConfig, Trace};
+use rand::Rng;
+
+/// A matched evaluation set: `contexts[i]` has observed runtime
+/// `runtimes[i][h]` on hardware `h`.
+#[derive(Debug, Clone)]
+pub struct MatchedSet {
+    /// Evaluation contexts (feature vectors).
+    pub contexts: Vec<Vec<f64>>,
+    /// Observed runtime per context per hardware (`n_contexts × n_hardware`).
+    pub runtimes: Vec<Vec<f64>>,
+}
+
+impl MatchedSet {
+    /// Generate a matched set by sampling one noisy runtime per hardware for
+    /// up to `max_contexts` contexts drawn (in order) from the trace rows.
+    pub fn generate<M: CostModel>(
+        trace: &Trace,
+        model: &M,
+        hardware: &[HardwareConfig],
+        max_contexts: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = trace.len().min(max_contexts);
+        // Spread the picks across the trace so subsets stay representative.
+        let stride = (trace.len() / n.max(1)).max(1);
+        let mut contexts = Vec::with_capacity(n);
+        let mut runtimes = Vec::with_capacity(n);
+        for i in (0..trace.len()).step_by(stride).take(n) {
+            let features = trace.rows[i].features.clone();
+            let row: Vec<f64> =
+                hardware.iter().map(|h| model.sample_runtime(h, &features, rng)).collect();
+            contexts.push(features);
+            runtimes.push(row);
+        }
+        MatchedSet { contexts, runtimes }
+    }
+
+    /// Number of evaluation contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// The empirically best arm for context `i` (strict argmin).
+    pub fn best(&self, i: usize) -> usize {
+        banditware_linalg::vector::argmin(&self.runtimes[i]).expect("non-empty hardware set")
+    }
+
+    /// Whether choosing `arm` for context `i` is *correct within tolerance*:
+    /// its observed runtime is at most `(1+tr)·best + ts`.
+    pub fn is_correct(&self, i: usize, arm: usize, tolerance: Tolerance) -> bool {
+        let best = self.runtimes[i][self.best(i)];
+        self.runtimes[i][arm] <= tolerance.limit(best)
+    }
+
+    /// Accuracy of a chooser function over the whole set.
+    pub fn accuracy(&self, tolerance: Tolerance, mut choose: impl FnMut(&[f64]) -> usize) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..self.len())
+            .filter(|&i| {
+                let arm = choose(&self.contexts[i]);
+                self.is_correct(i, arm, tolerance)
+            })
+            .count();
+        hits as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_workloads::cycles::{generate_paper_trace, CyclesModel};
+    use banditware_workloads::hardware::synthetic_hardware;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MatchedSet, CyclesModel) {
+        let model = CyclesModel::paper();
+        let mut rng = StdRng::seed_from_u64(13);
+        let trace = generate_paper_trace(&model, &mut rng);
+        let set = MatchedSet::generate(&trace, &model, &synthetic_hardware(), 40, &mut rng);
+        (set, model)
+    }
+
+    #[test]
+    fn generates_full_runtime_matrix() {
+        let (set, _) = setup();
+        assert_eq!(set.len(), 40);
+        assert!(!set.is_empty());
+        for row in &set.runtimes {
+            assert_eq!(row.len(), 4);
+            assert!(row.iter().all(|&r| r > 0.0));
+        }
+    }
+
+    #[test]
+    fn best_is_argmin_of_row() {
+        let (set, _) = setup();
+        for i in 0..set.len() {
+            let b = set.best(i);
+            for h in 0..4 {
+                assert!(set.runtimes[i][b] <= set.runtimes[i][h]);
+            }
+        }
+    }
+
+    #[test]
+    fn correctness_respects_tolerance() {
+        let set = MatchedSet {
+            contexts: vec![vec![1.0]],
+            runtimes: vec![vec![100.0, 115.0, 300.0]],
+        };
+        assert!(set.is_correct(0, 0, Tolerance::ZERO));
+        assert!(!set.is_correct(0, 1, Tolerance::ZERO));
+        assert!(set.is_correct(0, 1, Tolerance::seconds(20.0).unwrap()));
+        assert!(!set.is_correct(0, 2, Tolerance::seconds(20.0).unwrap()));
+        assert!(set.is_correct(0, 1, Tolerance::ratio(0.2).unwrap()));
+    }
+
+    #[test]
+    fn accuracy_of_perfect_and_wrong_choosers() {
+        let (set, _) = setup();
+        let perfect: Vec<usize> = (0..set.len()).map(|i| set.best(i)).collect();
+        let mut it = perfect.iter();
+        let acc = set.accuracy(Tolerance::ZERO, |_| *it.next().unwrap());
+        assert_eq!(acc, 1.0);
+        // The Cycles hardware settings are well separated: on 500-task rows
+        // the worst arm is never within 20 s of the best.
+        let acc_worst = set.accuracy(Tolerance::seconds(20.0).unwrap(), |_| 0);
+        assert!(acc_worst < 0.9, "acc {acc_worst}");
+    }
+
+    #[test]
+    fn oracle_on_expectations_scores_high_for_separated_hardware() {
+        // With the paper's Fig.-4b judging tolerance (20 s) the model-based
+        // oracle matches the empirical best nearly always. (Under *zero*
+        // tolerance even the oracle is capped: at 100 tasks H2 and H3 sit
+        // ~10 s apart, within the noise — exactly why the paper evaluates
+        // Cycles with a tolerance.)
+        let (set, model) = setup();
+        let hw = synthetic_hardware();
+        let choose = |x: &[f64]| {
+            (0..hw.len())
+                .min_by(|&a, &b| {
+                    model
+                        .expected_runtime(&hw[a], x)
+                        .partial_cmp(&model.expected_runtime(&hw[b], x))
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        let acc_tol = set.accuracy(Tolerance::seconds(20.0).unwrap(), choose);
+        assert!(acc_tol > 0.8, "oracle accuracy with 20 s tolerance: {acc_tol}");
+        let acc_strict = set.accuracy(Tolerance::ZERO, choose);
+        assert!(acc_strict <= acc_tol, "tolerance can only help");
+        assert!(acc_strict > 0.4, "strict accuracy still well above random: {acc_strict}");
+    }
+
+    #[test]
+    fn max_contexts_caps_size() {
+        let model = CyclesModel::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = generate_paper_trace(&model, &mut rng);
+        let set = MatchedSet::generate(&trace, &model, &synthetic_hardware(), 10_000, &mut rng);
+        assert_eq!(set.len(), trace.len());
+    }
+}

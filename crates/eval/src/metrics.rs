@@ -1,0 +1,106 @@
+//! Prediction-quality metrics.
+
+use banditware_linalg::stats;
+
+/// Root mean squared error between predictions and actuals.
+///
+/// # Panics
+/// Panics on length mismatch; 0 for empty inputs.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mse = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics on length mismatch; 0 for empty inputs.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mae: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / predicted.len() as f64
+}
+
+/// Coefficient of determination R² about the mean of `actual`; 0 when the
+/// actuals are constant (no variance to explain). Can be negative.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn r2(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "r2: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = stats::mean(actual);
+    let ss_tot: f64 = actual.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (a - p) * (a - p)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Fraction of rounds where `chosen[i] == correct[i]`.
+///
+/// # Panics
+/// Panics on length mismatch; 0 for empty inputs.
+pub fn exact_accuracy(chosen: &[usize], correct: &[usize]) -> f64 {
+    assert_eq!(chosen.len(), correct.len(), "accuracy: length mismatch");
+    if chosen.is_empty() {
+        return 0.0;
+    }
+    let hits = chosen.iter().zip(correct).filter(|(c, k)| c == k).count();
+    hits as f64 / chosen.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known_values() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        assert_eq!(mae(&[1.0, 5.0], &[2.0, 3.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r2_perfect_mean_and_terrible() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&actual, &actual) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&mean_pred, &actual).abs() < 1e-12);
+        let bad = [100.0; 4];
+        assert!(r2(&bad, &actual) < 0.0);
+        assert_eq!(r2(&[1.0], &[1.0]), 0.0); // constant actuals
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(exact_accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(exact_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_validates() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal ASCII plotting for terminal figure output.
+//!
+//! The figure binaries print their series both as tables (machine-checkable)
+//! and as quick ASCII charts so a human can eyeball the shape against the
+//! paper's figures without leaving the terminal.
+
+use banditware_linalg::stats;
+
+/// Render one series as an ASCII line chart of `width × height` characters
+/// (plus axes). Returns a multi-line string.
+pub fn line_chart(title: &str, ys: &[f64], width: usize, height: usize) -> String {
+    let width = width.max(8);
+    let height = height.max(3);
+    let mut out = format!("{title}\n");
+    if ys.is_empty() {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+    let lo = stats::min(ys);
+    let hi = stats::max(ys);
+    let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+
+    // Resample the series onto `width` columns.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let idx = c * (ys.len() - 1).max(1) / (width - 1).max(1);
+            ys[idx.min(ys.len() - 1)]
+        })
+        .collect();
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let frac = (v - lo) / span;
+        let r = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[r.min(height - 1)][c] = '*';
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.3} |")
+        } else if r == height - 1 {
+            format!("{lo:>10.3} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>12}0{:>w$}\n", "", ys.len() - 1, w = width.saturating_sub(1)));
+    out
+}
+
+/// Render two aligned series (e.g. predicted vs actual) as a two-marker
+/// scatter over a shared y-scale.
+pub fn overlay_chart(
+    title: &str,
+    a: &[f64],
+    b: &[f64],
+    labels: (&str, &str),
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(8);
+    let height = height.max(3);
+    let mut out = format!("{title}   ({}: '*', {}: 'o')\n", labels.0, labels.1);
+    if a.is_empty() || b.is_empty() {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+    let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let lo = stats::min(&all);
+    let hi = stats::max(&all);
+    let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+    let mut grid = vec![vec![' '; width]; height];
+    let mut paint = |series: &[f64], mark: char| {
+        for c in 0..width {
+            let idx = c * (series.len() - 1).max(1) / (width - 1).max(1);
+            let v = series[idx.min(series.len() - 1)];
+            let frac = (v - lo) / span;
+            let r = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[r.min(height - 1)][c];
+            *cell = if *cell == ' ' || *cell == mark { mark } else { '+' };
+        }
+    };
+    paint(a, '*');
+    paint(b, 'o');
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.3} |")
+        } else if r == height - 1 {
+            format!("{lo:>10.3} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_extremes_and_title() {
+        let ys: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin() * 10.0 + 20.0).collect();
+        let s = line_chart("RMSE over time", &ys, 40, 10);
+        assert!(s.contains("RMSE over time"));
+        assert!(s.contains('*'));
+        // y-axis labels carry min and max
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(s.contains(&format!("{lo:.3}")));
+    }
+
+    #[test]
+    fn flat_series_renders() {
+        let s = line_chart("flat", &[5.0; 10], 20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        assert!(line_chart("e", &[], 20, 5).contains("empty"));
+        assert!(overlay_chart("e", &[], &[1.0], ("a", "b"), 20, 5).contains("empty"));
+    }
+
+    #[test]
+    fn overlay_shows_both_markers() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 30.0 - i as f64).collect();
+        let s = overlay_chart("fit", &a, &b, ("pred", "actual"), 30, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("pred"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let s = line_chart("one", &[3.0], 10, 4);
+        assert!(s.contains('*'));
+    }
+}

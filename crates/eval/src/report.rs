@@ -1,0 +1,88 @@
+//! Markdown/text table emitters for figure binaries and EXPERIMENTS.md.
+
+use crate::series::RoundSeries;
+
+/// A markdown table from headers and string rows.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("| {} |\n", headers.join(" | ")));
+    s.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        s.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    s
+}
+
+/// Per-round series as a markdown table, sampling every `every` rounds (the
+/// last round is always included).
+pub fn series_table(series: &RoundSeries, every: usize) -> String {
+    let every = every.max(1);
+    let mut rows = Vec::new();
+    let n = series.len();
+    for r in 0..n {
+        if r % every == 0 || r == n - 1 {
+            rows.push(vec![
+                r.to_string(),
+                format!("{:.3}", series.rmse_mean[r]),
+                format!("{:.3}", series.rmse_std[r]),
+                format!("{:.4}", series.accuracy_mean[r]),
+                format!("{:.4}", series.accuracy_std[r]),
+                format!("{:.2}", series.explore_frac[r]),
+            ]);
+        }
+    }
+    markdown_table(
+        &["round", "rmse_mean", "rmse_std", "acc_mean", "acc_std", "explore_frac"],
+        &rows,
+    )
+}
+
+/// Format a `(min, mean, max, range)` summary the way the paper quotes
+/// distributions ("RMSE scores range from A to B, averaging C, range D").
+pub fn distribution_line(name: &str, summary: (f64, f64, f64, f64)) -> String {
+    let (lo, mean, hi, range) = summary;
+    format!("{name}: min {lo:.4}, mean {mean:.4}, max {hi:.4}, range {range:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SimTrajectory;
+
+    #[test]
+    fn markdown_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a | b |"));
+        assert!(lines[1].contains("---|---|"));
+        assert!(lines[2].contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn series_table_samples_rounds() {
+        let sims = vec![SimTrajectory {
+            rmse: (0..10).map(|i| 10.0 - i as f64).collect(),
+            accuracy: vec![0.5; 10],
+            regret: vec![0.0; 10],
+            explored: vec![0.0; 10],
+            cost: vec![1.0; 10],
+        }];
+        let series = RoundSeries::aggregate(&sims);
+        let t = series_table(&series, 4);
+        // rounds 0, 4, 8 and the final round 9
+        assert!(t.contains("\n| 0 |"));
+        assert!(t.contains("\n| 4 |"));
+        assert!(t.contains("\n| 8 |"));
+        assert!(t.contains("\n| 9 |"));
+        assert!(!t.contains("\n| 3 |"));
+    }
+
+    #[test]
+    fn distribution_line_format() {
+        let s = distribution_line("RMSE", (0.5163, 0.7256, 0.855, 0.3387));
+        assert!(s.contains("min 0.5163"));
+        assert!(s.contains("mean 0.7256"));
+        assert!(s.contains("range 0.3387"));
+    }
+}

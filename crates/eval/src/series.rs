@@ -1,0 +1,198 @@
+//! Per-round series aggregation across simulations.
+
+use banditware_linalg::stats;
+
+/// Mean ± std curves over rounds, aggregated across simulations — the data
+//  behind every "X over time" figure in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct RoundSeries {
+    /// Round indices (0-based).
+    pub rounds: Vec<usize>,
+    /// Mean RMSE per round across simulations.
+    pub rmse_mean: Vec<f64>,
+    /// RMSE standard deviation per round.
+    pub rmse_std: Vec<f64>,
+    /// Mean accuracy per round.
+    pub accuracy_mean: Vec<f64>,
+    /// Accuracy standard deviation per round.
+    pub accuracy_std: Vec<f64>,
+    /// Mean cumulative runtime regret per round (seconds; vs the oracle).
+    pub regret_mean: Vec<f64>,
+    /// Mean exploration fraction per round (fraction of sims that explored).
+    pub explore_frac: Vec<f64>,
+    /// Mean resource cost of the chosen arm per round (tracks whether
+    /// tolerance steers selection toward cheaper hardware — Fig. 12).
+    pub cost_mean: Vec<f64>,
+}
+
+/// One simulation's raw per-round measurements.
+#[derive(Debug, Clone, Default)]
+pub struct SimTrajectory {
+    /// RMSE on the full dataset after each round.
+    pub rmse: Vec<f64>,
+    /// Matched-set accuracy after each round.
+    pub accuracy: Vec<f64>,
+    /// Cumulative regret after each round.
+    pub regret: Vec<f64>,
+    /// 1.0 when the round explored, else 0.0.
+    pub explored: Vec<f64>,
+    /// Resource cost of the arm chosen each round.
+    pub cost: Vec<f64>,
+}
+
+impl RoundSeries {
+    /// Aggregate simulations (all must share the same length).
+    ///
+    /// # Panics
+    /// Panics on ragged trajectories or an empty input.
+    pub fn aggregate(sims: &[SimTrajectory]) -> Self {
+        assert!(!sims.is_empty(), "need at least one simulation");
+        let n_rounds = sims[0].rmse.len();
+        for s in sims {
+            assert_eq!(s.rmse.len(), n_rounds, "ragged trajectories");
+            assert_eq!(s.accuracy.len(), n_rounds, "ragged trajectories");
+        }
+        let mut out = RoundSeries::default();
+        for r in 0..n_rounds {
+            let rmses: Vec<f64> = sims.iter().map(|s| s.rmse[r]).collect();
+            let accs: Vec<f64> = sims.iter().map(|s| s.accuracy[r]).collect();
+            let regs: Vec<f64> = sims.iter().map(|s| s.regret[r]).collect();
+            let exps: Vec<f64> = sims.iter().map(|s| s.explored[r]).collect();
+            let costs: Vec<f64> =
+                sims.iter().map(|s| s.cost.get(r).copied().unwrap_or(0.0)).collect();
+            out.rounds.push(r);
+            out.rmse_mean.push(stats::mean(&rmses));
+            out.rmse_std.push(stats::std_dev(&rmses));
+            out.accuracy_mean.push(stats::mean(&accs));
+            out.accuracy_std.push(stats::std_dev(&accs));
+            out.regret_mean.push(stats::mean(&regs));
+            out.explore_frac.push(stats::mean(&exps));
+            out.cost_mean.push(stats::mean(&costs));
+        }
+        out
+    }
+
+    /// Number of rounds in the series.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// `(rmse_mean, rmse_std)` at a round.
+    pub fn rmse_at(&self, round: usize) -> (f64, f64) {
+        (self.rmse_mean[round], self.rmse_std[round])
+    }
+
+    /// `(accuracy_mean, accuracy_std)` at a round.
+    pub fn accuracy_at(&self, round: usize) -> (f64, f64) {
+        (self.accuracy_mean[round], self.accuracy_std[round])
+    }
+
+    /// First round whose mean RMSE is within `factor` of `reference`
+    /// (the paper's "reaches the full-fit error rate with N samples").
+    pub fn first_round_within(&self, reference: f64, factor: f64) -> Option<usize> {
+        self.rmse_mean.iter().position(|&m| m <= reference * factor)
+    }
+
+    /// Mean accuracy over the last `k` rounds (converged accuracy).
+    pub fn tail_accuracy(&self, k: usize) -> f64 {
+        let n = self.accuracy_mean.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = k.min(n);
+        stats::mean(&self.accuracy_mean[n - k..])
+    }
+
+    /// Mean RMSE over the last `k` rounds.
+    pub fn tail_rmse(&self, k: usize) -> f64 {
+        let n = self.rmse_mean.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = k.min(n);
+        stats::mean(&self.rmse_mean[n - k..])
+    }
+
+    /// Mean chosen resource cost over the last `k` rounds.
+    pub fn tail_cost(&self, k: usize) -> f64 {
+        let n = self.cost_mean.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = k.min(n);
+        stats::mean(&self.cost_mean[n - k..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(rmse: Vec<f64>, acc: Vec<f64>) -> SimTrajectory {
+        let n = rmse.len();
+        SimTrajectory {
+            rmse,
+            accuracy: acc,
+            regret: vec![0.0; n],
+            explored: vec![1.0; n],
+            cost: vec![2.0; n],
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_and_std() {
+        let sims = vec![
+            traj(vec![10.0, 6.0], vec![0.2, 0.6]),
+            traj(vec![14.0, 8.0], vec![0.4, 1.0]),
+        ];
+        let s = RoundSeries::aggregate(&sims);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rmse_mean, vec![12.0, 7.0]);
+        assert_eq!(s.rmse_std, vec![2.0, 1.0]);
+        assert!((s.accuracy_mean[0] - 0.3).abs() < 1e-12);
+        assert!((s.accuracy_mean[1] - 0.8).abs() < 1e-12);
+        assert_eq!(s.rmse_at(1), (7.0, 1.0));
+        let (am, astd) = s.accuracy_at(0);
+        assert!((am - 0.3).abs() < 1e-12 && (astd - 0.1).abs() < 1e-12);
+        assert_eq!(s.explore_frac, vec![1.0, 1.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn first_round_within_reference() {
+        let sims = vec![traj(vec![100.0, 50.0, 12.0, 10.0], vec![0.0; 4])];
+        let s = RoundSeries::aggregate(&sims);
+        assert_eq!(s.first_round_within(10.0, 1.25), Some(2));
+        assert_eq!(s.first_round_within(10.0, 1.0), Some(3));
+        assert_eq!(s.first_round_within(1.0, 1.0), None);
+    }
+
+    #[test]
+    fn tail_metrics() {
+        let sims = vec![traj(vec![9.0, 5.0, 3.0, 1.0], vec![0.1, 0.5, 0.7, 0.9])];
+        let s = RoundSeries::aggregate(&sims);
+        assert!((s.tail_accuracy(2) - 0.8).abs() < 1e-12);
+        assert!((s.tail_rmse(2) - 2.0).abs() < 1e-12);
+        assert!((s.tail_accuracy(100) - 0.55).abs() < 1e-12);
+        assert_eq!(RoundSeries::default().tail_accuracy(3), 0.0);
+        assert_eq!(RoundSeries::default().tail_rmse(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_panics() {
+        let sims = vec![traj(vec![1.0], vec![0.1]), traj(vec![1.0, 2.0], vec![0.1, 0.2])];
+        let _ = RoundSeries::aggregate(&sims);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_panics() {
+        let _ = RoundSeries::aggregate(&[]);
+    }
+}

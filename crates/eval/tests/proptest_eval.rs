@@ -1,0 +1,109 @@
+//! Property-based tests for the evaluation layer: protocol invariants that
+//! must hold for any experiment shape, and metric identities.
+
+use banditware_core::Tolerance;
+use banditware_eval::metrics;
+use banditware_eval::protocol::{run_experiment, ExperimentConfig};
+use banditware_eval::MatchedSet;
+use banditware_workloads::cycles::{generate_paper_trace, CyclesModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // The protocol tests run whole experiments; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any (rounds, sims, seed): series lengths agree, accuracies are
+    /// probabilities, regret is non-negative and non-decreasing, and the
+    /// exploration fraction is a probability.
+    #[test]
+    fn experiment_invariants(
+        n_rounds in 2usize..12,
+        n_sims in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = CyclesModel::paper();
+        let trace = generate_paper_trace(&model, &mut StdRng::seed_from_u64(3));
+        let cfg = ExperimentConfig::paper()
+            .with_rounds(n_rounds)
+            .with_sims(n_sims)
+            .with_seed(seed);
+        let res = run_experiment(&trace, &model, &cfg);
+        prop_assert_eq!(res.series.len(), n_rounds);
+        prop_assert_eq!(res.series.rmse_mean.len(), n_rounds);
+        prop_assert_eq!(res.series.accuracy_mean.len(), n_rounds);
+        prop_assert_eq!(res.series.cost_mean.len(), n_rounds);
+        for r in 0..n_rounds {
+            prop_assert!((0.0..=1.0).contains(&res.series.accuracy_mean[r]));
+            prop_assert!((0.0..=1.0).contains(&res.series.explore_frac[r]));
+            prop_assert!(res.series.rmse_mean[r].is_finite() && res.series.rmse_mean[r] >= 0.0);
+            prop_assert!(res.series.regret_mean[r] >= -1e-9);
+            if r > 0 {
+                prop_assert!(res.series.regret_mean[r] + 1e-9 >= res.series.regret_mean[r - 1]);
+            }
+        }
+        prop_assert!(res.full_fit_rmse > 0.0);
+        prop_assert!((res.random_accuracy - 0.25).abs() < 1e-12);
+    }
+
+    /// Same seed → identical results; different seeds → (almost surely)
+    /// different trajectories.
+    #[test]
+    fn experiment_seed_determinism(seed in any::<u64>()) {
+        let model = CyclesModel::paper();
+        let trace = generate_paper_trace(&model, &mut StdRng::seed_from_u64(4));
+        let cfg = ExperimentConfig::paper().with_rounds(6).with_sims(2).with_seed(seed);
+        let a = run_experiment(&trace, &model, &cfg);
+        let b = run_experiment(&trace, &model, &cfg);
+        prop_assert_eq!(a.series.rmse_mean, b.series.rmse_mean);
+        prop_assert_eq!(a.series.accuracy_mean, b.series.accuracy_mean);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Metric identities on random data.
+    #[test]
+    fn metric_identities(
+        actual in prop::collection::vec(0.1..1e4f64, 1..50),
+        shift in -100.0..100.0f64,
+    ) {
+        // rmse(a, a) = 0; rmse(a + c, a) = |c|.
+        prop_assert!(metrics::rmse(&actual, &actual) < 1e-12);
+        let shifted: Vec<f64> = actual.iter().map(|v| v + shift).collect();
+        prop_assert!((metrics::rmse(&shifted, &actual) - shift.abs()).abs() < 1e-9);
+        prop_assert!((metrics::mae(&shifted, &actual) - shift.abs()).abs() < 1e-9);
+        // r2 of the exact predictions is 1 (when variance exists).
+        if actual.len() > 1 {
+            let r2 = metrics::r2(&actual, &actual);
+            prop_assert!(r2 == 0.0 || (r2 - 1.0).abs() < 1e-9);
+        }
+        // rmse ≥ mae always.
+        prop_assert!(metrics::rmse(&shifted, &actual) + 1e-12 >= metrics::mae(&shifted, &actual));
+    }
+
+    /// Matched-set correctness is monotone in tolerance: a larger slack can
+    /// only accept more choices.
+    #[test]
+    fn matched_accuracy_monotone_in_tolerance(
+        runtimes in prop::collection::vec(prop::collection::vec(1.0..1e3f64, 3), 1..30),
+        ts1 in 0.0..50.0f64,
+        ts2 in 0.0..50.0f64,
+        pick in 0usize..3,
+    ) {
+        let set = MatchedSet {
+            contexts: runtimes.iter().map(|_| vec![1.0]).collect(),
+            runtimes,
+        };
+        let (lo, hi) = if ts1 <= ts2 { (ts1, ts2) } else { (ts2, ts1) };
+        let a_lo = set.accuracy(Tolerance::seconds(lo).unwrap(), |_| pick);
+        let a_hi = set.accuracy(Tolerance::seconds(hi).unwrap(), |_| pick);
+        prop_assert!(a_hi + 1e-12 >= a_lo, "tolerance can only help: {a_lo} vs {a_hi}");
+        // And the empirical best is always correct at zero tolerance.
+        let mut i = 0;
+        let perfect = set.accuracy(Tolerance::ZERO, |_| { let b = set.best(i); i += 1; b });
+        prop_assert_eq!(perfect, 1.0);
+    }
+}

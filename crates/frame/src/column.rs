@@ -1,0 +1,304 @@
+//! Typed columns and scalar values.
+
+use crate::error::FrameError;
+use crate::Result;
+use std::fmt;
+
+/// A single typed column of a [`crate::DataFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit floats (missing values are `NaN`).
+    F64(Vec<f64>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+/// A scalar cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Float cell.
+    F64(f64),
+    /// Integer cell.
+    I64(i64),
+    /// String cell.
+    Str(String),
+    /// Boolean cell.
+    Bool(bool),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Static name of the column's type.
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "f64",
+            Column::I64(_) => "i64",
+            Column::Str(_) => "str",
+            Column::Bool(_) => "bool",
+        }
+    }
+
+    /// Cell at `idx` as a [`Value`].
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds (bounds are validated by the frame).
+    pub fn get(&self, idx: usize) -> Value {
+        match self {
+            Column::F64(v) => Value::F64(v[idx]),
+            Column::I64(v) => Value::I64(v[idx]),
+            Column::Str(v) => Value::Str(v[idx].clone()),
+            Column::Bool(v) => Value::Bool(v[idx]),
+        }
+    }
+
+    /// Numeric view: floats pass through, integers and booleans are cast,
+    /// strings fail.
+    ///
+    /// # Errors
+    /// [`FrameError::TypeMismatch`] for string columns (name filled by caller
+    /// as `<anonymous>` — the frame wrapper substitutes the real name).
+    pub fn as_f64(&self) -> Result<Vec<f64>> {
+        match self {
+            Column::F64(v) => Ok(v.clone()),
+            Column::I64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            Column::Bool(v) => Ok(v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()),
+            Column::Str(_) => Err(FrameError::TypeMismatch {
+                column: "<anonymous>".into(),
+                expected: "numeric",
+                actual: "str",
+            }),
+        }
+    }
+
+    /// Borrow as `&[f64]`, only for genuine float columns (no cast).
+    ///
+    /// # Errors
+    /// [`FrameError::TypeMismatch`] for non-float columns.
+    pub fn as_f64_slice(&self) -> Result<&[f64]> {
+        match self {
+            Column::F64(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                column: "<anonymous>".into(),
+                expected: "f64",
+                actual: other.dtype(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[String]` for string columns.
+    ///
+    /// # Errors
+    /// [`FrameError::TypeMismatch`] otherwise.
+    pub fn as_str_slice(&self) -> Result<&[String]> {
+        match self {
+            Column::Str(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                column: "<anonymous>".into(),
+                expected: "str",
+                actual: other.dtype(),
+            }),
+        }
+    }
+
+    /// Take the rows at `indices` (clone-gather) into a new column.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(indices.iter().map(|&i| v[i]).collect()),
+            Column::I64(v) => Column::I64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Append a single value of the matching type.
+    ///
+    /// # Errors
+    /// [`FrameError::TypeMismatch`] if `v`'s type differs from the column's.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        match (self, v) {
+            (Column::F64(c), Value::F64(x)) => c.push(x),
+            (Column::F64(c), Value::I64(x)) => c.push(x as f64), // widening is safe
+            (Column::I64(c), Value::I64(x)) => c.push(x),
+            (Column::Str(c), Value::Str(x)) => c.push(x),
+            (Column::Bool(c), Value::Bool(x)) => c.push(x),
+            (col, val) => {
+                return Err(FrameError::TypeMismatch {
+                    column: "<anonymous>".into(),
+                    expected: col.dtype(),
+                    actual: val.dtype(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate `other` onto the end of `self`.
+    ///
+    /// # Errors
+    /// [`FrameError::TypeMismatch`] when the column types differ.
+    pub fn extend(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+            (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend(b.iter().cloned()),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(FrameError::TypeMismatch {
+                    column: "<anonymous>".into(),
+                    expected: a.dtype(),
+                    actual: b.dtype(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// An empty column of the same type.
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::F64(_) => Column::F64(Vec::new()),
+            Column::I64(_) => Column::I64(Vec::new()),
+            Column::Str(_) => Column::Str(Vec::new()),
+            Column::Bool(_) => Column::Bool(Vec::new()),
+        }
+    }
+}
+
+impl Value {
+    /// Static name of the value's type.
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Value::F64(_) => "f64",
+            Value::I64(_) => "i64",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Numeric view of the value (strings fail).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(x) => Some(*x as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Render the value the way the CSV writer does.
+    pub fn to_csv_string(&self) -> String {
+        match self {
+            Value::F64(x) => format_f64(*x),
+            Value::I64(x) => x.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_csv_string())
+    }
+}
+
+/// Float formatting that round-trips *including the type*: whole floats keep
+/// a trailing `.0` so the CSV reader re-infers them as `f64`, not `i64`.
+pub(crate) fn format_f64(x: f64) -> String {
+    if x.is_nan() {
+        return "NaN".to_string();
+    }
+    // Rust's default Display for f64 is the shortest round-trip form.
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_dtype() {
+        assert_eq!(Column::F64(vec![1.0, 2.0]).len(), 2);
+        assert_eq!(Column::Str(vec![]).len(), 0);
+        assert!(Column::I64(vec![]).is_empty());
+        assert_eq!(Column::Bool(vec![true]).dtype(), "bool");
+    }
+
+    #[test]
+    fn get_returns_typed_values() {
+        let c = Column::Str(vec!["a".into(), "b".into()]);
+        assert_eq!(c.get(1), Value::Str("b".into()));
+        let c = Column::I64(vec![7]);
+        assert_eq!(c.get(0), Value::I64(7));
+    }
+
+    #[test]
+    fn as_f64_casts() {
+        assert_eq!(Column::I64(vec![1, 2]).as_f64().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(Column::Bool(vec![true, false]).as_f64().unwrap(), vec![1.0, 0.0]);
+        assert!(Column::Str(vec!["x".into()]).as_f64().is_err());
+        assert!(Column::I64(vec![1]).as_f64_slice().is_err());
+        assert_eq!(Column::F64(vec![3.0]).as_f64_slice().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn take_gathers() {
+        let c = Column::F64(vec![10.0, 20.0, 30.0]);
+        assert_eq!(c.take(&[2, 0]), Column::F64(vec![30.0, 10.0]));
+        let s = Column::Str(vec!["x".into(), "y".into()]);
+        assert_eq!(s.take(&[1, 1]), Column::Str(vec!["y".into(), "y".into()]));
+    }
+
+    #[test]
+    fn push_enforces_types_with_int_widening() {
+        let mut c = Column::F64(vec![]);
+        c.push(Value::F64(1.5)).unwrap();
+        c.push(Value::I64(2)).unwrap(); // widening allowed
+        assert_eq!(c, Column::F64(vec![1.5, 2.0]));
+        assert!(c.push(Value::Str("no".into())).is_err());
+        let mut i = Column::I64(vec![]);
+        assert!(i.push(Value::F64(1.0)).is_err()); // narrowing rejected
+    }
+
+    #[test]
+    fn extend_and_empty_like() {
+        let mut a = Column::I64(vec![1]);
+        a.extend(&Column::I64(vec![2, 3])).unwrap();
+        assert_eq!(a, Column::I64(vec![1, 2, 3]));
+        assert!(a.extend(&Column::Bool(vec![true])).is_err());
+        assert_eq!(a.empty_like(), Column::I64(vec![]));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::I64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("s".into()).as_f64(), None);
+        assert_eq!(Value::F64(2.5).to_string(), "2.5");
+        assert_eq!(Value::Bool(false).to_csv_string(), "false");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+    }
+}

@@ -1,0 +1,321 @@
+//! Dependency-free CSV reader/writer with RFC-4180-style quoting and
+//! per-column type inference.
+//!
+//! Generated workload traces are persisted as CSV so they can be inspected
+//! with standard tools and re-loaded across runs. Inference promotes columns
+//! in the order bool → i64 → f64 → str (a single unparsable cell demotes the
+//! whole column, mirroring pandas' `read_csv` behaviour).
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse CSV text into a frame. The first record is the header.
+///
+/// # Errors
+/// [`FrameError::Csv`] on structural problems (ragged rows, unterminated
+/// quotes, empty input).
+pub fn read_str(text: &str) -> Result<DataFrame> {
+    read_records(parse_records(text)?)
+}
+
+/// Read CSV from any reader.
+///
+/// # Errors
+/// IO failures surface as [`FrameError::Io`]; parse failures as
+/// [`FrameError::Csv`].
+pub fn read_from(reader: impl Read) -> Result<DataFrame> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    read_str(&buf)
+}
+
+/// Read CSV from a file path.
+///
+/// # Errors
+/// See [`read_from`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<DataFrame> {
+    read_from(std::fs::File::open(path)?)
+}
+
+/// Serialize a frame as CSV text (header + records, `\n` line endings).
+pub fn write_str(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = df.names().iter().map(|n| quote_field(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for i in 0..df.n_rows() {
+        let cells: Vec<String> = df
+            .names()
+            .iter()
+            .map(|n| {
+                let v = df.cell(i, n).expect("cell within bounds");
+                quote_field(&v.to_csv_string())
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a frame to any writer.
+///
+/// # Errors
+/// [`FrameError::Io`] on write failure.
+pub fn write_to(df: &DataFrame, mut writer: impl Write) -> Result<()> {
+    writer.write_all(write_str(df).as_bytes())?;
+    Ok(())
+}
+
+/// Write a frame to a file path.
+///
+/// # Errors
+/// See [`write_to`].
+pub fn write_path(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
+    write_to(df, std::fs::File::create(path)?)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Tokenize into records of fields, handling quotes and embedded newlines.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the following \n (if any) terminates the record.
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv { line, detail: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any || records.is_empty() {
+        return Err(FrameError::Csv { line: 1, detail: "empty input".into() });
+    }
+    Ok(records)
+}
+
+fn read_records(records: Vec<Vec<String>>) -> Result<DataFrame> {
+    let mut iter = records.into_iter();
+    let header = iter.next().expect("parse_records guarantees >= 1 record");
+    let n_cols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (ridx, rec) in iter.enumerate() {
+        if rec.len() != n_cols {
+            return Err(FrameError::Csv {
+                line: ridx + 2,
+                detail: format!("expected {n_cols} fields, found {}", rec.len()),
+            });
+        }
+        for (c, v) in rec.into_iter().enumerate() {
+            cells[c].push(v);
+        }
+    }
+
+    let mut df = DataFrame::new();
+    for (name, raw) in header.into_iter().zip(cells) {
+        df.add_column(dedupe_name(&df, name), infer_column(raw))?;
+    }
+    Ok(df)
+}
+
+fn dedupe_name(df: &DataFrame, name: String) -> String {
+    if !df.has_column(&name) {
+        return name;
+    }
+    let mut i = 1;
+    loop {
+        let cand = format!("{name}.{i}");
+        if !df.has_column(&cand) {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// bool → i64 → f64 → str promotion over the whole column.
+fn infer_column(raw: Vec<String>) -> Column {
+    let all_bool = !raw.is_empty() && raw.iter().all(|s| s == "true" || s == "false");
+    if all_bool {
+        return Column::Bool(raw.iter().map(|s| s == "true").collect());
+    }
+    let all_i64 = !raw.is_empty() && raw.iter().all(|s| s.parse::<i64>().is_ok());
+    if all_i64 {
+        return Column::I64(raw.iter().map(|s| s.parse().expect("checked")).collect());
+    }
+    let parse_f64 = |s: &str| -> Option<f64> {
+        if s == "NaN" || s.is_empty() {
+            Some(f64::NAN)
+        } else {
+            s.parse::<f64>().ok()
+        }
+    };
+    let all_f64 = !raw.is_empty() && raw.iter().all(|s| parse_f64(s).is_some());
+    if all_f64 {
+        return Column::F64(raw.iter().map(|s| parse_f64(s).expect("checked")).collect());
+    }
+    Column::Str(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Value;
+
+    #[test]
+    fn roundtrip_typed_columns() {
+        let df = DataFrame::from_columns(vec![
+            ("id", Column::I64(vec![1, 2])),
+            ("runtime", Column::F64(vec![1.5, 2.25])),
+            ("hw", Column::Str(vec!["H0".into(), "H1".into()])),
+            ("ok", Column::Bool(vec![true, false])),
+        ])
+        .unwrap();
+        let text = write_str(&df);
+        let back = read_str(&text).unwrap();
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn type_inference_promotes() {
+        let df = read_str("a,b,c,d\n1,1.5,x,true\n2,2,y,false\n").unwrap();
+        assert_eq!(df.column("a").unwrap().dtype(), "i64");
+        assert_eq!(df.column("b").unwrap().dtype(), "f64");
+        assert_eq!(df.column("c").unwrap().dtype(), "str");
+        assert_eq!(df.column("d").unwrap().dtype(), "bool");
+    }
+
+    #[test]
+    fn mixed_int_float_becomes_f64() {
+        let df = read_str("x\n1\n2.5\n").unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), "f64");
+        assert_eq!(df.column_f64("x").unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let text = "name,note\nrun1,\"a,b\"\nrun2,\"say \"\"hi\"\"\"\n";
+        let df = read_str(text).unwrap();
+        assert_eq!(df.cell(0, "note").unwrap(), Value::Str("a,b".into()));
+        assert_eq!(df.cell(1, "note").unwrap(), Value::Str("say \"hi\"".into()));
+        // And writing re-quotes correctly.
+        let round = read_str(&write_str(&df)).unwrap();
+        assert_eq!(round, df);
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let text = "a,b\n\"line1\nline2\",3\n";
+        let df = read_str(text).unwrap();
+        assert_eq!(df.cell(0, "a").unwrap(), Value::Str("line1\nline2".into()));
+        assert_eq!(read_str(&write_str(&df)).unwrap(), df);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_str("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.column_f64("b").unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let df = read_str("a\n1\n2").unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn nan_and_empty_numeric_cells() {
+        let df = read_str("x\nNaN\n\n1.5\n").unwrap();
+        let v = df.column_f64("x").unwrap();
+        assert!(v[0].is_nan());
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 1.5);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        match read_str("a,b\n1\n") {
+            Err(FrameError::Csv { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+        assert!(matches!(read_str(""), Err(FrameError::Csv { .. })));
+        assert!(matches!(read_str("a\n\"unterminated"), Err(FrameError::Csv { .. })));
+    }
+
+    #[test]
+    fn duplicate_headers_deduped() {
+        let df = read_str("x,x,x\n1,2,3\n").unwrap();
+        assert_eq!(df.names(), &["x", "x.1", "x.2"]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let df = DataFrame::from_columns(vec![("v", Column::F64(vec![1.0, 2.0]))]).unwrap();
+        let dir = std::env::temp_dir().join("bw_frame_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_path(&df, &path).unwrap();
+        let back = read_path(&path).unwrap();
+        assert_eq!(back, df);
+        assert!(read_path(dir.join("missing.csv")).is_err());
+    }
+
+    #[test]
+    fn header_only_means_zero_rows() {
+        let df = read_str("a,b\n").unwrap();
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.n_cols(), 2);
+    }
+}

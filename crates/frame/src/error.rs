@@ -1,0 +1,99 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Errors produced by dataframe construction, transformation and IO.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// The named column does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// The column's type does not support the requested operation; payload is
+    /// `(column, expected, actual)`.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// The type the operation required.
+        expected: &'static str,
+        /// The type the column actually has.
+        actual: &'static str,
+    },
+    /// A column's length differs from the frame's row count.
+    LengthMismatch {
+        /// Offending column name.
+        column: String,
+        /// Rows in the frame.
+        frame_rows: usize,
+        /// Rows in the column.
+        column_rows: usize,
+    },
+    /// Malformed CSV input; payload is `(line_number, detail)`.
+    Csv {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An IO failure while reading or writing (message of the source error).
+    Io(String),
+    /// A row index out of bounds.
+    RowOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Rows available.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(c) => write!(f, "column not found: {c:?}"),
+            FrameError::DuplicateColumn(c) => write!(f, "duplicate column: {c:?}"),
+            FrameError::TypeMismatch { column, expected, actual } => {
+                write!(f, "column {column:?} has type {actual}, operation requires {expected}")
+            }
+            FrameError::LengthMismatch { column, frame_rows, column_rows } => write!(
+                f,
+                "column {column:?} has {column_rows} rows, frame has {frame_rows}"
+            ),
+            FrameError::Csv { line, detail } => write!(f, "CSV parse error on line {line}: {detail}"),
+            FrameError::Io(m) => write!(f, "IO error: {m}"),
+            FrameError::RowOutOfBounds { index, rows } => {
+                write!(f, "row {index} out of bounds for frame with {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(FrameError::ColumnNotFound("rt".into()).to_string().contains("rt"));
+        let e = FrameError::TypeMismatch { column: "a".into(), expected: "f64", actual: "str" };
+        assert!(e.to_string().contains("f64") && e.to_string().contains("str"));
+        let e = FrameError::Csv { line: 7, detail: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = FrameError::RowOutOfBounds { index: 10, rows: 3 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let fe: FrameError = io.into();
+        assert!(matches!(fe, FrameError::Io(_)));
+    }
+}

@@ -1,0 +1,543 @@
+//! The [`DataFrame`] container.
+
+use crate::column::{Column, Value};
+use crate::error::FrameError;
+use crate::Result;
+use banditware_linalg::Matrix;
+use std::fmt;
+
+/// A table of equal-length, uniquely named, typed columns.
+///
+/// The invariants — unique names, equal lengths — are enforced on every
+/// mutation, so a `DataFrame` obtained from any public API is always
+/// rectangular.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl DataFrame {
+    /// An empty frame (no columns, no rows).
+    pub fn new() -> Self {
+        DataFrame::default()
+    }
+
+    /// Build from `(name, column)` pairs.
+    ///
+    /// # Errors
+    /// [`FrameError::DuplicateColumn`] / [`FrameError::LengthMismatch`] when
+    /// the invariants would be violated.
+    pub fn from_columns(cols: Vec<(impl Into<String>, Column)>) -> Result<Self> {
+        let mut df = DataFrame::new();
+        for (name, col) in cols {
+            df.add_column(name, col)?;
+        }
+        Ok(df)
+    }
+
+    /// Number of rows (0 for a column-less frame).
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the frame holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// Column names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True when a column with `name` exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| FrameError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Borrow a column by name.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`].
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.index_of(name)?])
+    }
+
+    /// Numeric view of a column (casting integers/bools; see
+    /// [`Column::as_f64`]).
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`] or [`FrameError::TypeMismatch`] with the
+    /// real column name filled in.
+    pub fn column_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let col = self.column(name)?;
+        col.as_f64().map_err(|e| rename_err(e, name))
+    }
+
+    /// Add a column.
+    ///
+    /// # Errors
+    /// [`FrameError::DuplicateColumn`] or [`FrameError::LengthMismatch`].
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        let name = name.into();
+        if self.has_column(&name) {
+            return Err(FrameError::DuplicateColumn(name));
+        }
+        if !self.columns.is_empty() && col.len() != self.n_rows() {
+            return Err(FrameError::LengthMismatch {
+                column: name,
+                frame_rows: self.n_rows(),
+                column_rows: col.len(),
+            });
+        }
+        self.names.push(name);
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Replace an existing column (same length required) or add a new one.
+    ///
+    /// # Errors
+    /// [`FrameError::LengthMismatch`].
+    pub fn set_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        let name = name.into();
+        if !self.columns.is_empty() && col.len() != self.n_rows() {
+            return Err(FrameError::LengthMismatch {
+                column: name,
+                frame_rows: self.n_rows(),
+                column_rows: col.len(),
+            });
+        }
+        match self.names.iter().position(|n| *n == name) {
+            Some(i) => self.columns[i] = col,
+            None => {
+                self.names.push(name);
+                self.columns.push(col);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a column, returning it.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`].
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        let i = self.index_of(name)?;
+        self.names.remove(i);
+        Ok(self.columns.remove(i))
+    }
+
+    /// New frame with only the named columns, in the given order.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`].
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out = DataFrame::new();
+        for &n in names {
+            let i = self.index_of(n)?;
+            out.add_column(n, self.columns[i].clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Cell access.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`] / [`FrameError::RowOutOfBounds`].
+    pub fn cell(&self, row: usize, name: &str) -> Result<Value> {
+        let i = self.index_of(name)?;
+        if row >= self.n_rows() {
+            return Err(FrameError::RowOutOfBounds { index: row, rows: self.n_rows() });
+        }
+        Ok(self.columns[i].get(row))
+    }
+
+    /// Append one row given as `(name, value)` pairs; every column must be
+    /// covered exactly once.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`] for unknown names,
+    /// [`FrameError::LengthMismatch`] if a column is missing from the row,
+    /// [`FrameError::TypeMismatch`] on a wrongly typed value.
+    pub fn push_row(&mut self, row: Vec<(&str, Value)>) -> Result<()> {
+        if row.len() != self.n_cols() {
+            return Err(FrameError::LengthMismatch {
+                column: "<row>".into(),
+                frame_rows: self.n_cols(),
+                column_rows: row.len(),
+            });
+        }
+        // Validate all names first so a failed push leaves the frame intact.
+        let mut order = Vec::with_capacity(row.len());
+        for (name, _) in &row {
+            order.push(self.index_of(name)?);
+        }
+        let before = self.n_rows();
+        for ((_, value), &idx) in row.into_iter().zip(&order) {
+            if let Err(e) = self.columns[idx].push(value) {
+                // Roll back the columns that already accepted a value.
+                for &j in &order {
+                    if self.columns[j].len() > before {
+                        truncate_column(&mut self.columns[j], before);
+                    }
+                }
+                return Err(rename_err(e, &self.names[idx]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows where `mask` is true (mask length must equal `n_rows`).
+    ///
+    /// # Errors
+    /// [`FrameError::LengthMismatch`] on a wrong-sized mask.
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<DataFrame> {
+        if mask.len() != self.n_rows() {
+            return Err(FrameError::LengthMismatch {
+                column: "<mask>".into(),
+                frame_rows: self.n_rows(),
+                column_rows: mask.len(),
+            });
+        }
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        Ok(self.take(&idx))
+    }
+
+    /// Rows where a numeric predicate on column `name` holds.
+    ///
+    /// # Errors
+    /// Propagates [`DataFrame::column_f64`] failures.
+    pub fn filter_f64(&self, name: &str, pred: impl Fn(f64) -> bool) -> Result<DataFrame> {
+        let vals = self.column_f64(name)?;
+        let mask: Vec<bool> = vals.iter().map(|&v| pred(v)).collect();
+        self.filter_mask(&mask)
+    }
+
+    /// Gather the given row indices into a new frame (indices may repeat).
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        DataFrame {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+        }
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let take_n = n.min(self.n_rows());
+        let idx: Vec<usize> = (0..take_n).collect();
+        self.take(&idx)
+    }
+
+    /// New frame sorted ascending by a numeric column (stable; NaNs last).
+    ///
+    /// # Errors
+    /// Propagates [`DataFrame::column_f64`] failures.
+    pub fn sort_by_f64(&self, name: &str) -> Result<DataFrame> {
+        let vals = self.column_f64(name)?;
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| {
+            vals[a]
+                .partial_cmp(&vals[b])
+                .unwrap_or_else(|| {
+                    // NaNs sort after everything else.
+                    if vals[a].is_nan() && vals[b].is_nan() {
+                        std::cmp::Ordering::Equal
+                    } else if vals[a].is_nan() {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                })
+        });
+        Ok(self.take(&idx))
+    }
+
+    /// Vertically concatenate another frame with identical schema.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`] / [`FrameError::TypeMismatch`] when the
+    /// schemas differ.
+    pub fn concat(&mut self, other: &DataFrame) -> Result<()> {
+        if self.n_cols() == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        for (name, col) in other.names.iter().zip(&other.columns) {
+            let i = self.index_of(name)?;
+            self.columns[i].extend(col).map_err(|e| rename_err(e, name))?;
+        }
+        Ok(())
+    }
+
+    /// Extract `(features, target)` for regression: a feature [`Matrix`] from
+    /// the listed numeric columns and a target vector.
+    ///
+    /// # Errors
+    /// Propagates column lookups / numeric casts.
+    pub fn to_design(&self, feature_cols: &[&str], target_col: &str) -> Result<(Matrix, Vec<f64>)> {
+        let n = self.n_rows();
+        let mut features = Matrix::zeros(n, feature_cols.len());
+        for (j, &name) in feature_cols.iter().enumerate() {
+            let vals = self.column_f64(name)?;
+            for (i, v) in vals.into_iter().enumerate() {
+                features[(i, j)] = v;
+            }
+        }
+        let target = self.column_f64(target_col)?;
+        Ok((features, target))
+    }
+
+    /// Distinct values of a column, in order of first appearance.
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`].
+    pub fn unique(&self, name: &str) -> Result<Vec<Value>> {
+        let col = self.column(name)?;
+        let mut seen = Vec::new();
+        for i in 0..col.len() {
+            let v = col.get(i);
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        Ok(seen)
+    }
+}
+
+fn truncate_column(col: &mut Column, len: usize) {
+    match col {
+        Column::F64(v) => v.truncate(len),
+        Column::I64(v) => v.truncate(len),
+        Column::Str(v) => v.truncate(len),
+        Column::Bool(v) => v.truncate(len),
+    }
+}
+
+pub(crate) fn rename_err(e: FrameError, name: &str) -> FrameError {
+    match e {
+        FrameError::TypeMismatch { expected, actual, .. } => {
+            FrameError::TypeMismatch { column: name.to_string(), expected, actual }
+        }
+        other => other,
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DataFrame [{} rows x {} cols]", self.n_rows(), self.n_cols())?;
+        write!(f, "{}", self.names.join(" | "))?;
+        let show = self.n_rows().min(10);
+        for i in 0..show {
+            writeln!(f)?;
+            let cells: Vec<String> = self.columns.iter().map(|c| c.get(i).to_csv_string()).collect();
+            write!(f, "{}", cells.join(" | "))?;
+        }
+        if self.n_rows() > show {
+            writeln!(f)?;
+            write!(f, "... ({} more rows)", self.n_rows() - show)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("hw", Column::Str(vec!["H0".into(), "H1".into(), "H0".into(), "H2".into()])),
+            ("cpus", Column::I64(vec![2, 3, 2, 4])),
+            ("runtime", Column::F64(vec![10.0, 8.0, 12.0, 6.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_and_names() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.n_cols(), 3);
+        assert!(!df.is_empty());
+        assert_eq!(df.names(), &["hw", "cpus", "runtime"]);
+        assert!(df.has_column("cpus"));
+        assert!(!df.has_column("nope"));
+        assert!(DataFrame::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_mismatched_columns_rejected() {
+        let mut df = sample();
+        assert!(matches!(
+            df.add_column("hw", Column::I64(vec![1, 2, 3, 4])),
+            Err(FrameError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            df.add_column("bad", Column::I64(vec![1])),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn column_access_and_cast() {
+        let df = sample();
+        assert_eq!(df.column_f64("cpus").unwrap(), vec![2.0, 3.0, 2.0, 4.0]);
+        assert!(df.column("missing").is_err());
+        let err = df.column_f64("hw").unwrap_err();
+        match err {
+            FrameError::TypeMismatch { column, .. } => assert_eq!(column, "hw"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_and_drop_column() {
+        let mut df = sample();
+        df.set_column("runtime", Column::F64(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert_eq!(df.column_f64("runtime").unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        df.set_column("mem", Column::F64(vec![16.0; 4])).unwrap();
+        assert_eq!(df.n_cols(), 4);
+        let dropped = df.drop_column("mem").unwrap();
+        assert_eq!(dropped.len(), 4);
+        assert!(df.drop_column("mem").is_err());
+        assert!(df.set_column("x", Column::F64(vec![])).is_err());
+    }
+
+    #[test]
+    fn select_preserves_order() {
+        let df = sample();
+        let sel = df.select(&["runtime", "hw"]).unwrap();
+        assert_eq!(sel.names(), &["runtime", "hw"]);
+        assert!(df.select(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn cell_and_bounds() {
+        let df = sample();
+        assert_eq!(df.cell(3, "cpus").unwrap(), Value::I64(4));
+        assert!(matches!(df.cell(9, "cpus"), Err(FrameError::RowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn push_row_and_rollback() {
+        let mut df = sample();
+        df.push_row(vec![
+            ("hw", Value::Str("H1".into())),
+            ("cpus", Value::I64(3)),
+            ("runtime", Value::F64(9.0)),
+        ])
+        .unwrap();
+        assert_eq!(df.n_rows(), 5);
+        // Type error in the *last* cell must roll back the whole row.
+        let err = df.push_row(vec![
+            ("hw", Value::Str("H2".into())),
+            ("cpus", Value::I64(1)),
+            ("runtime", Value::Str("oops".into())),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(df.n_rows(), 5, "partial row must be rolled back");
+        // Wrong arity
+        assert!(df.push_row(vec![("hw", Value::Str("H0".into()))]).is_err());
+    }
+
+    #[test]
+    fn filters() {
+        let df = sample();
+        let fast = df.filter_f64("runtime", |r| r < 10.0).unwrap();
+        assert_eq!(fast.n_rows(), 2);
+        assert_eq!(fast.cell(0, "hw").unwrap(), Value::Str("H1".into()));
+        assert!(df.filter_mask(&[true]).is_err());
+        let none = df.filter_f64("runtime", |_| false).unwrap();
+        assert_eq!(none.n_rows(), 0);
+        assert_eq!(none.n_cols(), 3);
+    }
+
+    #[test]
+    fn sort_and_head_and_take() {
+        let df = sample();
+        let sorted = df.sort_by_f64("runtime").unwrap();
+        assert_eq!(sorted.column_f64("runtime").unwrap(), vec![6.0, 8.0, 10.0, 12.0]);
+        let top2 = sorted.head(2);
+        assert_eq!(top2.n_rows(), 2);
+        assert_eq!(df.head(100).n_rows(), 4);
+        let dup = df.take(&[0, 0]);
+        assert_eq!(dup.n_rows(), 2);
+    }
+
+    #[test]
+    fn sort_puts_nan_last() {
+        let df = DataFrame::from_columns(vec![(
+            "x",
+            Column::F64(vec![2.0, f64::NAN, 1.0]),
+        )])
+        .unwrap();
+        let sorted = df.sort_by_f64("x").unwrap();
+        let vals = sorted.column_f64("x").unwrap();
+        assert_eq!(vals[0], 1.0);
+        assert_eq!(vals[1], 2.0);
+        assert!(vals[2].is_nan());
+    }
+
+    #[test]
+    fn concat_requires_matching_schema() {
+        let mut a = sample();
+        let b = sample();
+        a.concat(&b).unwrap();
+        assert_eq!(a.n_rows(), 8);
+        let mut empty = DataFrame::new();
+        empty.concat(&b).unwrap();
+        assert_eq!(empty.n_rows(), 4);
+        let bad = DataFrame::from_columns(vec![("other", Column::I64(vec![1]))]).unwrap();
+        assert!(a.concat(&bad).is_err());
+    }
+
+    #[test]
+    fn to_design_builds_matrix() {
+        let df = sample();
+        let (xs, y) = df.to_design(&["cpus"], "runtime").unwrap();
+        assert_eq!(xs.shape(), (4, 1));
+        assert_eq!(xs[(1, 0)], 3.0);
+        assert_eq!(y, vec![10.0, 8.0, 12.0, 6.0]);
+        assert!(df.to_design(&["hw"], "runtime").is_err());
+        assert!(df.to_design(&["cpus"], "ghost").is_err());
+    }
+
+    #[test]
+    fn unique_first_appearance_order() {
+        let df = sample();
+        let u = df.unique("hw").unwrap();
+        assert_eq!(
+            u,
+            vec![Value::Str("H0".into()), Value::Str("H1".into()), Value::Str("H2".into())]
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let df = sample();
+        let s = df.to_string();
+        assert!(s.contains("4 rows"));
+        assert!(s.contains("runtime"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Split/apply/combine: group a frame by a key column and aggregate.
+//!
+//! This is the "runtime per hardware" step of the paper's pipeline — the
+//! telemetry frame is grouped by hardware id and each group becomes an arm's
+//! training set.
+
+use crate::column::{Column, Value};
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+use banditware_linalg::stats;
+
+/// Aggregations supported by [`GroupBy::agg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean.
+    Mean,
+    /// Sum of values.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Population standard deviation.
+    Std,
+    /// Number of rows in the group.
+    Count,
+    /// Median (50th percentile, linear interpolation).
+    Median,
+}
+
+impl Aggregation {
+    /// Column-name suffix used in aggregated output (`runtime_mean`, ...).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Aggregation::Mean => "mean",
+            Aggregation::Sum => "sum",
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+            Aggregation::Std => "std",
+            Aggregation::Count => "count",
+            Aggregation::Median => "median",
+        }
+    }
+
+    fn apply(&self, xs: &[f64]) -> f64 {
+        match self {
+            Aggregation::Mean => stats::mean(xs),
+            Aggregation::Sum => xs.iter().sum(),
+            Aggregation::Min => stats::min(xs),
+            Aggregation::Max => stats::max(xs),
+            Aggregation::Std => stats::std_dev(xs),
+            Aggregation::Count => xs.len() as f64,
+            Aggregation::Median => stats::median(xs),
+        }
+    }
+}
+
+/// The result of [`DataFrame::group_by`]: group keys in first-appearance
+/// order plus the member row indices of each group.
+#[derive(Debug, Clone)]
+pub struct GroupBy<'a> {
+    source: &'a DataFrame,
+    key_name: String,
+    keys: Vec<Value>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl DataFrame {
+    /// Group rows by the values of `key` (any column type).
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`].
+    pub fn group_by(&self, key: &str) -> Result<GroupBy<'_>> {
+        let col = self.column(key)?;
+        let mut keys: Vec<Value> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..col.len() {
+            let v = col.get(i);
+            match keys.iter().position(|k| *k == v) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    keys.push(v);
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        Ok(GroupBy { source: self, key_name: key.to_string(), keys, groups })
+    }
+}
+
+impl<'a> GroupBy<'a> {
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The group keys, in first-appearance order.
+    pub fn keys(&self) -> &[Value] {
+        &self.keys
+    }
+
+    /// Iterate `(key, sub-frame)` pairs (sub-frames are materialized copies).
+    pub fn frames(&self) -> impl Iterator<Item = (&Value, DataFrame)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.groups)
+            .map(|(k, idx)| (k, self.source.take(idx)))
+    }
+
+    /// The sub-frame for one key, if present.
+    pub fn get(&self, key: &Value) -> Option<DataFrame> {
+        let g = self.keys.iter().position(|k| k == key)?;
+        Some(self.source.take(&self.groups[g]))
+    }
+
+    /// Aggregate numeric columns: output has the key column plus one column
+    /// `"{col}_{agg}"` per requested `(column, aggregation)` pair.
+    ///
+    /// # Errors
+    /// Propagates column lookups / numeric casts.
+    pub fn agg(&self, specs: &[(&str, Aggregation)]) -> Result<DataFrame> {
+        let mut out = DataFrame::new();
+        // Key column (rebuilt with one row per group).
+        let key_col = match self.keys.first() {
+            Some(Value::F64(_)) => Column::F64(
+                self.keys.iter().map(|k| if let Value::F64(x) = k { *x } else { unreachable!() }).collect(),
+            ),
+            Some(Value::I64(_)) => Column::I64(
+                self.keys.iter().map(|k| if let Value::I64(x) = k { *x } else { unreachable!() }).collect(),
+            ),
+            Some(Value::Str(_)) => Column::Str(
+                self.keys
+                    .iter()
+                    .map(|k| if let Value::Str(s) = k { s.clone() } else { unreachable!() })
+                    .collect(),
+            ),
+            Some(Value::Bool(_)) => Column::Bool(
+                self.keys.iter().map(|k| if let Value::Bool(b) = k { *b } else { unreachable!() }).collect(),
+            ),
+            None => Column::F64(vec![]),
+        };
+        out.add_column(self.key_name.clone(), key_col)?;
+
+        for &(col_name, agg) in specs {
+            let vals = self.source.column_f64(col_name)?;
+            let agged: Vec<f64> = self
+                .groups
+                .iter()
+                .map(|idx| {
+                    let group_vals: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+                    agg.apply(&group_vals)
+                })
+                .collect();
+            let out_name = format!("{col_name}_{}", agg.suffix());
+            out.add_column(out_name, Column::F64(agged))
+                .map_err(|e| match e {
+                    FrameError::DuplicateColumn(c) => FrameError::DuplicateColumn(c),
+                    other => other,
+                })?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("hw", Column::Str(vec!["H0".into(), "H1".into(), "H0".into(), "H1".into(), "H0".into()])),
+            ("runtime", Column::F64(vec![10.0, 20.0, 14.0, 22.0, 12.0])),
+            ("cpus", Column::I64(vec![2, 3, 2, 3, 2])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_in_first_appearance_order() {
+        let df = sample();
+        let gb = df.group_by("hw").unwrap();
+        assert_eq!(gb.n_groups(), 2);
+        assert_eq!(gb.keys()[0], Value::Str("H0".into()));
+        assert_eq!(gb.keys()[1], Value::Str("H1".into()));
+    }
+
+    #[test]
+    fn frames_split_rows() {
+        let df = sample();
+        let gb = df.group_by("hw").unwrap();
+        let frames: Vec<(String, usize)> = gb
+            .frames()
+            .map(|(k, f)| (k.to_csv_string(), f.n_rows()))
+            .collect();
+        assert_eq!(frames, vec![("H0".into(), 3), ("H1".into(), 2)]);
+        let h1 = gb.get(&Value::Str("H1".into())).unwrap();
+        assert_eq!(h1.column_f64("runtime").unwrap(), vec![20.0, 22.0]);
+        assert!(gb.get(&Value::Str("H9".into())).is_none());
+    }
+
+    #[test]
+    fn agg_computes_stats() {
+        let df = sample();
+        let gb = df.group_by("hw").unwrap();
+        let out = gb
+            .agg(&[
+                ("runtime", Aggregation::Mean),
+                ("runtime", Aggregation::Min),
+                ("runtime", Aggregation::Max),
+                ("runtime", Aggregation::Count),
+                ("runtime", Aggregation::Sum),
+                ("runtime", Aggregation::Median),
+            ])
+            .unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.column_f64("runtime_mean").unwrap(), vec![12.0, 21.0]);
+        assert_eq!(out.column_f64("runtime_min").unwrap(), vec![10.0, 20.0]);
+        assert_eq!(out.column_f64("runtime_max").unwrap(), vec![14.0, 22.0]);
+        assert_eq!(out.column_f64("runtime_count").unwrap(), vec![3.0, 2.0]);
+        assert_eq!(out.column_f64("runtime_sum").unwrap(), vec![36.0, 42.0]);
+        assert_eq!(out.column_f64("runtime_median").unwrap(), vec![12.0, 21.0]);
+    }
+
+    #[test]
+    fn agg_std() {
+        let df = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1, 1, 2])),
+            ("v", Column::F64(vec![1.0, 3.0, 5.0])),
+        ])
+        .unwrap();
+        let out = df.group_by("k").unwrap().agg(&[("v", Aggregation::Std)]).unwrap();
+        assert_eq!(out.column_f64("v_std").unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn group_by_numeric_key() {
+        let df = sample();
+        let gb = df.group_by("cpus").unwrap();
+        assert_eq!(gb.n_groups(), 2);
+        let out = gb.agg(&[("runtime", Aggregation::Mean)]).unwrap();
+        assert_eq!(out.column_f64("cpus").unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let df = sample();
+        assert!(df.group_by("ghost").is_err());
+        let gb = df.group_by("hw").unwrap();
+        assert!(gb.agg(&[("ghost", Aggregation::Mean)]).is_err());
+        assert!(gb.agg(&[("hw", Aggregation::Mean)]).is_err()); // non-numeric
+    }
+
+    #[test]
+    fn empty_frame_groups() {
+        let df = DataFrame::from_columns(vec![("k", Column::I64(vec![])), ("v", Column::F64(vec![]))])
+            .unwrap();
+        let gb = df.group_by("k").unwrap();
+        assert_eq!(gb.n_groups(), 0);
+        let out = gb.agg(&[("v", Aggregation::Mean)]).unwrap();
+        assert_eq!(out.n_rows(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Inner and left joins on a single key column — the *Merge* step of the
+//! paper's Fig. 1 pipeline, where per-hardware telemetry tables are merged
+//! on the run ID.
+
+use crate::column::{Column, Value};
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only keys present on both sides.
+    Inner,
+    /// Keep every left row; unmatched right cells become NaN / 0 / "" / false.
+    Left,
+}
+
+impl DataFrame {
+    /// Join `self` with `other` on the equality of column `on` (which must
+    /// exist on both sides with the same type). Right-side columns that clash
+    /// with left-side names get a `_right` suffix. Multiple matches produce
+    /// one output row per pair (like SQL).
+    ///
+    /// # Errors
+    /// [`FrameError::ColumnNotFound`] when `on` is missing on either side, or
+    /// [`FrameError::TypeMismatch`] when the key columns' types differ.
+    pub fn join(&self, other: &DataFrame, on: &str, kind: JoinKind) -> Result<DataFrame> {
+        let left_key = self.column(on)?;
+        let right_key = other.column(on)?;
+        if left_key.dtype() != right_key.dtype() {
+            return Err(FrameError::TypeMismatch {
+                column: on.to_string(),
+                expected: left_key.dtype(),
+                actual: right_key.dtype(),
+            });
+        }
+
+        // Index right side: key → row indices (preserving order).
+        let mut right_index: Vec<(Value, Vec<usize>)> = Vec::new();
+        for i in 0..right_key.len() {
+            let v = right_key.get(i);
+            match right_index.iter_mut().find(|(k, _)| *k == v) {
+                Some((_, rows)) => rows.push(i),
+                None => right_index.push((v, vec![i])),
+            }
+        }
+
+        let mut left_rows: Vec<usize> = Vec::new();
+        let mut right_rows: Vec<Option<usize>> = Vec::new();
+        for i in 0..left_key.len() {
+            let v = left_key.get(i);
+            match right_index.iter().find(|(k, _)| *k == v) {
+                Some((_, matches)) => {
+                    for &r in matches {
+                        left_rows.push(i);
+                        right_rows.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(i);
+                        right_rows.push(None);
+                    }
+                }
+            }
+        }
+
+        let mut out = self.take(&left_rows);
+        for (name, col) in other.names().iter().zip(other_columns(other)) {
+            if name == on {
+                continue;
+            }
+            let out_name = if out.has_column(name) { format!("{name}_right") } else { name.clone() };
+            let gathered = gather_optional(col, &right_rows);
+            out.add_column(out_name, gathered)?;
+        }
+        Ok(out)
+    }
+}
+
+fn other_columns(df: &DataFrame) -> impl Iterator<Item = &Column> {
+    df.names().iter().map(move |n| df.column(n).expect("name from frame"))
+}
+
+/// Gather with `None` → type-specific fill (NaN / 0 / "" / false).
+fn gather_optional(col: &Column, rows: &[Option<usize>]) -> Column {
+    match col {
+        Column::F64(v) => Column::F64(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect()),
+        Column::I64(v) => Column::I64(rows.iter().map(|r| r.map_or(0, |i| v[i])).collect()),
+        Column::Str(v) => {
+            Column::Str(rows.iter().map(|r| r.map_or(String::new(), |i| v[i].clone())).collect())
+        }
+        Column::Bool(v) => Column::Bool(rows.iter().map(|r| r.map_or(false, |i| v[i])).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("id", Column::I64(vec![1, 2, 3, 4])),
+            ("runtime", Column::F64(vec![10.0, 20.0, 30.0, 40.0])),
+        ])
+        .unwrap()
+    }
+
+    fn meta() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("id", Column::I64(vec![2, 3, 5])),
+            ("hw", Column::Str(vec!["H0".into(), "H1".into(), "H2".into()])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_keeps_matches_only() {
+        let j = runs().join(&meta(), "id", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.column_f64("id").unwrap(), vec![2.0, 3.0]);
+        assert_eq!(j.column_f64("runtime").unwrap(), vec![20.0, 30.0]);
+        assert_eq!(j.cell(0, "hw").unwrap(), Value::Str("H0".into()));
+    }
+
+    #[test]
+    fn left_join_fills_missing() {
+        let j = runs().join(&meta(), "id", JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 4);
+        assert_eq!(j.cell(0, "hw").unwrap(), Value::Str(String::new()));
+        assert_eq!(j.cell(1, "hw").unwrap(), Value::Str("H0".into()));
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cartesian_rows() {
+        let left = DataFrame::from_columns(vec![("k", Column::I64(vec![1, 1]))]).unwrap();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1, 1])),
+            ("v", Column::F64(vec![7.0, 8.0])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 4);
+        assert_eq!(j.column_f64("v").unwrap(), vec![7.0, 8.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn name_clash_gets_suffixed() {
+        let left = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1])),
+            ("v", Column::F64(vec![1.0])),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1])),
+            ("v", Column::F64(vec![2.0])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.column_f64("v").unwrap(), vec![1.0]);
+        assert_eq!(j.column_f64("v_right").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn join_validates_key() {
+        assert!(runs().join(&meta(), "ghost", JoinKind::Inner).is_err());
+        let other = DataFrame::from_columns(vec![("id", Column::Str(vec!["1".into()]))]).unwrap();
+        assert!(matches!(
+            runs().join(&other, "id", JoinKind::Inner),
+            Err(FrameError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn left_join_numeric_fill_is_nan() {
+        let left = DataFrame::from_columns(vec![("k", Column::I64(vec![9]))]).unwrap();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1])),
+            ("x", Column::F64(vec![5.0])),
+            ("n", Column::I64(vec![3])),
+            ("b", Column::Bool(vec![true])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", JoinKind::Left).unwrap();
+        assert!(j.column_f64("x").unwrap()[0].is_nan());
+        assert_eq!(j.cell(0, "n").unwrap(), Value::I64(0));
+        assert_eq!(j.cell(0, "b").unwrap(), Value::Bool(false));
+    }
+}

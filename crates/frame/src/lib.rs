@@ -1,0 +1,35 @@
+//! Columnar dataframe for BanditWare.
+//!
+//! The paper's pipeline (Fig. 1) ingests application telemetry as a *pandas
+//! DataFrame*, retrieves the useful columns, and merges per-hardware tables
+//! before feeding BanditWare. This crate is that substrate, built from
+//! scratch:
+//!
+//! * [`DataFrame`] — named, typed columns ([`Column`]: `f64`/`i64`/string/bool)
+//!   with selection, filtering, sorting and row-level access.
+//! * [`groupby`] — split/apply/combine aggregations (`mean`, `sum`, `min`,
+//!   `max`, `std`, `count`), e.g. "runtime per hardware".
+//! * [`join`] — inner/left merges on a key column (the Fig. 1 *Merge* step).
+//! * [`csv`] — dependency-free CSV reader (with type inference and quoting)
+//!   and writer, used to persist generated traces.
+//! * [`DataFrame::to_design`] — the bridge into `banditware-linalg`: extract
+//!   a feature matrix and a target vector for regression.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod summary;
+
+pub use column::{Column, Value};
+pub use error::FrameError;
+pub use frame::DataFrame;
+pub use groupby::Aggregation;
+
+/// Result alias for dataframe operations.
+pub type Result<T> = std::result::Result<T, FrameError>;

@@ -1,0 +1,130 @@
+//! `describe()`-style numeric summaries of a frame.
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::Result;
+use banditware_linalg::stats;
+
+/// Summary statistics for one numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Row count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DataFrame {
+    /// Summaries for every numeric (f64/i64/bool) column; string columns are
+    /// skipped, mirroring `pandas.DataFrame.describe()`.
+    ///
+    /// # Errors
+    /// Never fails for frames built through the public API; the `Result`
+    /// mirrors internal column access.
+    pub fn describe(&self) -> Result<Vec<ColumnSummary>> {
+        let mut out = Vec::new();
+        for name in self.names() {
+            let col = self.column(name)?;
+            if matches!(col, Column::Str(_)) {
+                continue;
+            }
+            let vals = self.column_f64(name)?;
+            let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+            out.push(ColumnSummary {
+                name: name.clone(),
+                count: finite.len(),
+                mean: stats::mean(&finite),
+                std: stats::std_dev(&finite),
+                min: if finite.is_empty() { f64::NAN } else { stats::min(&finite) },
+                p25: if finite.is_empty() { f64::NAN } else { stats::quantile(&finite, 0.25) },
+                median: if finite.is_empty() { f64::NAN } else { stats::median(&finite) },
+                p75: if finite.is_empty() { f64::NAN } else { stats::quantile(&finite, 0.75) },
+                max: if finite.is_empty() { f64::NAN } else { stats::max(&finite) },
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Render summaries as an aligned text table (for examples and reports).
+pub fn format_summaries(summaries: &[ColumnSummary]) -> String {
+    let mut s = String::from(
+        "column                count       mean        std        min        p50        max\n",
+    );
+    for c in summaries {
+        s.push_str(&format!(
+            "{:<20} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            c.name, c.count, c.mean, c.std, c.min, c.median, c.max
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn describe_skips_strings_and_nonfinite() {
+        let df = DataFrame::from_columns(vec![
+            ("hw", Column::Str(vec!["a".into(), "b".into(), "c".into(), "d".into()])),
+            ("x", Column::F64(vec![1.0, 2.0, 3.0, f64::NAN])),
+            ("n", Column::I64(vec![1, 1, 1, 1])),
+        ])
+        .unwrap();
+        let s = df.describe().unwrap();
+        assert_eq!(s.len(), 2);
+        let x = &s[0];
+        assert_eq!(x.name, "x");
+        assert_eq!(x.count, 3); // NaN excluded
+        assert!((x.mean - 2.0).abs() < 1e-12);
+        assert_eq!(x.min, 1.0);
+        assert_eq!(x.max, 3.0);
+        assert_eq!(x.median, 2.0);
+        let n = &s[1];
+        assert_eq!(n.std, 0.0);
+    }
+
+    #[test]
+    fn describe_quartiles() {
+        let df = DataFrame::from_columns(vec![(
+            "v",
+            Column::F64(vec![0.0, 1.0, 2.0, 3.0, 4.0]),
+        )])
+        .unwrap();
+        let s = &df.describe().unwrap()[0];
+        assert_eq!(s.p25, 1.0);
+        assert_eq!(s.p75, 3.0);
+    }
+
+    #[test]
+    fn empty_numeric_column() {
+        let df = DataFrame::from_columns(vec![("v", Column::F64(vec![]))]).unwrap();
+        let s = &df.describe().unwrap()[0];
+        assert_eq!(s.count, 0);
+        assert!(s.min.is_nan());
+    }
+
+    #[test]
+    fn formatting_contains_names() {
+        let df = DataFrame::from_columns(vec![("runtime", Column::F64(vec![1.0, 2.0]))]).unwrap();
+        let text = format_summaries(&df.describe().unwrap());
+        assert!(text.contains("runtime"));
+        assert!(text.contains("mean"));
+    }
+}

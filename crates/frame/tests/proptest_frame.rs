@@ -1,0 +1,94 @@
+//! Property-based tests: CSV round-trips, filter/sort invariants, join size
+//! bounds.
+
+use banditware_frame::{csv, Column, DataFrame};
+use proptest::prelude::*;
+
+/// Strings that avoid the NaN/empty ambiguity of numeric inference but still
+/// exercise quoting (commas, quotes, newlines).
+fn csv_safe_string() -> impl Strategy<Value = String> {
+    "[ -~]{1,12}".prop_filter("avoid inference ambiguity", |s| {
+        s.parse::<f64>().is_err()
+            && s.parse::<i64>().is_err()
+            && s != "true"
+            && s != "false"
+            && s != "NaN"
+            && !s.trim().is_empty()
+            && *s == s.trim()
+    })
+}
+
+fn arb_frame(rows: usize) -> impl Strategy<Value = DataFrame> {
+    (
+        prop::collection::vec(-1e6..1e6f64, rows),
+        prop::collection::vec(-1000i64..1000, rows),
+        prop::collection::vec(csv_safe_string(), rows),
+        prop::collection::vec(any::<bool>(), rows),
+    )
+        .prop_map(|(f, i, s, b)| {
+            DataFrame::from_columns(vec![
+                ("f", Column::F64(f)),
+                ("i", Column::I64(i)),
+                ("s", Column::Str(s)),
+                ("b", Column::Bool(b)),
+            ])
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_roundtrip_identity(df in (1usize..30).prop_flat_map(arb_frame)) {
+        let text = csv::write_str(&df);
+        let back = csv::read_str(&text).unwrap();
+        prop_assert_eq!(back, df);
+    }
+
+    #[test]
+    fn filter_then_count_le_total(df in (1usize..30).prop_flat_map(arb_frame), threshold in -1e6..1e6f64) {
+        let filtered = df.filter_f64("f", |v| v < threshold).unwrap();
+        prop_assert!(filtered.n_rows() <= df.n_rows());
+        // every surviving row satisfies the predicate
+        for v in filtered.column_f64("f").unwrap() {
+            prop_assert!(v < threshold);
+        }
+    }
+
+    #[test]
+    fn sort_is_ordered_permutation(df in (2usize..30).prop_flat_map(arb_frame)) {
+        let sorted = df.sort_by_f64("f").unwrap();
+        prop_assert_eq!(sorted.n_rows(), df.n_rows());
+        let vals = sorted.column_f64("f").unwrap();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // multiset equality via sorted copies
+        let mut a = df.column_f64("f").unwrap();
+        let mut b = vals.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn groupby_partition_covers_all_rows(df in (1usize..30).prop_flat_map(arb_frame)) {
+        let gb = df.group_by("b").unwrap();
+        let total: usize = gb.frames().map(|(_, f)| f.n_rows()).sum();
+        prop_assert_eq!(total, df.n_rows());
+        prop_assert!(gb.n_groups() <= 2);
+    }
+
+    #[test]
+    fn inner_join_bounded_by_product(
+        left in (1usize..12).prop_flat_map(arb_frame),
+        right in (1usize..12).prop_flat_map(arb_frame),
+    ) {
+        let j = left.join(&right, "i", banditware_frame::join::JoinKind::Inner).unwrap();
+        prop_assert!(j.n_rows() <= left.n_rows() * right.n_rows());
+        let lj = left.join(&right, "i", banditware_frame::join::JoinKind::Left).unwrap();
+        prop_assert!(lj.n_rows() >= left.n_rows().min(lj.n_rows()));
+        prop_assert!(lj.n_rows() >= j.n_rows());
+    }
+}

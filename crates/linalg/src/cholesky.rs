@@ -1,0 +1,262 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Solving the normal equations `(XᵀX) w = Xᵀy` is the cheapest way to run
+//! the per-arm least squares of Algorithm 1; `XᵀX` is SPD whenever the design
+//! matrix has full column rank, which makes Cholesky the natural solver.
+//! [`Cholesky::decompose_jittered`] adds a tiny ridge to the diagonal when the
+//! matrix is only semi-definite (e.g. an arm that has seen a single distinct
+//! context), mirroring what the paper's prototype gets implicitly from
+//! `numpy.linalg.lstsq`'s pseudo-inverse.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize an SPD matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is ≤ 0
+    ///   (within a small relative tolerance).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "cholesky requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Tolerance scaled to the largest diagonal entry: a pivot this small
+        // relative to the matrix is numerically zero.
+        let scale = (0..n).fold(f64::MIN_POSITIVE, |m, i| m.max(a[(i, i)].abs()));
+        let tol = scale * 1e-13;
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite { index: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorize `a + jitter·I`, retrying with geometrically growing jitter
+    /// until the factorization succeeds (up to `max_tries`).
+    ///
+    /// Returns the factorization together with the jitter that was actually
+    /// applied, so callers can report the effective regularization.
+    ///
+    /// # Errors
+    /// Propagates the last [`LinalgError::NotPositiveDefinite`] if even the
+    /// largest jitter fails, or [`LinalgError::ShapeMismatch`] for non-square
+    /// input.
+    pub fn decompose_jittered(a: &Matrix, initial_jitter: f64, max_tries: u32) -> Result<(Self, f64)> {
+        match Self::decompose(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(e @ LinalgError::ShapeMismatch(_)) => return Err(e),
+            Err(_) => {}
+        }
+        let n = a.rows();
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        let mut last_err = LinalgError::NotPositiveDefinite { index: 0, value: 0.0 };
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            for i in 0..n {
+                aj[(i, i)] += jitter;
+            }
+            match Self::decompose(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(e) => last_err = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward/back substitution on `L` and `Lᵀ`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve: rhs of length {} against {n}x{n} system",
+                b.len()
+            )));
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve against several right-hand sides stacked as matrix columns.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if row counts differ.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_matrix: rhs has {} rows, system is {n}x{n}",
+                b.rows()
+            )));
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factorized matrix (used by LinUCB's confidence widths).
+    ///
+    /// # Errors
+    /// Never fails for a successfully decomposed system; the `Result` mirrors
+    /// [`Cholesky::solve_matrix`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.l.rows()))
+    }
+
+    /// `log(det(A))`, computed stably as `2 Σ log(L[i][i])`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I is always SPD.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rec = ch.l().mul(&ch.l().transpose()).unwrap();
+        assert!(rec.allclose(&a, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let ch = Cholesky::decompose(&a).unwrap();
+        // x = [1, 2] → b = A x = [8, 8]
+        let x = ch.solve(&[8.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square_and_indefinite() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&rect),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::decompose(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        // rank-1: [1 1; 1 1]
+        let semi = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::decompose(&semi).is_err());
+    }
+
+    #[test]
+    fn jitter_recovers_semidefinite() {
+        let semi = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let (ch, jitter) = Cholesky::decompose_jittered(&semi, 1e-10, 20).unwrap();
+        assert!(jitter > 0.0);
+        let x = ch.solve(&[2.0, 2.0]).unwrap();
+        // Solution of the jittered system stays near a minimum-norm solution.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn jitter_zero_for_spd() {
+        let (_, jitter) = Cholesky::decompose_jittered(&spd3(), 1e-10, 5).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let inv = ch.inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        assert!(prod.allclose(&Matrix::identity(3), 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let d = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]).unwrap();
+        let ch = Cholesky::decompose(&d).unwrap();
+        assert!((ch.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_validates_rhs_len() {
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+        assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

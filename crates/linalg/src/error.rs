@@ -1,0 +1,81 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by decomposition and solve routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operands have incompatible shapes; payload is a human-readable detail.
+    ShapeMismatch(String),
+    /// The matrix is singular (or numerically so) and cannot be factorized
+    /// or solved against.
+    Singular {
+        /// Index of the pivot / diagonal entry where the failure occurred.
+        pivot: usize,
+        /// Magnitude of the offending pivot.
+        value: f64,
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Diagonal index where positivity failed.
+        index: usize,
+        /// The non-positive diagonal value encountered.
+        value: f64,
+    },
+    /// Not enough observations to fit the requested model.
+    InsufficientData {
+        /// Observations available.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            LinalgError::Singular { pivot, value } => {
+                write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
+            }
+            LinalgError::NotPositiveDefinite { index, value } => write!(
+                f,
+                "matrix not positive definite: diagonal {index} is {value:.3e}"
+            ),
+            LinalgError::InsufficientData { have, need } => {
+                write!(f, "insufficient data: have {have} rows, need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch("3x2 vs 4x2".into());
+        assert!(e.to_string().contains("3x2 vs 4x2"));
+        let e = LinalgError::Singular { pivot: 2, value: 1e-18 };
+        assert!(e.to_string().contains("pivot 2"));
+        let e = LinalgError::NotPositiveDefinite { index: 0, value: -1.0 };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::InsufficientData { have: 1, need: 3 };
+        assert!(e.to_string().contains("have 1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::InsufficientData { have: 1, need: 2 },
+            LinalgError::InsufficientData { have: 1, need: 2 }
+        );
+        assert_ne!(
+            LinalgError::Singular { pivot: 0, value: 0.0 },
+            LinalgError::Singular { pivot: 1, value: 0.0 }
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Ordinary and ridge least squares — the paper's per-arm regression
+//! (Algorithm 1, step 11): `w, b = argmin Σ (R − (wᵀx + b))²`.
+//!
+//! [`fit_ols`] folds the intercept into the design matrix, tries the cheap
+//! normal-equations/Cholesky path first and falls back to Householder QR when
+//! the Gram matrix is ill-conditioned; rank-deficient problems (fewer distinct
+//! contexts than features — common in the bandit's first rounds) fall back to
+//! a lightly ridged solve, matching the pseudo-inverse behaviour of
+//! `numpy.linalg.lstsq` that the Python prototype leans on.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::QrDecomposition;
+use crate::vector;
+use crate::Result;
+
+/// A fitted linear model `ŷ = wᵀx + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// Feature weights `w`.
+    pub weights: Vec<f64>,
+    /// Intercept `b`.
+    pub intercept: f64,
+    /// Residual sum of squares on the training data.
+    pub residual_ss: f64,
+    /// Number of training rows.
+    pub n_obs: usize,
+}
+
+impl LinearFit {
+    /// A zero model (`w = 0`, `b = 0`) over `n_features` — the paper's
+    /// initialization for every arm (Algorithm 1, step 2).
+    pub fn zeros(n_features: usize) -> Self {
+        LinearFit { weights: vec![0.0; n_features], intercept: 0.0, residual_ss: 0.0, n_obs: 0 }
+    }
+
+    /// Predict a single observation.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != weights.len()`.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        vector::dot(&self.weights, x) + self.intercept
+    }
+
+    /// Predict every row of `xs`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `xs.cols() != weights.len()`.
+    pub fn predict_rows(&self, xs: &Matrix) -> Result<Vec<f64>> {
+        if xs.cols() != self.weights.len() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "predict: model has {} features, rows have {}",
+                self.weights.len(),
+                xs.cols()
+            )));
+        }
+        Ok((0..xs.rows()).map(|i| self.predict(xs.row(i))).collect())
+    }
+
+    /// Training RMSE (`sqrt(RSS / n)`), 0 when unfitted.
+    pub fn train_rmse(&self) -> f64 {
+        if self.n_obs == 0 {
+            0.0
+        } else {
+            (self.residual_ss / self.n_obs as f64).sqrt()
+        }
+    }
+}
+
+/// Ordinary least squares of `y` on the rows of `xs` with an intercept.
+///
+/// # Errors
+/// * [`LinalgError::ShapeMismatch`] if `y.len() != xs.rows()`.
+/// * [`LinalgError::InsufficientData`] when there are zero rows.
+pub fn fit_ols(xs: &Matrix, y: &[f64]) -> Result<LinearFit> {
+    fit_ridge(xs, y, 0.0)
+}
+
+/// Ridge regression with penalty `lambda ≥ 0` on the weights (the intercept
+/// is never penalized). `lambda = 0` is OLS.
+///
+/// # Errors
+/// See [`fit_ols`]; additionally `lambda < 0` is a shape-level error.
+pub fn fit_ridge(xs: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit> {
+    if y.len() != xs.rows() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "fit: {} target values for {} rows",
+            y.len(),
+            xs.rows()
+        )));
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::ShapeMismatch(format!("negative ridge penalty {lambda}")));
+    }
+    let n = xs.rows();
+    if n == 0 {
+        return Err(LinalgError::InsufficientData { have: 0, need: 1 });
+    }
+    let m = xs.cols();
+    let design = xs.with_intercept(); // column 0 = intercept
+    let d = m + 1;
+
+    // Normal equations with optional ridge on the non-intercept block.
+    let mut gram = design.gram();
+    for i in 1..d {
+        gram[(i, i)] += lambda;
+    }
+    let xty = design.t_mul_vec(y).expect("design rows match y by construction");
+
+    let coeffs = match Cholesky::decompose(&gram) {
+        Ok(ch) => ch.solve(&xty)?,
+        Err(_) => {
+            // Gram matrix not SPD: either rank-deficient or badly conditioned.
+            // Try QR on the design (robust), then a jittered Cholesky as the
+            // minimum-norm-ish last resort.
+            if n >= d {
+                match QrDecomposition::decompose(&design).and_then(|qr| qr.solve(y)) {
+                    Ok(c) => c,
+                    Err(_) => solve_jittered(&gram, &xty)?,
+                }
+            } else {
+                solve_jittered(&gram, &xty)?
+            }
+        }
+    };
+
+    let intercept = coeffs[0];
+    let weights = coeffs[1..].to_vec();
+    let fit = LinearFit { weights, intercept, residual_ss: 0.0, n_obs: n };
+    let residual_ss = (0..n)
+        .map(|i| {
+            let r = y[i] - fit.predict(xs.row(i));
+            r * r
+        })
+        .sum();
+    Ok(LinearFit { residual_ss, ..fit })
+}
+
+fn solve_jittered(gram: &Matrix, xty: &[f64]) -> Result<Vec<f64>> {
+    let scale = gram.max_abs().max(f64::MIN_POSITIVE);
+    let (ch, _) = Cholesky::decompose_jittered(gram, scale * 1e-10, 24)?;
+    ch.solve(xty)
+}
+
+/// Fit a separate univariate mean (intercept-only model). Provided for the
+/// non-contextual bandit baselines where the "model" of an arm is simply the
+/// running mean reward.
+///
+/// # Errors
+/// [`LinalgError::InsufficientData`] on an empty slice.
+pub fn fit_mean(y: &[f64]) -> Result<LinearFit> {
+    if y.is_empty() {
+        return Err(LinalgError::InsufficientData { have: 0, need: 1 });
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let rss = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    Ok(LinearFit { weights: vec![], intercept: mean, residual_ss: rss, n_obs: y.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(xs: &[Vec<f64>]) -> Matrix {
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_linear_model() {
+        // y = 3 x0 - 2 x1 + 5
+        let xs = design(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, -1.0],
+            vec![0.5, 0.25],
+        ]);
+        let y: Vec<f64> = (0..xs.rows())
+            .map(|i| 3.0 * xs[(i, 0)] - 2.0 * xs[(i, 1)] + 5.0)
+            .collect();
+        let fit = fit_ols(&xs, &y).unwrap();
+        assert!((fit.weights[0] - 3.0).abs() < 1e-9);
+        assert!((fit.weights[1] + 2.0).abs() < 1e-9);
+        assert!((fit.intercept - 5.0).abs() < 1e-9);
+        assert!(fit.residual_ss < 1e-16);
+        assert_eq!(fit.n_obs, 5);
+    }
+
+    #[test]
+    fn single_observation_is_fit_exactly() {
+        // One row, one feature: infinitely many exact solutions; the ridge
+        // fallback must return *a* model that predicts the observation.
+        let xs = design(&[vec![2.0]]);
+        let fit = fit_ols(&xs, &[10.0]).unwrap();
+        assert!((fit.predict(&[2.0]) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn duplicate_contexts_dont_blow_up() {
+        let xs = design(&vec![vec![1.0, 2.0]; 6]);
+        let y = vec![4.0; 6];
+        let fit = fit_ols(&xs, &y).unwrap();
+        assert!((fit.predict(&[1.0, 2.0]) - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy line: the OLS fit must beat small perturbations of itself.
+        let xs = design(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..20)
+            .map(|i| 2.0 * i as f64 + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = fit_ols(&xs, &y).unwrap();
+        let rss = |w: f64, b: f64| -> f64 {
+            (0..20)
+                .map(|i| {
+                    let r = y[i] - (w * i as f64 + b);
+                    r * r
+                })
+                .sum()
+        };
+        let best = rss(fit.weights[0], fit.intercept);
+        for (dw, db) in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.01), (0.0, -0.01)] {
+            assert!(best <= rss(fit.weights[0] + dw, fit.intercept + db) + 1e-12);
+        }
+        assert!((fit.residual_ss - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs = design(&(0..10).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let ols = fit_ols(&xs, &y).unwrap();
+        let ridge = fit_ridge(&xs, &y, 100.0).unwrap();
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+        assert!(ridge.weights[0] > 0.0);
+    }
+
+    #[test]
+    fn ridge_rejects_negative_lambda() {
+        let xs = design(&[vec![1.0]]);
+        assert!(fit_ridge(&xs, &[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let xs = design(&[vec![1.0], vec![2.0]]);
+        assert!(fit_ols(&xs, &[1.0]).is_err());
+        let empty = Matrix::zeros(0, 2);
+        assert!(matches!(
+            fit_ols(&empty, &[]),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn collinear_features_resolved_by_fallback() {
+        // x1 = 2 x0 exactly: Gram is singular; ridge fallback must produce
+        // a model that still fits the (consistent) data well.
+        let xs = design(&(1..8).map(|i| vec![i as f64, 2.0 * i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (1..8).map(|i| 10.0 * i as f64).collect();
+        let fit = fit_ols(&xs, &y).unwrap();
+        for i in 1..8 {
+            let pred = fit.predict(&[i as f64, 2.0 * i as f64]);
+            assert!((pred - 10.0 * i as f64).abs() < 1e-2, "pred {pred} at {i}");
+        }
+    }
+
+    #[test]
+    fn zeros_model_predicts_zero() {
+        let z = LinearFit::zeros(3);
+        assert_eq!(z.predict(&[5.0, 6.0, 7.0]), 0.0);
+        assert_eq!(z.train_rmse(), 0.0);
+    }
+
+    #[test]
+    fn predict_rows_validates_width() {
+        let fit = LinearFit { weights: vec![1.0, 2.0], intercept: 0.0, residual_ss: 0.0, n_obs: 1 };
+        let xs = design(&[vec![1.0, 1.0], vec![2.0, 0.5]]);
+        assert_eq!(fit.predict_rows(&xs).unwrap(), vec![3.0, 3.0]);
+        assert!(fit.predict_rows(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn fit_mean_is_average() {
+        let fit = fit_mean(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.residual_ss - 2.0).abs() < 1e-12);
+        assert!(fit_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn train_rmse_matches_rss() {
+        let xs = design(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = [0.0, 1.0, 0.0];
+        let fit = fit_ols(&xs, &y).unwrap();
+        assert!((fit.train_rmse() - (fit.residual_ss / 3.0).sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,489 @@
+//! Incremental least squares: sufficient-statistics accumulators and rank-1
+//! inverse updates.
+//!
+//! Algorithm 1 refits each arm from its stored data `D_k` after every
+//! observation — `O(|D_k| · m²)` per round. [`NormalEquations`] maintains
+//! `XᵀX` and `Xᵀy` incrementally so the refit becomes an `O(m³)` solve that
+//! is independent of history length; the result is *bitwise the same
+//! regression* (property-tested in `crates/core`). [`RankOneInverse`]
+//! maintains `(XᵀX + λI)⁻¹` directly via Sherman–Morrison, which is what
+//! LinUCB needs for its confidence ellipsoids.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::lstsq::LinearFit;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Running normal-equations accumulator for a linear model with intercept.
+///
+/// Internally works in the augmented space `z = [1, x]` so the intercept is
+/// just another coefficient.
+#[derive(Debug, Clone)]
+pub struct NormalEquations {
+    /// Augmented dimension (`n_features + 1`).
+    dim: usize,
+    /// `ZᵀZ`, symmetric `dim × dim`.
+    ztz: Matrix,
+    /// `Zᵀy`.
+    zty: Vec<f64>,
+    /// `Σ y²`, used to recover the residual sum of squares.
+    yty: f64,
+    /// Observation count.
+    n: usize,
+}
+
+impl NormalEquations {
+    /// New empty accumulator over `n_features` raw features.
+    pub fn new(n_features: usize) -> Self {
+        let dim = n_features + 1;
+        NormalEquations { dim, ztz: Matrix::zeros(dim, dim), zty: vec![0.0; dim], yty: 0.0, n: 0 }
+    }
+
+    /// Number of raw features.
+    pub fn n_features(&self) -> usize {
+        self.dim - 1
+    }
+
+    /// Observations absorbed so far.
+    pub fn n_obs(&self) -> usize {
+        self.n
+    }
+
+    /// Absorb one `(x, y)` observation.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `x.len() != n_features`.
+    pub fn push(&mut self, x: &[f64], y: f64) -> Result<()> {
+        if x.len() + 1 != self.dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "push: {} features into accumulator of {}",
+                x.len(),
+                self.dim - 1
+            )));
+        }
+        // z = [1, x]
+        let z = |i: usize| if i == 0 { 1.0 } else { x[i - 1] };
+        for i in 0..self.dim {
+            let zi = z(i);
+            self.zty[i] += zi * y;
+            for j in i..self.dim {
+                let v = zi * z(j);
+                self.ztz[(i, j)] += v;
+                if j != i {
+                    self.ztz[(j, i)] += v;
+                }
+            }
+        }
+        self.yty += y * y;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Merge another accumulator (e.g. built on a different thread) into this
+    /// one. Sufficient statistics are additive, which is what makes the
+    /// parallel simulation harness embarrassingly parallel.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on dimension mismatch.
+    pub fn merge(&mut self, other: &NormalEquations) -> Result<()> {
+        if self.dim != other.dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "merge: accumulators of {} and {} features",
+                self.dim - 1,
+                other.dim - 1
+            )));
+        }
+        self.ztz = self.ztz.add(&other.ztz)?;
+        for (a, b) in self.zty.iter_mut().zip(&other.zty) {
+            *a += b;
+        }
+        self.yty += other.yty;
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Solve the current normal equations with ridge `lambda` on the
+    /// non-intercept block (`lambda = 0` for plain OLS). Singular systems are
+    /// automatically jittered, matching [`crate::lstsq::fit_ols`].
+    ///
+    /// The system is solved under symmetric Jacobi (diagonal) scaling:
+    /// features on wildly different scales — bytes next to moisture
+    /// fractions in the BP3D vector — otherwise push the Gram matrix's
+    /// condition number past `f64` and silently degrade the fit.
+    ///
+    /// # Errors
+    /// [`LinalgError::InsufficientData`] when no observations were pushed.
+    pub fn solve(&self, lambda: f64) -> Result<LinearFit> {
+        if self.n == 0 {
+            return Err(LinalgError::InsufficientData { have: 0, need: 1 });
+        }
+        // Jacobi scale factors s_i = sqrt((ZᵀZ)_ii); zero-variance columns
+        // keep scale 1 so the scaled system stays well-defined.
+        let scales: Vec<f64> = (0..self.dim)
+            .map(|i| {
+                let d = self.ztz[(i, i)];
+                if d > 0.0 {
+                    d.sqrt()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let mut gram = Matrix::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                gram[(i, j)] = self.ztz[(i, j)] / (scales[i] * scales[j]);
+            }
+        }
+        for i in 1..self.dim {
+            gram[(i, i)] += lambda / (scales[i] * scales[i]);
+        }
+        let rhs: Vec<f64> = self.zty.iter().zip(&scales).map(|(v, s)| v / s).collect();
+        let scaled_coeffs = match Cholesky::decompose(&gram) {
+            Ok(ch) => ch.solve(&rhs)?,
+            Err(_) => {
+                let scale = gram.max_abs().max(f64::MIN_POSITIVE);
+                let (ch, _) = Cholesky::decompose_jittered(&gram, scale * 1e-10, 24)?;
+                ch.solve(&rhs)?
+            }
+        };
+        let coeffs: Vec<f64> =
+            scaled_coeffs.iter().zip(&scales).map(|(c, s)| c / s).collect();
+        let intercept = coeffs[0];
+        let weights = coeffs[1..].to_vec();
+        // RSS = yᵀy − 2 cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
+        let ztz_c = self.ztz.mul_vec(&coeffs)?;
+        let rss =
+            (self.yty - 2.0 * vector::dot(&coeffs, &self.zty) + vector::dot(&coeffs, &ztz_c)).max(0.0);
+        Ok(LinearFit { weights, intercept, residual_ss: rss, n_obs: self.n })
+    }
+
+    /// Reset to the empty state.
+    pub fn clear(&mut self) {
+        self.ztz = Matrix::zeros(self.dim, self.dim);
+        self.zty.iter_mut().for_each(|v| *v = 0.0);
+        self.yty = 0.0;
+        self.n = 0;
+    }
+
+    /// Exponentially discount the accumulated statistics by `gamma ∈ (0, 1]`:
+    /// `ZᵀZ ← γ·ZᵀZ`, `Zᵀy ← γ·Zᵀy`, `Σy² ← γ·Σy²`. Calling this before
+    /// every push turns the solve into *exponentially weighted* least
+    /// squares with effective memory `1/(1−γ)` observations — the standard
+    /// tool for tracking drifting targets (hardware whose performance
+    /// changes over time in a shared cluster).
+    ///
+    /// The raw observation count is not discounted; it keeps reporting how
+    /// many samples were ever absorbed.
+    ///
+    /// # Panics
+    /// Panics when `gamma` is outside `(0, 1]`.
+    pub fn discount(&mut self, gamma: f64) {
+        assert!(gamma > 0.0 && gamma <= 1.0, "discount factor {gamma} outside (0, 1]");
+        if gamma == 1.0 {
+            return;
+        }
+        self.ztz.scale_mut(gamma);
+        for v in &mut self.zty {
+            *v *= gamma;
+        }
+        self.yty *= gamma;
+    }
+}
+
+/// Maintains `A⁻¹` for `A = λI + Σ z zᵀ` under rank-1 updates
+/// (Sherman–Morrison), plus `Xᵀy`. This is LinUCB's bookkeeping: both the
+/// point estimate `A⁻¹ Xᵀy` and the width `√(zᵀ A⁻¹ z)` come straight from it.
+#[derive(Debug, Clone)]
+pub struct RankOneInverse {
+    dim: usize,
+    a_inv: Matrix,
+    xty: Vec<f64>,
+    n: usize,
+}
+
+impl RankOneInverse {
+    /// New accumulator over vectors of length `dim` with prior `A = lambda·I`.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0` (the prior must be invertible).
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "RankOneInverse requires a positive ridge prior");
+        let mut a_inv = Matrix::identity(dim);
+        a_inv.scale_mut(1.0 / lambda);
+        RankOneInverse { dim, a_inv, xty: vec![0.0; dim], n: 0 }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Observations absorbed.
+    pub fn n_obs(&self) -> usize {
+        self.n
+    }
+
+    /// Current `A⁻¹`.
+    pub fn a_inv(&self) -> &Matrix {
+        &self.a_inv
+    }
+
+    /// Sherman–Morrison update for one observation `(z, y)`:
+    /// `A⁻¹ ← A⁻¹ − (A⁻¹ z zᵀ A⁻¹) / (1 + zᵀ A⁻¹ z)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `z.len() != dim`.
+    pub fn push(&mut self, z: &[f64], y: f64) -> Result<()> {
+        if z.len() != self.dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "push: vector of {} into accumulator of {}",
+                z.len(),
+                self.dim
+            )));
+        }
+        let az = self.a_inv.mul_vec(z)?;
+        let denom = 1.0 + vector::dot(z, &az);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                self.a_inv[(i, j)] -= az[i] * az[j] / denom;
+            }
+        }
+        vector::axpy(y, z, &mut self.xty);
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Point estimate `θ = A⁻¹ Xᵀy`.
+    ///
+    /// # Errors
+    /// Mirrors matrix-vector shape checks (cannot fail internally).
+    pub fn theta(&self) -> Result<Vec<f64>> {
+        self.a_inv.mul_vec(&self.xty)
+    }
+
+    /// Quadratic form `zᵀ A⁻¹ z` (squared confidence width in LinUCB).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn quad_form(&self, z: &[f64]) -> Result<f64> {
+        let az = self.a_inv.mul_vec(z)?;
+        Ok(vector::dot(z, &az))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq::fit_ols;
+
+    fn rows(data: &[(Vec<f64>, f64)]) -> (Matrix, Vec<f64>) {
+        let mut m = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for (x, t) in data {
+            m.push_row(x).unwrap();
+            y.push(*t);
+        }
+        (m, y)
+    }
+
+    fn sample_data() -> Vec<(Vec<f64>, f64)> {
+        // y = 1.5 x0 - 0.5 x1 + 2 with tiny deterministic "noise"
+        (0..12)
+            .map(|i| {
+                let x0 = (i % 5) as f64;
+                let x1 = (i % 3) as f64 * 0.7;
+                let noise = ((i * 37 % 11) as f64 - 5.0) * 0.01;
+                (vec![x0, x1], 1.5 * x0 - 0.5 * x1 + 2.0 + noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_batch_ols() {
+        let data = sample_data();
+        let mut acc = NormalEquations::new(2);
+        for (x, y) in &data {
+            acc.push(x, *y).unwrap();
+        }
+        let inc = acc.solve(0.0).unwrap();
+        let (xs, y) = rows(&data);
+        let batch = fit_ols(&xs, &y).unwrap();
+        for (a, b) in inc.weights.iter().zip(&batch.weights) {
+            assert!((a - b).abs() < 1e-8, "weights differ: {a} vs {b}");
+        }
+        assert!((inc.intercept - batch.intercept).abs() < 1e-8);
+        assert!((inc.residual_ss - batch.residual_ss).abs() < 1e-6);
+        assert_eq!(inc.n_obs, batch.n_obs);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data = sample_data();
+        let (left, right) = data.split_at(5);
+        let mut a = NormalEquations::new(2);
+        let mut b = NormalEquations::new(2);
+        for (x, y) in left {
+            a.push(x, *y).unwrap();
+        }
+        for (x, y) in right {
+            b.push(x, *y).unwrap();
+        }
+        a.merge(&b).unwrap();
+        let merged = a.solve(0.0).unwrap();
+
+        let mut seq = NormalEquations::new(2);
+        for (x, y) in &data {
+            seq.push(x, *y).unwrap();
+        }
+        let sequential = seq.solve(0.0).unwrap();
+        assert!(vector::allclose(&merged.weights, &sequential.weights, 1e-12, 1e-12));
+        assert!((merged.intercept - sequential.intercept).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_dims() {
+        let mut a = NormalEquations::new(2);
+        let b = NormalEquations::new(3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn empty_solve_and_clear() {
+        let mut acc = NormalEquations::new(1);
+        assert!(matches!(acc.solve(0.0), Err(LinalgError::InsufficientData { .. })));
+        acc.push(&[1.0], 2.0).unwrap();
+        assert_eq!(acc.n_obs(), 1);
+        acc.clear();
+        assert_eq!(acc.n_obs(), 0);
+        assert!(acc.solve(0.0).is_err());
+    }
+
+    #[test]
+    fn push_validates_width() {
+        let mut acc = NormalEquations::new(2);
+        assert!(acc.push(&[1.0], 1.0).is_err());
+        assert_eq!(acc.n_features(), 2);
+    }
+
+    #[test]
+    fn ridge_path_on_degenerate_data() {
+        // All identical contexts: ZᵀZ is rank 1; solve must still work.
+        let mut acc = NormalEquations::new(2);
+        for _ in 0..4 {
+            acc.push(&[1.0, 1.0], 6.0).unwrap();
+        }
+        let fit = acc.solve(0.0).unwrap();
+        assert!((fit.predict(&[1.0, 1.0]) - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn discount_tracks_a_shifted_target() {
+        // Regime A: y = 2x. Regime B: y = 5x. A discounted accumulator must
+        // forget A and converge to B; an undiscounted one stays in between.
+        let mut discounted = NormalEquations::new(1);
+        let mut plain = NormalEquations::new(1);
+        let gamma = 0.85;
+        let feed = |acc: &mut NormalEquations, slope: f64, n: usize, disc: Option<f64>| {
+            for i in 0..n {
+                let x = (i % 10 + 1) as f64;
+                if let Some(g) = disc {
+                    acc.discount(g);
+                }
+                acc.push(&[x], slope * x).unwrap();
+            }
+        };
+        feed(&mut discounted, 2.0, 60, Some(gamma));
+        feed(&mut plain, 2.0, 60, None);
+        feed(&mut discounted, 5.0, 60, Some(gamma));
+        feed(&mut plain, 5.0, 60, None);
+        let d = discounted.solve(0.0).unwrap();
+        let p = plain.solve(0.0).unwrap();
+        assert!((d.weights[0] - 5.0).abs() < 0.2, "discounted slope {}", d.weights[0]);
+        assert!(
+            (p.weights[0] - 5.0).abs() > 0.8,
+            "plain OLS still dragged by the old regime: {}",
+            p.weights[0]
+        );
+        assert_eq!(d.n_obs, 120, "raw count not discounted");
+    }
+
+    #[test]
+    fn discount_one_is_identity() {
+        let mut acc = NormalEquations::new(1);
+        acc.push(&[2.0], 4.0).unwrap();
+        let before = acc.solve(0.0).unwrap();
+        acc.discount(1.0);
+        let after = acc.solve(0.0).unwrap();
+        assert_eq!(before.weights, after.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn discount_validates_gamma() {
+        NormalEquations::new(1).discount(0.0);
+    }
+
+    #[test]
+    fn sherman_morrison_matches_direct_inverse() {
+        let lambda = 0.5;
+        let zs = [
+            vec![1.0, 0.5, -0.2],
+            vec![0.3, 1.0, 0.9],
+            vec![-1.0, 0.2, 0.4],
+            vec![0.8, -0.6, 1.0],
+            vec![0.1, 0.1, 0.1],
+        ];
+        let mut r1 = RankOneInverse::new(3, lambda);
+        let mut a = Matrix::identity(3);
+        a.scale_mut(lambda);
+        for z in &zs {
+            r1.push(z, 1.0).unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[(i, j)] += z[i] * z[j];
+                }
+            }
+        }
+        let direct = Cholesky::decompose(&a).unwrap().inverse().unwrap();
+        assert!(r1.a_inv().allclose(&direct, 1e-9, 1e-9));
+        assert_eq!(r1.n_obs(), 5);
+    }
+
+    #[test]
+    fn theta_recovers_ridge_solution() {
+        // theta = (λI + ZᵀZ)⁻¹ Zᵀy — verify against explicit computation.
+        let lambda = 1e-6;
+        let zs = [vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 4.0], vec![0.5, -1.0]];
+        let true_theta = [2.0, -1.0];
+        let mut r1 = RankOneInverse::new(2, lambda);
+        for z in &zs {
+            let y = z[0] * true_theta[0] + z[1] * true_theta[1];
+            r1.push(z, y).unwrap();
+        }
+        let theta = r1.theta().unwrap();
+        assert!((theta[0] - 2.0).abs() < 1e-3);
+        assert!((theta[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quad_form_positive_and_shrinking() {
+        let mut r1 = RankOneInverse::new(2, 1.0);
+        let z = [1.0, 1.0];
+        let before = r1.quad_form(&z).unwrap();
+        r1.push(&z, 0.0).unwrap();
+        let after = r1.quad_form(&z).unwrap();
+        assert!(before > 0.0 && after > 0.0);
+        assert!(after < before, "confidence width must shrink with data");
+        assert!(r1.quad_form(&[1.0]).is_err());
+        assert!(r1.push(&[1.0], 0.0).is_err() && r1.dim() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive ridge prior")]
+    fn rank_one_rejects_zero_lambda() {
+        let _ = RankOneInverse::new(2, 0.0);
+    }
+}

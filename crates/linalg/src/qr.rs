@@ -1,0 +1,290 @@
+//! Householder QR decomposition and QR-based least squares.
+//!
+//! QR is the numerically robust least-squares path: it avoids squaring the
+//! condition number the way normal equations do. The arm estimators try
+//! Cholesky on `XᵀX` first (cheaper) and fall back to QR when the Gram matrix
+//! is ill-conditioned.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Compact Householder QR of an `n × m` matrix with `n ≥ m`.
+///
+/// `R` is stored in the upper triangle of the working matrix; the Householder
+/// reflectors `v_k` (with `v_k[k] = 1` implicitly) occupy the lower part plus
+/// a separate `beta` array. `Q` is never formed explicitly — `qt_mul`
+/// applies `Qᵀ` to a vector in `O(n·m)`.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Packed factorization: upper triangle holds R, strictly-lower columns
+    /// hold the reflector tails.
+    packed: Matrix,
+    /// Householder scalars `beta_k = 2 / (v_kᵀ v_k)`.
+    betas: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorize `a` (must satisfy `rows ≥ cols`).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if the matrix is wider than tall.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n < m {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "QR expects rows >= cols, got {n}x{m}"
+            )));
+        }
+        let mut work = a.clone();
+        let mut betas = vec![0.0; m];
+        let mut v = vec![0.0; n];
+        for k in 0..m {
+            // Build the reflector for column k below the diagonal.
+            let col_norm = {
+                let mut tail = Vec::with_capacity(n - k);
+                for i in k..n {
+                    tail.push(work[(i, k)]);
+                }
+                vector::norm2(&tail)
+            };
+            if col_norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if work[(k, k)] >= 0.0 { -col_norm } else { col_norm };
+            let v0 = work[(k, k)] - alpha;
+            v[k] = v0;
+            for i in k + 1..n {
+                v[i] = work[(i, k)];
+            }
+            let vtv = v[k..n].iter().map(|x| x * x).sum::<f64>();
+            if vtv == 0.0 {
+                betas[k] = 0.0;
+                work[(k, k)] = alpha;
+                continue;
+            }
+            let beta = 2.0 / vtv;
+            // Apply H = I - beta v vᵀ to the trailing submatrix.
+            for j in k..m {
+                let mut s = 0.0;
+                for i in k..n {
+                    s += v[i] * work[(i, j)];
+                }
+                s *= beta;
+                for i in k..n {
+                    work[(i, j)] -= s * v[i];
+                }
+            }
+            // Store the reflector tail (normalized so v[k] is kept in full).
+            work[(k, k)] = alpha;
+            for i in k + 1..n {
+                work[(i, k)] = v[i] / v0;
+            }
+            betas[k] = beta * v0 * v0;
+        }
+        Ok(QrDecomposition { packed: work, betas })
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.packed.cols()
+    }
+
+    /// The upper-triangular factor `R` (m × m).
+    pub fn r(&self) -> Matrix {
+        let m = self.cols();
+        let mut r = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                r[(i, j)] = self.packed[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Apply `Qᵀ` to a copy of `y`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `y.len() != rows`.
+    pub fn qt_mul(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let (n, m) = self.packed.shape();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "qt_mul: vector of length {} against {n}-row QR",
+                y.len()
+            )));
+        }
+        let mut out = y.to_vec();
+        for k in 0..m {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            // v = [1, packed[k+1..n, k]]
+            let mut s = out[k];
+            for i in k + 1..n {
+                s += self.packed[(i, k)] * out[i];
+            }
+            s *= self.betas[k];
+            out[k] -= s;
+            for i in k + 1..n {
+                out[i] -= s * self.packed[(i, k)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Explicitly materialize `Q` (n × m, thin form). Intended for tests and
+    /// diagnostics; solves never need it.
+    ///
+    /// # Errors
+    /// Propagates from internal applications (cannot fail in practice).
+    pub fn q(&self) -> Result<Matrix> {
+        let (n, m) = self.packed.shape();
+        // Q = H_0 H_1 ... H_{m-1}; apply Qᵀ to unit vectors and transpose.
+        let mut q = Matrix::zeros(n, m);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.qt_mul(&e)?; // row j of Q (since (Qᵀ e_j) = Q's j-th row)
+            for i in 0..m {
+                q[(j, i)] = col[i];
+            }
+        }
+        Ok(q)
+    }
+
+    /// Minimum-norm least-squares solve `min ‖a x − y‖₂` via
+    /// `R x = (Qᵀ y)[..m]`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] on length mismatch.
+    /// * [`LinalgError::Singular`] when `R` has a (numerically) zero diagonal,
+    ///   i.e. the design matrix is column-rank-deficient.
+    pub fn solve(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let m = self.cols();
+        let qty = self.qt_mul(y)?;
+        let mut x = vec![0.0; m];
+        let scale = (0..m).fold(f64::MIN_POSITIVE, |acc, i| acc.max(self.packed[(i, i)].abs()));
+        let tol = scale * 1e-12;
+        for i in (0..m).rev() {
+            let d = self.packed[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i, value: d.abs() });
+            }
+            let mut s = qty[i];
+            for k in i + 1..m {
+                s -= self.packed[(i, k)] * x[k];
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Residual sum of squares of the least-squares solve, available for free
+    /// from the tail of `Qᵀy`: `‖(Qᵀy)[m..]‖²`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `y.len() != rows`.
+    pub fn residual_ss(&self, y: &[f64]) -> Result<f64> {
+        let qty = self.qt_mul(y)?;
+        Ok(qty[self.cols()..].iter().map(|v| v * v).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, -1.0],
+            &[0.5, 4.0],
+            &[-2.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn q_is_orthonormal_and_qr_reconstructs() {
+        let a = tall();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let q = qr.q().unwrap();
+        let qtq = q.transpose().mul(&q).unwrap();
+        assert!(qtq.allclose(&Matrix::identity(2), 1e-10, 1e-10), "QᵀQ != I: {qtq:?}");
+        let rec = q.mul(&qr.r()).unwrap();
+        assert!(rec.allclose(&a, 1e-10, 1e-10), "QR != A: {rec:?}");
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        let wide = Matrix::zeros(2, 3);
+        assert!(QrDecomposition::decompose(&wide).is_err());
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        // x = [1, -1] → b = [1, -2]
+        let x = qr.solve(&[1.0, -2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined: fit y = 2x + 1 with noise-free data → exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let w = qr.solve(&y).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-10);
+        assert!((w[1] - 2.0).abs() < 1e-10);
+        assert!(qr.residual_ss(&y).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn residual_positive_for_inconsistent_system() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let y = [0.0, 1.0, 2.0];
+        let w = qr.solve(&y).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-12); // mean
+        let rss = qr.residual_ss(&y).unwrap();
+        assert!((rss - 2.0).abs() < 1e-12); // (0-1)² + (1-1)² + (2-1)²
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is 2× the first → rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let err = qr.solve(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { .. }));
+    }
+
+    #[test]
+    fn handles_zero_column() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        assert!(qr.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn qt_mul_validates_length() {
+        let qr = QrDecomposition::decompose(&tall()).unwrap();
+        assert!(qr.qt_mul(&[1.0]).is_err());
+        assert!(qr.residual_ss(&[1.0]).is_err());
+    }
+}

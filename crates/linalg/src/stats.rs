@@ -1,0 +1,273 @@
+//! Scalar summary statistics used by the metrics layer and the dataframe
+//! `describe()`.
+
+/// Arithmetic mean; 0 for an empty slice (documented convention — callers in
+/// the metrics layer treat empty series as all-zero rows).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (divides by `n`); 0 for fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n − 1`); 0 for fewer than two elements.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample standard deviation.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Minimum; NaN for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
+}
+
+/// Maximum; NaN for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
+}
+
+/// Linear-interpolation quantile (`q ∈ [0, 1]`), the same scheme as
+/// `numpy.quantile(..., method="linear")`. NaN for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Covariance (population) of two equal-length slices.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance: length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+}
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// mergeable, so per-thread accumulators can be combined.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Absorb one value.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Count of absorbed values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator (Chan's parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 5] = [2.0, 4.0, 4.0, 4.0, 6.0];
+
+    #[test]
+    fn basic_moments() {
+        assert_eq!(mean(&XS), 4.0);
+        assert!((variance(&XS) - 1.6).abs() < 1e-12);
+        assert!((sample_variance(&XS) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&XS) - 1.6f64.sqrt()).abs() < 1e-12);
+        assert!((sample_std_dev(&XS) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_median() {
+        assert_eq!(min(&XS), 2.0);
+        assert_eq!(max(&XS), 6.0);
+        assert_eq!(median(&XS), 4.0);
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_range_checked() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn covariance_matches_definition() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 8.0, 6.0];
+        // means 2 and 6 → cov = ((-1)(-2) + 0·2 + 1·0)/3 = 2/3
+        assert!((covariance(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 100);
+        assert!((w.mean() - mean(&data)).abs() < 1e-10);
+        assert!((w.variance() - variance(&data)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let (a, b) = data.split_at(17);
+        let mut wa = Welford::new();
+        let mut wb = Welford::new();
+        a.iter().for_each(|&x| wa.push(x));
+        b.iter().for_each(|&x| wb.push(x));
+        wa.merge(&wb);
+        let mut seq = Welford::new();
+        data.iter().for_each(|&x| seq.push(x));
+        assert_eq!(wa.count(), seq.count());
+        assert!((wa.mean() - seq.mean()).abs() < 1e-10);
+        assert!((wa.variance() - seq.variance()).abs() < 1e-10);
+        // merging empties
+        let mut e = Welford::new();
+        e.merge(&Welford::new());
+        assert_eq!(e.count(), 0);
+        e.merge(&wa);
+        assert_eq!(e.count(), wa.count());
+    }
+}

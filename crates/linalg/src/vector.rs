@@ -1,0 +1,200 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! The bandit hot path works on small feature vectors; plain slices keep the
+//! API friction-free (callers pass `&[f64]` straight from their own storage)
+//! and let the compiler auto-vectorize the simple loops.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths (programmer error on the hot
+/// path; the public bandit API validates dimensions once at the boundary).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    // Manual 4-way unroll: keeps four independent accumulators so the FP adds
+    // pipeline instead of serializing on one register.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `y ← y + alpha * x` (the BLAS `axpy`).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place: `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm, computed with scaling to avoid overflow/underflow.
+pub fn norm2(x: &[f64]) -> f64 {
+    let mut scale_acc = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale_acc < a {
+                ssq = 1.0 + ssq * (scale_acc / a).powi(2);
+                scale_acc = a;
+            } else {
+                ssq += (a / scale_acc).powi(2);
+            }
+        }
+    }
+    scale_acc * ssq.sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); 0 for an empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Element-wise subtraction `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise addition `a + b` into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Index of the minimum value. Returns `None` on an empty slice or if every
+/// element is NaN; NaNs otherwise lose all comparisons.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum value, with the same NaN policy as [`argmin`].
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// True when `|a - b| <= atol + rtol * |b|` element-wise on scalars.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    (a - b).abs() <= atol + rtol * b.abs()
+}
+
+/// True when two slices are element-wise [`approx_eq`].
+pub fn allclose(a: &[f64], b: &[f64], rtol: f64, atol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| approx_eq(x, y, rtol, atol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // length > 4 exercises the unrolled loop + tail
+        let a: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let b = vec![2.0; 11];
+        assert_eq!(dot(&a, &b), 2.0 * 55.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[-1.0, 2.0, -3.0]), 3.0);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_avoids_overflow() {
+        let big = 1e200;
+        let n = norm2(&[big, big]);
+        assert!(n.is_finite());
+        assert!((n - big * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 1.0, 2.0]), Some(0));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[f64::NAN, 2.0, 1.0]), Some(2));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), None);
+        // first of equal values wins
+        assert_eq!(argmin(&[1.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn add_sub_allclose() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert!(allclose(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9, 1e-9));
+        assert!(!allclose(&[1.0], &[1.1], 1e-9, 1e-9));
+        assert!(!allclose(&[1.0], &[1.0, 2.0], 1e-9, 1e-9));
+    }
+}

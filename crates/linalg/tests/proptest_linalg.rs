@@ -1,0 +1,160 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use banditware_linalg::lstsq::fit_ols;
+use banditware_linalg::online::NormalEquations;
+use banditware_linalg::qr::QrDecomposition;
+use banditware_linalg::stats;
+use banditware_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled `rows × cols` matrix as nested Vecs.
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-10.0..10.0f64, cols), rows).prop_map(move |rows_v| {
+        let refs: Vec<&[f64]> = rows_v.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution(m in matrix_strategy(5, 3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_vector((a, x) in (matrix_strategy(4, 4), prop::collection::vec(-5.0..5.0f64, 4))) {
+        // (A·A)·x == A·(A·x)
+        let aa = a.mul(&a).unwrap();
+        let lhs = aa.mul_vec(&x).unwrap();
+        let rhs = a.mul_vec(&a.mul_vec(&x).unwrap()).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-6 * (1.0 + l.abs().max(r.abs())));
+        }
+    }
+
+    #[test]
+    fn blocked_mul_matches_naive(a in matrix_strategy(9, 7), b in matrix_strategy(7, 11), block in 1usize..16) {
+        let naive = a.mul(&b).unwrap();
+        let blocked = a.mul_blocked(&b, block).unwrap();
+        prop_assert!(blocked.allclose(&naive, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn gram_is_psd_diag_nonneg(a in matrix_strategy(6, 4)) {
+        let g = a.gram();
+        for i in 0..4 {
+            prop_assert!(g[(i, i)] >= -1e-12);
+            for j in 0..4 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in matrix_strategy(5, 4)) {
+        // A = GramB + I is SPD for any B.
+        let mut spd = a.gram();
+        for i in 0..4 { spd[(i, i)] += 1.0; }
+        let ch = Cholesky::decompose(&spd).unwrap();
+        let rec = ch.l().mul(&ch.l().transpose()).unwrap();
+        prop_assert!(rec.allclose(&spd, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse_of_mul(a in matrix_strategy(5, 3), x in prop::collection::vec(-3.0..3.0f64, 3)) {
+        let mut spd = a.gram();
+        for i in 0..3 { spd[(i, i)] += 1.0; }
+        let b = spd.mul_vec(&x).unwrap();
+        let ch = Cholesky::decompose(&spd).unwrap();
+        let solved = ch.solve(&b).unwrap();
+        for (s, xi) in solved.iter().zip(&x) {
+            prop_assert!((s - xi).abs() < 1e-6, "{} vs {}", s, xi);
+        }
+    }
+
+    #[test]
+    fn qr_solution_matches_normal_equations(rows in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 3), 6..12),
+                                            noise in prop::collection::vec(-0.1..0.1f64, 12)) {
+        // Build a full-rank-ish system; skip degenerate draws.
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = (0..a.rows()).map(|i| {
+            let r = a.row(i);
+            2.0 * r[0] - r[1] + 0.5 * r[2] + noise[i % noise.len()]
+        }).collect();
+        let qr = match QrDecomposition::decompose(&a) {
+            Ok(q) => q,
+            Err(_) => return Ok(()),
+        };
+        let via_qr = match qr.solve(&y) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // rank-deficient draw
+        };
+        let gram = a.gram();
+        let ch = match Cholesky::decompose(&gram) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let via_ne = ch.solve(&a.t_mul_vec(&y).unwrap()).unwrap();
+        for (q, n) in via_qr.iter().zip(&via_ne) {
+            prop_assert!((q - n).abs() < 1e-5 * (1.0 + q.abs()), "{} vs {}", q, n);
+        }
+    }
+
+    #[test]
+    fn ols_residual_never_beaten_by_perturbation(
+        xs in prop::collection::vec(-10.0..10.0f64, 8),
+        ys in prop::collection::vec(-10.0..10.0f64, 8),
+        dw in -0.5..0.5f64,
+        db in -0.5..0.5f64,
+    ) {
+        let mut m = Matrix::zeros(0, 0);
+        for &x in &xs { m.push_row(&[x]).unwrap(); }
+        let fit = fit_ols(&m, &ys).unwrap();
+        let rss = |w: f64, b: f64| xs.iter().zip(&ys).map(|(&x, &y)| {
+            let r = y - (w * x + b);
+            r * r
+        }).sum::<f64>();
+        let best = rss(fit.weights[0], fit.intercept);
+        prop_assert!(best <= rss(fit.weights[0] + dw, fit.intercept + db) + 1e-6);
+    }
+
+    #[test]
+    fn incremental_equals_batch(
+        data in prop::collection::vec((prop::collection::vec(-5.0..5.0f64, 2), -20.0..20.0f64), 3..20)
+    ) {
+        let mut acc = NormalEquations::new(2);
+        let mut m = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for (x, t) in &data {
+            acc.push(x, *t).unwrap();
+            m.push_row(x).unwrap();
+            y.push(*t);
+        }
+        let inc = acc.solve(0.0).unwrap();
+        let batch = fit_ols(&m, &y).unwrap();
+        // Both may hit ridge fallbacks on degenerate draws; compare fitted
+        // values rather than raw coefficients.
+        for (x, _) in &data {
+            let a = inc.predict(x);
+            let b = batch.predict(x);
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + a.abs().max(b.abs())), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass(data in prop::collection::vec(-1e3..1e3f64, 1..200)) {
+        let mut w = stats::Welford::new();
+        for &x in &data { w.push(x); }
+        prop_assert!((w.mean() - stats::mean(&data)).abs() < 1e-6);
+        prop_assert!((w.variance() - stats::variance(&data)).abs() < 1e-4 * (1.0 + w.variance()));
+    }
+
+    #[test]
+    fn quantile_monotone(data in prop::collection::vec(-100.0..100.0f64, 2..50), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::quantile(&data, lo) <= stats::quantile(&data, hi) + 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! The Cycles agroecosystem workflow (Experiment 1).
+//!
+//! Cycles [Da Silva et al. 2019] is a high-throughput bag-of-tasks workflow:
+//! `num_tasks` independent crop simulations followed by a cheap merge. Its
+//! makespan on a fixed hardware setting is, to first order, linear in the
+//! number of tasks — exactly the structure the paper exploits in
+//! Experiment 1, where `num_tasks` is the only context feature.
+//!
+//! The paper's four *synthetic hardware settings* (Fig. 3) are modelled as
+//! per-hardware `(slope, intercept)` pairs: faster settings have smaller
+//! slopes (more parallel slots) and larger intercepts (provisioning
+//! overhead), creating both the clear separation the paper highlights and a
+//! mild crossover at small task counts that makes tolerant selection
+//! meaningful.
+
+use crate::dag::WorkflowDag;
+use crate::hardware::{synthetic_hardware, HardwareConfig};
+use crate::noise::NoiseModel;
+use crate::trace::Trace;
+use crate::CostModel;
+use rand::Rng;
+
+/// The Cycles workflow as a task graph: a setup stage, `num_tasks` parallel
+/// crop simulations, and a summarization merge. List-scheduling this DAG on
+/// a hardware setting's slots produces the linear makespan the paper's
+/// per-hardware model assumes (see `dag_makespan_is_linear_in_tasks` below).
+pub fn workflow_dag(num_tasks: usize) -> WorkflowDag {
+    WorkflowDag::fork_join(num_tasks.max(1), 30.0, 12.0, 20.0)
+}
+
+/// Names of the context features for Cycles runs.
+pub const FEATURES: [&str; 1] = ["num_tasks"];
+
+/// Ground-truth linear makespan model per hardware setting.
+#[derive(Debug, Clone)]
+pub struct CyclesModel {
+    /// Seconds of makespan added per task, per hardware id.
+    pub slopes: Vec<f64>,
+    /// Fixed provisioning overhead per hardware id (seconds).
+    pub intercepts: Vec<f64>,
+    noise: NoiseModel,
+}
+
+impl CyclesModel {
+    /// The Experiment-1 configuration: four well-separated synthetic
+    /// settings. At 500 tasks the slowest setting reaches ≈ 3000 s, matching
+    /// the Fig. 3 makespan axis.
+    pub fn paper() -> Self {
+        CyclesModel {
+            slopes: vec![6.0, 4.0, 2.5, 1.2],
+            intercepts: vec![20.0, 60.0, 120.0, 240.0],
+            noise: NoiseModel::LogNormal { sigma: 0.05 },
+        }
+    }
+
+    /// Custom model with explicit coefficients.
+    ///
+    /// # Panics
+    /// Panics when slope/intercept counts differ.
+    pub fn new(slopes: Vec<f64>, intercepts: Vec<f64>, noise: NoiseModel) -> Self {
+        assert_eq!(slopes.len(), intercepts.len(), "per-hardware coefficient counts differ");
+        CyclesModel { slopes, intercepts, noise }
+    }
+
+    /// Number of hardware settings the model covers.
+    pub fn n_hardware(&self) -> usize {
+        self.slopes.len()
+    }
+}
+
+impl CostModel for CyclesModel {
+    fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64 {
+        let num_tasks = features[0];
+        self.slopes[hw.id] * num_tasks + self.intercepts[hw.id]
+    }
+
+    fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+/// Generate the Experiment-1 dataset: `n_runs` runs with task counts drawn
+/// uniformly from `task_range`, spread round-robin over the synthetic
+/// hardware. The paper's dataset is 80 runs with 100- and 500-task
+/// workflows; [`generate_paper_trace`] reproduces that exactly.
+pub fn generate_trace(
+    model: &CyclesModel,
+    n_runs: usize,
+    task_range: (u32, u32),
+    rng: &mut impl Rng,
+) -> Trace {
+    let hardware = synthetic_hardware();
+    assert_eq!(model.n_hardware(), hardware.len(), "model/hardware arity mismatch");
+    let mut trace = Trace::new(
+        "cycles",
+        FEATURES.iter().map(|s| s.to_string()).collect(),
+        hardware.clone(),
+    );
+    for i in 0..n_runs {
+        let num_tasks = rng.gen_range(task_range.0..=task_range.1) as f64;
+        let hw = i % hardware.len();
+        let runtime = model.sample_runtime(&hardware[hw], &[num_tasks], rng);
+        trace.push(vec![num_tasks], hw, runtime);
+    }
+    trace
+}
+
+/// The paper's Experiment-1 dataset shape: 80 runs, two workflow sizes
+/// (100 and 500 tasks), all four synthetic hardware settings.
+pub fn generate_paper_trace(model: &CyclesModel, rng: &mut impl Rng) -> Trace {
+    let hardware = synthetic_hardware();
+    let mut trace = Trace::new(
+        "cycles",
+        FEATURES.iter().map(|s| s.to_string()).collect(),
+        hardware.clone(),
+    );
+    for i in 0..80 {
+        let num_tasks = if i % 2 == 0 { 100.0 } else { 500.0 };
+        let hw = (i / 2) % hardware.len();
+        let runtime = model.sample_runtime(&hardware[hw], &[num_tasks], rng);
+        trace.push(vec![num_tasks], hw, runtime);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_model_shape() {
+        let m = CyclesModel::paper();
+        assert_eq!(m.n_hardware(), 4);
+        let hw = synthetic_hardware();
+        // At 500 tasks the slowest setting is ~3000 s (Fig. 3 axis).
+        let slow = m.expected_runtime(&hw[0], &[500.0]);
+        assert!((slow - 3020.0).abs() < 1.0);
+        // Fastest hardware wins at large task counts.
+        let fast = m.expected_runtime(&hw[3], &[500.0]);
+        assert!(fast < slow / 3.0);
+    }
+
+    #[test]
+    fn expected_runtime_is_linear() {
+        let m = CyclesModel::paper();
+        let hw = &synthetic_hardware()[1];
+        let r100 = m.expected_runtime(hw, &[100.0]);
+        let r200 = m.expected_runtime(hw, &[200.0]);
+        let r300 = m.expected_runtime(hw, &[300.0]);
+        assert!((2.0 * r200 - r100 - r300).abs() < 1e-9, "not linear");
+    }
+
+    #[test]
+    fn crossover_exists_at_small_sizes() {
+        // The trade-off the paper wants: the cheapest hardware is best for
+        // tiny workflows, the biggest for large ones.
+        let m = CyclesModel::paper();
+        let hw = synthetic_hardware();
+        let best_small = (0..4)
+            .min_by(|&a, &b| {
+                m.expected_runtime(&hw[a], &[5.0])
+                    .partial_cmp(&m.expected_runtime(&hw[b], &[5.0]))
+                    .unwrap()
+            })
+            .unwrap();
+        let best_large = (0..4)
+            .min_by(|&a, &b| {
+                m.expected_runtime(&hw[a], &[500.0])
+                    .partial_cmp(&m.expected_runtime(&hw[b], &[500.0]))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best_small, 0);
+        assert_eq!(best_large, 3);
+    }
+
+    #[test]
+    fn paper_trace_has_80_runs_two_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = generate_paper_trace(&CyclesModel::paper(), &mut rng);
+        assert_eq!(t.len(), 80);
+        assert_eq!(t.rows_per_hardware(), vec![20, 20, 20, 20]);
+        let sizes: Vec<f64> = t.rows.iter().map(|r| r.features[0]).collect();
+        assert!(sizes.iter().all(|&s| s == 100.0 || s == 500.0));
+        assert_eq!(sizes.iter().filter(|&&s| s == 100.0).count(), 40);
+    }
+
+    #[test]
+    fn generated_runtimes_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CyclesModel::paper();
+        let t = generate_trace(&m, 400, (100, 500), &mut rng);
+        assert_eq!(t.len(), 400);
+        let hw = synthetic_hardware();
+        for row in &t.rows {
+            let exp = m.expected_runtime(&hw[row.hardware], &row.features);
+            // LogNormal sigma=0.05 keeps 5 sigma within ±28 %.
+            assert!(
+                (row.runtime / exp).ln().abs() < 0.3,
+                "runtime {} too far from expectation {exp}",
+                row.runtime
+            );
+        }
+    }
+
+    #[test]
+    fn trace_spans_task_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = generate_trace(&CyclesModel::paper(), 500, (100, 500), &mut rng);
+        let sizes: Vec<f64> = t.rows.iter().map(|r| r.features[0]).collect();
+        assert!(sizes.iter().cloned().fold(f64::INFINITY, f64::min) < 150.0);
+        assert!(sizes.iter().cloned().fold(0.0, f64::max) > 450.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient counts")]
+    fn custom_model_validates() {
+        let _ = CyclesModel::new(vec![1.0], vec![1.0, 2.0], NoiseModel::None);
+    }
+
+    #[test]
+    fn dag_makespan_is_linear_in_tasks() {
+        // Justifies the paper's linear model from first principles: the
+        // list-scheduled makespan of the Cycles fork-join DAG grows linearly
+        // in num_tasks for each fixed slot count, with slope inversely
+        // proportional to the slots — exactly the per-hardware
+        // (slope, intercept) structure of `CyclesModel`.
+        use banditware_linalg::lstsq::fit_ols;
+        use banditware_linalg::Matrix;
+
+        for &slots in &[2usize, 4, 8] {
+            let sizes = [100usize, 200, 300, 400, 500];
+            let mut xs = Matrix::zeros(0, 0);
+            let mut y = Vec::new();
+            for &n in &sizes {
+                xs.push_row(&[n as f64]).unwrap();
+                y.push(workflow_dag(n).makespan(slots, 1.0));
+            }
+            let fit = fit_ols(&xs, &y).unwrap();
+            // Near-perfect linearity...
+            let rel_rss = fit.residual_ss / y.iter().map(|v| v * v).sum::<f64>();
+            assert!(rel_rss < 1e-4, "slots={slots}: rel RSS {rel_rss}");
+            // ...with slope ≈ body_cost / slots.
+            let expect_slope = 12.0 / slots as f64;
+            assert!(
+                (fit.weights[0] - expect_slope).abs() < 0.15 * expect_slope,
+                "slots={slots}: slope {} vs {expect_slope}",
+                fit.weights[0]
+            );
+        }
+    }
+}

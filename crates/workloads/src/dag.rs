@@ -1,0 +1,307 @@
+//! Workflow DAGs: the task-graph structure underneath HTC workflows like
+//! Cycles.
+//!
+//! The Cycles application is a Pegasus-style scientific workflow: a fan of
+//! independent crop simulations feeding summarization tasks. The paper's
+//! linear makespan model (`makespan ≈ slope·num_tasks + intercept`) is an
+//! *emergent* property of list-scheduling such a graph on `p` parallel
+//! slots. This module provides the graph, a critical-path analysis, and a
+//! list scheduler, plus the Cycles generator — and a test (in
+//! [`crate::cycles`]) confirms the emergent linearity that justifies the
+//! paper's modelling choice.
+
+use std::collections::VecDeque;
+
+/// A task in a workflow DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Dense task id.
+    pub id: usize,
+    /// Stage label (e.g. `"simulate"`, `"summarize"`).
+    pub stage: String,
+    /// Execution cost in seconds on a reference core.
+    pub cost: f64,
+}
+
+/// A directed acyclic task graph. Edges point from producers to consumers.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowDag {
+    tasks: Vec<Task>,
+    /// Adjacency: `children[i]` = tasks that depend on `i`.
+    children: Vec<Vec<usize>>,
+    /// In-degree per task (number of direct dependencies).
+    parents: Vec<usize>,
+}
+
+impl WorkflowDag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        WorkflowDag::default()
+    }
+
+    /// Add a task; returns its id.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite cost.
+    pub fn add_task(&mut self, stage: impl Into<String>, cost: f64) -> usize {
+        assert!(cost.is_finite() && cost > 0.0, "task cost must be positive, got {cost}");
+        let id = self.tasks.len();
+        self.tasks.push(Task { id, stage: stage.into(), cost });
+        self.children.push(Vec::new());
+        self.parents.push(0);
+        id
+    }
+
+    /// Add a dependency `from → to` (`to` cannot start before `from` ends).
+    ///
+    /// # Panics
+    /// Panics on unknown ids, self-edges, or an edge that creates a cycle.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.tasks.len() && to < self.tasks.len(), "unknown task id");
+        assert_ne!(from, to, "self-dependency");
+        self.children[from].push(to);
+        self.parents[to] += 1;
+        assert!(
+            self.topological_order().is_some(),
+            "edge {from}->{to} creates a cycle"
+        );
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Borrow the task list.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total sequential work (sum of all task costs).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Kahn's algorithm; `None` if the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = self.parents.clone();
+        let mut queue: VecDeque<usize> =
+            (0..self.tasks.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.tasks.len());
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for &c in &self.children[t] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        (order.len() == self.tasks.len()).then_some(order)
+    }
+
+    /// Critical-path length (the makespan lower bound with unlimited
+    /// parallelism). 0 for an empty DAG.
+    pub fn critical_path(&self) -> f64 {
+        let Some(order) = self.topological_order() else {
+            return f64::NAN;
+        };
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        for &t in &order {
+            let start = finish[t]; // max over parents already folded in
+            let end = start + self.tasks[t].cost;
+            for &c in &self.children[t] {
+                if end > finish[c] {
+                    finish[c] = end;
+                }
+            }
+            finish[t] = end;
+        }
+        finish.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// List-schedule the DAG on `slots` identical processors with a
+    /// per-task speed factor (`cost / speed` = execution time). Returns the
+    /// makespan. This is the classic greedy earliest-slot heuristic —
+    /// exactly what an HTC scheduler does with a bag of ready tasks.
+    ///
+    /// # Panics
+    /// Panics on zero slots, non-positive speed, or a cyclic graph.
+    pub fn makespan(&self, slots: usize, speed: f64) -> f64 {
+        assert!(slots > 0, "need at least one slot");
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        let order = self.topological_order().expect("DAG must be acyclic");
+        let n = self.tasks.len();
+        if n == 0 {
+            return 0.0;
+        }
+        // earliest_ready[t] = max finish time over t's parents.
+        let mut ready = vec![0.0f64; n];
+        // slot_free[s] = when slot s next becomes idle.
+        let mut slot_free = vec![0.0f64; slots];
+        let mut makespan = 0.0f64;
+        for &t in &order {
+            // Earliest-available slot (greedy).
+            let (best_slot, &free_at) = slot_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("slots non-empty");
+            let start = free_at.max(ready[t]);
+            let end = start + self.tasks[t].cost / speed;
+            slot_free[best_slot] = end;
+            for &c in &self.children[t] {
+                if end > ready[c] {
+                    ready[c] = end;
+                }
+            }
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+
+    /// A fork-join workflow: one setup task, `width` parallel body tasks,
+    /// one merge task.
+    pub fn fork_join(width: usize, setup_cost: f64, body_cost: f64, merge_cost: f64) -> Self {
+        let mut dag = WorkflowDag::new();
+        let setup = dag.add_task("setup", setup_cost);
+        let merge_pending: Vec<usize> = (0..width)
+            .map(|_| {
+                let body = dag.add_task("body", body_cost);
+                dag.add_edge(setup, body);
+                body
+            })
+            .collect();
+        let merge = dag.add_task("merge", merge_cost);
+        for b in merge_pending {
+            dag.add_edge(b, merge);
+        }
+        dag
+    }
+
+    /// A linear chain of `len` tasks (no parallelism at all).
+    pub fn chain(len: usize, cost: f64) -> Self {
+        let mut dag = WorkflowDag::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..len {
+            let t = dag.add_task("stage", cost);
+            if let Some(p) = prev {
+                dag.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut dag = WorkflowDag::new();
+        let a = dag.add_task("a", 1.0);
+        let b = dag.add_task("b", 1.0);
+        let c = dag.add_task("c", 1.0);
+        dag.add_edge(a, c);
+        dag.add_edge(b, c);
+        let order = dag.topological_order().unwrap();
+        let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(c));
+        assert_eq!(dag.n_tasks(), 3);
+        assert_eq!(dag.total_work(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "creates a cycle")]
+    fn cycles_rejected() {
+        let mut dag = WorkflowDag::new();
+        let a = dag.add_task("a", 1.0);
+        let b = dag.add_task("b", 1.0);
+        dag.add_edge(a, b);
+        dag.add_edge(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_rejected() {
+        let mut dag = WorkflowDag::new();
+        dag.add_task("a", 0.0);
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_fork_join() {
+        let chain = WorkflowDag::chain(5, 2.0);
+        assert!((chain.critical_path() - 10.0).abs() < 1e-12);
+        let fj = WorkflowDag::fork_join(10, 1.0, 5.0, 2.0);
+        // setup + one body + merge
+        assert!((fj.critical_path() - 8.0).abs() < 1e-12);
+        assert_eq!(fj.n_tasks(), 12);
+        assert!((fj.total_work() - (1.0 + 50.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let fj = WorkflowDag::fork_join(16, 1.0, 4.0, 1.0);
+        for slots in [1usize, 2, 4, 8, 32] {
+            let m = fj.makespan(slots, 1.0);
+            // Classic bounds: max(critical path, work/slots) ≤ m ≤ work.
+            let lower = fj.critical_path().max(fj.total_work() / slots as f64);
+            assert!(m >= lower - 1e-9, "slots={slots}: {m} < {lower}");
+            assert!(m <= fj.total_work() + 1e-9, "slots={slots}");
+        }
+        // More slots never hurt.
+        assert!(fj.makespan(8, 1.0) <= fj.makespan(2, 1.0));
+        // Unlimited slots → critical path.
+        assert!((fj.makespan(64, 1.0) - fj.critical_path()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_scales_inverse_with_speed() {
+        let fj = WorkflowDag::fork_join(8, 1.0, 3.0, 1.0);
+        let slow = fj.makespan(4, 1.0);
+        let fast = fj.makespan(4, 2.0);
+        assert!((slow / fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_ignores_extra_slots() {
+        let chain = WorkflowDag::chain(6, 1.5);
+        assert!((chain.makespan(1, 1.0) - 9.0).abs() < 1e-9);
+        assert!((chain.makespan(16, 1.0) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = WorkflowDag::new();
+        assert_eq!(dag.critical_path(), 0.0);
+        assert_eq!(dag.makespan(4, 1.0), 0.0);
+        assert!(dag.topological_order().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bag_of_tasks_makespan_is_linear_in_width() {
+        // The paper's Cycles model: makespan grows linearly with num_tasks
+        // at fixed parallelism — emergent from list scheduling.
+        let slots = 8;
+        let mk = |width: usize| {
+            WorkflowDag::fork_join(width, 2.0, 6.0, 2.0).makespan(slots, 1.0)
+        };
+        // Widths at multiples of the slot count avoid the ±1-wave ceil()
+        // quantization; real num_tasks values sit on the same line ±1 wave.
+        let m1 = mk(96);
+        let m2 = mk(192);
+        let m3 = mk(288);
+        let slope1 = m2 - m1;
+        let slope2 = m3 - m2;
+        assert!(
+            (slope1 - slope2).abs() < 1e-9,
+            "makespan growth not linear: {slope1} vs {slope2}"
+        );
+        // And arbitrary widths stay within one wave (one body cost) of it.
+        let interp = m1 + (m2 - m1) * (150.0 - 96.0) / 96.0;
+        assert!((mk(150) - interp).abs() <= 6.0 + 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Planar polygon helpers for BurnPro3D burn units.
+//!
+//! BP3D represents a prescribed burn's geographic extent as a GeoJSON
+//! polygon; the `area` input of Table 1 is "calculated regional surface
+//! area". We model burn units as simple planar polygons in metres and compute
+//! the area with the shoelace formula.
+
+use rand::Rng;
+
+/// A 2-D point in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Easting (m).
+    pub x: f64,
+    /// Northing (m).
+    pub y: f64,
+}
+
+/// A simple polygon (vertices in order, implicitly closed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Build from a vertex list.
+    ///
+    /// # Panics
+    /// Panics with fewer than 3 vertices — not a polygon.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// Vertices in order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Signed area via the shoelace formula (positive for counter-clockwise
+    /// winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area in m².
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length in m.
+    pub fn perimeter(&self) -> f64 {
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| {
+                let p = self.vertices[i];
+                let q = self.vertices[(i + 1) % n];
+                ((p.x - q.x).powi(2) + (p.y - q.y).powi(2)).sqrt()
+            })
+            .sum()
+    }
+
+    /// Vertex centroid (arithmetic mean of the vertices).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len() as f64;
+        let (sx, sy) = self
+            .vertices
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x, ay + p.y));
+        Point { x: sx / n, y: sy / n }
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut lo = Point { x: f64::INFINITY, y: f64::INFINITY };
+        let mut hi = Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY };
+        for p in &self.vertices {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        (lo, hi)
+    }
+
+    /// Generate a random star-shaped polygon around `center` whose area is
+    /// approximately `target_area_m2` (within a few percent): radii are
+    /// jittered around the radius of the equal-area circle, then the polygon
+    /// is rescaled exactly to the target.
+    pub fn random_star(
+        center: Point,
+        target_area_m2: f64,
+        n_vertices: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_vertices >= 3, "polygon needs at least 3 vertices");
+        assert!(target_area_m2 > 0.0, "target area must be positive");
+        let base_r = (target_area_m2 / std::f64::consts::PI).sqrt();
+        let mut vertices = Vec::with_capacity(n_vertices);
+        for k in 0..n_vertices {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / n_vertices as f64;
+            let r = base_r * (0.7 + 0.6 * rng.gen::<f64>());
+            vertices.push(Point { x: center.x + r * angle.cos(), y: center.y + r * angle.sin() });
+        }
+        let mut poly = Polygon::new(vertices);
+        // Rescale about the center so the area hits the target exactly.
+        let scale = (target_area_m2 / poly.area()).sqrt();
+        for v in &mut poly.vertices {
+            v.x = center.x + (v.x - center.x) * scale;
+            v.y = center.y + (v.y - center.y) * scale;
+        }
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 1.0, y: 0.0 },
+            Point { x: 1.0, y: 1.0 },
+            Point { x: 0.0, y: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn shoelace_on_square() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.signed_area(), 1.0); // CCW
+        assert_eq!(sq.perimeter(), 4.0);
+    }
+
+    #[test]
+    fn clockwise_has_negative_signed_area() {
+        let cw = Polygon::new(vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 0.0, y: 1.0 },
+            Point { x: 1.0, y: 1.0 },
+            Point { x: 1.0, y: 0.0 },
+        ]);
+        assert_eq!(cw.signed_area(), -1.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn triangle_area() {
+        let t = Polygon::new(vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 4.0, y: 0.0 },
+            Point { x: 0.0, y: 3.0 },
+        ]);
+        assert_eq!(t.area(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_degenerate() {
+        let _ = Polygon::new(vec![Point { x: 0.0, y: 0.0 }, Point { x: 1.0, y: 1.0 }]);
+    }
+
+    #[test]
+    fn centroid_and_bbox() {
+        let sq = unit_square();
+        let c = sq.centroid();
+        assert_eq!((c.x, c.y), (0.5, 0.5));
+        let (lo, hi) = sq.bounding_box();
+        assert_eq!((lo.x, lo.y, hi.x, hi.y), (0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn random_star_hits_target_area() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &target in &[1e4, 5e5, 2.5e6] {
+            let p = Polygon::random_star(Point { x: 100.0, y: -50.0 }, target, 12, &mut rng);
+            assert!((p.area() - target).abs() / target < 1e-9, "area {} target {target}", p.area());
+            assert_eq!(p.vertices().len(), 12);
+        }
+    }
+
+    #[test]
+    fn random_star_stays_near_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = Point { x: 0.0, y: 0.0 };
+        let p = Polygon::random_star(center, 1e6, 16, &mut rng);
+        let c = p.centroid();
+        let r_equiv = (1e6 / std::f64::consts::PI).sqrt();
+        assert!(c.x.abs() < r_equiv * 0.3 && c.y.abs() < r_equiv * 0.3);
+    }
+}

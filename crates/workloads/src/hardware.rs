@@ -1,0 +1,173 @@
+//! Hardware configurations — the bandit's arms.
+//!
+//! A hardware setting in the paper is a Kubernetes resource configuration
+//! `H = (#cpus, memory)`. [`HardwareConfig::resource_cost`] defines the
+//! "resource efficiency" ordering used by Algorithm 1's tolerant selection:
+//! among configurations whose predicted runtime is within tolerance of the
+//! fastest, the one with the lowest cost is picked.
+
+/// A hardware configuration (one bandit arm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareConfig {
+    /// Dense arm index (0-based).
+    pub id: usize,
+    /// Display name (`"H0"`, ...).
+    pub name: String,
+    /// CPU cores allocated.
+    pub cpus: f64,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+    /// GPU accelerators allocated (0 for the paper's CPU-only flavours;
+    /// the paper's §5 plans "incorporating GPU information into hardware
+    /// recommendations" — see [`gpu_hardware`] and the LLM workload).
+    pub gpus: f64,
+}
+
+impl HardwareConfig {
+    /// Construct a CPU-only flavour with the conventional `H{id}` name.
+    pub fn new(id: usize, cpus: f64, memory_gb: f64) -> Self {
+        HardwareConfig { id, name: format!("H{id}"), cpus, memory_gb, gpus: 0.0 }
+    }
+
+    /// Attach GPUs to the flavour (builder style).
+    pub fn with_gpus(mut self, gpus: f64) -> Self {
+        self.gpus = gpus;
+        self
+    }
+
+    /// Scalar resource cost used for the "most resource efficient" choice in
+    /// Algorithm 1 step 7. One CPU is weighted like 8 GiB of memory (the
+    /// ratio both typical cloud pricing and the NDP flavours use) and one
+    /// GPU like 12 CPUs, so `cost = cpus + memory_gb / 8 + 12·gpus`.
+    pub fn resource_cost(&self) -> f64 {
+        self.cpus + self.memory_gb / 8.0 + 12.0 * self.gpus
+    }
+}
+
+impl std::fmt::Display for HardwareConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.gpus > 0.0 {
+            write!(
+                f,
+                "{} (cpus={}, mem={}GiB, gpus={})",
+                self.name, self.cpus, self.memory_gb, self.gpus
+            )
+        } else {
+            write!(f, "{} (cpus={}, mem={}GiB)", self.name, self.cpus, self.memory_gb)
+        }
+    }
+}
+
+/// The three NDP hardware settings of Experiments 2:
+/// `H0 = (2, 16)`, `H1 = (3, 24)`, `H2 = (4, 16)` (paper §4).
+pub fn ndp_hardware() -> Vec<HardwareConfig> {
+    vec![
+        HardwareConfig::new(0, 2.0, 16.0),
+        HardwareConfig::new(1, 3.0, 24.0),
+        HardwareConfig::new(2, 4.0, 16.0),
+    ]
+}
+
+/// The four synthetic hardware settings of Experiment 1 (Fig. 3). Scaled so
+/// the settings present the "meaningful trade-off" the paper highlights:
+/// faster settings cost more resources.
+pub fn synthetic_hardware() -> Vec<HardwareConfig> {
+    vec![
+        HardwareConfig::new(0, 2.0, 16.0),
+        HardwareConfig::new(1, 4.0, 16.0),
+        HardwareConfig::new(2, 8.0, 32.0),
+        HardwareConfig::new(3, 16.0, 64.0),
+    ]
+}
+
+/// The five hardware options of Experiment 3 (matrix multiplication; the
+/// paper reports a 5-way random-guess accuracy of 0.2).
+pub fn matmul_hardware() -> Vec<HardwareConfig> {
+    vec![
+        HardwareConfig::new(0, 2.0, 16.0),
+        HardwareConfig::new(1, 3.0, 24.0),
+        HardwareConfig::new(2, 4.0, 16.0),
+        HardwareConfig::new(3, 8.0, 32.0),
+        HardwareConfig::new(4, 16.0, 64.0),
+    ]
+}
+
+/// A mixed CPU/GPU catalogue for the LLM-serving workload (the paper's §5
+/// future-work scenario): two CPU-only flavours, a shared fractional GPU,
+/// and one- and two-GPU servers.
+pub fn gpu_hardware() -> Vec<HardwareConfig> {
+    vec![
+        HardwareConfig::new(0, 8.0, 32.0),
+        HardwareConfig::new(1, 32.0, 128.0),
+        HardwareConfig::new(2, 8.0, 32.0).with_gpus(0.5),
+        HardwareConfig::new(3, 16.0, 64.0).with_gpus(1.0),
+        HardwareConfig::new(4, 32.0, 128.0).with_gpus(2.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndp_settings_match_paper() {
+        let hw = ndp_hardware();
+        assert_eq!(hw.len(), 3);
+        assert_eq!((hw[0].cpus, hw[0].memory_gb), (2.0, 16.0));
+        assert_eq!((hw[1].cpus, hw[1].memory_gb), (3.0, 24.0));
+        assert_eq!((hw[2].cpus, hw[2].memory_gb), (4.0, 16.0));
+        assert_eq!(hw[1].name, "H1");
+        assert_eq!(hw[2].id, 2);
+    }
+
+    #[test]
+    fn resource_cost_orders_ndp_sensibly() {
+        let hw = ndp_hardware();
+        // H0 = 2 + 2 = 4; H1 = 3 + 3 = 6; H2 = 4 + 2 = 6.
+        assert_eq!(hw[0].resource_cost(), 4.0);
+        assert_eq!(hw[1].resource_cost(), 6.0);
+        assert_eq!(hw[2].resource_cost(), 6.0);
+        assert!(hw[0].resource_cost() < hw[1].resource_cost());
+    }
+
+    #[test]
+    fn cardinalities_match_experiments() {
+        assert_eq!(synthetic_hardware().len(), 4); // Fig. 3: H0..H3
+        assert_eq!(matmul_hardware().len(), 5); // Fig. 9: random guess = 0.2
+    }
+
+    #[test]
+    fn synthetic_costs_increase_with_speed() {
+        let hw = synthetic_hardware();
+        for w in hw.windows(2) {
+            assert!(w[0].resource_cost() < w[1].resource_cost());
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let h = HardwareConfig::new(1, 3.0, 24.0);
+        let s = h.to_string();
+        assert!(s.contains("H1") && s.contains("cpus=3"));
+        assert!(!s.contains("gpus"));
+        let g = HardwareConfig::new(2, 16.0, 64.0).with_gpus(1.0);
+        assert!(g.to_string().contains("gpus=1"));
+    }
+
+    #[test]
+    fn gpu_catalogue_and_costs() {
+        let hw = gpu_hardware();
+        assert_eq!(hw.len(), 5);
+        assert_eq!(hw[0].gpus, 0.0);
+        assert_eq!(hw[4].gpus, 2.0);
+        // GPUs dominate the cost model: a 2-GPU box costs more than the
+        // biggest CPU-only box, and adding one GPU outweighs doubling a
+        // small box's cores.
+        assert!(hw[4].resource_cost() > hw[1].resource_cost());
+        assert!(hw[3].resource_cost() > 2.0 * hw[0].resource_cost());
+        // cost = cpus + mem/8 + 12·gpus
+        assert!((hw[3].resource_cost() - (16.0 + 8.0 + 12.0)).abs() < 1e-12);
+        // cpu-only flavours unaffected by the gpu term
+        assert_eq!(hw[0].resource_cost(), 8.0 + 4.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Workload models and trace generators for the three applications the paper
+//! evaluates BanditWare on.
+//!
+//! * [`cycles`] — the Cycles agroecosystem workflow: a bag-of-tasks HTC
+//!   workload whose makespan is linear in `num_tasks` (Experiment 1 / Fig. 3–4).
+//! * [`bp3d`] — BurnPro3D prescribed-fire simulations: burn units are real
+//!   polygons (area via the shoelace formula), weather is sampled, and the
+//!   feature vector is exactly Table 1 of the paper (Experiment 2 / Fig. 5–7).
+//! * [`matmul`] — tiled parallel matrix squaring: a **real** multi-threaded
+//!   kernel (crossbeam scoped threads over row blocks) plus the calibrated
+//!   analytic cost model used to generate the 2520-run trace of
+//!   Experiment 3 / Fig. 8–12.
+//!
+//! Shared infrastructure:
+//!
+//! * [`hardware`] — `(cpus, memory)` hardware configurations, including the
+//!   NDP settings `H0=(2,16), H1=(3,24), H2=(4,16)` from the paper.
+//! * [`noise`] — multiplicative/additive noise models for sampled runtimes.
+//! * [`trace`] — the `Trace` dataset type every generator produces, with
+//!   lossless conversion to/from `banditware_frame::DataFrame`.
+//! * [`geometry`] — planar polygon helpers for burn units.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper's traces come from proprietary NDP telemetry. Generators here
+//! reproduce the *published statistical structure* — cardinalities, feature
+//! ranges, linear runtime models, noise levels, and the qualitative
+//! hardware-separability of each experiment — which is what the bandit
+//! actually interacts with.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bp3d;
+pub mod cycles;
+pub mod dag;
+pub mod geometry;
+pub mod hardware;
+pub mod llm;
+pub mod matmul;
+pub mod noise;
+pub mod trace;
+
+pub use hardware::HardwareConfig;
+pub use noise::NoiseModel;
+pub use trace::{Trace, TraceRow};
+
+/// A workload cost model: the ground-truth runtime structure a generator
+/// samples from, and the reference the evaluation layer uses as its oracle.
+pub trait CostModel {
+    /// Noise-free expected runtime of a workload with `features` on `hw`.
+    fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64;
+
+    /// Noise model applied around the expectation.
+    fn noise(&self) -> &NoiseModel;
+
+    /// One stochastic runtime observation.
+    fn sample_runtime(
+        &self,
+        hw: &HardwareConfig,
+        features: &[f64],
+        rng: &mut impl rand::Rng,
+    ) -> f64 {
+        self.noise().apply(self.expected_runtime(hw, features), rng)
+    }
+}

@@ -1,0 +1,214 @@
+//! LLM inference serving — the paper's §5 future-work application
+//! ("additional applications, including large language models (LLMs),
+//! enabling us to incorporate GPU information into hardware
+//! recommendations").
+//!
+//! A request is characterized by `prompt_tokens`, `output_tokens` and
+//! `batch_size`. Latency decomposes the standard way:
+//!
+//! * **prefill** — processing the prompt is compute-bound and parallelizes
+//!   well: `prompt_tokens · batch / prefill_throughput(hw)`;
+//! * **decode** — generating tokens is sequential per request and
+//!   memory-bandwidth-bound: `output_tokens · time_per_token(hw)`;
+//! * plus a model-load/queue overhead per flavour.
+//!
+//! GPUs accelerate both phases by an order of magnitude, but carry an
+//! order-of-magnitude resource cost ([`crate::hardware::gpu_hardware`]) —
+//! so short, small-batch requests are *cheaper and barely slower* on CPU
+//! flavours while long generations need the GPU: exactly the kind of
+//! context-dependent trade-off BanditWare's tolerant selection targets.
+
+use crate::hardware::{gpu_hardware, HardwareConfig};
+use crate::noise::NoiseModel;
+use crate::trace::Trace;
+use crate::CostModel;
+use rand::Rng;
+
+/// The request features.
+pub const FEATURES: [&str; 3] = ["prompt_tokens", "output_tokens", "batch_size"];
+
+/// Ground-truth latency model for LLM inference on mixed CPU/GPU flavours.
+#[derive(Debug, Clone)]
+pub struct LlmModel {
+    /// Prefill throughput per CPU core (tokens/s).
+    pub cpu_prefill_tps: f64,
+    /// Prefill throughput per GPU (tokens/s).
+    pub gpu_prefill_tps: f64,
+    /// Decode latency per token on CPU (seconds), before the core-count
+    /// discount.
+    pub cpu_decode_spt: f64,
+    /// Decode latency per token per GPU (seconds).
+    pub gpu_decode_spt: f64,
+    /// Fixed start-up/queueing overhead (seconds), plus a per-GPU component
+    /// (model loading onto accelerators).
+    pub overhead_base_s: f64,
+    /// Seconds of extra overhead per GPU.
+    pub overhead_per_gpu_s: f64,
+    noise: NoiseModel,
+}
+
+impl LlmModel {
+    /// A 7B-class model served on the [`gpu_hardware`] catalogue.
+    /// Calibrated so a chat-sized request (500 in / 200 out) is a
+    /// few-seconds affair on GPU and ~a minute on a small CPU box.
+    pub fn default_7b() -> Self {
+        LlmModel {
+            cpu_prefill_tps: 120.0,   // per core
+            gpu_prefill_tps: 20_000.0, // per GPU
+            cpu_decode_spt: 0.25,     // 4 tok/s on one core
+            gpu_decode_spt: 0.01,     // 100 tok/s per GPU
+            overhead_base_s: 1.0,
+            overhead_per_gpu_s: 4.0,
+            noise: NoiseModel::LogNormal { sigma: 0.15 },
+        }
+    }
+}
+
+impl CostModel for LlmModel {
+    fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64 {
+        let prompt = features[0];
+        let output = features.get(1).copied().unwrap_or(200.0);
+        let batch = features.get(2).copied().unwrap_or(1.0).max(1.0);
+        let (prefill_tps, decode_spt) = if hw.gpus > 0.0 {
+            (self.gpu_prefill_tps * hw.gpus, self.gpu_decode_spt / hw.gpus)
+        } else {
+            // CPU decode is memory-bandwidth-bound: sqrt scaling over cores,
+            // saturating at 4× a single core.
+            let decode_speedup = hw.cpus.sqrt().min(4.0);
+            (self.cpu_prefill_tps * hw.cpus, self.cpu_decode_spt / decode_speedup)
+        };
+        let prefill = prompt * batch / prefill_tps;
+        // Decoding a batch is roughly as slow as its longest member; larger
+        // batches add mild contention.
+        let decode = output * decode_spt * (1.0 + 0.1 * (batch - 1.0));
+        self.overhead_base_s + self.overhead_per_gpu_s * hw.gpus + prefill + decode
+    }
+
+    fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+/// Generate a serving trace: request shapes drawn from a chat-like mixture
+/// (short interactive prompts, occasional long-context summarization),
+/// uniformly random flavours.
+pub fn generate_trace(model: &LlmModel, n_requests: usize, rng: &mut impl Rng) -> Trace {
+    let hardware = gpu_hardware();
+    let mut trace = Trace::new(
+        "llm",
+        FEATURES.iter().map(|s| s.to_string()).collect(),
+        hardware.clone(),
+    );
+    for _ in 0..n_requests {
+        let long_context = rng.gen::<f64>() < 0.2;
+        let prompt = if long_context {
+            rng.gen_range(4_000..32_000) as f64
+        } else {
+            rng.gen_range(50..2_000) as f64
+        };
+        let output = rng.gen_range(20..1_500) as f64;
+        let batch = *[1.0, 1.0, 1.0, 2.0, 4.0, 8.0].get(rng.gen_range(0..6)).expect("in range");
+        let features = vec![prompt, output, batch];
+        let hw = rng.gen_range(0..hardware.len());
+        let runtime = model.sample_runtime(&hardware[hw], &features, rng);
+        trace.push(features, hw, runtime);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LlmModel {
+        LlmModel::default_7b()
+    }
+
+    #[test]
+    fn gpu_dominates_long_generations() {
+        let m = model();
+        let hw = gpu_hardware();
+        let long_gen = [1_000.0, 1_200.0, 1.0];
+        let cpu_small = m.expected_runtime(&hw[0], &long_gen);
+        let cpu_big = m.expected_runtime(&hw[1], &long_gen);
+        let gpu = m.expected_runtime(&hw[3], &long_gen);
+        assert!(gpu < cpu_big / 4.0, "GPU {gpu} vs big CPU {cpu_big}");
+        assert!(cpu_big < cpu_small, "more cores still help CPU decode");
+    }
+
+    #[test]
+    fn short_requests_competitive_on_cpu() {
+        // A tiny request: GPU overhead (model load) eats the speedup, so
+        // the cheap CPU flavour is within a tolerant-selection margin.
+        let m = model();
+        let hw = gpu_hardware();
+        let short = [100.0, 30.0, 1.0];
+        let cpu_big = m.expected_runtime(&hw[1], &short);
+        let gpu = m.expected_runtime(&hw[3], &short);
+        assert!(
+            cpu_big < gpu + 5.0,
+            "short request: CPU {cpu_big}s should be within ~5s of GPU {gpu}s"
+        );
+        // And the CPU flavour is ~3x cheaper in resources.
+        assert!(hw[1].resource_cost() * 2.0 < hw[3].resource_cost() * 3.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_tokens() {
+        let m = model();
+        let hw = &gpu_hardware()[3];
+        let base = m.expected_runtime(hw, &[500.0, 200.0, 1.0]);
+        assert!(m.expected_runtime(hw, &[5_000.0, 200.0, 1.0]) > base);
+        assert!(m.expected_runtime(hw, &[500.0, 2_000.0, 1.0]) > base);
+        assert!(m.expected_runtime(hw, &[500.0, 200.0, 8.0]) > base);
+    }
+
+    #[test]
+    fn two_gpus_beat_one() {
+        let m = model();
+        let hw = gpu_hardware();
+        let heavy = [16_000.0, 1_000.0, 8.0];
+        let one = m.expected_runtime(&hw[3], &heavy);
+        let two = m.expected_runtime(&hw[4], &heavy);
+        assert!(two < one, "{two} vs {one}");
+    }
+
+    #[test]
+    fn chat_request_latency_scale() {
+        // Sanity: 500/200 tokens ≈ seconds on GPU, ~tens of seconds on a
+        // small CPU box.
+        let m = model();
+        let hw = gpu_hardware();
+        let chat = [500.0, 200.0, 1.0];
+        let gpu = m.expected_runtime(&hw[3], &chat);
+        let cpu = m.expected_runtime(&hw[0], &chat);
+        assert!(gpu < 10.0, "GPU chat latency {gpu}");
+        assert!(cpu > 15.0 && cpu < 120.0, "CPU chat latency {cpu}");
+    }
+
+    #[test]
+    fn trace_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = generate_trace(&model(), 500, &mut rng);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.n_features(), 3);
+        assert_eq!(t.hardware.len(), 5);
+        assert!(t.rows_per_hardware().iter().all(|&c| c > 50));
+        let prompt_idx = t.feature_index("prompt_tokens").unwrap();
+        let long = t.rows.iter().filter(|r| r.features[prompt_idx] >= 4_000.0).count();
+        let frac = long as f64 / t.len() as f64;
+        assert!((0.1..0.35).contains(&frac), "long-context fraction {frac}");
+    }
+
+    #[test]
+    fn size_only_projection_safe() {
+        // The model tolerates prompt-only features (defaults fill in).
+        let m = model();
+        let hw = &gpu_hardware()[2];
+        let full = m.expected_runtime(hw, &[800.0, 200.0, 1.0]);
+        let projected = m.expected_runtime(hw, &[800.0]);
+        assert!((full - projected).abs() / full < 0.2);
+    }
+}

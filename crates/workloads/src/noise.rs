@@ -1,0 +1,126 @@
+//! Runtime noise models.
+//!
+//! Observed runtimes in shared clusters scatter around their expectation —
+//! co-located tenants, network weather, scheduler jitter. Generators wrap
+//! their deterministic cost models in one of these noise models; the bandit
+//! never sees the expectation, only samples.
+
+use rand::Rng;
+
+/// Stochastic perturbation applied to an expected runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// No noise: the sample equals the expectation.
+    None,
+    /// Additive zero-mean Gaussian with standard deviation `sigma` seconds,
+    /// truncated so runtimes stay positive.
+    Gaussian {
+        /// Standard deviation in seconds.
+        sigma: f64,
+    },
+    /// Multiplicative log-normal: `sample = expected · exp(N(0, sigma²))`.
+    /// The natural model for runtimes (positive, right-skewed, relative).
+    LogNormal {
+        /// Standard deviation of the underlying normal (log-space).
+        sigma: f64,
+    },
+    /// Uniform relative jitter: `sample = expected · U(1-frac, 1+frac)`.
+    Proportional {
+        /// Maximum relative deviation (e.g. `0.1` = ±10 %).
+        frac: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Draw one noisy sample around `expected`. Samples are clamped to a tiny
+    /// positive floor — a runtime can never be ≤ 0.
+    pub fn apply(&self, expected: f64, rng: &mut impl Rng) -> f64 {
+        let v = match self {
+            NoiseModel::None => expected,
+            NoiseModel::Gaussian { sigma } => expected + gaussian(rng) * sigma,
+            NoiseModel::LogNormal { sigma } => expected * (gaussian(rng) * sigma).exp(),
+            NoiseModel::Proportional { frac } => {
+                expected * (1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * frac)
+            }
+        };
+        v.max(1e-9)
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a dependency on `rand_distr`,
+/// which is not in the approved crate set).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banditware_linalg::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut r = rng();
+        assert_eq!(NoiseModel::None.apply(123.0, &mut r), 123.0);
+    }
+
+    #[test]
+    fn gaussian_centered_on_expectation() {
+        let mut r = rng();
+        let m = NoiseModel::Gaussian { sigma: 5.0 };
+        let samples: Vec<f64> = (0..20_000).map(|_| m.apply(100.0, &mut r)).collect();
+        let mean = stats::mean(&samples);
+        let sd = stats::std_dev(&samples);
+        assert!((mean - 100.0).abs() < 0.2, "mean {mean}");
+        assert!((sd - 5.0).abs() < 0.2, "sd {sd}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let m = NoiseModel::LogNormal { sigma: 0.5 };
+        let samples: Vec<f64> = (0..20_000).map(|_| m.apply(10.0, &mut r)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0));
+        // E[lognormal] = exp(sigma²/2) · expected ≈ 11.33
+        let mean = stats::mean(&samples);
+        assert!((mean - 10.0 * (0.125f64).exp()).abs() < 0.3, "mean {mean}");
+        // right skew: mean > median
+        assert!(mean > stats::median(&samples));
+    }
+
+    #[test]
+    fn proportional_bounded() {
+        let mut r = rng();
+        let m = NoiseModel::Proportional { frac: 0.1 };
+        for _ in 0..1000 {
+            let s = m.apply(50.0, &mut r);
+            assert!((45.0..=55.0).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn samples_never_nonpositive() {
+        let mut r = rng();
+        let m = NoiseModel::Gaussian { sigma: 100.0 };
+        for _ in 0..2000 {
+            assert!(m.apply(1.0, &mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_helper_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| gaussian(&mut r)).collect();
+        assert!(stats::mean(&xs).abs() < 0.02);
+        assert!((stats::std_dev(&xs) - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,391 @@
+//! The [`Trace`] dataset type: what every workload generator produces and
+//! what the evaluation protocol replays against the bandit.
+
+use crate::hardware::HardwareConfig;
+use crate::noise::NoiseModel;
+use crate::CostModel;
+use banditware_frame::{Column, DataFrame, FrameError};
+use banditware_linalg::Matrix;
+
+/// One historical run: a context, the hardware it ran on, and the observed
+/// runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Workload feature vector (order matches [`Trace::feature_names`]).
+    pub features: Vec<f64>,
+    /// Index into [`Trace::hardware`].
+    pub hardware: usize,
+    /// Observed runtime in seconds.
+    pub runtime: f64,
+}
+
+/// A dataset of application runs across hardware settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Application name (`"cycles"`, `"bp3d"`, `"matmul"`).
+    pub app: String,
+    /// Feature column names, in row order.
+    pub feature_names: Vec<String>,
+    /// The hardware settings runs were collected on.
+    pub hardware: Vec<HardwareConfig>,
+    /// The runs.
+    pub rows: Vec<TraceRow>,
+}
+
+impl Trace {
+    /// Empty trace with the given schema.
+    pub fn new(
+        app: impl Into<String>,
+        feature_names: Vec<String>,
+        hardware: Vec<HardwareConfig>,
+    ) -> Self {
+        Trace { app: app.into(), feature_names, hardware, rows: Vec::new() }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the trace holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per run.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Append a run.
+    ///
+    /// # Panics
+    /// Panics when the feature count or hardware index is inconsistent with
+    /// the schema — generator bugs, not data errors.
+    pub fn push(&mut self, features: Vec<f64>, hardware: usize, runtime: f64) {
+        assert_eq!(features.len(), self.feature_names.len(), "feature arity mismatch");
+        assert!(hardware < self.hardware.len(), "hardware index {hardware} out of range");
+        self.rows.push(TraceRow { features, hardware, runtime });
+    }
+
+    /// Rows that ran on hardware `hw` as `(features, runtime)` design data.
+    pub fn design_for_hardware(&self, hw: usize) -> (Matrix, Vec<f64>) {
+        let mut xs = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for row in self.rows.iter().filter(|r| r.hardware == hw) {
+            xs.push_row(&row.features).expect("rows share arity");
+            y.push(row.runtime);
+        }
+        if y.is_empty() {
+            // keep the column count meaningful even with zero rows
+            xs = Matrix::zeros(0, self.n_features());
+        }
+        (xs, y)
+    }
+
+    /// New trace containing only rows satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&TraceRow) -> bool) -> Trace {
+        Trace {
+            app: self.app.clone(),
+            feature_names: self.feature_names.clone(),
+            hardware: self.hardware.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// New trace keeping a single feature column (by name). Used by the
+    /// paper's "size-only" / "area-only" experiments.
+    ///
+    /// # Panics
+    /// Panics when the feature does not exist.
+    pub fn project_feature(&self, name: &str) -> Trace {
+        let idx = self
+            .feature_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("feature {name:?} not in trace"));
+        Trace {
+            app: self.app.clone(),
+            feature_names: vec![name.to_string()],
+            hardware: self.hardware.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| TraceRow {
+                    features: vec![r.features[idx]],
+                    hardware: r.hardware,
+                    runtime: r.runtime,
+                })
+                .collect(),
+        }
+    }
+
+    /// Column index of a feature name, if present.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Per-feature mean values over all rows (the "neutral workload" used
+    /// by [`ProjectedCostModel`] to fill in features a projection dropped).
+    pub fn feature_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.n_features()];
+        if self.rows.is_empty() {
+            return means;
+        }
+        for row in &self.rows {
+            for (m, f) in means.iter_mut().zip(&row.features) {
+                *m += f;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows.len() as f64;
+        }
+        means
+    }
+
+    /// Convert to a [`DataFrame`]: one column per feature plus `hardware`
+    /// (arm index) and `runtime`.
+    pub fn to_frame(&self) -> DataFrame {
+        let mut df = DataFrame::new();
+        for (j, name) in self.feature_names.iter().enumerate() {
+            let col: Vec<f64> = self.rows.iter().map(|r| r.features[j]).collect();
+            df.add_column(name.clone(), Column::F64(col)).expect("schema names are unique");
+        }
+        let hw: Vec<i64> = self.rows.iter().map(|r| r.hardware as i64).collect();
+        df.add_column("hardware", Column::I64(hw)).expect("no feature named 'hardware'");
+        let rt: Vec<f64> = self.rows.iter().map(|r| r.runtime).collect();
+        df.add_column("runtime", Column::F64(rt)).expect("no feature named 'runtime'");
+        df
+    }
+
+    /// Rebuild a trace from a frame produced by [`Trace::to_frame`].
+    ///
+    /// # Errors
+    /// Propagates missing/ill-typed columns as [`FrameError`].
+    pub fn from_frame(
+        app: impl Into<String>,
+        df: &DataFrame,
+        hardware: Vec<HardwareConfig>,
+    ) -> Result<Trace, FrameError> {
+        let feature_names: Vec<String> = df
+            .names()
+            .iter()
+            .filter(|n| n.as_str() != "hardware" && n.as_str() != "runtime")
+            .cloned()
+            .collect();
+        let hw_col = df.column_f64("hardware")?;
+        let rt_col = df.column_f64("runtime")?;
+        let mut cols: Vec<Vec<f64>> = Vec::with_capacity(feature_names.len());
+        for name in &feature_names {
+            cols.push(df.column_f64(name)?);
+        }
+        let mut trace = Trace::new(app, feature_names, hardware);
+        for i in 0..df.n_rows() {
+            let features: Vec<f64> = cols.iter().map(|c| c[i]).collect();
+            trace.push(features, hw_col[i] as usize, rt_col[i]);
+        }
+        Ok(trace)
+    }
+
+    /// Mean runtime over all rows (0 for an empty trace).
+    pub fn mean_runtime(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.runtime).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Count of rows per hardware index.
+    pub fn rows_per_hardware(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.hardware.len()];
+        for r in &self.rows {
+            counts[r.hardware] += 1;
+        }
+        counts
+    }
+}
+
+/// Adapts a full-feature [`CostModel`] to a *projected* trace (the paper's
+/// "size-only" / "area-only" experiments): projected feature values are
+/// scattered back into a full-width vector whose remaining slots hold the
+/// original trace's mean feature values, then the inner model is consulted.
+///
+/// Without this adapter, a positional model would silently zip the projected
+/// values against the wrong coefficients.
+#[derive(Debug, Clone)]
+pub struct ProjectedCostModel<'a, M: CostModel> {
+    inner: &'a M,
+    /// `indices[k]` = position of projected feature `k` in the full vector.
+    indices: Vec<usize>,
+    /// Fill-in values for all non-projected features.
+    defaults: Vec<f64>,
+}
+
+impl<'a, M: CostModel> ProjectedCostModel<'a, M> {
+    /// Build an adapter for `projected` (a trace produced by
+    /// [`Trace::project_feature`] from `original`) over `model`.
+    ///
+    /// # Panics
+    /// Panics when a projected feature is missing from the original trace.
+    pub fn new(model: &'a M, original: &Trace, projected: &Trace) -> Self {
+        let indices: Vec<usize> = projected
+            .feature_names
+            .iter()
+            .map(|n| {
+                original
+                    .feature_index(n)
+                    .unwrap_or_else(|| panic!("feature {n:?} not in the original trace"))
+            })
+            .collect();
+        ProjectedCostModel { inner: model, indices, defaults: original.feature_means() }
+    }
+
+    fn expand(&self, features: &[f64]) -> Vec<f64> {
+        let mut full = self.defaults.clone();
+        for (k, &i) in self.indices.iter().enumerate() {
+            full[i] = features[k];
+        }
+        full
+    }
+}
+
+impl<M: CostModel> CostModel for ProjectedCostModel<'_, M> {
+    fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64 {
+        self.inner.expected_runtime(hw, &self.expand(features))
+    }
+
+    fn noise(&self) -> &NoiseModel {
+        self.inner.noise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ndp_hardware;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("test", vec!["a".into(), "b".into()], ndp_hardware());
+        t.push(vec![1.0, 2.0], 0, 10.0);
+        t.push(vec![3.0, 4.0], 1, 20.0);
+        t.push(vec![5.0, 6.0], 0, 30.0);
+        t
+    }
+
+    #[test]
+    fn push_and_len() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.n_features(), 2);
+        assert_eq!(t.rows_per_hardware(), vec![2, 1, 0]);
+        assert!((t.mean_runtime() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity")]
+    fn push_validates_arity() {
+        sample().push(vec![1.0], 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_validates_hardware() {
+        sample().push(vec![1.0, 2.0], 9, 1.0);
+    }
+
+    #[test]
+    fn design_for_hardware_splits() {
+        let t = sample();
+        let (xs, y) = t.design_for_hardware(0);
+        assert_eq!(xs.shape(), (2, 2));
+        assert_eq!(y, vec![10.0, 30.0]);
+        let (xs2, y2) = t.design_for_hardware(2);
+        assert_eq!(xs2.shape(), (0, 2));
+        assert!(y2.is_empty());
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let t = sample();
+        let slow = t.filter(|r| r.runtime >= 20.0);
+        assert_eq!(slow.len(), 2);
+        let only_b = t.project_feature("b");
+        assert_eq!(only_b.n_features(), 1);
+        assert_eq!(only_b.rows[1].features, vec![4.0]);
+        assert_eq!(only_b.rows[1].runtime, 20.0);
+        assert_eq!(t.feature_index("a"), Some(0));
+        assert_eq!(t.feature_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in trace")]
+    fn project_unknown_feature_panics() {
+        sample().project_feature("zz");
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let t = sample();
+        let df = t.to_frame();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.names(), &["a", "b", "hardware", "runtime"]);
+        let back = Trace::from_frame("test", &df, ndp_hardware()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = Trace::new("e", vec!["x".into()], ndp_hardware());
+        assert_eq!(t.mean_runtime(), 0.0);
+        assert!(t.is_empty());
+        let (xs, _) = t.design_for_hardware(0);
+        assert_eq!(xs.cols(), 1);
+        assert_eq!(t.feature_means(), vec![0.0]);
+    }
+
+    #[test]
+    fn feature_means_average_rows() {
+        let t = sample();
+        assert_eq!(t.feature_means(), vec![3.0, 4.0]); // means of {1,3,5}, {2,4,6}
+    }
+
+    /// A positional toy model: runtime = 10·f0 + 1·f1.
+    struct Toy(NoiseModel);
+    impl CostModel for Toy {
+        fn expected_runtime(&self, _hw: &HardwareConfig, f: &[f64]) -> f64 {
+            10.0 * f[0] + f[1]
+        }
+        fn noise(&self) -> &NoiseModel {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn projected_model_scatters_back_correct_positions() {
+        let original = sample(); // features a, b; means (3, 4)
+        let projected = original.project_feature("b");
+        let toy = Toy(NoiseModel::None);
+        let pm = ProjectedCostModel::new(&toy, &original, &projected);
+        let hw = &ndp_hardware()[0];
+        // b = 7 goes into slot 1; slot 0 filled with the mean of a (= 3).
+        assert_eq!(pm.expected_runtime(hw, &[7.0]), 10.0 * 3.0 + 7.0);
+        // Projecting `a` instead: a = 7 goes into slot 0, b defaults to 4.
+        let proj_a = original.project_feature("a");
+        let pa = ProjectedCostModel::new(&toy, &original, &proj_a);
+        assert_eq!(pa.expected_runtime(hw, &[7.0]), 10.0 * 7.0 + 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the original trace")]
+    fn projected_model_validates_names() {
+        let original = sample();
+        let mut alien = original.clone();
+        alien.feature_names = vec!["zz".into()];
+        for r in &mut alien.rows {
+            r.features = vec![0.0];
+        }
+        let toy = Toy(NoiseModel::None);
+        let _ = ProjectedCostModel::new(&toy, &original, &alien);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for workload models, trace handling and the real
+//! matmul kernel.
+
+use banditware_linalg::Matrix;
+use banditware_workloads::bp3d::Bp3dModel;
+use banditware_workloads::cycles::CyclesModel;
+use banditware_workloads::dag::WorkflowDag;
+use banditware_workloads::geometry::{Point, Polygon};
+use banditware_workloads::hardware::{ndp_hardware, synthetic_hardware};
+use banditware_workloads::matmul::{generate_matrix, square_parallel, MatMulModel};
+use banditware_workloads::trace::ProjectedCostModel;
+use banditware_workloads::{CostModel, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The parallel kernel equals the sequential reference for any shape,
+    /// sparsity, thread count and tile size.
+    #[test]
+    fn square_parallel_always_matches_naive(
+        n in 1usize..24,
+        sparsity in 0.0..0.95f64,
+        threads in 1usize..9,
+        block in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = generate_matrix(n, sparsity, -50, 50, &mut rng);
+        let expect = m.mul(&m).unwrap();
+        let got = square_parallel(&m, threads, block);
+        prop_assert!(got.allclose(&expect, 1e-9, 1e-9));
+    }
+
+    /// Squaring a permutation-like 0/1 matrix stays exact (integer paths).
+    #[test]
+    fn square_parallel_integer_exact(n in 2usize..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = generate_matrix(n, 0.5, 0, 1, &mut rng);
+        let got = square_parallel(&m, 4, 8);
+        let expect = m.mul(&m).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Cost models are monotone in their dominant feature and positive.
+    #[test]
+    fn cost_models_positive_and_monotone(size1 in 100.0..6000.0f64, delta in 100.0..6000.0f64) {
+        let mm = MatMulModel::paper();
+        for hw in &banditware_workloads::hardware::matmul_hardware() {
+            let a = mm.expected_runtime(hw, &[size1, 0.0, -10.0, 10.0]);
+            let b = mm.expected_runtime(hw, &[size1 + delta, 0.0, -10.0, 10.0]);
+            prop_assert!(a > 0.0 && b > a);
+        }
+        let cm = CyclesModel::paper();
+        for hw in &synthetic_hardware() {
+            let a = cm.expected_runtime(hw, &[size1.min(500.0)]);
+            let b = cm.expected_runtime(hw, &[size1.min(500.0) + 1.0]);
+            prop_assert!(a > 0.0 && b > a);
+        }
+    }
+
+    /// Polygon area is invariant under translation and scales with the
+    /// square of a linear scaling.
+    #[test]
+    fn polygon_area_affine_invariants(
+        pts in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..12),
+        dx in -1e4..1e4f64,
+        dy in -1e4..1e4f64,
+        scale in 0.1..10.0f64,
+    ) {
+        let poly = Polygon::new(pts.iter().map(|&(x, y)| Point { x, y }).collect());
+        let area = poly.area();
+        let shifted = Polygon::new(
+            pts.iter().map(|&(x, y)| Point { x: x + dx, y: y + dy }).collect(),
+        );
+        prop_assert!((shifted.area() - area).abs() < 1e-6 * (1.0 + area));
+        let scaled = Polygon::new(
+            pts.iter().map(|&(x, y)| Point { x: x * scale, y: y * scale }).collect(),
+        );
+        prop_assert!((scaled.area() - area * scale * scale).abs() < 1e-6 * (1.0 + scaled.area()));
+    }
+
+    /// Trace → frame → trace round-trips for arbitrary well-formed traces.
+    #[test]
+    fn trace_frame_roundtrip(
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.01..1e6f64, 2), 0usize..3, 0.1..1e5f64), 1..40,
+        )
+    ) {
+        let mut t = Trace::new("t", vec!["f0".into(), "f1".into()], ndp_hardware());
+        for (features, hw, rt) in rows {
+            t.push(features, hw, rt);
+        }
+        let back = Trace::from_frame("t", &t.to_frame(), ndp_hardware()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Projection + ProjectedCostModel: expected runtime at a row's context
+    /// matches the full model evaluated with the other features at their
+    /// trace means.
+    #[test]
+    fn projected_model_consistency(seed in any::<u64>(), n_runs in 20usize..80) {
+        let model = Bp3dModel::paper();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let units = banditware_workloads::bp3d::paper_burn_units(&mut rng);
+        let trace = banditware_workloads::bp3d::generate_trace(&model, &units, n_runs, &mut rng);
+        let projected_trace = trace.project_feature("area");
+        let pm = ProjectedCostModel::new(&model, &trace, &projected_trace);
+        let hw = &ndp_hardware()[0];
+        let means = trace.feature_means();
+        let area_idx = trace.feature_index("area").unwrap();
+        for row in projected_trace.rows.iter().take(5) {
+            let mut full = means.clone();
+            full[area_idx] = row.features[0];
+            let direct = model.expected_runtime(hw, &full);
+            let via = pm.expected_runtime(hw, &row.features);
+            prop_assert!((direct - via).abs() < 1e-9 * (1.0 + direct));
+        }
+    }
+
+    /// DAG makespan bounds hold for arbitrary fork-join shapes.
+    #[test]
+    fn dag_bounds(width in 1usize..40, body in 0.5..20.0f64, slots in 1usize..16) {
+        let dag = WorkflowDag::fork_join(width, 1.0, body, 1.0);
+        let m = dag.makespan(slots, 1.0);
+        let lower = dag.critical_path().max(dag.total_work() / slots as f64);
+        prop_assert!(m >= lower - 1e-9);
+        prop_assert!(m <= dag.total_work() + 1e-9);
+    }
+
+    /// generate_matrix honours its value range for any parameters.
+    #[test]
+    fn generate_matrix_ranges(
+        n in 1usize..20,
+        sparsity in 0.0..1.0f64,
+        lo in -100i64..0,
+        hi in 0i64..100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: Matrix = generate_matrix(n, sparsity, lo, hi, &mut rng);
+        prop_assert_eq!(m.shape(), (n, n));
+        for &v in m.as_slice() {
+            prop_assert!(v == 0.0 || ((lo as f64) <= v && v <= hi as f64));
+            prop_assert!(v.fract() == 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! BurnPro3D campaign planning: choose NDP hardware per prescribed-burn
+//! simulation, online, with the full Table-1 feature vector.
+//!
+//! ```text
+//! cargo run --release --example bp3d_campaign
+//! ```
+//!
+//! Reproduces the Experiment-2 setting end to end: six burn units, sampled
+//! weather, the three NDP hardware flavours `H0=(2,16), H1=(3,24),
+//! H2=(4,16)`, and BanditWare learning the runtime structure while a fire
+//! science team submits simulations. The punchline matches the paper: the
+//! three flavours are nearly indistinguishable on BP3D, so the learned
+//! models converge while best-hardware accuracy stays near 1/3 — and the
+//! tolerance knob turns that into a licence to pick the cheapest flavour.
+
+use banditware::baselines::FullFitBaseline;
+use banditware::prelude::*;
+use banditware::workloads::bp3d::{self, Bp3dModel, Weather};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let model = Bp3dModel::paper();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let units = bp3d::paper_burn_units(&mut rng);
+    let hardware = ndp_hardware();
+
+    println!("burn units:");
+    for u in &units {
+        println!(
+            "  {} ({}): area {:.2} km², perimeter {:.1} km",
+            u.name,
+            u.region,
+            u.area() / 1e6,
+            u.polygon.perimeter() / 1e3
+        );
+    }
+
+    // BanditWare with a 60 s tolerance: BP3D runs take hours, so a minute of
+    // slack buys the cheapest flavour whenever the models can't separate.
+    let specs = specs_from_hardware(&hardware);
+    let config = BanditConfig::paper()
+        .with_tolerance(Tolerance::seconds(60.0).expect("valid"))
+        .with_seed(5);
+    let policy = EpsilonGreedy::new(specs.clone(), bp3d::FEATURES.len(), config).expect("valid");
+    let mut bandit = BanditWare::new(policy, specs);
+    let mut cluster = ClusterSim::new(hardware.clone(), 2, 2, Box::new(model.clone()), 99);
+
+    let sim_times = [400.0, 600.0, 800.0, 1000.0, 1200.0];
+    for round in 0..120 {
+        let unit = &units[round % units.len()];
+        let weather = Weather::sample(&mut rng);
+        let sim_time = sim_times[rng.gen_range(0..sim_times.len())];
+        let features = Bp3dModel::features_for(unit, &weather, sim_time, &mut rng);
+        let (rec, runtime) = bandit
+            .run_round(&features, |rec| cluster.execute("bp3d", &features, rec.arm))
+            .expect("round succeeds");
+        if round % 20 == 0 {
+            println!(
+                "round {round:>3}: {} on {} → {:.1} h (explored: {})",
+                unit.name,
+                rec.name,
+                runtime / 3600.0,
+                rec.explored
+            );
+        }
+    }
+
+    // Compare the learned models against the full-data fit.
+    let trace = {
+        let mut t = Trace::new(
+            "bp3d",
+            bp3d::FEATURES.iter().map(|s| s.to_string()).collect(),
+            hardware.clone(),
+        );
+        for o in bandit.history() {
+            t.push(o.features.clone(), o.arm, o.runtime);
+        }
+        t
+    };
+    let full = FullFitBaseline::fit(&trace).expect("fit observed history");
+    println!("\nafter {} runs:", bandit.rounds());
+    println!("  history full-fit RMSE: {:.0} s (R² {:.3})", full.rmse, full.r2);
+    println!("  pulls per flavour: {:?}", bandit.pulls());
+    let mean_cost: f64 = bandit
+        .history()
+        .iter()
+        .map(|o| hardware[o.arm].resource_cost())
+        .sum::<f64>()
+        / bandit.rounds() as f64;
+    println!(
+        "  mean chosen resource cost: {mean_cost:.2} (H0 cheapest = {:.1}, H1/H2 = {:.1})",
+        hardware[0].resource_cost(),
+        hardware[1].resource_cost()
+    );
+    println!("  cluster telemetry: {} completions, {:.1} core-hours of work",
+        cluster.telemetry().total_completed(),
+        cluster.telemetry().total_busy_seconds() / 3600.0);
+}

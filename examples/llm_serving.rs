@@ -1,0 +1,91 @@
+//! LLM inference serving on mixed CPU/GPU hardware — the paper's §5
+//! future-work scenario ("additional applications, including large language
+//! models (LLMs), enabling us to incorporate GPU information into hardware
+//! recommendations").
+//!
+//! ```text
+//! cargo run --release --example llm_serving
+//! ```
+//!
+//! Requests are routed by a *budget-aware* variant of Algorithm 1:
+//! selection minimizes `latency · (1 + price · resource_cost)`, so a GPU is
+//! only reserved when it buys enough speed to justify its 12×-CPU price —
+//! short chat requests stay on CPU, long generations and big batches get
+//! accelerators.
+
+use banditware::core::objective::{BudgetedEpsilonGreedy, Objective};
+use banditware::prelude::*;
+use banditware::workloads::hardware::gpu_hardware;
+use banditware::workloads::llm::{LlmModel, FEATURES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let hardware = gpu_hardware();
+    println!("hardware catalogue:");
+    for h in &hardware {
+        println!("  {h}  (resource cost {:.1})", h.resource_cost());
+    }
+
+    let specs = specs_from_hardware(&hardware);
+    let model = LlmModel::default_7b();
+    // Pay 0.8 % of the latency per resource-cost unit: a 36-cost GPU box
+    // must be ≥ ~1.3x faster than a 12-cost CPU box to win.
+    let objective = Objective::new(1.0, 0.008, 0.0).expect("valid objective");
+    let mut policy = BudgetedEpsilonGreedy::new(
+        specs.clone(),
+        FEATURES.len(),
+        objective,
+        1.0,
+        0.97,
+        7,
+    )
+    .expect("valid policy");
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut per_arm_latency = vec![0.0f64; hardware.len()];
+    let mut pulls_log: Vec<usize> = Vec::new();
+    for round in 0..400 {
+        // Chat-like mixture: mostly short, sometimes long-context.
+        let long = rng.gen::<f64>() < 0.2;
+        let prompt = if long { rng.gen_range(4_000..32_000) } else { rng.gen_range(50..2_000) } as f64;
+        let output = rng.gen_range(20..1_500) as f64;
+        let batch = *[1.0, 1.0, 2.0, 4.0].get(rng.gen_range(0..4)).expect("in range");
+        let x = [prompt, output, batch];
+        let sel = banditware::core::Policy::select(&mut policy, &x).expect("valid");
+        let latency = {
+            use banditware::workloads::CostModel;
+            model.sample_runtime(&hardware[sel.arm], &x, &mut rng)
+        };
+        banditware::core::Policy::observe(&mut policy, sel.arm, &x, latency).expect("valid");
+        per_arm_latency[sel.arm] += latency;
+        pulls_log.push(sel.arm);
+        if round % 80 == 0 {
+            println!(
+                "round {round:>3}: {} tok in / {} tok out / batch {batch} → {} ({latency:.1}s)",
+                prompt as u64, output as u64, hardware[sel.arm].name
+            );
+        }
+    }
+
+    println!("\nafter 400 requests:");
+    let pulls = banditware::core::Policy::pulls(&policy);
+    for h in &hardware {
+        println!(
+            "  {:>3}: {:>4} requests, {:>8.0} s total latency",
+            h.name, pulls[h.id], per_arm_latency[h.id]
+        );
+    }
+
+    // What does the budget-aware policy recommend for typical shapes?
+    println!("\nrecommendations (budget-aware exploitation):");
+    for (label, x) in [
+        ("short chat  (200 in / 50 out)", [200.0, 50.0, 1.0]),
+        ("long answer (500 in / 1200 out)", [500.0, 1200.0, 1.0]),
+        ("summarize   (24k in / 300 out)", [24_000.0, 300.0, 1.0]),
+        ("batch-8 gen (1k in / 800 out)", [1_000.0, 800.0, 8.0]),
+    ] {
+        let arm = policy.exploit(&x).expect("trained");
+        println!("  {label:<34} → {}", hardware[arm]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Hardware autotuning for the *real* tiled parallel matrix-squaring kernel.
+//!
+//! ```text
+//! cargo run --release --example matmul_autotune
+//! ```
+//!
+//! Here the "hardware settings" are thread-count configurations of the
+//! actual multi-threaded kernel running on this machine, and the observed
+//! runtimes are wall-clock measurements — no simulation. BanditWare learns
+//! which configuration squares each matrix size fastest: small matrices
+//! don't amortize thread spawn overhead, big ones need all cores (the same
+//! crossover the paper's Experiment 3 exploits).
+
+use banditware::prelude::*;
+use banditware::workloads::matmul::{generate_matrix, square_parallel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // Arms: thread counts. Resource cost = threads (more threads = more
+    // resources reserved).
+    let thread_options = [1usize, 2, 4, 8];
+    let specs: Vec<ArmSpec> = thread_options
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| ArmSpec::new(i, format!("{t}-threads"), t as f64))
+        .collect();
+
+    // 10% slowdown tolerance: prefer fewer threads when it barely matters.
+    let config = BanditConfig::paper()
+        .with_tolerance(Tolerance::ratio(0.10).expect("valid"))
+        .with_decay(0.95)
+        .with_seed(17);
+    let policy = EpsilonGreedy::new(specs.clone(), 1, config).expect("valid");
+    let mut bandit = BanditWare::new(policy, specs);
+
+    let mut rng = StdRng::seed_from_u64(23);
+    println!("round | size | threads | explored | measured_ms");
+    for round in 0..40 {
+        // Sizes from 32 to 384: spans the thread-overhead crossover.
+        let size = *[32usize, 64, 96, 128, 192, 256, 320, 384]
+            .get(rng.gen_range(0..8))
+            .expect("in range");
+        let matrix = generate_matrix(size, 0.1, -100, 100, &mut rng);
+        let features = [size as f64];
+        let (rec, ms) = bandit
+            .run_round(&features, |rec| {
+                let threads = thread_options[rec.arm];
+                let t0 = Instant::now();
+                let _ = square_parallel(&matrix, threads, 64);
+                // Never record a hard zero (timer resolution on tiny sizes).
+                (t0.elapsed().as_secs_f64() * 1e3).max(1e-3)
+            })
+            .expect("round succeeds");
+        if round % 5 == 0 {
+            println!(
+                "{round:>5} | {size:>4} | {:>7} | {:>8} | {ms:>11.2}",
+                rec.name, rec.explored
+            );
+        }
+    }
+
+    println!("\npulls per configuration: {:?}", bandit.pulls());
+    for size in [32.0, 128.0, 384.0] {
+        let arm = bandit.policy().exploit(&[size]).expect("trained");
+        println!(
+            "recommended threads for a {size:.0}x{size:.0} squaring: {}",
+            thread_options[arm]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: recommend hardware for incoming workflows, online.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A minimal end-to-end loop against the simulated NDP cluster: each round a
+//! workflow arrives, BanditWare recommends a hardware configuration, the
+//! cluster runs it, and the observed runtime refines the models.
+
+use banditware::prelude::*;
+use banditware::workloads::cycles::CyclesModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Four hardware settings with a real speed/cost trade-off.
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+
+    // Algorithm 1 with the paper's parameters and a 20 s tolerance: among
+    // hardware predicted within 20 s of the fastest, prefer the cheapest.
+    let config = BanditConfig::paper()
+        .with_tolerance(Tolerance::seconds(20.0).expect("valid tolerance"))
+        .with_seed(7);
+    let policy = EpsilonGreedy::new(specs.clone(), 1, config).expect("valid policy");
+    let mut bandit = BanditWare::new(policy, specs);
+
+    // The "cluster": the Cycles workload model behind a discrete-event sim.
+    let model = CyclesModel::paper();
+    let mut cluster = ClusterSim::new(hardware.clone(), 2, 4, Box::new(model), 42);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("round | num_tasks | chosen | explored | runtime_s | predicted_s");
+    for round in 0..60 {
+        let num_tasks = rng.gen_range(100..=500) as f64;
+        let (rec, runtime) = bandit
+            .run_round(&[num_tasks], |rec| cluster.execute("cycles", &[num_tasks], rec.arm))
+            .expect("round succeeds");
+        if round % 5 == 0 {
+            println!(
+                "{round:>5} | {num_tasks:>9.0} | {:>6} | {:>8} | {runtime:>9.1} | {:>11.1}",
+                rec.name,
+                rec.explored,
+                rec.predicted_runtime
+            );
+        }
+    }
+
+    println!("\npulls per hardware: {:?}", bandit.pulls());
+    println!("mean observed runtime per hardware: {:?}",
+        bandit
+            .mean_runtime_per_arm()
+            .iter()
+            .map(|m| format!("{m:.0}"))
+            .collect::<Vec<_>>());
+
+    // What would BanditWare pick now, exploitation-only?
+    for tasks in [120.0, 300.0, 480.0] {
+        let arm = bandit.policy().exploit(&[tasks]).expect("trained");
+        println!("best hardware for a {tasks:.0}-task workflow: {}", hardware[arm]);
+    }
+}

@@ -1,0 +1,70 @@
+//! The Fig.-1 data pipeline end to end: telemetry CSV → DataFrame →
+//! retrieve/merge per hardware → BanditWare warm start → recommendation.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline
+//! ```
+//!
+//! This is the integration mode the paper describes for the National Data
+//! Platform: historical application-performance records arrive as tabular
+//! data, are grouped per hardware setting, and seed the bandit before any
+//! online round runs.
+
+use banditware::frame::{csv, Aggregation};
+use banditware::prelude::*;
+use banditware::workloads::matmul::{self, MatMulModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. "Collect" telemetry: generate a matmul trace and round-trip it
+    //    through CSV, exactly what an NDP export would look like.
+    let model = MatMulModel::paper();
+    let mut rng = StdRng::seed_from_u64(31);
+    let trace = matmul::generate_trace(&model, 300, 100, &mut rng);
+    let csv_text = csv::write_str(&trace.to_frame());
+    println!("telemetry CSV: {} bytes, first lines:", csv_text.len());
+    for line in csv_text.lines().take(3) {
+        println!("  {line}");
+    }
+
+    // 2. Parse it back and retrieve the useful columns (Fig. 1 "Retrieve").
+    let df = csv::read_str(&csv_text).expect("well-formed CSV");
+    let useful = df.select(&["size", "sparsity", "hardware", "runtime"]).expect("columns exist");
+    println!("\nparsed {} rows x {} cols", useful.n_rows(), useful.n_cols());
+
+    // 3. Group per hardware (Fig. 1 "Merge"): runtime statistics per arm.
+    let by_hw = useful.group_by("hardware").expect("hardware column");
+    let stats = by_hw
+        .agg(&[("runtime", Aggregation::Mean), ("runtime", Aggregation::Count)])
+        .expect("numeric aggregation");
+    println!("\nruntime per hardware:\n{stats}");
+
+    // 4. Warm-start BanditWare from the historical rows.
+    let restored = Trace::from_frame("matmul", &df, matmul_hardware()).expect("schema matches");
+    let specs = specs_from_hardware(&restored.hardware);
+    let config = BanditConfig::paper().with_epsilon0(0.2).with_seed(3);
+    let policy = EpsilonGreedy::new(specs.clone(), restored.n_features(), config).expect("valid");
+    let mut bandit = BanditWare::new(policy, specs);
+    for row in &restored.rows {
+        bandit.record_external(row.hardware, &row.features, row.runtime).expect("valid row");
+    }
+    println!("warm-started from {} historical runs; pulls: {:?}", bandit.rounds(), bandit.pulls());
+
+    // 5. Recommend for new workloads.
+    for size in [500.0, 4000.0, 11000.0] {
+        let rec = bandit
+            .recommend(&[size, 0.2, -100.0, 100.0])
+            .expect("trained");
+        println!(
+            "size {size:>6.0} → {} (predicted {:.1} s, explored: {})",
+            rec.name, rec.predicted_runtime, rec.explored
+        );
+        // Feed back a ground-truth sample so the loop stays honest.
+        let rt = {
+            let hw = &restored.hardware[rec.arm];
+            model.sample_runtime(hw, &[size, 0.2, -100.0, 100.0], &mut rng)
+        };
+        bandit.record(rt).expect("valid runtime");
+    }
+}

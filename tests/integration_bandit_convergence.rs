@@ -1,0 +1,136 @@
+//! Cross-crate integration: Algorithm 1 learning real workload models
+//! through the cluster simulator.
+
+use banditware::prelude::*;
+use banditware::workloads::cycles::CyclesModel;
+use banditware::workloads::matmul::MatMulModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The full user-facing loop on Cycles: after enough rounds the bandit's
+/// exploitation choice matches the ground-truth oracle on both sides of the
+/// hardware crossover.
+#[test]
+fn bandit_learns_cycles_crossover_through_cluster() {
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let model = CyclesModel::paper();
+    let mut cluster = ClusterSim::new(hardware.clone(), 2, 4, Box::new(model.clone()), 3);
+
+    let config = BanditConfig::paper().with_seed(19);
+    let policy = EpsilonGreedy::new(specs.clone(), 1, config).unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..250 {
+        let tasks = rng.gen_range(5..=500) as f64;
+        bandit
+            .run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm))
+            .unwrap();
+    }
+
+    // Oracle agreement at the extremes of the crossover.
+    let oracle = banditware::baselines::OracleRecommender::new(&model, &hardware, Tolerance::ZERO);
+    let small = bandit.policy().exploit(&[10.0]).unwrap();
+    let large = bandit.policy().exploit(&[490.0]).unwrap();
+    assert_eq!(small, oracle.best(&[10.0]).unwrap(), "small workflows → cheap hardware");
+    assert_eq!(large, oracle.best(&[490.0]).unwrap(), "large workflows → big hardware");
+    assert_eq!(bandit.rounds(), 250);
+    assert_eq!(cluster.telemetry().total_completed(), 250);
+}
+
+/// Regret against the oracle is sublinear: the second half of the run pays
+/// less regret than the first half.
+#[test]
+fn regret_decays_over_time() {
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let model = CyclesModel::paper();
+    let oracle = banditware::baselines::OracleRecommender::new(&model, &hardware, Tolerance::ZERO);
+
+    let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(23)).unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    let mut rng = StdRng::seed_from_u64(29);
+
+    let n = 400;
+    let mut regrets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tasks = rng.gen_range(5..=500) as f64;
+        let rec = bandit.recommend(&[tasks]).unwrap();
+        regrets.push(oracle.regret(rec.arm, &[tasks]));
+        let hw = &hardware[rec.arm];
+        let rt = model.sample_runtime(hw, &[tasks], &mut rng);
+        bandit.record(rt).unwrap();
+    }
+    let first: f64 = regrets[..n / 2].iter().sum();
+    let second: f64 = regrets[n / 2..].iter().sum();
+    assert!(
+        second < first * 0.5,
+        "regret should decay sharply: first half {first:.0}, second half {second:.0}"
+    );
+}
+
+/// The matmul workload's size-dependent best hardware is learned from
+/// simulated observations (the Exp-3 crossover).
+#[test]
+fn bandit_learns_matmul_size_crossover() {
+    let hardware = matmul_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let model = MatMulModel::paper();
+
+    let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(31)).unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    let mut rng = StdRng::seed_from_u64(37);
+
+    for _ in 0..600 {
+        let size = rng.gen_range(100..=12500) as f64;
+        let rec = bandit.recommend(&[size]).unwrap();
+        let rt = model.sample_runtime(&hardware[rec.arm], &[size, 0.0, -10.0, 10.0], &mut rng);
+        bandit.record(rt).unwrap();
+    }
+
+    // Tiny matrices: small configs (low provisioning overhead). The linear
+    // model can't capture the cubic exactly, so check the *direction*: the
+    // choice for small inputs must be strictly cheaper than for huge inputs.
+    let small_arm = bandit.policy().exploit(&[300.0]).unwrap();
+    let large_arm = bandit.policy().exploit(&[12400.0]).unwrap();
+    assert!(
+        hardware[small_arm].resource_cost() < hardware[large_arm].resource_cost(),
+        "small inputs → cheaper hardware than huge inputs ({small_arm} vs {large_arm})"
+    );
+    assert_eq!(large_arm, 4, "huge squarings need the largest config");
+}
+
+/// Exact (paper-faithful) and incremental policies walk the same trajectory
+/// end to end when seeded identically — across crates, not just per arm.
+#[test]
+fn exact_and_incremental_policies_agree_end_to_end() {
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let model = CyclesModel::paper();
+    let cfg = BanditConfig::paper().with_seed(41);
+
+    let mut exact = ExactEpsilonGreedy::new_exact(specs.clone(), 1, cfg).unwrap();
+    let mut fast = EpsilonGreedy::new(specs, 1, cfg).unwrap();
+    let mut rng_a = StdRng::seed_from_u64(43);
+    let mut rng_b = StdRng::seed_from_u64(43);
+
+    for _ in 0..120 {
+        let tasks = rng_a.gen_range(100..=500) as f64;
+        let _ = rng_b.gen_range(100..=500);
+        let sa = exact.select(&[tasks]).unwrap();
+        let sb = fast.select(&[tasks]).unwrap();
+        assert_eq!(sa, sb);
+        let rt = model.sample_runtime(&hardware[sa.arm], &[tasks], &mut rng_a);
+        let _ = model.sample_runtime(&hardware[sb.arm], &[tasks], &mut rng_b);
+        exact.observe(sa.arm, &[tasks], rt).unwrap();
+        fast.observe(sb.arm, &[tasks], rt).unwrap();
+    }
+    for probe in [50.0, 250.0, 450.0] {
+        for arm in 0..4 {
+            let a = exact.predict(arm, &[probe]).unwrap();
+            let b = fast.predict(arm, &[probe]).unwrap();
+            assert!((a - b).abs() < 1e-5 * (1.0 + a.abs()), "arm {arm} @ {probe}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Reproducibility guarantees: everything that takes a seed produces
+//! identical results across runs and thread counts.
+
+use banditware::prelude::*;
+use banditware::workloads::bp3d::Bp3dModel;
+use banditware::workloads::cycles::{self, CyclesModel};
+use banditware::workloads::{bp3d, matmul};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generators_are_deterministic() {
+    let model = CyclesModel::paper();
+    let a = cycles::generate_paper_trace(&model, &mut StdRng::seed_from_u64(1));
+    let b = cycles::generate_paper_trace(&model, &mut StdRng::seed_from_u64(1));
+    assert_eq!(a, b);
+    let c = cycles::generate_paper_trace(&model, &mut StdRng::seed_from_u64(2));
+    assert_ne!(a, c, "different seeds give different traces");
+
+    let bm = Bp3dModel::paper();
+    let d = bp3d::generate_paper_trace(&bm, &mut StdRng::seed_from_u64(9));
+    let e = bp3d::generate_paper_trace(&bm, &mut StdRng::seed_from_u64(9));
+    assert_eq!(d, e);
+
+    let mm = matmul::MatMulModel::paper();
+    let f = matmul::generate_paper_trace(&mm, &mut StdRng::seed_from_u64(4));
+    let g = matmul::generate_paper_trace(&mm, &mut StdRng::seed_from_u64(4));
+    assert_eq!(f, g);
+}
+
+#[test]
+fn experiment_protocol_independent_of_thread_count() {
+    let model = CyclesModel::paper();
+    let trace = cycles::generate_paper_trace(&model, &mut StdRng::seed_from_u64(77));
+    let base = ExperimentConfig::paper().with_rounds(20).with_sims(6).with_seed(123);
+
+    let mut cfg1 = base.clone();
+    cfg1.n_threads = 1;
+    let mut cfg3 = base.clone();
+    cfg3.n_threads = 3;
+    let mut cfg8 = base;
+    cfg8.n_threads = 8;
+
+    let r1 = run_experiment(&trace, &model, &cfg1);
+    let r3 = run_experiment(&trace, &model, &cfg3);
+    let r8 = run_experiment(&trace, &model, &cfg8);
+    assert_eq!(r1.series.rmse_mean, r3.series.rmse_mean);
+    assert_eq!(r3.series.rmse_mean, r8.series.rmse_mean);
+    assert_eq!(r1.series.accuracy_mean, r8.series.accuracy_mean);
+    assert_eq!(r1.series.regret_mean, r8.series.regret_mean);
+}
+
+#[test]
+fn cluster_simulation_is_deterministic() {
+    let run = |seed: u64| -> Vec<f64> {
+        let mut sim = ClusterSim::new(
+            synthetic_hardware(),
+            2,
+            2,
+            Box::new(CyclesModel::paper()),
+            seed,
+        );
+        for i in 0..30 {
+            sim.submit("cycles", vec![100.0 + (i * 13 % 400) as f64], i % 4);
+        }
+        sim.run_until_idle();
+        sim.results().iter().map(|r| r.runtime).collect()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn full_bandit_run_reproducible() {
+    let run = |seed: u64| -> Vec<usize> {
+        let hardware = ndp_hardware();
+        let specs = specs_from_hardware(&hardware);
+        let model = Bp3dModel::paper();
+        let policy =
+            EpsilonGreedy::new(specs.clone(), 7, BanditConfig::paper().with_seed(seed)).unwrap();
+        let mut bandit = BanditWare::new(policy, specs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let units = bp3d::paper_burn_units(&mut rng);
+        for i in 0..60 {
+            let unit = &units[i % units.len()];
+            let weather = bp3d::Weather::sample(&mut rng);
+            let features = Bp3dModel::features_for(unit, &weather, 800.0, &mut rng);
+            let rec = bandit.recommend(&features).unwrap();
+            let rt = model.sample_runtime(&hardware[rec.arm], &features, &mut rng);
+            bandit.record(rt).unwrap();
+        }
+        bandit.history().iter().map(|o| o.arm).collect()
+    };
+    assert_eq!(run(11), run(11));
+}

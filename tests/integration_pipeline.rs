@@ -1,0 +1,130 @@
+//! Cross-crate integration: the Fig.-1 data pipeline (trace → CSV →
+//! DataFrame → merge → warm start) and the baseline comparisons.
+
+use banditware::baselines::{BestFixedArm, FullFitBaseline, RandomRecommender};
+use banditware::frame::{csv, Aggregation, Value};
+use banditware::prelude::*;
+use banditware::workloads::bp3d::{self, Bp3dModel};
+use banditware::workloads::matmul::{self, MatMulModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bp3d_trace() -> (Trace, Bp3dModel) {
+    let model = Bp3dModel::paper();
+    let mut rng = StdRng::seed_from_u64(53);
+    let trace = bp3d::generate_trace(&model, &bp3d::paper_burn_units(&mut rng), 400, &mut rng);
+    (trace, model)
+}
+
+/// Trace → frame → CSV → frame → trace is lossless, and the group-by
+/// "merge" step reports per-hardware statistics consistent with the raw
+/// trace.
+#[test]
+fn csv_roundtrip_and_merge_consistency() {
+    let (trace, _) = bp3d_trace();
+    let df = trace.to_frame();
+    let text = csv::write_str(&df);
+    let back = csv::read_str(&text).unwrap();
+    assert_eq!(back, df, "CSV round-trip must be lossless");
+    let restored = Trace::from_frame("bp3d", &back, trace.hardware.clone()).unwrap();
+    assert_eq!(restored, trace);
+
+    let gb = df.group_by("hardware").unwrap();
+    let merged = gb.agg(&[("runtime", Aggregation::Mean), ("runtime", Aggregation::Count)]).unwrap();
+    assert_eq!(merged.n_rows(), 3);
+    let counts = merged.column_f64("runtime_count").unwrap();
+    let expected = trace.rows_per_hardware();
+    for i in 0..merged.n_rows() {
+        let hw = match merged.cell(i, "hardware").unwrap() {
+            Value::I64(h) => h as usize,
+            other => panic!("unexpected key type {other:?}"),
+        };
+        assert_eq!(counts[i] as usize, expected[hw]);
+    }
+}
+
+/// A warm-started bandit must match the full-fit baseline's predictions —
+/// same data, same regression.
+#[test]
+fn warm_start_equals_full_fit() {
+    let (trace, _) = bp3d_trace();
+    let specs = specs_from_hardware(&trace.hardware);
+    let policy = EpsilonGreedy::new(
+        specs.clone(),
+        trace.n_features(),
+        BanditConfig::paper().with_epsilon0(0.0),
+    )
+    .unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    for row in &trace.rows {
+        bandit.record_external(row.hardware, &row.features, row.runtime).unwrap();
+    }
+    let full = FullFitBaseline::fit(&trace).unwrap();
+    for row in trace.rows.iter().step_by(37) {
+        for hw in 0..trace.hardware.len() {
+            let a = bandit.policy().predict(hw, &row.features).unwrap();
+            let b = full.recommender.predict(hw, &row.features).unwrap();
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "hw {hw}: bandit {a} vs full fit {b}"
+            );
+        }
+    }
+}
+
+/// Baseline pecking order on a context-dependent workload: oracle ≥ trained
+/// bandit ≥ best-fixed ≥ random (measured as matched-set accuracy).
+#[test]
+fn baseline_pecking_order_on_matmul() {
+    let model = MatMulModel::paper();
+    let mut rng = StdRng::seed_from_u64(59);
+    let trace = matmul::generate_trace(&model, 400, 200, &mut rng);
+    let hardware = trace.hardware.clone();
+    let matched = MatchedSet::generate(&trace, &model, &hardware, 150, &mut rng);
+    let tol = Tolerance::seconds(20.0).unwrap();
+
+    // Oracle: ground-truth expected runtimes.
+    let oracle = banditware::baselines::OracleRecommender::new(&model, &hardware, Tolerance::ZERO);
+    let oracle_acc = matched.accuracy(tol, |x| oracle.best(x).unwrap());
+
+    // Bandit trained online for 300 rounds.
+    let specs = specs_from_hardware(&hardware);
+    let policy =
+        EpsilonGreedy::new(specs.clone(), trace.n_features(), BanditConfig::paper().with_seed(61))
+            .unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    for i in 0..300 {
+        let row = &trace.rows[i % trace.len()];
+        let rec = bandit.recommend(&row.features).unwrap();
+        let rt = model.sample_runtime(&hardware[rec.arm], &row.features, &mut rng);
+        bandit.record(rt).unwrap();
+    }
+    let bandit_acc = matched.accuracy(tol, |x| bandit.policy().exploit(x).unwrap());
+
+    // Best fixed arm in hindsight.
+    let fixed = BestFixedArm::from_trace(&trace).unwrap();
+    let fixed_acc = matched.accuracy(tol, |_| fixed.recommend());
+
+    // Random.
+    let mut random = RandomRecommender::new(hardware.len(), 67).unwrap();
+    let random_acc = matched.accuracy(tol, |_| random.recommend());
+
+    assert!(oracle_acc >= bandit_acc - 0.10, "oracle {oracle_acc} vs bandit {bandit_acc}");
+    assert!(bandit_acc > fixed_acc, "bandit {bandit_acc} vs fixed {fixed_acc}");
+    assert!(bandit_acc > random_acc + 0.1, "bandit {bandit_acc} vs random {random_acc}");
+    assert!(oracle_acc > 0.8, "oracle should be strong, got {oracle_acc}");
+}
+
+/// Subset-trained regressions are consistently weaker than the full fit on
+/// the generated BP3D data — the Fig.-5 premise.
+#[test]
+fn subset_regressions_weaker_than_full_fit() {
+    let (trace, _) = bp3d_trace();
+    let mut rng = StdRng::seed_from_u64(71);
+    let stats =
+        banditware::baselines::linreg::train_on_subsets(&trace, 30, 25, &mut rng).unwrap();
+    let full = FullFitBaseline::fit(&trace).unwrap();
+    let (_, mean_rmse, _, _) = stats.rmse_summary();
+    assert!(mean_rmse > full.rmse, "subset mean {mean_rmse} vs full {}", full.rmse);
+    assert!(stats.r2_median() < full.r2, "subset R² median must trail the full fit");
+}

@@ -1,0 +1,218 @@
+//! Failure injection and pathological-input robustness across the stack.
+
+use banditware::prelude::*;
+use banditware::workloads::cycles::CyclesModel;
+use banditware::workloads::NoiseModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Invalid runtimes are rejected everywhere and never corrupt state.
+#[test]
+fn invalid_observations_rejected_without_corruption() {
+    let specs = specs_from_hardware(&ndp_hardware());
+    let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(1)).unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+
+    bandit.record_external(0, &[10.0], 100.0).unwrap();
+    let before = bandit.policy().predict(0, &[10.0]).unwrap();
+
+    for bad in [0.0, -5.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(bandit.record_external(0, &[10.0], bad).is_err(), "accepted {bad}");
+    }
+    // Wrong arity and wrong arm also rejected.
+    assert!(bandit.record_external(0, &[1.0, 2.0], 5.0).is_err());
+    assert!(bandit.record_external(99, &[1.0], 5.0).is_err());
+
+    let after = bandit.policy().predict(0, &[10.0]).unwrap();
+    assert_eq!(before, after, "rejected observations must not perturb the model");
+    assert_eq!(bandit.rounds(), 1);
+}
+
+/// A single-arm policy is degenerate but must work (always that arm).
+#[test]
+fn single_arm_policy_works() {
+    let specs = vec![ArmSpec::new(0, "only", 1.0)];
+    let mut policy = EpsilonGreedy::new(specs, 1, BanditConfig::paper().with_seed(2)).unwrap();
+    for i in 0..30 {
+        let sel = policy.select(&[i as f64]).unwrap();
+        assert_eq!(sel.arm, 0);
+        policy.observe(0, &[i as f64], 1.0 + i as f64).unwrap();
+    }
+    assert_eq!(policy.pulls(), vec![30]);
+}
+
+/// Extreme noise must never produce non-finite predictions or crash the
+/// experiment loop.
+#[test]
+fn survives_extreme_noise() {
+    let model = CyclesModel::new(
+        vec![6.0, 4.0, 2.5, 1.2],
+        vec![20.0, 60.0, 120.0, 240.0],
+        NoiseModel::LogNormal { sigma: 2.0 }, // ~7x multiplicative scatter
+    );
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let mut policy = EpsilonGreedy::new(specs, 1, BanditConfig::paper().with_seed(3)).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    use banditware::workloads::CostModel;
+    for _ in 0..300 {
+        let x = rng.gen_range(100.0..500.0);
+        let sel = policy.select(&[x]).unwrap();
+        let rt = model.sample_runtime(&hardware[sel.arm], &[x], &mut rng);
+        assert!(rt.is_finite() && rt > 0.0);
+        policy.observe(sel.arm, &[x], rt).unwrap();
+    }
+    for arm in 0..4 {
+        let p = policy.predict(arm, &[300.0]).unwrap();
+        assert!(p.is_finite(), "arm {arm} predicted {p}");
+    }
+}
+
+/// Constant contexts (zero feature variance) stay well-behaved: the fitted
+/// model reproduces the mean runtime rather than blowing up.
+#[test]
+fn constant_context_degenerate_design() {
+    let specs = ArmSpec::unit_costs(2);
+    let mut policy = EpsilonGreedy::new(specs, 3, BanditConfig::paper().with_seed(5)).unwrap();
+    for i in 0..50 {
+        let arm = i % 2;
+        policy.observe(arm, &[7.0, 7.0, 7.0], 100.0 + arm as f64 * 50.0).unwrap();
+    }
+    let p0 = policy.predict(0, &[7.0, 7.0, 7.0]).unwrap();
+    let p1 = policy.predict(1, &[7.0, 7.0, 7.0]).unwrap();
+    assert!((p0 - 100.0).abs() < 1.0, "arm 0 mean: {p0}");
+    assert!((p1 - 150.0).abs() < 1.0, "arm 1 mean: {p1}");
+    assert_eq!(policy.exploit(&[7.0, 7.0, 7.0]).unwrap(), 0);
+}
+
+/// Checkpoint → crash → restore: the recovered recommender continues from
+/// the same state (models and ε schedule).
+#[test]
+fn checkpoint_restore_continues_identically() {
+    let hardware = ndp_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let make = || {
+        let policy =
+            EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(7)).unwrap();
+        BanditWare::new(policy, specs.clone())
+    };
+    let mut original = make();
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..80 {
+        let x = rng.gen_range(1.0..100.0);
+        original.run_round(&[x], |rec| 10.0 + x * (rec.arm + 1) as f64).unwrap();
+    }
+
+    // "Crash": serialize, drop, restore into a fresh instance.
+    let mut checkpoint = Vec::new();
+    save_history(&original, &mut checkpoint).unwrap();
+    let mut restored = make();
+    replay_into(&mut restored, &load_history(checkpoint.as_slice()).unwrap()).unwrap();
+
+    assert_eq!(original.pulls(), restored.pulls());
+    for probe in [5.0, 50.0, 95.0] {
+        for arm in 0..3 {
+            let a = original.policy().predict(arm, &[probe]).unwrap();
+            let b = restored.policy().predict(arm, &[probe]).unwrap();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+    assert!((original.policy().epsilon() - restored.policy().epsilon()).abs() < 1e-12);
+}
+
+/// Drift-aware arms inside the full facade: hardware performance flips
+/// mid-stream and the recommender follows.
+#[test]
+fn facade_with_drift_arms_follows_swap() {
+    let specs = ArmSpec::unit_costs(2);
+    let cfg = BanditConfig::paper().with_epsilon0(0.25).with_decay(1.0).with_seed(9);
+    let policy = banditware::core::DecayingEpsilonGreedy::with_arms(
+        specs.clone(),
+        1,
+        cfg,
+        |nf| DiscountedArm::new(nf, 0.88).unwrap(),
+    )
+    .unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    let mut rng = StdRng::seed_from_u64(10);
+
+    let mut phase = 0usize;
+    for round in 0..500 {
+        if round == 250 {
+            phase = 1;
+        }
+        let x = rng.gen_range(1.0..10.0);
+        bandit
+            .run_round(&[x], |rec| {
+                let fast = (phase == 0 && rec.arm == 0) || (phase == 1 && rec.arm == 1);
+                if fast {
+                    x
+                } else {
+                    3.0 * x
+                }
+            })
+            .unwrap();
+    }
+    assert_eq!(bandit.policy().exploit(&[5.0]).unwrap(), 1, "follows the swap");
+    // And the history reflects the shift in pulls.
+    let late_pulls_arm1 = bandit.history()[400..].iter().filter(|o| o.arm == 1).count();
+    assert!(late_pulls_arm1 > 70, "late rounds mostly on the new fast arm: {late_pulls_arm1}");
+}
+
+/// The standardizing wrapper handles features spanning ten orders of
+/// magnitude inside the full experiment loop.
+#[test]
+fn scaled_policy_on_mixed_magnitudes() {
+    let specs = ArmSpec::unit_costs(2);
+    let mut policy = banditware::core::scaler::scaled_epsilon_greedy(
+        specs,
+        2,
+        BanditConfig::paper().with_seed(11),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..200 {
+        let tiny = rng.gen_range(0.01..0.1);
+        let huge = rng.gen_range(1e9..1e10);
+        let x = [tiny, huge];
+        let sel = policy.select(&x).unwrap();
+        // runtime depends only on the tiny feature; arm 1 is 2x slower
+        let rt = 1000.0 * tiny * (sel.arm + 1) as f64;
+        policy.observe(sel.arm, &x, rt).unwrap();
+    }
+    let p0 = policy.predict(0, &[0.05, 5e9]).unwrap();
+    let p1 = policy.predict(1, &[0.05, 5e9]).unwrap();
+    assert!(p0 < p1, "{p0} vs {p1}");
+    assert!(p0.is_finite() && p1.is_finite());
+}
+
+/// Fault injection: the bandit still identifies the right hardware when a
+/// fifth of executions are preempted or throttled — the runtime signal is
+/// corrupted but unbiased enough.
+#[test]
+fn bandit_learns_through_preemptions() {
+    use banditware::cluster::FaultModel;
+    let hardware = synthetic_hardware();
+    let specs = specs_from_hardware(&hardware);
+    let mut cluster = ClusterSim::new(
+        hardware.clone(),
+        2,
+        4,
+        Box::new(CyclesModel::paper()),
+        13,
+    );
+    cluster.set_fault_model(FaultModel::new(0.10, 0.10, 2.0, 3));
+    assert!(!cluster.fault_model().is_none());
+
+    let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(14)).unwrap();
+    let mut bandit = BanditWare::new(policy, specs);
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..300 {
+        let tasks = rng.gen_range(100..=500) as f64;
+        bandit
+            .run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm))
+            .unwrap();
+    }
+    // Large workflows must still route to the big hardware despite faults.
+    assert_eq!(bandit.policy().exploit(&[480.0]).unwrap(), 3);
+}
