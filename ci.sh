@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI for the BanditWare workspace.
+#
+# Everything here must pass with no network access: all dependencies are
+# path crates inside this repository (see README.md, "Offline dependency
+# shims"). Run from anywhere; the script cd's to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "    (rustfmt not installed; skipping)"
+fi
+
+echo "==> cargo build --release (tier-1, step 1)"
+cargo build --release
+
+# Tier-1 step 2 is `cargo test -q` (root crate); the workspace run below is
+# a strict superset (unit + proptest + integration across every crate), so
+# the root suite is not run twice.
+echo "==> cargo test --workspace -q (unit + proptest + integration, all crates)"
+cargo test --workspace -q
+
+echo "==> cargo build --examples --release (examples smoke check)"
+cargo build --examples --release
+
+echo "==> cargo build --benches --release (criterion benches compile)"
+cargo build --benches --release
+
+echo "==> all green"

@@ -31,10 +31,8 @@ impl BestFixedArm {
         for r in &trace.rows {
             per_arm[r.hardware].push(r.runtime);
         }
-        let per_arm_means: Vec<f64> = per_arm
-            .iter()
-            .map(|v| if v.is_empty() { f64::NAN } else { stats::mean(v) })
-            .collect();
+        let per_arm_means: Vec<f64> =
+            per_arm.iter().map(|v| if v.is_empty() { f64::NAN } else { stats::mean(v) }).collect();
         let arm = per_arm_means
             .iter()
             .enumerate()

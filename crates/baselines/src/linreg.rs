@@ -227,11 +227,8 @@ pub fn train_on_subsets(
             list.shuffle(rng);
         }
         // Round-robin over the hardware lists until n_samples rows are drawn.
-        let mut subset = Trace::new(
-            trace.app.clone(),
-            trace.feature_names.clone(),
-            trace.hardware.clone(),
-        );
+        let mut subset =
+            Trace::new(trace.app.clone(), trace.feature_names.clone(), trace.hardware.clone());
         let mut cursor = vec![0usize; per_hw.len()];
         let mut hw = 0usize;
         while subset.len() < n_samples {
@@ -303,10 +300,7 @@ mod tests {
         // hw0 is fastest everywhere: slope 1 vs 2 vs 3
         assert_eq!(r.recommend(&[10.0], &costs, Tolerance::ZERO).unwrap(), 0);
         // huge tolerance → cheapest (hw0 is also cheapest, still 0)
-        assert_eq!(
-            r.recommend(&[10.0], &costs, Tolerance::seconds(1e6).unwrap()).unwrap(),
-            0
-        );
+        assert_eq!(r.recommend(&[10.0], &costs, Tolerance::seconds(1e6).unwrap()).unwrap(), 0);
     }
 
     #[test]

@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn paper_floor_values() {
-        assert!((RandomRecommender::new(3, 0).unwrap().expected_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (RandomRecommender::new(3, 0).unwrap().expected_accuracy() - 1.0 / 3.0).abs() < 1e-12
+        );
         assert_eq!(RandomRecommender::new(5, 0).unwrap().expected_accuracy(), 0.2);
     }
 }

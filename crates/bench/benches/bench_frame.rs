@@ -54,9 +54,7 @@ fn bench_ops(c: &mut Criterion) {
         b.iter(|| df.filter_f64("size", |s| s >= 5000.0).unwrap())
     });
     c.bench_function("sort_by_f64_2520", |b| b.iter(|| df.sort_by_f64("runtime").unwrap()));
-    c.bench_function("to_design_2520", |b| {
-        b.iter(|| df.to_design(&["size"], "runtime").unwrap())
-    });
+    c.bench_function("to_design_2520", |b| b.iter(|| df.to_design(&["size"], "runtime").unwrap()));
 }
 
 criterion_group!(benches, bench_csv, bench_groupby, bench_ops);

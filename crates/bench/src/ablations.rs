@@ -10,7 +10,9 @@ use banditware_core::plain::PlainEpsilonGreedy;
 use banditware_core::thompson::LinThompson;
 use banditware_core::ucb::Ucb1;
 use banditware_core::{BanditConfig, DecayingEpsilonGreedy, LinearArm, Tolerance};
-use banditware_eval::protocol::{run_experiment, run_experiment_with, specs_from_hardware, ExperimentConfig};
+use banditware_eval::protocol::{
+    run_experiment, run_experiment_with, specs_from_hardware, ExperimentConfig,
+};
 use banditware_eval::report::markdown_table;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -93,10 +95,18 @@ pub fn ablation_arm_model(n_rounds: usize, n_sims: usize) -> String {
             format!("{:.1} ms", recursive_time.as_secs_f64() * 1e3),
         ],
     ];
-    out.push_str(&markdown_table(&["arm estimator", "tail_rmse", "tail_accuracy", "wall_time"], &rows));
+    out.push_str(&markdown_table(
+        &["arm estimator", "tail_rmse", "tail_accuracy", "wall_time"],
+        &rows,
+    ));
     let rel = (exact.series.tail_rmse(10) - recursive.series.tail_rmse(10)).abs()
         / recursive.series.tail_rmse(10).max(1e-9);
-    writeln!(out, "\ntail RMSE relative difference: {:.4}% (same regression, different bookkeeping)", rel * 100.0).unwrap();
+    writeln!(
+        out,
+        "\ntail RMSE relative difference: {:.4}% (same regression, different bookkeeping)",
+        rel * 100.0
+    )
+    .unwrap();
     out
 }
 
@@ -106,10 +116,7 @@ pub fn ablation_arm_model(n_rounds: usize, n_sims: usize) -> String {
 pub fn ablation_policy(n_rounds: usize, n_sims: usize) -> String {
     let mut out = String::from("## Ablation: policy family (Cycles workload)\n\n");
     let (trace, model) = datasets::cycles();
-    let cfg = ExperimentConfig::paper()
-        .with_rounds(n_rounds)
-        .with_sims(n_sims)
-        .with_seed(44);
+    let cfg = ExperimentConfig::paper().with_rounds(n_rounds).with_sims(n_sims).with_seed(44);
     let n_features = trace.n_features();
     let specs = specs_from_hardware(&trace.hardware);
 
@@ -246,9 +253,7 @@ pub fn ablation_drift(rounds_per_phase: usize, n_sims: usize) -> String {
                 for r in 0..rounds_per_phase {
                     let x = rng.gen_range(1.0..10.0);
                     let sel = policy.select(&[x]).expect("arity");
-                    policy
-                        .observe(sel.arm, &[x], truth(phase, sel.arm, x))
-                        .expect("valid");
+                    policy.observe(sel.arm, &[x], truth(phase, sel.arm, x)).expect("valid");
                     if phase == 1 {
                         let exploit = policy.exploit(&[5.0]).expect("trained");
                         if exploit == 1 {
@@ -298,7 +303,11 @@ mod tests {
         // than plain arms.
         let recovery: Vec<f64> = t
             .lines()
-            .filter(|l| l.starts_with("| plain") || l.starts_with("| discounted") || l.starts_with("| windowed"))
+            .filter(|l| {
+                l.starts_with("| plain")
+                    || l.starts_with("| discounted")
+                    || l.starts_with("| windowed")
+            })
             .map(|l| l.split('|').nth(2).unwrap().trim().parse().unwrap())
             .collect();
         assert_eq!(recovery.len(), 3);

@@ -25,12 +25,7 @@ fn shape_check(out: &mut String, ok: bool, claim: &str) {
     writeln!(out, "[shape-check] {verdict}: {claim}").expect("write to String");
 }
 
-fn experiment_report(
-    out: &mut String,
-    title: &str,
-    res: &ExperimentResult,
-    table_every: usize,
-) {
+fn experiment_report(out: &mut String, title: &str, res: &ExperimentResult, table_every: usize) {
     writeln!(out, "\n### {title}\n").unwrap();
     writeln!(
         out,
@@ -40,7 +35,12 @@ fn experiment_report(
     .unwrap();
     out.push_str(&series_table(&res.series, table_every));
     out.push('\n');
-    out.push_str(&plot::line_chart("RMSE over time (mean across sims)", &res.series.rmse_mean, 60, 12));
+    out.push_str(&plot::line_chart(
+        "RMSE over time (mean across sims)",
+        &res.series.rmse_mean,
+        60,
+        12,
+    ));
     out.push_str(&plot::line_chart(
         "Accuracy over time (mean across sims)",
         &res.series.accuracy_mean,
@@ -139,14 +139,19 @@ pub fn fig03() -> String {
     shape_check(
         &mut out,
         max_rel_err < 0.10,
-        &format!("fitted lines within 10% of ground truth everywhere (max {:.2}%)", max_rel_err * 100.0),
+        &format!(
+            "fitted lines within 10% of ground truth everywhere (max {:.2}%)",
+            max_rel_err * 100.0
+        ),
     );
     let slow = model.expected_runtime(&hw[0], &[500.0]);
     let fast = model.expected_runtime(&hw[3], &[500.0]);
     shape_check(
         &mut out,
         slow / fast > 3.0,
-        &format!("hardware settings meaningfully separated at 500 tasks ({slow:.0}s vs {fast:.0}s)"),
+        &format!(
+            "hardware settings meaningfully separated at 500 tasks ({slow:.0}s vs {fast:.0}s)"
+        ),
     );
     out
 }
@@ -189,7 +194,10 @@ pub fn fig04(n_rounds: usize, n_sims: usize) -> String {
     shape_check(
         &mut out,
         res.series.tail_accuracy(10) > 0.7,
-        &format!("accuracy climbs well above random with ts=20 (tail {:.3})", res.series.tail_accuracy(10)),
+        &format!(
+            "accuracy climbs well above random with ts=20 (tail {:.3})",
+            res.series.tail_accuracy(10)
+        ),
     );
     shape_check(
         &mut out,
@@ -202,12 +210,14 @@ pub fn fig04(n_rounds: usize, n_sims: usize) -> String {
 /// **Figure 5** — BP3D linear-regression baseline: 100 models × 25 samples,
 /// all features vs area-only; RMSE and R² distributions.
 pub fn fig05(n_models: usize, n_samples: usize) -> String {
-    let mut out = String::from("## Figure 5: BP3D linear-regression baseline (subset training)\n\n");
+    let mut out =
+        String::from("## Figure 5: BP3D linear-regression baseline (subset training)\n\n");
     let (trace, _) = datasets::bp3d();
     let mut rng = StdRng::seed_from_u64(505);
     let all = train_on_subsets(&trace, n_models, n_samples, &mut rng).expect("subset training");
     let area_trace = trace.project_feature("area");
-    let area = train_on_subsets(&area_trace, n_models, n_samples, &mut rng).expect("subset training");
+    let area =
+        train_on_subsets(&area_trace, n_models, n_samples, &mut rng).expect("subset training");
 
     writeln!(out, "{}", distribution_line("rmse_all", all.rmse_summary())).unwrap();
     writeln!(out, "{}", distribution_line("rmse_area_only", area.rmse_summary())).unwrap();
@@ -228,7 +238,10 @@ pub fn fig05(n_models: usize, n_samples: usize) -> String {
     shape_check(
         &mut out,
         r2_range > 0.2,
-        &format!("R² varies wildly across models (range {:.3}, {:.3}..{:.3})", r2_range, r2_lo, r2_hi),
+        &format!(
+            "R² varies wildly across models (range {:.3}, {:.3}..{:.3})",
+            r2_range, r2_lo, r2_hi
+        ),
     );
     let (_, rmse_mean, _, _) = all.rmse_summary();
     shape_check(
@@ -341,10 +354,7 @@ pub fn fig06(n_rounds: usize) -> String {
 pub fn fig07(n_rounds: usize, n_sims: usize) -> String {
     let mut out = String::from("## Figure 7: BP3D RMSE and accuracy (all features)\n");
     let (trace, model) = datasets::bp3d();
-    let cfg = ExperimentConfig::paper()
-        .with_rounds(n_rounds)
-        .with_sims(n_sims)
-        .with_seed(707);
+    let cfg = ExperimentConfig::paper().with_rounds(n_rounds).with_sims(n_sims).with_seed(707);
     let res = run_experiment(&trace, &model, &cfg);
     experiment_report(&mut out, "BP3D, all features, zero tolerance", &res, 5);
 
@@ -391,7 +401,10 @@ pub fn fig07(n_rounds: usize, n_sims: usize) -> String {
     shape_check(
         &mut out,
         (res.full_fit_accuracy - res.random_accuracy).abs() < 0.15,
-        &format!("even the full fit scores ≈ random ({:.3} ≈ 0.333, paper: 34.2%)", res.full_fit_accuracy),
+        &format!(
+            "even the full fit scores ≈ random ({:.3} ≈ 0.333, paper: 34.2%)",
+            res.full_fit_accuracy
+        ),
     );
     out
 }
@@ -399,7 +412,8 @@ pub fn fig07(n_rounds: usize, n_sims: usize) -> String {
 /// **Figure 8** — matmul linear-regression baseline: 100 models on the full
 /// and the truncated (`size ≥ 5000`) datasets.
 pub fn fig08(n_models: usize, n_samples: usize) -> String {
-    let mut out = String::from("## Figure 8: matmul linear-regression baseline (subset training)\n\n");
+    let mut out =
+        String::from("## Figure 8: matmul linear-regression baseline (subset training)\n\n");
     // The paper trains the matmul recommenders on matrix size as the
     // predictor ("For simplicity, we focus on training using matrix size as
     // the predictor, since the other features do not significantly impact
@@ -409,7 +423,8 @@ pub fn fig08(n_models: usize, n_samples: usize) -> String {
     let truncated = datasets::matmul_subset(&full_trace).project_feature("size");
     let mut rng = StdRng::seed_from_u64(808);
     let all = train_on_subsets(&trace, n_models, n_samples, &mut rng).expect("subset training");
-    let trunc = train_on_subsets(&truncated, n_models, n_samples, &mut rng).expect("subset training");
+    let trunc =
+        train_on_subsets(&truncated, n_models, n_samples, &mut rng).expect("subset training");
 
     writeln!(out, "{}", distribution_line("rmse_all", all.rmse_summary())).unwrap();
     writeln!(out, "{}", distribution_line("rmse_truncated", trunc.rmse_summary())).unwrap();
@@ -446,8 +461,8 @@ pub fn fig08(n_models: usize, n_samples: usize) -> String {
     // regressions are far more reliable than BP3D regressions.
     let (bp3d_trace, _) = datasets::bp3d();
     let mut rng2 = StdRng::seed_from_u64(809);
-    let bp3d_stats =
-        train_on_subsets(&bp3d_trace, n_models.min(40), n_samples, &mut rng2).expect("subset training");
+    let bp3d_stats = train_on_subsets(&bp3d_trace, n_models.min(40), n_samples, &mut rng2)
+        .expect("subset training");
     let bp3d_r2_med = bp3d_stats.r2_median();
     shape_check(
         &mut out,

@@ -47,18 +47,19 @@ pub struct FaultModel {
 
 impl FaultModel {
     /// No faults at all.
-    pub const NONE: FaultModel = FaultModel {
-        preemption_prob: 0.0,
-        slowdown_prob: 0.0,
-        max_slowdown: 1.0,
-        max_restarts: 0,
-    };
+    pub const NONE: FaultModel =
+        FaultModel { preemption_prob: 0.0, slowdown_prob: 0.0, max_slowdown: 1.0, max_restarts: 0 };
 
     /// Construct, validating ranges.
     ///
     /// # Panics
     /// Panics on probabilities outside `[0, 1)` or `max_slowdown < 1`.
-    pub fn new(preemption_prob: f64, slowdown_prob: f64, max_slowdown: f64, max_restarts: u32) -> Self {
+    pub fn new(
+        preemption_prob: f64,
+        slowdown_prob: f64,
+        max_slowdown: f64,
+        max_restarts: u32,
+    ) -> Self {
         assert!(
             (0.0..1.0).contains(&preemption_prob),
             "preemption_prob {preemption_prob} outside [0, 1)"

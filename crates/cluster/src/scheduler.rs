@@ -41,10 +41,7 @@ impl FifoScheduler {
 
     /// Scheduler with an explicit queue discipline.
     pub fn with_discipline(n_hardware: usize, discipline: Discipline) -> Self {
-        FifoScheduler {
-            queues: (0..n_hardware).map(|_| VecDeque::new()).collect(),
-            discipline,
-        }
+        FifoScheduler { queues: (0..n_hardware).map(|_| VecDeque::new()).collect(), discipline }
     }
 
     /// The active discipline.
@@ -97,9 +94,7 @@ impl FifoScheduler {
         let mut placements = Vec::new();
         for hw in 0..self.queues.len() {
             while !self.queues[hw].is_empty() {
-                let node = nodes
-                    .iter_mut()
-                    .find(|n| n.config.id == hw && n.has_capacity());
+                let node = nodes.iter_mut().find(|n| n.config.id == hw && n.has_capacity());
                 match node {
                     Some(n) => {
                         n.occupy();

@@ -203,7 +203,8 @@ impl ClusterSim {
             let features = job.features.clone();
             let runtime = self.faulted_runtime(job.hardware, &features);
             let start = self.clock;
-            self.events.push(start + runtime, EventKind::JobFinished { job_id: job.id, node: node_id });
+            self.events
+                .push(start + runtime, EventKind::JobFinished { job_id: job.id, node: node_id });
             self.running.insert(job.id, RunningJob { job, start });
         }
     }

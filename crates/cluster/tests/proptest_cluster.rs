@@ -2,7 +2,6 @@
 //! laws and clock sanity under arbitrary submission patterns.
 
 use banditware_cluster::{ClusterSim, Discipline, FaultModel};
-use banditware_workloads::cycles::CyclesModel;
 use banditware_workloads::hardware::synthetic_hardware;
 use banditware_workloads::{CostModel, HardwareConfig, NoiseModel};
 use proptest::prelude::*;

@@ -69,7 +69,12 @@ pub struct LinearArm {
 impl LinearArm {
     /// New unfitted arm over `n_features` context features.
     pub fn new(n_features: usize) -> Self {
-        LinearArm { n_features, xs: Vec::new(), ys: Vec::new(), current: LinearFit::zeros(n_features) }
+        LinearArm {
+            n_features,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            current: LinearFit::zeros(n_features),
+        }
     }
 
     /// Borrow the stored observations `(contexts, runtimes)`.

@@ -192,7 +192,8 @@ mod tests {
 
     fn make() -> BanditWare<EpsilonGreedy> {
         let specs = vec![ArmSpec::new(0, "H0", 4.0), ArmSpec::new(1, "H1", 6.0)];
-        let policy = EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(1)).unwrap();
+        let policy =
+            EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(1)).unwrap();
         BanditWare::new(policy, specs)
     }
 

@@ -276,12 +276,9 @@ mod tests {
     fn drift_aware_policy_follows_hardware_swap() {
         let gamma = 0.9;
         let cfg = BanditConfig::paper().with_epsilon0(0.3).with_decay(1.0).with_seed(3);
-        let mut policy = DecayingEpsilonGreedy::with_arms(
-            ArmSpec::unit_costs(2),
-            1,
-            cfg,
-            |nf| DiscountedArm::new(nf, gamma).expect("valid gamma"),
-        )
+        let mut policy = DecayingEpsilonGreedy::with_arms(ArmSpec::unit_costs(2), 1, cfg, |nf| {
+            DiscountedArm::new(nf, gamma).expect("valid gamma")
+        })
         .unwrap();
         // Phase 1: arm 0 fast (runtime x), arm 1 slow (3x).
         let truth_phase1 = |arm: usize, x: f64| if arm == 0 { x } else { 3.0 * x };

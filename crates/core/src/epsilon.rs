@@ -72,12 +72,7 @@ impl DecayingEpsilonGreedy<RecursiveArm> {
     /// [`CoreError::NoArms`] for an empty spec list, or invalid config.
     pub fn new(specs: Vec<ArmSpec>, n_features: usize, config: BanditConfig) -> Result<Self> {
         let lambda = config.ridge_lambda;
-        Self::with_arms(
-            specs,
-            n_features,
-            config,
-            |nf| RecursiveArm::with_ridge(nf, lambda),
-        )
+        Self::with_arms(specs, n_features, config, |nf| RecursiveArm::with_ridge(nf, lambda))
     }
 }
 
@@ -343,8 +338,12 @@ mod tests {
             EpsilonGreedy::new(vec![], 1, BanditConfig::paper()),
             Err(CoreError::NoArms)
         ));
-        assert!(EpsilonGreedy::new(ArmSpec::unit_costs(2), 1, BanditConfig::paper().with_decay(2.0))
-            .is_err());
+        assert!(EpsilonGreedy::new(
+            ArmSpec::unit_costs(2),
+            1,
+            BanditConfig::paper().with_decay(2.0)
+        )
+        .is_err());
         let mut p = EpsilonGreedy::new(ArmSpec::unit_costs(2), 2, BanditConfig::paper()).unwrap();
         assert!(p.select(&[1.0]).is_err());
         assert!(p.observe(5, &[1.0, 2.0], 1.0).is_err());
@@ -358,8 +357,7 @@ mod tests {
     #[test]
     fn exact_variant_behaves_identically() {
         let cfg = BanditConfig::paper().with_seed(3);
-        let mut exact =
-            ExactEpsilonGreedy::new_exact(ArmSpec::unit_costs(2), 1, cfg).unwrap();
+        let mut exact = ExactEpsilonGreedy::new_exact(ArmSpec::unit_costs(2), 1, cfg).unwrap();
         let mut fast = EpsilonGreedy::new(ArmSpec::unit_costs(2), 1, cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..80 {

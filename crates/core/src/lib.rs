@@ -47,12 +47,12 @@ pub mod ucb;
 pub use arm::{ArmEstimator, LinearArm, RecursiveArm};
 pub use bandit::{BanditWare, Observation, Recommendation};
 pub use config::BanditConfig;
-pub use epsilon::DecayingEpsilonGreedy;
 pub use drift::{DiscountedArm, WindowedArm};
+pub use epsilon::DecayingEpsilonGreedy;
 pub use error::CoreError;
 pub use objective::{BudgetedEpsilonGreedy, Objective};
-pub use scaler::{ScaledPolicy, StandardScaler};
 pub use policy::{ArmSpec, Policy, Selection};
+pub use scaler::{ScaledPolicy, StandardScaler};
 pub use tolerance::Tolerance;
 
 /// Result alias for bandit operations.

@@ -43,11 +43,9 @@ impl Objective {
     /// # Errors
     /// [`CoreError::InvalidParameter`] on a negative or non-finite weight.
     pub fn new(runtime: f64, resource_price: f64, queue_wait: f64) -> Result<Self> {
-        for (name, v) in [
-            ("runtime", runtime),
-            ("resource_price", resource_price),
-            ("queue_wait", queue_wait),
-        ] {
+        for (name, v) in
+            [("runtime", runtime), ("resource_price", resource_price), ("queue_wait", queue_wait)]
+        {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(CoreError::InvalidParameter {
                     name: "objective",
@@ -147,9 +145,8 @@ impl BudgetedEpsilonGreedy {
     /// # Errors
     /// Propagates prediction failures.
     pub fn exploit(&self, x: &[f64]) -> Result<usize> {
-        let costs: Vec<f64> = (0..self.arms.len())
-            .map(|a| self.predicted_cost(a, x))
-            .collect::<Result<_>>()?;
+        let costs: Vec<f64> =
+            (0..self.arms.len()).map(|a| self.predicted_cost(a, x)).collect::<Result<_>>()?;
         banditware_linalg::vector::argmin(&costs).ok_or(CoreError::NoArms)
     }
 }
@@ -227,15 +224,8 @@ mod tests {
     fn zero_price_recovers_pure_runtime_choice() {
         // Arm 1 is faster but far more expensive.
         let specs = vec![ArmSpec::new(0, "cheap", 1.0), ArmSpec::new(1, "big", 100.0)];
-        let mut p = BudgetedEpsilonGreedy::new(
-            specs,
-            1,
-            Objective::RUNTIME_ONLY,
-            0.3,
-            0.95,
-            1,
-        )
-        .unwrap();
+        let mut p =
+            BudgetedEpsilonGreedy::new(specs, 1, Objective::RUNTIME_ONLY, 0.3, 0.95, 1).unwrap();
         train(&mut p, &[10.0, 8.0]);
         assert_eq!(p.exploit(&[5.0]).unwrap(), 1, "price 0 → fastest wins");
     }
@@ -274,13 +264,25 @@ mod tests {
         assert_eq!(p.pulls(), vec![1, 0, 0]);
         p.reset();
         assert_eq!(p.pulls(), vec![0, 0, 0]);
-        assert!(BudgetedEpsilonGreedy::new(vec![], 1, Objective::RUNTIME_ONLY, 1.0, 0.9, 0).is_err());
+        assert!(
+            BudgetedEpsilonGreedy::new(vec![], 1, Objective::RUNTIME_ONLY, 1.0, 0.9, 0).is_err()
+        );
         assert!(BudgetedEpsilonGreedy::new(
-            ArmSpec::unit_costs(2), 1, Objective::RUNTIME_ONLY, 1.5, 0.9, 0
+            ArmSpec::unit_costs(2),
+            1,
+            Objective::RUNTIME_ONLY,
+            1.5,
+            0.9,
+            0
         )
         .is_err());
         assert!(BudgetedEpsilonGreedy::new(
-            ArmSpec::unit_costs(2), 1, Objective::RUNTIME_ONLY, 1.0, 0.0, 0
+            ArmSpec::unit_costs(2),
+            1,
+            Objective::RUNTIME_ONLY,
+            1.0,
+            0.0,
+            0
         )
         .is_err());
         assert_eq!(p.objective(), &Objective::RUNTIME_ONLY);

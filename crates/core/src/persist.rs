@@ -63,17 +63,13 @@ pub fn load_history(reader: impl Read) -> Result<Vec<Observation>> {
         detail: format!("line {}: {detail}", line + 1),
     };
 
-    let (i, first) = lines
-        .next()
-        .ok_or_else(|| parse_err(0, "empty input".into()))?;
+    let (i, first) = lines.next().ok_or_else(|| parse_err(0, "empty input".into()))?;
     let first = first.map_err(|e| parse_err(i, e.to_string()))?;
     if first.trim() != MAGIC {
         return Err(parse_err(i, format!("expected header {MAGIC:?}, found {first:?}")));
     }
     // Column header line (ignored beyond existence).
-    let (i, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "missing column header".into()))?;
+    let (i, header) = lines.next().ok_or_else(|| parse_err(1, "missing column header".into()))?;
     header.map_err(|e| parse_err(i, e.to_string()))?;
 
     let mut out = Vec::new();
@@ -86,8 +82,7 @@ pub fn load_history(reader: impl Read) -> Result<Vec<Observation>> {
         if fields.len() < 3 {
             return Err(parse_err(i, format!("expected >= 3 fields, found {}", fields.len())));
         }
-        let arm: usize =
-            fields[0].parse().map_err(|e| parse_err(i, format!("bad arm: {e}")))?;
+        let arm: usize = fields[0].parse().map_err(|e| parse_err(i, format!("bad arm: {e}")))?;
         let explored = match fields[1] {
             "0" => false,
             "1" => true,
@@ -131,14 +126,13 @@ mod tests {
 
     fn trained_bandit(rounds: usize) -> BanditWare<EpsilonGreedy> {
         let specs = ArmSpec::unit_costs(3);
-        let policy = EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
+        let policy =
+            EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
         let mut bandit = BanditWare::new(policy, specs);
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..rounds {
             let x = [rng.gen_range(1.0..50.0), rng.gen_range(0.0..5.0)];
-            bandit
-                .run_round(&x, |rec| 10.0 + x[0] * (rec.arm + 1) as f64 + x[1])
-                .unwrap();
+            bandit.run_round(&x, |rec| 10.0 + x[0] * (rec.arm + 1) as f64 + x[1]).unwrap();
         }
         bandit
     }
@@ -166,7 +160,8 @@ mod tests {
         let loaded = load_history(buf.as_slice()).unwrap();
 
         let specs = ArmSpec::unit_costs(3);
-        let policy = EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
+        let policy =
+            EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
         let mut restored = BanditWare::new(policy, specs);
         replay_into(&mut restored, &loaded).unwrap();
 

@@ -230,12 +230,9 @@ mod tests {
         // Features on scales 1e-1 and 1e8 — the BP3D situation. The scaled
         // policy must separate two arms whose runtimes depend on the tiny
         // feature only.
-        let mut p = scaled_epsilon_greedy(
-            ArmSpec::unit_costs(2),
-            2,
-            BanditConfig::paper().with_seed(3),
-        )
-        .unwrap();
+        let mut p =
+            scaled_epsilon_greedy(ArmSpec::unit_costs(2), 2, BanditConfig::paper().with_seed(3))
+                .unwrap();
         let truth = |arm: usize, small: f64| if arm == 0 { 100.0 * small } else { 300.0 * small };
         for i in 0..200 {
             let small = (i % 9 + 1) as f64 * 0.1;

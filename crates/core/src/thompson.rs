@@ -107,9 +107,8 @@ impl LinThompson {
         cov.scale_mut(sigma * sigma);
         // Guard against a fully-collapsed covariance.
         let (ch, _) = Cholesky::decompose_jittered(&cov, 1e-12, 12)?;
-        let xi: Vec<f64> = (0..dim)
-            .map(|_| banditware_workload_free_gaussian(&mut self.rng))
-            .collect();
+        let xi: Vec<f64> =
+            (0..dim).map(|_| banditware_workload_free_gaussian(&mut self.rng)).collect();
         let l = ch.l();
         let mut theta = self.thetas[arm].clone();
         for i in 0..dim {

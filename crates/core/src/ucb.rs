@@ -85,9 +85,8 @@ impl Policy for Ucb1 {
         }
         let explored = self.arms[best].n_obs() == 0 || {
             // exploration = the LCB choice differs from the greedy-mean choice
-            let greedy = (0..self.arms.len())
-                .filter(|&i| self.arms[i].n_obs() > 0)
-                .min_by(|&a, &b| {
+            let greedy =
+                (0..self.arms.len()).filter(|&i| self.arms[i].n_obs() > 0).min_by(|&a, &b| {
                     self.arms[a].mean().partial_cmp(&self.arms[b].mean()).expect("means finite")
                 });
             greedy.map_or(true, |g| g != best)

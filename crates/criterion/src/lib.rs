@@ -1,0 +1,317 @@
+//! In-repo shim for the subset of the `criterion` benchmark harness that
+//! BanditWare's benches use.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships a
+//! small wall-clock timing harness as a path dependency under the name the
+//! benches already import. It supports [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`]
+//! and [`BenchmarkGroup::sample_size`], [`Bencher::iter`] /
+//! [`Bencher::iter_with_setup`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples; the reported figures are the minimum, median and
+//! mean per-iteration times. Iteration counts auto-scale so one sample
+//! costs roughly [`TARGET_SAMPLE_TIME`]. Statistical machinery (outlier
+//! analysis, HTML reports, comparison baselines) is out of scope — the
+//! point is that `cargo bench` compiles, runs, and prints honest numbers
+//! offline.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Rough wall-clock budget for one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// An opaque value barrier: keeps the optimizer from deleting benchmark
+/// bodies, same contract as `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, e.g. `cholesky/16`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+/// Runs closures under the timer.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by `iter`/`iter_with_setup`: per-iteration nanoseconds for
+    /// each measured sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples_ns: Vec::new() }
+    }
+
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` input each iteration; only the
+    /// routine is measured.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            // One timed call per sample: setup cost must stay off the clock,
+            // so batching iterations under one timer is not possible here.
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_and_report(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    if sorted.is_empty() {
+        println!("{name:<48} (no samples — routine never called b.iter)");
+        return;
+    }
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<48} min {:>12}   median {:>12}   mean {:>12}   ({} samples)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(mean),
+        sorted.len()
+    );
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label());
+        run_and_report(&label, self.sample_size, f);
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through untouched.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label());
+        run_and_report(&label, self.sample_size, |b| f(b, input));
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this just marks the group boundary).
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s, as upstream does.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self.to_string()), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self), parameter: None }
+    }
+}
+
+/// The harness entry point, one per bench binary.
+pub struct Criterion {
+    unit: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { unit: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: &mut self.unit,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_and_report(&name.into_benchmark_id().label(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// Declare a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher::new(4);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(b.samples_ns.len(), 4);
+        assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+        assert!(count > 4, "auto-scaling should run multiple iterations");
+    }
+
+    #[test]
+    fn bencher_iter_with_setup_runs_setup_per_sample() {
+        let mut b = Bencher::new(5);
+        let mut setups = 0u64;
+        b.iter_with_setup(
+            || {
+                setups += 1;
+                vec![1u64; 16]
+            },
+            |v| black_box(v.iter().sum::<u64>()),
+        );
+        assert_eq!(setups, 5);
+        assert_eq!(b.samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("cholesky", 16).label(), "cholesky/16");
+        assert_eq!(BenchmarkId::from_parameter("25x4").label(), "25x4");
+        assert_eq!("plain".into_benchmark_id().label(), "plain");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -48,10 +48,7 @@ pub fn bootstrap_mean_ci(
 ) -> BootstrapCi {
     assert!(!sample.is_empty(), "bootstrap needs at least one observation");
     assert!(n_resamples > 0, "need at least one resample");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence {confidence} outside (0, 1)"
-    );
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence {confidence} outside (0, 1)");
     let mut rng = StdRng::seed_from_u64(seed);
     let n = sample.len();
     let mut means = Vec::with_capacity(n_resamples);

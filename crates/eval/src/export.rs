@@ -25,8 +25,7 @@ pub fn series_to_frame(series: &RoundSeries) -> DataFrame {
 pub fn result_to_frame(result: &ExperimentResult) -> DataFrame {
     let mut df = series_to_frame(&result.series);
     let n = df.n_rows();
-    df.add_column("full_fit_rmse", Column::F64(vec![result.full_fit_rmse; n]))
-        .expect("fresh name");
+    df.add_column("full_fit_rmse", Column::F64(vec![result.full_fit_rmse; n])).expect("fresh name");
     df.add_column("full_fit_accuracy", Column::F64(vec![result.full_fit_accuracy; n]))
         .expect("fresh name");
     df.add_column("random_accuracy", Column::F64(vec![result.random_accuracy; n]))

@@ -128,10 +128,8 @@ mod tests {
 
     #[test]
     fn correctness_respects_tolerance() {
-        let set = MatchedSet {
-            contexts: vec![vec![1.0]],
-            runtimes: vec![vec![100.0, 115.0, 300.0]],
-        };
+        let set =
+            MatchedSet { contexts: vec![vec![1.0]], runtimes: vec![vec![100.0, 115.0, 300.0]] };
         assert!(set.is_correct(0, 0, Tolerance::ZERO));
         assert!(!set.is_correct(0, 1, Tolerance::ZERO));
         assert!(set.is_correct(0, 1, Tolerance::seconds(20.0).unwrap()));

@@ -11,11 +11,7 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let mse = predicted
-        .iter()
-        .zip(actual)
-        .map(|(p, a)| (p - a) * (p - a))
-        .sum::<f64>()
+    let mse = predicted.iter().zip(actual).map(|(p, a)| (p - a) * (p - a)).sum::<f64>()
         / predicted.len() as f64;
     mse.sqrt()
 }

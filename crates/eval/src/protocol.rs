@@ -12,7 +12,9 @@ use crate::matched::MatchedSet;
 use crate::series::{RoundSeries, SimTrajectory};
 use banditware_baselines::FullFitBaseline;
 use banditware_core::tolerance::tolerant_select;
-use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy, RecursiveArm, Tolerance};
+use banditware_core::{
+    ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy, RecursiveArm, Tolerance,
+};
 use banditware_workloads::{CostModel, HardwareConfig, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,10 +123,7 @@ impl EvalRows {
 
 /// Arm specs derived from hardware configurations.
 pub fn specs_from_hardware(hardware: &[HardwareConfig]) -> Vec<ArmSpec> {
-    hardware
-        .iter()
-        .map(|h| ArmSpec::new(h.id, h.name.clone(), h.resource_cost()))
-        .collect()
+    hardware.iter().map(|h| ArmSpec::new(h.id, h.name.clone(), h.resource_cost())).collect()
 }
 
 /// Run the protocol with the paper's policy (Algorithm 1 over incremental
@@ -174,16 +173,14 @@ where
     let costs: Vec<f64> = hardware.iter().map(HardwareConfig::resource_cost).collect();
     let eval_rows = EvalRows::from_trace(trace, cfg.max_eval_contexts);
     let mut setup_rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
-    let matched = MatchedSet::generate(trace, model, hardware, cfg.max_eval_contexts, &mut setup_rng);
+    let matched =
+        MatchedSet::generate(trace, model, hardware, cfg.max_eval_contexts, &mut setup_rng);
 
     // Reference lines.
     let full_fit = FullFitBaseline::fit(trace).expect("full fit on generated trace");
     let selection_tol = cfg.bandit.tolerance;
     let full_fit_accuracy = matched.accuracy(cfg.eval_tolerance, |x| {
-        full_fit
-            .recommender
-            .recommend(x, &costs, selection_tol)
-            .expect("full-fit recommendation")
+        full_fit.recommender.recommend(x, &costs, selection_tol).expect("full-fit recommendation")
     });
 
     // Parallel simulations.
@@ -200,9 +197,9 @@ where
     let matched_ref = &matched;
     let eval_ref = &eval_rows;
     let costs_ref = &costs;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, chunk) in slots.chunks_mut(chunk_size).enumerate() {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let sim_idx = t * chunk_size + off;
                     *slot = Some(run_single_sim(
@@ -218,8 +215,7 @@ where
                 }
             });
         }
-    })
-    .expect("simulation thread panicked");
+    });
     let sims: Vec<SimTrajectory> = slots.into_iter().map(|s| s.expect("all sims ran")).collect();
 
     ExperimentResult {
@@ -268,8 +264,7 @@ where
         policy.observe(sel.arm, x, runtime).expect("observation is valid");
 
         // Regret vs the true fastest choice for this context.
-        let expected: Vec<f64> =
-            hardware.iter().map(|h| model.expected_runtime(h, x)).collect();
+        let expected: Vec<f64> = hardware.iter().map(|h| model.expected_runtime(h, x)).collect();
         let best = expected.iter().cloned().fold(f64::INFINITY, f64::min);
         cum_regret += (expected[sel.arm] - best).max(0.0);
 
@@ -380,7 +375,7 @@ mod tests {
         let (trace, model) = cycles_setup();
         let cfg = small_cfg().with_rounds(10).with_sims(2);
         let n_arms = trace.hardware.len();
-        let res = run_experiment_with(&trace, &model, &cfg, |_, | {
+        let res = run_experiment_with(&trace, &model, &cfg, |_| {
             Ucb1::new(ArmSpec::unit_costs(n_arms), 1, 2.0f64.sqrt()).unwrap()
         });
         assert_eq!(res.series.len(), 10);
@@ -390,8 +385,11 @@ mod tests {
     #[should_panic(expected = "non-empty trace")]
     fn empty_trace_panics() {
         let (_, model) = cycles_setup();
-        let empty = Trace::new("x", vec!["num_tasks".into()],
-            banditware_workloads::hardware::synthetic_hardware());
+        let empty = Trace::new(
+            "x",
+            vec!["num_tasks".into()],
+            banditware_workloads::hardware::synthetic_hardware(),
+        );
         let _ = run_experiment(&empty, &model, &small_cfg());
     }
 }

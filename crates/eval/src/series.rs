@@ -146,10 +146,8 @@ mod tests {
 
     #[test]
     fn aggregates_mean_and_std() {
-        let sims = vec![
-            traj(vec![10.0, 6.0], vec![0.2, 0.6]),
-            traj(vec![14.0, 8.0], vec![0.4, 1.0]),
-        ];
+        let sims =
+            vec![traj(vec![10.0, 6.0], vec![0.2, 0.6]), traj(vec![14.0, 8.0], vec![0.4, 1.0])];
         let s = RoundSeries::aggregate(&sims);
         assert_eq!(s.len(), 2);
         assert_eq!(s.rmse_mean, vec![12.0, 7.0]);

@@ -54,11 +54,12 @@ impl fmt::Display for FrameError {
             FrameError::TypeMismatch { column, expected, actual } => {
                 write!(f, "column {column:?} has type {actual}, operation requires {expected}")
             }
-            FrameError::LengthMismatch { column, frame_rows, column_rows } => write!(
-                f,
-                "column {column:?} has {column_rows} rows, frame has {frame_rows}"
-            ),
-            FrameError::Csv { line, detail } => write!(f, "CSV parse error on line {line}: {detail}"),
+            FrameError::LengthMismatch { column, frame_rows, column_rows } => {
+                write!(f, "column {column:?} has {column_rows} rows, frame has {frame_rows}")
+            }
+            FrameError::Csv { line, detail } => {
+                write!(f, "CSV parse error on line {line}: {detail}")
+            }
             FrameError::Io(m) => write!(f, "IO error: {m}"),
             FrameError::RowOutOfBounds { index, rows } => {
                 write!(f, "row {index} out of bounds for frame with {rows} rows")

@@ -213,11 +213,8 @@ impl DataFrame {
                 column_rows: mask.len(),
             });
         }
-        let idx: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i))
-            .collect();
+        let idx: Vec<usize> =
+            mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
         Ok(self.take(&idx))
     }
 
@@ -257,18 +254,16 @@ impl DataFrame {
         let vals = self.column_f64(name)?;
         let mut idx: Vec<usize> = (0..vals.len()).collect();
         idx.sort_by(|&a, &b| {
-            vals[a]
-                .partial_cmp(&vals[b])
-                .unwrap_or_else(|| {
-                    // NaNs sort after everything else.
-                    if vals[a].is_nan() && vals[b].is_nan() {
-                        std::cmp::Ordering::Equal
-                    } else if vals[a].is_nan() {
-                        std::cmp::Ordering::Greater
-                    } else {
-                        std::cmp::Ordering::Less
-                    }
-                })
+            vals[a].partial_cmp(&vals[b]).unwrap_or_else(|| {
+                // NaNs sort after everything else.
+                if vals[a].is_nan() && vals[b].is_nan() {
+                    std::cmp::Ordering::Equal
+                } else if vals[a].is_nan() {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            })
         });
         Ok(self.take(&idx))
     }
@@ -350,7 +345,8 @@ impl fmt::Display for DataFrame {
         let show = self.n_rows().min(10);
         for i in 0..show {
             writeln!(f)?;
-            let cells: Vec<String> = self.columns.iter().map(|c| c.get(i).to_csv_string()).collect();
+            let cells: Vec<String> =
+                self.columns.iter().map(|c| c.get(i).to_csv_string()).collect();
             write!(f, "{}", cells.join(" | "))?;
         }
         if self.n_rows() > show {
@@ -487,11 +483,8 @@ mod tests {
 
     #[test]
     fn sort_puts_nan_last() {
-        let df = DataFrame::from_columns(vec![(
-            "x",
-            Column::F64(vec![2.0, f64::NAN, 1.0]),
-        )])
-        .unwrap();
+        let df =
+            DataFrame::from_columns(vec![("x", Column::F64(vec![2.0, f64::NAN, 1.0]))]).unwrap();
         let sorted = df.sort_by_f64("x").unwrap();
         let vals = sorted.column_f64("x").unwrap();
         assert_eq!(vals[0], 1.0);

@@ -5,7 +5,6 @@
 //! training set.
 
 use crate::column::{Column, Value};
-use crate::error::FrameError;
 use crate::frame::DataFrame;
 use crate::Result;
 use banditware_linalg::stats;
@@ -70,7 +69,7 @@ impl DataFrame {
     /// Group rows by the values of `key` (any column type).
     ///
     /// # Errors
-    /// [`FrameError::ColumnNotFound`].
+    /// [`crate::error::FrameError::ColumnNotFound`].
     pub fn group_by(&self, key: &str) -> Result<GroupBy<'_>> {
         let col = self.column(key)?;
         let mut keys: Vec<Value> = Vec::new();
@@ -102,10 +101,7 @@ impl<'a> GroupBy<'a> {
 
     /// Iterate `(key, sub-frame)` pairs (sub-frames are materialized copies).
     pub fn frames(&self) -> impl Iterator<Item = (&Value, DataFrame)> + '_ {
-        self.keys
-            .iter()
-            .zip(&self.groups)
-            .map(|(k, idx)| (k, self.source.take(idx)))
+        self.keys.iter().zip(&self.groups).map(|(k, idx)| (k, self.source.take(idx)))
     }
 
     /// The sub-frame for one key, if present.
@@ -124,10 +120,16 @@ impl<'a> GroupBy<'a> {
         // Key column (rebuilt with one row per group).
         let key_col = match self.keys.first() {
             Some(Value::F64(_)) => Column::F64(
-                self.keys.iter().map(|k| if let Value::F64(x) = k { *x } else { unreachable!() }).collect(),
+                self.keys
+                    .iter()
+                    .map(|k| if let Value::F64(x) = k { *x } else { unreachable!() })
+                    .collect(),
             ),
             Some(Value::I64(_)) => Column::I64(
-                self.keys.iter().map(|k| if let Value::I64(x) = k { *x } else { unreachable!() }).collect(),
+                self.keys
+                    .iter()
+                    .map(|k| if let Value::I64(x) = k { *x } else { unreachable!() })
+                    .collect(),
             ),
             Some(Value::Str(_)) => Column::Str(
                 self.keys
@@ -136,7 +138,10 @@ impl<'a> GroupBy<'a> {
                     .collect(),
             ),
             Some(Value::Bool(_)) => Column::Bool(
-                self.keys.iter().map(|k| if let Value::Bool(b) = k { *b } else { unreachable!() }).collect(),
+                self.keys
+                    .iter()
+                    .map(|k| if let Value::Bool(b) = k { *b } else { unreachable!() })
+                    .collect(),
             ),
             None => Column::F64(vec![]),
         };
@@ -153,11 +158,7 @@ impl<'a> GroupBy<'a> {
                 })
                 .collect();
             let out_name = format!("{col_name}_{}", agg.suffix());
-            out.add_column(out_name, Column::F64(agged))
-                .map_err(|e| match e {
-                    FrameError::DuplicateColumn(c) => FrameError::DuplicateColumn(c),
-                    other => other,
-                })?;
+            out.add_column(out_name, Column::F64(agged))?;
         }
         Ok(out)
     }
@@ -169,7 +170,10 @@ mod tests {
 
     fn sample() -> DataFrame {
         DataFrame::from_columns(vec![
-            ("hw", Column::Str(vec!["H0".into(), "H1".into(), "H0".into(), "H1".into(), "H0".into()])),
+            (
+                "hw",
+                Column::Str(vec!["H0".into(), "H1".into(), "H0".into(), "H1".into(), "H0".into()]),
+            ),
             ("runtime", Column::F64(vec![10.0, 20.0, 14.0, 22.0, 12.0])),
             ("cpus", Column::I64(vec![2, 3, 2, 3, 2])),
         ])
@@ -189,10 +193,8 @@ mod tests {
     fn frames_split_rows() {
         let df = sample();
         let gb = df.group_by("hw").unwrap();
-        let frames: Vec<(String, usize)> = gb
-            .frames()
-            .map(|(k, f)| (k.to_csv_string(), f.n_rows()))
-            .collect();
+        let frames: Vec<(String, usize)> =
+            gb.frames().map(|(k, f)| (k.to_csv_string(), f.n_rows())).collect();
         assert_eq!(frames, vec![("H0".into(), 3), ("H1".into(), 2)]);
         let h1 = gb.get(&Value::Str("H1".into())).unwrap();
         assert_eq!(h1.column_f64("runtime").unwrap(), vec![20.0, 22.0]);
@@ -253,8 +255,9 @@ mod tests {
 
     #[test]
     fn empty_frame_groups() {
-        let df = DataFrame::from_columns(vec![("k", Column::I64(vec![])), ("v", Column::F64(vec![]))])
-            .unwrap();
+        let df =
+            DataFrame::from_columns(vec![("k", Column::I64(vec![])), ("v", Column::F64(vec![]))])
+                .unwrap();
         let gb = df.group_by("k").unwrap();
         assert_eq!(gb.n_groups(), 0);
         let out = gb.agg(&[("v", Aggregation::Mean)]).unwrap();

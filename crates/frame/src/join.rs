@@ -71,7 +71,8 @@ impl DataFrame {
             if name == on {
                 continue;
             }
-            let out_name = if out.has_column(name) { format!("{name}_right") } else { name.clone() };
+            let out_name =
+                if out.has_column(name) { format!("{name}_right") } else { name.clone() };
             let gathered = gather_optional(col, &right_rows);
             out.add_column(out_name, gathered)?;
         }

@@ -102,11 +102,8 @@ mod tests {
 
     #[test]
     fn describe_quartiles() {
-        let df = DataFrame::from_columns(vec![(
-            "v",
-            Column::F64(vec![0.0, 1.0, 2.0, 3.0, 4.0]),
-        )])
-        .unwrap();
+        let df = DataFrame::from_columns(vec![("v", Column::F64(vec![0.0, 1.0, 2.0, 3.0, 4.0]))])
+            .unwrap();
         let s = &df.describe().unwrap()[0];
         assert_eq!(s.p25, 1.0);
         assert_eq!(s.p75, 3.0);

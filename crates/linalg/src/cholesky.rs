@@ -70,7 +70,11 @@ impl Cholesky {
     /// Propagates the last [`LinalgError::NotPositiveDefinite`] if even the
     /// largest jitter fails, or [`LinalgError::ShapeMismatch`] for non-square
     /// input.
-    pub fn decompose_jittered(a: &Matrix, initial_jitter: f64, max_tries: u32) -> Result<(Self, f64)> {
+    pub fn decompose_jittered(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: u32,
+    ) -> Result<(Self, f64)> {
         match Self::decompose(a) {
             Ok(c) => return Ok((c, 0.0)),
             Err(e @ LinalgError::ShapeMismatch(_)) => return Err(e),
@@ -174,7 +178,8 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = Bᵀ B + I is always SPD.
-        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let b =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
         let mut a = b.gram();
         for i in 0..3 {
             a[(i, i)] += 1.0;
@@ -203,10 +208,7 @@ mod tests {
     #[test]
     fn rejects_non_square_and_indefinite() {
         let rect = Matrix::zeros(2, 3);
-        assert!(matches!(
-            Cholesky::decompose(&rect),
-            Err(LinalgError::ShapeMismatch(_))
-        ));
+        assert!(matches!(Cholesky::decompose(&rect), Err(LinalgError::ShapeMismatch(_))));
         let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
         assert!(matches!(
             Cholesky::decompose(&indef),

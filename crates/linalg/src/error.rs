@@ -38,10 +38,9 @@ impl fmt::Display for LinalgError {
             LinalgError::Singular { pivot, value } => {
                 write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
             }
-            LinalgError::NotPositiveDefinite { index, value } => write!(
-                f,
-                "matrix not positive definite: diagonal {index} is {value:.3e}"
-            ),
+            LinalgError::NotPositiveDefinite { index, value } => {
+                write!(f, "matrix not positive definite: diagonal {index} is {value:.3e}")
+            }
             LinalgError::InsufficientData { have, need } => {
                 write!(f, "insufficient data: have {have} rows, need at least {need}")
             }

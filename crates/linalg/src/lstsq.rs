@@ -1,17 +1,20 @@
 //! Ordinary and ridge least squares — the paper's per-arm regression
 //! (Algorithm 1, step 11): `w, b = argmin Σ (R − (wᵀx + b))²`.
 //!
-//! [`fit_ols`] folds the intercept into the design matrix, tries the cheap
-//! normal-equations/Cholesky path first and falls back to Householder QR when
-//! the Gram matrix is ill-conditioned; rank-deficient problems (fewer distinct
-//! contexts than features — common in the bandit's first rounds) fall back to
-//! a lightly ridged solve, matching the pseudo-inverse behaviour of
-//! `numpy.linalg.lstsq` that the Python prototype leans on.
+//! [`fit_ols`] folds the intercept into the design matrix and solves the
+//! normal equations under Jacobi scaling via [`crate::online::NormalEquations`]
+//! — the *same* solver the incremental accumulator uses, so the batch and
+//! online paths are one regression by construction (the equivalence the
+//! `exact_variant_behaves_identically` test in `crates/core` pins down, even
+//! in rank-deficient early rounds where the jittered fallback would otherwise
+//! be scaling-dependent). Rank-deficient problems (fewer distinct contexts
+//! than features — common in the bandit's first rounds) get a lightly ridged
+//! solve, matching the pseudo-inverse behaviour of `numpy.linalg.lstsq` that
+//! the Python prototype leans on.
 
-use crate::cholesky::Cholesky;
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::qr::QrDecomposition;
+use crate::online::NormalEquations;
 use crate::vector;
 use crate::Result;
 
@@ -98,37 +101,19 @@ pub fn fit_ridge(xs: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit> {
     if n == 0 {
         return Err(LinalgError::InsufficientData { have: 0, need: 1 });
     }
-    let m = xs.cols();
-    let design = xs.with_intercept(); // column 0 = intercept
-    let d = m + 1;
 
-    // Normal equations with optional ridge on the non-intercept block.
-    let mut gram = design.gram();
-    for i in 1..d {
-        gram[(i, i)] += lambda;
+    // Delegate to the online accumulator so batch refits and incremental
+    // refits are the same regression — including the Jacobi scaling and the
+    // jittered fallback for singular systems.
+    let mut acc = NormalEquations::new(xs.cols());
+    for i in 0..n {
+        acc.push(xs.row(i), y[i]).expect("design rows match accumulator arity");
     }
-    let xty = design.t_mul_vec(y).expect("design rows match y by construction");
+    let fit = acc.solve(lambda)?;
 
-    let coeffs = match Cholesky::decompose(&gram) {
-        Ok(ch) => ch.solve(&xty)?,
-        Err(_) => {
-            // Gram matrix not SPD: either rank-deficient or badly conditioned.
-            // Try QR on the design (robust), then a jittered Cholesky as the
-            // minimum-norm-ish last resort.
-            if n >= d {
-                match QrDecomposition::decompose(&design).and_then(|qr| qr.solve(y)) {
-                    Ok(c) => c,
-                    Err(_) => solve_jittered(&gram, &xty)?,
-                }
-            } else {
-                solve_jittered(&gram, &xty)?
-            }
-        }
-    };
-
-    let intercept = coeffs[0];
-    let weights = coeffs[1..].to_vec();
-    let fit = LinearFit { weights, intercept, residual_ss: 0.0, n_obs: n };
+    // Recompute the RSS from the raw residuals: the sufficient-statistics
+    // form suffers cancellation on near-exact fits, and callers compare it
+    // against directly-computed residuals.
     let residual_ss = (0..n)
         .map(|i| {
             let r = y[i] - fit.predict(xs.row(i));
@@ -136,12 +121,6 @@ pub fn fit_ridge(xs: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit> {
         })
         .sum();
     Ok(LinearFit { residual_ss, ..fit })
-}
-
-fn solve_jittered(gram: &Matrix, xty: &[f64]) -> Result<Vec<f64>> {
-    let scale = gram.max_abs().max(f64::MIN_POSITIVE);
-    let (ch, _) = Cholesky::decompose_jittered(gram, scale * 1e-10, 24)?;
-    ch.solve(xty)
 }
 
 /// Fit a separate univariate mean (intercept-only model). Provided for the
@@ -178,9 +157,8 @@ mod tests {
             vec![2.0, -1.0],
             vec![0.5, 0.25],
         ]);
-        let y: Vec<f64> = (0..xs.rows())
-            .map(|i| 3.0 * xs[(i, 0)] - 2.0 * xs[(i, 1)] + 5.0)
-            .collect();
+        let y: Vec<f64> =
+            (0..xs.rows()).map(|i| 3.0 * xs[(i, 0)] - 2.0 * xs[(i, 1)] + 5.0).collect();
         let fit = fit_ols(&xs, &y).unwrap();
         assert!((fit.weights[0] - 3.0).abs() < 1e-9);
         assert!((fit.weights[1] + 2.0).abs() < 1e-9);
@@ -210,9 +188,8 @@ mod tests {
     fn least_squares_minimizes_residual() {
         // Noisy line: the OLS fit must beat small perturbations of itself.
         let xs = design(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
-        let y: Vec<f64> = (0..20)
-            .map(|i| 2.0 * i as f64 + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
-            .collect();
+        let y: Vec<f64> =
+            (0..20).map(|i| 2.0 * i as f64 + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
         let fit = fit_ols(&xs, &y).unwrap();
         let rss = |w: f64, b: f64| -> f64 {
             (0..20)
@@ -250,10 +227,7 @@ mod tests {
         let xs = design(&[vec![1.0], vec![2.0]]);
         assert!(fit_ols(&xs, &[1.0]).is_err());
         let empty = Matrix::zeros(0, 2);
-        assert!(matches!(
-            fit_ols(&empty, &[]),
-            Err(LinalgError::InsufficientData { .. })
-        ));
+        assert!(matches!(fit_ols(&empty, &[]), Err(LinalgError::InsufficientData { .. })));
     }
 
     #[test]

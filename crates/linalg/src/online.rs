@@ -149,14 +149,13 @@ impl NormalEquations {
                 ch.solve(&rhs)?
             }
         };
-        let coeffs: Vec<f64> =
-            scaled_coeffs.iter().zip(&scales).map(|(c, s)| c / s).collect();
+        let coeffs: Vec<f64> = scaled_coeffs.iter().zip(&scales).map(|(c, s)| c / s).collect();
         let intercept = coeffs[0];
         let weights = coeffs[1..].to_vec();
         // RSS = yᵀy − 2 cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
         let ztz_c = self.ztz.mul_vec(&coeffs)?;
-        let rss =
-            (self.yty - 2.0 * vector::dot(&coeffs, &self.zty) + vector::dot(&coeffs, &ztz_c)).max(0.0);
+        let rss = (self.yty - 2.0 * vector::dot(&coeffs, &self.zty) + vector::dot(&coeffs, &ztz_c))
+            .max(0.0);
         Ok(LinearFit { weights, intercept, residual_ss: rss, n_obs: self.n })
     }
 

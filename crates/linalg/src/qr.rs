@@ -203,13 +203,7 @@ mod tests {
     use super::*;
 
     fn tall() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, -1.0],
-            &[0.5, 4.0],
-            &[-2.0, 1.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 4.0], &[-2.0, 1.0]]).unwrap()
     }
 
     #[test]

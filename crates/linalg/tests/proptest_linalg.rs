@@ -9,10 +9,12 @@ use proptest::prelude::*;
 
 /// Strategy: a well-scaled `rows × cols` matrix as nested Vecs.
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(prop::collection::vec(-10.0..10.0f64, cols), rows).prop_map(move |rows_v| {
-        let refs: Vec<&[f64]> = rows_v.iter().map(|r| r.as_slice()).collect();
-        Matrix::from_rows(&refs).unwrap()
-    })
+    prop::collection::vec(prop::collection::vec(-10.0..10.0f64, cols), rows).prop_map(
+        move |rows_v| {
+            let refs: Vec<&[f64]> = rows_v.iter().map(|r| r.as_slice()).collect();
+            Matrix::from_rows(&refs).unwrap()
+        },
+    )
 }
 
 proptest! {

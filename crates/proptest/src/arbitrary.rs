@@ -1,0 +1,106 @@
+//! `any::<T>()`: the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one uniformly distributed value over the type's domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Halving-pass shrink toward the type's zero value.
+    fn shrink(value: &Self) -> Option<Self> {
+        let _ = value;
+        None
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+            fn shrink(value: &Self) -> Option<Self> {
+                if *value == 0 { None } else { Some(*value / 2) }
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+            fn shrink(value: &Self) -> Option<Self> {
+                if *value == 0 { None } else { Some(*value / 2) }
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+    fn shrink(value: &Self) -> Option<Self> {
+        // false is the minimal bool.
+        if *value {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // A well-scaled signed double; upstream's exotic NaN/subnormal
+        // exploration is out of scope for this shim.
+        (rng.gen::<f64>() - 0.5) * 2e6
+    }
+    fn shrink(value: &Self) -> Option<Self> {
+        if value.abs() < 1e-9 {
+            None
+        } else {
+            Some(value / 2.0)
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        (rng.gen::<f32>() - 0.5) * 2e6
+    }
+    fn shrink(value: &Self) -> Option<Self> {
+        if value.abs() < 1e-6 {
+            None
+        } else {
+            Some(value / 2.0)
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Option<T> {
+        T::shrink(value)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,84 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: an exact size, `a..b`
+/// or `a..=b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Smallest allowed length (inclusive).
+    pub min: usize,
+    /// Largest allowed length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and length in a
+/// [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element, len)`: a vector whose length is drawn
+/// from `len` and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..=self.size.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        // First shorten (halve toward the minimum length)…
+        if value.len() > self.size.min {
+            let target = self.size.min.max(value.len() / 2);
+            if target < value.len() {
+                return Some(value[..target].to_vec());
+            }
+        }
+        // …then shrink the first element that still can.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(smaller) = self.element.shrink(v) {
+                let mut out = value.clone();
+                out[i] = smaller;
+                return Some(out);
+            }
+        }
+        None
+    }
+}

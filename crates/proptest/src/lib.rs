@@ -1,0 +1,47 @@
+//! In-repo mini property-testing harness, API-compatible with the subset of
+//! the `proptest` crate that BanditWare's test suites use.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships its
+//! own harness as a path dependency under the name the tests already import.
+//! Compared to upstream proptest it is deliberately small:
+//!
+//! * case generation is **deterministic**: each `(test name, case index)`
+//!   pair maps to a fixed seed (override the base with `PROPTEST_SEED`, the
+//!   case count with `PROPTEST_CASES`), so the suite is hermetic and
+//!   reproducible run-to-run and machine-to-machine;
+//! * shrinking is a simple halving pass (numbers step halfway toward their
+//!   lower bound, vectors halve in length, tuples shrink component-wise) —
+//!   no backtracking search;
+//! * the regex-string strategy implements the tiny dialect the tests use:
+//!   literal characters, `.`, character classes with ranges (`[ -~]`,
+//!   `[a-z0-9]`, negation via `^`), and `{m}`/`{m,n}`/`*`/`+`/`?`
+//!   quantifiers.
+//!
+//! Surface provided: the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`arbitrary::any`],
+//! `prop::collection::vec`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`/`prop_filter`, range and tuple strategies, and
+//! [`test_runner::ProptestConfig`].
+
+#![deny(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod macros;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `proptest::prop`: `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

@@ -1,0 +1,270 @@
+//! The [`Strategy`] trait: deterministic value generation plus a simple
+//! halving shrinker, and the `prop_map`/`prop_flat_map`/`prop_filter`
+//! combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times a filtered strategy retries before giving up on a draw.
+const FILTER_RETRIES: usize = 1024;
+
+/// A recipe for generating (and shrinking) values of one type.
+///
+/// Unlike upstream proptest there is no `ValueTree`: a strategy generates a
+/// plain value, and shrinking asks the strategy for a single smaller
+/// candidate derived from a failing value (a halving pass, no backtracking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose a strictly "smaller" candidate derived from `value`, or
+    /// `None` when the value is already minimal (or the strategy cannot
+    /// shrink, e.g. after `prop_map`).
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        let _ = value;
+        None
+    }
+
+    /// Transform every generated value with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy it
+    /// selects (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Reject draws failing `pred`, retrying with fresh draws. `whence` is
+    /// reported if the filter starves.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, pred }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let intermediate = self.inner.generate(rng);
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected {FILTER_RETRIES} consecutive draws; \
+             the predicate is too restrictive for its base strategy",
+            self.whence
+        );
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        // A shrunk candidate must still satisfy the filter.
+        self.inner.shrink(value).filter(|c| (self.pred)(c))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $span:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                if *value == self.start {
+                    None
+                } else {
+                    // Step halfway toward the lower bound; the gap is
+                    // computed 128-bit wide so ranges spanning more than
+                    // the type's MAX (e.g. i64::MIN..0) cannot overflow.
+                    let gap = (*value as $span) - (self.start as $span);
+                    Some(((self.start as $span) + gap / 2) as $t)
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let lo = *self.start();
+                if *value == lo {
+                    None
+                } else {
+                    let gap = (*value as $span) - (lo as $span);
+                    Some(((lo as $span) + gap / 2) as $t)
+                }
+            }
+        }
+    )*};
+}
+int_range_strategy!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let gap = *value - self.start;
+                if gap <= 0.0 {
+                    None
+                } else if gap < 1e-9 * (1.0 + self.start.abs()) {
+                    Some(self.start)
+                } else {
+                    Some(self.start + gap / 2.0)
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let lo = *self.start();
+                let gap = *value - lo;
+                if gap <= 0.0 {
+                    None
+                } else if gap < 1e-9 * (1.0 + lo.abs()) {
+                    Some(lo)
+                } else {
+                    Some(lo + gap / 2.0)
+                }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies: generate component-wise, shrink the first component that
+// still can.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+                $(
+                    if let Some(smaller) = self.$idx.shrink(&value.$idx) {
+                        let mut candidate = value.clone();
+                        candidate.$idx = smaller;
+                        return Some(candidate);
+                    }
+                )+
+                None
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}

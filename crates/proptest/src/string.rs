@@ -1,0 +1,222 @@
+//! Regex-lite string strategies: `"[ -~]{1,12}"` as a `Strategy<Value =
+//! String>`.
+//!
+//! Supported dialect — the subset the workspace's tests use, plus the
+//! obvious neighbours:
+//!
+//! * literal characters,
+//! * `.` (any printable ASCII),
+//! * character classes `[...]` with single chars and `a-z` ranges, `^`
+//!   negation (over printable ASCII), and a leading/trailing literal `-`,
+//! * quantifiers `{m}`, `{m,n}`, `*` (0..=8), `+` (1..=8), `?`.
+//!
+//! Anything else panics loudly at generation time rather than silently
+//! producing wrong strings.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const PRINTABLE_LO: u8 = b' ';
+const PRINTABLE_HI: u8 = b'~';
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Any printable ASCII character.
+    Dot,
+    /// One literal character.
+    Literal(char),
+    /// Explicit member list (expanded from class ranges).
+    OneOf(Vec<char>),
+}
+
+impl CharSet {
+    fn draw(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Dot => char::from(rng.gen_range(PRINTABLE_LO..=PRINTABLE_HI)),
+            CharSet::Literal(c) => *c,
+            CharSet::OneOf(set) => set[rng.gen_range(0..set.len())],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed regex-lite pattern.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl RegexStrategy {
+    /// Parse `pattern`, panicking on anything outside the supported dialect.
+    pub fn new(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Dot
+                }
+                '[' => {
+                    let close =
+                        chars[i + 1..].iter().position(|&c| c == ']').unwrap_or_else(|| {
+                            panic!("regex-lite: unterminated class in {pattern:?}")
+                        }) + i
+                            + 1;
+                    let set = parse_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("regex-lite: trailing escape in {pattern:?}"));
+                    i += 2;
+                    CharSet::Literal(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    })
+                }
+                c @ (']' | '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|') => {
+                    panic!("regex-lite: unsupported syntax {c:?} in {pattern:?}")
+                }
+                c => {
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            atoms.push(Atom { set, min, max });
+        }
+        RegexStrategy { atoms }
+    }
+
+    /// Smallest total length the pattern can produce.
+    fn min_len(&self) -> usize {
+        self.atoms.iter().map(|a| a.min).sum()
+    }
+}
+
+fn parse_class(body: &[char], pattern: &str) -> CharSet {
+    let (negated, body) = match body.first() {
+        Some('^') => (true, &body[1..]),
+        _ => (false, body),
+    };
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "regex-lite: inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    if negated {
+        let members: Vec<char> = (PRINTABLE_LO..=PRINTABLE_HI)
+            .map(char::from)
+            .filter(|c| !members.contains(c))
+            .collect();
+        assert!(!members.is_empty(), "regex-lite: negated class covers everything in {pattern:?}");
+        CharSet::OneOf(members)
+    } else {
+        assert!(!members.is_empty(), "regex-lite: empty class in {pattern:?}");
+        CharSet::OneOf(members)
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close =
+                chars[*i..].iter().position(|&c| c == '}').unwrap_or_else(|| {
+                    panic!("regex-lite: unterminated quantifier in {pattern:?}")
+                }) + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse().expect("regex-lite: bad quantifier lower bound");
+                let hi = hi.trim().parse().expect("regex-lite: bad quantifier upper bound");
+                assert!(lo <= hi, "regex-lite: inverted quantifier in {pattern:?}");
+                (lo, hi)
+            } else {
+                let n = body.trim().parse().expect("regex-lite: bad quantifier count");
+                (n, n)
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let reps =
+                if atom.min == atom.max { atom.min } else { rng.gen_range(atom.min..=atom.max) };
+            for _ in 0..reps {
+                out.push(atom.set.draw(rng));
+            }
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Option<String> {
+        // Halve toward the pattern's minimum length. Only sound for
+        // single-atom patterns (the common `[class]{m,n}` shape); otherwise
+        // don't shrink.
+        if self.atoms.len() != 1 {
+            return None;
+        }
+        let min = self.min_len();
+        let len = value.chars().count();
+        if len > min {
+            let target = min.max(len / 2);
+            if target < len {
+                return Some(value.chars().take(target).collect());
+            }
+        }
+        None
+    }
+}
+
+/// `&str` regex patterns are themselves strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        RegexStrategy::new(self).generate(rng)
+    }
+
+    fn shrink(&self, value: &String) -> Option<String> {
+        RegexStrategy::new(self).shrink(value)
+    }
+}

@@ -1,0 +1,141 @@
+//! Case execution: configuration, failure type, deterministic seeding, and
+//! the run loop with its halving-shrink pass.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Upper bound on shrink iterations per failure.
+const SHRINK_BUDGET: usize = 512;
+
+/// Per-block configuration, set with `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a over the test's full path, so every test gets its own stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The base seed for a test: its name hash, unless `PROPTEST_SEED`
+/// overrides it (useful to reproduce or explore alternative streams).
+fn base_seed(test_path: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => {
+            v.parse::<u64>().unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}"))
+                ^ fnv1a(test_path)
+        }
+        Err(_) => fnv1a(test_path),
+    }
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    let cases = match std::env::var("PROPTEST_CASES") {
+        Ok(v) => {
+            v.parse::<u32>().unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {v:?}"))
+        }
+        Err(_) => config.cases,
+    };
+    // Zero cases would make every property pass vacuously.
+    assert!(cases > 0, "property tests need at least one case");
+    cases
+}
+
+/// Run `test` against `config.cases` deterministic draws from `strategy`.
+///
+/// On failure, applies the halving shrink pass and panics with the smallest
+/// still-failing input found.
+pub fn run<S, F>(config: &ProptestConfig, test_path: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Clone + fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = base_seed(test_path);
+    let cases = case_count(config);
+    for case in 0..cases {
+        let case_seed = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = test(value.clone()) {
+            let (min_value, min_err, steps) = shrink_failure(&strategy, &test, value, err);
+            panic!(
+                "proptest failure in {test_path} (case {case}/{cases}, seed {case_seed:#018x}, \
+                 {steps} shrink steps)\n  assertion: {min_err}\n  minimal failing input: \
+                 {min_value:?}\n  reproduce with PROPTEST_SEED / PROPTEST_CASES env vars"
+            );
+        }
+    }
+}
+
+/// The halving pass: repeatedly accept a strictly smaller candidate while it
+/// still fails; stop at the first candidate that passes or when the strategy
+/// runs out of proposals.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &F,
+    mut value: S::Value,
+    mut err: TestCaseError,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0;
+    while steps < SHRINK_BUDGET {
+        match strategy.shrink(&value) {
+            Some(candidate) => match test(candidate.clone()) {
+                Err(e) => {
+                    value = candidate;
+                    err = e;
+                    steps += 1;
+                }
+                Ok(()) => break,
+            },
+            None => break,
+        }
+    }
+    (value, err, steps)
+}

@@ -1,0 +1,211 @@
+//! Self-tests for the mini-proptest harness: these pin down the behaviours
+//! the workspace's six property suites rely on — cases really execute,
+//! generation is deterministic, failures shrink and report, and the regex
+//! dialect produces strings matching its pattern.
+
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use proptest::string::RegexStrategy;
+use proptest::test_runner::{run, ProptestConfig, TestCaseError};
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    // Thread-local so the inline re-run below cannot race the test
+    // harness's own parallel execution of `macro_generates_in_range`.
+    static CASES_SEEN: Cell<usize> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    /// The macro path end-to-end: this body must run exactly `cases` times
+    /// (checked by `macro_runs_the_configured_case_count` below, which the
+    /// harness runs in the same process).
+    #[test]
+    fn macro_generates_in_range(x in 10usize..20, y in -4.0..4.0f64, flag in any::<bool>()) {
+        CASES_SEEN.with(|c| c.set(c.get() + 1));
+        prop_assert!((10..20).contains(&x));
+        prop_assert!((-4.0..4.0).contains(&y));
+        prop_assert!(flag || !flag);
+    }
+
+    /// Tuples, nested collections and `prop_map`/`prop_flat_map` compose.
+    #[test]
+    fn combinators_compose(
+        rows in (1usize..6).prop_flat_map(|n| prop_vec(prop_vec(0.0..1.0f64, n), 2..5)),
+        label in "[a-c]{2,4}",
+    ) {
+        let width = rows[0].len();
+        prop_assert!(rows.iter().all(|r| r.len() == width));
+        prop_assert!((2..=4).contains(&label.len()));
+        prop_assert!(label.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}
+
+#[test]
+fn macro_runs_the_configured_case_count() {
+    // Run the generated test fn directly: it executes its cases inline.
+    // The PROPTEST_CASES env var deliberately overrides every block's
+    // configured count, so compute the effective expectation the same way.
+    let expected: usize =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(17);
+    CASES_SEEN.with(|c| c.set(0));
+    macro_generates_in_range();
+    assert_eq!(CASES_SEEN.with(Cell::get), expected);
+}
+
+#[test]
+fn extreme_signed_range_shrinks_without_overflow() {
+    // i64::MIN..0 spans more than i64::MAX: any shrink step on such a range
+    // used to overflow `value - start`. Fail for the lower half (drawn with
+    // probability ~1/2 per case) so the halving walk toward i64::MIN runs
+    // its full length: it must not panic, must propose only in-range
+    // candidates, and must bottom out exactly at the range start.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&ProptestConfig::with_cases(64), "selftest::extreme_shrink", (i64::MIN..0,), |(x,)| {
+            assert!(x < 0, "shrink proposed out-of-range candidate {x}");
+            if x < -(1i64 << 62) {
+                Err(TestCaseError::fail(format!("deep: {x}")))
+            } else {
+                Ok(())
+            }
+        });
+    }));
+    let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+    let witness: i64 = msg
+        .split("deep: ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(witness, i64::MIN, "halving walk should bottom out at the range start");
+}
+
+#[test]
+fn generation_is_deterministic_per_test_name() {
+    let make = || (0u64..1_000_000, prop_vec(-1.0..1.0f64, 5));
+    let collect = |name: &str| {
+        let seen: RefCell<Vec<(u64, Vec<f64>)>> = RefCell::new(Vec::new());
+        run(&ProptestConfig::with_cases(10), name, make(), |v| {
+            seen.borrow_mut().push(v);
+            Ok(())
+        });
+        seen.into_inner()
+    };
+    let first = collect("selftest::determinism");
+    let second = collect("selftest::determinism");
+    assert_eq!(first, second, "same test path must replay the same cases");
+    let other = collect("selftest::other_name");
+    assert_ne!(first, other, "different test paths get different streams");
+}
+
+#[test]
+fn failure_shrinks_toward_the_boundary() {
+    // Property fails for x >= 100 over 0..100_000: the halving pass must
+    // walk the witness down close to the boundary and report it.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(
+            &ProptestConfig::with_cases(64),
+            "selftest::shrink_boundary",
+            (0usize..100_000,),
+            |(x,)| {
+                if x >= 100 {
+                    Err(TestCaseError::fail(format!("too big: {x}")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }));
+    let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+    assert!(msg.contains("minimal failing input"), "panic message was: {msg}");
+    // Extract the reported witness: the halving pass lands in [100, 200).
+    let witness: usize = msg
+        .split("too big: ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((100..200).contains(&witness), "witness {witness} not shrunk to the boundary");
+}
+
+#[test]
+fn vec_shrink_reduces_length_first() {
+    let strat = prop_vec(0.0..1.0f64, 1..64);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&ProptestConfig::with_cases(32), "selftest::vec_shrink", (strat,), |(v,)| {
+            if v.len() >= 4 {
+                Err(TestCaseError::fail(format!("len: {}", v.len())))
+            } else {
+                Ok(())
+            }
+        });
+    }));
+    let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+    let witness: usize = msg
+        .split("len: ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((4..8).contains(&witness), "length {witness} not halved to the boundary");
+}
+
+#[test]
+fn regex_strategy_matches_its_pattern() {
+    let strat = RegexStrategy::new("[ -~]{1,12}");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    use rand::SeedableRng;
+    for _ in 0..500 {
+        let s = strat.generate(&mut rng);
+        assert!((1..=12).contains(&s.chars().count()), "bad length: {s:?}");
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)), "non-printable in {s:?}");
+    }
+    // Negation, exact counts, and literals.
+    let neg = RegexStrategy::new("[^a-z]{3}");
+    for _ in 0..100 {
+        let s = neg.generate(&mut rng);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "lowercase in {s:?}");
+    }
+    let lit = RegexStrategy::new("ab?c*");
+    for _ in 0..100 {
+        let s = lit.generate(&mut rng);
+        assert!(s.starts_with('a'));
+        assert!(s.trim_start_matches('a').trim_start_matches('b').chars().all(|c| c == 'c'));
+    }
+}
+
+#[test]
+fn filter_retries_and_starves_loudly() {
+    // A satisfiable filter works...
+    let even = (0usize..1000).prop_filter("even", |v| v % 2 == 0);
+    run(&ProptestConfig::with_cases(32), "selftest::filter_ok", (even,), |(v,)| {
+        assert_eq!(v % 2, 0);
+        Ok(())
+    });
+    // ...an unsatisfiable one panics with its reason instead of spinning.
+    let never = (0usize..1000).prop_filter("impossible", |_| false);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&ProptestConfig::with_cases(1), "selftest::filter_starved", (never,), |_| Ok(()))
+    }));
+    let msg = *result.expect_err("filter must starve").downcast::<String>().unwrap();
+    assert!(msg.contains("impossible"), "panic message was: {msg}");
+}
+
+#[test]
+fn prop_assert_eq_reports_both_sides() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&ProptestConfig::with_cases(1), "selftest::assert_eq_msg", (0usize..1,), |(_,)| {
+            let observed = 3usize;
+            prop_assert_eq!(observed, 4usize);
+            Ok(())
+        });
+    }));
+    let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+    assert!(msg.contains('3') && msg.contains('4'), "panic message was: {msg}");
+}

@@ -173,12 +173,7 @@ impl Bp3dModel {
 
 impl CostModel for Bp3dModel {
     fn expected_runtime(&self, hw: &HardwareConfig, features: &[f64]) -> f64 {
-        let linear: f64 = self
-            .coefficients
-            .iter()
-            .zip(features)
-            .map(|(c, f)| c * f)
-            .sum::<f64>()
+        let linear: f64 = self.coefficients.iter().zip(features).map(|(c, f)| c * f).sum::<f64>()
             + self.intercept;
         (linear * self.hardware_factors[hw.id]).max(60.0)
     }
@@ -198,11 +193,8 @@ pub fn generate_trace(
 ) -> Trace {
     let hardware = ndp_hardware();
     assert_eq!(model.hardware_factors.len(), hardware.len(), "model/hardware arity mismatch");
-    let mut trace = Trace::new(
-        "bp3d",
-        FEATURES.iter().map(|s| s.to_string()).collect(),
-        hardware.clone(),
-    );
+    let mut trace =
+        Trace::new("bp3d", FEATURES.iter().map(|s| s.to_string()).collect(), hardware.clone());
     let sim_times = [400.0, 600.0, 800.0, 1000.0, 1200.0];
     for i in 0..n_runs {
         let unit = &units[i % units.len()];
@@ -253,7 +245,8 @@ mod tests {
         for w in units.windows(2) {
             assert!(w[0].area() < w[1].area());
         }
-        let regions: std::collections::HashSet<_> = units.iter().map(|u| u.region.clone()).collect();
+        let regions: std::collections::HashSet<_> =
+            units.iter().map(|u| u.region.clone()).collect();
         assert_eq!(regions.len(), 3);
     }
 

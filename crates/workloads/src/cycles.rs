@@ -91,11 +91,8 @@ pub fn generate_trace(
 ) -> Trace {
     let hardware = synthetic_hardware();
     assert_eq!(model.n_hardware(), hardware.len(), "model/hardware arity mismatch");
-    let mut trace = Trace::new(
-        "cycles",
-        FEATURES.iter().map(|s| s.to_string()).collect(),
-        hardware.clone(),
-    );
+    let mut trace =
+        Trace::new("cycles", FEATURES.iter().map(|s| s.to_string()).collect(), hardware.clone());
     for i in 0..n_runs {
         let num_tasks = rng.gen_range(task_range.0..=task_range.1) as f64;
         let hw = i % hardware.len();
@@ -109,11 +106,8 @@ pub fn generate_trace(
 /// (100 and 500 tasks), all four synthetic hardware settings.
 pub fn generate_paper_trace(model: &CyclesModel, rng: &mut impl Rng) -> Trace {
     let hardware = synthetic_hardware();
-    let mut trace = Trace::new(
-        "cycles",
-        FEATURES.iter().map(|s| s.to_string()).collect(),
-        hardware.clone(),
-    );
+    let mut trace =
+        Trace::new("cycles", FEATURES.iter().map(|s| s.to_string()).collect(), hardware.clone());
     for i in 0..80 {
         let num_tasks = if i % 2 == 0 { 100.0 } else { 500.0 };
         let hw = (i / 2) % hardware.len();

@@ -61,10 +61,7 @@ impl WorkflowDag {
         assert_ne!(from, to, "self-dependency");
         self.children[from].push(to);
         self.parents[to] += 1;
-        assert!(
-            self.topological_order().is_some(),
-            "edge {from}->{to} creates a cycle"
-        );
+        assert!(self.topological_order().is_some(), "edge {from}->{to} creates a cycle");
     }
 
     /// Number of tasks.
@@ -85,8 +82,7 @@ impl WorkflowDag {
     /// Kahn's algorithm; `None` if the graph has a cycle.
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let mut indeg = self.parents.clone();
-        let mut queue: VecDeque<usize> =
-            (0..self.tasks.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.tasks.len()).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(self.tasks.len());
         while let Some(t) = queue.pop_front() {
             order.push(t);
@@ -286,9 +282,7 @@ mod tests {
         // The paper's Cycles model: makespan grows linearly with num_tasks
         // at fixed parallelism — emergent from list scheduling.
         let slots = 8;
-        let mk = |width: usize| {
-            WorkflowDag::fork_join(width, 2.0, 6.0, 2.0).makespan(slots, 1.0)
-        };
+        let mk = |width: usize| WorkflowDag::fork_join(width, 2.0, 6.0, 2.0).makespan(slots, 1.0);
         // Widths at multiples of the slot count avoid the ±1-wave ceil()
         // quantization; real num_tasks values sit on the same line ±1 wave.
         let m1 = mk(96);
@@ -296,10 +290,7 @@ mod tests {
         let m3 = mk(288);
         let slope1 = m2 - m1;
         let slope2 = m3 - m2;
-        assert!(
-            (slope1 - slope2).abs() < 1e-9,
-            "makespan growth not linear: {slope1} vs {slope2}"
-        );
+        assert!((slope1 - slope2).abs() < 1e-9, "makespan growth not linear: {slope1} vs {slope2}");
         // And arbitrary widths stay within one wave (one body cost) of it.
         let interp = m1 + (m2 - m1) * (150.0 - 96.0) / 96.0;
         assert!((mk(150) - interp).abs() <= 6.0 + 1e-9);

@@ -70,10 +70,7 @@ impl Polygon {
     /// Vertex centroid (arithmetic mean of the vertices).
     pub fn centroid(&self) -> Point {
         let n = self.vertices.len() as f64;
-        let (sx, sy) = self
-            .vertices
-            .iter()
-            .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x, ay + p.y));
+        let (sx, sy) = self.vertices.iter().fold((0.0, 0.0), |(ax, ay), p| (ax + p.x, ay + p.y));
         Point { x: sx / n, y: sy / n }
     }
 

@@ -53,10 +53,10 @@ impl LlmModel {
     /// few-seconds affair on GPU and ~a minute on a small CPU box.
     pub fn default_7b() -> Self {
         LlmModel {
-            cpu_prefill_tps: 120.0,   // per core
+            cpu_prefill_tps: 120.0,    // per core
             gpu_prefill_tps: 20_000.0, // per GPU
-            cpu_decode_spt: 0.25,     // 4 tok/s on one core
-            gpu_decode_spt: 0.01,     // 100 tok/s per GPU
+            cpu_decode_spt: 0.25,      // 4 tok/s on one core
+            gpu_decode_spt: 0.01,      // 100 tok/s per GPU
             overhead_base_s: 1.0,
             overhead_per_gpu_s: 4.0,
             noise: NoiseModel::LogNormal { sigma: 0.15 },
@@ -94,11 +94,8 @@ impl CostModel for LlmModel {
 /// uniformly random flavours.
 pub fn generate_trace(model: &LlmModel, n_requests: usize, rng: &mut impl Rng) -> Trace {
     let hardware = gpu_hardware();
-    let mut trace = Trace::new(
-        "llm",
-        FEATURES.iter().map(|s| s.to_string()).collect(),
-        hardware.clone(),
-    );
+    let mut trace =
+        Trace::new("llm", FEATURES.iter().map(|s| s.to_string()).collect(), hardware.clone());
     for _ in 0..n_requests {
         let long_context = rng.gen::<f64>() < 0.2;
         let prompt = if long_context {

@@ -5,7 +5,7 @@
 //! hardware-sensitive workload. This module contains:
 //!
 //! * the **real kernel** — [`square_parallel`] partitions the output rows
-//!   into stripes, one crossbeam scoped thread per stripe, each computing its
+//!   into stripes, one scoped thread per stripe, each computing its
 //!   stripe with a cache-blocked `ikj` loop (zero entries are skipped, so
 //!   sparsity genuinely reduces work, exactly like the paper's workload);
 //! * [`generate_matrix`] — random matrices parameterized by `size`,
@@ -56,7 +56,7 @@ pub fn generate_matrix(
 /// `block`-sized cache tiles. Results are identical to `a.mul(&a)`.
 ///
 /// Row stripes of the output are computed independently, so the only shared
-/// state is the read-only input — crossbeam's scoped threads let us borrow it
+/// state is the read-only input — `std::thread::scope` lets us borrow it
 /// without `Arc`.
 ///
 /// ```
@@ -91,15 +91,14 @@ pub fn square_parallel(a: &Matrix, n_threads: usize, block: usize) -> Matrix {
         start += len;
     }
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (start, buf) in stripes.iter_mut() {
             let start = *start;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 square_stripe(a, start, buf, b);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut data = Vec::with_capacity(n * n);
     for (_, buf) in stripes {
@@ -209,11 +208,8 @@ pub fn generate_trace(
     rng: &mut impl Rng,
 ) -> Trace {
     let hardware = matmul_hardware();
-    let mut trace = Trace::new(
-        "matmul",
-        FEATURES.iter().map(|s| s.to_string()).collect(),
-        hardware.clone(),
-    );
+    let mut trace =
+        Trace::new("matmul", FEATURES.iter().map(|s| s.to_string()).collect(), hardware.clone());
     for i in 0..(n_small + n_large) {
         let size = if i < n_small {
             rng.gen_range(100..5000) as f64
@@ -267,7 +263,9 @@ mod tests {
     #[test]
     fn parallel_square_matches_naive() {
         let mut r = rng();
-        for &(n, t, b) in &[(1usize, 1usize, 4usize), (7, 2, 2), (16, 3, 8), (33, 4, 16), (48, 8, 7)] {
+        for &(n, t, b) in
+            &[(1usize, 1usize, 4usize), (7, 2, 2), (16, 3, 8), (33, 4, 16), (48, 8, 7)]
+        {
             let m = generate_matrix(n, 0.2, -5, 5, &mut r);
             let expect = m.mul(&m).unwrap();
             let got = square_parallel(&m, t, b);

@@ -39,9 +39,8 @@ fn main() {
     // BanditWare with a 60 s tolerance: BP3D runs take hours, so a minute of
     // slack buys the cheapest flavour whenever the models can't separate.
     let specs = specs_from_hardware(&hardware);
-    let config = BanditConfig::paper()
-        .with_tolerance(Tolerance::seconds(60.0).expect("valid"))
-        .with_seed(5);
+    let config =
+        BanditConfig::paper().with_tolerance(Tolerance::seconds(60.0).expect("valid")).with_seed(5);
     let policy = EpsilonGreedy::new(specs.clone(), bp3d::FEATURES.len(), config).expect("valid");
     let mut bandit = BanditWare::new(policy, specs);
     let mut cluster = ClusterSim::new(hardware.clone(), 2, 2, Box::new(model.clone()), 99);
@@ -82,18 +81,17 @@ fn main() {
     println!("\nafter {} runs:", bandit.rounds());
     println!("  history full-fit RMSE: {:.0} s (R² {:.3})", full.rmse, full.r2);
     println!("  pulls per flavour: {:?}", bandit.pulls());
-    let mean_cost: f64 = bandit
-        .history()
-        .iter()
-        .map(|o| hardware[o.arm].resource_cost())
-        .sum::<f64>()
-        / bandit.rounds() as f64;
+    let mean_cost: f64 =
+        bandit.history().iter().map(|o| hardware[o.arm].resource_cost()).sum::<f64>()
+            / bandit.rounds() as f64;
     println!(
         "  mean chosen resource cost: {mean_cost:.2} (H0 cheapest = {:.1}, H1/H2 = {:.1})",
         hardware[0].resource_cost(),
         hardware[1].resource_cost()
     );
-    println!("  cluster telemetry: {} completions, {:.1} core-hours of work",
+    println!(
+        "  cluster telemetry: {} completions, {:.1} core-hours of work",
         cluster.telemetry().total_completed(),
-        cluster.telemetry().total_busy_seconds() / 3600.0);
+        cluster.telemetry().total_busy_seconds() / 3600.0
+    );
 }

@@ -35,9 +35,7 @@ fn run(label: &str, mut policy: impl Policy, exploit: impl Fn(&dyn Policy, &[f64
         for r in 0..ROUNDS_PER_PHASE {
             let x = rng.gen_range(1.0..10.0);
             let sel = policy.select(&[x]).expect("arity ok");
-            policy
-                .observe(sel.arm, &[x], truth(phase, sel.arm, x))
-                .expect("valid runtime");
+            policy.observe(sel.arm, &[x], truth(phase, sel.arm, x)).expect("valid runtime");
             if phase == 1 {
                 let pick = exploit(&policy, &[5.0]);
                 if pick == 1 {
@@ -55,9 +53,7 @@ fn run(label: &str, mut policy: impl Policy, exploit: impl Fn(&dyn Policy, &[f64
 }
 
 fn main() {
-    println!(
-        "two arms, runtimes swap after round {ROUNDS_PER_PHASE}: who re-learns fastest?\n"
-    );
+    println!("two arms, runtimes swap after round {ROUNDS_PER_PHASE}: who re-learns fastest?\n");
     let specs = ArmSpec::unit_costs(2);
     let cfg = BanditConfig::paper().with_epsilon0(0.25).with_decay(1.0).with_seed(1);
 

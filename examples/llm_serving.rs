@@ -32,15 +32,9 @@ fn main() {
     // Pay 0.8 % of the latency per resource-cost unit: a 36-cost GPU box
     // must be ≥ ~1.3x faster than a 12-cost CPU box to win.
     let objective = Objective::new(1.0, 0.008, 0.0).expect("valid objective");
-    let mut policy = BudgetedEpsilonGreedy::new(
-        specs.clone(),
-        FEATURES.len(),
-        objective,
-        1.0,
-        0.97,
-        7,
-    )
-    .expect("valid policy");
+    let mut policy =
+        BudgetedEpsilonGreedy::new(specs.clone(), FEATURES.len(), objective, 1.0, 0.97, 7)
+            .expect("valid policy");
 
     let mut rng = StdRng::seed_from_u64(41);
     let mut per_arm_latency = vec![0.0f64; hardware.len()];
@@ -48,7 +42,8 @@ fn main() {
     for round in 0..400 {
         // Chat-like mixture: mostly short, sometimes long-context.
         let long = rng.gen::<f64>() < 0.2;
-        let prompt = if long { rng.gen_range(4_000..32_000) } else { rng.gen_range(50..2_000) } as f64;
+        let prompt =
+            if long { rng.gen_range(4_000..32_000) } else { rng.gen_range(50..2_000) } as f64;
         let output = rng.gen_range(20..1_500) as f64;
         let batch = *[1.0, 1.0, 2.0, 4.0].get(rng.gen_range(0..4)).expect("in range");
         let x = [prompt, output, batch];

@@ -39,9 +39,8 @@ fn main() {
     println!("round | size | threads | explored | measured_ms");
     for round in 0..40 {
         // Sizes from 32 to 384: spans the thread-overhead crossover.
-        let size = *[32usize, 64, 96, 128, 192, 256, 320, 384]
-            .get(rng.gen_range(0..8))
-            .expect("in range");
+        let size =
+            *[32usize, 64, 96, 128, 192, 256, 320, 384].get(rng.gen_range(0..8)).expect("in range");
         let matrix = generate_matrix(size, 0.1, -100, 100, &mut rng);
         let features = [size as f64];
         let (rec, ms) = bandit
@@ -54,19 +53,13 @@ fn main() {
             })
             .expect("round succeeds");
         if round % 5 == 0 {
-            println!(
-                "{round:>5} | {size:>4} | {:>7} | {:>8} | {ms:>11.2}",
-                rec.name, rec.explored
-            );
+            println!("{round:>5} | {size:>4} | {:>7} | {:>8} | {ms:>11.2}", rec.name, rec.explored);
         }
     }
 
     println!("\npulls per configuration: {:?}", bandit.pulls());
     for size in [32.0, 128.0, 384.0] {
         let arm = bandit.policy().exploit(&[size]).expect("trained");
-        println!(
-            "recommended threads for a {size:.0}x{size:.0} squaring: {}",
-            thread_options[arm]
-        );
+        println!("recommended threads for a {size:.0}x{size:.0} squaring: {}", thread_options[arm]);
     }
 }

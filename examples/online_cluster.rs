@@ -23,9 +23,8 @@ fn main() {
     // queues later jobs — the cost of recommending everyone the same box.
     let mut cluster = ClusterSim::new(hardware.clone(), 1, 2, Box::new(model), 7);
 
-    let config = BanditConfig::paper()
-        .with_tolerance(Tolerance::ratio(0.15).expect("valid"))
-        .with_seed(13);
+    let config =
+        BanditConfig::paper().with_tolerance(Tolerance::ratio(0.15).expect("valid")).with_seed(13);
     let policy = EpsilonGreedy::new(specs.clone(), 1, config).expect("valid");
     let mut bandit = BanditWare::new(policy, specs);
 
@@ -57,7 +56,11 @@ fn main() {
     cluster.run_until_idle();
 
     let t = cluster.telemetry();
-    println!("cluster after {} jobs (virtual clock {:.0} s):", t.total_completed(), cluster.clock());
+    println!(
+        "cluster after {} jobs (virtual clock {:.0} s):",
+        t.total_completed(),
+        cluster.clock()
+    );
     println!("flavour | completed | mean_runtime_s | mean_wait_s | busy_core_s");
     for h in &hardware {
         println!(

@@ -40,20 +40,16 @@ fn main() {
         if round % 5 == 0 {
             println!(
                 "{round:>5} | {num_tasks:>9.0} | {:>6} | {:>8} | {runtime:>9.1} | {:>11.1}",
-                rec.name,
-                rec.explored,
-                rec.predicted_runtime
+                rec.name, rec.explored, rec.predicted_runtime
             );
         }
     }
 
     println!("\npulls per hardware: {:?}", bandit.pulls());
-    println!("mean observed runtime per hardware: {:?}",
-        bandit
-            .mean_runtime_per_arm()
-            .iter()
-            .map(|m| format!("{m:.0}"))
-            .collect::<Vec<_>>());
+    println!(
+        "mean observed runtime per hardware: {:?}",
+        bandit.mean_runtime_per_arm().iter().map(|m| format!("{m:.0}")).collect::<Vec<_>>()
+    );
 
     // What would BanditWare pick now, exploitation-only?
     for tasks in [120.0, 300.0, 480.0] {

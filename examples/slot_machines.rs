@@ -41,9 +41,12 @@ fn main() {
     }
 
     println!("\ntotal cost paid: {total:.0} (oracle would pay ≈ {:.0})", 300.0 * 10.0);
-    println!("estimated means: {:?}",
-        (0..3).map(|a| format!("{}={:.1}", names[a], policy.predict(a, &[]).unwrap()))
-            .collect::<Vec<_>>());
+    println!(
+        "estimated means: {:?}",
+        (0..3)
+            .map(|a| format!("{}={:.1}", names[a], policy.predict(a, &[]).unwrap()))
+            .collect::<Vec<_>>()
+    );
     assert_eq!(policy.greedy_arm(), 1, "the gambler should find machine B");
     println!("=> converged on machine B, the true best.");
 }

@@ -53,9 +53,7 @@ fn main() {
 
     // 5. Recommend for new workloads.
     for size in [500.0, 4000.0, 11000.0] {
-        let rec = bandit
-            .recommend(&[size, 0.2, -100.0, 100.0])
-            .expect("trained");
+        let rec = bandit.recommend(&[size, 0.2, -100.0, 100.0]).expect("trained");
         println!(
             "size {size:>6.0} → {} (predicted {:.1} s, explored: {})",
             rec.name, rec.predicted_runtime, rec.explored

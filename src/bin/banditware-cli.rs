@@ -80,21 +80,17 @@ fn app(name: &str) -> Result<App, String> {
             hardware: synthetic_hardware(),
             features: cycles::FEATURES.to_vec(),
         }),
-        "bp3d" => Ok(App {
-            name: "bp3d",
-            hardware: ndp_hardware(),
-            features: bp3d::FEATURES.to_vec(),
-        }),
+        "bp3d" => {
+            Ok(App { name: "bp3d", hardware: ndp_hardware(), features: bp3d::FEATURES.to_vec() })
+        }
         "matmul" => Ok(App {
             name: "matmul",
             hardware: matmul_hardware(),
             features: matmul::FEATURES.to_vec(),
         }),
-        "llm" => Ok(App {
-            name: "llm",
-            hardware: gpu_hardware(),
-            features: llm::FEATURES.to_vec(),
-        }),
+        "llm" => {
+            Ok(App { name: "llm", hardware: gpu_hardware(), features: llm::FEATURES.to_vec() })
+        }
         other => Err(format!("unknown application {other:?} (expected cycles|bp3d|matmul|llm)")),
     }
 }
@@ -102,7 +98,9 @@ fn app(name: &str) -> Result<App, String> {
 fn generate_trace(app_name: &str, runs: usize, seed: u64) -> Result<Trace, String> {
     let mut rng = StdRng::seed_from_u64(seed);
     Ok(match app_name {
-        "cycles" => cycles::generate_trace(&cycles::CyclesModel::paper(), runs, (100, 500), &mut rng),
+        "cycles" => {
+            cycles::generate_trace(&cycles::CyclesModel::paper(), runs, (100, 500), &mut rng)
+        }
         "bp3d" => {
             let model = bp3d::Bp3dModel::paper();
             let units = bp3d::paper_burn_units(&mut rng);
@@ -277,8 +275,8 @@ mod tests {
     fn generate_then_train_then_recommend() {
         let trace_path = tmp("cycles_trace.csv");
         let hist_path = tmp("cycles_history.txt");
-        let out = run(&s(&["generate", "cycles", &trace_path, "--runs", "200", "--seed", "3"]))
-            .unwrap();
+        let out =
+            run(&s(&["generate", "cycles", &trace_path, "--runs", "200", "--seed", "3"])).unwrap();
         assert!(out.contains("200 cycles runs"), "{out}");
 
         let out = run(&s(&["train", "cycles", &trace_path, &hist_path])).unwrap();
@@ -328,10 +326,8 @@ mod tests {
         run(&s(&["train", "matmul", &trace_path, &hist_path])).unwrap();
         // matmul expects 4 features
         assert!(run(&s(&["recommend", "matmul", &hist_path, "--features", "5000"])).is_err());
-        let out = run(&s(&[
-            "recommend", "matmul", &hist_path, "--features", "9000,0.1,-10,10",
-        ]))
-        .unwrap();
+        let out =
+            run(&s(&["recommend", "matmul", &hist_path, "--features", "9000,0.1,-10,10"])).unwrap();
         assert!(out.contains("predicted runtime"), "{out}");
     }
 
@@ -342,10 +338,7 @@ mod tests {
         run(&s(&["generate", "llm", &trace_path, "--runs", "150", "--seed", "9"])).unwrap();
         let out = run(&s(&["train", "llm", &trace_path, &hist_path])).unwrap();
         assert!(out.contains("150 runs"), "{out}");
-        let out = run(&s(&[
-            "recommend", "llm", &hist_path, "--features", "16000,800,4",
-        ]))
-        .unwrap();
+        let out = run(&s(&["recommend", "llm", &hist_path, "--features", "16000,800,4"])).unwrap();
         assert!(out.contains("gpus"), "heavy request should get a GPU flavour: {out}");
     }
 

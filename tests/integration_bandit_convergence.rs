@@ -24,9 +24,7 @@ fn bandit_learns_cycles_crossover_through_cluster() {
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..250 {
         let tasks = rng.gen_range(5..=500) as f64;
-        bandit
-            .run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm))
-            .unwrap();
+        bandit.run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm)).unwrap();
     }
 
     // Oracle agreement at the extremes of the crossover.

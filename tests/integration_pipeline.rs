@@ -30,7 +30,8 @@ fn csv_roundtrip_and_merge_consistency() {
     assert_eq!(restored, trace);
 
     let gb = df.group_by("hardware").unwrap();
-    let merged = gb.agg(&[("runtime", Aggregation::Mean), ("runtime", Aggregation::Count)]).unwrap();
+    let merged =
+        gb.agg(&[("runtime", Aggregation::Mean), ("runtime", Aggregation::Count)]).unwrap();
     assert_eq!(merged.n_rows(), 3);
     let counts = merged.column_f64("runtime_count").unwrap();
     let expected = trace.rows_per_hardware();
@@ -64,10 +65,7 @@ fn warm_start_equals_full_fit() {
         for hw in 0..trace.hardware.len() {
             let a = bandit.policy().predict(hw, &row.features).unwrap();
             let b = full.recommender.predict(hw, &row.features).unwrap();
-            assert!(
-                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
-                "hw {hw}: bandit {a} vs full fit {b}"
-            );
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "hw {hw}: bandit {a} vs full fit {b}");
         }
     }
 }
@@ -121,8 +119,7 @@ fn baseline_pecking_order_on_matmul() {
 fn subset_regressions_weaker_than_full_fit() {
     let (trace, _) = bp3d_trace();
     let mut rng = StdRng::seed_from_u64(71);
-    let stats =
-        banditware::baselines::linreg::train_on_subsets(&trace, 30, 25, &mut rng).unwrap();
+    let stats = banditware::baselines::linreg::train_on_subsets(&trace, 30, 25, &mut rng).unwrap();
     let full = FullFitBaseline::fit(&trace).unwrap();
     let (_, mean_rmse, _, _) = stats.rmse_summary();
     assert!(mean_rmse > full.rmse, "subset mean {mean_rmse} vs full {}", full.rmse);

@@ -126,12 +126,9 @@ fn checkpoint_restore_continues_identically() {
 fn facade_with_drift_arms_follows_swap() {
     let specs = ArmSpec::unit_costs(2);
     let cfg = BanditConfig::paper().with_epsilon0(0.25).with_decay(1.0).with_seed(9);
-    let policy = banditware::core::DecayingEpsilonGreedy::with_arms(
-        specs.clone(),
-        1,
-        cfg,
-        |nf| DiscountedArm::new(nf, 0.88).unwrap(),
-    )
+    let policy = banditware::core::DecayingEpsilonGreedy::with_arms(specs.clone(), 1, cfg, |nf| {
+        DiscountedArm::new(nf, 0.88).unwrap()
+    })
     .unwrap();
     let mut bandit = BanditWare::new(policy, specs);
     let mut rng = StdRng::seed_from_u64(10);
@@ -194,13 +191,7 @@ fn bandit_learns_through_preemptions() {
     use banditware::cluster::FaultModel;
     let hardware = synthetic_hardware();
     let specs = specs_from_hardware(&hardware);
-    let mut cluster = ClusterSim::new(
-        hardware.clone(),
-        2,
-        4,
-        Box::new(CyclesModel::paper()),
-        13,
-    );
+    let mut cluster = ClusterSim::new(hardware.clone(), 2, 4, Box::new(CyclesModel::paper()), 13);
     cluster.set_fault_model(FaultModel::new(0.10, 0.10, 2.0, 3));
     assert!(!cluster.fault_model().is_none());
 
@@ -209,9 +200,7 @@ fn bandit_learns_through_preemptions() {
     let mut rng = StdRng::seed_from_u64(15);
     for _ in 0..300 {
         let tasks = rng.gen_range(100..=500) as f64;
-        bandit
-            .run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm))
-            .unwrap();
+        bandit.run_round(&[tasks], |rec| cluster.execute("cycles", &[tasks], rec.arm)).unwrap();
     }
     // Large workflows must still route to the big hardware despite faults.
     assert_eq!(bandit.policy().exploit(&[480.0]).unwrap(), 3);
