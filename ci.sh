@@ -28,7 +28,13 @@ cargo test --workspace -q
 echo "==> cargo build --examples --release (examples smoke check)"
 cargo build --examples --release
 
+echo "==> serving-engine smoke run (concurrent_serving example)"
+cargo run --release --example concurrent_serving >/dev/null
+
 echo "==> cargo build --benches --release (criterion benches compile)"
 cargo build --benches --release
+
+echo "==> bench_serve (batched vs per-call throughput, tracked number)"
+cargo bench -p banditware-bench --bench bench_serve
 
 echo "==> all green"

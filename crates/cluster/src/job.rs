@@ -18,6 +18,11 @@ pub struct Job {
     /// when no estimate is available. BanditWare's predicted runtime is the
     /// natural source.
     pub cost_hint: f64,
+    /// Opaque recommender ticket travelling with the job (the id of a
+    /// `banditware_core::Ticket`): the recommendation that routed this job
+    /// stays open while the job queues and runs, and the completion carries
+    /// the ticket back so the runtime can be recorded out of order.
+    pub ticket: Option<u64>,
 }
 
 /// The completion record of a job.
@@ -37,6 +42,8 @@ pub struct JobResult {
     pub end_time: f64,
     /// Pure execution runtime (`end - start`).
     pub runtime: f64,
+    /// The recommender ticket the job carried (see [`Job::ticket`]).
+    pub ticket: Option<u64>,
 }
 
 impl JobResult {
@@ -60,8 +67,10 @@ mod tests {
             start_time: 5.0,
             end_time: 15.0,
             runtime: 10.0,
+            ticket: Some(3),
         };
         assert_eq!(r.turnaround(), 15.0);
         assert_eq!(r.end_time - r.start_time, r.runtime);
+        assert_eq!(r.ticket, Some(3));
     }
 }

@@ -126,6 +126,7 @@ mod tests {
             hardware: hw,
             submit_time: 0.0,
             cost_hint: hint,
+            ticket: None,
         }
     }
 

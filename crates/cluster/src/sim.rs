@@ -144,6 +144,7 @@ impl ClusterSim {
             start_time: self.clock - runtime,
             end_time: self.clock,
             runtime,
+            ticket: None,
         });
         self.next_job_id += 1;
         let _ = app;
@@ -170,6 +171,35 @@ impl ClusterSim {
         hardware: usize,
         cost_hint: f64,
     ) -> u64 {
+        self.submit_job(app, features, hardware, cost_hint, None)
+    }
+
+    /// Submit a job that carries a recommender ticket: the ticket rides
+    /// through queueing and execution and comes back on the
+    /// [`JobResult`], so the caller can `record_ticket` completions in
+    /// whatever order the cluster finishes them. Returns the job id.
+    ///
+    /// # Panics
+    /// Panics on an unknown hardware id.
+    pub fn submit_ticketed(
+        &mut self,
+        app: &str,
+        features: Vec<f64>,
+        hardware: usize,
+        cost_hint: f64,
+        ticket: u64,
+    ) -> u64 {
+        self.submit_job(app, features, hardware, cost_hint, Some(ticket))
+    }
+
+    fn submit_job(
+        &mut self,
+        app: &str,
+        features: Vec<f64>,
+        hardware: usize,
+        cost_hint: f64,
+        ticket: Option<u64>,
+    ) -> u64 {
         assert!(hardware < self.hardware.len(), "unknown hardware {hardware}");
         let id = self.next_job_id;
         self.next_job_id += 1;
@@ -180,6 +210,7 @@ impl ClusterSim {
             hardware,
             submit_time: self.clock,
             cost_hint,
+            ticket,
         });
         self.try_place();
         id
@@ -225,6 +256,7 @@ impl ClusterSim {
             start_time: running.start,
             end_time: self.clock,
             runtime: self.clock - running.start,
+            ticket: running.job.ticket,
         };
         self.telemetry.record_completion(result.hardware, result.runtime, result.queue_wait);
         self.results.push(result.clone());
@@ -377,6 +409,25 @@ mod tests {
         assert!((t.mean_runtime(2) - 30.0).abs() < 1e-12);
         assert_eq!(t.mean_wait(0), 0.0);
         assert!(t.busy_seconds(1) > 0.0);
+    }
+
+    #[test]
+    fn tickets_ride_through_queueing_and_come_back_out_of_order() {
+        let mut s = sim(1, 1);
+        // Two flavours, one slot each: flavour-2 job (30 s) outlives two
+        // sequential flavour-0 jobs (10 s each).
+        s.submit_ticketed("slow", vec![1.0], 2, 0.0, 100);
+        s.submit_ticketed("fast-1", vec![2.0], 0, 0.0, 101);
+        s.submit_ticketed("fast-2", vec![3.0], 0, 0.0, 102);
+        let tickets: Vec<Option<u64>> = std::iter::from_fn(|| s.step()).map(|r| r.ticket).collect();
+        // Completion order differs from submission order; each result still
+        // carries its own ticket so recording can attribute correctly.
+        assert_eq!(tickets, vec![Some(101), Some(102), Some(100)]);
+        // Untagged submissions stay untagged.
+        s.submit("plain", vec![], 0);
+        assert_eq!(s.step().unwrap().ticket, None);
+        assert_eq!(s.execute("sync", &[1.0], 0), 10.0);
+        assert_eq!(s.results().last().unwrap().ticket, None);
     }
 
     #[test]

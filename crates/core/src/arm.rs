@@ -21,7 +21,7 @@ use banditware_linalg::online::NormalEquations;
 use banditware_linalg::Matrix;
 
 /// A runtime estimator for one hardware arm.
-pub trait ArmEstimator: Send {
+pub trait ArmEstimator: Send + Sync + std::fmt::Debug {
     /// Number of context features.
     fn n_features(&self) -> usize;
 

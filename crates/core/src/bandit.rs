@@ -1,13 +1,30 @@
 //! [`BanditWare`] — the user-facing recommender facade.
 //!
 //! Couples a [`Policy`] with the arm metadata and a complete run history, and
-//! exposes the two-call protocol of the framework: [`BanditWare::recommend`]
-//! for an incoming workflow, [`BanditWare::record`] once its runtime is
-//! observed. A convenience [`BanditWare::run_round`] does both around a
+//! exposes the framework's two-call protocol in two flavours:
+//!
+//! * **Ticketed** (the serving path): [`BanditWare::recommend_ticketed`]
+//!   returns a [`Ticket`] alongside the recommendation; the observed runtime
+//!   is attributed later via [`BanditWare::record_ticket`]. Arbitrarily many
+//!   rounds may be in flight at once, tickets may be recorded **out of
+//!   order**, and a round that never completes can be abandoned with
+//!   [`BanditWare::drop_ticket`]. [`BanditWare::recommend_batch`] selects a
+//!   whole burst in one policy pass (for [`crate::ScaledPolicy`], one
+//!   scaler pass); [`BanditWare::record_batch`] validates the burst
+//!   atomically and absorbs it round by round.
+//! * **Legacy single-slot**: [`BanditWare::recommend`] +
+//!   [`BanditWare::record`] keep the original strictly-alternating protocol.
+//!   They are a shim over the ticket table; calling `recommend` twice
+//!   without recording is now an explicit
+//!   [`crate::CoreError::RecommendationPending`] instead of a silent
+//!   overwrite.
+//!
+//! A convenience [`BanditWare::run_round`] does recommend + record around a
 //! user-supplied executor closure (e.g. a cluster submission).
 
 use crate::policy::{ArmSpec, Policy};
-use crate::Result;
+use crate::{CoreError, Result};
+use std::collections::BTreeMap;
 
 /// One remembered round.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,13 +56,60 @@ pub struct Recommendation {
     pub explored: bool,
 }
 
-/// The BanditWare recommender: policy + hardware metadata + history.
+/// Opaque handle for an in-flight round: issued by
+/// [`BanditWare::recommend_ticketed`], consumed by
+/// [`BanditWare::record_ticket`].
+///
+/// Ids are assigned from a monotone per-recommender counter, so they are
+/// stable across checkpoints ([`crate::persist`] serializes open tickets by
+/// id) and can travel through external systems (e.g. as a job tag on a
+/// cluster submission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The raw ticket id (for logs, job tags, checkpoints).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a ticket from a raw id (e.g. one that travelled through a
+    /// job queue or a checkpoint). Recording it still requires the id to be
+    /// in the recommender's in-flight table.
+    pub fn from_id(id: u64) -> Self {
+        Ticket(id)
+    }
+}
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The remembered half of an unfinished round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlightRound {
+    /// Chosen arm.
+    pub arm: usize,
+    /// Context the recommendation was made for.
+    pub features: Vec<f64>,
+    /// Whether the selection was an exploration draw.
+    pub explored: bool,
+}
+
+/// The BanditWare recommender: policy + hardware metadata + history +
+/// in-flight ticket table.
 #[derive(Debug, Clone)]
 pub struct BanditWare<P: Policy> {
     policy: P,
     specs: Vec<ArmSpec>,
     history: Vec<Observation>,
-    pending: Option<(usize, Vec<f64>, bool)>,
+    // BTreeMap keeps iteration (and therefore checkpoint serialization)
+    // deterministic in ticket order.
+    in_flight: BTreeMap<u64, InFlightRound>,
+    next_ticket: u64,
+    legacy_pending: Option<Ticket>,
 }
 
 impl<P: Policy> BanditWare<P> {
@@ -55,7 +119,14 @@ impl<P: Policy> BanditWare<P> {
     /// Panics on an arm-count mismatch (construction-time programmer error).
     pub fn new(policy: P, specs: Vec<ArmSpec>) -> Self {
         assert_eq!(policy.n_arms(), specs.len(), "policy arms != specs");
-        BanditWare { policy, specs, history: Vec::new(), pending: None }
+        BanditWare {
+            policy,
+            specs,
+            history: Vec::new(),
+            in_flight: BTreeMap::new(),
+            next_ticket: 0,
+            legacy_pending: None,
+        }
     }
 
     /// The wrapped policy (read access, e.g. for reporting fitted models).
@@ -78,58 +149,273 @@ impl<P: Policy> BanditWare<P> {
         self.history.len()
     }
 
-    /// Recommend hardware for a workflow with the given features. The
-    /// selection is remembered so the following [`BanditWare::record`] can
-    /// attribute the runtime without the caller re-passing everything.
-    ///
-    /// # Errors
-    /// Propagates policy validation (feature arity).
-    pub fn recommend(&mut self, features: &[f64]) -> Result<Recommendation> {
-        let sel = self.policy.select(features)?;
-        let predicted = self.policy.predict(sel.arm, features).unwrap_or(f64::NAN);
-        self.pending = Some((sel.arm, features.to_vec(), sel.explored));
-        let spec = &self.specs[sel.arm];
-        Ok(Recommendation {
-            arm: sel.arm,
+    /// Tickets currently awaiting their runtime, in ascending id order.
+    pub fn open_tickets(&self) -> Vec<Ticket> {
+        self.in_flight.keys().map(|&id| Ticket(id)).collect()
+    }
+
+    /// Number of rounds currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Iterate over the open rounds (ticket + remembered selection), in
+    /// ascending ticket order. Used by [`crate::persist`] to checkpoint
+    /// mid-flight state.
+    pub fn open_rounds(&self) -> impl Iterator<Item = (Ticket, &InFlightRound)> + '_ {
+        self.in_flight.iter().map(|(&id, round)| (Ticket(id), round))
+    }
+
+    /// The id the next issued ticket will get. Checkpointed alongside the
+    /// open tickets: ids of rounds recorded *before* a crash must never be
+    /// reissued afterwards, or a reporter retrying a lost ack would record
+    /// against a fresh, unrelated round.
+    pub fn next_ticket_id(&self) -> u64 {
+        self.next_ticket
+    }
+
+    /// Ensure future tickets are issued at or above `next` (monotone: a
+    /// lower value is ignored). The checkpoint-restore path calls this with
+    /// the saved counter.
+    pub fn advance_ticket_counter(&mut self, next: u64) {
+        self.next_ticket = self.next_ticket.max(next);
+    }
+
+    fn issue_ticket(&mut self, arm: usize, features: Vec<f64>, explored: bool) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.in_flight.insert(ticket.0, InFlightRound { arm, features, explored });
+        ticket
+    }
+
+    fn recommendation_for(&self, arm: usize, explored: bool, features: &[f64]) -> Recommendation {
+        let predicted = self.policy.predict(arm, features).unwrap_or(f64::NAN);
+        let spec = &self.specs[arm];
+        Recommendation {
+            arm,
             name: spec.name.clone(),
             resource_cost: spec.resource_cost,
             predicted_runtime: predicted,
-            explored: sel.explored,
-        })
+            explored,
+        }
     }
 
-    /// Record the observed runtime of the **most recent recommendation**.
+    /// Recommend hardware for a workflow and open a ticket for the round.
+    /// Any number of tickets may be open at once; record them in any order
+    /// via [`BanditWare::record_ticket`].
+    ///
+    /// # Errors
+    /// Propagates policy validation (feature arity).
+    pub fn recommend_ticketed(&mut self, features: &[f64]) -> Result<(Ticket, Recommendation)> {
+        let sel = self.policy.select(features)?;
+        let rec = self.recommendation_for(sel.arm, sel.explored, features);
+        let ticket = self.issue_ticket(sel.arm, features.to_vec(), sel.explored);
+        Ok((ticket, rec))
+    }
+
+    /// Recommend hardware for a whole batch of workflows in one policy pass
+    /// (selections are made against the same model state; for
+    /// [`crate::ScaledPolicy`] the scaler runs once for the batch). Returns
+    /// one `(ticket, recommendation)` per context, in input order.
+    ///
+    /// # Errors
+    /// Propagates policy validation; on error no tickets are issued.
+    pub fn recommend_batch(
+        &mut self,
+        contexts: &[Vec<f64>],
+    ) -> Result<Vec<(Ticket, Recommendation)>> {
+        let refs: Vec<&[f64]> = contexts.iter().map(Vec::as_slice).collect();
+        let sels = self.policy.select_batch(&refs)?;
+        Ok(sels
+            .into_iter()
+            .zip(contexts)
+            .map(|(sel, x)| {
+                let rec = self.recommendation_for(sel.arm, sel.explored, x);
+                let ticket = self.issue_ticket(sel.arm, x.clone(), sel.explored);
+                (ticket, rec)
+            })
+            .collect())
+    }
+
+    /// Record the observed runtime of an in-flight round. Tickets may be
+    /// recorded in any order relative to their issuance.
+    ///
+    /// On a validation failure (e.g. [`crate::CoreError::InvalidRuntime`])
+    /// the ticket **stays open** so the caller can retry with a corrected
+    /// value or abandon the round with [`BanditWare::drop_ticket`].
+    ///
+    /// # Errors
+    /// [`crate::CoreError::UnknownTicket`] for a ticket that was never
+    /// issued, already recorded, or dropped; policy validation otherwise.
+    pub fn record_ticket(&mut self, ticket: Ticket, runtime: f64) -> Result<()> {
+        let round =
+            self.in_flight.get(&ticket.0).ok_or(CoreError::UnknownTicket { ticket: ticket.0 })?;
+        // Disjoint field borrow: the policy observes the borrowed features,
+        // then the owned round moves out of the table into the history.
+        self.policy.observe(round.arm, &round.features, runtime)?;
+        let round = self.in_flight.remove(&ticket.0).expect("present above");
+        if self.legacy_pending == Some(ticket) {
+            self.legacy_pending = None;
+        }
+        self.history.push(Observation {
+            round: self.history.len(),
+            arm: round.arm,
+            features: round.features,
+            runtime,
+            explored: round.explored,
+        });
+        Ok(())
+    }
+
+    /// Record a batch of `(ticket, runtime)` pairs. Request validation is
+    /// atomic: every ticket must be open (and unique within the batch) and
+    /// every runtime positive and finite **before** anything is absorbed,
+    /// so a malformed call leaves the recommender untouched.
+    ///
+    /// Absorption itself is per outcome: each successfully observed round
+    /// is consumed (ticket closed, history appended) immediately, so if the
+    /// policy's refit fails mid-batch — a numerical failure, not a request
+    /// error — the already-recorded prefix is properly recorded and only
+    /// the failing round and its successors stay open. Retrying the open
+    /// remainder can therefore never double-count an observation: a
+    /// consumed ticket in the retry surfaces as
+    /// [`crate::CoreError::UnknownTicket`].
+    ///
+    /// # Errors
+    /// [`crate::CoreError::UnknownTicket`] for a ticket not in flight,
+    /// [`crate::CoreError::InvalidParameter`] for a ticket listed twice in
+    /// the batch, [`crate::CoreError::InvalidRuntime`] for a non-positive
+    /// or non-finite runtime; policy validation otherwise.
+    pub fn record_batch(&mut self, outcomes: &[(Ticket, f64)]) -> Result<()> {
+        let mut seen = std::collections::HashSet::with_capacity(outcomes.len());
+        for &(ticket, runtime) in outcomes {
+            if !self.in_flight.contains_key(&ticket.0) {
+                return Err(CoreError::UnknownTicket { ticket: ticket.0 });
+            }
+            if !seen.insert(ticket.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "outcomes",
+                    detail: format!("ticket {} listed twice in one batch", ticket.0),
+                });
+            }
+            if !runtime.is_finite() || runtime <= 0.0 {
+                return Err(CoreError::InvalidRuntime(runtime));
+            }
+        }
+        for &(ticket, runtime) in outcomes {
+            let round = self.in_flight.get(&ticket.0).expect("validated above");
+            self.policy.observe(round.arm, &round.features, runtime)?;
+            let round = self.in_flight.remove(&ticket.0).expect("present above");
+            if self.legacy_pending == Some(ticket) {
+                self.legacy_pending = None;
+            }
+            self.history.push(Observation {
+                round: self.history.len(),
+                arm: round.arm,
+                features: round.features,
+                runtime,
+                explored: round.explored,
+            });
+        }
+        Ok(())
+    }
+
+    /// Abandon an in-flight round (e.g. the job was cancelled or its runtime
+    /// was lost). Returns the remembered round, or `None` for a ticket that
+    /// was not open.
+    pub fn drop_ticket(&mut self, ticket: Ticket) -> Option<InFlightRound> {
+        if self.legacy_pending == Some(ticket) {
+            self.legacy_pending = None;
+        }
+        self.in_flight.remove(&ticket.0)
+    }
+
+    /// Re-open a ticket with a specific id — the checkpoint-restore path
+    /// ([`crate::persist`]): a crash mid-flight replays the history and then
+    /// re-opens the rounds that were awaiting runtimes, with their original
+    /// ids, so external systems holding those tickets can still record.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::ArmOutOfRange`] /
+    /// [`crate::CoreError::FeatureDimMismatch`] for inconsistent state, and
+    /// [`crate::CoreError::InvalidParameter`] for an id that is already open.
+    pub fn reopen_ticket(
+        &mut self,
+        ticket: Ticket,
+        arm: usize,
+        features: &[f64],
+        explored: bool,
+    ) -> Result<()> {
+        if arm >= self.specs.len() {
+            return Err(CoreError::ArmOutOfRange { arm, n_arms: self.specs.len() });
+        }
+        // Non-contextual policies report zero features and ignore contexts.
+        if self.policy.n_features() > 0 && features.len() != self.policy.n_features() {
+            return Err(CoreError::FeatureDimMismatch {
+                got: features.len(),
+                expected: self.policy.n_features(),
+            });
+        }
+        if self.in_flight.contains_key(&ticket.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "ticket",
+                detail: format!("ticket {} is already open", ticket.0),
+            });
+        }
+        self.in_flight
+            .insert(ticket.0, InFlightRound { arm, features: features.to_vec(), explored });
+        self.next_ticket = self.next_ticket.max(ticket.0 + 1);
+        Ok(())
+    }
+
+    /// Recommend hardware for a workflow with the given features — the
+    /// legacy single-slot protocol. The selection is remembered so the
+    /// following [`BanditWare::record`] can attribute the runtime without
+    /// the caller re-passing everything.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::RecommendationPending`] when a previous
+    /// `recommend` has not been recorded yet (use the ticketed API for
+    /// overlapping rounds); propagates policy validation (feature arity).
+    pub fn recommend(&mut self, features: &[f64]) -> Result<Recommendation> {
+        if let Some(ticket) = self.legacy_pending {
+            return Err(CoreError::RecommendationPending { ticket: ticket.0 });
+        }
+        let (ticket, rec) = self.recommend_ticketed(features)?;
+        self.legacy_pending = Some(ticket);
+        Ok(rec)
+    }
+
+    /// Record the observed runtime of the **most recent**
+    /// [`BanditWare::recommend`]. Unlike the ticketed path, a failed record
+    /// consumes the pending slot (the caller decides how to retry).
     ///
     /// # Errors
     /// [`crate::CoreError::InvalidRuntime`] (and policy validation); calling
     /// without a pending recommendation is an
     /// [`crate::CoreError::InvalidParameter`].
     pub fn record(&mut self, runtime: f64) -> Result<()> {
-        let (arm, features, explored) =
-            self.pending.take().ok_or(crate::CoreError::InvalidParameter {
-                name: "pending",
-                detail: "record() called without a preceding recommend()".into(),
-            })?;
-        self.policy.observe(arm, &features, runtime).inspect_err(|_| {
-            // keep the pending slot consumed; the caller decides how to retry
+        let ticket = self.legacy_pending.take().ok_or(CoreError::InvalidParameter {
+            name: "pending",
+            detail: "record() called without a preceding recommend()".into(),
         })?;
-        self.history.push(Observation {
-            round: self.history.len(),
-            arm,
-            features,
-            runtime,
-            explored,
-        });
-        Ok(())
+        let result = self.record_ticket(ticket, runtime);
+        if result.is_err() {
+            // Legacy semantics: the pending slot is consumed either way.
+            self.in_flight.remove(&ticket.0);
+        }
+        result
     }
 
     /// Record an externally chosen `(arm, features, runtime)` triple — e.g.
-    /// when warm-starting from historical traces.
+    /// when warm-starting from historical traces or replaying a checkpoint.
+    /// Goes through [`Policy::warm_start`], so context-learning wrappers
+    /// (the feature scaler) absorb the context they never selected on.
     ///
     /// # Errors
     /// Propagates policy validation.
     pub fn record_external(&mut self, arm: usize, features: &[f64], runtime: f64) -> Result<()> {
-        self.policy.observe(arm, features, runtime)?;
+        self.policy.warm_start(arm, features, runtime)?;
         self.history.push(Observation {
             round: self.history.len(),
             arm,
@@ -175,11 +461,13 @@ impl<P: Policy> BanditWare<P> {
             .collect()
     }
 
-    /// Reset the policy and clear the history.
+    /// Reset the policy, clear the history, and void every open ticket.
     pub fn reset(&mut self) {
         self.policy.reset();
         self.history.clear();
-        self.pending = None;
+        self.in_flight.clear();
+        self.next_ticket = 0;
+        self.legacy_pending = None;
     }
 }
 
@@ -209,6 +497,7 @@ mod tests {
         assert_eq!(h.runtime, 42.0);
         assert_eq!(h.features, vec![10.0]);
         assert_eq!(h.round, 0);
+        assert_eq!(bw.in_flight(), 0);
     }
 
     #[test]
@@ -223,6 +512,213 @@ mod tests {
         bw.recommend(&[1.0]).unwrap();
         bw.record(5.0).unwrap();
         assert!(bw.record(5.0).is_err());
+    }
+
+    #[test]
+    fn double_recommend_is_explicit_error() {
+        let mut bw = make();
+        bw.recommend(&[1.0]).unwrap();
+        let err = bw.recommend(&[2.0]).unwrap_err();
+        assert!(matches!(err, CoreError::RecommendationPending { .. }), "{err:?}");
+        // The slot is intact: recording the first round still works.
+        bw.record(9.0).unwrap();
+        assert_eq!(bw.rounds(), 1);
+        assert_eq!(bw.history()[0].features, vec![1.0]);
+        // And the protocol can continue.
+        bw.recommend(&[2.0]).unwrap();
+        bw.record(4.0).unwrap();
+        assert_eq!(bw.rounds(), 2);
+    }
+
+    #[test]
+    fn ticketed_rounds_overlap_and_record_out_of_order() {
+        let mut bw = make();
+        let (t1, r1) = bw.recommend_ticketed(&[1.0]).unwrap();
+        let (t2, _r2) = bw.recommend_ticketed(&[2.0]).unwrap();
+        let (t3, _r3) = bw.recommend_ticketed(&[3.0]).unwrap();
+        assert_eq!(bw.in_flight(), 3);
+        assert_ne!(t1, t2);
+        assert!(r1.arm < 2);
+        // Record in reverse order.
+        bw.record_ticket(t3, 30.0).unwrap();
+        bw.record_ticket(t1, 10.0).unwrap();
+        bw.record_ticket(t2, 20.0).unwrap();
+        assert_eq!(bw.in_flight(), 0);
+        assert_eq!(bw.rounds(), 3);
+        // History is in *record* order; features attribute correctly.
+        assert_eq!(bw.history()[0].features, vec![3.0]);
+        assert_eq!(bw.history()[0].runtime, 30.0);
+        assert_eq!(bw.history()[1].features, vec![1.0]);
+        assert_eq!(bw.history()[2].features, vec![2.0]);
+        // Round numbers are record-order too.
+        assert_eq!(bw.history()[2].round, 2);
+    }
+
+    #[test]
+    fn unknown_and_double_tickets_error() {
+        let mut bw = make();
+        let (t, _) = bw.recommend_ticketed(&[1.0]).unwrap();
+        bw.record_ticket(t, 5.0).unwrap();
+        assert!(matches!(
+            bw.record_ticket(t, 5.0),
+            Err(CoreError::UnknownTicket { ticket }) if ticket == t.id()
+        ));
+        assert!(matches!(
+            bw.record_ticket(Ticket::from_id(999), 5.0),
+            Err(CoreError::UnknownTicket { ticket: 999 })
+        ));
+    }
+
+    #[test]
+    fn dropped_ticket_is_gone() {
+        let mut bw = make();
+        let (t, _) = bw.recommend_ticketed(&[7.0]).unwrap();
+        let round = bw.drop_ticket(t).unwrap();
+        assert_eq!(round.features, vec![7.0]);
+        assert_eq!(bw.in_flight(), 0);
+        assert!(bw.drop_ticket(t).is_none(), "double drop is a no-op");
+        assert!(matches!(bw.record_ticket(t, 5.0), Err(CoreError::UnknownTicket { .. })));
+        // Dropped rounds never reach the history or the model.
+        assert_eq!(bw.rounds(), 0);
+        assert_eq!(bw.pulls(), vec![0, 0]);
+    }
+
+    #[test]
+    fn invalid_runtime_keeps_ticket_open() {
+        let mut bw = make();
+        let (t, _) = bw.recommend_ticketed(&[1.0]).unwrap();
+        assert!(matches!(bw.record_ticket(t, -4.0), Err(CoreError::InvalidRuntime(_))));
+        assert_eq!(bw.in_flight(), 1, "failed record leaves the round open");
+        bw.record_ticket(t, 4.0).unwrap();
+        assert_eq!(bw.rounds(), 1);
+    }
+
+    #[test]
+    fn batch_recommend_then_batch_record() {
+        let mut bw = make();
+        let contexts: Vec<Vec<f64>> = (1..=5).map(|i| vec![i as f64]).collect();
+        let issued = bw.recommend_batch(&contexts).unwrap();
+        assert_eq!(issued.len(), 5);
+        assert_eq!(bw.in_flight(), 5);
+        // Ticket ids are unique and ascending in input order.
+        for w in issued.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        let outcomes: Vec<(Ticket, f64)> =
+            issued.iter().map(|(t, r)| (*t, 10.0 * (r.arm + 1) as f64)).collect();
+        bw.record_batch(&outcomes).unwrap();
+        assert_eq!(bw.rounds(), 5);
+        assert_eq!(bw.in_flight(), 0);
+        assert_eq!(bw.pulls().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn batch_record_validates_atomically() {
+        let mut bw = make();
+        let issued = bw.recommend_batch(&[vec![1.0], vec![2.0]]).unwrap();
+        let (t0, t1) = (issued[0].0, issued[1].0);
+        // Unknown ticket in the batch → nothing absorbed.
+        let err = bw.record_batch(&[(t0, 5.0), (Ticket::from_id(77), 5.0)]).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownTicket { ticket: 77 }));
+        assert_eq!(bw.rounds(), 0);
+        assert_eq!(bw.in_flight(), 2);
+        // Duplicate ticket within a batch → rejected up front, named as a
+        // duplicate (not as an unknown ticket — it IS in flight).
+        assert!(matches!(
+            bw.record_batch(&[(t0, 5.0), (t0, 6.0)]),
+            Err(CoreError::InvalidParameter { name: "outcomes", .. })
+        ));
+        assert_eq!(bw.rounds(), 0);
+        // Invalid runtime anywhere → nothing absorbed.
+        assert!(matches!(
+            bw.record_batch(&[(t0, 5.0), (t1, f64::NAN)]),
+            Err(CoreError::InvalidRuntime(_))
+        ));
+        assert_eq!(bw.rounds(), 0);
+        assert_eq!(bw.pulls(), vec![0, 0]);
+        // A clean batch then succeeds.
+        bw.record_batch(&[(t1, 7.0), (t0, 5.0)]).unwrap();
+        assert_eq!(bw.rounds(), 2);
+        assert_eq!(bw.history()[0].features, vec![2.0], "record order preserved");
+    }
+
+    #[test]
+    fn batch_record_policy_failure_consumes_only_the_recorded_prefix() {
+        /// A policy whose refit "numerically fails" on runtimes above 1000
+        /// — a stand-in for a rank-deficient least-squares failure that
+        /// request validation cannot catch up front.
+        #[derive(Debug)]
+        struct Brittle {
+            observed: usize,
+        }
+        impl Policy for Brittle {
+            fn name(&self) -> String {
+                "brittle".into()
+            }
+            fn n_arms(&self) -> usize {
+                2
+            }
+            fn n_features(&self) -> usize {
+                1
+            }
+            fn select(&mut self, _x: &[f64]) -> crate::Result<crate::policy::Selection> {
+                Ok(crate::policy::Selection { arm: 0, explored: false })
+            }
+            fn observe(&mut self, _arm: usize, _x: &[f64], runtime: f64) -> crate::Result<()> {
+                if runtime > 1000.0 {
+                    return Err(CoreError::Linalg(
+                        banditware_linalg::LinalgError::InsufficientData { have: 0, need: 1 },
+                    ));
+                }
+                self.observed += 1;
+                Ok(())
+            }
+            fn predict(&self, _arm: usize, _x: &[f64]) -> crate::Result<f64> {
+                Ok(0.0)
+            }
+            fn pulls(&self) -> Vec<usize> {
+                vec![self.observed, 0]
+            }
+            fn reset(&mut self) {
+                self.observed = 0;
+            }
+        }
+
+        let mut bw = BanditWare::new(Brittle { observed: 0 }, ArmSpec::unit_costs(2));
+        let issued = bw.recommend_batch(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let (t0, t1, t2) = (issued[0].0, issued[1].0, issued[2].0);
+        // Outcome for t1 fails inside the policy; t0 was already absorbed.
+        let err = bw.record_batch(&[(t0, 5.0), (t1, 5000.0), (t2, 7.0)]).unwrap_err();
+        assert!(matches!(err, CoreError::Linalg(_)));
+        // The recorded prefix is consumed and in the history; the failing
+        // round and its successors stay open for retry.
+        assert_eq!(bw.rounds(), 1);
+        assert_eq!(bw.history()[0].features, vec![1.0]);
+        assert_eq!(bw.open_tickets(), vec![t1, t2]);
+        // Retrying the full batch cannot double-count: the consumed ticket
+        // is rejected up front, leaving the model untouched.
+        assert!(matches!(
+            bw.record_batch(&[(t0, 5.0), (t1, 6.0), (t2, 7.0)]),
+            Err(CoreError::UnknownTicket { .. })
+        ));
+        assert_eq!(bw.rounds(), 1);
+        // Retrying only the open remainder succeeds.
+        bw.record_batch(&[(t1, 6.0), (t2, 7.0)]).unwrap();
+        assert_eq!(bw.rounds(), 3);
+        assert_eq!(bw.in_flight(), 0);
+    }
+
+    #[test]
+    fn legacy_and_ticketed_paths_interleave() {
+        let mut bw = make();
+        let (t, _) = bw.recommend_ticketed(&[5.0]).unwrap();
+        // Legacy slot is independent of open tickets.
+        bw.recommend(&[1.0]).unwrap();
+        bw.record(11.0).unwrap();
+        bw.record_ticket(t, 55.0).unwrap();
+        assert_eq!(bw.rounds(), 2);
+        assert_eq!(bw.history()[0].features, vec![1.0]);
+        assert_eq!(bw.history()[1].features, vec![5.0]);
     }
 
     #[test]
@@ -260,6 +756,7 @@ mod tests {
         bw.recommend(&[1.0]).unwrap();
         assert!(bw.record(-1.0).is_err());
         assert_eq!(bw.rounds(), 0);
+        assert_eq!(bw.in_flight(), 0, "legacy record consumes the slot on error");
         // a fresh recommendation works again
         bw.recommend(&[1.0]).unwrap();
         bw.record(3.0).unwrap();
@@ -270,10 +767,49 @@ mod tests {
     fn reset_clears_everything() {
         let mut bw = make();
         bw.run_round(&[1.0], |_| 5.0).unwrap();
+        let (t, _) = bw.recommend_ticketed(&[2.0]).unwrap();
         bw.reset();
         assert_eq!(bw.rounds(), 0);
         assert_eq!(bw.pulls(), vec![0, 0]);
+        assert_eq!(bw.in_flight(), 0);
         assert!(bw.record(1.0).is_err(), "pending cleared");
+        assert!(bw.record_ticket(t, 1.0).is_err(), "tickets voided");
+        // Ticket ids restart from zero after a reset.
+        let (t2, _) = bw.recommend_ticketed(&[1.0]).unwrap();
+        assert_eq!(t2.id(), 0);
+    }
+
+    #[test]
+    fn reopen_ticket_restores_mid_flight_state() {
+        let mut bw = make();
+        bw.reopen_ticket(Ticket::from_id(41), 1, &[9.0], true).unwrap();
+        assert_eq!(bw.open_tickets(), vec![Ticket::from_id(41)]);
+        // Duplicate / invalid reopens are rejected.
+        assert!(bw.reopen_ticket(Ticket::from_id(41), 0, &[1.0], false).is_err());
+        assert!(bw.reopen_ticket(Ticket::from_id(42), 9, &[1.0], false).is_err());
+        assert!(bw.reopen_ticket(Ticket::from_id(43), 0, &[1.0, 2.0], false).is_err());
+        // Fresh tickets never collide with a reopened id.
+        let (t, _) = bw.recommend_ticketed(&[3.0]).unwrap();
+        assert_eq!(t.id(), 42);
+        // The reopened round records like any other.
+        bw.record_ticket(Ticket::from_id(41), 12.0).unwrap();
+        let h = &bw.history()[0];
+        assert_eq!((h.arm, h.explored), (1, true));
+        assert_eq!(h.features, vec![9.0]);
+    }
+
+    #[test]
+    fn boxed_policy_facade_works() {
+        let specs = ArmSpec::unit_costs(2);
+        let policy: Box<dyn Policy> = Box::new(
+            EpsilonGreedy::new(specs.clone(), 1, BanditConfig::paper().with_seed(3)).unwrap(),
+        );
+        let mut bw: BanditWare<Box<dyn Policy>> = BanditWare::new(policy, specs);
+        let issued = bw.recommend_batch(&[vec![1.0], vec![2.0]]).unwrap();
+        let outcomes: Vec<(Ticket, f64)> = issued.iter().map(|(t, _)| (*t, 5.0)).collect();
+        bw.record_batch(&outcomes).unwrap();
+        assert_eq!(bw.rounds(), 2);
+        assert_eq!(bw.policy().name(), "decaying-contextual-epsilon-greedy");
     }
 
     #[test]

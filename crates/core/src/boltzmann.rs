@@ -93,8 +93,8 @@ impl Boltzmann {
 }
 
 impl Policy for Boltzmann {
-    fn name(&self) -> &'static str {
-        "boltzmann"
+    fn name(&self) -> String {
+        "boltzmann".to_string()
     }
 
     fn n_arms(&self) -> usize {

@@ -152,8 +152,8 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
 }
 
 impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
-    fn name(&self) -> &'static str {
-        "decaying-contextual-epsilon-greedy"
+    fn name(&self) -> String {
+        "decaying-contextual-epsilon-greedy".to_string()
     }
 
     fn n_arms(&self) -> usize {

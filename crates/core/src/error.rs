@@ -33,6 +33,30 @@ pub enum CoreError {
     InvalidRuntime(f64),
     /// Numerical failure bubbling up from the linear-algebra layer.
     Linalg(LinalgError),
+    /// An IO failure while saving or loading persistent state. Carries the
+    /// `std::io::ErrorKind` plus the formatted message (the raw
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`).
+    Io {
+        /// What the persistence layer was doing ("save", "load", ...).
+        op: &'static str,
+        /// The underlying IO error kind.
+        kind: std::io::ErrorKind,
+        /// The underlying IO error message.
+        message: String,
+    },
+    /// A ticket that is not (or no longer) in the in-flight table: never
+    /// issued, already recorded, or explicitly dropped.
+    UnknownTicket {
+        /// The offending ticket id.
+        ticket: u64,
+    },
+    /// The legacy single-slot `recommend()` was called while a previous
+    /// recommendation is still unrecorded. Use the ticketed API
+    /// (`recommend_ticketed`) for overlapping rounds.
+    RecommendationPending {
+        /// Ticket id of the round still awaiting its runtime.
+        ticket: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,7 +76,26 @@ impl fmt::Display for CoreError {
                 write!(f, "observed runtime must be positive and finite, got {v}")
             }
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::Io { op, kind, message } => {
+                write!(f, "IO failure during {op} ({kind:?}): {message}")
+            }
+            CoreError::UnknownTicket { ticket } => {
+                write!(f, "ticket {ticket} is not in flight (never issued, recorded, or dropped)")
+            }
+            CoreError::RecommendationPending { ticket } => {
+                write!(
+                    f,
+                    "recommendation (ticket {ticket}) still pending; record it first or use \
+                     recommend_ticketed() for overlapping rounds"
+                )
+            }
         }
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io { op: "io", kind: e.kind(), message: e.to_string() }
     }
 }
 
@@ -84,6 +127,29 @@ mod tests {
         assert!(CoreError::NoArms.to_string().contains("at least one"));
         let e = CoreError::InvalidRuntime(-1.0);
         assert!(e.to_string().contains("-1"));
+        let e = CoreError::Io {
+            op: "save",
+            kind: std::io::ErrorKind::WriteZero,
+            message: "disk full".into(),
+        };
+        assert!(e.to_string().contains("save") && e.to_string().contains("disk full"));
+        let e = CoreError::UnknownTicket { ticket: 17 };
+        assert!(e.to_string().contains("17"));
+        let e = CoreError::RecommendationPending { ticket: 4 };
+        assert!(e.to_string().contains("4") && e.to_string().contains("pending"));
+    }
+
+    #[test]
+    fn io_conversion_keeps_kind_and_message() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated");
+        let ce: CoreError = ioe.into();
+        match ce {
+            CoreError::Io { kind, ref message, .. } => {
+                assert_eq!(kind, std::io::ErrorKind::UnexpectedEof);
+                assert!(message.contains("truncated"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod tolerance;
 pub mod ucb;
 
 pub use arm::{ArmEstimator, LinearArm, RecursiveArm};
-pub use bandit::{BanditWare, Observation, Recommendation};
+pub use bandit::{BanditWare, InFlightRound, Observation, Recommendation, Ticket};
 pub use config::BanditConfig;
 pub use drift::{DiscountedArm, WindowedArm};
 pub use epsilon::DecayingEpsilonGreedy;

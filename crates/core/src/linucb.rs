@@ -87,8 +87,8 @@ impl LinUcb {
 }
 
 impl Policy for LinUcb {
-    fn name(&self) -> &'static str {
-        "linucb"
+    fn name(&self) -> String {
+        "linucb".to_string()
     }
 
     fn n_arms(&self) -> usize {

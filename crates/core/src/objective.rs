@@ -152,8 +152,8 @@ impl BudgetedEpsilonGreedy {
 }
 
 impl Policy for BudgetedEpsilonGreedy {
-    fn name(&self) -> &'static str {
-        "budgeted-epsilon-greedy"
+    fn name(&self) -> String {
+        "budgeted-epsilon-greedy".to_string()
     }
 
     fn n_arms(&self) -> usize {

@@ -1,5 +1,5 @@
-//! Checkpointing: save a recommender's observation history and restore it
-//! by replay.
+//! Checkpointing: save a recommender's observation history (and in-flight
+//! tickets) and restore it by replay.
 //!
 //! BanditWare runs for the lifetime of a platform, not a process. The state
 //! that matters is exactly the observation log — every policy in this crate
@@ -8,32 +8,77 @@
 //! observation per line) rather than a binary dump, so checkpoints survive
 //! crate upgrades and can be inspected or edited with standard tools.
 //!
+//! **v2** additionally serializes the open ticket table, so a service that
+//! crashes with recommendations still awaiting their runtimes can restore,
+//! re-open the same ticket ids, and keep accepting `record_ticket` calls
+//! from jobs that outlived the crash:
+//!
 //! ```text
-//! banditware-history v1
+//! banditware-history v2
 //! arm,explored,runtime,features...
 //! 0,1,153.2,100
 //! 2,0,98.7,350
+//! open,5,1,0,420
+//! next,6
 //! ```
+//!
+//! `open,<ticket>,<arm>,<explored>,<features...>` lines always follow the
+//! observations; `next,<id>` checkpoints the ticket counter so consumed
+//! ids are never reissued after a restore. v1 files (no `open`/`next`
+//! lines, `banditware-history v1` header) still load through the same
+//! reader.
 
-use crate::bandit::{BanditWare, Observation};
+use crate::bandit::{BanditWare, Observation, Ticket};
 use crate::error::CoreError;
 use crate::policy::Policy;
 use crate::Result;
 use std::io::{BufRead, BufReader, Read, Write};
 
-const MAGIC: &str = "banditware-history v1";
+const MAGIC_V1: &str = "banditware-history v1";
+const MAGIC_V2: &str = "banditware-history v2";
 
-/// Serialize a recommender's history to a writer.
+/// A round that was awaiting its runtime when the checkpoint was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenRound {
+    /// The ticket id the caller is still holding.
+    pub ticket: u64,
+    /// Chosen arm.
+    pub arm: usize,
+    /// Context the recommendation was made for.
+    pub features: Vec<f64>,
+    /// Whether the selection was an exploration draw.
+    pub explored: bool,
+}
+
+/// Everything a v2 checkpoint holds: the completed rounds, the rounds that
+/// were still in flight, and the ticket counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistorySnapshot {
+    /// Completed observations, in record order.
+    pub observations: Vec<Observation>,
+    /// Open tickets, in ascending ticket order.
+    pub open_rounds: Vec<OpenRound>,
+    /// The recommender's next-ticket counter (`next,<id>` line). Restoring
+    /// it guarantees ids consumed before the crash are never reissued, so a
+    /// reporter retrying a lost acknowledgement gets
+    /// [`CoreError::UnknownTicket`] instead of silently recording against a
+    /// fresh round. Zero in v1 files and pre-counter v2 files.
+    pub next_ticket: u64,
+}
+
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> CoreError {
+    move |e| CoreError::Io { op, kind: e.kind(), message: e.to_string() }
+}
+
+/// Serialize a recommender's history — and any open tickets — to a writer
+/// (v2 format).
 ///
 /// # Errors
-/// [`CoreError::InvalidParameter`] wrapping IO failures.
+/// [`CoreError::Io`] on IO failures.
 pub fn save_history<P: Policy>(bandit: &BanditWare<P>, mut writer: impl Write) -> Result<()> {
-    let io_err = |e: std::io::Error| CoreError::InvalidParameter {
-        name: "writer",
-        detail: format!("IO failure while saving: {e}"),
-    };
-    writeln!(writer, "{MAGIC}").map_err(io_err)?;
-    writeln!(writer, "arm,explored,runtime,features...").map_err(io_err)?;
+    let io = io_err("save");
+    writeln!(writer, "{MAGIC_V2}").map_err(&io)?;
+    writeln!(writer, "arm,explored,runtime,features...").map_err(&io)?;
     for o in bandit.history() {
         let features: Vec<String> = o.features.iter().map(|f| format!("{f}")).collect();
         writeln!(
@@ -44,59 +89,140 @@ pub fn save_history<P: Policy>(bandit: &BanditWare<P>, mut writer: impl Write) -
             o.runtime,
             features.join(",")
         )
-        .map_err(io_err)?;
+        .map_err(&io)?;
+    }
+    for (ticket, round) in bandit.open_rounds() {
+        let features: Vec<String> = round.features.iter().map(|f| format!("{f}")).collect();
+        writeln!(
+            writer,
+            "open,{},{},{},{}",
+            ticket.id(),
+            round.arm,
+            if round.explored { 1 } else { 0 },
+            features.join(",")
+        )
+        .map_err(&io)?;
+    }
+    if bandit.next_ticket_id() > 0 {
+        writeln!(writer, "next,{}", bandit.next_ticket_id()).map_err(&io)?;
     }
     Ok(())
 }
 
-/// Parse a history file back into observations (round numbers are assigned
-/// sequentially).
+/// Parse a v1 **or** v2 history file into a full snapshot (observations plus
+/// open tickets; round numbers are assigned sequentially).
 ///
 /// # Errors
-/// [`CoreError::InvalidParameter`] on format violations, with the offending
-/// line number in the message.
-pub fn load_history(reader: impl Read) -> Result<Vec<Observation>> {
+/// [`CoreError::Io`] on read failures, [`CoreError::InvalidParameter`] on
+/// format violations with the offending line number in the message.
+pub fn load_snapshot(reader: impl Read) -> Result<HistorySnapshot> {
     let buf = BufReader::new(reader);
     let mut lines = buf.lines().enumerate();
     let parse_err = |line: usize, detail: String| CoreError::InvalidParameter {
         name: "history",
         detail: format!("line {}: {detail}", line + 1),
     };
+    let read_err =
+        |e: std::io::Error| CoreError::Io { op: "load", kind: e.kind(), message: e.to_string() };
 
     let (i, first) = lines.next().ok_or_else(|| parse_err(0, "empty input".into()))?;
-    let first = first.map_err(|e| parse_err(i, e.to_string()))?;
-    if first.trim() != MAGIC {
-        return Err(parse_err(i, format!("expected header {MAGIC:?}, found {first:?}")));
-    }
+    let first = first.map_err(read_err)?;
+    let v2 = match first.trim() {
+        MAGIC_V1 => false,
+        MAGIC_V2 => true,
+        other => {
+            return Err(parse_err(
+                i,
+                format!("expected header {MAGIC_V1:?} or {MAGIC_V2:?}, found {other:?}"),
+            ))
+        }
+    };
     // Column header line (ignored beyond existence).
-    let (i, header) = lines.next().ok_or_else(|| parse_err(1, "missing column header".into()))?;
-    header.map_err(|e| parse_err(i, e.to_string()))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "missing column header".into()))?;
+    header.map_err(read_err)?;
 
-    let mut out = Vec::new();
+    let parse_features = |fields: &[&str], i: usize| -> Result<Vec<f64>> {
+        fields
+            .iter()
+            .map(|f| f.parse::<f64>().map_err(|e| parse_err(i, format!("bad feature: {e}"))))
+            .collect()
+    };
+    let parse_explored = |field: &str, i: usize| -> Result<bool> {
+        match field {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(parse_err(i, format!("bad explored flag {other:?}"))),
+        }
+    };
+
+    let mut snapshot = HistorySnapshot::default();
     for (i, line) in lines {
-        let line = line.map_err(|e| parse_err(i, e.to_string()))?;
+        let line = line.map_err(read_err)?;
         if line.trim().is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
+        if fields[0] == "open" {
+            if !v2 {
+                return Err(parse_err(i, "open-ticket line in a v1 file".into()));
+            }
+            if fields.len() < 4 {
+                return Err(parse_err(
+                    i,
+                    format!("open ticket needs >= 4 fields, found {}", fields.len()),
+                ));
+            }
+            let ticket: u64 =
+                fields[1].parse().map_err(|e| parse_err(i, format!("bad ticket: {e}")))?;
+            let arm: usize =
+                fields[2].parse().map_err(|e| parse_err(i, format!("bad arm: {e}")))?;
+            let explored = parse_explored(fields[3], i)?;
+            let features = parse_features(&fields[4..], i)?;
+            snapshot.open_rounds.push(OpenRound { ticket, arm, features, explored });
+            continue;
+        }
+        if fields[0] == "next" {
+            if !v2 {
+                return Err(parse_err(i, "ticket-counter line in a v1 file".into()));
+            }
+            if fields.len() != 2 {
+                return Err(parse_err(i, "ticket counter needs exactly 2 fields".into()));
+            }
+            let next: u64 =
+                fields[1].parse().map_err(|e| parse_err(i, format!("bad ticket counter: {e}")))?;
+            snapshot.next_ticket = snapshot.next_ticket.max(next);
+            continue;
+        }
+        if !snapshot.open_rounds.is_empty() {
+            return Err(parse_err(i, "observation after open-ticket section".into()));
+        }
         if fields.len() < 3 {
             return Err(parse_err(i, format!("expected >= 3 fields, found {}", fields.len())));
         }
         let arm: usize = fields[0].parse().map_err(|e| parse_err(i, format!("bad arm: {e}")))?;
-        let explored = match fields[1] {
-            "0" => false,
-            "1" => true,
-            other => return Err(parse_err(i, format!("bad explored flag {other:?}"))),
-        };
+        let explored = parse_explored(fields[1], i)?;
         let runtime: f64 =
             fields[2].parse().map_err(|e| parse_err(i, format!("bad runtime: {e}")))?;
-        let features: Vec<f64> = fields[3..]
-            .iter()
-            .map(|f| f.parse::<f64>().map_err(|e| parse_err(i, format!("bad feature: {e}"))))
-            .collect::<Result<_>>()?;
-        out.push(Observation { round: out.len(), arm, features, runtime, explored });
+        let features = parse_features(&fields[3..], i)?;
+        snapshot.observations.push(Observation {
+            round: snapshot.observations.len(),
+            arm,
+            features,
+            runtime,
+            explored,
+        });
     }
-    Ok(out)
+    Ok(snapshot)
+}
+
+/// Parse a history file back into observations only (round numbers are
+/// assigned sequentially). Accepts v1 and v2 files; open tickets in a v2
+/// file are ignored — use [`load_snapshot`] to recover them.
+///
+/// # Errors
+/// See [`load_snapshot`].
+pub fn load_history(reader: impl Read) -> Result<Vec<Observation>> {
+    Ok(load_snapshot(reader)?.observations)
 }
 
 /// Restore a recommender by replaying a saved history into a fresh policy.
@@ -116,6 +242,31 @@ pub fn replay_into<P: Policy>(
     Ok(())
 }
 
+/// Restore a recommender from a full snapshot: replay the observations,
+/// re-open every in-flight ticket with its original id (so callers holding
+/// tickets across the crash can still `record_ticket` against them), and
+/// restore the ticket counter (so ids consumed before the crash are never
+/// reissued).
+///
+/// # Errors
+/// Propagates policy validation and ticket-reopen failures.
+pub fn restore_snapshot<P: Policy>(
+    bandit: &mut BanditWare<P>,
+    snapshot: &HistorySnapshot,
+) -> Result<()> {
+    replay_into(bandit, &snapshot.observations)?;
+    for open in &snapshot.open_rounds {
+        bandit.reopen_ticket(
+            Ticket::from_id(open.ticket),
+            open.arm,
+            &open.features,
+            open.explored,
+        )?;
+    }
+    bandit.advance_ticket_counter(snapshot.next_ticket);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,11 +275,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn trained_bandit(rounds: usize) -> BanditWare<EpsilonGreedy> {
+    fn fresh() -> BanditWare<EpsilonGreedy> {
         let specs = ArmSpec::unit_costs(3);
         let policy =
             EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
-        let mut bandit = BanditWare::new(policy, specs);
+        BanditWare::new(policy, specs)
+    }
+
+    fn trained_bandit(rounds: usize) -> BanditWare<EpsilonGreedy> {
+        let mut bandit = fresh();
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..rounds {
             let x = [rng.gen_range(1.0..50.0), rng.gen_range(0.0..5.0)];
@@ -159,10 +314,7 @@ mod tests {
         save_history(&original, &mut buf).unwrap();
         let loaded = load_history(buf.as_slice()).unwrap();
 
-        let specs = ArmSpec::unit_costs(3);
-        let policy =
-            EpsilonGreedy::new(specs.clone(), 2, BanditConfig::paper().with_seed(5)).unwrap();
-        let mut restored = BanditWare::new(policy, specs);
+        let mut restored = fresh();
         replay_into(&mut restored, &loaded).unwrap();
 
         for probe in [[5.0, 1.0], [25.0, 3.0], [49.0, 0.5]] {
@@ -177,7 +329,148 @@ mod tests {
     }
 
     #[test]
+    fn open_tickets_roundtrip_and_record_after_restore() {
+        let mut original = trained_bandit(20);
+        let (t_a, _) = original.recommend_ticketed(&[30.0, 2.0]).unwrap();
+        let (t_b, rec_b) = original.recommend_ticketed(&[8.0, 1.0]).unwrap();
+        let mut buf = Vec::new();
+        save_history(&original, &mut buf).unwrap();
+
+        let snapshot = load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(snapshot.observations.len(), 20);
+        assert_eq!(snapshot.open_rounds.len(), 2);
+        assert_eq!(snapshot.open_rounds[0].ticket, t_a.id());
+        assert_eq!(snapshot.open_rounds[1].features, vec![8.0, 1.0]);
+
+        let mut restored = fresh();
+        restore_snapshot(&mut restored, &snapshot).unwrap();
+        assert_eq!(restored.in_flight(), 2);
+        assert_eq!(restored.open_tickets(), vec![t_a, t_b]);
+        // The caller holding ticket B across the crash can still record it,
+        // and the observation attributes to the original arm/context.
+        restored.record_ticket(t_b, 99.0).unwrap();
+        let last = restored.history().last().unwrap();
+        assert_eq!(last.arm, rec_b.arm);
+        assert_eq!(last.features, vec![8.0, 1.0]);
+        assert_eq!(last.runtime, 99.0);
+        // The ticket counter continues exactly where the original left off.
+        let (t_new, _) = restored.recommend_ticketed(&[1.0, 1.0]).unwrap();
+        assert_eq!(t_new.id(), original.next_ticket_id());
+    }
+
+    #[test]
+    fn restore_never_reissues_consumed_ticket_ids() {
+        // The at-least-once crash scenario: ticket 21 is recorded, its ack
+        // is lost, the service checkpoints with only ticket 20 open and
+        // crashes. After restore, the reporter's retry for 21 must fail
+        // loudly — and 21 must never be handed to a fresh round.
+        let mut original = trained_bandit(20); // tickets 0..20 consumed
+        let (t_open, _) = original.recommend_ticketed(&[30.0, 2.0]).unwrap();
+        let (t_acked, _) = original.recommend_ticketed(&[8.0, 1.0]).unwrap();
+        original.record_ticket(t_acked, 42.0).unwrap();
+        let mut buf = Vec::new();
+        save_history(&original, &mut buf).unwrap();
+
+        let mut restored = fresh();
+        restore_snapshot(&mut restored, &load_snapshot(buf.as_slice()).unwrap()).unwrap();
+        assert_eq!(restored.open_tickets(), vec![t_open]);
+        // Retrying the already-recorded ticket is rejected, not misrouted.
+        assert!(matches!(
+            restored.record_ticket(t_acked, 42.0),
+            Err(CoreError::UnknownTicket { .. })
+        ));
+        // And a fresh round gets a brand-new id, not the consumed 21.
+        let (t_new, _) = restored.recommend_ticketed(&[2.0, 2.0]).unwrap();
+        assert_eq!(t_new.id(), t_acked.id() + 1);
+    }
+
+    #[test]
+    fn scaled_policy_replay_rebuilds_scaler_statistics() {
+        use crate::scaler::scaled_epsilon_greedy;
+        // A scaled policy trains its inner models on z-scores; the replayed
+        // twin must rebuild the same standardization statistics from the
+        // log or its models are fit on raw features instead.
+        let specs = ArmSpec::unit_costs(2);
+        let make = || {
+            let p = scaled_epsilon_greedy(specs.clone(), 2, BanditConfig::paper().with_seed(11))
+                .unwrap();
+            BanditWare::new(p, specs.clone())
+        };
+        let mut live = make();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            // Wildly different feature scales — the scaler's whole job.
+            let x = [rng.gen_range(0.1..1.0), rng.gen_range(1e7..1e8)];
+            live.run_round(&x, |rec| 5.0 + x[0] * 40.0 * (rec.arm + 1) as f64).unwrap();
+        }
+        let mut buf = Vec::new();
+        save_history(&live, &mut buf).unwrap();
+
+        let mut restored = make();
+        restore_snapshot(&mut restored, &load_snapshot(buf.as_slice()).unwrap()).unwrap();
+        assert_eq!(restored.policy().scaler().n_obs(), live.policy().scaler().n_obs());
+        for probe in [[0.3, 2e7], [0.8, 9e7]] {
+            for arm in 0..2 {
+                let a = live.policy().predict(arm, &probe).unwrap();
+                let b = restored.policy().predict(arm, &probe).unwrap();
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + a.abs()),
+                    "arm {arm} probe {probe:?}: live {a} vs restored {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let v1 = "banditware-history v1\narm,explored,runtime,features...\n\
+                  0,1,153.2,100,2\n2,0,98.7,350,4\n";
+        let snapshot = load_snapshot(v1.as_bytes()).unwrap();
+        assert_eq!(snapshot.observations.len(), 2);
+        assert!(snapshot.open_rounds.is_empty());
+        assert_eq!(snapshot.observations[1].arm, 2);
+        assert_eq!(snapshot.observations[1].features, vec![350.0, 4.0]);
+        // load_history sees the same observations.
+        assert_eq!(load_history(v1.as_bytes()).unwrap(), snapshot.observations);
+        // An open-ticket line in a v1 file is a format violation.
+        let bad = format!("{v1}open,3,0,1,5,5\n");
+        assert!(load_snapshot(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn io_failures_are_io_errors() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk detached"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let bandit = trained_bandit(3);
+        let err = save_history(&bandit, FailingWriter).unwrap_err();
+        match err {
+            CoreError::Io { op, ref message, .. } => {
+                assert_eq!(op, "save");
+                assert!(message.contains("disk detached"), "{message}");
+            }
+            other => panic!("expected CoreError::Io, got {other:?}"),
+        }
+
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe closed"))
+            }
+        }
+        let err = load_snapshot(FailingReader).unwrap_err();
+        assert!(matches!(err, CoreError::Io { op: "load", .. }), "{err:?}");
+    }
+
+    #[test]
     fn rejects_malformed_input() {
+        const MAGIC: &str = "banditware-history v2";
         assert!(load_history("".as_bytes()).is_err());
         assert!(load_history("not-the-magic\n".as_bytes()).is_err());
         assert!(load_history(format!("{MAGIC}\n").as_bytes()).is_err());
@@ -192,6 +485,22 @@ mod tests {
         // Error messages carry line numbers.
         let err = load_history(format!("{MAGIC}\nheader\n0,1,1.0,zz\n").as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+        // Malformed open-ticket lines.
+        let bad_ticket = format!("{MAGIC}\nheader\nopen,x,0,1,5\n");
+        assert!(load_snapshot(bad_ticket.as_bytes()).is_err());
+        let short_ticket = format!("{MAGIC}\nheader\nopen,3\n");
+        assert!(load_snapshot(short_ticket.as_bytes()).is_err());
+        // Observations may not follow the open-ticket section.
+        let out_of_order = format!("{MAGIC}\nheader\nopen,3,0,1,5\n0,1,1.0,2.0\n");
+        assert!(load_snapshot(out_of_order.as_bytes()).is_err());
+        // Malformed ticket-counter lines.
+        assert!(load_snapshot(format!("{MAGIC}\nheader\nnext,abc\n").as_bytes()).is_err());
+        assert!(load_snapshot(format!("{MAGIC}\nheader\nnext,1,2\n").as_bytes()).is_err());
+        let v1_next = "banditware-history v1\nheader\nnext,5\n";
+        assert!(load_snapshot(v1_next.as_bytes()).is_err(), "counter line invalid in v1");
+        // A well-formed counter line loads.
+        let ok = format!("{MAGIC}\nheader\n0,1,5.0,1.5\nnext,9\n");
+        assert_eq!(load_snapshot(ok.as_bytes()).unwrap().next_ticket, 9);
     }
 
     #[test]
@@ -202,11 +511,12 @@ mod tests {
         let mut buf = Vec::new();
         save_history(&bandit, &mut buf).unwrap();
         assert!(load_history(buf.as_slice()).unwrap().is_empty());
+        assert_eq!(load_snapshot(buf.as_slice()).unwrap(), HistorySnapshot::default());
     }
 
     #[test]
     fn blank_lines_tolerated() {
-        let text = format!("{MAGIC}\nheader\n0,1,5.0,1.5\n\n1,0,7.0,2.5\n");
+        let text = "banditware-history v2\nheader\n0,1,5.0,1.5\n\n1,0,7.0,2.5\n";
         let obs = load_history(text.as_bytes()).unwrap();
         assert_eq!(obs.len(), 2);
         assert_eq!(obs[1].round, 1);

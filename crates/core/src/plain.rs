@@ -86,8 +86,8 @@ impl PlainEpsilonGreedy {
 }
 
 impl Policy for PlainEpsilonGreedy {
-    fn name(&self) -> &'static str {
-        "plain-epsilon-greedy"
+    fn name(&self) -> String {
+        "plain-epsilon-greedy".to_string()
     }
 
     fn n_arms(&self) -> usize {

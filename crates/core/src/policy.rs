@@ -42,9 +42,16 @@ pub struct Selection {
 /// The protocol is the paper's loop: for each incoming workflow, call
 /// [`Policy::select`] with its feature vector, run it on the returned arm,
 /// then feed the observed runtime back via [`Policy::observe`].
-pub trait Policy: Send {
-    /// Short algorithm name (for reports and benches).
-    fn name(&self) -> &'static str;
+///
+/// The trait is **object-safe**: serving layers hold `Box<dyn Policy>` so the
+/// algorithm can be chosen by name at runtime (see the blanket
+/// `impl Policy for Box<dyn Policy>` below), and wrappers can compose names
+/// dynamically — which is why [`Policy::name`] returns an owned `String`
+/// rather than a `&'static str`.
+pub trait Policy: Send + Sync + std::fmt::Debug {
+    /// Short algorithm name (for reports and benches). Wrappers may derive
+    /// it from their inner policy (e.g. `"scaled:linucb"`).
+    fn name(&self) -> String;
 
     /// Number of arms.
     fn n_arms(&self) -> usize;
@@ -58,6 +65,19 @@ pub trait Policy: Send {
     /// [`crate::CoreError::FeatureDimMismatch`] on a wrong-arity context.
     fn select(&mut self, x: &[f64]) -> Result<Selection>;
 
+    /// Choose arms for a whole batch of contexts against the **same model
+    /// state** (no refits happen between the selections; only schedule
+    /// randomness advances). Wrappers override this to amortize per-batch
+    /// work — e.g. [`crate::ScaledPolicy`] runs one scaler pass for the
+    /// whole batch instead of one per call.
+    ///
+    /// # Errors
+    /// Propagates [`Policy::select`]; on error, selections already made for
+    /// earlier contexts in the batch have still consumed randomness.
+    fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
+        xs.iter().map(|x| self.select(x)).collect()
+    }
+
     /// Record the observed runtime of `arm` on context `x` and refit.
     ///
     /// # Errors
@@ -65,6 +85,20 @@ pub trait Policy: Send {
     /// [`crate::CoreError::FeatureDimMismatch`] /
     /// [`crate::CoreError::InvalidRuntime`].
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()>;
+
+    /// Absorb an observation whose context this policy has **not** seen
+    /// through its own [`Policy::select`] — warm starts from historical
+    /// traces and checkpoint replay. The default delegates to
+    /// [`Policy::observe`]; wrappers that learn from contexts at selection
+    /// time override it ([`crate::ScaledPolicy`] feeds its scaler first, so
+    /// a replayed recommender rebuilds the standardization statistics the
+    /// live one accumulated).
+    ///
+    /// # Errors
+    /// See [`Policy::observe`].
+    fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        self.observe(arm, x, runtime)
+    }
 
     /// Current runtime prediction of `arm` for context `x`.
     ///
@@ -86,6 +120,54 @@ pub trait Policy: Send {
 
     /// Reset every arm and internal schedule to the initial state.
     fn reset(&mut self);
+}
+
+/// Forwarding impl so `BanditWare<Box<dyn Policy>>` (and any other
+/// `P: Policy` bound) works with a runtime-chosen boxed policy.
+impl Policy for Box<dyn Policy> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn n_arms(&self) -> usize {
+        (**self).n_arms()
+    }
+
+    fn n_features(&self) -> usize {
+        (**self).n_features()
+    }
+
+    fn select(&mut self, x: &[f64]) -> Result<Selection> {
+        (**self).select(x)
+    }
+
+    fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
+        (**self).select_batch(xs)
+    }
+
+    fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        (**self).observe(arm, x, runtime)
+    }
+
+    fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        (**self).warm_start(arm, x, runtime)
+    }
+
+    fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        (**self).predict(arm, x)
+    }
+
+    fn predict_all(&self, x: &[f64]) -> Result<Vec<f64>> {
+        (**self).predict_all(x)
+    }
+
+    fn pulls(&self) -> Vec<usize> {
+        (**self).pulls()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
 }
 
 /// Validate a context's arity against a policy's feature count.
@@ -119,6 +201,31 @@ mod tests {
         assert_eq!(specs.len(), 3);
         assert!(specs.iter().all(|s| s.resource_cost == 1.0));
         assert_eq!(specs[1].name, "arm-1");
+    }
+
+    #[test]
+    fn boxed_policy_forwards_everything() {
+        use crate::epsilon::EpsilonGreedy;
+        use crate::BanditConfig;
+        let mut p: Box<dyn Policy> = Box::new(
+            EpsilonGreedy::new(ArmSpec::unit_costs(2), 1, BanditConfig::paper().with_seed(1))
+                .unwrap(),
+        );
+        assert_eq!(p.name(), "decaying-contextual-epsilon-greedy");
+        assert_eq!(p.n_arms(), 2);
+        assert_eq!(p.n_features(), 1);
+        let xs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let sels = p.select_batch(&refs).unwrap();
+        assert_eq!(sels.len(), 4);
+        for (s, &x) in sels.iter().zip(&refs) {
+            p.observe(s.arm, x, 10.0 + x[0]).unwrap();
+        }
+        assert_eq!(p.pulls().iter().sum::<usize>(), 4);
+        assert!(p.predict(0, &[1.0]).unwrap().is_finite());
+        assert_eq!(p.predict_all(&[1.0]).unwrap().len(), 2);
+        p.reset();
+        assert_eq!(p.pulls(), vec![0, 0]);
     }
 
     #[test]

@@ -125,8 +125,8 @@ impl<P: Policy> ScaledPolicy<P> {
 }
 
 impl<P: Policy> Policy for ScaledPolicy<P> {
-    fn name(&self) -> &'static str {
-        "scaled-policy"
+    fn name(&self) -> String {
+        format!("scaled:{}", self.inner.name())
     }
 
     fn n_arms(&self) -> usize {
@@ -143,11 +143,36 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         self.inner.select(&z)
     }
 
+    fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
+        // One scaler pass for the whole batch: absorb every context first,
+        // then transform them all against the same (post-batch) statistics.
+        // Every request in a batch is standardized identically, and the
+        // scaler is updated once instead of interleaved with selections.
+        for x in xs {
+            self.scaler.observe(x)?;
+        }
+        let zs: Vec<Vec<f64>> =
+            xs.iter().map(|x| self.scaler.transform(x)).collect::<Result<_>>()?;
+        let refs: Vec<&[f64]> = zs.iter().map(Vec::as_slice).collect();
+        self.inner.select_batch(&refs)
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
-        // Selection already absorbed the context; observing with a fresh
-        // context (warm starts) must also feed the scaler.
+        // The matching select/select_batch already absorbed this context;
+        // only transform here. Contexts arriving *without* a selection go
+        // through warm_start below.
         let z = self.scaler.transform(x)?;
         self.inner.observe(arm, &z, runtime)
+    }
+
+    fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+        // Warm starts and checkpoint replay: no selection preceded this
+        // context, so absorb it first — a replayed recommender rebuilds the
+        // same standardization statistics the live one accumulated, in the
+        // same absorb-then-transform order per context.
+        self.scaler.observe(x)?;
+        let z = self.scaler.transform(x)?;
+        self.inner.warm_start(arm, &z, runtime)
     }
 
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
@@ -246,11 +271,30 @@ mod tests {
         let preds1 = p.predict(1, &[0.5, 1.05e8]).unwrap();
         assert!(preds0 < preds1, "{preds0} vs {preds1}");
         assert_eq!(p.n_arms(), 2);
-        assert_eq!(p.name(), "scaled-policy");
+        assert_eq!(p.name(), "scaled:decaying-contextual-epsilon-greedy");
         assert!(p.pulls().iter().sum::<usize>() == 200);
         assert!(p.scaler().n_obs() >= 200);
         p.reset();
         assert_eq!(p.pulls(), vec![0, 0]);
         assert_eq!(p.scaler().n_obs(), 0);
+    }
+
+    #[test]
+    fn batch_select_runs_one_scaler_pass() {
+        let mut p =
+            scaled_epsilon_greedy(ArmSpec::unit_costs(2), 1, BanditConfig::paper().with_seed(9))
+                .unwrap();
+        let xs: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64 * 10.0]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let sels = p.select_batch(&refs).unwrap();
+        assert_eq!(sels.len(), 8);
+        // every batch context was absorbed exactly once
+        assert_eq!(p.scaler().n_obs(), 8);
+        for (s, &x) in sels.iter().zip(&refs) {
+            p.observe(s.arm, x, x[0] + 5.0).unwrap();
+        }
+        // observe must not re-feed the scaler (selection already did)
+        assert_eq!(p.scaler().n_obs(), 8);
+        assert_eq!(p.pulls().iter().sum::<usize>(), 8);
     }
 }

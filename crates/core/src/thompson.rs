@@ -131,8 +131,8 @@ fn banditware_workload_free_gaussian(rng: &mut impl Rng) -> f64 {
 }
 
 impl Policy for LinThompson {
-    fn name(&self) -> &'static str {
-        "linear-thompson"
+    fn name(&self) -> String {
+        "linear-thompson".to_string()
     }
 
     fn n_arms(&self) -> usize {

@@ -61,8 +61,8 @@ impl Ucb1 {
 }
 
 impl Policy for Ucb1 {
-    fn name(&self) -> &'static str {
-        "ucb1"
+    fn name(&self) -> String {
+        "ucb1".to_string()
     }
 
     fn n_arms(&self) -> usize {

@@ -13,7 +13,7 @@ use crate::series::{RoundSeries, SimTrajectory};
 use banditware_baselines::FullFitBaseline;
 use banditware_core::tolerance::tolerant_select;
 use banditware_core::{
-    ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy, RecursiveArm, Tolerance,
+    ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, Policy, RecursiveArm, Tolerance,
 };
 use banditware_workloads::{CostModel, HardwareConfig, Trace};
 use rand::rngs::StdRng;
@@ -38,6 +38,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads (0 = one per available core, capped by `n_sims`).
     pub n_threads: usize,
+    /// Rounds are recommended in ticketed batches of this size (1 = the
+    /// paper's strictly sequential protocol). Within a batch every
+    /// selection sees the same model state — the serving deployment's
+    /// behaviour when workflows arrive faster than they finish.
+    pub batch_size: usize,
 }
 
 impl ExperimentConfig {
@@ -52,6 +57,7 @@ impl ExperimentConfig {
             max_eval_contexts: 300,
             seed: 0,
             n_threads: 0,
+            batch_size: 1,
         }
     }
 
@@ -78,6 +84,12 @@ impl ExperimentConfig {
     /// Set the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the recommendation batch size (clamped to at least 1).
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 }
@@ -248,44 +260,61 @@ where
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(sim_idx.wrapping_mul(0xBF58_476D_1CE4_E5B9))
         .wrapping_add(1);
-    let mut policy = factory(sim_seed);
+    // The simulation drives the same ticketed facade the serving engine
+    // wraps, so batched protocols and the paper's sequential one share a
+    // single code path (batch_size = 1 reproduces the sequential RNG
+    // stream draw for draw).
+    let mut bandit = BanditWare::new(factory(sim_seed), specs_from_hardware(&trace.hardware));
     let mut rng = StdRng::seed_from_u64(sim_seed ^ 0x5555_5555_5555_5555);
     let hardware = &trace.hardware;
     let mut traj = SimTrajectory::default();
     let mut cum_regret = 0.0;
 
-    for _round in 0..cfg.n_rounds {
-        // A workflow arrives: a context drawn from the historical dataset.
-        let row = &trace.rows[rng.gen_range(0..trace.len())];
-        let x = &row.features;
-        let sel = policy.select(x).expect("context arity matches trace");
-        // Execute on the chosen hardware → noisy runtime from ground truth.
-        let runtime = model.sample_runtime(&hardware[sel.arm], x, &mut rng);
-        policy.observe(sel.arm, x, runtime).expect("observation is valid");
-
-        // Regret vs the true fastest choice for this context.
-        let expected: Vec<f64> = hardware.iter().map(|h| model.expected_runtime(h, x)).collect();
-        let best = expected.iter().cloned().fold(f64::INFINITY, f64::min);
-        cum_regret += (expected[sel.arm] - best).max(0.0);
-
-        // Score the current models.
-        let preds: Vec<f64> = eval_rows
-            .features
-            .iter()
-            .zip(&eval_rows.hardware)
-            .map(|(f, &h)| policy.predict(h, f).expect("arity matches"))
+    let mut round = 0;
+    while round < cfg.n_rounds {
+        let batch = cfg.batch_size.max(1).min(cfg.n_rounds - round);
+        // A burst of workflows arrives: contexts drawn from the dataset.
+        // All of them are recommended against the same model state.
+        let contexts: Vec<Vec<f64>> = (0..batch)
+            .map(|_| trace.rows[rng.gen_range(0..trace.len())].features.clone())
             .collect();
-        let rmse = crate::metrics::rmse(&preds, &eval_rows.runtime);
-        let accuracy = matched.accuracy(cfg.eval_tolerance, |ctx| {
-            let p = policy.predict_all(ctx).expect("arity matches");
-            tolerant_select(&p, costs, cfg.bandit.tolerance).expect("non-empty arms")
-        });
+        let issued = bandit.recommend_batch(&contexts).expect("context arity matches trace");
 
-        traj.rmse.push(rmse);
-        traj.accuracy.push(accuracy);
-        traj.regret.push(cum_regret);
-        traj.explored.push(if sel.explored { 1.0 } else { 0.0 });
-        traj.cost.push(costs[sel.arm]);
+        // Completions feed back one by one (each runtime refits its arm),
+        // so the per-round curves keep their meaning at any batch size.
+        for ((ticket, rec), x) in issued.iter().zip(&contexts) {
+            // Execute on the chosen hardware → noisy runtime from ground
+            // truth.
+            let runtime = model.sample_runtime(&hardware[rec.arm], x, &mut rng);
+            bandit.record_ticket(*ticket, runtime).expect("observation is valid");
+
+            // Regret vs the true fastest choice for this context.
+            let expected: Vec<f64> =
+                hardware.iter().map(|h| model.expected_runtime(h, x)).collect();
+            let best = expected.iter().cloned().fold(f64::INFINITY, f64::min);
+            cum_regret += (expected[rec.arm] - best).max(0.0);
+
+            // Score the current models.
+            let policy = bandit.policy();
+            let preds: Vec<f64> = eval_rows
+                .features
+                .iter()
+                .zip(&eval_rows.hardware)
+                .map(|(f, &h)| policy.predict(h, f).expect("arity matches"))
+                .collect();
+            let rmse = crate::metrics::rmse(&preds, &eval_rows.runtime);
+            let accuracy = matched.accuracy(cfg.eval_tolerance, |ctx| {
+                let p = policy.predict_all(ctx).expect("arity matches");
+                tolerant_select(&p, costs, cfg.bandit.tolerance).expect("non-empty arms")
+            });
+
+            traj.rmse.push(rmse);
+            traj.accuracy.push(accuracy);
+            traj.regret.push(cum_regret);
+            traj.explored.push(if rec.explored { 1.0 } else { 0.0 });
+            traj.cost.push(costs[rec.arm]);
+        }
+        round += batch;
     }
     traj
 }
@@ -367,6 +396,79 @@ mod tests {
         let r4 = run_experiment(&trace, &model, &cfg4);
         assert_eq!(r1.series.rmse_mean, r4.series.rmse_mean);
         assert_eq!(r1.series.accuracy_mean, r4.series.accuracy_mean);
+    }
+
+    #[test]
+    fn batched_rounds_learn_and_stay_deterministic() {
+        let (trace, model) = cycles_setup();
+        // Batch of 8: selections within a burst share model state, yet the
+        // curves keep one entry per round and learning still converges.
+        let cfg = small_cfg().with_batch(8).with_tolerance(Tolerance::seconds(20.0).unwrap());
+        let res = run_experiment(&trace, &model, &cfg);
+        assert_eq!(res.series.len(), 40);
+        assert!(res.series.tail_rmse(5) < res.series.rmse_mean[0], "batched run must learn");
+        // Batch size must not break thread-count determinism.
+        let mut cfg1 = cfg.clone();
+        cfg1.n_threads = 1;
+        let mut cfg4 = cfg.clone();
+        cfg4.n_threads = 4;
+        let r1 = run_experiment(&trace, &model, &cfg1);
+        let r4 = run_experiment(&trace, &model, &cfg4);
+        assert_eq!(r1.series.rmse_mean, r4.series.rmse_mean);
+        // A batch that does not divide n_rounds still yields n_rounds
+        // entries (final short burst).
+        let cfg = small_cfg().with_rounds(10).with_sims(2).with_batch(4);
+        let res = run_experiment(&trace, &model, &cfg);
+        assert_eq!(res.series.len(), 10);
+    }
+
+    #[test]
+    fn batch_of_one_is_the_paper_protocol() {
+        // The ticketed facade path at batch 1 must reproduce the raw
+        // sequential `select` → `observe` loop (the pre-ticket protocol)
+        // draw for draw. The reference below *is* that old loop, with the
+        // same per-sim seed derivation run_single_sim uses.
+        let (trace, model) = cycles_setup();
+        let cfg = small_cfg().with_sims(1).with_rounds(30);
+        let res = run_experiment(&trace, &model, &cfg);
+
+        let sim_seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let specs = specs_from_hardware(&trace.hardware);
+        let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+            specs,
+            trace.n_features(),
+            cfg.bandit.with_seed(sim_seed),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(sim_seed ^ 0x5555_5555_5555_5555);
+        let costs: Vec<f64> = trace.hardware.iter().map(HardwareConfig::resource_cost).collect();
+        let mut cum_regret = 0.0;
+        for round in 0..cfg.n_rounds {
+            let row = &trace.rows[rng.gen_range(0..trace.len())];
+            let sel = policy.select(&row.features).unwrap();
+            let rt = model.sample_runtime(&trace.hardware[sel.arm], &row.features, &mut rng);
+            policy.observe(sel.arm, &row.features, rt).unwrap();
+            let expected: Vec<f64> =
+                trace.hardware.iter().map(|h| model.expected_runtime(h, &row.features)).collect();
+            let best = expected.iter().cloned().fold(f64::INFINITY, f64::min);
+            cum_regret += (expected[sel.arm] - best).max(0.0);
+            // Single sim → the aggregated series is that sim's trajectory;
+            // any divergence in the RNG stream or selection order shows up
+            // as a mismatched choice, exploration flag, or regret.
+            assert_eq!(
+                res.series.explore_frac[round],
+                if sel.explored { 1.0 } else { 0.0 },
+                "round {round}: exploration flag diverged"
+            );
+            assert_eq!(
+                res.series.cost_mean[round], costs[sel.arm],
+                "round {round}: selected arm diverged"
+            );
+            assert!(
+                (res.series.regret_mean[round] - cum_regret).abs() < 1e-12,
+                "round {round}: regret diverged"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! BanditWare serving layer: a concurrent recommendation engine.
+//!
+//! The paper deploys BanditWare as a **long-lived service** in front of a
+//! shared cluster (the NDP testbed): many workflows from many tenants are in
+//! flight at once, and each tenant/workflow class learns its own runtime
+//! models. This crate turns the single-threaded [`banditware_core::BanditWare`]
+//! facade into that service:
+//!
+//! * [`engine::Engine`] — one logical bandit per tenant/workflow-class
+//!   **key**, stored in striped [`std::sync::RwLock`] shards so requests for
+//!   different keys proceed in parallel. Rounds are ticketed
+//!   ([`banditware_core::Ticket`]): recommendations and runtime reports may
+//!   overlap arbitrarily and arrive out of order. Batched
+//!   `recommend_batch`/`record_batch` take each shard lock **once per
+//!   batch** instead of once per call.
+//! * [`builder`] — construct any named policy
+//!   (`"epsilon-greedy"`, `"linucb"`, `"thompson"`, …) from a
+//!   [`banditware_core::BanditConfig`] at runtime; the engine stores policies
+//!   as `Box<dyn Policy>`, so the algorithm is a deployment choice, not a
+//!   compile-time one.
+//! * [`stress`] — a deterministic multi-threaded harness over
+//!   [`std::thread::scope`]: each worker owns a disjoint set of keys, so the
+//!   per-key round streams (and therefore every shard's final state) are
+//!   identical regardless of thread count or interleaving.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod engine;
+pub mod stress;
+
+pub use builder::{build_policy, policy_names, EngineBuilder};
+pub use engine::{Engine, EngineStats};
+pub use stress::{run_stress, StressPlan, StressReport};

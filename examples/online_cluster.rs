@@ -4,11 +4,17 @@
 //! the "shared system" failure modes (contention, priority inversion) the
 //! paper's introduction motivates.
 //!
+//! The recommender runs **ticketed**: every submission carries its ticket
+//! into the cluster, all 40 jobs are in flight before the first runtime is
+//! known, and completions are recorded in whatever order the simulator
+//! finishes them — including across simulated queueing latency. The
+//! prediction also doubles as the scheduler's shortest-job-first hint.
+//!
 //! ```text
 //! cargo run --release --example online_cluster
 //! ```
 
-use banditware::cluster::ClusterSim;
+use banditware::cluster::{ClusterSim, Discipline};
 use banditware::prelude::*;
 use banditware::workloads::cycles::CyclesModel;
 use rand::rngs::StdRng;
@@ -22,6 +28,7 @@ fn main() {
     // One node per flavour, two slots each: saturating a popular flavour
     // queues later jobs — the cost of recommending everyone the same box.
     let mut cluster = ClusterSim::new(hardware.clone(), 1, 2, Box::new(model), 7);
+    cluster.set_discipline(Discipline::ShortestHintFirst);
 
     let config =
         BanditConfig::paper().with_tolerance(Tolerance::ratio(0.15).expect("valid")).with_seed(13);
@@ -29,31 +36,36 @@ fn main() {
     let mut bandit = BanditWare::new(policy, specs);
 
     let mut rng = StdRng::seed_from_u64(29);
-    // Submit a burst of workflows, then drain.
-    let batch = 40;
-    let mut contexts = Vec::new();
-    for _ in 0..batch {
-        let num_tasks = rng.gen_range(100..=500) as f64;
-        let rec = bandit.recommend(&[num_tasks]).expect("valid");
-        cluster.submit("cycles", vec![num_tasks], rec.arm);
-        contexts.push((num_tasks, rec.arm));
-        // Async mode: record once the job completes (below); cancel the
-        // pending slot by recording the expected runtime when it finishes.
-        // For this demo we drain per-job to keep recommend/record paired.
-        let result = cluster.step().or_else(|| {
-            cluster.run_until_idle();
-            None
-        });
-        match result {
-            Some(done) => bandit.record(done.runtime).expect("valid runtime"),
-            None => {
-                // Everything already drained; use the last completion.
-                let last = cluster.results().last().expect("at least one result");
-                bandit.record(last.runtime).expect("valid runtime");
+    // Five waves of eight workflows. Within a wave all eight rounds are in
+    // flight at once (their tickets ride with the jobs); between waves the
+    // completions recorded so far have already sharpened the models and
+    // decayed the exploration schedule.
+    let (waves, wave_size) = (5, 8);
+    let mut out_of_order = 0;
+    for _ in 0..waves {
+        for _ in 0..wave_size {
+            let num_tasks = rng.gen_range(100..=500) as f64;
+            let (ticket, rec) = bandit.recommend_ticketed(&[num_tasks]).expect("valid");
+            let hint = if rec.predicted_runtime.is_finite() { rec.predicted_runtime } else { 0.0 };
+            cluster.submit_ticketed("cycles", vec![num_tasks], rec.arm, hint, ticket.id());
+        }
+        assert_eq!(bandit.in_flight(), wave_size, "the whole wave overlaps in flight");
+
+        // Drain: completions arrive in *completion* order, not submission
+        // order; each carries its ticket, so recording attributes the
+        // runtime to the right context.
+        let mut last_ticket: Option<u64> = None;
+        while let Some(done) = cluster.step() {
+            let ticket = Ticket::from_id(done.ticket.expect("every job was submitted ticketed"));
+            if last_ticket.is_some_and(|prev| ticket.id() < prev) {
+                out_of_order += 1;
             }
+            last_ticket = Some(ticket.id());
+            bandit.record_ticket(ticket, done.runtime).expect("valid runtime");
         }
     }
-    cluster.run_until_idle();
+    assert_eq!(bandit.rounds(), waves * wave_size);
+    assert_eq!(bandit.in_flight(), 0);
 
     let t = cluster.telemetry();
     println!(
@@ -73,6 +85,7 @@ fn main() {
         );
     }
     println!("\nbandit pulls: {:?}", bandit.pulls());
+    println!("completions recorded out of submission order: {out_of_order}");
     println!(
         "exploration fraction: {:.2}",
         bandit.history().iter().filter(|o| o.explored).count() as f64 / bandit.rounds() as f64

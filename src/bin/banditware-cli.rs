@@ -3,17 +3,25 @@
 //!
 //! ```text
 //! banditware-cli generate <cycles|bp3d|matmul|llm> <out.csv> [--runs N] [--seed S]
-//! banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S]
-//!                [--tolerance-seconds TS] [--tolerance-ratio TR] [--export out.csv]
-//! banditware-cli train <cycles|bp3d|matmul|llm> <trace.csv> <history.txt>
-//! banditware-cli recommend <cycles|bp3d|matmul|llm> <history.txt> --features a,b,c
+//! banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S] [--batch B]
+//!                [--policy P] [--tolerance-seconds TS] [--tolerance-ratio TR] [--export out.csv]
+//! banditware-cli train <cycles|bp3d|matmul|llm> <trace.csv> <history.txt> [--policy P]
+//! banditware-cli recommend <cycles|bp3d|matmul|llm> <history.txt> --features a,b,c [--policy P]
 //! ```
 //!
+//! The policy is a **runtime** choice (`--policy epsilon-greedy|linucb|
+//! thompson|ucb1|boltzmann|…`, see `banditware::serve::policy_names`): the
+//! CLI holds a `BanditWare<Box<dyn Policy>>`, so no recompilation is needed
+//! to swap algorithms.
+//!
 //! Everything round-trips through the plain-text formats the library
-//! defines (CSV traces, `banditware-history v1` checkpoints), so the CLI
-//! composes with shell pipelines and cron jobs — the "users of all
-//! experience levels" integration story of the paper's NDP deployment.
+//! defines (CSV traces, `banditware-history v2` checkpoints; v1 files
+//! still load), so the CLI composes with shell pipelines and cron jobs —
+//! the "users of all experience levels" integration story of the paper's
+//! NDP deployment.
 
+use banditware::core::tolerance::tolerant_select;
+use banditware::eval::protocol::run_experiment_with;
 use banditware::frame::csv;
 use banditware::prelude::*;
 use banditware::workloads::{bp3d, cycles, llm, matmul};
@@ -34,10 +42,13 @@ fn main() {
 
 const USAGE: &str = "usage:
   banditware-cli generate <cycles|bp3d|matmul|llm> <out.csv> [--runs N] [--seed S]
-  banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S]
+  banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S] [--batch B] [--policy P]
                  [--tolerance-seconds TS] [--tolerance-ratio TR] [--export out.csv]
-  banditware-cli train <app> <trace.csv> <history.txt>
-  banditware-cli recommend <app> <history.txt> --features a,b,c";
+  banditware-cli train <app> <trace.csv> <history.txt> [--policy P]
+  banditware-cli recommend <app> <history.txt> --features a,b,c [--policy P]
+
+policies (P): epsilon-greedy (default), exact-epsilon-greedy, scaled-epsilon-greedy,
+              plain-epsilon-greedy, linucb, thompson, ucb1, boltzmann";
 
 /// Dispatch a CLI invocation; returns the report to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -128,6 +139,24 @@ fn cmd_generate(args: &[String]) -> Result<String, String> {
     ))
 }
 
+/// One protocol, any policy: run the paper's Monte-Carlo experiment with a
+/// runtime-named policy (one boxed instance per simulation, seeded).
+fn run_policy_experiment<M: CostModel + Sync>(
+    trace: &Trace,
+    model: &M,
+    cfg: &ExperimentConfig,
+    policy_name: &str,
+) -> Result<banditware::eval::protocol::ExperimentResult, String> {
+    let n_features = trace.n_features();
+    let specs = specs_from_hardware(&trace.hardware);
+    // Validate the name/config once up front for a clean CLI error.
+    build_policy(policy_name, specs.clone(), n_features, &cfg.bandit).map_err(|e| e.to_string())?;
+    Ok(run_experiment_with(trace, model, cfg, |seed| {
+        build_policy(policy_name, specs.clone(), n_features, &cfg.bandit.with_seed(seed))
+            .expect("policy validated above")
+    }))
+}
+
 fn cmd_experiment(args: &[String]) -> Result<String, String> {
     let app_name = args.first().ok_or("experiment: missing application")?;
     if app_name == "llm" {
@@ -135,9 +164,11 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     }
     let rounds: usize = parse_flag(args, "--rounds", 50)?;
     let sims: usize = parse_flag(args, "--sims", 20)?;
+    let batch: usize = parse_flag(args, "--batch", 1)?;
     let ts: f64 = parse_flag(args, "--tolerance-seconds", 0.0)?;
     let tr: f64 = parse_flag(args, "--tolerance-ratio", 0.0)?;
     let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
     let tolerance = Tolerance::new(tr, ts).map_err(|e| e.to_string())?;
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -145,22 +176,23 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
         .with_rounds(rounds)
         .with_sims(sims)
         .with_seed(seed)
+        .with_batch(batch)
         .with_tolerance(tolerance);
     let result = match app_name.as_str() {
         "cycles" => {
             let model = cycles::CyclesModel::paper();
             let trace = cycles::generate_paper_trace(&model, &mut rng);
-            run_experiment(&trace, &model, &cfg)
+            run_policy_experiment(&trace, &model, &cfg, &policy_name)?
         }
         "bp3d" => {
             let model = bp3d::Bp3dModel::paper();
             let trace = bp3d::generate_paper_trace(&model, &mut rng);
-            run_experiment(&trace, &model, &cfg)
+            run_policy_experiment(&trace, &model, &cfg, &policy_name)?
         }
         "matmul" => {
             let model = matmul::MatMulModel::paper();
             let trace = matmul::generate_paper_trace(&model, &mut rng);
-            run_experiment(&trace, &model, &cfg)
+            run_policy_experiment(&trace, &model, &cfg, &policy_name)?
         }
         other => return Err(format!("unknown application {other:?}")),
     };
@@ -181,11 +213,11 @@ fn cmd_experiment(args: &[String]) -> Result<String, String> {
     ))
 }
 
-fn make_bandit(a: &App) -> BanditWare<EpsilonGreedy> {
+fn make_bandit(a: &App, policy_name: &str) -> Result<BanditWare<Box<dyn Policy>>, String> {
     let specs = specs_from_hardware(&a.hardware);
-    let policy = EpsilonGreedy::new(specs.clone(), a.features.len(), BanditConfig::paper())
-        .expect("paper config is valid");
-    BanditWare::new(policy, specs)
+    let policy = build_policy(policy_name, specs.clone(), a.features.len(), &BanditConfig::paper())
+        .map_err(|e| e.to_string())?;
+    Ok(BanditWare::new(policy, specs))
 }
 
 fn cmd_train(args: &[String]) -> Result<String, String> {
@@ -202,7 +234,8 @@ fn cmd_train(args: &[String]) -> Result<String, String> {
             a.features.len()
         ));
     }
-    let mut bandit = make_bandit(&a);
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
+    let mut bandit = make_bandit(&a, &policy_name)?;
     for row in &trace.rows {
         bandit
             .record_external(row.hardware, &row.features, row.runtime)
@@ -211,7 +244,7 @@ fn cmd_train(args: &[String]) -> Result<String, String> {
     let file = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
     save_history(&bandit, file).map_err(|e| e.to_string())?;
     Ok(format!(
-        "trained on {} runs; pulls per hardware {:?}; checkpoint written to {out_path}",
+        "trained {policy_name} on {} runs; pulls per hardware {:?}; checkpoint written to {out_path}",
         trace.len(),
         bandit.pulls()
     ))
@@ -234,15 +267,22 @@ fn cmd_recommend(args: &[String]) -> Result<String, String> {
             features.len()
         ));
     }
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
     let file = std::fs::File::open(history_path).map_err(|e| e.to_string())?;
     let observations = load_history(file).map_err(|e| e.to_string())?;
-    let mut bandit = make_bandit(&a);
+    let mut bandit = make_bandit(&a, &policy_name)?;
     replay_into(&mut bandit, &observations).map_err(|e| e.to_string())?;
-    let arm = bandit.policy().exploit(&features).map_err(|e| e.to_string())?;
+    // Pure exploitation over the replayed models: tolerant selection with
+    // the paper's (zero) slack — works for any boxed policy.
+    let preds = bandit.policy().predict_all(&features).map_err(|e| e.to_string())?;
+    let costs: Vec<f64> = bandit.specs().iter().map(|s| s.resource_cost).collect();
+    let arm = tolerant_select(&preds, &costs, BanditConfig::paper().tolerance)
+        .map_err(|e| e.to_string())?;
     let hw = &a.hardware[arm];
-    let predicted = bandit.policy().predict(arm, &features).map_err(|e| e.to_string())?;
+    let predicted = preds[arm];
     Ok(format!(
-        "recommendation: {hw}\npredicted runtime: {predicted:.1} s (from {} historical runs)",
+        "recommendation: {hw}\npredicted runtime: {predicted:.1} s (from {} historical runs, \
+         policy {policy_name})",
         observations.len()
     ))
 }
@@ -280,7 +320,7 @@ mod tests {
         assert!(out.contains("200 cycles runs"), "{out}");
 
         let out = run(&s(&["train", "cycles", &trace_path, &hist_path])).unwrap();
-        assert!(out.contains("trained on 200 runs"), "{out}");
+        assert!(out.contains("trained epsilon-greedy on 200 runs"), "{out}");
 
         // Large workflows should be recommended the big synthetic flavour
         // (H3 wins by hundreds of seconds at 480 tasks — robust to noise).
@@ -294,6 +334,68 @@ mod tests {
             out.contains("H0") || out.contains("H1") || out.contains("H2"),
             "small workflow routed below H3: {out}"
         );
+    }
+
+    #[test]
+    fn policy_is_a_runtime_choice() {
+        let trace_path = tmp("cycles_trace_pol.csv");
+        let hist_path = tmp("cycles_history_pol.txt");
+        run(&s(&["generate", "cycles", &trace_path, "--runs", "150", "--seed", "3"])).unwrap();
+        // Train and query with a non-default policy — no recompilation.
+        let out =
+            run(&s(&["train", "cycles", &trace_path, &hist_path, "--policy", "linucb"])).unwrap();
+        assert!(out.contains("trained linucb"), "{out}");
+        let out = run(&s(&[
+            "recommend",
+            "cycles",
+            &hist_path,
+            "--features",
+            "480",
+            "--policy",
+            "linucb",
+        ]))
+        .unwrap();
+        assert!(out.contains("policy linucb"), "{out}");
+        // The history format is policy-agnostic: the same checkpoint replays
+        // into a different algorithm.
+        let out = run(&s(&[
+            "recommend",
+            "cycles",
+            &hist_path,
+            "--features",
+            "480",
+            "--policy",
+            "thompson",
+        ]))
+        .unwrap();
+        assert!(out.contains("policy thompson"), "{out}");
+        // Unknown policies fail with the name list.
+        let err =
+            run(&s(&["recommend", "cycles", &hist_path, "--features", "480", "--policy", "sarsa"]))
+                .unwrap_err();
+        assert!(err.contains("sarsa") && err.contains("linucb"), "{err}");
+        let err =
+            run(&s(&["experiment", "cycles", "--rounds", "5", "--sims", "1", "--policy", "x"]))
+                .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+    }
+
+    #[test]
+    fn experiment_with_policy_and_batch() {
+        let out = run(&s(&[
+            "experiment",
+            "cycles",
+            "--rounds",
+            "8",
+            "--sims",
+            "2",
+            "--batch",
+            "4",
+            "--policy",
+            "ucb1",
+        ]))
+        .unwrap();
+        assert!(out.contains("tail accuracy"), "{out}");
     }
 
     #[test]

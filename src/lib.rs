@@ -53,6 +53,7 @@
 //! | [`cluster`] | discrete-event heterogeneous cluster simulator (NDP substrate) |
 //! | [`baselines`] | offline linear-regression recommender, random, oracle, best-fixed |
 //! | [`eval`] | the paper's Monte-Carlo protocol, metrics, ASCII plots |
+//! | [`serve`] | concurrent serving engine: striped shards, runtime policy choice, batched ticketed rounds |
 //!
 //! The figure/table regeneration binaries live in the `banditware-bench`
 //! crate (`cargo run --release -p banditware-bench --bin run_all`).
@@ -63,6 +64,7 @@ pub use banditware_core as core;
 pub use banditware_eval as eval;
 pub use banditware_frame as frame;
 pub use banditware_linalg as linalg;
+pub use banditware_serve as serve;
 pub use banditware_workloads as workloads;
 
 /// The most common imports in one line.
@@ -74,13 +76,17 @@ pub mod prelude {
     pub use banditware_cluster::{ClusterSim, Discipline, RuntimeSampler};
     pub use banditware_core::epsilon::{EpsilonGreedy, ExactEpsilonGreedy};
     pub use banditware_core::objective::{BudgetedEpsilonGreedy, Objective};
-    pub use banditware_core::persist::{load_history, replay_into, save_history};
+    pub use banditware_core::persist::{
+        load_history, load_snapshot, replay_into, restore_snapshot, save_history, HistorySnapshot,
+    };
     pub use banditware_core::{
         ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, DiscountedArm, Observation,
-        Policy, Recommendation, ScaledPolicy, Selection, StandardScaler, Tolerance, WindowedArm,
+        Policy, Recommendation, ScaledPolicy, Selection, StandardScaler, Ticket, Tolerance,
+        WindowedArm,
     };
     pub use banditware_eval::protocol::{run_experiment, specs_from_hardware, ExperimentConfig};
     pub use banditware_eval::{MatchedSet, RoundSeries};
+    pub use banditware_serve::{build_policy, policy_names, Engine, StressPlan};
     pub use banditware_workloads::hardware::{
         gpu_hardware, matmul_hardware, ndp_hardware, synthetic_hardware,
     };
