@@ -37,4 +37,11 @@ cargo build --benches --release
 echo "==> bench_serve (batched vs per-call throughput, tracked number)"
 cargo bench -p banditware-bench --bench bench_serve
 
+# The perf trajectory writes to target/ (untracked) so a CI run never
+# dirties the committed BENCH_PR3.json snapshot with machine-local timing
+# noise; refresh the snapshot deliberately when the hot path changes:
+#   cargo run --release -p banditware-bench --bin perf_baseline BENCH_PR3.json
+echo "==> perf trajectory (record/select/engine medians -> target/BENCH_PR3.json)"
+cargo run --release -p banditware-bench --bin perf_baseline target/BENCH_PR3.json
+
 echo "==> all green"

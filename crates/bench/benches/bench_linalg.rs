@@ -1,8 +1,8 @@
 //! Microbenchmarks for the regression kernels behind every arm refit.
 
 use banditware_linalg::lstsq::fit_ols;
-use banditware_linalg::online::{NormalEquations, RankOneInverse};
-use banditware_linalg::{Cholesky, Matrix, QrDecomposition};
+use banditware_linalg::online::{NormalEquations, RankOneInverse, SolveScratch};
+use banditware_linalg::{Cholesky, Matrix, QrDecomposition, UpdatableCholesky};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,5 +73,71 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit_ols, bench_decompositions, bench_online);
+/// The O(m³)→O(m²) record-path claim, measured: steady-state
+/// `push + refit` after a 10k-observation stream at realistic dimensions.
+/// `solve` (never cached → from-scratch factorization per refit, the
+/// pre-PR-3 path) vs `solve_with` (live incremental factor + reused
+/// scratch, the current record path).
+fn bench_record_path_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_path_10k_stream");
+    for &m in &[4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut warm = NormalEquations::new(m);
+        for _ in 0..10_000 {
+            let x: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            warm.push(&x, rng.gen_range(1.0..100.0)).unwrap();
+        }
+        let x: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect();
+
+        let mut full = warm.clone();
+        group.bench_with_input(BenchmarkId::new("full_refactor_solve", m), &(), |b, _| {
+            b.iter(|| {
+                full.push(black_box(&x), 7.0).unwrap();
+                full.solve(0.0).unwrap()
+            })
+        });
+
+        let mut inc = warm.clone();
+        let mut scratch = SolveScratch::for_features(m);
+        inc.solve_with(0.0, &mut scratch).unwrap(); // prime the factor
+        group.bench_with_input(BenchmarkId::new("incremental_solve_with", m), &(), |b, _| {
+            b.iter(|| {
+                inc.push(black_box(&x), 7.0).unwrap();
+                inc.solve_with(0.0, &mut scratch).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Rank-1 factor maintenance vs full re-factorization at matching dims.
+fn bench_cholupdate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholupdate_vs_decompose");
+    for &d in &[4usize, 8, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b_mat = Matrix::from_fn(d + 4, d, |_, _| rng.gen_range(-1.0..1.0));
+        let mut spd = b_mat.gram();
+        for i in 0..d {
+            spd[(i, i)] += 1.0;
+        }
+        let w: Vec<f64> = (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let mut up = UpdatableCholesky::decompose(&spd).unwrap();
+        group.bench_with_input(BenchmarkId::new("cholupdate", d), &(), |bch, _| {
+            bch.iter(|| up.update(black_box(&w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decompose", d), &(), |bch, _| {
+            bch.iter(|| Cholesky::decompose(black_box(&spd)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit_ols,
+    bench_decompositions,
+    bench_online,
+    bench_record_path_steady_state,
+    bench_cholupdate
+);
 criterion_main!(benches);

@@ -95,5 +95,67 @@ fn bench_arm_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_select, bench_observe, bench_arm_update);
+/// Steady-state record path at realistic dimensions: observe latency after
+/// a 10k-observation stream (the factor is live, the scratch warm — this is
+/// the allocation-free O(m²) path the serving engine runs per completion).
+fn bench_observe_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_observe_10k_stream");
+    for &n_features in &[4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(5),
+            n_features,
+            BanditConfig::paper(),
+        )
+        .unwrap();
+        for _ in 0..10_000 {
+            let x = context(n_features, &mut rng);
+            let arm = rng.gen_range(0..5);
+            policy.observe(arm, &x, rng.gen_range(1.0..1000.0)).unwrap();
+        }
+        let xs: Vec<Vec<f64>> = (0..32).map(|_| context(n_features, &mut rng)).collect();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n_features), &n_features, |b, _| {
+            b.iter(|| {
+                policy.observe(0, black_box(&xs[i % xs.len()]), 42.0).unwrap();
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state select at the same dimensions (cached costs + reused
+/// prediction buffer — zero allocations per call).
+fn bench_select_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select_10k_stream");
+    for &n_features in &[4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(5),
+            n_features,
+            BanditConfig::paper().with_epsilon0(0.05),
+        )
+        .unwrap();
+        for _ in 0..10_000 {
+            let x = context(n_features, &mut rng);
+            let arm = rng.gen_range(0..5);
+            policy.observe(arm, &x, rng.gen_range(1.0..1000.0)).unwrap();
+        }
+        let x = context(n_features, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n_features), &x, |b, x| {
+            b.iter(|| policy.select(black_box(x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_observe,
+    bench_arm_update,
+    bench_observe_steady_state,
+    bench_select_steady_state
+);
 criterion_main!(benches);

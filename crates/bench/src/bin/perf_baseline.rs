@@ -1,0 +1,142 @@
+//! Machine-readable perf trajectory for the recommend/record hot path.
+//!
+//! Runs the record-path and serving benches at realistic dimensions and
+//! emits `BENCH_PR3.json`: median ns/op for each metric, next to the
+//! pre-PR-3 numbers captured on this machine before the allocation-free
+//! O(m²) record path landed. `ci.sh` runs this on every pass so future PRs
+//! extend the trajectory instead of re-asserting complexity claims.
+//!
+//! Usage: `cargo run --release -p banditware-bench --bin perf_baseline
+//! [OUT.json]` (default `BENCH_PR3.json` in the current directory).
+
+use banditware_core::arm::{ArmEstimator, RecursiveArm};
+use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy, Ticket};
+use banditware_serve::Engine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Pre-PR-3 medians (ns/op), measured on the seed code (from-scratch O(m³)
+/// Cholesky per record, allocating select) with this same binary. These are
+/// the "before" of the O(m³)→O(m²) claim; `current` below is the "after".
+const BASELINE: &[(&str, f64)] = &[
+    ("record_m4", 636.0),
+    ("record_m16", 2281.0),
+    ("record_m64", 61726.0),
+    ("select_m16", 153.0),
+    ("engine_round_b64", 1678.0),
+];
+
+fn context(m: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..m).map(|_| rng.gen_range(0.1..100.0)).collect()
+}
+
+/// Median ns/op of `op` over `samples` timed samples of `iters` calls each,
+/// after one warmup sample.
+fn median_ns_per_op(samples: usize, iters: usize, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters {
+        op();
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_op[per_op.len() / 2]
+}
+
+/// Steady-state `RecursiveArm::update` after a 10k-observation stream.
+fn bench_record(m: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut arm = RecursiveArm::new(m);
+    for _ in 0..10_000 {
+        let x = context(m, &mut rng);
+        arm.update(&x, rng.gen_range(1.0..100.0)).unwrap();
+    }
+    let xs: Vec<Vec<f64>> = (0..64).map(|_| context(m, &mut rng)).collect();
+    let mut i = 0;
+    median_ns_per_op(15, 2_000, move || {
+        arm.update(&xs[i % xs.len()], 42.0).unwrap();
+        i += 1;
+    })
+}
+
+/// Warmed ε-greedy select at 5 arms × 16 features.
+fn bench_select(m: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(5),
+        m,
+        BanditConfig::paper().with_epsilon0(0.1).with_seed(9),
+    )
+    .unwrap();
+    for _ in 0..500 {
+        let x = context(m, &mut rng);
+        let arm = rng.gen_range(0..5);
+        policy.observe(arm, &x, rng.gen_range(1.0..1000.0)).unwrap();
+    }
+    let xs: Vec<Vec<f64>> = (0..64).map(|_| context(m, &mut rng)).collect();
+    let mut i = 0;
+    median_ns_per_op(15, 5_000, move || {
+        policy.select(&xs[i % xs.len()]).unwrap();
+        i += 1;
+    })
+}
+
+/// One batched engine round (recommend_batch + record_batch, batch 64),
+/// reported per request.
+fn bench_engine_round(batch: usize) -> f64 {
+    let engine = Engine::builder(ArmSpec::unit_costs(4), 8)
+        .config(BanditConfig::paper().with_epsilon0(0.1).with_seed(5))
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..20 {
+        let contexts: Vec<Vec<f64>> = (0..batch).map(|_| context(8, &mut rng)).collect();
+        let issued = engine.recommend_batch("tenant", &contexts).unwrap();
+        let outcomes: Vec<(Ticket, f64)> =
+            issued.iter().map(|(t, r)| (*t, 10.0 + r.arm as f64)).collect();
+        engine.record_batch("tenant", &outcomes).unwrap();
+    }
+    let contexts: Vec<Vec<f64>> = (0..batch).map(|_| context(8, &mut rng)).collect();
+    median_ns_per_op(15, 30, move || {
+        let issued = engine.recommend_batch("tenant", &contexts).unwrap();
+        let outcomes: Vec<(Ticket, f64)> =
+            issued.iter().map(|(t, r)| (*t, 10.0 + r.arm as f64)).collect();
+        engine.record_batch("tenant", &outcomes).unwrap();
+    }) / batch as f64
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let current: Vec<(&str, f64)> = vec![
+        ("record_m4", bench_record(4)),
+        ("record_m16", bench_record(16)),
+        ("record_m64", bench_record(64)),
+        ("select_m16", bench_select(16)),
+        ("engine_round_b64", bench_engine_round(64)),
+    ];
+
+    let fmt_map = |pairs: &[(&str, f64)]| {
+        pairs.iter().map(|(k, v)| format!("    \"{k}\": {v:.1}")).collect::<Vec<_>>().join(",\n")
+    };
+    let baseline_m16 = BASELINE.iter().find(|(k, _)| *k == "record_m16").expect("key").1;
+    let current_m16 = current.iter().find(|(k, _)| *k == "record_m16").expect("key").1;
+    let json = format!(
+        "{{\n  \"schema\": \"banditware-bench-v1\",\n  \"pr\": 3,\n  \"unit\": \"ns_per_op\",\n  \
+         \"baseline\": {{\n{}\n  }},\n  \"current\": {{\n{}\n  }},\n  \
+         \"speedup_record_m16\": {:.2}\n}}\n",
+        fmt_map(BASELINE),
+        fmt_map(&current),
+        baseline_m16 / current_m16
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

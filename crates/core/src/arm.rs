@@ -17,7 +17,7 @@
 use crate::error::CoreError;
 use crate::Result;
 use banditware_linalg::lstsq::{fit_ols, fit_ridge, LinearFit};
-use banditware_linalg::online::NormalEquations;
+use banditware_linalg::online::{NormalEquations, SolveScratch};
 use banditware_linalg::Matrix;
 
 /// A runtime estimator for one hardware arm.
@@ -58,10 +58,15 @@ fn validate(x: &[f64], n_features: usize, runtime: f64) -> Result<()> {
 
 /// Paper-faithful arm: stores its data `Dᵢ` and refits the full least
 /// squares on every update (Algorithm 1, steps 10–11).
+///
+/// The stored data *is* the design matrix, grown one
+/// [`Matrix::push_row`] per observation — the refit is `O(|Dᵢ|·m²)`
+/// without the `O(|Dᵢ|²·m)` of accumulated row-by-row rebuild copies the
+/// naive formulation pays.
 #[derive(Debug, Clone)]
 pub struct LinearArm {
     n_features: usize,
-    xs: Vec<Vec<f64>>,
+    design: Matrix,
     ys: Vec<f64>,
     current: LinearFit,
 }
@@ -71,15 +76,16 @@ impl LinearArm {
     pub fn new(n_features: usize) -> Self {
         LinearArm {
             n_features,
-            xs: Vec::new(),
+            design: Matrix::zeros(0, n_features),
             ys: Vec::new(),
             current: LinearFit::zeros(n_features),
         }
     }
 
-    /// Borrow the stored observations `(contexts, runtimes)`.
-    pub fn data(&self) -> (&[Vec<f64>], &[f64]) {
-        (&self.xs, &self.ys)
+    /// Borrow the stored observations: the design matrix (one context per
+    /// row) and the runtimes.
+    pub fn data(&self) -> (&Matrix, &[f64]) {
+        (&self.design, &self.ys)
     }
 }
 
@@ -98,13 +104,9 @@ impl ArmEstimator for LinearArm {
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         validate(x, self.n_features, runtime)?;
-        self.xs.push(x.to_vec());
+        self.design.push_row(x).expect("validated arity");
         self.ys.push(runtime);
-        let mut design = Matrix::zeros(0, 0);
-        for row in &self.xs {
-            design.push_row(row).expect("stored rows share arity");
-        }
-        self.current = fit_ols(&design, &self.ys)?;
+        self.current = fit_ols(&self.design, &self.ys)?;
         Ok(())
     }
 
@@ -113,18 +115,24 @@ impl ArmEstimator for LinearArm {
     }
 
     fn reset(&mut self) {
-        self.xs.clear();
+        self.design = Matrix::zeros(0, self.n_features);
         self.ys.clear();
         self.current = LinearFit::zeros(self.n_features);
     }
 }
 
-/// Incremental arm: normal-equation sufficient statistics, O(m²) per update.
+/// Incremental arm: normal-equation sufficient statistics with an
+/// incrementally maintained Cholesky factor — O(m²) per update and, in
+/// steady state, **zero heap allocations**: the arm owns one
+/// [`SolveScratch`] workspace and the refit writes into the existing
+/// [`LinearFit`] via [`NormalEquations::solve_into`]. Only the very first
+/// refit (and refits after a `reset`) pays a full factorization.
 #[derive(Debug, Clone)]
 pub struct RecursiveArm {
     acc: NormalEquations,
     ridge: f64,
     current: LinearFit,
+    scratch: SolveScratch,
 }
 
 impl RecursiveArm {
@@ -139,6 +147,7 @@ impl RecursiveArm {
             acc: NormalEquations::new(n_features),
             ridge: lambda.max(0.0),
             current: LinearFit::zeros(n_features),
+            scratch: SolveScratch::for_features(n_features),
         }
     }
 }
@@ -159,7 +168,7 @@ impl ArmEstimator for RecursiveArm {
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         validate(x, self.acc.n_features(), runtime)?;
         self.acc.push(x, runtime)?;
-        self.current = self.acc.solve(self.ridge)?;
+        self.acc.solve_into(self.ridge, &mut self.scratch, &mut self.current)?;
         Ok(())
     }
 
@@ -318,7 +327,7 @@ mod tests {
         assert!((f.intercept - 10.0).abs() < 1e-8);
         assert!((arm.predict(&[10.0, 1.0]) - 42.0).abs() < 1e-6);
         let (xs, ys) = arm.data();
-        assert_eq!(xs.len(), 15);
+        assert_eq!(xs.rows(), 15);
         assert_eq!(ys.len(), 15);
     }
 

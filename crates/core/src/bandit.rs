@@ -226,15 +226,17 @@ impl<P: Policy> BanditWare<P> {
     ) -> Result<Vec<(Ticket, Recommendation)>> {
         let refs: Vec<&[f64]> = contexts.iter().map(Vec::as_slice).collect();
         let sels = self.policy.select_batch(&refs)?;
-        Ok(sels
-            .into_iter()
-            .zip(contexts)
-            .map(|(sel, x)| {
-                let rec = self.recommendation_for(sel.arm, sel.explored, x);
-                let ticket = self.issue_ticket(sel.arm, x.clone(), sel.explored);
-                (ticket, rec)
-            })
-            .collect())
+        // Single-allocation burst path: the result vector is sized up
+        // front; the per-round work below is ticket bookkeeping only (the
+        // remembered features and the recommendation's display name are the
+        // two owned values the API hands out).
+        let mut out = Vec::with_capacity(sels.len());
+        for (sel, x) in sels.into_iter().zip(contexts) {
+            let rec = self.recommendation_for(sel.arm, sel.explored, x);
+            let ticket = self.issue_ticket(sel.arm, x.clone(), sel.explored);
+            out.push((ticket, rec));
+        }
+        Ok(out)
     }
 
     /// Record the observed runtime of an in-flight round. Tickets may be

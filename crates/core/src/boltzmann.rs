@@ -11,6 +11,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Softmax/Boltzmann contextual policy over linear arms.
+///
+/// Selection reuses one policy-owned weight buffer for the softmax, so the
+/// hot path allocates nothing (the public [`Boltzmann::probabilities`]
+/// accessor still returns a fresh vector).
 #[derive(Debug, Clone)]
 pub struct Boltzmann {
     arms: Vec<RecursiveArm>,
@@ -22,6 +26,8 @@ pub struct Boltzmann {
     min_temperature: f64,
     rng: StdRng,
     seed: u64,
+    /// Scratch: per-arm predictions → softmax weights → probabilities.
+    probs: Vec<f64>,
 }
 
 impl Boltzmann {
@@ -58,6 +64,7 @@ impl Boltzmann {
                 detail: format!("must be in (0, 1], got {decay}"),
             });
         }
+        let probs = vec![0.0; specs.len()];
         Ok(Boltzmann {
             arms: (0..specs.len()).map(|_| RecursiveArm::new(n_features)).collect(),
             specs,
@@ -68,6 +75,7 @@ impl Boltzmann {
             min_temperature: 1e-6,
             rng: StdRng::seed_from_u64(seed),
             seed,
+            probs,
         })
     }
 
@@ -83,12 +91,28 @@ impl Boltzmann {
     /// [`CoreError::FeatureDimMismatch`].
     pub fn probabilities(&self, x: &[f64]) -> Result<Vec<f64>> {
         check_features(x, self.n_features)?;
-        let preds: Vec<f64> = self.arms.iter().map(|a| a.predict(x)).collect();
-        let t = self.temperature.max(self.min_temperature);
-        let min_pred = preds.iter().cloned().fold(f64::INFINITY, f64::min);
-        let weights: Vec<f64> = preds.iter().map(|&p| (-(p - min_pred) / t).exp()).collect();
-        let z: f64 = weights.iter().sum();
-        Ok(weights.into_iter().map(|w| w / z).collect())
+        let mut out = vec![0.0; self.arms.len()];
+        Self::softmax_into(&self.arms, self.temperature.max(self.min_temperature), x, &mut out);
+        Ok(out)
+    }
+
+    /// The one softmax: predictions written in place, exponentiated in
+    /// place, normalized in place. Shared by the public
+    /// [`Boltzmann::probabilities`] accessor and the allocation-free
+    /// `select` path so the sampling distribution can never diverge from
+    /// what the accessor reports.
+    fn softmax_into(arms: &[RecursiveArm], t: f64, x: &[f64], out: &mut [f64]) {
+        for (p, a) in out.iter_mut().zip(arms) {
+            *p = a.predict(x);
+        }
+        let min_pred = out.iter().cloned().fold(f64::INFINITY, f64::min);
+        for p in out.iter_mut() {
+            *p = (-(*p - min_pred) / t).exp();
+        }
+        let z: f64 = out.iter().sum();
+        for p in out.iter_mut() {
+            *p /= z;
+        }
     }
 }
 
@@ -106,7 +130,15 @@ impl Policy for Boltzmann {
     }
 
     fn select(&mut self, x: &[f64]) -> Result<Selection> {
-        let probs = self.probabilities(x)?;
+        check_features(x, self.n_features)?;
+        // Same softmax as `probabilities`, into the policy's own buffer.
+        Self::softmax_into(
+            &self.arms,
+            self.temperature.max(self.min_temperature),
+            x,
+            &mut self.probs,
+        );
+        let probs = &self.probs;
         let u: f64 = self.rng.gen();
         let mut cum = 0.0;
         let mut pick = probs.len() - 1;
@@ -117,7 +149,7 @@ impl Policy for Boltzmann {
                 break;
             }
         }
-        let greedy = banditware_linalg::vector::argmax(&probs).unwrap_or(pick);
+        let greedy = banditware_linalg::vector::argmax(probs).unwrap_or(pick);
         Ok(Selection { arm: pick, explored: pick != greedy })
     }
 

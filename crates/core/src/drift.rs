@@ -7,9 +7,15 @@
 //! don't:
 //!
 //! * [`DiscountedArm`] — exponentially weighted least squares (effective
-//!   memory `1/(1−γ)` observations), O(m²) per update.
-//! * [`WindowedArm`] — exact refit over a sliding window of the last `w`
-//!   observations.
+//!   memory `1/(1−γ)` observations), O(m²) per update: the discount scales
+//!   the maintained Cholesky factor exactly (`L ← √γ·L`), so no
+//!   re-factorization ever happens on this path.
+//! * [`WindowedArm`] — least squares over a sliding window of the last `w`
+//!   observations, maintained by [`NormalEquations::push`] +
+//!   [`NormalEquations::forget`] (rank-1 update + downdate), O(m²)
+//!   amortized instead of an exact O(w·m²) refit per round; a downdate
+//!   that loses positive definiteness transparently falls back to a full
+//!   re-factorization.
 //!
 //! Both plug into [`crate::DecayingEpsilonGreedy`] via
 //! [`DecayingEpsilonGreedy::with_arms`](crate::DecayingEpsilonGreedy::with_arms),
@@ -18,9 +24,8 @@
 use crate::arm::ArmEstimator;
 use crate::error::CoreError;
 use crate::Result;
-use banditware_linalg::lstsq::{fit_ols, LinearFit};
-use banditware_linalg::online::NormalEquations;
-use banditware_linalg::Matrix;
+use banditware_linalg::lstsq::LinearFit;
+use banditware_linalg::online::{NormalEquations, SolveScratch};
 use std::collections::VecDeque;
 
 fn validate(x: &[f64], n_features: usize, runtime: f64) -> Result<()> {
@@ -39,6 +44,7 @@ pub struct DiscountedArm {
     acc: NormalEquations,
     gamma: f64,
     current: LinearFit,
+    scratch: SolveScratch,
 }
 
 impl DiscountedArm {
@@ -58,6 +64,7 @@ impl DiscountedArm {
             acc: NormalEquations::new(n_features),
             gamma,
             current: LinearFit::zeros(n_features),
+            scratch: SolveScratch::for_features(n_features),
         })
     }
 
@@ -93,7 +100,7 @@ impl ArmEstimator for DiscountedArm {
         validate(x, self.acc.n_features(), runtime)?;
         self.acc.discount(self.gamma);
         self.acc.push(x, runtime)?;
-        self.current = self.acc.solve(0.0)?;
+        self.acc.solve_into(0.0, &mut self.scratch, &mut self.current)?;
         Ok(())
     }
 
@@ -107,15 +114,18 @@ impl ArmEstimator for DiscountedArm {
     }
 }
 
-/// Exact least squares over a sliding window of the most recent
-/// observations.
+/// Least squares over a sliding window of the most recent observations,
+/// maintained incrementally: entering rounds are rank-1 *updates*, expiring
+/// rounds rank-1 *downdates* of the same normal-equations factor.
 #[derive(Debug, Clone)]
 pub struct WindowedArm {
     n_features: usize,
     window: VecDeque<(Vec<f64>, f64)>,
     capacity: usize,
     total_seen: usize,
+    acc: NormalEquations,
     current: LinearFit,
+    scratch: SolveScratch,
 }
 
 impl WindowedArm {
@@ -135,7 +145,9 @@ impl WindowedArm {
             window: VecDeque::with_capacity(capacity),
             capacity,
             total_seen: 0,
+            acc: NormalEquations::new(n_features),
             current: LinearFit::zeros(n_features),
+            scratch: SolveScratch::for_features(n_features),
         })
     }
 
@@ -166,17 +178,13 @@ impl ArmEstimator for WindowedArm {
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         validate(x, self.n_features, runtime)?;
         if self.window.len() == self.capacity {
-            self.window.pop_front();
+            let (old_x, old_y) = self.window.pop_front().expect("window is full");
+            self.acc.forget(&old_x, old_y)?;
         }
         self.window.push_back((x.to_vec(), runtime));
+        self.acc.push(x, runtime)?;
         self.total_seen += 1;
-        let mut design = Matrix::zeros(0, 0);
-        let mut ys = Vec::with_capacity(self.window.len());
-        for (xi, yi) in &self.window {
-            design.push_row(xi).expect("window rows share arity");
-            ys.push(*yi);
-        }
-        self.current = fit_ols(&design, &ys)?;
+        self.acc.solve_into(0.0, &mut self.scratch, &mut self.current)?;
         Ok(())
     }
 
@@ -187,6 +195,7 @@ impl ArmEstimator for WindowedArm {
     fn reset(&mut self) {
         self.window.clear();
         self.total_seen = 0;
+        self.acc.clear();
         self.current = LinearFit::zeros(self.n_features);
     }
 }

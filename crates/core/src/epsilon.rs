@@ -57,6 +57,11 @@ pub struct DecayingEpsilonGreedy<A: ArmEstimator> {
     epsilon: f64,
     rng: StdRng,
     n_features: usize,
+    /// Resource costs cached from `specs` at construction (tolerant
+    /// selection reads them every exploit round).
+    costs: Vec<f64>,
+    /// Reusable per-arm prediction buffer: `select` allocates nothing.
+    preds: Vec<f64>,
 }
 
 /// The default instantiation (incremental arms).
@@ -101,7 +106,9 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
             return Err(CoreError::NoArms);
         }
         config.validate()?;
-        let arms = (0..specs.len()).map(|_| factory(n_features)).collect();
+        let arms: Vec<A> = (0..specs.len()).map(|_| factory(n_features)).collect();
+        let costs: Vec<f64> = specs.iter().map(|s| s.resource_cost).collect();
+        let preds = vec![0.0; specs.len()];
         Ok(DecayingEpsilonGreedy {
             arms,
             specs,
@@ -109,6 +116,8 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
             rng: StdRng::seed_from_u64(config.seed),
             config,
             n_features,
+            costs,
+            preds,
         })
     }
 
@@ -146,8 +155,7 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
     pub fn exploit(&self, x: &[f64]) -> Result<usize> {
         check_features(x, self.n_features)?;
         let preds: Vec<f64> = self.arms.iter().map(|a| a.predict(x)).collect();
-        let costs: Vec<f64> = self.specs.iter().map(|s| s.resource_cost).collect();
-        tolerant_select(&preds, &costs, self.config.tolerance)
+        tolerant_select(&preds, &self.costs, self.config.tolerance)
     }
 }
 
@@ -171,8 +179,13 @@ impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
             let arm = self.rng.gen_range(0..self.arms.len());
             return Ok(Selection { arm, explored: true });
         }
-        // Step 7: tolerant selection over current predictions.
-        Ok(Selection { arm: self.exploit(x)?, explored: false })
+        // Step 7: tolerant selection over current predictions, written into
+        // the policy's own buffer — the exploit path allocates nothing.
+        for (p, a) in self.preds.iter_mut().zip(&self.arms) {
+            *p = a.predict(x);
+        }
+        let arm = tolerant_select(&self.preds, &self.costs, self.config.tolerance)?;
+        Ok(Selection { arm, explored: false })
     }
 
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {

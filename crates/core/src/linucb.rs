@@ -14,6 +14,11 @@ use banditware_linalg::online::RankOneInverse;
 use banditware_linalg::vector;
 
 /// LinUCB policy (minimization form).
+///
+/// The point estimates `θᵢ` are cached (recomputed only when an arm
+/// observes), and the augmented context / `A⁻¹z` intermediates live in
+/// per-policy scratch buffers — the select and observe hot paths perform
+/// zero heap allocations.
 #[derive(Debug, Clone)]
 pub struct LinUcb {
     arms: Vec<RankOneInverse>,
@@ -25,6 +30,10 @@ pub struct LinUcb {
     alpha: f64,
     /// Ridge prior λ for each arm's design matrix.
     lambda: f64,
+    /// Scratch: augmented context `z = [1, x]`.
+    z: Vec<f64>,
+    /// Scratch: `A⁻¹z` for the confidence widths.
+    az: Vec<f64>,
 }
 
 impl LinUcb {
@@ -62,6 +71,8 @@ impl LinUcb {
             n_features,
             alpha,
             lambda,
+            z: vec![0.0; dim],
+            az: vec![0.0; dim],
         })
     }
 
@@ -80,9 +91,24 @@ impl LinUcb {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;
         let z = Self::augment(x);
-        let mean = vector::dot(&self.thetas[arm], &z);
-        let width = self.arms[arm].quad_form(&z)?.max(0.0).sqrt();
-        Ok(mean - self.alpha * width)
+        let mut az = Vec::with_capacity(z.len());
+        Self::mean_and_lcb(&self.arms[arm], &self.thetas[arm], self.alpha, &z, &mut az)
+            .map(|(_, lcb)| lcb)
+    }
+
+    /// The one LCB formula, shared by the public [`LinUcb::lcb`] accessor
+    /// and the allocation-free `select` loop: `θᵀz − α·√(max(0, zᵀA⁻¹z))`,
+    /// returned alongside the mean so `select` can track the greedy arm.
+    fn mean_and_lcb(
+        arm: &RankOneInverse,
+        theta: &[f64],
+        alpha: f64,
+        z: &[f64],
+        az: &mut Vec<f64>,
+    ) -> Result<(f64, f64)> {
+        let mean = vector::dot(theta, z);
+        let width = arm.quad_form_with(z, az)?.max(0.0).sqrt();
+        Ok((mean, mean - alpha * width))
     }
 }
 
@@ -101,20 +127,31 @@ impl Policy for LinUcb {
 
     fn select(&mut self, x: &[f64]) -> Result<Selection> {
         check_features(x, self.n_features)?;
+        self.z[0] = 1.0;
+        self.z[1..].copy_from_slice(x);
+        let LinUcb { arms, thetas, alpha, z, az, .. } = self;
         let mut best = 0usize;
         let mut best_lcb = f64::INFINITY;
-        for i in 0..self.arms.len() {
-            let l = self.lcb(i, x)?;
-            if l < best_lcb {
-                best_lcb = l;
+        // Greedy tracker mirrors `vector::argmin` over the means (first
+        // minimum wins, NaNs lose every comparison).
+        let mut greedy: Option<(usize, f64)> = None;
+        for (i, (arm, theta)) in arms.iter().zip(thetas.iter()).enumerate() {
+            let (mean, lcb) = Self::mean_and_lcb(arm, theta, *alpha, z, az)?;
+            if lcb < best_lcb {
+                best_lcb = lcb;
                 best = i;
+            }
+            if !mean.is_nan() {
+                match greedy {
+                    Some((_, gv)) if gv <= mean => {}
+                    _ => greedy = Some((i, mean)),
+                }
             }
         }
         // LinUCB is deterministic: "exploration" is implicit in the width
         // term, so we report explored = (the chosen arm has fewer pulls than
         // the max) only when its mean was not actually the lowest.
-        let preds = self.predict_all(x)?;
-        let greedy = vector::argmin(&preds).unwrap_or(best);
+        let greedy = greedy.map_or(best, |(i, _)| i);
         Ok(Selection { arm: best, explored: best != greedy })
     }
 
@@ -124,10 +161,12 @@ impl Policy for LinUcb {
         if !runtime.is_finite() || runtime <= 0.0 {
             return Err(CoreError::InvalidRuntime(runtime));
         }
-        let z = Self::augment(x);
-        self.arms[arm].push(&z, runtime)?;
-        self.thetas[arm] = self.arms[arm].theta()?;
-        self.pulls[arm] += 1;
+        self.z[0] = 1.0;
+        self.z[1..].copy_from_slice(x);
+        let LinUcb { arms, thetas, pulls, z, .. } = self;
+        arms[arm].push(z, runtime)?;
+        arms[arm].theta_into(&mut thetas[arm])?;
+        pulls[arm] += 1;
         Ok(())
     }
 

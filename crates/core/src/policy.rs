@@ -115,6 +115,21 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
         (0..self.n_arms()).map(|a| self.predict(a, x)).collect()
     }
 
+    /// [`Policy::predict_all`] into a caller-owned buffer (cleared first)
+    /// so per-round scoring loops don't allocate a fresh vector per call.
+    ///
+    /// # Errors
+    /// Propagates [`Policy::predict`]; on error the buffer holds the
+    /// predictions made so far.
+    fn predict_all_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.reserve(self.n_arms());
+        for a in 0..self.n_arms() {
+            out.push(self.predict(a, x)?);
+        }
+        Ok(())
+    }
+
     /// Observations absorbed per arm.
     fn pulls(&self) -> Vec<usize>;
 
@@ -159,6 +174,10 @@ impl Policy for Box<dyn Policy> {
 
     fn predict_all(&self, x: &[f64]) -> Result<Vec<f64>> {
         (**self).predict_all(x)
+    }
+
+    fn predict_all_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        (**self).predict_all_into(x, out)
     }
 
     fn pulls(&self) -> Vec<usize> {

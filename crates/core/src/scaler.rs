@@ -56,25 +56,43 @@ impl StandardScaler {
     /// # Errors
     /// [`CoreError::FeatureDimMismatch`].
     pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.len());
+        self.transform_extend(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`StandardScaler::transform`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free hot-path variant.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        self.transform_extend(x, out)
+    }
+
+    /// [`StandardScaler::transform`] *appended* to a caller-owned buffer —
+    /// lets batch paths standardize a burst into one flat allocation.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn transform_extend(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if x.len() != self.dims.len() {
             return Err(CoreError::FeatureDimMismatch { got: x.len(), expected: self.dims.len() });
         }
         if self.n_obs() == 0 {
-            return Ok(x.to_vec());
+            out.extend_from_slice(x);
+            return Ok(());
         }
-        Ok(self
-            .dims
-            .iter()
-            .zip(x)
-            .map(|(w, &v)| {
-                let sd = w.std_dev();
-                if sd > 0.0 {
-                    (v - w.mean()) / sd
-                } else {
-                    0.0
-                }
-            })
-            .collect())
+        out.extend(self.dims.iter().zip(x).map(|(w, &v)| {
+            let sd = w.std_dev();
+            if sd > 0.0 {
+                (v - w.mean()) / sd
+            } else {
+                0.0
+            }
+        }));
+        Ok(())
     }
 
     /// Per-feature means.
@@ -104,13 +122,24 @@ impl StandardScaler {
 pub struct ScaledPolicy<P: Policy> {
     inner: P,
     scaler: StandardScaler,
+    /// Scratch: one standardized context (select/observe scale in place
+    /// here instead of allocating a fresh vector per call).
+    zbuf: Vec<f64>,
+    /// Scratch: a whole standardized batch, flattened (one allocation-free
+    /// buffer instead of one vector per request).
+    flat: Vec<f64>,
 }
 
 impl<P: Policy> ScaledPolicy<P> {
     /// Wrap a policy.
     pub fn new(inner: P) -> Self {
         let n = inner.n_features();
-        ScaledPolicy { inner, scaler: StandardScaler::new(n) }
+        ScaledPolicy {
+            inner,
+            scaler: StandardScaler::new(n),
+            zbuf: Vec::with_capacity(n),
+            flat: Vec::new(),
+        }
     }
 
     /// The wrapped policy.
@@ -138,9 +167,10 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
     }
 
     fn select(&mut self, x: &[f64]) -> Result<Selection> {
-        self.scaler.observe(x)?;
-        let z = self.scaler.transform(x)?;
-        self.inner.select(&z)
+        let ScaledPolicy { inner, scaler, zbuf, .. } = self;
+        scaler.observe(x)?;
+        scaler.transform_into(x, zbuf)?;
+        inner.select(zbuf)
     }
 
     fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
@@ -148,21 +178,31 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         // then transform them all against the same (post-batch) statistics.
         // Every request in a batch is standardized identically, and the
         // scaler is updated once instead of interleaved with selections.
+        // The standardized burst lives flattened in one reused buffer.
+        let ScaledPolicy { inner, scaler, flat, .. } = self;
         for x in xs {
-            self.scaler.observe(x)?;
+            scaler.observe(x)?;
         }
-        let zs: Vec<Vec<f64>> =
-            xs.iter().map(|x| self.scaler.transform(x)).collect::<Result<_>>()?;
-        let refs: Vec<&[f64]> = zs.iter().map(Vec::as_slice).collect();
-        self.inner.select_batch(&refs)
+        flat.clear();
+        for x in xs {
+            scaler.transform_extend(x, flat)?;
+        }
+        let n = scaler.n_features();
+        let refs: Vec<&[f64]> = if n == 0 {
+            xs.iter().map(|_| &[] as &[f64]).collect()
+        } else {
+            flat.chunks_exact(n).collect()
+        };
+        inner.select_batch(&refs)
     }
 
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         // The matching select/select_batch already absorbed this context;
         // only transform here. Contexts arriving *without* a selection go
         // through warm_start below.
-        let z = self.scaler.transform(x)?;
-        self.inner.observe(arm, &z, runtime)
+        let ScaledPolicy { inner, scaler, zbuf, .. } = self;
+        scaler.transform_into(x, zbuf)?;
+        inner.observe(arm, zbuf, runtime)
     }
 
     fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
@@ -170,9 +210,10 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         // context, so absorb it first — a replayed recommender rebuilds the
         // same standardization statistics the live one accumulated, in the
         // same absorb-then-transform order per context.
-        self.scaler.observe(x)?;
-        let z = self.scaler.transform(x)?;
-        self.inner.warm_start(arm, &z, runtime)
+        let ScaledPolicy { inner, scaler, zbuf, .. } = self;
+        scaler.observe(x)?;
+        scaler.transform_into(x, zbuf)?;
+        inner.warm_start(arm, zbuf, runtime)
     }
 
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {

@@ -15,6 +15,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Linear-Gaussian Thompson sampling.
+///
+/// All per-round intermediates — the augmented context, the scaled
+/// covariance, its Cholesky factor, the Gaussian draw and the sampled
+/// weight vector — live in policy-owned scratch buffers, so steady-state
+/// `select`/`observe` perform zero heap allocations (the rare
+/// collapsed-covariance jitter fallback is the only allocating escape
+/// hatch).
 #[derive(Debug, Clone)]
 pub struct LinThompson {
     arms: Vec<RankOneInverse>,
@@ -29,6 +36,16 @@ pub struct LinThompson {
     scale: f64,
     rng: StdRng,
     seed: u64,
+    /// Scratch: augmented context `z = [1, x]`.
+    z: Vec<f64>,
+    /// Scratch: posterior covariance σ̂²A⁻¹ of the arm being sampled.
+    cov: Matrix,
+    /// Scratch: Cholesky factor of the covariance.
+    cov_l: Matrix,
+    /// Scratch: standard-normal draw ξ.
+    xi: Vec<f64>,
+    /// Scratch: sampled weights θ̃ = θ̂ + Lξ.
+    draw: Vec<f64>,
 }
 
 impl LinThompson {
@@ -75,6 +92,11 @@ impl LinThompson {
             scale,
             rng: StdRng::seed_from_u64(seed),
             seed,
+            z: vec![0.0; dim],
+            cov: Matrix::zeros(dim, dim),
+            cov_l: Matrix::zeros(dim, dim),
+            xi: vec![0.0; dim],
+            draw: vec![0.0; dim],
         })
     }
 
@@ -97,28 +119,32 @@ impl LinThompson {
         var.sqrt() * 0.1 + 1e-3
     }
 
-    /// Draw θ̃ for one arm.
-    fn sample_theta(&mut self, arm: usize) -> Result<Vec<f64>> {
+    /// Draw θ̃ for one arm into the `draw` scratch buffer.
+    fn sample_theta_into_scratch(&mut self, arm: usize) -> Result<()> {
         let dim = self.n_features + 1;
-        let a_inv = self.arms[arm].a_inv().clone();
-        // Cholesky of the covariance σ²·A⁻¹ (A⁻¹ is SPD by construction).
-        let mut cov: Matrix = a_inv;
+        // Cholesky of the covariance σ²·A⁻¹ (A⁻¹ is SPD by construction),
+        // built and factorized entirely inside the policy's scratch.
         let sigma = self.sigma(arm) * self.scale;
-        cov.scale_mut(sigma * sigma);
-        // Guard against a fully-collapsed covariance.
-        let (ch, _) = Cholesky::decompose_jittered(&cov, 1e-12, 12)?;
-        let xi: Vec<f64> =
-            (0..dim).map(|_| banditware_workload_free_gaussian(&mut self.rng)).collect();
-        let l = ch.l();
-        let mut theta = self.thetas[arm].clone();
+        self.cov.copy_from(self.arms[arm].a_inv());
+        self.cov.scale_mut(sigma * sigma);
+        if Cholesky::factor_into(&self.cov, &mut self.cov_l).is_err() {
+            // Guard against a fully-collapsed covariance (e.g. scale = 0):
+            // the rare allocating fallback, mirroring `decompose_jittered`.
+            let (ch, _) = Cholesky::decompose_jittered(&self.cov, 1e-12, 12)?;
+            self.cov_l.copy_from(ch.l());
+        }
+        for xi in &mut self.xi {
+            *xi = banditware_workload_free_gaussian(&mut self.rng);
+        }
+        self.draw.copy_from_slice(&self.thetas[arm]);
         for i in 0..dim {
             let mut s = 0.0;
             for j in 0..=i {
-                s += l[(i, j)] * xi[j];
+                s += self.cov_l[(i, j)] * self.xi[j];
             }
-            theta[i] += s;
+            self.draw[i] += s;
         }
-        Ok(theta)
+        Ok(())
     }
 }
 
@@ -145,19 +171,28 @@ impl Policy for LinThompson {
 
     fn select(&mut self, x: &[f64]) -> Result<Selection> {
         check_features(x, self.n_features)?;
-        let z = Self::augment(x);
+        self.z[0] = 1.0;
+        self.z[1..].copy_from_slice(x);
         let mut best = 0;
         let mut best_draw = f64::INFINITY;
+        // Greedy tracker mirrors `vector::argmin` over the posterior means.
+        let mut greedy: Option<(usize, f64)> = None;
         for arm in 0..self.arms.len() {
-            let theta = self.sample_theta(arm)?;
-            let draw = vector::dot(&theta, &z);
+            self.sample_theta_into_scratch(arm)?;
+            let draw = vector::dot(&self.draw, &self.z);
             if draw < best_draw {
                 best_draw = draw;
                 best = arm;
             }
+            let mean = vector::dot(&self.thetas[arm], &self.z);
+            if !mean.is_nan() {
+                match greedy {
+                    Some((_, gv)) if gv <= mean => {}
+                    _ => greedy = Some((arm, mean)),
+                }
+            }
         }
-        let preds = self.predict_all(x)?;
-        let greedy = vector::argmin(&preds).unwrap_or(best);
+        let greedy = greedy.map_or(best, |(i, _)| i);
         Ok(Selection { arm: best, explored: best != greedy })
     }
 
@@ -167,11 +202,13 @@ impl Policy for LinThompson {
         if !runtime.is_finite() || runtime <= 0.0 {
             return Err(CoreError::InvalidRuntime(runtime));
         }
-        let z = Self::augment(x);
-        self.arms[arm].push(&z, runtime)?;
-        self.thetas[arm] = self.arms[arm].theta()?;
-        self.sum_sq[arm] += runtime * runtime;
-        self.pulls[arm] += 1;
+        self.z[0] = 1.0;
+        self.z[1..].copy_from_slice(x);
+        let LinThompson { arms, thetas, sum_sq, pulls, z, .. } = self;
+        arms[arm].push(z, runtime)?;
+        arms[arm].theta_into(&mut thetas[arm])?;
+        sum_sq[arm] += runtime * runtime;
+        pulls[arm] += 1;
         Ok(())
     }
 

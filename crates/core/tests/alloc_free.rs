@@ -1,0 +1,176 @@
+//! The PR-3 acceptance gate: the steady-state record path performs **zero
+//! heap allocations**, verified by a counting global allocator.
+//!
+//! Everything is asserted from a single `#[test]` so no sibling test thread
+//! can pollute the process-wide counter.
+
+use banditware_core::arm::{ArmEstimator, RecursiveArm};
+use banditware_core::boltzmann::Boltzmann;
+use banditware_core::drift::DiscountedArm;
+use banditware_core::linucb::LinUcb;
+use banditware_core::scaler::ScaledPolicy;
+use banditware_core::thompson::LinThompson;
+use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// Counting requires delegating to the system allocator, which is inherently
+// `unsafe`; the arithmetic around it is a single relaxed atomic increment.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic pseudo-context without touching the heap.
+fn fill_context(buf: &mut [f64], round: usize) {
+    for (j, v) in buf.iter_mut().enumerate() {
+        *v = ((round * 31 + j * 7) % 97) as f64 * 0.5 + 0.1;
+    }
+}
+
+/// Run `op` for `rounds` rounds and return the number of heap allocations
+/// it performed.
+fn count_allocs(rounds: usize, mut op: impl FnMut(usize)) -> u64 {
+    let before = allocations();
+    for round in 0..rounds {
+        op(round);
+    }
+    allocations() - before
+}
+
+#[test]
+fn steady_state_record_path_is_allocation_free() {
+    const M: usize = 16;
+    let mut x = vec![0.0; M];
+
+    // --- RecursiveArm::update: the acceptance criterion itself. ---
+    let mut arm = RecursiveArm::new(M);
+    for round in 0..200 {
+        fill_context(&mut x, round);
+        arm.update(&x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    let n = count_allocs(100, |round| {
+        fill_context(&mut x, 200 + round);
+        arm.update(&x, 42.0).unwrap();
+    });
+    assert_eq!(n, 0, "RecursiveArm::update allocated {n} times in 100 steady-state rounds");
+
+    // --- DiscountedArm (the exponential-discount path): γ-scaling must
+    // keep the factor live, so updates stay allocation-free too. ---
+    let mut arm = DiscountedArm::new(M, 0.95).unwrap();
+    for round in 0..200 {
+        fill_context(&mut x, round);
+        arm.update(&x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    let n = count_allocs(100, |round| {
+        fill_context(&mut x, 200 + round);
+        arm.update(&x, 42.0).unwrap();
+    });
+    assert_eq!(n, 0, "DiscountedArm::update allocated {n} times in 100 steady-state rounds");
+
+    // --- ε-greedy select+observe (the serving default, Algorithm 1). ---
+    let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(5),
+        M,
+        BanditConfig::paper().with_epsilon0(0.1).with_seed(7),
+    )
+    .unwrap();
+    for round in 0..100 {
+        fill_context(&mut x, round);
+        policy.observe(round % 5, &x, 10.0 + (round % 17) as f64).unwrap();
+    }
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 100 + round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 17) as f64).unwrap();
+    });
+    assert_eq!(n, 0, "ε-greedy select+observe allocated {n} times in 200 steady-state rounds");
+
+    // --- Scaled ε-greedy: the standardization wrapper scales in place. ---
+    let mut policy = ScaledPolicy::new(
+        DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(4),
+            M,
+            BanditConfig::paper().with_epsilon0(0.1).with_seed(8),
+        )
+        .unwrap(),
+    );
+    for round in 0..100 {
+        fill_context(&mut x, round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 11) as f64).unwrap();
+    }
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 100 + round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 11) as f64).unwrap();
+    });
+    assert_eq!(n, 0, "scaled ε-greedy allocated {n} times in 200 steady-state rounds");
+
+    // --- LinUCB select+observe. ---
+    let mut policy = LinUcb::new(ArmSpec::unit_costs(5), M, 1.0, 1.0).unwrap();
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        policy.observe(round % 5, &x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 50 + round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 13) as f64).unwrap();
+    });
+    assert_eq!(n, 0, "LinUCB select+observe allocated {n} times in 200 steady-state rounds");
+
+    // --- Thompson sampling select+observe. ---
+    let mut policy = LinThompson::new(ArmSpec::unit_costs(4), M, 1.0, 1.0, 9).unwrap();
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        policy.observe(round % 4, &x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    let n = count_allocs(100, |round| {
+        fill_context(&mut x, 50 + round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 13) as f64).unwrap();
+    });
+    assert_eq!(n, 0, "Thompson select+observe allocated {n} times in 100 steady-state rounds");
+
+    // --- Boltzmann select+observe. ---
+    let mut policy = Boltzmann::new(ArmSpec::unit_costs(5), M, 10.0, 0.999, 3).unwrap();
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        policy.observe(round % 5, &x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 50 + round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 13) as f64).unwrap();
+    });
+    assert_eq!(n, 0, "Boltzmann select+observe allocated {n} times in 200 steady-state rounds");
+}

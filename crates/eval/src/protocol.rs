@@ -269,6 +269,11 @@ where
     let hardware = &trace.hardware;
     let mut traj = SimTrajectory::default();
     let mut cum_regret = 0.0;
+    // Scoring scratch, reused across every round of the simulation: the
+    // per-round RMSE/accuracy sweeps are the eval loop's hot path.
+    let mut preds: Vec<f64> = Vec::with_capacity(eval_rows.features.len());
+    let mut all_preds: Vec<f64> = Vec::with_capacity(hardware.len());
+    let mut expected: Vec<f64> = vec![0.0; hardware.len()];
 
     let mut round = 0;
     while round < cfg.n_rounds {
@@ -289,23 +294,26 @@ where
             bandit.record_ticket(*ticket, runtime).expect("observation is valid");
 
             // Regret vs the true fastest choice for this context.
-            let expected: Vec<f64> =
-                hardware.iter().map(|h| model.expected_runtime(h, x)).collect();
+            for (e, h) in expected.iter_mut().zip(hardware) {
+                *e = model.expected_runtime(h, x);
+            }
             let best = expected.iter().cloned().fold(f64::INFINITY, f64::min);
             cum_regret += (expected[rec.arm] - best).max(0.0);
 
-            // Score the current models.
+            // Score the current models (into the reused scratch buffers).
             let policy = bandit.policy();
-            let preds: Vec<f64> = eval_rows
-                .features
-                .iter()
-                .zip(&eval_rows.hardware)
-                .map(|(f, &h)| policy.predict(h, f).expect("arity matches"))
-                .collect();
+            preds.clear();
+            preds.extend(
+                eval_rows
+                    .features
+                    .iter()
+                    .zip(&eval_rows.hardware)
+                    .map(|(f, &h)| policy.predict(h, f).expect("arity matches")),
+            );
             let rmse = crate::metrics::rmse(&preds, &eval_rows.runtime);
             let accuracy = matched.accuracy(cfg.eval_tolerance, |ctx| {
-                let p = policy.predict_all(ctx).expect("arity matches");
-                tolerant_select(&p, costs, cfg.bandit.tolerance).expect("non-empty arms")
+                policy.predict_all_into(ctx, &mut all_preds).expect("arity matches");
+                tolerant_select(&all_preds, costs, cfg.bandit.tolerance).expect("non-empty arms")
             });
 
             traj.rmse.push(rmse);

@@ -26,6 +26,19 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is ≤ 0
     ///   (within a small relative tolerance).
     pub fn decompose(a: &Matrix) -> Result<Self> {
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        Self::factor_into(a, &mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Factorize an SPD matrix into a caller-owned lower-triangular buffer —
+    /// the allocation-free core of [`Cholesky::decompose`]. `l` is resized
+    /// (reusing its buffer when the shape already matches) and fully
+    /// overwritten.
+    ///
+    /// # Errors
+    /// See [`Cholesky::decompose`]; on error `l`'s contents are unspecified.
+    pub fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         if a.rows() != a.cols() {
             return Err(LinalgError::ShapeMismatch(format!(
                 "cholesky requires a square matrix, got {}x{}",
@@ -34,7 +47,7 @@ impl Cholesky {
             )));
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        l.reset_zeroed(n, n);
         // Tolerance scaled to the largest diagonal entry: a pivot this small
         // relative to the matrix is numerically zero.
         let scale = (0..n).fold(f64::MIN_POSITIVE, |m, i| m.max(a[(i, i)].abs()));
@@ -57,7 +70,7 @@ impl Cholesky {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// Factorize `a + jitter·I`, retrying with geometrically growing jitter
@@ -102,37 +115,28 @@ impl Cholesky {
         &self.l
     }
 
+    /// Consume the decomposition into its lower-triangular factor.
+    pub fn into_l(self) -> Matrix {
+        self.l
+    }
+
     /// Solve `A x = b` via forward/back substitution on `L` and `Lᵀ`.
     ///
     /// # Errors
     /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let n = self.l.rows();
-        if b.len() != n {
-            return Err(LinalgError::ShapeMismatch(format!(
-                "solve: rhs of length {} against {n}x{n} system",
-                b.len()
-            )));
-        }
-        // Forward: L y = b
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
-            }
-            y[i] = s / self.l[(i, i)];
-        }
-        // Backward: Lᵀ x = y
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for k in i + 1..n {
-                s -= self.l[(k, i)] * x[k];
-            }
-            x[i] = s / self.l[(i, i)];
-        }
+        let mut x = vec![0.0; b.len()];
+        solve_spd_into(&self.l, b, &mut x)?;
         Ok(x)
+    }
+
+    /// Solve `A x = b` into a caller-owned buffer (no allocation).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` or `x.len()` differ from
+    /// the dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        solve_spd_into(&self.l, b, x)
     }
 
     /// Solve against several right-hand sides stacked as matrix columns.
@@ -169,6 +173,287 @@ impl Cholesky {
     /// `log(det(A))`, computed stably as `2 Σ log(L[i][i])`.
     pub fn log_det(&self) -> f64 {
         (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Forward/back substitution on a raw lower-triangular factor, writing the
+/// solution into `x`. A single output buffer suffices: the forward pass
+/// fills `x` with `y = L⁻¹b`, the backward pass overwrites it in place in
+/// descending order (each step reads `y[i]` before writing `x[i]`, and only
+/// already-final `x[k]`, `k > i`, above it).
+fn solve_spd_into(l: &Matrix, b: &[f64], x: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    if b.len() != n || x.len() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "solve: rhs of length {} (buffer {}) against {n}x{n} system",
+            b.len(),
+            x.len()
+        )));
+    }
+    // Forward: L y = b
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    // Backward: Lᵀ x = y
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in i + 1..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(())
+}
+
+/// A Cholesky factor maintained under rank-1 modifications — the O(m²)
+/// record-path engine.
+///
+/// Where [`Cholesky`] is a one-shot O(m³) factorization,
+/// `UpdatableCholesky` keeps the factor of a *changing* SPD matrix:
+///
+/// * [`UpdatableCholesky::update`] folds `A ← A + wwᵀ` in O(m²) (one new
+///   observation's Gram contribution — the classic `cholupdate`);
+/// * [`UpdatableCholesky::downdate`] removes `A ← A − wwᵀ` via hyperbolic
+///   rotations (sliding-window forgetting); it can legitimately fail when
+///   the result would not be positive definite, in which case the factor is
+///   **invalid** and the caller must re-factorize from scratch;
+/// * [`UpdatableCholesky::scale`] applies `A ← γA` exactly as `L ← √γ·L`
+///   (the exponential-discount path of drift-aware arms).
+///
+/// The struct owns a scratch buffer so the steady-state operations perform
+/// zero heap allocations.
+///
+/// **Representation.** Internally the factor is the root-free `A = LDLᵀ`
+/// with unit-triangular `L` and positive diagonal `D` (the
+/// Gill–Golub–Murray–Saunders form), stored as `Lᵀ` row-major so column `k`
+/// of `L` is a contiguous row slice. This is deliberate hot-path
+/// engineering: the rank-1 sweep needs **no square roots and one division
+/// per column** (a Givens-based `cholupdate` keeps a serialized
+/// sqrt+divide dependency chain that dominates its runtime at bandit
+/// dimensions), the substitutions are division-free against cached `1/dᵢ`,
+/// and `scale` touches only `D` — O(m) instead of O(m²). The classic
+/// Cholesky factor is materialized on demand as `L·√D`.
+#[derive(Debug, Clone)]
+pub struct UpdatableCholesky {
+    /// `Lᵀ` of the unit-triangular `L`, row-major (row `k` = column `k` of
+    /// `L`; diagonal entries are exactly 1 and never read).
+    lt: Matrix,
+    /// The positive diagonal `D`.
+    d: Vec<f64>,
+    /// Cached reciprocals `1/dᵢ` (FP division doesn't pipeline; the hot
+    /// loops multiply by these instead).
+    dinv: Vec<f64>,
+    work: Vec<f64>,
+}
+
+impl UpdatableCholesky {
+    /// Factorize an SPD matrix (see [`Cholesky::decompose`]).
+    ///
+    /// # Errors
+    /// See [`Cholesky::decompose`].
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        Ok(Self::from_factor(Cholesky::decompose(a)?.into_l()))
+    }
+
+    /// Wrap an existing lower-triangular Cholesky factor `L_c` (with
+    /// `A = L_c L_cᵀ`), converting to the internal root-free form.
+    ///
+    /// # Panics
+    /// Panics if `l` is not square (programmer error).
+    pub fn from_factor(l: Matrix) -> Self {
+        assert_eq!(l.rows(), l.cols(), "factor must be square");
+        let n = l.rows();
+        let mut this = UpdatableCholesky {
+            lt: Matrix::zeros(n, n),
+            d: vec![0.0; n],
+            dinv: vec![0.0; n],
+            work: vec![0.0; n],
+        };
+        this.absorb_cholesky(&l);
+        this
+    }
+
+    /// Load `L_c` (classic Cholesky factor) into the `LDLᵀ` buffers:
+    /// `dⱼ = L_c[j][j]²`, `L[i][j] = L_c[i][j]/L_c[j][j]`.
+    fn absorb_cholesky(&mut self, l: &Matrix) {
+        let n = l.rows();
+        for j in 0..n {
+            let pivot = l[(j, j)];
+            let inv_pivot = 1.0 / pivot;
+            self.d[j] = pivot * pivot;
+            self.dinv[j] = inv_pivot * inv_pivot;
+            let row = self.lt.row_mut(j);
+            row[j] = 1.0;
+            for i in j + 1..n {
+                row[i] = l[(i, j)] * inv_pivot;
+            }
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.lt.rows()
+    }
+
+    /// The classic lower-triangular Cholesky factor `L·√D`, materialized
+    /// from the internal root-free storage.
+    pub fn l(&self) -> Matrix {
+        let n = self.lt.rows();
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let root = self.d[j].sqrt();
+            for i in j..n {
+                out[(i, j)] = self.lt[(j, i)] * root;
+            }
+        }
+        out
+    }
+
+    /// Re-factorize from scratch (the fallback after a failed
+    /// [`UpdatableCholesky::downdate`] or a state reset).
+    ///
+    /// # Errors
+    /// See [`Cholesky::decompose`]; on error the factor is invalid.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        // The fallback path may allocate: it only runs on downdate failure
+        // or state resets, never in the steady-state loop.
+        let l = Cholesky::decompose(a)?.into_l();
+        self.absorb_cholesky(&l);
+        Ok(())
+    }
+
+    /// Rank-1 update `A ← A + wwᵀ` in O(m²): the root-free GGMS sweep — no
+    /// square roots, one division per column, contiguous row access.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `w.len() != dim` (the factor is
+    /// untouched in that case).
+    pub fn update(&mut self, w: &[f64]) -> Result<()> {
+        self.rank_one(w, 1.0)
+    }
+
+    /// Rank-1 downdate `A ← A − wwᵀ` (root-free hyperbolic sweep).
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] if `w.len() != dim` (factor
+    ///   untouched).
+    /// * [`LinalgError::NotPositiveDefinite`] when the downdated matrix
+    ///   loses (numerical) positive definiteness. **The factor is invalid
+    ///   after this error** — callers must [`UpdatableCholesky::refactor`]
+    ///   from the true matrix (which is what
+    ///   [`crate::online::NormalEquations`] does behind its dirty flag).
+    pub fn downdate(&mut self, w: &[f64]) -> Result<()> {
+        self.rank_one(w, -1.0)
+    }
+
+    /// The GGMS rank-1 sweep for `A ← A + α·wwᵀ`, `α = ±1`.
+    fn rank_one(&mut self, w: &[f64], alpha: f64) -> Result<()> {
+        let n = self.lt.rows();
+        if w.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "rank-1 factor update: vector of length {} against {n}x{n} factor",
+                w.len()
+            )));
+        }
+        self.work.copy_from_slice(w);
+        let mut a = alpha;
+        for j in 0..n {
+            let p = self.work[j];
+            let d_old = self.d[j];
+            let d_new = d_old + a * p * p;
+            // A pivot collapsing below this relative floor (only reachable
+            // on the downdate side) means the result is numerically
+            // semi-definite.
+            if d_new <= d_old * 1e-13 {
+                return Err(LinalgError::NotPositiveDefinite { index: j, value: d_new });
+            }
+            let inv_new = 1.0 / d_new;
+            let b = p * a * inv_new;
+            a *= d_old * inv_new;
+            self.d[j] = d_new;
+            self.dinv[j] = inv_new;
+            let row = self.lt.row_mut(j);
+            for (lji, wi) in row[j + 1..].iter_mut().zip(&mut self.work[j + 1..]) {
+                *wi -= p * *lji;
+                *lji += b * *wi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scale the represented matrix: `A ← γA`. In the root-free form only
+    /// the diagonal moves (`D ← γD`), so this is exact and O(m) — the
+    /// exponential-discount path costs less than one axpy.
+    ///
+    /// # Panics
+    /// Panics when `γ ≤ 0` or non-finite.
+    pub fn scale(&mut self, gamma: f64) {
+        assert!(gamma.is_finite() && gamma > 0.0, "scale factor {gamma} outside (0, ∞)");
+        let inv = 1.0 / gamma;
+        for (d, di) in self.d.iter_mut().zip(&mut self.dinv) {
+            *d *= gamma;
+            *di *= inv;
+        }
+    }
+
+    /// Solve `A x = b` into a caller-owned buffer (no allocation).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on length mismatches.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != x.len() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_into: rhs of length {} into buffer of length {}",
+                b.len(),
+                x.len()
+            )));
+        }
+        x.copy_from_slice(b);
+        self.solve_in_place(x)
+    }
+
+    /// Solve `A x = x` in place: the buffer arrives holding `b` and leaves
+    /// holding the solution.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn solve_in_place(&self, bx: &mut [f64]) -> Result<()> {
+        let n = self.lt.rows();
+        if bx.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_in_place: buffer of length {} against {n}x{n} system",
+                bx.len()
+            )));
+        }
+        // `L z = b` with unit L, column-oriented (column k of L is row k of
+        // Lᵀ, contiguous): division-free.
+        for k in 0..n {
+            let yk = bx[k];
+            crate::vector::axpy(-yk, &self.lt.row(k)[k + 1..], &mut bx[k + 1..]);
+        }
+        // `D y = z`: one pipelined multiply per component.
+        for (x, di) in bx.iter_mut().zip(&self.dinv) {
+            *x *= di;
+        }
+        // `Lᵀ x = y` with unit Lᵀ, row-oriented contiguous dots.
+        for i in (0..n).rev() {
+            bx[i] -= crate::vector::dot(&self.lt.row(i)[i + 1..], &bx[i + 1..]);
+        }
+        Ok(())
+    }
+
+    /// Solve `A x = b` (allocating convenience wrapper).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; b.len()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
     }
 }
 
@@ -260,5 +545,97 @@ mod tests {
         let ch = Cholesky::decompose(&spd3()).unwrap();
         assert!(ch.solve(&[1.0]).is_err());
         assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+        let mut out = [0.0; 2];
+        assert!(ch.solve_into(&[1.0, 2.0, 3.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let b = [2.0, -1.0, 0.5];
+        let alloc = ch.solve(&b).unwrap();
+        let mut out = [7.0; 3]; // stale garbage must not leak through
+        ch.solve_into(&b, &mut out).unwrap();
+        assert_eq!(alloc.as_slice(), out.as_slice(), "bitwise identical");
+    }
+
+    #[test]
+    fn factor_into_reuses_buffer() {
+        let a = spd3();
+        let mut l = Matrix::zeros(3, 3);
+        Cholesky::factor_into(&a, &mut l).unwrap();
+        assert_eq!(&l, Cholesky::decompose(&a).unwrap().l());
+        // A second call into the same (now non-zero) buffer is identical.
+        Cholesky::factor_into(&a, &mut l).unwrap();
+        assert_eq!(&l, Cholesky::decompose(&a).unwrap().l());
+    }
+
+    #[test]
+    fn cholupdate_matches_full_refactorization() {
+        let mut a = spd3();
+        let mut up = UpdatableCholesky::decompose(&a).unwrap();
+        let ws = [[1.0, -2.0, 0.5], [0.3, 0.3, 0.3], [-4.0, 1.0, 2.0]];
+        for w in &ws {
+            up.update(w).unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[(i, j)] += w[i] * w[j];
+                }
+            }
+            let full = Cholesky::decompose(&a).unwrap();
+            assert!(up.l().allclose(full.l(), 1e-10, 1e-10));
+        }
+        assert_eq!(up.dim(), 3);
+    }
+
+    #[test]
+    fn downdate_inverts_update() {
+        let a = spd3();
+        let mut up = UpdatableCholesky::decompose(&a).unwrap();
+        let w = [1.5, -0.7, 2.0];
+        up.update(&w).unwrap();
+        up.downdate(&w).unwrap();
+        assert!(up.l().allclose(Cholesky::decompose(&a).unwrap().l(), 1e-10, 1e-10));
+        let x = up.solve(&[1.0, 2.0, 3.0]).unwrap();
+        let direct = Cholesky::decompose(&a).unwrap().solve(&[1.0, 2.0, 3.0]).unwrap();
+        for (xa, xb) in x.iter().zip(&direct) {
+            assert!((xa - xb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn downdate_losing_definiteness_errors() {
+        // A = I; removing wwᵀ with ‖w‖ > 1 along e₀ is indefinite.
+        let mut up = UpdatableCholesky::decompose(&Matrix::identity(2)).unwrap();
+        assert!(matches!(up.downdate(&[2.0, 0.0]), Err(LinalgError::NotPositiveDefinite { .. })));
+        // The documented recovery: refactor from the true matrix.
+        up.refactor(&Matrix::identity(2)).unwrap();
+        assert!(up.l().allclose(&Matrix::identity(2), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn scale_is_exact() {
+        let a = spd3();
+        let mut up = UpdatableCholesky::decompose(&a).unwrap();
+        up.scale(0.25);
+        let mut scaled = a.clone();
+        scaled.scale_mut(0.25);
+        assert!(up.l().allclose(Cholesky::decompose(&scaled).unwrap().l(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn updatable_solve_in_place_matches_solve_into() {
+        let mut up = UpdatableCholesky::decompose(&spd3()).unwrap();
+        up.update(&[0.5, 0.5, -0.5]).unwrap();
+        let b = [3.0, -2.0, 1.0];
+        let mut out = [0.0; 3];
+        up.solve_into(&b, &mut out).unwrap();
+        let mut inplace = b;
+        up.solve_in_place(&mut inplace).unwrap();
+        assert_eq!(out, inplace);
+        assert!(up.update(&[1.0]).is_err());
+        assert!(up.downdate(&[1.0]).is_err());
+        assert!(up.solve_in_place(&mut [1.0]).is_err());
     }
 }

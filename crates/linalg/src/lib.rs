@@ -7,7 +7,9 @@
 //! * [`Matrix`] — a row-major dense matrix with the usual kernels (products,
 //!   transpose, slicing) including a cache-blocked multiply.
 //! * [`cholesky`] — Cholesky factorization and SPD solves (with a jittered
-//!   fallback for nearly-singular normal equations).
+//!   fallback for nearly-singular normal equations), plus
+//!   [`UpdatableCholesky`]: a factor maintained under O(m²) rank-1
+//!   update/downdate/scale, the engine of the allocation-free record path.
 //! * [`qr`] — Householder QR and QR-based least squares, the numerically
 //!   robust path used when normal equations are ill-conditioned.
 //! * [`lstsq`] — ordinary and ridge least squares (`fit_ols`, `fit_ridge`),
@@ -36,11 +38,11 @@ pub mod qr;
 pub mod stats;
 pub mod vector;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, UpdatableCholesky};
 pub use error::LinalgError;
 pub use lstsq::{fit_ols, fit_ridge, LinearFit};
 pub use matrix::Matrix;
-pub use online::{NormalEquations, RankOneInverse};
+pub use online::{NormalEquations, RankOneInverse, SolveScratch};
 pub use qr::QrDecomposition;
 
 /// Convenience result alias used across the crate.

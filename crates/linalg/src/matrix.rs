@@ -11,7 +11,7 @@ use std::ops::{Index, IndexMut};
 /// Storage is a single contiguous `Vec<f64>` of length `rows * cols`; element
 /// `(i, j)` lives at `data[i * cols + j]`. Row-major layout makes per-row
 /// feature access (the dominant pattern in regression) a contiguous slice.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -155,6 +155,49 @@ impl Matrix {
             )));
         }
         Ok((0..self.rows).map(|i| vector::dot(self.row(i), x)).collect())
+    }
+
+    /// Matrix–vector product `A x` written into a caller-owned buffer — the
+    /// allocation-free variant of [`Matrix::mul_vec`] used on the
+    /// recommend/record hot path.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `x.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec_into: {}x{} times vector of length {} into buffer of length {}",
+                self.rows,
+                self.cols,
+                x.len(),
+                out.len()
+            )));
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = vector::dot(self.row(i), x);
+        }
+        Ok(())
+    }
+
+    /// Overwrite this matrix with the contents of `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch (scratch buffers are sized once; a
+    /// mismatch is a programmer error on the hot path).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshape to `rows × cols` and zero every element, reusing the existing
+    /// buffer when the shape already matches (the scratch-reset primitive).
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        if self.rows == rows && self.cols == cols {
+            self.data.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            *self = Matrix::zeros(rows, cols);
+        }
     }
 
     /// Naive triple-loop product `A B` in `ikj` order (streams through rows of

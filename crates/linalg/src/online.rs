@@ -3,18 +3,78 @@
 //!
 //! Algorithm 1 refits each arm from its stored data `D_k` after every
 //! observation — `O(|D_k| · m²)` per round. [`NormalEquations`] maintains
-//! `XᵀX` and `Xᵀy` incrementally so the refit becomes an `O(m³)` solve that
-//! is independent of history length; the result is *bitwise the same
-//! regression* (property-tested in `crates/core`). [`RankOneInverse`]
-//! maintains `(XᵀX + λI)⁻¹` directly via Sherman–Morrison, which is what
-//! LinUCB needs for its confidence ellipsoids.
+//! `XᵀX` and `Xᵀy` incrementally, and additionally keeps the Cholesky
+//! factor of the (ridged) Gram matrix **incrementally** behind a dirty
+//! flag: once a factor exists for the requested ridge, every further
+//! [`NormalEquations::push`] folds the new observation in with an O(m²)
+//! `cholupdate` and [`NormalEquations::solve_with`] refits by pure
+//! forward/back substitution — no O(m³) factorization and, with a reused
+//! [`SolveScratch`], no heap allocation on the steady-state record path.
+//! The result is *the same regression* (property-tested in `crates/core`).
+//! [`RankOneInverse`] maintains `(XᵀX + λI)⁻¹` directly via
+//! Sherman–Morrison, which is what LinUCB needs for its confidence
+//! ellipsoids.
 
-use crate::cholesky::Cholesky;
+use crate::cholesky::{Cholesky, UpdatableCholesky};
 use crate::error::LinalgError;
 use crate::lstsq::LinearFit;
 use crate::matrix::Matrix;
 use crate::vector;
 use crate::Result;
+
+/// Reusable workspace for [`NormalEquations::solve_with`] /
+/// [`NormalEquations::solve_into`]: every intermediate the solve needs
+/// (Jacobi scales and the scaled Gram matrix for re-factorizations, the
+/// coefficient buffer for every refit) lives here, so a caller that keeps
+/// one scratch per arm-set pays zero allocations per refit in steady
+/// state.
+///
+/// The scratch is dimension-agnostic: buffers are (re)sized on use, which
+/// allocates only when an accumulator of a larger dimension than any seen
+/// before borrows it. Every buffer is fully overwritten before being read,
+/// so **results never depend on the scratch's history** — solving with a
+/// reused scratch is bitwise identical to solving with a fresh one (pinned
+/// by a test below).
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    scales: Vec<f64>,
+    gram: Matrix,
+    coeffs: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// New empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// Scratch pre-sized for accumulators over `n_features` raw features,
+    /// so even the first solve allocates nothing extra.
+    pub fn for_features(n_features: usize) -> Self {
+        let dim = n_features + 1;
+        SolveScratch {
+            scales: vec![0.0; dim],
+            gram: Matrix::zeros(dim, dim),
+            coeffs: vec![0.0; dim],
+        }
+    }
+
+    fn resize(&mut self, dim: usize) {
+        self.scales.resize(dim, 0.0);
+        self.coeffs.resize(dim, 0.0);
+    }
+}
+
+/// The incrementally maintained factor: `L` with
+/// `LLᵀ = ZᵀZ + λ·diag(0, 1, …, 1)` (+ the jitter baked in by a fallback
+/// re-factorization, if one was ever needed).
+#[derive(Debug, Clone)]
+struct IncrementalFactor {
+    chol: UpdatableCholesky,
+    /// The ridge the factor was built for; a solve with a different λ
+    /// re-factorizes.
+    lambda: f64,
+}
 
 /// Running normal-equations accumulator for a linear model with intercept.
 ///
@@ -32,13 +92,28 @@ pub struct NormalEquations {
     yty: f64,
     /// Observation count.
     n: usize,
+    /// Incrementally maintained Cholesky factor of the ridged Gram matrix;
+    /// `None` is the dirty state (re-factorized lazily by the next
+    /// factor-based solve).
+    factor: Option<IncrementalFactor>,
+    /// Fixed buffer for the augmented vector `[1, x]` during factor
+    /// updates (keeps `push`/`forget` allocation-free).
+    aug: Vec<f64>,
 }
 
 impl NormalEquations {
     /// New empty accumulator over `n_features` raw features.
     pub fn new(n_features: usize) -> Self {
         let dim = n_features + 1;
-        NormalEquations { dim, ztz: Matrix::zeros(dim, dim), zty: vec![0.0; dim], yty: 0.0, n: 0 }
+        NormalEquations {
+            dim,
+            ztz: Matrix::zeros(dim, dim),
+            zty: vec![0.0; dim],
+            yty: 0.0,
+            n: 0,
+            factor: None,
+            aug: vec![0.0; dim],
+        }
     }
 
     /// Number of raw features.
@@ -63,21 +138,64 @@ impl NormalEquations {
                 self.dim - 1
             )));
         }
-        // z = [1, x]
-        let z = |i: usize| if i == 0 { 1.0 } else { x[i - 1] };
+        // z = [1, x]; the Gram update runs one contiguous axpy per row
+        // (each entry still receives the single product z_i·z_j, so the
+        // statistics are bit-identical to the triangular formulation).
+        self.aug[0] = 1.0;
+        self.aug[1..].copy_from_slice(x);
         for i in 0..self.dim {
-            let zi = z(i);
-            self.zty[i] += zi * y;
-            for j in i..self.dim {
-                let v = zi * z(j);
-                self.ztz[(i, j)] += v;
-                if j != i {
-                    self.ztz[(j, i)] += v;
-                }
-            }
+            vector::axpy(self.aug[i], &self.aug, self.ztz.row_mut(i));
         }
+        vector::axpy(y, &self.aug, &mut self.zty);
         self.yty += y * y;
         self.n += 1;
+        // Keep the live factor live: adding zzᵀ is a rank-1 cholupdate,
+        // independent of the ridge folded into the factor.
+        if let Some(f) = &mut self.factor {
+            if f.chol.update(&self.aug).is_err() {
+                self.factor = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove one previously absorbed `(x, y)` observation — the
+    /// sliding-window forgetting primitive. Statistics are subtracted and
+    /// the live factor is rank-1 **downdated** in O(m²); if the downdate
+    /// loses positive definiteness the factor is simply invalidated and the
+    /// next solve re-factorizes from scratch (the documented fallback).
+    ///
+    /// The caller is responsible for only forgetting observations that were
+    /// actually pushed; forgetting anything else produces statistics that
+    /// no longer correspond to a real dataset.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on a wrong-arity context,
+    /// [`LinalgError::InsufficientData`] when the accumulator is empty.
+    pub fn forget(&mut self, x: &[f64], y: f64) -> Result<()> {
+        if x.len() + 1 != self.dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "forget: {} features into accumulator of {}",
+                x.len(),
+                self.dim - 1
+            )));
+        }
+        if self.n == 0 {
+            return Err(LinalgError::InsufficientData { have: 0, need: 1 });
+        }
+        self.aug[0] = 1.0;
+        self.aug[1..].copy_from_slice(x);
+        for i in 0..self.dim {
+            vector::axpy(-self.aug[i], &self.aug, self.ztz.row_mut(i));
+        }
+        vector::axpy(-y, &self.aug, &mut self.zty);
+        self.yty -= y * y;
+        self.n -= 1;
+        if let Some(f) = &mut self.factor {
+            if f.chol.downdate(&self.aug).is_err() {
+                self.factor = None;
+            }
+        }
         Ok(())
     }
 
@@ -101,6 +219,9 @@ impl NormalEquations {
         }
         self.yty += other.yty;
         self.n += other.n;
+        // A bulk statistics change is not a rank-1 event; re-factorize
+        // lazily on the next solve.
+        self.factor = None;
         Ok(())
     }
 
@@ -108,10 +229,18 @@ impl NormalEquations {
     /// non-intercept block (`lambda = 0` for plain OLS). Singular systems are
     /// automatically jittered, matching [`crate::lstsq::fit_ols`].
     ///
-    /// The system is solved under symmetric Jacobi (diagonal) scaling:
-    /// features on wildly different scales — bytes next to moisture
-    /// fractions in the BP3D vector — otherwise push the Gram matrix's
-    /// condition number past `f64` and silently degrade the fit.
+    /// When no live factor exists, the system is factorized under symmetric
+    /// Jacobi (diagonal) scaling: features on wildly different scales —
+    /// bytes next to moisture fractions in the BP3D vector — otherwise push
+    /// the Gram matrix's condition number past `f64` and silently degrade
+    /// the fit (and the jittered fallback's regularization is scale-aware
+    /// only in the scaled space). When a live factor for this `lambda` is
+    /// available (maintained by [`NormalEquations::push`] after a
+    /// [`NormalEquations::solve_with`]-family refit), the solve is pure
+    /// O(m²) substitution on it — same regression, no factorization.
+    ///
+    /// This is a thin wrapper over [`NormalEquations::solve_into`] with a
+    /// fresh scratch; results are bitwise identical to a reused scratch.
     ///
     /// # Errors
     /// [`LinalgError::InsufficientData`] when no observations were pushed.
@@ -119,52 +248,147 @@ impl NormalEquations {
         if self.n == 0 {
             return Err(LinalgError::InsufficientData { have: 0, need: 1 });
         }
+        let mut scratch = SolveScratch::new();
+        let mut out = LinearFit::zeros(self.dim - 1);
+        match &self.factor {
+            Some(f) if f.lambda == lambda => {
+                self.solve_from_factor(&f.chol, &mut scratch, &mut out)?;
+            }
+            _ => {
+                // `&self` receiver: compute the factor without caching it
+                // (mutating entry points cache; see `solve_into`).
+                let chol = self.fresh_factor(lambda, &mut scratch)?;
+                self.solve_from_factor(&chol, &mut scratch, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`NormalEquations::solve`] against a caller-owned workspace: zero
+    /// heap allocations apart from the returned fit's coefficient vector.
+    /// On the first call (or after a ridge change / merge / clear) the
+    /// factor is rebuilt in O(m³) and **cached**; from then on every
+    /// push+solve cycle is O(m²) and factorization-free.
+    ///
+    /// # Errors
+    /// See [`NormalEquations::solve`].
+    pub fn solve_with(&mut self, lambda: f64, scratch: &mut SolveScratch) -> Result<LinearFit> {
+        let mut out = LinearFit::zeros(self.dim - 1);
+        self.solve_into(lambda, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// The fully allocation-free refit: like
+    /// [`NormalEquations::solve_with`], but the result is written into an
+    /// existing [`LinearFit`] (its coefficient vector is reused). This is
+    /// what the steady-state record path calls.
+    ///
+    /// # Errors
+    /// See [`NormalEquations::solve`].
+    pub fn solve_into(
+        &mut self,
+        lambda: f64,
+        scratch: &mut SolveScratch,
+        out: &mut LinearFit,
+    ) -> Result<()> {
+        if self.n == 0 {
+            return Err(LinalgError::InsufficientData { have: 0, need: 1 });
+        }
+        let needs_refactor = !matches!(&self.factor, Some(f) if f.lambda == lambda);
+        if needs_refactor {
+            let chol = self.fresh_factor(lambda, scratch)?;
+            self.factor = Some(IncrementalFactor { chol, lambda });
+        }
+        let f = self.factor.as_ref().expect("factor refreshed above");
+        self.solve_from_factor(&f.chol, scratch, out)
+    }
+
+    /// True when a live factor for `lambda` exists, i.e. the next
+    /// [`NormalEquations::solve_with`] is pure O(m²) substitution.
+    pub fn factor_is_live(&self, lambda: f64) -> bool {
+        matches!(&self.factor, Some(f) if f.lambda == lambda)
+    }
+
+    /// Build the factor `L` with `LLᵀ = ZᵀZ + λ·diag(0,1,…,1)` from
+    /// scratch. The decomposition runs on the Jacobi-scaled Gram matrix
+    /// (robustness + scale-aware jitter, exactly the legacy arithmetic);
+    /// the returned factor is mapped back to the unscaled space by row
+    /// scaling — `chol(D A D) = D·chol(A)` for diagonal `D` — so that later
+    /// rank-1 updates need no knowledge of the (per-push changing) scales.
+    fn fresh_factor(&self, lambda: f64, scratch: &mut SolveScratch) -> Result<UpdatableCholesky> {
+        scratch.resize(self.dim);
         // Jacobi scale factors s_i = sqrt((ZᵀZ)_ii); zero-variance columns
         // keep scale 1 so the scaled system stays well-defined.
-        let scales: Vec<f64> = (0..self.dim)
-            .map(|i| {
-                let d = self.ztz[(i, i)];
-                if d > 0.0 {
-                    d.sqrt()
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-        let mut gram = Matrix::zeros(self.dim, self.dim);
+        for (i, s) in scratch.scales.iter_mut().enumerate() {
+            let d = self.ztz[(i, i)];
+            *s = if d > 0.0 { d.sqrt() } else { 1.0 };
+        }
+        let scales = &scratch.scales;
+        scratch.gram.reset_zeroed(self.dim, self.dim);
         for i in 0..self.dim {
             for j in 0..self.dim {
-                gram[(i, j)] = self.ztz[(i, j)] / (scales[i] * scales[j]);
+                scratch.gram[(i, j)] = self.ztz[(i, j)] / (scales[i] * scales[j]);
             }
         }
         for i in 1..self.dim {
-            gram[(i, i)] += lambda / (scales[i] * scales[i]);
+            scratch.gram[(i, i)] += lambda / (scales[i] * scales[i]);
         }
-        let rhs: Vec<f64> = self.zty.iter().zip(&scales).map(|(v, s)| v / s).collect();
-        let scaled_coeffs = match Cholesky::decompose(&gram) {
-            Ok(ch) => ch.solve(&rhs)?,
+        let ch = match Cholesky::decompose(&scratch.gram) {
+            Ok(ch) => ch,
             Err(_) => {
-                let scale = gram.max_abs().max(f64::MIN_POSITIVE);
-                let (ch, _) = Cholesky::decompose_jittered(&gram, scale * 1e-10, 24)?;
-                ch.solve(&rhs)?
+                let scale = scratch.gram.max_abs().max(f64::MIN_POSITIVE);
+                let (ch, _) = Cholesky::decompose_jittered(&scratch.gram, scale * 1e-10, 24)?;
+                ch
             }
         };
-        let coeffs: Vec<f64> = scaled_coeffs.iter().zip(&scales).map(|(c, s)| c / s).collect();
-        let intercept = coeffs[0];
-        let weights = coeffs[1..].to_vec();
-        // RSS = yᵀy − 2 cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
-        let ztz_c = self.ztz.mul_vec(&coeffs)?;
-        let rss = (self.yty - 2.0 * vector::dot(&coeffs, &self.zty) + vector::dot(&coeffs, &ztz_c))
-            .max(0.0);
-        Ok(LinearFit { weights, intercept, residual_ss: rss, n_obs: self.n })
+        let mut l = ch.into_l();
+        for i in 0..self.dim {
+            let si = scratch.scales[i];
+            for j in 0..=i {
+                l[(i, j)] *= si;
+            }
+        }
+        Ok(UpdatableCholesky::from_factor(l))
     }
 
-    /// Reset to the empty state.
+    /// Refit from an existing factor: O(m²) substitution + the RSS
+    /// recovery, writing into `out` without allocating.
+    fn solve_from_factor(
+        &self,
+        chol: &UpdatableCholesky,
+        scratch: &mut SolveScratch,
+        out: &mut LinearFit,
+    ) -> Result<()> {
+        scratch.resize(self.dim);
+        scratch.coeffs.copy_from_slice(&self.zty);
+        chol.solve_in_place(&mut scratch.coeffs)?;
+        let coeffs = &scratch.coeffs;
+        out.intercept = coeffs[0];
+        out.weights.resize(self.dim - 1, 0.0);
+        out.weights.copy_from_slice(&coeffs[1..]);
+        // RSS = yᵀy − 2 cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
+        // The quadratic form exploits symmetry (upper-triangle row suffixes
+        // only — half the flops of an explicit ZᵀZ·c).
+        let mut quad = 0.0;
+        for i in 0..self.dim {
+            let row = self.ztz.row(i);
+            let ci = coeffs[i];
+            quad += ci * (row[i] * ci + 2.0 * vector::dot(&row[i + 1..], &coeffs[i + 1..]));
+        }
+        out.residual_ss = (self.yty - 2.0 * vector::dot(coeffs, &self.zty) + quad).max(0.0);
+        out.n_obs = self.n;
+        Ok(())
+    }
+
+    /// Reset to the empty state. The incremental factor is dropped; the
+    /// next solve falls back to a full re-factorization (of whatever is
+    /// pushed afterwards).
     pub fn clear(&mut self) {
-        self.ztz = Matrix::zeros(self.dim, self.dim);
+        self.ztz.reset_zeroed(self.dim, self.dim);
         self.zty.iter_mut().for_each(|v| *v = 0.0);
         self.yty = 0.0;
         self.n = 0;
+        self.factor = None;
     }
 
     /// Exponentially discount the accumulated statistics by `gamma ∈ (0, 1]`:
@@ -189,6 +413,15 @@ impl NormalEquations {
             *v *= gamma;
         }
         self.yty *= gamma;
+        // γ·(ZᵀZ) keeps an un-ridged factor exact under `L ← √γ·L`; a
+        // ridged factor would need `γλ → λ` repair, so it re-factorizes
+        // lazily instead (the discount path — drift-aware arms — solves
+        // with λ = 0, keeping it O(m²)).
+        match &mut self.factor {
+            Some(f) if f.lambda == 0.0 => f.chol.scale(gamma),
+            Some(_) => self.factor = None,
+            None => {}
+        }
     }
 }
 
@@ -201,6 +434,9 @@ pub struct RankOneInverse {
     a_inv: Matrix,
     xty: Vec<f64>,
     n: usize,
+    /// Fixed buffer for `A⁻¹z` so the Sherman–Morrison update allocates
+    /// nothing.
+    az: Vec<f64>,
 }
 
 impl RankOneInverse {
@@ -212,7 +448,7 @@ impl RankOneInverse {
         assert!(lambda > 0.0, "RankOneInverse requires a positive ridge prior");
         let mut a_inv = Matrix::identity(dim);
         a_inv.scale_mut(1.0 / lambda);
-        RankOneInverse { dim, a_inv, xty: vec![0.0; dim], n: 0 }
+        RankOneInverse { dim, a_inv, xty: vec![0.0; dim], n: 0, az: vec![0.0; dim] }
     }
 
     /// Vector dimension.
@@ -243,15 +479,16 @@ impl RankOneInverse {
                 self.dim
             )));
         }
-        let az = self.a_inv.mul_vec(z)?;
-        let denom = 1.0 + vector::dot(z, &az);
-        for i in 0..self.dim {
-            for j in 0..self.dim {
-                self.a_inv[(i, j)] -= az[i] * az[j] / denom;
+        let RankOneInverse { dim, a_inv, xty, az, n } = self;
+        a_inv.mul_vec_into(z, az)?;
+        let denom = 1.0 + vector::dot(z, az);
+        for i in 0..*dim {
+            for j in 0..*dim {
+                a_inv[(i, j)] -= az[i] * az[j] / denom;
             }
         }
-        vector::axpy(y, z, &mut self.xty);
-        self.n += 1;
+        vector::axpy(y, z, xty);
+        *n += 1;
         Ok(())
     }
 
@@ -263,6 +500,16 @@ impl RankOneInverse {
         self.a_inv.mul_vec(&self.xty)
     }
 
+    /// [`RankOneInverse::theta`] into a caller-owned buffer (resized in
+    /// place, no allocation once at capacity).
+    ///
+    /// # Errors
+    /// Mirrors matrix-vector shape checks (cannot fail internally).
+    pub fn theta_into(&self, out: &mut Vec<f64>) -> Result<()> {
+        out.resize(self.dim, 0.0);
+        self.a_inv.mul_vec_into(&self.xty, out)
+    }
+
     /// Quadratic form `zᵀ A⁻¹ z` (squared confidence width in LinUCB).
     ///
     /// # Errors
@@ -270,6 +517,17 @@ impl RankOneInverse {
     pub fn quad_form(&self, z: &[f64]) -> Result<f64> {
         let az = self.a_inv.mul_vec(z)?;
         Ok(vector::dot(z, &az))
+    }
+
+    /// [`RankOneInverse::quad_form`] against a caller-owned `A⁻¹z` buffer
+    /// (the allocation-free hot-path variant).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn quad_form_with(&self, z: &[f64], az: &mut Vec<f64>) -> Result<f64> {
+        az.resize(self.dim, 0.0);
+        self.a_inv.mul_vec_into(z, az)?;
+        Ok(vector::dot(z, az))
     }
 }
 
@@ -423,6 +681,186 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn discount_validates_gamma() {
         NormalEquations::new(1).discount(0.0);
+    }
+
+    fn assert_fit_bitwise(a: &LinearFit, b: &LinearFit) {
+        assert_eq!(a.weights.len(), b.weights.len());
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(wa.to_bits(), wb.to_bits(), "weights differ: {wa} vs {wb}");
+        }
+        assert_eq!(a.intercept.to_bits(), b.intercept.to_bits());
+        assert_eq!(a.residual_ss.to_bits(), b.residual_ss.to_bits());
+        assert_eq!(a.n_obs, b.n_obs);
+    }
+
+    /// `solve_with` against a **shared, reused** scratch must equal
+    /// `solve()` (which uses a fresh scratch) bitwise, even when several
+    /// accumulators ("arms") interleave on the same workspace.
+    #[test]
+    fn solve_with_reused_scratch_is_bitwise_solve() {
+        let mut arms: Vec<NormalEquations> = (0..3).map(|_| NormalEquations::new(2)).collect();
+        let mut scratch = SolveScratch::new();
+        for round in 0..40 {
+            let arm = round % 3;
+            let x = [(round % 7) as f64 - 2.0, (round % 5) as f64 * 0.9 + 0.1];
+            let y = 3.0 * x[0] - x[1] + 5.0 + (round % 11) as f64 * 0.01;
+            arms[arm].push(&x, y).unwrap();
+            let lambda = if arm == 1 { 0.5 } else { 0.0 };
+            // solve() first (reads the cache, never writes it), then the
+            // caching solve_with on the polluted shared scratch.
+            let fresh = arms[arm].solve(lambda).unwrap();
+            let reused = arms[arm].solve_with(lambda, &mut scratch).unwrap();
+            assert_fit_bitwise(&fresh, &reused);
+            // And again now that the factor is live.
+            let fresh2 = arms[arm].solve(lambda).unwrap();
+            assert_fit_bitwise(&fresh2, &reused);
+        }
+        assert!(arms[0].factor_is_live(0.0));
+        assert!(arms[1].factor_is_live(0.5) && !arms[1].factor_is_live(0.0));
+    }
+
+    /// Once a factor is live, push+solve keeps it live (no re-factorization)
+    /// and still agrees with the from-scratch solve to tight tolerance.
+    /// The first solve happens on a well-conditioned system so the factor is
+    /// jitter-free (the jittered early-round path is covered by the core
+    /// crate's exact-vs-incremental arm proptests).
+    #[test]
+    fn incremental_factor_tracks_pushes() {
+        let mut acc = NormalEquations::new(3);
+        let mut scratch = SolveScratch::for_features(3);
+        for i in 0..60 {
+            let x = [(i % 5) as f64, (i % 7) as f64 * 0.3 - 1.0, ((i * 13) % 11) as f64];
+            acc.push(&x, 1.0 + (i % 9) as f64).unwrap();
+            if i < 12 {
+                continue;
+            }
+            let inc = acc.solve_with(0.0, &mut scratch).unwrap();
+            if i > 12 {
+                assert!(acc.factor_is_live(0.0), "factor must stay live after round {i}");
+            }
+            // Reference: identical statistics, forced from-scratch path.
+            let mut fresh = NormalEquations::new(3);
+            fresh.merge(&acc).unwrap();
+            let full = fresh.solve(0.0).unwrap();
+            for (a, b) in inc.weights.iter().zip(&full.weights) {
+                assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "{a} vs {b} at {i}");
+            }
+            assert!((inc.intercept - full.intercept).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_fit_allocation() {
+        let mut acc = NormalEquations::new(2);
+        let mut scratch = SolveScratch::for_features(2);
+        let mut fit = LinearFit::zeros(2);
+        for (x, y) in sample_data() {
+            acc.push(&x, y).unwrap();
+            acc.solve_into(0.0, &mut scratch, &mut fit).unwrap();
+        }
+        let direct = acc.solve(0.0).unwrap();
+        assert_fit_bitwise(&direct, &fit);
+    }
+
+    /// forget() is push()'s inverse: statistics and fits return to the
+    /// pre-push state (modulo rounding), through the downdate fast path.
+    #[test]
+    fn forget_inverts_push() {
+        let data = sample_data();
+        let mut acc = NormalEquations::new(2);
+        let mut scratch = SolveScratch::new();
+        for (x, y) in &data {
+            acc.push(x, *y).unwrap();
+        }
+        let before = acc.solve_with(0.0, &mut scratch).unwrap();
+        assert!(acc.factor_is_live(0.0));
+        acc.push(&[9.0, -3.0], 123.0).unwrap();
+        acc.forget(&[9.0, -3.0], 123.0).unwrap();
+        assert_eq!(acc.n_obs(), data.len());
+        let after = acc.solve_with(0.0, &mut scratch).unwrap();
+        for (a, b) in before.weights.iter().zip(&after.weights) {
+            assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert!((before.intercept - after.intercept).abs() < 1e-7);
+
+        // Validation mirrors push.
+        assert!(acc.forget(&[1.0], 1.0).is_err());
+        let mut empty = NormalEquations::new(2);
+        assert!(matches!(
+            empty.forget(&[1.0, 2.0], 1.0),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+    }
+
+    /// A sliding window maintained by push+forget matches an exact refit
+    /// over the window contents.
+    #[test]
+    fn forget_tracks_sliding_window() {
+        let stream: Vec<(Vec<f64>, f64)> = (0..50)
+            .map(|i| {
+                let x = vec![(i % 9) as f64 + 0.5, ((i * 7) % 5) as f64];
+                let y = 2.0 * x[0] - 0.4 * x[1] + 3.0 + (i % 4) as f64 * 0.05;
+                (x, y)
+            })
+            .collect();
+        let w = 12;
+        let mut acc = NormalEquations::new(2);
+        let mut scratch = SolveScratch::new();
+        for i in 0..stream.len() {
+            if i >= w {
+                let (ox, oy) = &stream[i - w];
+                acc.forget(ox, *oy).unwrap();
+            }
+            let (x, y) = &stream[i];
+            acc.push(x, *y).unwrap();
+            // Compare once the window is well-conditioned (fitted values at
+            // the window's own contexts — unique even near rank deficiency).
+            if i < w {
+                continue;
+            }
+            let windowed = acc.solve_with(0.0, &mut scratch).unwrap();
+            let window = &stream[i + 1 - w..=i];
+            let mut exact = NormalEquations::new(2);
+            for (xe, ye) in window {
+                exact.push(xe, *ye).unwrap();
+            }
+            let full = exact.solve(0.0).unwrap();
+            assert_eq!(windowed.n_obs, full.n_obs);
+            for (xe, ye) in window {
+                let pa = windowed.predict(xe);
+                let pb = full.predict(xe);
+                assert!((pa - pb).abs() < 1e-6 * (1.0 + ye.abs()), "round {i}: {pa} vs {pb}");
+            }
+        }
+    }
+
+    /// discount() keeps an un-ridged factor live via exact `√γ` scaling.
+    #[test]
+    fn discount_keeps_unridged_factor_live() {
+        let mut acc = NormalEquations::new(1);
+        let mut scratch = SolveScratch::new();
+        for i in 0..10 {
+            acc.push(&[(i % 4 + 1) as f64], 2.0 * (i % 4 + 1) as f64).unwrap();
+        }
+        acc.solve_with(0.0, &mut scratch).unwrap();
+        assert!(acc.factor_is_live(0.0));
+        acc.discount(0.9);
+        assert!(acc.factor_is_live(0.0), "λ=0 factor survives discounting");
+        let inc = acc.solve_with(0.0, &mut scratch).unwrap();
+        let mut fresh = NormalEquations::new(1);
+        fresh.merge(&acc).unwrap();
+        let full = fresh.solve(0.0).unwrap();
+        assert!((inc.weights[0] - full.weights[0]).abs() < 1e-9);
+
+        // A ridged factor cannot be γ-scaled exactly; it goes dirty and the
+        // next solve transparently re-factorizes.
+        acc.solve_with(0.5, &mut scratch).unwrap();
+        assert!(acc.factor_is_live(0.5));
+        acc.discount(0.9);
+        assert!(!acc.factor_is_live(0.5));
+        let again = acc.solve_with(0.5, &mut scratch).unwrap();
+        assert!(again.weights[0].is_finite());
+        assert!(acc.factor_is_live(0.5));
     }
 
     #[test]

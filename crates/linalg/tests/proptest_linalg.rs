@@ -1,10 +1,10 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use banditware_linalg::lstsq::fit_ols;
-use banditware_linalg::online::NormalEquations;
+use banditware_linalg::online::{NormalEquations, SolveScratch};
 use banditware_linalg::qr::QrDecomposition;
 use banditware_linalg::stats;
-use banditware_linalg::{Cholesky, Matrix};
+use banditware_linalg::{Cholesky, Matrix, UpdatableCholesky};
 use proptest::prelude::*;
 
 /// Strategy: a well-scaled `rows × cols` matrix as nested Vecs.
@@ -143,6 +143,133 @@ proptest! {
             let a = inc.predict(x);
             let b = batch.predict(x);
             prop_assert!((a - b).abs() < 1e-4 * (1.0 + a.abs().max(b.abs())), "{} vs {}", a, b);
+        }
+    }
+
+    /// `UpdatableCholesky` pinned against from-scratch `Cholesky::decompose`
+    /// through arbitrary update / discount-scale sequences: after every
+    /// operation the incremental factor matches the full factorization of
+    /// the tracked matrix to 1e-10.
+    #[test]
+    fn updatable_cholesky_tracks_update_and_scale_sequences(
+        seed in matrix_strategy(6, 4),
+        ops in prop::collection::vec(
+            (prop::collection::vec(-3.0..3.0f64, 4), 0.5..1.0f64, any::<bool>()),
+            1..25,
+        ),
+    ) {
+        // A = GramB + I is SPD for any B.
+        let mut a = seed.gram();
+        for i in 0..4 { a[(i, i)] += 1.0; }
+        let mut up = UpdatableCholesky::decompose(&a).unwrap();
+        for (w, gamma, do_scale) in &ops {
+            if *do_scale {
+                up.scale(*gamma);
+                a.scale_mut(*gamma);
+            }
+            up.update(w).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    a[(i, j)] += w[i] * w[j];
+                }
+            }
+            let full = Cholesky::decompose(&a).unwrap();
+            prop_assert!(
+                up.l().allclose(full.l(), 1e-10, 1e-10),
+                "incremental factor diverged from full decompose"
+            );
+        }
+    }
+
+    /// Update + downdate sequences, including the documented fallback: when
+    /// a downdate reports lost definiteness, re-factorizing from the true
+    /// matrix restores a factor that matches `Cholesky::decompose` to 1e-10.
+    #[test]
+    fn updatable_cholesky_downdate_with_fallback_matches_decompose(
+        seed in matrix_strategy(6, 4),
+        ws in prop::collection::vec(prop::collection::vec(-3.0..3.0f64, 4), 1..10),
+        removals in prop::collection::vec(0usize..1000, 1..10),
+    ) {
+        let mut a = seed.gram();
+        for i in 0..4 { a[(i, i)] += 1.0; }
+        let mut up = UpdatableCholesky::decompose(&a).unwrap();
+        // Absorb every w, tracking the true matrix.
+        for w in &ws {
+            up.update(w).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    a[(i, j)] += w[i] * w[j];
+                }
+            }
+        }
+        // Remove a random subset again (possibly the same vector twice —
+        // that is exactly what provokes the lost-definiteness fallback).
+        for idx in &removals {
+            let w = &ws[idx % ws.len()];
+            for i in 0..4 {
+                for j in 0..4 {
+                    a[(i, j)] -= w[i] * w[j];
+                }
+            }
+            let still_pd = Cholesky::decompose(&a).is_ok();
+            match up.downdate(w) {
+                Ok(()) if still_pd => {
+                    let full = Cholesky::decompose(&a).unwrap();
+                    prop_assert!(
+                        up.l().allclose(full.l(), 1e-10, 1e-10),
+                        "downdated factor diverged from full decompose"
+                    );
+                }
+                Ok(()) => {
+                    // The true matrix went indefinite but rounding let the
+                    // downdate through: the factor is meaningless — stop.
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Fallback path: the factor is declared invalid; a full
+                    // re-factorization of the true matrix must recover (or
+                    // the matrix genuinely stopped being PD — stop there).
+                    if !still_pd {
+                        return Ok(());
+                    }
+                    up.refactor(&a).unwrap();
+                    let full = Cholesky::decompose(&a).unwrap();
+                    prop_assert!(up.l().allclose(full.l(), 1e-12, 1e-12));
+                }
+            }
+        }
+    }
+
+    /// `solve_with` against a reused scratch equals `solve()` (fresh
+    /// scratch) **bitwise**, across arms interleaving on one workspace —
+    /// scratch history must never leak into results.
+    #[test]
+    fn solve_with_shared_scratch_bitwise_equals_solve(
+        streams in prop::collection::vec(
+            prop::collection::vec((prop::collection::vec(-8.0..8.0f64, 2), 0.1..100.0f64), 1..12),
+            2..4,
+        ),
+        lambda in 0.0..2.0f64,
+    ) {
+        let mut arms: Vec<NormalEquations> =
+            streams.iter().map(|_| NormalEquations::new(2)).collect();
+        let mut scratch = SolveScratch::new();
+        let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..max_len {
+            for (arm, stream) in arms.iter_mut().zip(&streams) {
+                let Some((x, y)) = stream.get(round) else { continue };
+                arm.push(x, *y).unwrap();
+                let fresh = arm.solve(lambda).unwrap();
+                let reused = arm.solve_with(lambda, &mut scratch).unwrap();
+                prop_assert_eq!(fresh.intercept.to_bits(), reused.intercept.to_bits());
+                prop_assert_eq!(fresh.residual_ss.to_bits(), reused.residual_ss.to_bits());
+                for (a, b) in fresh.weights.iter().zip(&reused.weights) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+                }
+                // And the cached-factor read path agrees bit for bit too.
+                let cached = arm.solve(lambda).unwrap();
+                prop_assert_eq!(cached.intercept.to_bits(), reused.intercept.to_bits());
+            }
         }
     }
 

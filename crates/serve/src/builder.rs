@@ -126,13 +126,16 @@ impl EngineBuilder {
     }
 
     /// Build the engine. Constructs one probe policy eagerly so a bad
-    /// policy name or config fails here, not on the first request.
+    /// policy name or config fails here, not on the first request — and
+    /// caches the name that policy reports, so serving paths never pay the
+    /// `String`-allocating [`banditware_core::Policy::name`] per request.
     ///
     /// # Errors
     /// Propagates [`build_policy`] validation.
     pub fn build(self) -> Result<Engine> {
-        let _probe = build_policy(&self.policy, self.specs.clone(), self.n_features, &self.config)?;
-        Ok(Engine::from_builder(self))
+        let probe = build_policy(&self.policy, self.specs.clone(), self.n_features, &self.config)?;
+        let effective_name = probe.name();
+        Ok(Engine::from_builder(self, effective_name))
     }
 }
 

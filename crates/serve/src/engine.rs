@@ -8,6 +8,13 @@
 //! of the core facade apply: overlapping rounds, out-of-order recording,
 //! dropped tickets, batched recommend/record taking the lock once per
 //! batch.
+//!
+//! **Per-shard scratch.** Every shard owns its policy, and every policy
+//! owns its solve/select workspaces (see `banditware_core`'s scratch-buffer
+//! plumbing and `banditware_linalg::SolveScratch`). The steady-state
+//! recommend/record loop therefore performs zero heap allocations inside
+//! the locks — concurrent tenants never contend on the global allocator,
+//! only on their own stripe.
 
 use crate::builder::{build_policy, EngineBuilder};
 use banditware_core::persist::{self, HistorySnapshot};
@@ -53,6 +60,12 @@ pub struct EngineStats {
 pub struct Engine {
     stripes: Vec<Stripe>,
     policy_name: String,
+    /// The name the constructed policy *reports* (e.g.
+    /// `"scaled:decaying-contextual-epsilon-greedy"` for the builder name
+    /// `"scaled-epsilon-greedy"`), captured once at build time so
+    /// reporting paths read a cached `&str` instead of constructing a
+    /// policy and calling the `String`-allocating [`Policy::name`].
+    effective_policy_name: String,
     specs: Vec<ArmSpec>,
     n_features: usize,
     config: BanditConfig,
@@ -64,10 +77,11 @@ impl Engine {
         EngineBuilder::new(specs, n_features)
     }
 
-    pub(crate) fn from_builder(b: EngineBuilder) -> Self {
+    pub(crate) fn from_builder(b: EngineBuilder, effective_policy_name: String) -> Self {
         Engine {
             stripes: (0..b.n_stripes).map(|_| RwLock::new(HashMap::new())).collect(),
             policy_name: b.policy,
+            effective_policy_name,
             specs: b.specs,
             n_features: b.n_features,
             config: b.config,
@@ -77,6 +91,12 @@ impl Engine {
     /// The policy every shard runs (chosen by name at build time).
     pub fn policy_name(&self) -> &str {
         &self.policy_name
+    }
+
+    /// The name the constructed policy reports about itself, cached at
+    /// build time (allocation-free to read, unlike [`Policy::name`]).
+    pub fn effective_policy_name(&self) -> &str {
+        &self.effective_policy_name
     }
 
     /// Number of lock stripes.
@@ -388,6 +408,15 @@ mod tests {
     fn stats_and_policy_name() {
         let e = Engine::builder(ArmSpec::unit_costs(2), 1).policy("ucb1").build().unwrap();
         assert_eq!(e.policy_name(), "ucb1");
+        assert_eq!(e.effective_policy_name(), "ucb1");
+        // The cached effective name is the policy's *reported* name, which
+        // can differ from the builder name.
+        let scaled =
+            Engine::builder(ArmSpec::unit_costs(2), 1).policy("scaled-epsilon-greedy").build();
+        assert_eq!(
+            scaled.unwrap().effective_policy_name(),
+            "scaled:decaying-contextual-epsilon-greedy"
+        );
         assert_eq!(e.stats(), EngineStats::default());
         e.register("x").unwrap();
         assert_eq!(e.stats().keys, 1);

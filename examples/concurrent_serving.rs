@@ -36,11 +36,12 @@ fn main() {
     };
     let report = banditware::serve::run_stress(&engine, &plan);
     println!(
-        "served {} rounds across {} tenants on {} threads (policy: {})",
+        "served {} rounds across {} tenants on {} threads (policy: {}, reports as {})",
         report.total_rounds,
         report.rounds_per_key.len(),
         plan.n_threads,
         engine.policy_name(),
+        engine.effective_policy_name(),
     );
 
     println!("\ntenant  | rounds | pulls per arm          | mean runtime/arm (s)");
