@@ -1,16 +1,27 @@
-//! Machine-readable perf trajectory for the recommend/record hot path.
+//! Machine-readable perf trajectory for the recommend/record hot path and
+//! the checkpoint-recovery path.
 //!
 //! Runs the record-path and serving benches at realistic dimensions and
-//! emits `BENCH_PR3.json`: median ns/op for each metric, next to the
-//! pre-PR-3 numbers captured on this machine before the allocation-free
-//! O(m²) record path landed. `ci.sh` runs this on every pass so future PRs
-//! extend the trajectory instead of re-asserting complexity claims.
+//! emits `BENCH_PR3.json` (median ns/op next to the pre-PR-3 numbers), plus
+//! `BENCH_PR4.json`: the `recovery_10k_history` group — v3 snapshot-restore
+//! vs full-log replay-restore at history lengths n ∈ {1k, 10k, 100k}. The
+//! PR-4 claim pinned by the numbers: snapshot restore time is independent
+//! of n (the 100k restore lands within 2× of the 1k restore, while replay
+//! grows linearly), and so is snapshot size under `Retention::Tail`.
+//! `ci.sh` runs this on every pass so future PRs extend the trajectory
+//! instead of re-asserting complexity claims.
 //!
 //! Usage: `cargo run --release -p banditware-bench --bin perf_baseline
-//! [OUT.json]` (default `BENCH_PR3.json` in the current directory).
+//! [OUT_PR3.json [OUT_PR4.json]]` (defaults `BENCH_PR3.json` /
+//! `BENCH_PR4.json` in the current directory).
 
 use banditware_core::arm::{ArmEstimator, RecursiveArm};
-use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy, Ticket};
+use banditware_core::persist::{
+    load_checkpoint, restore_checkpoint, save_checkpoint, save_history,
+};
+use banditware_core::{
+    ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, Policy, Retention, Ticket,
+};
 use banditware_serve::Engine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,8 +123,86 @@ fn bench_engine_round(batch: usize) -> f64 {
     }) / batch as f64
 }
 
+/// One tenant's lifetime: an ε-greedy recommender over `m` features after
+/// `n` live rounds, with a bounded retained tail (the serving
+/// configuration).
+fn trained_bandit(n: usize, m: usize) -> BanditWare<DecayingEpsilonGreedy<RecursiveArm>> {
+    let mut rng = StdRng::seed_from_u64(41);
+    let policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(4),
+        m,
+        BanditConfig::paper().with_epsilon0(0.2).with_seed(7),
+    )
+    .unwrap();
+    let mut bandit = BanditWare::new(policy, ArmSpec::unit_costs(4));
+    for _ in 0..n {
+        let x = context(m, &mut rng);
+        let (t, rec) = bandit.recommend_ticketed(&x).unwrap();
+        bandit.record_ticket(t, 5.0 + rec.arm as f64 + x[0] * 0.1).unwrap();
+    }
+    bandit
+}
+
+fn fresh_like(m: usize) -> BanditWare<DecayingEpsilonGreedy<RecursiveArm>> {
+    let policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(4),
+        m,
+        BanditConfig::paper().with_epsilon0(0.2).with_seed(7),
+    )
+    .unwrap();
+    BanditWare::new(policy, ArmSpec::unit_costs(4))
+}
+
+/// Median wall time (ns) of `op` over `samples` single-shot runs.
+fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+struct RecoveryPoint {
+    n: usize,
+    replay_ns: f64,
+    snapshot_ns: f64,
+    snapshot_bytes: usize,
+}
+
+/// Restore cost at history length `n`: full-log replay (v2) vs statistics
+/// snapshot (v3, `Retention::Tail(256)`), both measured from in-memory
+/// bytes through `load_checkpoint` + `restore_checkpoint`.
+fn bench_recovery(n: usize, m: usize) -> RecoveryPoint {
+    let mut bandit = trained_bandit(n, m);
+    let mut v2 = Vec::new();
+    save_history(&bandit, &mut v2).unwrap();
+    bandit.set_retention(Retention::Tail(256));
+    let mut v3 = Vec::new();
+    save_checkpoint(&bandit, &mut v3).unwrap();
+
+    let samples = if n >= 50_000 { 3 } else { 7 };
+    let replay_ns = median_ns(samples, || {
+        let cp = load_checkpoint(v2.as_slice()).unwrap();
+        let mut fresh = fresh_like(m);
+        restore_checkpoint(&mut fresh, &cp).unwrap();
+        assert_eq!(fresh.rounds(), n);
+    });
+    let snapshot_ns = median_ns(15, || {
+        let cp = load_checkpoint(v3.as_slice()).unwrap();
+        let mut fresh = fresh_like(m);
+        restore_checkpoint(&mut fresh, &cp).unwrap();
+        assert_eq!(fresh.rounds(), n);
+    });
+    RecoveryPoint { n, replay_ns, snapshot_ns, snapshot_bytes: v3.len() }
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let out_path_pr4 = std::env::args().nth(2).unwrap_or_else(|| "BENCH_PR4.json".to_string());
 
     let current: Vec<(&str, f64)> = vec![
         ("record_m4", bench_record(4)),
@@ -139,4 +228,41 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
     println!("wrote {out_path}");
+
+    // --- PR 4: the recovery_10k_history group (plus the 1k / 100k ends of
+    // the scaling curve). ---
+    const M: usize = 8;
+    let points: Vec<RecoveryPoint> =
+        [1_000, 10_000, 100_000].iter().map(|&n| bench_recovery(n, M)).collect();
+    let p1k = &points[0];
+    let p100k = &points[2];
+    let ratio_snapshot = p100k.snapshot_ns / p1k.snapshot_ns;
+    let ratio_replay = p100k.replay_ns / p1k.replay_ns;
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"n{}\": {{ \"replay_restore_ns\": {:.0}, \"snapshot_restore_ns\": {:.0}, \
+                 \"snapshot_bytes\": {} }}",
+                p.n, p.replay_ns, p.snapshot_ns, p.snapshot_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"banditware-bench-v1\",\n  \"pr\": 4,\n  \"unit\": \"ns\",\n  \
+         \"recovery_10k_history\": {{\n{}\n  }},\n  \
+         \"snapshot_restore_100k_over_1k\": {ratio_snapshot:.2},\n  \
+         \"replay_restore_100k_over_1k\": {ratio_replay:.2},\n  \
+         \"replay_over_snapshot_at_100k\": {:.1}\n}}\n",
+        rows.join(",\n"),
+        p100k.replay_ns / p100k.snapshot_ns,
+    );
+    std::fs::write(&out_path_pr4, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path_pr4}");
+    assert!(
+        ratio_snapshot < 2.0,
+        "PR-4 acceptance: snapshot restore at n=100k must stay within 2x of n=1k, got \
+         {ratio_snapshot:.2}x"
+    );
 }

@@ -15,6 +15,7 @@
 //! specification (and powers the ablation bench `ablation_arm_model`).
 
 use crate::error::CoreError;
+use crate::snapshot::ArmState;
 use crate::Result;
 use banditware_linalg::lstsq::{fit_ols, fit_ridge, LinearFit};
 use banditware_linalg::online::{NormalEquations, SolveScratch};
@@ -27,6 +28,28 @@ pub trait ArmEstimator: Send + Sync + std::fmt::Debug {
 
     /// Observations absorbed so far.
     fn n_obs(&self) -> usize;
+
+    /// Export the estimator's complete state for checkpointing (bitwise
+    /// round-trip with [`ArmEstimator::restore_state`]). The default
+    /// returns [`ArmState::Opaque`] — such arms checkpoint by history
+    /// replay only.
+    fn state(&self) -> ArmState {
+        ArmState::Opaque
+    }
+
+    /// Restore a state captured with [`ArmEstimator::state`]. On error the
+    /// estimator is unspecified; restore into a fresh estimator.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] on kind/dimension mismatches, or
+    /// (the default) for estimators without snapshot support.
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        let _ = state;
+        Err(CoreError::InvalidParameter {
+            name: "snapshot",
+            detail: "arm estimator does not support snapshot restore".into(),
+        })
+    }
 
     /// Predicted runtime for context `x`. Unfitted arms predict 0 — the
     /// paper's zero initialization (`wᵢ ← 0, bᵢ ← 0`), which makes fresh
@@ -52,6 +75,25 @@ fn validate(x: &[f64], n_features: usize, runtime: f64) -> Result<()> {
     }
     if !runtime.is_finite() || runtime <= 0.0 {
         return Err(CoreError::InvalidRuntime(runtime));
+    }
+    Ok(())
+}
+
+/// Uniform error for `restore_state` on a wrong state kind or shape.
+pub(crate) fn state_mismatch(expected: &'static str, detail: impl std::fmt::Display) -> CoreError {
+    CoreError::InvalidParameter {
+        name: "snapshot",
+        detail: format!("cannot restore into a {expected} arm: {detail}"),
+    }
+}
+
+/// Validate that a snapshotted fit matches an arm's feature count.
+fn check_fit(fit: &LinearFit, n_features: usize, kind: &'static str) -> Result<()> {
+    if fit.weights.len() != n_features {
+        return Err(state_mismatch(
+            kind,
+            format!("fit has {} weights, arm has {n_features} features", fit.weights.len()),
+        ));
     }
     Ok(())
 }
@@ -119,6 +161,38 @@ impl ArmEstimator for LinearArm {
         self.ys.clear();
         self.current = LinearFit::zeros(self.n_features);
     }
+
+    fn state(&self) -> ArmState {
+        ArmState::Linear {
+            n_features: self.n_features,
+            data: self.design.as_slice().to_vec(),
+            ys: self.ys.clone(),
+            fit: self.current.clone(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        let ArmState::Linear { n_features, data, ys, fit } = state else {
+            return Err(state_mismatch("linear", "state is not a linear-arm snapshot"));
+        };
+        if *n_features != self.n_features {
+            return Err(state_mismatch(
+                "linear",
+                format!("state has {n_features} features, arm has {}", self.n_features),
+            ));
+        }
+        if data.len() != ys.len() * self.n_features {
+            return Err(state_mismatch(
+                "linear",
+                format!("design of {} values against {} rows", data.len(), ys.len()),
+            ));
+        }
+        check_fit(fit, self.n_features, "linear")?;
+        self.design = Matrix::from_vec(ys.len(), self.n_features, data.clone())?;
+        self.ys = ys.clone();
+        self.current = fit.clone();
+        Ok(())
+    }
 }
 
 /// Incremental arm: normal-equation sufficient statistics with an
@@ -179,6 +253,26 @@ impl ArmEstimator for RecursiveArm {
     fn reset(&mut self) {
         self.acc.clear();
         self.current = LinearFit::zeros(self.acc.n_features());
+    }
+
+    fn state(&self) -> ArmState {
+        ArmState::Recursive { acc: self.acc.to_state(), fit: self.current.clone() }
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        let ArmState::Recursive { acc, fit } = state else {
+            return Err(state_mismatch("recursive", "state is not a recursive-arm snapshot"));
+        };
+        if acc.n_features != self.acc.n_features() {
+            return Err(state_mismatch(
+                "recursive",
+                format!("state has {} features, arm has {}", acc.n_features, self.acc.n_features()),
+            ));
+        }
+        check_fit(fit, self.acc.n_features(), "recursive")?;
+        self.acc = NormalEquations::from_state(acc)?;
+        self.current = fit.clone();
+        Ok(())
     }
 }
 
@@ -242,6 +336,19 @@ impl ArmEstimator for MeanArm {
         self.n = 0;
         self.mean = 0.0;
     }
+
+    fn state(&self) -> ArmState {
+        ArmState::Mean { n: self.n, mean: self.mean }
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        let ArmState::Mean { n, mean } = state else {
+            return Err(state_mismatch("mean", "state is not a mean-arm snapshot"));
+        };
+        self.n = *n;
+        self.mean = *mean;
+        Ok(())
+    }
 }
 
 /// Build `n_arms` independent arms of a given kind (helper for policies).
@@ -274,6 +381,14 @@ impl ArmEstimator for Box<dyn ArmEstimator> {
 
     fn reset(&mut self) {
         self.as_mut().reset()
+    }
+
+    fn state(&self) -> ArmState {
+        self.as_ref().state()
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        self.as_mut().restore_state(state)
     }
 }
 

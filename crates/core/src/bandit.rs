@@ -46,14 +46,37 @@ pub struct Observation {
 pub struct Recommendation {
     /// Chosen arm index.
     pub arm: usize,
-    /// Arm display name.
-    pub name: String,
+    /// Arm display name — a shared handle into the recommender's
+    /// [`ArmSpec`] table, so handing it out per request is a refcount
+    /// bump, not a string allocation.
+    pub name: std::sync::Arc<str>,
     /// Arm resource cost.
     pub resource_cost: f64,
     /// Predicted runtime under the current model (NaN before any fit).
     pub predicted_runtime: f64,
     /// Whether this was an exploration draw.
     pub explored: bool,
+}
+
+/// How much of the observation log a [`BanditWare`] keeps in memory.
+///
+/// Every policy in this crate is a deterministic function of its
+/// *sufficient statistics* (snapshotted exactly by
+/// [`crate::Policy::snapshot`]), so the log is **not** needed to operate —
+/// it exists for inspection, v2-style replay checkpoints, and per-arm
+/// summaries. Under `Tail`/`None` the steady-state memory of a tenant is
+/// O(m² + tail) instead of O(rounds): the round counter keeps counting
+/// ([`BanditWare::rounds`] reports the true total) while old observations
+/// are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep every observation (the historical default; required for
+    /// faithful v2 replay checkpoints of the full run).
+    Full,
+    /// Keep only the most recent `n` observations.
+    Tail(usize),
+    /// Keep no observations at all.
+    None,
 }
 
 /// Opaque handle for an in-flight round: issued by
@@ -105,6 +128,11 @@ pub struct BanditWare<P: Policy> {
     policy: P,
     specs: Vec<ArmSpec>,
     history: Vec<Observation>,
+    /// Rounds recorded but no longer retained in `history` (dropped by the
+    /// retention policy or elided by a stats-only restore). The absolute
+    /// round counter is `base_rounds + history.len()`.
+    base_rounds: usize,
+    retention: Retention,
     // BTreeMap keeps iteration (and therefore checkpoint serialization)
     // deterministic in ticket order.
     in_flight: BTreeMap<u64, InFlightRound>,
@@ -123,10 +151,55 @@ impl<P: Policy> BanditWare<P> {
             policy,
             specs,
             history: Vec::new(),
+            base_rounds: 0,
+            retention: Retention::Full,
             in_flight: BTreeMap::new(),
             next_ticket: 0,
             legacy_pending: None,
         }
+    }
+
+    /// Builder-style retention policy (see [`Retention`]).
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        self.set_retention(retention);
+        self
+    }
+
+    /// Change the retention policy. Tightening it trims the stored history
+    /// immediately; the absolute round counter is unaffected.
+    pub fn set_retention(&mut self, retention: Retention) {
+        self.retention = retention;
+        self.apply_retention();
+    }
+
+    /// The active retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    fn apply_retention(&mut self) {
+        let keep = match self.retention {
+            Retention::Full => return,
+            Retention::Tail(n) => n,
+            Retention::None => 0,
+        };
+        if self.history.len() > keep {
+            let drop = self.history.len() - keep;
+            self.history.drain(..drop);
+            self.base_rounds += drop;
+        }
+    }
+
+    /// Append one completed round, stamping the absolute round number and
+    /// applying the retention policy.
+    fn push_history(&mut self, arm: usize, features: Vec<f64>, runtime: f64, explored: bool) {
+        let round = self.rounds();
+        if matches!(self.retention, Retention::None) {
+            self.base_rounds += 1;
+            return;
+        }
+        self.history.push(Observation { round, arm, features, runtime, explored });
+        self.apply_retention();
     }
 
     /// The wrapped policy (read access, e.g. for reporting fitted models).
@@ -134,19 +207,40 @@ impl<P: Policy> BanditWare<P> {
         &self.policy
     }
 
+    /// Mutable access to the wrapped policy — the checkpoint-restore hook
+    /// ([`crate::persist::restore_checkpoint`] restores the policy state in
+    /// place).
+    pub(crate) fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Replace the stored history with a restored tail whose rounds end at
+    /// `total_rounds` (the stats-only v3 restore path: the policy already
+    /// contains every observation's effect, the tail is retained context).
+    pub(crate) fn install_history(&mut self, total_rounds: usize, tail: Vec<Observation>) {
+        debug_assert!(tail.len() <= total_rounds);
+        self.base_rounds = total_rounds - tail.len();
+        self.history = tail;
+        self.apply_retention();
+    }
+
     /// Arm metadata.
     pub fn specs(&self) -> &[ArmSpec] {
         &self.specs
     }
 
-    /// All recorded rounds.
+    /// The **retained** observations (the most recent tail under
+    /// [`Retention::Tail`], everything under [`Retention::Full`]).
+    /// `Observation::round` carries the absolute round number even when
+    /// earlier rounds have been dropped.
     pub fn history(&self) -> &[Observation] {
         &self.history
     }
 
-    /// Rounds recorded so far.
+    /// Rounds recorded over the recommender's lifetime — counts retained
+    /// *and* dropped observations.
     pub fn rounds(&self) -> usize {
-        self.history.len()
+        self.base_rounds + self.history.len()
     }
 
     /// Tickets currently awaiting their runtime, in ascending id order.
@@ -157,6 +251,14 @@ impl<P: Policy> BanditWare<P> {
     /// Number of rounds currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// The remembered selection of an open ticket (`None` when the ticket
+    /// is not in flight). Durable serving layers read this to log the full
+    /// observation (arm, context, exploration flag) alongside the runtime
+    /// when a ticket is recorded.
+    pub fn in_flight_round(&self, ticket: Ticket) -> Option<&InFlightRound> {
+        self.in_flight.get(&ticket.0)
     }
 
     /// Iterate over the open rounds (ticket + remembered selection), in
@@ -259,13 +361,7 @@ impl<P: Policy> BanditWare<P> {
         if self.legacy_pending == Some(ticket) {
             self.legacy_pending = None;
         }
-        self.history.push(Observation {
-            round: self.history.len(),
-            arm: round.arm,
-            features: round.features,
-            runtime,
-            explored: round.explored,
-        });
+        self.push_history(round.arm, round.features, runtime, round.explored);
         Ok(())
     }
 
@@ -311,13 +407,7 @@ impl<P: Policy> BanditWare<P> {
             if self.legacy_pending == Some(ticket) {
                 self.legacy_pending = None;
             }
-            self.history.push(Observation {
-                round: self.history.len(),
-                arm: round.arm,
-                features: round.features,
-                runtime,
-                explored: round.explored,
-            });
+            self.push_history(round.arm, round.features, runtime, round.explored);
         }
         Ok(())
     }
@@ -418,13 +508,20 @@ impl<P: Policy> BanditWare<P> {
     /// Propagates policy validation.
     pub fn record_external(&mut self, arm: usize, features: &[f64], runtime: f64) -> Result<()> {
         self.policy.warm_start(arm, features, runtime)?;
-        self.history.push(Observation {
-            round: self.history.len(),
-            arm,
-            features: features.to_vec(),
-            runtime,
-            explored: false,
-        });
+        self.push_history(arm, features.to_vec(), runtime, false);
+        Ok(())
+    }
+
+    /// Replay one logged observation — the WAL/checkpoint tail-replay path.
+    /// Like [`BanditWare::record_external`] (the policy absorbs it through
+    /// [`Policy::warm_start`]) but the original exploration flag survives
+    /// into the retained history.
+    ///
+    /// # Errors
+    /// Propagates policy validation.
+    pub fn record_replayed(&mut self, o: &Observation) -> Result<()> {
+        self.policy.warm_start(o.arm, &o.features, o.runtime)?;
+        self.push_history(o.arm, o.features.clone(), o.runtime, o.explored);
         Ok(())
     }
 
@@ -449,7 +546,10 @@ impl<P: Policy> BanditWare<P> {
         self.policy.pulls()
     }
 
-    /// Mean observed runtime per arm from the history (NaN for unplayed).
+    /// Mean observed runtime per arm over the **retained** history (NaN for
+    /// arms with no retained observation). Under [`Retention::Tail`] this
+    /// is a windowed mean — often the more useful quantity on a drifting
+    /// cluster anyway.
     pub fn mean_runtime_per_arm(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.specs.len()];
         let mut counts = vec![0usize; self.specs.len()];
@@ -463,10 +563,12 @@ impl<P: Policy> BanditWare<P> {
             .collect()
     }
 
-    /// Reset the policy, clear the history, and void every open ticket.
+    /// Reset the policy, clear the history (and the dropped-rounds
+    /// counter), and void every open ticket.
     pub fn reset(&mut self) {
         self.policy.reset();
         self.history.clear();
+        self.base_rounds = 0;
         self.in_flight.clear();
         self.next_ticket = 0;
         self.legacy_pending = None;
@@ -812,6 +914,64 @@ mod tests {
         bw.record_batch(&outcomes).unwrap();
         assert_eq!(bw.rounds(), 2);
         assert_eq!(bw.policy().name(), "decaying-contextual-epsilon-greedy");
+    }
+
+    #[test]
+    fn tail_retention_bounds_history_and_keeps_counting() {
+        let mut bw = make().with_retention(Retention::Tail(5));
+        for i in 0..40 {
+            bw.run_round(&[i as f64], |_| 10.0 + i as f64).unwrap();
+        }
+        assert_eq!(bw.rounds(), 40, "round counter is lifetime-total");
+        assert_eq!(bw.history().len(), 5, "history bounded at the tail");
+        // The tail holds the most recent rounds with absolute numbering.
+        assert_eq!(bw.history()[0].round, 35);
+        assert_eq!(bw.history()[4].round, 39);
+        assert_eq!(bw.history()[4].features, vec![39.0]);
+        // The model saw everything, not just the tail.
+        assert_eq!(bw.pulls().iter().sum::<usize>(), 40);
+        // Tightening retention trims immediately.
+        bw.set_retention(Retention::Tail(2));
+        assert_eq!(bw.history().len(), 2);
+        assert_eq!(bw.history()[0].round, 38);
+        assert_eq!(bw.rounds(), 40);
+        // Reset clears the dropped-rounds counter too.
+        bw.reset();
+        assert_eq!(bw.rounds(), 0);
+        assert!(bw.history().is_empty());
+    }
+
+    #[test]
+    fn none_retention_stores_nothing() {
+        let mut bw = make().with_retention(Retention::None);
+        for i in 0..10 {
+            bw.run_round(&[i as f64], |_| 5.0).unwrap();
+        }
+        assert_eq!(bw.rounds(), 10);
+        assert!(bw.history().is_empty());
+        assert_eq!(bw.retention(), Retention::None);
+        // Per-arm means over an empty retained history are all-NaN.
+        assert!(bw.mean_runtime_per_arm().iter().all(|m| m.is_nan()));
+    }
+
+    #[test]
+    fn in_flight_round_exposes_open_selection() {
+        let mut bw = make();
+        let (t, rec) = bw.recommend_ticketed(&[7.0]).unwrap();
+        let round = bw.in_flight_round(t).unwrap();
+        assert_eq!(round.arm, rec.arm);
+        assert_eq!(round.features, vec![7.0]);
+        bw.record_ticket(t, 3.0).unwrap();
+        assert!(bw.in_flight_round(t).is_none());
+    }
+
+    #[test]
+    fn record_replayed_preserves_exploration_flag() {
+        let mut bw = make();
+        let o = Observation { round: 0, arm: 1, features: vec![2.0], runtime: 8.0, explored: true };
+        bw.record_replayed(&o).unwrap();
+        assert_eq!(bw.history()[0].explored, true);
+        assert_eq!(bw.pulls(), vec![0, 1]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::arm::{ArmEstimator, RecursiveArm};
 use crate::error::CoreError;
 use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, PolicyState};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -174,6 +175,29 @@ impl Policy for Boltzmann {
         self.arms.iter_mut().for_each(ArmEstimator::reset);
         self.temperature = self.t0;
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Boltzmann {
+            temperature: self.temperature,
+            rng: self.rng.state(),
+            arms: self.arms.iter().map(ArmEstimator::state).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Boltzmann { temperature, rng, arms } = state else {
+            return Err(kind_mismatch("boltzmann", state));
+        };
+        if arms.len() != self.arms.len() {
+            return Err(arm_count_mismatch(self.arms.len(), arms.len()));
+        }
+        for (arm, s) in self.arms.iter_mut().zip(arms) {
+            arm.restore_state(s)?;
+        }
+        self.temperature = *temperature;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

@@ -23,6 +23,7 @@
 
 use crate::arm::ArmEstimator;
 use crate::error::CoreError;
+use crate::snapshot::ArmState;
 use crate::Result;
 use banditware_linalg::lstsq::LinearFit;
 use banditware_linalg::online::{NormalEquations, SolveScratch};
@@ -112,6 +113,29 @@ impl ArmEstimator for DiscountedArm {
         self.acc.clear();
         self.current = LinearFit::zeros(self.acc.n_features());
     }
+
+    fn state(&self) -> ArmState {
+        ArmState::Discounted { acc: self.acc.to_state(), fit: self.current.clone() }
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        // γ is construction-time configuration; only the statistics travel.
+        let ArmState::Discounted { acc, fit } = state else {
+            return Err(crate::arm::state_mismatch(
+                "discounted",
+                "state is not a discounted-arm snapshot",
+            ));
+        };
+        if acc.n_features != self.acc.n_features() || fit.weights.len() != self.acc.n_features() {
+            return Err(crate::arm::state_mismatch(
+                "discounted",
+                format!("state has {} features, arm has {}", acc.n_features, self.acc.n_features()),
+            ));
+        }
+        self.acc = NormalEquations::from_state(acc)?;
+        self.current = fit.clone();
+        Ok(())
+    }
 }
 
 /// Least squares over a sliding window of the most recent observations,
@@ -197,6 +221,67 @@ impl ArmEstimator for WindowedArm {
         self.total_seen = 0;
         self.acc.clear();
         self.current = LinearFit::zeros(self.n_features);
+    }
+
+    fn state(&self) -> ArmState {
+        let mut data = Vec::with_capacity(self.window.len() * self.n_features);
+        let mut ys = Vec::with_capacity(self.window.len());
+        for (x, y) in &self.window {
+            data.extend_from_slice(x);
+            ys.push(*y);
+        }
+        ArmState::Windowed {
+            n_features: self.n_features,
+            total_seen: self.total_seen,
+            data,
+            ys,
+            acc: self.acc.to_state(),
+            fit: self.current.clone(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &ArmState) -> Result<()> {
+        let ArmState::Windowed { n_features, total_seen, data, ys, acc, fit } = state else {
+            return Err(crate::arm::state_mismatch(
+                "windowed",
+                "state is not a windowed-arm snapshot",
+            ));
+        };
+        if *n_features != self.n_features
+            || acc.n_features != self.n_features
+            || fit.weights.len() != self.n_features
+        {
+            return Err(crate::arm::state_mismatch(
+                "windowed",
+                format!("state has {n_features} features, arm has {}", self.n_features),
+            ));
+        }
+        if ys.len() > self.capacity {
+            return Err(crate::arm::state_mismatch(
+                "windowed",
+                format!("window of {} rows exceeds arm capacity {}", ys.len(), self.capacity),
+            ));
+        }
+        if data.len() != ys.len() * self.n_features {
+            return Err(crate::arm::state_mismatch(
+                "windowed",
+                format!("window of {} values against {} rows", data.len(), ys.len()),
+            ));
+        }
+        self.window.clear();
+        if self.n_features == 0 {
+            for &y in ys {
+                self.window.push_back((Vec::new(), y));
+            }
+        } else {
+            for (x, &y) in data.chunks_exact(self.n_features).zip(ys) {
+                self.window.push_back((x.to_vec(), y));
+            }
+        }
+        self.total_seen = *total_seen;
+        self.acc = NormalEquations::from_state(acc)?;
+        self.current = fit.clone();
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@ use crate::arm::{ArmEstimator, LinearArm, RecursiveArm};
 use crate::config::BanditConfig;
 use crate::error::CoreError;
 use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, PolicyState};
 use crate::tolerance::tolerant_select;
 use crate::Result;
 use rand::rngs::StdRng;
@@ -213,6 +214,29 @@ impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
         }
         self.epsilon = self.config.epsilon0;
         self.rng = StdRng::seed_from_u64(self.config.seed);
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Epsilon {
+            epsilon: self.epsilon,
+            rng: self.rng.state(),
+            arms: self.arms.iter().map(ArmEstimator::state).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Epsilon { epsilon, rng, arms } = state else {
+            return Err(kind_mismatch("epsilon-greedy", state));
+        };
+        if arms.len() != self.arms.len() {
+            return Err(arm_count_mismatch(self.arms.len(), arms.len()));
+        }
+        for (arm, s) in self.arms.iter_mut().zip(arms) {
+            arm.restore_state(s)?;
+        }
+        self.epsilon = *epsilon;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

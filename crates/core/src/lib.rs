@@ -22,7 +22,14 @@
 //!   future work, implemented here for the ablation benches.
 //! * [`plain`] — the classic non-contextual ε-greedy of the paper's Fig. 2.
 //! * [`bandit`] — [`bandit::BanditWare`], the user-facing recommender facade
-//!   that couples a policy with hardware metadata and a run history.
+//!   that couples a policy with hardware metadata and a (retention-bounded)
+//!   run history.
+//! * [`snapshot`] — exact policy-state snapshots ([`snapshot::PolicyState`]):
+//!   sufficient statistics, schedules, and RNG stream positions, restored
+//!   bitwise.
+//! * [`persist`] — the three checkpoint formats: v1/v2 observation logs
+//!   (restore by replay) and v3 statistics snapshots (restore in O(m²),
+//!   independent of history length).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,11 +47,13 @@ pub mod persist;
 pub mod plain;
 pub mod policy;
 pub mod scaler;
+pub mod snapshot;
 pub mod thompson;
 pub mod tolerance;
 pub mod ucb;
 
 pub use arm::{ArmEstimator, LinearArm, RecursiveArm};
+pub use bandit::Retention;
 pub use bandit::{BanditWare, InFlightRound, Observation, Recommendation, Ticket};
 pub use config::BanditConfig;
 pub use drift::{DiscountedArm, WindowedArm};
@@ -53,6 +62,7 @@ pub use error::CoreError;
 pub use objective::{BudgetedEpsilonGreedy, Objective};
 pub use policy::{ArmSpec, Policy, Selection};
 pub use scaler::{ScaledPolicy, StandardScaler};
+pub use snapshot::{ArmState, PolicyState, WelfordState};
 pub use tolerance::Tolerance;
 
 /// Result alias for bandit operations.

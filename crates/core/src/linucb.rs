@@ -9,6 +9,7 @@
 
 use crate::error::CoreError;
 use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, PolicyState};
 use crate::Result;
 use banditware_linalg::online::RankOneInverse;
 use banditware_linalg::vector;
@@ -18,8 +19,12 @@ use banditware_linalg::vector;
 /// The point estimates `θᵢ` are cached (recomputed only when an arm
 /// observes), and the augmented context / `A⁻¹z` intermediates live in
 /// per-policy scratch buffers — the select and observe hot paths perform
-/// zero heap allocations.
-#[derive(Debug, Clone)]
+/// zero heap allocations. The **read path** (`&self` —
+/// [`LinUcb::lcb`], [`Policy::predict`]) is allocation-free too, via a
+/// mutex-guarded policy-owned scratch: the lock is uncontended in the
+/// single-writer serving model (shards own their policies) and costs a
+/// couple of atomic operations, not an allocator round trip.
+#[derive(Debug)]
 pub struct LinUcb {
     arms: Vec<RankOneInverse>,
     thetas: Vec<Vec<f64>>,
@@ -34,6 +39,36 @@ pub struct LinUcb {
     z: Vec<f64>,
     /// Scratch: `A⁻¹z` for the confidence widths.
     az: Vec<f64>,
+    /// Read-path scratch (`&self` receivers): augmented context + `A⁻¹z`.
+    read: std::sync::Mutex<ReadScratch>,
+}
+
+/// Buffers for the `&self` scoring accessors (same arithmetic as the
+/// mutable hot path, so results are identical to materializing `[1, x]`
+/// fresh).
+#[derive(Debug, Default)]
+struct ReadScratch {
+    z: Vec<f64>,
+    az: Vec<f64>,
+}
+
+impl Clone for LinUcb {
+    fn clone(&self) -> Self {
+        LinUcb {
+            arms: self.arms.clone(),
+            thetas: self.thetas.clone(),
+            pulls: self.pulls.clone(),
+            specs: self.specs.clone(),
+            n_features: self.n_features,
+            alpha: self.alpha,
+            lambda: self.lambda,
+            z: self.z.clone(),
+            az: self.az.clone(),
+            // Scratch contents are meaningless between calls; a clone gets
+            // fresh (empty) buffers.
+            read: std::sync::Mutex::new(ReadScratch::default()),
+        }
+    }
 }
 
 impl LinUcb {
@@ -73,14 +108,14 @@ impl LinUcb {
             lambda,
             z: vec![0.0; dim],
             az: vec![0.0; dim],
+            read: std::sync::Mutex::new(ReadScratch { z: vec![0.0; dim], az: vec![0.0; dim] }),
         })
     }
 
-    fn augment(x: &[f64]) -> Vec<f64> {
-        let mut z = Vec::with_capacity(x.len() + 1);
-        z.push(1.0);
-        z.extend_from_slice(x);
-        z
+    /// Lock the read-path scratch (recovering from a poisoned lock — the
+    /// scratch holds no invariants worth propagating a panic for).
+    fn read_scratch(&self) -> std::sync::MutexGuard<'_, ReadScratch> {
+        self.read.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The lower confidence bound of an arm for a context.
@@ -90,9 +125,12 @@ impl LinUcb {
     pub fn lcb(&self, arm: usize, x: &[f64]) -> Result<f64> {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;
-        let z = Self::augment(x);
-        let mut az = Vec::with_capacity(z.len());
-        Self::mean_and_lcb(&self.arms[arm], &self.thetas[arm], self.alpha, &z, &mut az)
+        let mut s = self.read_scratch();
+        let ReadScratch { z, az } = &mut *s;
+        z.resize(x.len() + 1, 0.0);
+        z[0] = 1.0;
+        z[1..].copy_from_slice(x);
+        Self::mean_and_lcb(&self.arms[arm], &self.thetas[arm], self.alpha, z, az)
             .map(|(_, lcb)| lcb)
     }
 
@@ -173,7 +211,12 @@ impl Policy for LinUcb {
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;
-        Ok(vector::dot(&self.thetas[arm], &Self::augment(x)))
+        let mut s = self.read_scratch();
+        let z = &mut s.z;
+        z.resize(x.len() + 1, 0.0);
+        z[0] = 1.0;
+        z[1..].copy_from_slice(x);
+        Ok(vector::dot(&self.thetas[arm], z))
     }
 
     fn pulls(&self) -> Vec<usize> {
@@ -187,6 +230,42 @@ impl Policy for LinUcb {
             theta.iter_mut().for_each(|t| *t = 0.0);
         }
         self.pulls.iter_mut().for_each(|p| *p = 0);
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        // θ̂ is *not* stored: it is recomputed from the restored accumulator
+        // with the same fixed-order kernel that maintains it live, so the
+        // recomputation is bitwise identical.
+        PolicyState::LinUcb {
+            pulls: self.pulls.clone(),
+            arms: self.arms.iter().map(RankOneInverse::to_state).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::LinUcb { pulls, arms } = state else {
+            return Err(kind_mismatch("linucb", state));
+        };
+        if arms.len() != self.arms.len() || pulls.len() != self.arms.len() {
+            return Err(arm_count_mismatch(self.arms.len(), arms.len()));
+        }
+        let dim = self.n_features + 1;
+        for (i, s) in arms.iter().enumerate() {
+            if s.dim != dim {
+                return Err(CoreError::InvalidParameter {
+                    name: "snapshot",
+                    detail: format!("arm {i} state has dim {}, policy has {dim}", s.dim),
+                });
+            }
+            self.arms[i] = RankOneInverse::from_state(s)?;
+            if s.n == 0 {
+                self.thetas[i].iter_mut().for_each(|t| *t = 0.0);
+            } else {
+                self.arms[i].theta_into(&mut self.thetas[i])?;
+            }
+        }
+        self.pulls.copy_from_slice(pulls);
+        Ok(())
     }
 }
 

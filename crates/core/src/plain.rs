@@ -10,6 +10,7 @@
 use crate::arm::{ArmEstimator, MeanArm};
 use crate::error::CoreError;
 use crate::policy::{check_arm, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, ArmState, PolicyState};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +128,29 @@ impl Policy for PlainEpsilonGreedy {
         self.arms.iter_mut().for_each(ArmEstimator::reset);
         self.epsilon = self.epsilon0;
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Plain {
+            epsilon: self.epsilon,
+            rng: self.rng.state(),
+            arms: self.arms.iter().map(|a| (a.n_obs(), a.mean())).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Plain { epsilon, rng, arms } = state else {
+            return Err(kind_mismatch("plain-epsilon-greedy", state));
+        };
+        if arms.len() != self.arms.len() {
+            return Err(arm_count_mismatch(self.arms.len(), arms.len()));
+        }
+        for (arm, &(n, mean)) in self.arms.iter_mut().zip(arms) {
+            arm.restore_state(&ArmState::Mean { n, mean })?;
+        }
+        self.epsilon = *epsilon;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`Policy`] trait shared by every bandit algorithm, plus arm metadata.
 
+use crate::snapshot::PolicyState;
 use crate::Result;
 
 /// Metadata about one arm (hardware setting), independent of any concrete
@@ -9,15 +10,17 @@ use crate::Result;
 pub struct ArmSpec {
     /// Dense arm index.
     pub id: usize,
-    /// Display name.
-    pub name: String,
+    /// Display name, interned: cloning an `Arc<str>` is a refcount bump,
+    /// so handing the name out per recommendation costs no allocation (see
+    /// [`crate::Recommendation::name`]).
+    pub name: std::sync::Arc<str>,
     /// Scalar resource cost (lower = more efficient); see Algorithm 1 step 7.
     pub resource_cost: f64,
 }
 
 impl ArmSpec {
     /// Convenience constructor.
-    pub fn new(id: usize, name: impl Into<String>, resource_cost: f64) -> Self {
+    pub fn new(id: usize, name: impl Into<std::sync::Arc<str>>, resource_cost: f64) -> Self {
         ArmSpec { id, name: name.into(), resource_cost }
     }
 
@@ -135,6 +138,35 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
 
     /// Reset every arm and internal schedule to the initial state.
     fn reset(&mut self);
+
+    /// Export the policy's complete live state — sufficient statistics,
+    /// schedules, RNG stream positions — as a [`PolicyState`]. Restoring
+    /// the snapshot (into a policy built with the same configuration) is
+    /// **bitwise-faithful**: the restored policy's future selections and
+    /// predictions are exactly the live policy's.
+    ///
+    /// The default returns [`PolicyState::Opaque`], which the state-based
+    /// persistence ([`crate::persist::save_checkpoint`]) refuses to write —
+    /// ad-hoc policies fall back to history replay (v2 checkpoints).
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Opaque
+    }
+
+    /// Restore a state previously captured with [`Policy::snapshot`] from a
+    /// policy of the same family and shape. On error the policy's state is
+    /// unspecified — restore into a freshly built policy and discard it on
+    /// failure (which is what [`crate::persist`] does).
+    ///
+    /// # Errors
+    /// [`crate::CoreError::InvalidParameter`] on a kind/arm-count/dimension
+    /// mismatch, or (the default) for policies without snapshot support.
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let _ = state;
+        Err(crate::CoreError::InvalidParameter {
+            name: "snapshot",
+            detail: format!("policy {:?} does not support snapshot restore", self.name()),
+        })
+    }
 }
 
 /// Forwarding impl so `BanditWare<Box<dyn Policy>>` (and any other
@@ -187,6 +219,14 @@ impl Policy for Box<dyn Policy> {
     fn reset(&mut self) {
         (**self).reset()
     }
+
+    fn snapshot(&self) -> PolicyState {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        (**self).restore(state)
+    }
 }
 
 /// Validate a context's arity against a policy's feature count.
@@ -215,11 +255,13 @@ mod tests {
     fn arm_spec_constructors() {
         let s = ArmSpec::new(2, "H2", 6.0);
         assert_eq!(s.id, 2);
-        assert_eq!(s.name, "H2");
+        assert_eq!(&*s.name, "H2");
+        // Interned names: cloning a spec shares the allocation.
+        assert!(std::sync::Arc::ptr_eq(&s.name, &s.clone().name));
         let specs = ArmSpec::unit_costs(3);
         assert_eq!(specs.len(), 3);
         assert!(specs.iter().all(|s| s.resource_cost == 1.0));
-        assert_eq!(specs[1].name, "arm-1");
+        assert_eq!(&*specs[1].name, "arm-1");
     }
 
     #[test]

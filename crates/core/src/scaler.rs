@@ -10,6 +10,7 @@
 
 use crate::error::CoreError;
 use crate::policy::{ArmSpec, Policy, Selection};
+use crate::snapshot::{kind_mismatch, PolicyState, WelfordState};
 use crate::Result;
 use banditware_linalg::stats::Welford;
 
@@ -111,6 +112,32 @@ impl StandardScaler {
             *w = Welford::new();
         }
     }
+
+    /// Export the per-feature Welford accumulators for checkpointing
+    /// (bitwise round-trip with [`StandardScaler::restore_state`]).
+    pub fn state(&self) -> Vec<WelfordState> {
+        self.dims
+            .iter()
+            .map(|w| WelfordState { n: w.count(), mean: w.mean(), m2: w.m2() })
+            .collect()
+    }
+
+    /// Restore statistics captured with [`StandardScaler::state`].
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`] when the state's width differs.
+    pub fn restore_state(&mut self, state: &[WelfordState]) -> Result<()> {
+        if state.len() != self.dims.len() {
+            return Err(CoreError::FeatureDimMismatch {
+                got: state.len(),
+                expected: self.dims.len(),
+            });
+        }
+        for (w, s) in self.dims.iter_mut().zip(state) {
+            *w = Welford::from_parts(s.n, s.mean, s.m2);
+        }
+        Ok(())
+    }
 }
 
 /// A policy wrapper that standardizes contexts before delegating.
@@ -118,7 +145,13 @@ impl StandardScaler {
 /// The scaler is updated on every `select` and `observe`, so the
 /// standardization adapts as the workload distribution reveals itself —
 /// consistent with the framework's online-first philosophy.
-#[derive(Debug, Clone)]
+///
+/// Both the mutable hot path and the `&self` read path
+/// ([`Policy::predict`], [`Policy::predict_all_into`]) are allocation-free:
+/// the former scales into policy-owned buffers, the latter into a
+/// mutex-guarded read scratch (uncontended in the shard-per-policy serving
+/// model).
+#[derive(Debug)]
 pub struct ScaledPolicy<P: Policy> {
     inner: P,
     scaler: StandardScaler,
@@ -128,6 +161,20 @@ pub struct ScaledPolicy<P: Policy> {
     /// Scratch: a whole standardized batch, flattened (one allocation-free
     /// buffer instead of one vector per request).
     flat: Vec<f64>,
+    /// Read-path scratch: one standardized context for `&self` receivers.
+    read_z: std::sync::Mutex<Vec<f64>>,
+}
+
+impl<P: Policy + Clone> Clone for ScaledPolicy<P> {
+    fn clone(&self) -> Self {
+        ScaledPolicy {
+            inner: self.inner.clone(),
+            scaler: self.scaler.clone(),
+            zbuf: self.zbuf.clone(),
+            flat: self.flat.clone(),
+            read_z: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl<P: Policy> ScaledPolicy<P> {
@@ -139,6 +186,7 @@ impl<P: Policy> ScaledPolicy<P> {
             scaler: StandardScaler::new(n),
             zbuf: Vec::with_capacity(n),
             flat: Vec::new(),
+            read_z: std::sync::Mutex::new(Vec::with_capacity(n)),
         }
     }
 
@@ -217,8 +265,22 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
     }
 
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
-        let z = self.scaler.transform(x)?;
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.scaler.transform_into(x, &mut z)?;
         self.inner.predict(arm, &z)
+    }
+
+    fn predict_all(&self, x: &[f64]) -> Result<Vec<f64>> {
+        // One scaler transform for the whole sweep instead of one per arm.
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.scaler.transform_into(x, &mut z)?;
+        self.inner.predict_all(&z)
+    }
+
+    fn predict_all_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.scaler.transform_into(x, &mut z)?;
+        self.inner.predict_all_into(&z, out)
     }
 
     fn pulls(&self) -> Vec<usize> {
@@ -228,6 +290,18 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
     fn reset(&mut self) {
         self.inner.reset();
         self.scaler.reset();
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Scaled { scaler: self.scaler.state(), inner: Box::new(self.inner.snapshot()) }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Scaled { scaler, inner } = state else {
+            return Err(kind_mismatch("scaled", state));
+        };
+        self.scaler.restore_state(scaler)?;
+        self.inner.restore(inner)
     }
 }
 

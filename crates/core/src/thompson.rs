@@ -7,6 +7,7 @@
 
 use crate::error::CoreError;
 use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, PolicyState};
 use crate::Result;
 use banditware_linalg::online::RankOneInverse;
 use banditware_linalg::vector;
@@ -21,8 +22,9 @@ use rand::{Rng, SeedableRng};
 /// weight vector — live in policy-owned scratch buffers, so steady-state
 /// `select`/`observe` perform zero heap allocations (the rare
 /// collapsed-covariance jitter fallback is the only allocating escape
-/// hatch).
-#[derive(Debug, Clone)]
+/// hatch). The `&self` read path ([`Policy::predict`]) borrows a
+/// mutex-guarded scratch instead of materializing `[1, x]` per call.
+#[derive(Debug)]
 pub struct LinThompson {
     arms: Vec<RankOneInverse>,
     thetas: Vec<Vec<f64>>,
@@ -46,6 +48,31 @@ pub struct LinThompson {
     xi: Vec<f64>,
     /// Scratch: sampled weights θ̃ = θ̂ + Lξ.
     draw: Vec<f64>,
+    /// Read-path scratch (`&self` receivers): augmented context.
+    read_z: std::sync::Mutex<Vec<f64>>,
+}
+
+impl Clone for LinThompson {
+    fn clone(&self) -> Self {
+        LinThompson {
+            arms: self.arms.clone(),
+            thetas: self.thetas.clone(),
+            sum_sq: self.sum_sq.clone(),
+            pulls: self.pulls.clone(),
+            specs: self.specs.clone(),
+            n_features: self.n_features,
+            lambda: self.lambda,
+            scale: self.scale,
+            rng: self.rng.clone(),
+            seed: self.seed,
+            z: self.z.clone(),
+            cov: self.cov.clone(),
+            cov_l: self.cov_l.clone(),
+            xi: self.xi.clone(),
+            draw: self.draw.clone(),
+            read_z: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl LinThompson {
@@ -97,14 +124,8 @@ impl LinThompson {
             cov_l: Matrix::zeros(dim, dim),
             xi: vec![0.0; dim],
             draw: vec![0.0; dim],
+            read_z: std::sync::Mutex::new(vec![0.0; dim]),
         })
-    }
-
-    fn augment(x: &[f64]) -> Vec<f64> {
-        let mut z = Vec::with_capacity(x.len() + 1);
-        z.push(1.0);
-        z.extend_from_slice(x);
-        z
     }
 
     /// Estimated observation noise σ̂ for an arm (floored for stability).
@@ -215,7 +236,11 @@ impl Policy for LinThompson {
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;
-        Ok(vector::dot(&self.thetas[arm], &Self::augment(x)))
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        z.resize(x.len() + 1, 0.0);
+        z[0] = 1.0;
+        z[1..].copy_from_slice(x);
+        Ok(vector::dot(&self.thetas[arm], &z))
     }
 
     fn pulls(&self) -> Vec<usize> {
@@ -231,6 +256,44 @@ impl Policy for LinThompson {
             self.pulls[i] = 0;
         }
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Thompson {
+            pulls: self.pulls.clone(),
+            sum_sq: self.sum_sq.clone(),
+            rng: self.rng.state(),
+            arms: self.arms.iter().map(RankOneInverse::to_state).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Thompson { pulls, sum_sq, rng, arms } = state else {
+            return Err(kind_mismatch("linear-thompson", state));
+        };
+        let n_arms = self.arms.len();
+        if arms.len() != n_arms || pulls.len() != n_arms || sum_sq.len() != n_arms {
+            return Err(arm_count_mismatch(n_arms, arms.len()));
+        }
+        let dim = self.n_features + 1;
+        for (i, s) in arms.iter().enumerate() {
+            if s.dim != dim {
+                return Err(CoreError::InvalidParameter {
+                    name: "snapshot",
+                    detail: format!("arm {i} state has dim {}, policy has {dim}", s.dim),
+                });
+            }
+            self.arms[i] = RankOneInverse::from_state(s)?;
+            if s.n == 0 {
+                self.thetas[i].iter_mut().for_each(|t| *t = 0.0);
+            } else {
+                self.arms[i].theta_into(&mut self.thetas[i])?;
+            }
+        }
+        self.pulls.copy_from_slice(pulls);
+        self.sum_sq.copy_from_slice(sum_sq);
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

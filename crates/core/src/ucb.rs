@@ -8,6 +8,7 @@
 use crate::arm::{ArmEstimator, MeanArm};
 use crate::error::CoreError;
 use crate::policy::{check_arm, ArmSpec, Policy, Selection};
+use crate::snapshot::{arm_count_mismatch, kind_mismatch, ArmState, PolicyState};
 use crate::Result;
 
 /// UCB1 policy. Contexts are accepted (the `Policy` trait is contextual)
@@ -113,6 +114,27 @@ impl Policy for Ucb1 {
     fn reset(&mut self) {
         self.arms.iter_mut().for_each(ArmEstimator::reset);
         self.rounds = 0;
+    }
+
+    fn snapshot(&self) -> PolicyState {
+        PolicyState::Ucb1 {
+            rounds: self.rounds,
+            arms: self.arms.iter().map(|a| (a.n_obs(), a.mean())).collect(),
+        }
+    }
+
+    fn restore(&mut self, state: &PolicyState) -> Result<()> {
+        let PolicyState::Ucb1 { rounds, arms } = state else {
+            return Err(kind_mismatch("ucb1", state));
+        };
+        if arms.len() != self.arms.len() {
+            return Err(arm_count_mismatch(self.arms.len(), arms.len()));
+        }
+        for (arm, &(n, mean)) in self.arms.iter_mut().zip(arms) {
+            arm.restore_state(&ArmState::Mean { n, mean })?;
+        }
+        self.rounds = *rounds;
+        Ok(())
     }
 }
 

@@ -174,3 +174,66 @@ fn steady_state_record_path_is_allocation_free() {
     });
     assert_eq!(n, 0, "Boltzmann select+observe allocated {n} times in 200 steady-state rounds");
 }
+
+/// The PR-4 read-path pin: `&self` scoring — `predict`, `predict_all_into`
+/// with a caller buffer, LinUCB's `lcb` — performs zero heap allocations
+/// once warm, across the policies whose read paths previously allocated
+/// (LinUCB/Thompson augmented contexts, the scaled wrapper's transform).
+#[test]
+fn read_path_is_allocation_free() {
+    const M: usize = 16;
+    let mut x = vec![0.0; M];
+    let mut preds = Vec::with_capacity(8);
+
+    // --- LinUCB predict / predict_all_into / lcb. ---
+    let mut policy = LinUcb::new(ArmSpec::unit_costs(5), M, 1.0, 1.0).unwrap();
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        policy.observe(round % 5, &x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    // Warm the read scratch once before counting.
+    policy.predict_all_into(&x, &mut preds).unwrap();
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 50 + round);
+        policy.predict(round % 5, &x).unwrap();
+        policy.predict_all_into(&x, &mut preds).unwrap();
+        policy.lcb(round % 5, &x).unwrap();
+    });
+    assert_eq!(n, 0, "LinUCB read path allocated {n} times in 200 sweeps");
+
+    // --- Thompson predict. ---
+    let mut policy = LinThompson::new(ArmSpec::unit_costs(4), M, 1.0, 1.0, 9).unwrap();
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        policy.observe(round % 4, &x, 10.0 + (round % 13) as f64).unwrap();
+    }
+    policy.predict_all_into(&x, &mut preds).unwrap();
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 50 + round);
+        policy.predict(round % 4, &x).unwrap();
+        policy.predict_all_into(&x, &mut preds).unwrap();
+    });
+    assert_eq!(n, 0, "Thompson read path allocated {n} times in 200 sweeps");
+
+    // --- Scaled ε-greedy predict / predict_all_into (transform + inner). ---
+    let mut policy = ScaledPolicy::new(
+        DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(4),
+            M,
+            BanditConfig::paper().with_epsilon0(0.1).with_seed(8),
+        )
+        .unwrap(),
+    );
+    for round in 0..50 {
+        fill_context(&mut x, round);
+        let sel = policy.select(&x).unwrap();
+        policy.observe(sel.arm, &x, 10.0 + (round % 11) as f64).unwrap();
+    }
+    policy.predict_all_into(&x, &mut preds).unwrap();
+    let n = count_allocs(200, |round| {
+        fill_context(&mut x, 50 + round);
+        policy.predict(round % 4, &x).unwrap();
+        policy.predict_all_into(&x, &mut preds).unwrap();
+    });
+    assert_eq!(n, 0, "scaled read path allocated {n} times in 200 sweeps");
+}

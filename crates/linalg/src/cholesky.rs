@@ -209,6 +209,22 @@ fn solve_spd_into(l: &Matrix, b: &[f64], x: &mut [f64]) -> Result<()> {
     Ok(())
 }
 
+/// The exact serialized form of an [`UpdatableCholesky`]: the root-free
+/// `LDLᵀ` buffers, verbatim. See [`UpdatableCholesky::to_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorParts {
+    /// System dimension.
+    pub dim: usize,
+    /// `Lᵀ` of the unit-triangular `L`, row-major, `dim × dim`.
+    pub lt: Vec<f64>,
+    /// The positive diagonal `D`.
+    pub d: Vec<f64>,
+    /// The incrementally maintained reciprocals `1/dᵢ` (not recomputed on
+    /// restore — they are state, not cache; see
+    /// [`UpdatableCholesky::to_parts`]).
+    pub dinv: Vec<f64>,
+}
+
 /// A Cholesky factor maintained under rank-1 modifications — the O(m²)
 /// record-path engine.
 ///
@@ -311,6 +327,54 @@ impl UpdatableCholesky {
             }
         }
         out
+    }
+
+    /// Export the exact internal representation — `Lᵀ` (row-major), `D`,
+    /// and the cached reciprocals `1/dᵢ` — for checkpointing.
+    ///
+    /// All three buffers are part of the snapshot on purpose: `dinv` is
+    /// maintained *incrementally* (each update/scale multiplies it in
+    /// place), so recomputing `1/dᵢ` on restore would not be bitwise
+    /// identical to the live factor. Restoring via
+    /// [`UpdatableCholesky::from_parts`] therefore reproduces every future
+    /// solve, update, and downdate bit for bit.
+    pub fn to_parts(&self) -> FactorParts {
+        FactorParts {
+            dim: self.lt.rows(),
+            lt: self.lt.as_slice().to_vec(),
+            d: self.d.clone(),
+            dinv: self.dinv.clone(),
+        }
+    }
+
+    /// Rebuild a factor from [`UpdatableCholesky::to_parts`] output.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when the buffer lengths are
+    /// inconsistent with `dim`, [`LinalgError::NotPositiveDefinite`] when a
+    /// stored pivot is not a positive finite number.
+    pub fn from_parts(parts: &FactorParts) -> Result<Self> {
+        let n = parts.dim;
+        if parts.lt.len() != n * n || parts.d.len() != n || parts.dinv.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "factor parts for dim {n}: lt {} (want {}), d {} / dinv {} (want {n})",
+                parts.lt.len(),
+                n * n,
+                parts.d.len(),
+                parts.dinv.len()
+            )));
+        }
+        for (i, &d) in parts.d.iter().enumerate() {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { index: i, value: d });
+            }
+        }
+        Ok(UpdatableCholesky {
+            lt: Matrix::from_vec(n, n, parts.lt.clone())?,
+            d: parts.d.clone(),
+            dinv: parts.dinv.clone(),
+            work: vec![0.0; n],
+        })
     }
 
     /// Re-factorize from scratch (the fallback after a failed

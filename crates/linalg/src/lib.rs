@@ -38,11 +38,11 @@ pub mod qr;
 pub mod stats;
 pub mod vector;
 
-pub use cholesky::{Cholesky, UpdatableCholesky};
+pub use cholesky::{Cholesky, FactorParts, UpdatableCholesky};
 pub use error::LinalgError;
 pub use lstsq::{fit_ols, fit_ridge, LinearFit};
 pub use matrix::Matrix;
-pub use online::{NormalEquations, RankOneInverse, SolveScratch};
+pub use online::{NormalEqState, NormalEquations, RankOneInverse, RankOneState, SolveScratch};
 pub use qr::QrDecomposition;
 
 /// Convenience result alias used across the crate.

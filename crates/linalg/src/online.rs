@@ -15,12 +15,50 @@
 //! Sherman–Morrison, which is what LinUCB needs for its confidence
 //! ellipsoids.
 
-use crate::cholesky::{Cholesky, UpdatableCholesky};
+use crate::cholesky::{Cholesky, FactorParts, UpdatableCholesky};
 use crate::error::LinalgError;
 use crate::lstsq::LinearFit;
 use crate::matrix::Matrix;
 use crate::vector;
 use crate::Result;
+
+/// The exact serialized form of a [`NormalEquations`] accumulator: the
+/// sufficient statistics plus (when live) the incrementally maintained
+/// Cholesky factor. Restoring via [`NormalEquations::from_state`] is
+/// bitwise-faithful: every future push/forget/discount/solve produces the
+/// same bits the live accumulator would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalEqState {
+    /// Raw feature count (augmented dimension is `n_features + 1`).
+    pub n_features: usize,
+    /// Observation count.
+    pub n: usize,
+    /// `Σ y²`.
+    pub yty: f64,
+    /// `Zᵀy`, length `n_features + 1`.
+    pub zty: Vec<f64>,
+    /// `ZᵀZ`, row-major, `(n_features + 1)²`.
+    pub ztz: Vec<f64>,
+    /// The live incremental factor, if any: the ridge it was built for and
+    /// its exact `LDLᵀ` buffers. `None` is the dirty state (the next solve
+    /// re-factorizes — valid, just O(m³) once).
+    pub factor: Option<(f64, FactorParts)>,
+}
+
+/// The exact serialized form of a [`RankOneInverse`]: `A⁻¹` and `Xᵀy`
+/// verbatim (the inverse is state, not cache — it is maintained by
+/// Sherman–Morrison, not recomputed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOneState {
+    /// Vector dimension.
+    pub dim: usize,
+    /// Observation count.
+    pub n: usize,
+    /// `A⁻¹`, row-major, `dim²`.
+    pub a_inv: Vec<f64>,
+    /// `Xᵀy`, length `dim`.
+    pub xty: Vec<f64>,
+}
 
 /// Reusable workspace for [`NormalEquations::solve_with`] /
 /// [`NormalEquations::solve_into`]: every intermediate the solve needs
@@ -380,6 +418,61 @@ impl NormalEquations {
         Ok(())
     }
 
+    /// Export the exact accumulator state (statistics + live factor) for
+    /// checkpointing. See [`NormalEqState`].
+    pub fn to_state(&self) -> NormalEqState {
+        NormalEqState {
+            n_features: self.dim - 1,
+            n: self.n,
+            yty: self.yty,
+            zty: self.zty.clone(),
+            ztz: self.ztz.as_slice().to_vec(),
+            factor: self.factor.as_ref().map(|f| (f.lambda, f.chol.to_parts())),
+        }
+    }
+
+    /// Rebuild an accumulator from [`NormalEquations::to_state`] output.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on inconsistent buffer lengths,
+    /// [`LinalgError::NotPositiveDefinite`] on a corrupt stored factor.
+    pub fn from_state(state: &NormalEqState) -> Result<Self> {
+        let dim = state.n_features + 1;
+        if state.zty.len() != dim || state.ztz.len() != dim * dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "normal-equations state for {} features: zty {} (want {dim}), ztz {} (want {})",
+                state.n_features,
+                state.zty.len(),
+                state.ztz.len(),
+                dim * dim
+            )));
+        }
+        let factor = match &state.factor {
+            Some((lambda, parts)) => {
+                if parts.dim != dim {
+                    return Err(LinalgError::ShapeMismatch(format!(
+                        "factor dim {} against accumulator dim {dim}",
+                        parts.dim
+                    )));
+                }
+                Some(IncrementalFactor {
+                    chol: UpdatableCholesky::from_parts(parts)?,
+                    lambda: *lambda,
+                })
+            }
+            None => None,
+        };
+        Ok(NormalEquations {
+            dim,
+            ztz: Matrix::from_vec(dim, dim, state.ztz.clone())?,
+            zty: state.zty.clone(),
+            yty: state.yty,
+            n: state.n,
+            factor,
+            aug: vec![0.0; dim],
+        })
+    }
+
     /// Reset to the empty state. The incremental factor is dropped; the
     /// next solve falls back to a full re-factorization (of whatever is
     /// pushed afterwards).
@@ -508,6 +601,41 @@ impl RankOneInverse {
     pub fn theta_into(&self, out: &mut Vec<f64>) -> Result<()> {
         out.resize(self.dim, 0.0);
         self.a_inv.mul_vec_into(&self.xty, out)
+    }
+
+    /// Export the exact state (`A⁻¹`, `Xᵀy`, count) for checkpointing.
+    pub fn to_state(&self) -> RankOneState {
+        RankOneState {
+            dim: self.dim,
+            n: self.n,
+            a_inv: self.a_inv.as_slice().to_vec(),
+            xty: self.xty.clone(),
+        }
+    }
+
+    /// Rebuild an accumulator from [`RankOneInverse::to_state`] output.
+    /// The ridge prior is already baked into the stored `A⁻¹`, so no
+    /// `lambda` argument is needed (or checked).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on inconsistent buffer lengths.
+    pub fn from_state(state: &RankOneState) -> Result<Self> {
+        let dim = state.dim;
+        if state.a_inv.len() != dim * dim || state.xty.len() != dim {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "rank-one state for dim {dim}: a_inv {} (want {}), xty {} (want {dim})",
+                state.a_inv.len(),
+                dim * dim,
+                state.xty.len()
+            )));
+        }
+        Ok(RankOneInverse {
+            dim,
+            a_inv: Matrix::from_vec(dim, dim, state.a_inv.clone())?,
+            xty: state.xty.clone(),
+            n: state.n,
+            az: vec![0.0; dim],
+        })
     }
 
     /// Quadratic form `zᵀ A⁻¹ z` (squared confidence width in LinUCB).
@@ -861,6 +989,95 @@ mod tests {
         let again = acc.solve_with(0.5, &mut scratch).unwrap();
         assert!(again.weights[0].is_finite());
         assert!(acc.factor_is_live(0.5));
+    }
+
+    /// State export/import is bitwise-faithful: a restored accumulator
+    /// produces exactly the bits the live one produces, through further
+    /// pushes, forgets, discounts, and solves — including the live factor
+    /// (whose `dinv` cache is incremental state, not recomputable).
+    #[test]
+    fn state_roundtrip_is_bitwise_exact() {
+        let mut live = NormalEquations::new(2);
+        let mut scratch = SolveScratch::new();
+        for (x, y) in sample_data() {
+            live.push(&x, y).unwrap();
+        }
+        // Make the factor live (and γ-scale it so dinv drifts off 1/d).
+        live.solve_with(0.0, &mut scratch).unwrap();
+        live.discount(0.9375);
+        assert!(live.factor_is_live(0.0));
+
+        let state = live.to_state();
+        let mut restored = NormalEquations::from_state(&state).unwrap();
+        assert!(restored.factor_is_live(0.0));
+        assert_eq!(restored.n_obs(), live.n_obs());
+
+        let mut scratch2 = SolveScratch::new();
+        for i in 0..30 {
+            let x = [(i % 5) as f64 + 0.25, (i % 7) as f64 * 0.5];
+            let y = 1.0 + i as f64 * 0.125;
+            live.push(&x, y).unwrap();
+            restored.push(&x, y).unwrap();
+            if i == 10 {
+                live.forget(&x, y).unwrap();
+                restored.forget(&x, y).unwrap();
+            }
+            let a = live.solve_with(0.0, &mut scratch).unwrap();
+            let b = restored.solve_with(0.0, &mut scratch2).unwrap();
+            assert_fit_bitwise(&a, &b);
+        }
+
+        // A dirty accumulator round-trips too (factor = None).
+        let mut dirty = NormalEquations::new(2);
+        dirty.push(&[1.0, 2.0], 3.0).unwrap();
+        let s = dirty.to_state();
+        assert!(s.factor.is_none());
+        let rd = NormalEquations::from_state(&s).unwrap();
+        assert_fit_bitwise(&dirty.solve(0.0).unwrap(), &rd.solve(0.0).unwrap());
+
+        // Corrupt states are rejected, not absorbed.
+        let mut bad = state.clone();
+        bad.zty.pop();
+        assert!(NormalEquations::from_state(&bad).is_err());
+        let mut bad = state.clone();
+        if let Some((_, parts)) = &mut bad.factor {
+            parts.d[0] = -1.0;
+        }
+        assert!(NormalEquations::from_state(&bad).is_err());
+        let mut bad = state;
+        if let Some((_, parts)) = &mut bad.factor {
+            parts.dim = 99;
+        }
+        assert!(NormalEquations::from_state(&bad).is_err());
+    }
+
+    #[test]
+    fn rank_one_state_roundtrip_is_bitwise_exact() {
+        let mut live = RankOneInverse::new(3, 0.5);
+        for i in 0..15 {
+            let z = [1.0, (i % 4) as f64, (i % 6) as f64 * 0.5];
+            live.push(&z, 2.0 + i as f64).unwrap();
+        }
+        let state = live.to_state();
+        let mut restored = RankOneInverse::from_state(&state).unwrap();
+        assert_eq!(restored.n_obs(), live.n_obs());
+        for i in 0..20 {
+            let z = [1.0, (i % 5) as f64 * 0.3, (i % 3) as f64];
+            live.push(&z, 1.0 + i as f64 * 0.5).unwrap();
+            restored.push(&z, 1.0 + i as f64 * 0.5).unwrap();
+            let ta = live.theta().unwrap();
+            let tb = restored.theta().unwrap();
+            for (a, b) in ta.iter().zip(&tb) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(
+                live.quad_form(&z).unwrap().to_bits(),
+                restored.quad_form(&z).unwrap().to_bits()
+            );
+        }
+        let mut bad = state;
+        bad.xty.pop();
+        assert!(RankOneInverse::from_state(&bad).is_err());
     }
 
     #[test]

@@ -158,6 +158,21 @@ impl Welford {
         self.variance().sqrt()
     }
 
+    /// The raw second central moment `M₂ = Σ(x − mean)²` — exposed (with
+    /// [`Welford::from_parts`]) so the accumulator can be checkpointed
+    /// exactly and resumed mid-stream.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuild an accumulator from `(count, mean, m2)` previously read off
+    /// [`Welford::count`] / [`Welford::mean`] / [`Welford::m2`]. Restoring
+    /// is exact: subsequent pushes produce the same bits the live
+    /// accumulator would have produced.
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Welford { n, mean, m2 }
+    }
+
     /// Merge another accumulator (Chan's parallel update).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {

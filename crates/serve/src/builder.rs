@@ -14,7 +14,7 @@ use banditware_core::plain::PlainEpsilonGreedy;
 use banditware_core::scaler::ScaledPolicy;
 use banditware_core::thompson::LinThompson;
 use banditware_core::ucb::Ucb1;
-use banditware_core::{ArmSpec, BanditConfig, CoreError, Policy, Result};
+use banditware_core::{ArmSpec, BanditConfig, CoreError, Policy, Result, Retention};
 
 use crate::engine::Engine;
 
@@ -89,12 +89,13 @@ pub struct EngineBuilder {
     pub(crate) policy: String,
     pub(crate) config: BanditConfig,
     pub(crate) n_stripes: usize,
+    pub(crate) retention: Retention,
 }
 
 impl EngineBuilder {
     /// Start a builder for bandits over `specs` with `n_features` context
     /// features. Defaults: `"epsilon-greedy"`, [`BanditConfig::paper`],
-    /// 16 stripes.
+    /// 16 stripes, [`Retention::Full`].
     pub fn new(specs: Vec<ArmSpec>, n_features: usize) -> Self {
         EngineBuilder {
             specs,
@@ -102,7 +103,17 @@ impl EngineBuilder {
             policy: "epsilon-greedy".to_string(),
             config: BanditConfig::paper(),
             n_stripes: 16,
+            retention: Retention::Full,
         }
+    }
+
+    /// Set the history retention every shard runs with. A serving fleet
+    /// should almost always pick [`Retention::Tail`]: the policies carry
+    /// their own sufficient statistics, so per-tenant memory stays
+    /// O(m² + tail) for the lifetime of the platform.
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
     }
 
     /// Choose the policy by name (see [`policy_names`]).

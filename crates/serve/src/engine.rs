@@ -17,10 +17,10 @@
 //! only on their own stripe.
 
 use crate::builder::{build_policy, EngineBuilder};
-use banditware_core::persist::{self, HistorySnapshot};
+use banditware_core::persist::{self, Checkpoint, HistorySnapshot};
 use banditware_core::{
     ArmSpec, BanditConfig, BanditWare, CoreError, Observation, Policy, Recommendation, Result,
-    Ticket,
+    Retention, Ticket,
 };
 use std::collections::HashMap;
 use std::sync::RwLock;
@@ -59,6 +59,10 @@ pub struct EngineStats {
 /// parallel.
 pub struct Engine {
     stripes: Vec<Stripe>,
+    /// History retention applied to every shard (see
+    /// [`banditware_core::Retention`]): under `Tail`/`None` a tenant's
+    /// steady-state memory is O(m² + tail) regardless of lifetime.
+    retention: Retention,
     policy_name: String,
     /// The name the constructed policy *reports* (e.g.
     /// `"scaled:decaying-contextual-epsilon-greedy"` for the builder name
@@ -80,12 +84,18 @@ impl Engine {
     pub(crate) fn from_builder(b: EngineBuilder, effective_policy_name: String) -> Self {
         Engine {
             stripes: (0..b.n_stripes).map(|_| RwLock::new(HashMap::new())).collect(),
+            retention: b.retention,
             policy_name: b.policy,
             effective_policy_name,
             specs: b.specs,
             n_features: b.n_features,
             config: b.config,
         }
+    }
+
+    /// The history retention every shard runs with.
+    pub fn retention(&self) -> Retention {
+        self.retention
     }
 
     /// The policy every shard runs (chosen by name at build time).
@@ -120,7 +130,7 @@ impl Engine {
     fn make_shard(&self, key: &str) -> Result<Shard> {
         let config = self.config.with_seed(self.shard_seed(key));
         let policy = build_policy(&self.policy_name, self.specs.clone(), self.n_features, &config)?;
-        Ok(BanditWare::new(policy, self.specs.clone()))
+        Ok(BanditWare::new(policy, self.specs.clone()).with_retention(self.retention))
     }
 
     /// Run `f` against the key's shard under the stripe **write** lock,
@@ -149,7 +159,11 @@ impl Engine {
     /// already exist — one lock acquisition, no create-on-miss. `None` for
     /// an untouched key. This is the record-side hot path: a runtime report
     /// for a key with no shard can only be a stray ticket.
-    fn with_existing_shard_mut<R>(&self, key: &str, f: impl FnOnce(&mut Shard) -> R) -> Option<R> {
+    pub(crate) fn with_existing_shard_mut<R>(
+        &self,
+        key: &str,
+        f: impl FnOnce(&mut Shard) -> R,
+    ) -> Option<R> {
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         map.get_mut(key).map(f)
     }
@@ -288,6 +302,47 @@ impl Engine {
     pub fn restore_shard(&self, key: &str, snapshot: &HistorySnapshot) -> Result<()> {
         let mut fresh = self.make_shard(key)?;
         persist::restore_snapshot(&mut fresh, snapshot)?;
+        let mut map = self.stripe(key).write().expect("stripe lock poisoned");
+        map.insert(key.to_string(), fresh);
+        Ok(())
+    }
+
+    /// Checkpoint one key's shard as a **v3 statistics snapshot**
+    /// ([`persist::save_checkpoint`]): O(m² + tail) bytes and O(m²)
+    /// restore, independent of how many rounds the tenant ever ran.
+    /// Serialization happens under the stripe read lock; the caller's
+    /// writer runs after the lock is released.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] for policies without snapshot
+    /// support (use [`Engine::save_shard`] — the v2 log — for those);
+    /// [`CoreError::Io`] on IO failures.
+    pub fn save_shard_checkpoint(&self, key: &str, mut writer: impl std::io::Write) -> Result<()> {
+        let serialize = |shard: &Shard| {
+            let mut buf = Vec::new();
+            persist::save_checkpoint(shard, &mut buf).map(|()| buf)
+        };
+        let buf = match self.with_shard(key, serialize) {
+            Some(res) => res?,
+            None => serialize(&self.make_shard(key)?)?,
+        };
+        writer.write_all(&buf).map_err(|e| CoreError::Io {
+            op: "save",
+            kind: e.kind(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Restore one key's shard from a parsed checkpoint of **any** version
+    /// (v1/v2 replay or v3 state restore — see
+    /// [`persist::restore_checkpoint`]), replacing any existing shard state
+    /// for that key.
+    ///
+    /// # Errors
+    /// Propagates state/replay validation.
+    pub fn restore_shard_checkpoint(&self, key: &str, checkpoint: &Checkpoint) -> Result<()> {
+        let mut fresh = self.make_shard(key)?;
+        persist::restore_checkpoint(&mut fresh, checkpoint)?;
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         map.insert(key.to_string(), fresh);
         Ok(())

@@ -22,6 +22,12 @@
 //!   [`std::thread::scope`]: each worker owns a disjoint set of keys, so the
 //!   per-key round streams (and therefore every shard's final state) are
 //!   identical regardless of thread count or interleaving.
+//! * [`wal`] — crash durability: [`wal::DurableEngine`] appends every
+//!   recorded observation to a per-key segment log (group-committed per
+//!   batch), folds closed segments into `banditware-history v3` statistics
+//!   snapshots on [`wal::DurableEngine::compact`], and recovers in
+//!   O(m²) + O(WAL tail) — independent of how many rounds a tenant ever
+//!   ran.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,7 +35,9 @@
 pub mod builder;
 pub mod engine;
 pub mod stress;
+pub mod wal;
 
 pub use builder::{build_policy, policy_names, EngineBuilder};
 pub use engine::{Engine, EngineStats};
 pub use stress::{run_stress, StressPlan, StressReport};
+pub use wal::{DurableEngine, RecoveryReport, WalOptions};

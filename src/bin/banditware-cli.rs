@@ -6,7 +6,10 @@
 //! banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S] [--batch B]
 //!                [--policy P] [--tolerance-seconds TS] [--tolerance-ratio TR] [--export out.csv]
 //! banditware-cli train <cycles|bp3d|matmul|llm> <trace.csv> <history.txt> [--policy P]
-//! banditware-cli recommend <cycles|bp3d|matmul|llm> <history.txt> --features a,b,c [--policy P]
+//! banditware-cli recommend <cycles|bp3d|matmul|llm> <checkpoint> --features a,b,c [--policy P]
+//! banditware-cli checkpoint <app> <checkpoint-in> <out.v3> [--policy P] [--tail N]
+//! banditware-cli inspect <checkpoint>
+//! banditware-cli compact <app> <wal-dir> [--policy P] [--seed S]
 //! ```
 //!
 //! The policy is a **runtime** choice (`--policy epsilon-greedy|linucb|
@@ -15,10 +18,12 @@
 //! to swap algorithms.
 //!
 //! Everything round-trips through the plain-text formats the library
-//! defines (CSV traces, `banditware-history v2` checkpoints; v1 files
-//! still load), so the CLI composes with shell pipelines and cron jobs —
-//! the "users of all experience levels" integration story of the paper's
-//! NDP deployment.
+//! defines: CSV traces, `banditware-history v1/v2` observation logs, and
+//! `banditware-history v3` statistics snapshots. `recommend` loads any
+//! version; `checkpoint` converts a replay log into a v3 snapshot (with an
+//! optional bounded tail) whose restore cost no longer grows with history
+//! length; `inspect` summarizes any checkpoint; `compact` folds a serving
+//! WAL directory's segments into per-tenant snapshots.
 
 use banditware::core::tolerance::tolerant_select;
 use banditware::eval::protocol::run_experiment_with;
@@ -45,7 +50,10 @@ const USAGE: &str = "usage:
   banditware-cli experiment <cycles|bp3d|matmul> [--rounds R] [--sims S] [--batch B] [--policy P]
                  [--tolerance-seconds TS] [--tolerance-ratio TR] [--export out.csv]
   banditware-cli train <app> <trace.csv> <history.txt> [--policy P]
-  banditware-cli recommend <app> <history.txt> --features a,b,c [--policy P]
+  banditware-cli recommend <app> <checkpoint> --features a,b,c [--policy P]
+  banditware-cli checkpoint <app> <checkpoint-in> <out.v3> [--policy P] [--tail N]
+  banditware-cli inspect <checkpoint>
+  banditware-cli compact <app> <wal-dir> [--policy P] [--seed S]
 
 policies (P): epsilon-greedy (default), exact-epsilon-greedy, scaled-epsilon-greedy,
               plain-epsilon-greedy, linucb, thompson, ucb1, boltzmann";
@@ -57,6 +65,9 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("recommend") => cmd_recommend(&args[1..]),
+        Some("checkpoint") => cmd_checkpoint(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -269,10 +280,13 @@ fn cmd_recommend(args: &[String]) -> Result<String, String> {
     }
     let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
     let file = std::fs::File::open(history_path).map_err(|e| e.to_string())?;
-    let observations = load_history(file).map_err(|e| e.to_string())?;
+    // Any checkpoint version: v1/v2 replay into the named policy; a v3
+    // snapshot restores its exact state (and must match the policy kind).
+    let checkpoint = load_checkpoint(file).map_err(|e| e.to_string())?;
+    let rounds = checkpoint.total_rounds();
     let mut bandit = make_bandit(&a, &policy_name)?;
-    replay_into(&mut bandit, &observations).map_err(|e| e.to_string())?;
-    // Pure exploitation over the replayed models: tolerant selection with
+    restore_checkpoint(&mut bandit, &checkpoint).map_err(|e| e.to_string())?;
+    // Pure exploitation over the restored models: tolerant selection with
     // the paper's (zero) slack — works for any boxed policy.
     let preds = bandit.policy().predict_all(&features).map_err(|e| e.to_string())?;
     let costs: Vec<f64> = bandit.specs().iter().map(|s| s.resource_cost).collect();
@@ -281,9 +295,86 @@ fn cmd_recommend(args: &[String]) -> Result<String, String> {
     let hw = &a.hardware[arm];
     let predicted = preds[arm];
     Ok(format!(
-        "recommendation: {hw}\npredicted runtime: {predicted:.1} s (from {} historical runs, \
-         policy {policy_name})",
-        observations.len()
+        "recommendation: {hw}\npredicted runtime: {predicted:.1} s (from {rounds} historical \
+         runs, policy {policy_name})"
+    ))
+}
+
+/// Convert any checkpoint into a v3 statistics snapshot: load (replaying a
+/// v1/v2 log if that's what arrived), optionally bound the retained tail,
+/// and write the exact policy state. Restore cost of the output is O(m²)
+/// no matter how long the input log was.
+fn cmd_checkpoint(args: &[String]) -> Result<String, String> {
+    let a = app(args.first().ok_or("checkpoint: missing application")?)?;
+    let in_path = args.get(1).ok_or("checkpoint: missing input checkpoint path")?;
+    let out_path = args.get(2).ok_or("checkpoint: missing output path")?;
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
+    let tail: usize = parse_flag(args, "--tail", 64)?;
+
+    let file = std::fs::File::open(in_path).map_err(|e| e.to_string())?;
+    let checkpoint = load_checkpoint(file).map_err(|e| e.to_string())?;
+    let mut bandit = make_bandit(&a, &policy_name)?;
+    bandit.set_retention(Retention::Tail(tail));
+    restore_checkpoint(&mut bandit, &checkpoint).map_err(|e| e.to_string())?;
+    let out = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
+    save_checkpoint(&bandit, out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "compacted {} rounds (+{} open tickets) of {policy_name} into a v3 stats snapshot \
+         with a {}-round tail at {out_path}",
+        bandit.rounds(),
+        bandit.in_flight(),
+        bandit.history().len()
+    ))
+}
+
+/// Summarize any checkpoint without needing the policy configuration.
+fn cmd_inspect(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("inspect: missing checkpoint path")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let checkpoint = load_checkpoint(file).map_err(|e| e.to_string())?;
+    Ok(match &checkpoint {
+        Checkpoint::Replay(h) => format!(
+            "{path}: observation log (v1/v2)\n  rounds: {}\n  open tickets: {}\n  \
+             next ticket id: {}\n  restore: replay, O(rounds)",
+            h.observations.len(),
+            h.open_rounds.len(),
+            h.next_ticket
+        ),
+        Checkpoint::Stats(s) => format!(
+            "{path}: statistics snapshot (v3)\n  policy kind: {}\n  rounds: {} (tail retained: \
+             {})\n  open tickets: {}\n  next ticket id: {}\n  restore: state install, O(m²) — \
+             independent of history length",
+            s.policy.kind(),
+            s.total_rounds,
+            s.tail.len(),
+            s.open_rounds.len(),
+            s.next_ticket
+        ),
+    })
+}
+
+/// Fold every tenant's WAL segments in a serving directory into v3
+/// snapshots (the offline counterpart of `DurableEngine::compact`).
+fn cmd_compact(args: &[String]) -> Result<String, String> {
+    let a = app(args.first().ok_or("compact: missing application")?)?;
+    let dir = args.get(1).ok_or("compact: missing WAL directory")?;
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let specs = specs_from_hardware(&a.hardware);
+    let builder = Engine::builder(specs, a.features.len())
+        .policy(policy_name.clone())
+        .config(BanditConfig::paper().with_seed(seed));
+    let (engine, report) =
+        DurableEngine::open(builder, WalOptions::new(dir)).map_err(|e| e.to_string())?;
+    let keys = engine.compact_all().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "recovered {} tenant(s) from {dir} ({} snapshot(s) loaded, {} WAL record(s) replayed), \
+         compacted {} key(s): {:?}",
+        report.keys.len(),
+        report.snapshots_loaded,
+        report.replayed,
+        keys.len(),
+        keys
     ))
 }
 
@@ -442,6 +533,83 @@ mod tests {
         assert!(out.contains("150 runs"), "{out}");
         let out = run(&s(&["recommend", "llm", &hist_path, "--features", "16000,800,4"])).unwrap();
         assert!(out.contains("gpus"), "heavy request should get a GPU flavour: {out}");
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recommend_loads_v3() {
+        let trace_path = tmp("cycles_trace_v3.csv");
+        let hist_path = tmp("cycles_history_v3.txt");
+        let v3_path = tmp("cycles_snapshot.v3");
+        run(&s(&["generate", "cycles", &trace_path, "--runs", "300", "--seed", "3"])).unwrap();
+        run(&s(&["train", "cycles", &trace_path, &hist_path])).unwrap();
+
+        // Convert the replay log into a stats snapshot with a bounded tail.
+        let out = run(&s(&["checkpoint", "cycles", &hist_path, &v3_path, "--tail", "16"])).unwrap();
+        assert!(out.contains("300 rounds"), "{out}");
+        assert!(out.contains("16-round tail"), "{out}");
+
+        // The snapshot recommends identically to the full log.
+        let from_log = run(&s(&["recommend", "cycles", &hist_path, "--features", "480"])).unwrap();
+        let from_v3 = run(&s(&["recommend", "cycles", &v3_path, "--features", "480"])).unwrap();
+        assert_eq!(
+            from_log.lines().next().unwrap(),
+            from_v3.lines().next().unwrap(),
+            "log: {from_log}\nv3: {from_v3}"
+        );
+        assert!(from_v3.contains("300 historical runs"), "{from_v3}");
+
+        // inspect reports both formats.
+        let out = run(&s(&["inspect", &hist_path])).unwrap();
+        assert!(out.contains("observation log") && out.contains("rounds: 300"), "{out}");
+        let out = run(&s(&["inspect", &v3_path])).unwrap();
+        assert!(out.contains("statistics snapshot"), "{out}");
+        assert!(out.contains("epsilon") && out.contains("tail retained: 16"), "{out}");
+
+        // A v3 snapshot only restores into its own policy kind.
+        let err =
+            run(&s(&["recommend", "cycles", &v3_path, "--features", "480", "--policy", "linucb"]))
+                .unwrap_err();
+        assert!(err.contains("linucb"), "{err}");
+        // Usage errors.
+        assert!(run(&s(&["checkpoint", "cycles", &hist_path])).is_err());
+        assert!(run(&s(&["inspect"])).is_err());
+        assert!(run(&s(&["inspect", "/nonexistent-checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn compact_folds_a_wal_directory() {
+        use banditware::prelude::*;
+        let dir = tmp("cli_wal_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Build a small WAL by serving a few rounds durably.
+        let specs = specs_from_hardware(&synthetic_hardware());
+        let n_features = 1;
+        let builder = Engine::builder(specs, n_features);
+        let (engine, _) = DurableEngine::open(builder, WalOptions::new(&dir)).unwrap();
+        for i in 0..12 {
+            let (t, _) = engine.recommend("wf", &[100.0 + i as f64]).unwrap();
+            engine.record("wf", t, 50.0 + i as f64).unwrap();
+        }
+        drop(engine);
+
+        let out = run(&s(&["compact", "cycles", &dir])).unwrap();
+        assert!(out.contains("recovered 1 tenant"), "{out}");
+        assert!(out.contains("12 WAL record(s) replayed"), "{out}");
+        assert!(out.contains("\"wf\""), "{out}");
+        // The snapshot exists and the segments are gone.
+        let key_dir = std::path::Path::new(&dir).join("kwf");
+        assert!(key_dir.join("snapshot.v3").exists());
+        assert_eq!(
+            std::fs::read_dir(&key_dir)
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("wal-"))
+                .count(),
+            0
+        );
+        // Idempotent: compacting again replays nothing.
+        let out = run(&s(&["compact", "cycles", &dir])).unwrap();
+        assert!(out.contains("1 snapshot(s) loaded, 0 WAL record(s) replayed"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -77,16 +77,20 @@ pub mod prelude {
     pub use banditware_core::epsilon::{EpsilonGreedy, ExactEpsilonGreedy};
     pub use banditware_core::objective::{BudgetedEpsilonGreedy, Objective};
     pub use banditware_core::persist::{
-        load_history, load_snapshot, replay_into, restore_snapshot, save_history, HistorySnapshot,
+        load_checkpoint, load_history, load_snapshot, replay_into, restore_checkpoint,
+        restore_snapshot, save_checkpoint, save_history, Checkpoint, HistorySnapshot,
+        StateSnapshot,
     };
     pub use banditware_core::{
         ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, DiscountedArm, Observation,
-        Policy, Recommendation, ScaledPolicy, Selection, StandardScaler, Ticket, Tolerance,
-        WindowedArm,
+        Policy, PolicyState, Recommendation, Retention, ScaledPolicy, Selection, StandardScaler,
+        Ticket, Tolerance, WindowedArm,
     };
     pub use banditware_eval::protocol::{run_experiment, specs_from_hardware, ExperimentConfig};
     pub use banditware_eval::{MatchedSet, RoundSeries};
-    pub use banditware_serve::{build_policy, policy_names, Engine, StressPlan};
+    pub use banditware_serve::{
+        build_policy, policy_names, DurableEngine, Engine, StressPlan, WalOptions,
+    };
     pub use banditware_workloads::hardware::{
         gpu_hardware, matmul_hardware, ndp_hardware, synthetic_hardware,
     };
