@@ -38,17 +38,26 @@ echo "==> bench_serve (batched vs per-call throughput, tracked number)"
 cargo bench -p banditware-bench --bench bench_serve
 
 # The perf trajectory writes to target/ (untracked) so a CI run never
-# dirties the committed BENCH_PR3.json / BENCH_PR4.json snapshots with
-# machine-local timing noise; refresh them deliberately when the hot path
-# or the recovery path changes:
-#   cargo run --release -p banditware-bench --bin perf_baseline BENCH_PR3.json BENCH_PR4.json
-# The run also enforces the PR-4 acceptance gate: v3 snapshot-restore time
-# at n=100k history must stay within 2x of n=1k (recovery independent of
-# history length).
-echo "==> perf trajectory (record/select/engine + recovery_10k_history -> target/BENCH_PR{3,4}.json)"
-cargo run --release -p banditware-bench --bin perf_baseline target/BENCH_PR3.json target/BENCH_PR4.json
+# dirties the committed BENCH_PR3.json / BENCH_PR4.json / BENCH_PR5.json
+# snapshots with machine-local timing noise; refresh them deliberately when
+# the hot path, the recovery path, or the replication path changes:
+#   cargo run --release -p banditware-bench --bin perf_baseline \
+#       BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json
+# The run also enforces the PR-4 acceptance gate (v3 snapshot-restore time
+# at n=100k history must stay within 2x of n=1k — recovery independent of
+# history length) and the PR-5 gate (follower staleness after a no-seal
+# ship stays under 2x the records-per-segment at every rotation size).
+echo "==> perf trajectory (record/select/engine + recovery + follower catch-up -> target/BENCH_PR{3,4,5}.json)"
+cargo run --release -p banditware-bench --bin perf_baseline \
+    target/BENCH_PR3.json target/BENCH_PR4.json target/BENCH_PR5.json
 
 echo "==> crash-recovery smoke run (WAL + v3 snapshot example)"
 cargo run --release --example crash_recovery >/dev/null
+
+# The replication acceptance gate: kill the primary mid-stream, promote the
+# follower, and the post-promotion recommendation fingerprint must equal a
+# never-crashed same-seed twin's (the example asserts it).
+echo "==> replication failover run (ship -> crash -> promote -> bitwise fingerprint gate)"
+cargo run --release --example replication_failover >/dev/null
 
 echo "==> all green"

@@ -1,5 +1,5 @@
-//! Machine-readable perf trajectory for the recommend/record hot path and
-//! the checkpoint-recovery path.
+//! Machine-readable perf trajectory for the recommend/record hot path, the
+//! checkpoint-recovery path, and the replication catch-up path.
 //!
 //! Runs the record-path and serving benches at realistic dimensions and
 //! emits `BENCH_PR3.json` (median ns/op next to the pre-PR-3 numbers), plus
@@ -8,12 +8,19 @@
 //! PR-4 claim pinned by the numbers: snapshot restore time is independent
 //! of n (the 100k restore lands within 2× of the 1k restore, while replay
 //! grows linearly), and so is snapshot size under `Retention::Tail`.
-//! `ci.sh` runs this on every pass so future PRs extend the trajectory
-//! instead of re-asserting complexity claims.
+//! `BENCH_PR5.json` adds the `follower_catch_up` group: replication
+//! catch-up throughput (observations/sec applied by a `FollowerEngine`)
+//! and follower staleness across segment-rotation sizes, with the PR-5
+//! acceptance gate — staleness after a no-seal ship stays under 2× the
+//! records-per-segment implied by the rotation threshold (the active
+//! segment is the only thing a ship leaves behind). `ci.sh` runs this on
+//! every pass so future PRs extend the trajectory instead of re-asserting
+//! complexity claims.
 //!
 //! Usage: `cargo run --release -p banditware-bench --bin perf_baseline
-//! [OUT_PR3.json [OUT_PR4.json]]` (defaults `BENCH_PR3.json` /
-//! `BENCH_PR4.json` in the current directory).
+//! [OUT_PR3.json [OUT_PR4.json [OUT_PR5.json]]]` (defaults
+//! `BENCH_PR3.json` / `BENCH_PR4.json` / `BENCH_PR5.json` in the current
+//! directory).
 
 use banditware_core::arm::{ArmEstimator, RecursiveArm};
 use banditware_core::persist::{
@@ -22,7 +29,9 @@ use banditware_core::persist::{
 use banditware_core::{
     ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, Policy, Retention, Ticket,
 };
-use banditware_serve::Engine;
+use banditware_serve::{
+    DurableEngine, Engine, FollowerEngine, FsTransport, Replicator, WalOptions,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -200,9 +209,77 @@ fn bench_recovery(n: usize, m: usize) -> RecoveryPoint {
     RecoveryPoint { n, replay_ns, snapshot_ns, snapshot_bytes: v3.len() }
 }
 
+struct CatchUpPoint {
+    rotate_bytes: u64,
+    observations: usize,
+    applied: usize,
+    staleness_records: usize,
+    staleness_bound_records: f64,
+    catch_up_ns: f64,
+    obs_per_sec: f64,
+}
+
+/// Replication catch-up at one segment-rotation size: a primary records
+/// `n` observations per tenant, a `Replicator` ships **without** sealing
+/// (so the active segment stays behind — that is the staleness being
+/// measured), and a fresh follower's initial catch-up is timed.
+fn bench_catch_up(rotate_bytes: u64, n: usize) -> CatchUpPoint {
+    let tag = format!("{rotate_bytes}-{}", std::process::id());
+    let primary_dir = std::env::temp_dir().join(format!("bw-bench-pr5-primary-{tag}"));
+    let replica_dir = std::env::temp_dir().join(format!("bw-bench-pr5-replica-{tag}"));
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    const M: usize = 8;
+    let builder = || {
+        Engine::builder(ArmSpec::unit_costs(4), M)
+            .config(BanditConfig::paper().with_epsilon0(0.1).with_seed(5))
+    };
+    let options = WalOptions::new(&primary_dir).segment_max_bytes(rotate_bytes);
+    let (primary, _) = DurableEngine::open(builder(), options).expect("open primary");
+    let mut rng = StdRng::seed_from_u64(71);
+    for _ in 0..n {
+        let x = context(M, &mut rng);
+        let (t, rec) = primary.recommend("tenant", &x).expect("recommend");
+        primary.record("tenant", t, 10.0 + rec.arm as f64 + x[0] * 0.1).expect("record");
+    }
+    // Observed record size on disk (shortest-round-trip floats vary), for
+    // the staleness bound: at most the active segment lags a no-seal ship.
+    let key_dir = primary_dir.join("ktenant");
+    let wal_bytes: u64 = std::fs::read_dir(&key_dir)
+        .expect("key dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .map(|e| e.metadata().expect("metadata").len())
+        .sum();
+    let bytes_per_record = wal_bytes as f64 / n as f64;
+    let replicator = Replicator::new(FsTransport::new(&replica_dir));
+    replicator.ship_all(&primary, false).expect("ship");
+
+    let start = Instant::now();
+    let (follower, report) =
+        FollowerEngine::open(builder(), WalOptions::new(&replica_dir)).expect("open follower");
+    let catch_up_ns = start.elapsed().as_nanos() as f64;
+    assert!(report.quarantined.is_empty(), "clean replica");
+    let watermark = follower.watermark("tenant").unwrap_or(0);
+    let staleness_records = n - watermark;
+    let staleness_bound_records = 2.0 * rotate_bytes as f64 / bytes_per_record;
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    CatchUpPoint {
+        rotate_bytes,
+        observations: n,
+        applied: report.replayed,
+        staleness_records,
+        staleness_bound_records,
+        catch_up_ns,
+        obs_per_sec: report.replayed as f64 / (catch_up_ns / 1e9),
+    }
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let out_path_pr4 = std::env::args().nth(2).unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let out_path_pr5 = std::env::args().nth(3).unwrap_or_else(|| "BENCH_PR5.json".to_string());
 
     let current: Vec<(&str, f64)> = vec![
         ("record_m4", bench_record(4)),
@@ -265,4 +342,49 @@ fn main() {
         "PR-4 acceptance: snapshot restore at n=100k must stay within 2x of n=1k, got \
          {ratio_snapshot:.2}x"
     );
+
+    // --- PR 5: replication catch-up throughput + staleness vs rotation
+    // size. ---
+    let points: Vec<CatchUpPoint> =
+        [4 * 1024, 16 * 1024, 64 * 1024].iter().map(|&r| bench_catch_up(r, 20_000)).collect();
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"rotate_{}\": {{ \"observations\": {}, \"applied\": {}, \
+                 \"staleness_records\": {}, \"staleness_bound_records\": {:.0}, \
+                 \"catch_up_ms\": {:.1}, \"obs_per_sec\": {:.0} }}",
+                p.rotate_bytes,
+                p.observations,
+                p.applied,
+                p.staleness_records,
+                p.staleness_bound_records,
+                p.catch_up_ns / 1e6,
+                p.obs_per_sec
+            )
+        })
+        .collect();
+    let worst_ratio = points
+        .iter()
+        .map(|p| p.staleness_records as f64 / p.staleness_bound_records)
+        .fold(0.0f64, f64::max);
+    let json = format!(
+        "{{\n  \"schema\": \"banditware-bench-v1\",\n  \"pr\": 5,\n  \"unit\": \"mixed\",\n  \
+         \"follower_catch_up\": {{\n{}\n  }},\n  \
+         \"max_staleness_over_2x_segment_bound\": {worst_ratio:.2}\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path_pr5, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path_pr5}");
+    for p in &points {
+        assert!(
+            (p.staleness_records as f64) < p.staleness_bound_records,
+            "PR-5 acceptance: staleness after a no-seal ship must stay under 2x the \
+             records-per-segment at rotation {} B, got {} records (bound {:.0})",
+            p.rotate_bytes,
+            p.staleness_records,
+            p.staleness_bound_records
+        );
+    }
 }

@@ -952,16 +952,40 @@ mod tests {
 
     #[test]
     fn opaque_policies_cannot_save_v3() {
-        use crate::objective::{BudgetedEpsilonGreedy, Objective};
-        let policy = BudgetedEpsilonGreedy::new(
-            ArmSpec::unit_costs(2),
-            1,
-            Objective::RUNTIME_ONLY,
-            0.1,
-            0.99,
-            7,
-        )
-        .unwrap();
+        // An ad-hoc policy that keeps the trait's Opaque snapshot default
+        // (every in-tree policy now has a real state variant, Budgeted
+        // included, so the fallback needs a synthetic example).
+        #[derive(Debug)]
+        struct AdHoc(crate::plain::PlainEpsilonGreedy);
+        impl Policy for AdHoc {
+            fn name(&self) -> String {
+                "ad-hoc".to_string()
+            }
+            fn n_arms(&self) -> usize {
+                self.0.n_arms()
+            }
+            fn n_features(&self) -> usize {
+                self.0.n_features()
+            }
+            fn select(&mut self, x: &[f64]) -> Result<crate::Selection> {
+                self.0.select(x)
+            }
+            fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
+                self.0.observe(arm, x, runtime)
+            }
+            fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {
+                self.0.predict(arm, x)
+            }
+            fn pulls(&self) -> Vec<usize> {
+                self.0.pulls()
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+        }
+        let policy = AdHoc(
+            crate::plain::PlainEpsilonGreedy::new(ArmSpec::unit_costs(2), 0.1, 0.99, 7).unwrap(),
+        );
         let bandit = BanditWare::new(policy, ArmSpec::unit_costs(2));
         // The failure must reach the caller's writer as *zero bytes* — a
         // truncated v3 header on disk would be worse than no file.

@@ -114,6 +114,20 @@ pub enum PolicyState {
         /// Per-arm estimator states.
         arms: Vec<ArmState>,
     },
+    /// [`crate::objective::BudgetedEpsilonGreedy`]: the same shape as
+    /// [`PolicyState::Epsilon`] (schedule + RNG + recursive arms), under its
+    /// own kind tag so a budgeted snapshot never restores into a plain
+    /// ε-greedy policy with a different exploitation rule (the
+    /// [`crate::objective::Objective`] itself is construction-time
+    /// configuration, not state).
+    Budgeted {
+        /// Current exploration probability.
+        epsilon: f64,
+        /// Exploration RNG stream position.
+        rng: [u64; 4],
+        /// Per-arm estimator states.
+        arms: Vec<ArmState>,
+    },
     /// [`crate::plain::PlainEpsilonGreedy`].
     Plain {
         /// Current exploration probability.
@@ -176,6 +190,7 @@ impl PolicyState {
         match self {
             PolicyState::Opaque => "opaque",
             PolicyState::Epsilon { .. } => "epsilon",
+            PolicyState::Budgeted { .. } => "budgeted",
             PolicyState::Plain { .. } => "plain",
             PolicyState::Ucb1 { .. } => "ucb1",
             PolicyState::LinUcb { .. } => "linucb",
@@ -325,6 +340,13 @@ pub fn write_policy_state(state: &PolicyState, w: &mut impl Write) -> Result<()>
         }
         PolicyState::Epsilon { epsilon, rng, arms } => {
             writeln!(w, "p,kind,epsilon,{epsilon},{}", arms.len()).map_err(io_err)?;
+            writeln!(w, "{}", rng_line(rng)).map_err(io_err)?;
+            for (i, arm) in arms.iter().enumerate() {
+                writeln!(w, "{}", arm_line(i, arm)?).map_err(io_err)?;
+            }
+        }
+        PolicyState::Budgeted { epsilon, rng, arms } => {
+            writeln!(w, "p,kind,budgeted,{epsilon},{}", arms.len()).map_err(io_err)?;
             writeln!(w, "{}", rng_line(rng)).map_err(io_err)?;
             for (i, arm) in arms.iter().enumerate() {
                 writeln!(w, "{}", arm_line(i, arm)?).map_err(io_err)?;
@@ -589,8 +611,8 @@ pub fn parse_policy_state(cur: &mut LineCursor) -> Result<PolicyState> {
     f.tag("kind")?;
     let kind = f.raw("policy kind")?;
     let state = match kind {
-        "epsilon" | "boltzmann" => {
-            let scalar = f.f64(if kind == "epsilon" { "epsilon" } else { "temperature" })?;
+        "epsilon" | "budgeted" | "boltzmann" => {
+            let scalar = f.f64(if kind == "boltzmann" { "temperature" } else { "epsilon" })?;
             let n_arms = f.usize("n_arms")?;
             f.done()?;
             let rng = parse_rng_line(cur)?;
@@ -601,10 +623,10 @@ pub fn parse_policy_state(cur: &mut LineCursor) -> Result<PolicyState> {
                 af.done()?;
                 arms.push(arm);
             }
-            if kind == "epsilon" {
-                PolicyState::Epsilon { epsilon: scalar, rng, arms }
-            } else {
-                PolicyState::Boltzmann { temperature: scalar, rng, arms }
+            match kind {
+                "epsilon" => PolicyState::Epsilon { epsilon: scalar, rng, arms },
+                "budgeted" => PolicyState::Budgeted { epsilon: scalar, rng, arms },
+                _ => PolicyState::Boltzmann { temperature: scalar, rng, arms },
             }
         }
         "plain" | "ucb1" => {
@@ -749,6 +771,14 @@ mod tests {
                         acc: neq_state(),
                         fit: fit(),
                     },
+                ],
+            },
+            PolicyState::Budgeted {
+                epsilon: 0.125,
+                rng,
+                arms: vec![
+                    ArmState::Recursive { acc: neq_state(), fit: fit() },
+                    ArmState::Recursive { acc: neq_state(), fit: fit() },
                 ],
             },
             PolicyState::Plain { epsilon: 0.5, rng, arms: vec![(3, 10.0), (0, 0.0)] },

@@ -10,6 +10,7 @@
 use banditware_core::boltzmann::Boltzmann;
 use banditware_core::epsilon::{EpsilonGreedy, ExactEpsilonGreedy};
 use banditware_core::linucb::LinUcb;
+use banditware_core::objective::{BudgetedEpsilonGreedy, Objective};
 use banditware_core::plain::PlainEpsilonGreedy;
 use banditware_core::scaler::ScaledPolicy;
 use banditware_core::thompson::LinThompson;
@@ -17,6 +18,7 @@ use banditware_core::ucb::Ucb1;
 use banditware_core::{ArmSpec, BanditConfig, CoreError, Policy, Result, Retention};
 
 use crate::engine::Engine;
+use crate::wal::Durability;
 
 /// The policy names [`build_policy`] understands.
 pub fn policy_names() -> &'static [&'static str] {
@@ -25,6 +27,7 @@ pub fn policy_names() -> &'static [&'static str] {
         "exact-epsilon-greedy",
         "scaled-epsilon-greedy",
         "plain-epsilon-greedy",
+        "budgeted-epsilon-greedy",
         "linucb",
         "thompson",
         "ucb1",
@@ -63,6 +66,17 @@ pub fn build_policy(
         "plain-epsilon-greedy" => {
             Box::new(PlainEpsilonGreedy::new(specs, config.epsilon0, config.decay, config.seed)?)
         }
+        "budgeted-epsilon-greedy" => Box::new(BudgetedEpsilonGreedy::new(
+            specs,
+            n_features,
+            // The runtime-only objective reproduces the paper's goal; a
+            // custom Objective still requires constructing the policy
+            // directly (the shared config has no weight fields).
+            Objective::RUNTIME_ONLY,
+            config.epsilon0,
+            config.decay,
+            config.seed,
+        )?),
         "linucb" => Box::new(LinUcb::new(specs, n_features, 1.0, lambda)?),
         "thompson" | "linear-thompson" => {
             Box::new(LinThompson::new(specs, n_features, lambda, 1.0, config.seed)?)
@@ -90,12 +104,13 @@ pub struct EngineBuilder {
     pub(crate) config: BanditConfig,
     pub(crate) n_stripes: usize,
     pub(crate) retention: Retention,
+    pub(crate) durability: Durability,
 }
 
 impl EngineBuilder {
     /// Start a builder for bandits over `specs` with `n_features` context
     /// features. Defaults: `"epsilon-greedy"`, [`BanditConfig::paper`],
-    /// 16 stripes, [`Retention::Full`].
+    /// 16 stripes, [`Retention::Full`], [`Durability::Flush`].
     pub fn new(specs: Vec<ArmSpec>, n_features: usize) -> Self {
         EngineBuilder {
             specs,
@@ -104,6 +119,7 @@ impl EngineBuilder {
             config: BanditConfig::paper(),
             n_stripes: 16,
             retention: Retention::Full,
+            durability: Durability::Flush,
         }
     }
 
@@ -133,6 +149,16 @@ impl EngineBuilder {
     /// Set the number of lock stripes (clamped to at least 1).
     pub fn stripes(mut self, n: usize) -> Self {
         self.n_stripes = n.max(1);
+        self
+    }
+
+    /// Set the WAL fsync policy a [`crate::DurableEngine`] built from this
+    /// builder runs with (ignored by the plain in-memory [`Engine`]). See
+    /// the [`Durability`] table in [`crate::wal`] — the default
+    /// [`Durability::Flush`] can lose acknowledged records on power
+    /// failure; [`Durability::FsyncPerBatch`] cannot.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 

@@ -1,0 +1,115 @@
+//! In-repo CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! checksum carried by every WAL line, segment header, manifest, and
+//! replication manifest entry.
+//!
+//! The workspace builds with zero registry dependencies (see README.md,
+//! "Offline dependency shims"), so the WAL cannot pull a crc crate; this is
+//! the standard byte-at-a-time table implementation, with the table built
+//! in a `const` initializer. The exact variant matters only in that it is
+//! **pinned**: checksums are persisted, so changing the polynomial or the
+//! reflection would invalidate every WAL segment on disk. The vectors in
+//! the tests below (the classic `"123456789"` check value `0xCBF43926`)
+//! pin it.
+
+/// The reflected CRC-32 lookup table for polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 accumulator: [`Crc32::update`] over any number of
+/// chunks, then [`Crc32::finish`]. Feeding the same bytes in different
+/// chunkings yields the same checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh accumulator.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Absorb a chunk of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The checksum of everything absorbed so far (the accumulator remains
+    /// usable — `finish` is a read, not a consume).
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_check_values() {
+        // The universal CRC-32/ISO-HDLC check vector plus a few anchors:
+        // these are persisted-format constants, not implementation details.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"banditware-wal v2"), crc32(b"banditware-wal v2"));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0u16..2048).map(|i| (i % 251) as u8).collect();
+        let whole = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut acc = Crc32::new();
+            for piece in data.chunks(chunk) {
+                acc.update(piece);
+            }
+            assert_eq!(acc.finish(), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        // The property the WAL leans on: a bit flip anywhere in a line —
+        // including inside a float's digits, which the old parse-failure
+        // heuristic could not see — changes the checksum.
+        let line = b"obs,17,9,2,1,153.25,1.5,-0.25";
+        let base = crc32(line);
+        let mut flipped = line.to_vec();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {byte} bit {bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

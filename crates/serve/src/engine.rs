@@ -114,6 +114,14 @@ impl Engine {
         self.stripes.len()
     }
 
+    /// The bandit configuration shared by every shard (tolerance, schedule,
+    /// base seed). Read-only serving surfaces — e.g. a replication
+    /// follower's exploit-only recommend — use its tolerance to mirror the
+    /// exploitation rule without mutating any policy.
+    pub fn config(&self) -> &BanditConfig {
+        &self.config
+    }
+
     fn stripe(&self, key: &str) -> &Stripe {
         &self.stripes[(fnv1a(key) % self.stripes.len() as u64) as usize]
     }

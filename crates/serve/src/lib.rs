@@ -24,20 +24,39 @@
 //!   identical regardless of thread count or interleaving.
 //! * [`wal`] — crash durability: [`wal::DurableEngine`] appends every
 //!   recorded observation to a per-key segment log (group-committed per
-//!   batch), folds closed segments into `banditware-history v3` statistics
-//!   snapshots on [`wal::DurableEngine::compact`], and recovers in
-//!   O(m²) + O(WAL tail) — independent of how many rounds a tenant ever
-//!   ran.
+//!   batch, CRC32 on every line and header, fsync per the
+//!   [`wal::Durability`] policy), folds closed segments into
+//!   `banditware-history v3` statistics snapshots on
+//!   [`wal::DurableEngine::compact`], and recovers in O(m²) + O(WAL tail) —
+//!   independent of how many rounds a tenant ever ran.
+//! * [`replicate`] — warm standbys: [`replicate::Replicator`] ships a
+//!   primary's compacted snapshots and sealed, checksummed WAL segments
+//!   through a [`replicate::SegmentTransport`] to follower directories; a
+//!   [`replicate::FollowerEngine`] applies them through the same recovery
+//!   path, tracks per-key applied-sequence watermarks, serves read-only
+//!   predictions, and [`replicate::FollowerEngine::promote`]s into a full
+//!   [`wal::DurableEngine`] on failover.
+//! * [`error`] — [`error::ServeError`]: the core errors plus the failure
+//!   modes only a durable, replicated engine has (corruption with file +
+//!   line + checksums, manifest violations, transport failures, healed
+//!   poisoned locks).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod builder;
+pub mod crc;
 pub mod engine;
+pub mod error;
+pub mod replicate;
 pub mod stress;
 pub mod wal;
 
 pub use builder::{build_policy, policy_names, EngineBuilder};
 pub use engine::{Engine, EngineStats};
+pub use error::{ServeError, ServeResult};
+pub use replicate::{
+    CatchUpReport, FollowerEngine, FsTransport, Replicator, SegmentTransport, ShipReport,
+};
 pub use stress::{run_stress, StressPlan, StressReport};
-pub use wal::{DurableEngine, RecoveryReport, WalOptions};
+pub use wal::{Durability, DurableEngine, RecoveryReport, WalOptions};

@@ -168,7 +168,7 @@ proptest! {
     /// policy, seed, and history length.
     #[test]
     fn v3_roundtrip_survives_random_schedules(
-        policy_idx in 0usize..8,
+        policy_idx in 0usize..9,
         seed in any::<u64>(),
         rounds in 1usize..60,
         hold_every in 0usize..5,

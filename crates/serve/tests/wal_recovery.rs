@@ -3,8 +3,8 @@
 //! the recorded state — through bare segments, snapshot + tail, rotation,
 //! and a torn final line.
 
-use banditware_core::{ArmSpec, BanditConfig, CoreError, Retention, Ticket};
-use banditware_serve::{DurableEngine, Engine, EngineBuilder, WalOptions};
+use banditware_core::{ArmSpec, BanditConfig, Retention, Ticket};
+use banditware_serve::{DurableEngine, Engine, EngineBuilder, ServeError, WalOptions};
 use std::path::PathBuf;
 
 const N_FEATURES: usize = 2;
@@ -75,7 +75,7 @@ fn crash_and_recover_mid_flight() {
     // Open tickets died with the process: their runtimes are rejected
     // loudly, not misattributed.
     for (key, t) in open {
-        assert!(matches!(revived.record(key, t, 1.0), Err(CoreError::UnknownTicket { .. })));
+        assert!(revived.record(key, t, 1.0).unwrap_err().is_unknown_ticket());
     }
 
     // And the revived engine keeps serving + logging.
@@ -199,6 +199,157 @@ fn torn_final_line_is_discarded_not_fatal() {
 }
 
 #[test]
+fn crc_bad_final_line_is_truncated_before_new_appends() {
+    // A newline-terminated final line with a flipped bit is tolerated as a
+    // torn tail by recovery — but it must not be *left* there: appending
+    // after it would turn it into permanent mid-file corruption that fails
+    // every later recovery.
+    let dir = tmp_dir("bad-tail-append");
+    let (engine, _) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
+    for i in 0..8 {
+        let (t, rec) = engine.recommend("k", &context(i)).unwrap();
+        engine.record("k", t, 5.0 + rec.arm as f64).unwrap();
+    }
+    drop(engine);
+
+    // Flip a digit in the *final* line, keeping its trailing newline.
+    let seg = dir.join("kk").join("wal-1.log");
+    let text = std::fs::read_to_string(&seg).unwrap();
+    let last = text.lines().last().unwrap().to_string();
+    let garbled_last = last.replacen("5", "6", 1);
+    assert_ne!(garbled_last, last);
+    std::fs::write(&seg, text.replacen(&last, &garbled_last, 1)).unwrap();
+
+    let (revived, report) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
+    assert!(report.torn_tail, "damaged final line tolerated as torn");
+    assert_eq!(report.replayed, 7);
+    // Keep serving: the append path must truncate the damaged line first.
+    for i in 0..5 {
+        let (t, rec) = revived.recommend("k", &context(100 + i)).unwrap();
+        revived.record("k", t, 9.0 + rec.arm as f64).unwrap();
+    }
+    drop(revived);
+
+    // The next recovery is clean — no mid-file corruption, nothing torn.
+    let (again, report) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
+    assert!(!report.torn_tail, "damaged line was truncated, not buried");
+    assert_eq!(report.replayed, 12);
+    assert_eq!(again.engine().with_shard("k", |s| s.rounds()).unwrap(), 12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn advertised_sealed_segment_gets_no_torn_tail_tolerance() {
+    use banditware_serve::Durability;
+    // Torn-tail tolerance exists for the unsealed active tail. A segment
+    // the MANIFEST advertises was sealed and fsynced first — damage to its
+    // final line is corruption of an acknowledged durable record and must
+    // fail recovery loudly, even when it happens to be the last segment on
+    // disk.
+    let dir = tmp_dir("sealed-tail");
+    let options = WalOptions::new(&dir).segment_max_bytes(200);
+    let b = || builder().durability(Durability::FsyncPerRotation);
+    let (engine, _) = DurableEngine::open(b(), options.clone()).unwrap();
+    // Record until the first rotation seals + advertises wal-1; stop there
+    // so no successor file exists (it is created lazily on next append).
+    let manifest = dir.join("kk").join("MANIFEST");
+    let mut i = 0;
+    while !(manifest.exists() && std::fs::read_to_string(&manifest).unwrap().contains("segment,1,"))
+    {
+        let (t, rec) = engine.recommend("k", &context(i)).unwrap();
+        engine.record("k", t, 5.0 + rec.arm as f64).unwrap();
+        i += 1;
+        assert!(i < 100, "rotation never happened");
+    }
+    drop(engine);
+    let seg = dir.join("kk").join("wal-1.log");
+    assert!(!dir.join("kk").join("wal-2.log").exists(), "successor is lazy");
+
+    // Flip a digit in the advertised segment's final line (newline kept).
+    let text = std::fs::read_to_string(&seg).unwrap();
+    let last = text.lines().last().unwrap().to_string();
+    let garbled = last.replacen("5", "6", 1);
+    assert_ne!(garbled, last);
+    std::fs::write(&seg, text.replacen(&last, &garbled, 1)).unwrap();
+
+    let err = DurableEngine::open(b(), options).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Corrupt { .. }),
+        "durable acknowledged record must not be silently discarded: {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_in_a_float_field_is_a_precise_checksum_error() {
+    // The corruption the old format could not see: a flipped digit inside
+    // a runtime/feature field still parses as a valid record. The per-line
+    // CRC rejects it with the file, the line, and both checksums.
+    let dir = tmp_dir("bitflip");
+    let (engine, _) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
+    for i in 0..10 {
+        let (t, rec) = engine.recommend("k", &context(i)).unwrap();
+        engine.record("k", t, 5.0 + rec.arm as f64).unwrap();
+    }
+    drop(engine);
+
+    let seg = dir.join("kk").join("wal-1.log");
+    let text = std::fs::read_to_string(&seg).unwrap();
+    // Garble one digit of a *feature* field on a middle line (line 5 of
+    // the file is record i=3, whose context starts 3.5): the line still
+    // parses, only the checksum knows.
+    let line = text.lines().nth(4).unwrap().to_string();
+    let garbled_line = line.replacen("3.5", "3.7", 1);
+    assert_ne!(garbled_line, line, "fixture must actually change a digit");
+    let garbled = text.replacen(&line, &garbled_line, 1);
+    std::fs::write(&seg, garbled).unwrap();
+
+    let err = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap_err();
+    match &err {
+        ServeError::Corrupt { path, line, detail } => {
+            assert!(path.ends_with("wal-1.log"), "{path}");
+            assert_eq!(*line, 5);
+            assert!(detail.contains("checksum mismatch"), "{detail}");
+            assert!(detail.contains("stored") && detail.contains("computed"), "{detail}");
+        }
+        other => panic!("expected ServeError::Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_knob_controls_what_the_manifest_advertises() {
+    use banditware_serve::Durability;
+    let run = |durability: Durability, name: &str| -> (std::path::PathBuf, bool) {
+        let dir = tmp_dir(name);
+        let options = WalOptions::new(&dir).segment_max_bytes(512);
+        let b = builder().durability(durability);
+        let (engine, _) = DurableEngine::open(b, options).unwrap();
+        for i in 0..40 {
+            let (t, rec) = engine.recommend("k", &context(i)).unwrap();
+            engine.record("k", t, 5.0 + rec.arm as f64).unwrap();
+        }
+        let manifest = dir.join("kk").join("MANIFEST");
+        let advertised =
+            manifest.exists() && std::fs::read_to_string(&manifest).unwrap().contains("segment,");
+        (dir, advertised)
+    };
+    // Flush never fsyncs at seal, so sealed segments are not advertised
+    // until a ship forces the sync; the fsync policies advertise eagerly.
+    let (dir, advertised) = run(Durability::Flush, "durability-flush");
+    assert!(!advertised, "Flush must not advertise un-fsynced segments");
+    let _ = std::fs::remove_dir_all(&dir);
+    for (durability, name) in [
+        (Durability::FsyncPerRotation, "durability-rotate"),
+        (Durability::FsyncPerBatch, "durability-batch"),
+    ] {
+        let (dir, advertised) = run(durability, name);
+        assert!(advertised, "{durability:?} advertises sealed segments");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn bounded_retention_keeps_snapshots_small() {
     let dir = tmp_dir("retention");
     let options = WalOptions::new(&dir);
@@ -253,7 +404,7 @@ fn zero_byte_segment_still_gets_its_header() {
     std::fs::write(&seg, b"").unwrap(); // the truncated-at-birth segment
     engine.record("k", t, 5.0).unwrap();
     let text = std::fs::read_to_string(&seg).unwrap();
-    assert!(text.starts_with("banditware-wal v1\n"), "header written into empty segment");
+    assert!(text.starts_with("banditware-wal v2,1,"), "header written into empty segment");
     drop(engine);
     let (_revived, report) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
     assert_eq!(report.replayed, 1);
@@ -266,10 +417,7 @@ fn stray_records_do_not_mint_phantom_tenant_dirs() {
     let (engine, _) = DurableEngine::open(builder(), WalOptions::new(&dir)).unwrap();
     // Record against keys that never recommended: rejected AND no
     // directory appears on disk.
-    assert!(matches!(
-        engine.record("typo-key", Ticket::from_id(0), 1.0),
-        Err(CoreError::UnknownTicket { .. })
-    ));
+    assert!(engine.record("typo-key", Ticket::from_id(0), 1.0).unwrap_err().is_unknown_ticket());
     assert!(engine.record_batch("typo-batch", &[(Ticket::from_id(0), 1.0)]).is_err());
     // A real key with an unknown ticket: shard exists, ticket doesn't —
     // still no WAL dir until a record succeeds.
@@ -307,9 +455,9 @@ fn batch_record_is_one_group_commit_and_validates_atomically() {
     let lines = std::fs::read_to_string(&seg).unwrap();
     assert_eq!(lines.lines().filter(|l| l.starts_with("obs,")).count(), 6);
     assert!(engine.record_batch("k", &[]).is_ok(), "empty batch is a no-op");
-    assert!(matches!(
-        engine.record_batch("ghost", &[(Ticket::from_id(1), 2.0)]),
-        Err(CoreError::UnknownTicket { .. })
-    ));
+    assert!(engine
+        .record_batch("ghost", &[(Ticket::from_id(1), 2.0)])
+        .unwrap_err()
+        .is_unknown_ticket());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -93,10 +93,10 @@ fn main() {
     // resubmitted as fresh rounds.
     for &(key, ticket, arm) in &survivors {
         let ti = TENANTS.iter().position(|k| *k == key).unwrap();
-        assert!(matches!(
-            engine.record(key, ticket, runtime(ti, arm, 333.0)),
-            Err(banditware::core::CoreError::UnknownTicket { .. })
-        ));
+        assert!(engine
+            .record(key, ticket, runtime(ti, arm, 333.0))
+            .unwrap_err()
+            .is_unknown_ticket());
         let (fresh, rec) = engine.recommend(key, &[333.0]).expect("resubmit");
         engine.record(key, fresh, runtime(ti, rec.arm, 333.0)).expect("record resubmission");
     }

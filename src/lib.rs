@@ -53,7 +53,7 @@
 //! | [`cluster`] | discrete-event heterogeneous cluster simulator (NDP substrate) |
 //! | [`baselines`] | offline linear-regression recommender, random, oracle, best-fixed |
 //! | [`eval`] | the paper's Monte-Carlo protocol, metrics, ASCII plots |
-//! | [`serve`] | concurrent serving engine: striped shards, runtime policy choice, batched ticketed rounds |
+//! | [`serve`] | concurrent serving engine: striped shards, runtime policy choice, batched ticketed rounds, checksummed WAL + snapshot compaction, replication to standby followers |
 //!
 //! The figure/table regeneration binaries live in the `banditware-bench`
 //! crate (`cargo run --release -p banditware-bench --bin run_all`).
@@ -89,7 +89,8 @@ pub mod prelude {
     pub use banditware_eval::protocol::{run_experiment, specs_from_hardware, ExperimentConfig};
     pub use banditware_eval::{MatchedSet, RoundSeries};
     pub use banditware_serve::{
-        build_policy, policy_names, DurableEngine, Engine, StressPlan, WalOptions,
+        build_policy, policy_names, Durability, DurableEngine, Engine, FollowerEngine, FsTransport,
+        Replicator, ServeError, StressPlan, WalOptions,
     };
     pub use banditware_workloads::hardware::{
         gpu_hardware, matmul_hardware, ndp_hardware, synthetic_hardware,
