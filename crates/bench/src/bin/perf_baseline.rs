@@ -13,14 +13,20 @@
 //! and follower staleness across segment-rotation sizes, with the PR-5
 //! acceptance gate — staleness after a no-seal ship stays under 2× the
 //! records-per-segment implied by the rotation threshold (the active
-//! segment is the only thing a ship leaves behind). `ci.sh` runs this on
-//! every pass so future PRs extend the trajectory instead of re-asserting
-//! complexity claims.
+//! segment is the only thing a ship leaves behind). `BENCH_PR6.json` adds
+//! the `net_round_trip` group: full recommend→record rounds driven through
+//! the `banditware-net` TCP front-end on loopback at N ∈ {1, 8, 32}
+//! concurrent connections — sustained rounds/sec under pipelined bursts
+//! (which the server coalesces into batched engine calls) plus p50/p99
+//! synchronous round latency, with the PR-6 acceptance gate: ≥ 50k
+//! sustained rounds/sec at 8 connections. `ci.sh` runs this on every pass
+//! so future PRs extend the trajectory instead of re-asserting complexity
+//! claims.
 //!
 //! Usage: `cargo run --release -p banditware-bench --bin perf_baseline
-//! [OUT_PR3.json [OUT_PR4.json [OUT_PR5.json]]]` (defaults
-//! `BENCH_PR3.json` / `BENCH_PR4.json` / `BENCH_PR5.json` in the current
-//! directory).
+//! [OUT_PR3.json [OUT_PR4.json [OUT_PR5.json [OUT_PR6.json]]]]` (defaults
+//! `BENCH_PR3.json` / `BENCH_PR4.json` / `BENCH_PR5.json` /
+//! `BENCH_PR6.json` in the current directory).
 
 use banditware_core::arm::{ArmEstimator, RecursiveArm};
 use banditware_core::persist::{
@@ -276,10 +282,111 @@ fn bench_catch_up(rotate_bytes: u64, n: usize) -> CatchUpPoint {
     }
 }
 
+struct NetServePoint {
+    connections: usize,
+    sustained_rounds: usize,
+    sustained_rounds_per_sec: f64,
+    p50_round_ns: f64,
+    p99_round_ns: f64,
+}
+
+/// Full recommend→record rounds through the TCP front-end on loopback with
+/// `connections` concurrent clients, each its own tenant key. Two phases
+/// per connection: pipelined bursts of 64 (the server coalesces each burst
+/// into one `recommend_batch` / `record_batch`) timed for sustained
+/// throughput, then synchronous rounds timed individually for the latency
+/// percentiles.
+fn bench_net_serving(connections: usize) -> NetServePoint {
+    use banditware_net::{NetClient, NetServer, Response, ServerConfig};
+    const M: usize = 8;
+    const BURST: usize = 64;
+    const SUSTAINED_ROUNDS: usize = 4096;
+    const LATENCY_ROUNDS: usize = 400;
+    let engine = Engine::builder(ArmSpec::unit_costs(4), M)
+        .config(BanditConfig::paper().with_epsilon0(0.1).with_seed(5))
+        .build()
+        .expect("engine");
+    let mut server =
+        NetServer::bind(std::sync::Arc::new(engine), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut round_ns: Vec<f64> = Vec::new();
+    // Throughput is conservative: total rounds over the *slowest* worker's
+    // sustained-phase wall time.
+    let mut slowest_s = 0.0f64;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let key = format!("tenant-{c}");
+                    let mut client = NetClient::connect(addr).expect("connect");
+                    let mut rng = StdRng::seed_from_u64(91 + c as u64);
+                    let xs: Vec<Vec<f64>> = (0..BURST).map(|_| context(M, &mut rng)).collect();
+                    let burst = |client: &mut NetClient| {
+                        let ids: Vec<u64> =
+                            xs.iter().map(|x| client.send_recommend(&key, x)).collect();
+                        client.flush().expect("flush recommends");
+                        let mut tickets = Vec::with_capacity(BURST);
+                        for id in ids {
+                            match client.wait(id).expect("recommend") {
+                                Response::Recommend { ticket, arm, .. } => {
+                                    tickets.push((ticket, arm))
+                                }
+                                other => panic!("expected recommendation, got {other:?}"),
+                            }
+                        }
+                        let ids: Vec<u64> = tickets
+                            .iter()
+                            .map(|(t, a)| client.send_record(&key, *t, 10.0 + f64::from(*a)))
+                            .collect();
+                        client.flush().expect("flush records");
+                        for id in ids {
+                            client.wait(id).expect("record");
+                        }
+                    };
+                    for _ in 0..4 {
+                        burst(&mut client); // warmup
+                    }
+                    let start = Instant::now();
+                    for _ in 0..(SUSTAINED_ROUNDS / BURST) {
+                        burst(&mut client);
+                    }
+                    let elapsed_s = start.elapsed().as_secs_f64();
+                    let mut lat = Vec::with_capacity(LATENCY_ROUNDS);
+                    for i in 0..LATENCY_ROUNDS {
+                        let t0 = Instant::now();
+                        let rec = client.recommend(&key, &xs[i % BURST]).expect("recommend");
+                        client.record(&key, rec.ticket, 10.0 + rec.arm as f64).expect("record");
+                        lat.push(t0.elapsed().as_nanos() as f64);
+                    }
+                    (elapsed_s, lat)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (elapsed_s, lat) = worker.join().expect("worker");
+            slowest_s = slowest_s.max(elapsed_s);
+            round_ns.extend(lat);
+        }
+    });
+    server.shutdown();
+    round_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let sustained_rounds = connections * (SUSTAINED_ROUNDS / BURST) * BURST;
+    NetServePoint {
+        connections,
+        sustained_rounds,
+        sustained_rounds_per_sec: sustained_rounds as f64 / slowest_s,
+        p50_round_ns: round_ns[round_ns.len() / 2],
+        p99_round_ns: round_ns[(round_ns.len() * 99 / 100).min(round_ns.len() - 1)],
+    }
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let out_path_pr4 = std::env::args().nth(2).unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let out_path_pr5 = std::env::args().nth(3).unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out_path_pr6 = std::env::args().nth(4).unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
     let current: Vec<(&str, f64)> = vec![
         ("record_m4", bench_record(4)),
@@ -387,4 +494,41 @@ fn main() {
             p.staleness_bound_records
         );
     }
+
+    // --- PR 6: the net_round_trip group — the TCP front-end on loopback at
+    // 1 / 8 / 32 concurrent connections. ---
+    let points: Vec<NetServePoint> = [1, 8, 32].iter().map(|&c| bench_net_serving(c)).collect();
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"conns_{}\": {{ \"sustained_rounds\": {}, \"sustained_rounds_per_sec\": \
+                 {:.0}, \"p50_round_us\": {:.1}, \"p99_round_us\": {:.1} }}",
+                p.connections,
+                p.sustained_rounds,
+                p.sustained_rounds_per_sec,
+                p.p50_round_ns / 1e3,
+                p.p99_round_ns / 1e3
+            )
+        })
+        .collect();
+    let at_8 = points
+        .iter()
+        .find(|p| p.connections == 8)
+        .expect("8-connection point")
+        .sustained_rounds_per_sec;
+    let json = format!(
+        "{{\n  \"schema\": \"banditware-bench-v1\",\n  \"pr\": 6,\n  \"unit\": \"mixed\",\n  \
+         \"net_round_trip\": {{\n{}\n  }},\n  \
+         \"sustained_rounds_per_sec_at_8_conns\": {at_8:.0}\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path_pr6, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path_pr6}");
+    assert!(
+        at_8 >= 50_000.0,
+        "PR-6 acceptance: the TCP front-end must sustain at least 50k rounds/sec at 8 \
+         connections on loopback, got {at_8:.0}"
+    );
 }

@@ -22,7 +22,7 @@
 //! A convenience [`BanditWare::run_round`] does recommend + record around a
 //! user-supplied executor closure (e.g. a cluster submission).
 
-use crate::policy::{ArmSpec, Policy};
+use crate::policy::{ArmSpec, Policy, Selection};
 use crate::{CoreError, Result};
 use std::collections::BTreeMap;
 
@@ -138,6 +138,10 @@ pub struct BanditWare<P: Policy> {
     in_flight: BTreeMap<u64, InFlightRound>,
     next_ticket: u64,
     legacy_pending: Option<Ticket>,
+    /// Scratch: batched selections ([`BanditWare::recommend_batch`] reuses
+    /// this across bursts so the batched select path allocates nothing in
+    /// steady state).
+    batch_sels: Vec<Selection>,
 }
 
 impl<P: Policy> BanditWare<P> {
@@ -156,6 +160,7 @@ impl<P: Policy> BanditWare<P> {
             in_flight: BTreeMap::new(),
             next_ticket: 0,
             legacy_pending: None,
+            batch_sels: Vec::new(),
         }
     }
 
@@ -326,14 +331,18 @@ impl<P: Policy> BanditWare<P> {
         &mut self,
         contexts: &[Vec<f64>],
     ) -> Result<Vec<(Ticket, Recommendation)>> {
-        let refs: Vec<&[f64]> = contexts.iter().map(Vec::as_slice).collect();
-        let sels = self.policy.select_batch(&refs)?;
-        // Single-allocation burst path: the result vector is sized up
-        // front; the per-round work below is ticket bookkeeping only (the
-        // remembered features and the recommendation's display name are the
-        // two owned values the API hands out).
-        let mut out = Vec::with_capacity(sels.len());
-        for (sel, x) in sels.into_iter().zip(contexts) {
+        // Zero-alloc select path: selections land in a recommender-owned
+        // scratch buffer (no per-burst `Vec<&[f64]>` of borrows, no fresh
+        // selections vector). The per-round work below is ticket
+        // bookkeeping only (the remembered features and the
+        // recommendation's display name are the two owned values the API
+        // hands out).
+        let BanditWare { policy, batch_sels, .. } = self;
+        policy.select_batch_into(&mut contexts.iter().map(Vec::as_slice), batch_sels)?;
+        let mut out = Vec::with_capacity(self.batch_sels.len());
+        for i in 0..self.batch_sels.len() {
+            let sel = self.batch_sels[i];
+            let x = &contexts[i];
             let rec = self.recommendation_for(sel.arm, sel.explored, x);
             let ticket = self.issue_ticket(sel.arm, x.clone(), sel.explored);
             out.push((ticket, rec));

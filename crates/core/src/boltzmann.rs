@@ -154,6 +154,13 @@ impl Policy for Boltzmann {
         Ok(Selection { arm: pick, explored: pick != greedy })
     }
 
+    fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // The mode of the sampling distribution — i.e. the arm `select`
+        // would favor — not a tolerant-selection over raw means.
+        let probs = self.probabilities(x)?;
+        banditware_linalg::vector::argmax(&probs).ok_or(CoreError::NoArms)
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         self.arms[arm].update(x, runtime)?;

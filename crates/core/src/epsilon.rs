@@ -189,6 +189,13 @@ impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
         Ok(Selection { arm, explored: false })
     }
 
+    fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // Algorithm 1 step 7 is tolerant selection over the *configured*
+        // per-arm costs and tolerance, not the caller-supplied zero-slack
+        // default — delegate to the inherent rule.
+        DecayingEpsilonGreedy::exploit(self, x)
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         // Steps 10–11: store and refit.

@@ -193,6 +193,28 @@ impl Policy for LinUcb {
         Ok(Selection { arm: best, explored: best != greedy })
     }
 
+    fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // LinUCB's deterministic rule *is* the LCB argmin — a follower
+        // answering from means alone would diverge from the primary whenever
+        // the width term flips the ranking.
+        check_features(x, self.n_features)?;
+        let mut s = self.read_scratch();
+        let ReadScratch { z, az } = &mut *s;
+        z.resize(x.len() + 1, 0.0);
+        z[0] = 1.0;
+        z[1..].copy_from_slice(x);
+        let mut best = 0usize;
+        let mut best_lcb = f64::INFINITY;
+        for (i, (arm, theta)) in self.arms.iter().zip(self.thetas.iter()).enumerate() {
+            let (_, lcb) = Self::mean_and_lcb(arm, theta, self.alpha, z, az)?;
+            if lcb < best_lcb {
+                best_lcb = lcb;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;

@@ -174,6 +174,12 @@ impl Policy for BudgetedEpsilonGreedy {
         Ok(Selection { arm: self.exploit(x)?, explored: false })
     }
 
+    fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // The budgeted rule scalarizes runtime × resource cost through the
+        // objective; the caller's plain cost vector has no say here.
+        BudgetedEpsilonGreedy::exploit(self, x)
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         self.arms[arm].update(x, runtime)?;

@@ -108,6 +108,12 @@ impl Policy for PlainEpsilonGreedy {
         }
     }
 
+    fn exploit(&self, _x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // Context-free: exploitation is the lowest-mean arm, ties going to
+        // unplayed (optimistic) arms exactly as in `select`.
+        Ok(self.greedy_arm())
+    }
+
     fn observe(&mut self, arm: usize, _x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         self.arms[arm].update(&[], runtime)?;

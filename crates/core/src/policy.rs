@@ -70,15 +70,41 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
 
     /// Choose arms for a whole batch of contexts against the **same model
     /// state** (no refits happen between the selections; only schedule
-    /// randomness advances). Wrappers override this to amortize per-batch
-    /// work — e.g. [`crate::ScaledPolicy`] runs one scaler pass for the
-    /// whole batch instead of one per call.
+    /// randomness advances). The default delegates to
+    /// [`Policy::select_batch_into`], so wrappers only override the latter
+    /// to amortize per-batch work — e.g. [`crate::ScaledPolicy`] runs one
+    /// scaler pass for the whole batch instead of one per call.
     ///
     /// # Errors
     /// Propagates [`Policy::select`]; on error, selections already made for
     /// earlier contexts in the batch have still consumed randomness.
     fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
-        xs.iter().map(|x| self.select(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.select_batch_into(&mut xs.iter().copied(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Policy::select_batch`] into a caller-owned buffer (cleared first):
+    /// the allocation-free batched select path. Serving layers keep one
+    /// selections buffer per recommender and reuse it across bursts, so the
+    /// steady-state batch path performs no heap allocation (pinned by
+    /// `alloc_free.rs`). Contexts arrive as an iterator so callers never
+    /// materialize a `Vec<&[f64]>` of borrows per call.
+    ///
+    /// # Errors
+    /// Propagates [`Policy::select`]; on error the buffer holds the
+    /// selections made so far (which have consumed randomness).
+    fn select_batch_into<'a>(
+        &mut self,
+        xs: &mut dyn ExactSizeIterator<Item = &'a [f64]>,
+        out: &mut Vec<Selection>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            out.push(self.select(x)?);
+        }
+        Ok(())
     }
 
     /// Record the observed runtime of `arm` on context `x` and refit.
@@ -131,6 +157,30 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
             out.push(self.predict(a, x)?);
         }
         Ok(())
+    }
+
+    /// The policy's **exploitation** choice for context `x`: the arm its
+    /// own greedy rule would pick, with no exploration draw, no RNG
+    /// consumption, and no state mutation. `costs` are the per-arm resource
+    /// costs (one per arm, in arm order) for rules that trade runtime
+    /// against cost.
+    ///
+    /// The default is Algorithm 1 step 7 with zero slack: tolerant
+    /// selection over [`Policy::predict_all`] — the fastest predicted arm,
+    /// cost-then-index tie-broken. Policies with a *specialized*
+    /// exploitation rule override it (LinUCB's LCB argmin, the budgeted
+    /// objective argmin, Boltzmann's highest-probability arm, the ε-greedy
+    /// family's own configured tolerance), so read-only serving surfaces —
+    /// a replication follower's recommend — answer with exactly the arm the
+    /// live policy's exploit path would.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::FeatureDimMismatch`] on a wrong-arity context;
+    /// propagates [`crate::tolerance::tolerant_select`] validation when
+    /// `costs` has the wrong length.
+    fn exploit(&self, x: &[f64], costs: &[f64]) -> Result<usize> {
+        let preds = self.predict_all(x)?;
+        crate::tolerance::tolerant_select(&preds, costs, crate::tolerance::Tolerance::ZERO)
     }
 
     /// Observations absorbed per arm.
@@ -190,6 +240,18 @@ impl Policy for Box<dyn Policy> {
 
     fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
         (**self).select_batch(xs)
+    }
+
+    fn select_batch_into<'a>(
+        &mut self,
+        xs: &mut dyn ExactSizeIterator<Item = &'a [f64]>,
+        out: &mut Vec<Selection>,
+    ) -> Result<()> {
+        (**self).select_batch_into(xs, out)
+    }
+
+    fn exploit(&self, x: &[f64], costs: &[f64]) -> Result<usize> {
+        (**self).exploit(x, costs)
     }
 
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {

@@ -221,27 +221,34 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         inner.select(zbuf)
     }
 
-    fn select_batch(&mut self, xs: &[&[f64]]) -> Result<Vec<Selection>> {
+    fn select_batch_into<'a>(
+        &mut self,
+        xs: &mut dyn ExactSizeIterator<Item = &'a [f64]>,
+        out: &mut Vec<Selection>,
+    ) -> Result<()> {
         // One scaler pass for the whole batch: absorb every context first,
-        // then transform them all against the same (post-batch) statistics.
-        // Every request in a batch is standardized identically, and the
-        // scaler is updated once instead of interleaved with selections.
-        // The standardized burst lives flattened in one reused buffer.
-        let ScaledPolicy { inner, scaler, flat, .. } = self;
+        // then standardize them all against the same (post-batch)
+        // statistics. Every request in a batch is standardized identically,
+        // and the scaler is updated once instead of interleaved with
+        // selections. The raw burst is staged flattened in one reused
+        // buffer, then transformed chunk-by-chunk in place.
+        let ScaledPolicy { inner, scaler, flat, zbuf, .. } = self;
+        flat.clear();
+        let mut count = 0usize;
         for x in xs {
             scaler.observe(x)?;
-        }
-        flat.clear();
-        for x in xs {
-            scaler.transform_extend(x, flat)?;
+            flat.extend_from_slice(x);
+            count += 1;
         }
         let n = scaler.n_features();
-        let refs: Vec<&[f64]> = if n == 0 {
-            xs.iter().map(|_| &[] as &[f64]).collect()
-        } else {
-            flat.chunks_exact(n).collect()
-        };
-        inner.select_batch(&refs)
+        if n == 0 {
+            return inner.select_batch_into(&mut (0..count).map(|_| &[][..]), out);
+        }
+        for chunk in flat.chunks_exact_mut(n) {
+            scaler.transform_into(chunk, zbuf)?;
+            chunk.copy_from_slice(zbuf);
+        }
+        inner.select_batch_into(&mut flat.chunks_exact(n), out)
     }
 
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
@@ -262,6 +269,14 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         scaler.observe(x)?;
         scaler.transform_into(x, zbuf)?;
         inner.warm_start(arm, zbuf, runtime)
+    }
+
+    fn exploit(&self, x: &[f64], costs: &[f64]) -> Result<usize> {
+        // Standardize exactly as the live select path would, then let the
+        // wrapped policy apply its own exploitation rule.
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.scaler.transform_into(x, &mut z)?;
+        self.inner.exploit(&z, costs)
     }
 
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {

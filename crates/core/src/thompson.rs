@@ -217,6 +217,28 @@ impl Policy for LinThompson {
         Ok(Selection { arm: best, explored: best != greedy })
     }
 
+    fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // Exploitation for Thompson sampling: the posterior-mean argmin —
+        // the arm `select` tracks as "greedy" — with no posterior draw and
+        // no RNG consumption.
+        check_features(x, self.n_features)?;
+        let mut z = self.read_z.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        z.resize(x.len() + 1, 0.0);
+        z[0] = 1.0;
+        z[1..].copy_from_slice(x);
+        let mut greedy: Option<(usize, f64)> = None;
+        for (arm, theta) in self.thetas.iter().enumerate() {
+            let mean = vector::dot(theta, &z);
+            if !mean.is_nan() {
+                match greedy {
+                    Some((_, gv)) if gv <= mean => {}
+                    _ => greedy = Some((arm, mean)),
+                }
+            }
+        }
+        Ok(greedy.map_or(0, |(i, _)| i))
+    }
+
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         check_features(x, self.n_features)?;

@@ -95,6 +95,21 @@ impl Policy for Ucb1 {
         Ok(Selection { arm: best, explored })
     }
 
+    fn exploit(&self, _x: &[f64], _costs: &[f64]) -> Result<usize> {
+        // UCB1 is deterministic: the exploit answer is the same LCB argmin
+        // `select` would pick (unplayed arms win with −∞).
+        let mut best = 0;
+        let mut best_lcb = f64::INFINITY;
+        for i in 0..self.arms.len() {
+            let l = self.lcb(i);
+            if l < best_lcb {
+                best_lcb = l;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
     fn observe(&mut self, arm: usize, _x: &[f64], runtime: f64) -> Result<()> {
         check_arm(arm, self.arms.len())?;
         self.arms[arm].update(&[], runtime)?;

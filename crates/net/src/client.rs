@@ -1,0 +1,204 @@
+//! Blocking client over one persistent connection.
+//!
+//! Two usage styles share the connection state:
+//!
+//! * **Sync calls** — [`NetClient::recommend`], [`NetClient::record`],
+//!   [`NetClient::checkpoint`], [`NetClient::ping`]: send one request,
+//!   wait for its reply.
+//! * **Pipelining** — [`NetClient::send_recommend`] /
+//!   [`NetClient::send_record`] queue requests without waiting,
+//!   [`NetClient::flush`] pushes them onto the wire in one syscall, and
+//!   [`NetClient::wait`] collects each reply by request ID. Because the
+//!   server answers per coalesced group, replies may arrive out of order;
+//!   the client stashes early arrivals and hands each one to the matching
+//!   `wait`.
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{encode_frame, read_frame};
+use crate::protocol::{decode_response, encode_request, Request, Response};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A recommendation as served over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteRecommendation {
+    /// Ticket to record the observed runtime against.
+    pub ticket: u64,
+    /// Chosen arm index.
+    pub arm: usize,
+    /// Whether the round was an exploration draw.
+    pub explored: bool,
+    /// Predicted runtime (NaN when the arm has no fit yet).
+    pub predicted_runtime: f64,
+    /// The arm's configured resource cost.
+    pub resource_cost: f64,
+    /// The arm's display name.
+    pub name: String,
+}
+
+/// Blocking client over one persistent TCP connection.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+    /// Requests encoded but not yet written (the pipelining buffer).
+    outbox: Vec<u8>,
+    /// Early-arriving replies parked until their `wait` comes around.
+    stash: HashMap<u64, Response>,
+    payload: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> NetResult<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            next_id: 1,
+            outbox: Vec::with_capacity(4 * 1024),
+            stash: HashMap::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    fn enqueue(&mut self, req: &Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut payload = std::mem::take(&mut self.payload);
+        encode_request(id, req, &mut payload);
+        encode_frame(&payload, &mut self.outbox);
+        self.payload = payload;
+        id
+    }
+
+    /// Queue a recommend without waiting; returns its request ID for
+    /// [`NetClient::wait`].
+    pub fn send_recommend(&mut self, key: &str, features: &[f64]) -> u64 {
+        self.enqueue(&Request::Recommend { key: key.to_string(), features: features.to_vec() })
+    }
+
+    /// Queue a record without waiting; returns its request ID.
+    pub fn send_record(&mut self, key: &str, ticket: u64, runtime: f64) -> u64 {
+        self.enqueue(&Request::Record { key: key.to_string(), ticket, runtime })
+    }
+
+    /// Queue a ping without waiting; returns its request ID.
+    pub fn send_ping(&mut self) -> u64 {
+        self.enqueue(&Request::Ping)
+    }
+
+    /// Write every queued request to the socket in one syscall.
+    ///
+    /// # Errors
+    /// [`NetError::Io`].
+    pub fn flush(&mut self) -> NetResult<()> {
+        if self.outbox.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.outbox)?;
+        self.outbox.clear();
+        Ok(())
+    }
+
+    /// Block until the reply for `id` arrives (replies for other pipelined
+    /// requests arriving first are stashed for their own `wait`). Flushes
+    /// queued requests first, so `wait` never deadlocks on an unsent
+    /// request.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] when the server answered this request with a
+    /// typed error; [`NetError::Protocol`] / [`NetError::ConnectionClosed`]
+    /// / [`NetError::Io`] on transport failure.
+    pub fn wait(&mut self, id: u64) -> NetResult<Response> {
+        self.flush()?;
+        loop {
+            if let Some(resp) = self.stash.remove(&id) {
+                return match resp {
+                    Response::Error { code, message } => Err(NetError::Remote { code, message }),
+                    other => Ok(other),
+                };
+            }
+            let mut payload = std::mem::take(&mut self.payload);
+            let read = read_frame(&mut self.stream, &mut payload);
+            let decoded = read.and_then(|()| decode_response(&payload));
+            self.payload = payload;
+            let (got, resp) = decoded?;
+            self.stash.insert(got, resp);
+        }
+    }
+
+    /// Liveness probe (sync).
+    ///
+    /// # Errors
+    /// Transport failure, or an unexpected reply type.
+    pub fn ping(&mut self) -> NetResult<()> {
+        let id = self.send_ping();
+        match self.wait(id)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Recommend hardware for one workflow context (sync).
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] when the engine rejected the request;
+    /// transport failure otherwise.
+    pub fn recommend(&mut self, key: &str, features: &[f64]) -> NetResult<RemoteRecommendation> {
+        let id = self.send_recommend(key, features);
+        match self.wait(id)? {
+            Response::Recommend {
+                ticket,
+                arm,
+                explored,
+                predicted_runtime,
+                resource_cost,
+                name,
+            } => Ok(RemoteRecommendation {
+                ticket,
+                arm: arm as usize,
+                explored,
+                predicted_runtime,
+                resource_cost,
+                name,
+            }),
+            other => Err(unexpected("recommendation", &other)),
+        }
+    }
+
+    /// Record an observed runtime against a ticket (sync).
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] (e.g. unknown ticket); transport failure
+    /// otherwise.
+    pub fn record(&mut self, key: &str, ticket: u64, runtime: f64) -> NetResult<()> {
+        let id = self.send_record(key, ticket, runtime);
+        match self.wait(id)? {
+            Response::RecordOk => Ok(()),
+            other => Err(unexpected("record-ok", &other)),
+        }
+    }
+
+    /// Fetch a serialized checkpoint of a key's shard (sync). The bytes are
+    /// exactly what `Engine::save_shard_checkpoint` writes to a local file.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with [`crate::ErrorCode::Unsupported`] for a
+    /// policy without snapshot support; transport failure otherwise.
+    pub fn checkpoint(&mut self, key: &str) -> NetResult<Vec<u8>> {
+        let id = self.enqueue(&Request::Checkpoint { key: key.to_string() });
+        match self.wait(id)? {
+            Response::Checkpoint { bytes } => Ok(bytes),
+            other => Err(unexpected("checkpoint", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> NetError {
+    NetError::Protocol(format!("expected a {wanted} response, got {got:?}"))
+}

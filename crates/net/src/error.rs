@@ -1,0 +1,97 @@
+//! Error type shared by the codec, server, and client.
+
+use std::fmt;
+
+/// `Result` alias for the net crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Typed error codes carried inside an error response frame (opcode
+/// [`crate::protocol::RESP_ERROR`]). The numeric values are part of the
+/// wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame arrived intact but its payload did not decode (bad opcode,
+    /// truncated body, corrupt CRC on the payload, non-UTF-8 key, …).
+    Malformed = 1,
+    /// The engine rejected the request (unknown ticket, feature-arity
+    /// mismatch, invalid runtime, …).
+    Engine = 2,
+    /// The operation is not supported for this engine configuration (e.g.
+    /// checkpointing a policy without snapshot support).
+    Unsupported = 3,
+    /// The frame header declared a payload larger than
+    /// [`crate::frame::MAX_PAYLOAD`]; the connection closes after this
+    /// response because the stream cannot be resynchronized.
+    Oversized = 4,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte (`None` for an unknown code).
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::Engine),
+            3 => Some(ErrorCode::Unsupported),
+            4 => Some(ErrorCode::Oversized),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::Malformed => write!(f, "malformed"),
+            ErrorCode::Engine => write!(f, "engine"),
+            ErrorCode::Unsupported => write!(f, "unsupported"),
+            ErrorCode::Oversized => write!(f, "oversized"),
+        }
+    }
+}
+
+/// Everything that can go wrong talking to (or serving) the wire protocol.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, bind).
+    Io(std::io::Error),
+    /// The byte stream violated the frame protocol (bad CRC on a received
+    /// frame, undecodable payload, oversized header). Fatal for a client
+    /// connection.
+    Protocol(String),
+    /// The server answered with a typed error response.
+    Remote {
+        /// The typed error class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The peer closed the connection mid-conversation.
+    ConnectionClosed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            NetError::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            NetError::ConnectionClosed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}

@@ -1,0 +1,184 @@
+//! The outer frame: `[len: u32 LE][payload: len bytes][crc32(payload): u32 LE]`.
+//!
+//! The CRC (the serve crate's WAL checksum, [`banditware_serve::crc32`])
+//! covers the payload only; the length field is trusted. That split decides
+//! what is recoverable: a bit-flip **inside** the payload fails the CRC but
+//! the next frame boundary is still known, so the server answers with a
+//! typed error and keeps the connection; a header declaring more than
+//! [`MAX_PAYLOAD`] bytes means the length itself cannot be trusted and the
+//! stream cannot be resynchronized — the server answers
+//! [`crate::ErrorCode::Oversized`] and closes.
+
+use crate::error::{NetError, NetResult};
+use banditware_serve::crc::crc32;
+
+/// Hard ceiling on a frame's payload (1 MiB). Far above any legitimate
+/// request (a 4096-feature recommend is ~32 KiB) but small enough that a
+/// corrupt length field cannot make a peer buffer gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Bytes of framing around a payload: 4-byte length + 4-byte CRC.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Append one full frame (header + payload + CRC) for `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_PAYLOAD, "oversized frame encoded");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// One parsing step over an accumulation buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, CRC-clean frame: the payload spans `buf[start..end]` and
+    /// `consumed` bytes (payload + framing) should be drained.
+    Payload {
+        /// Payload start offset in the scanned buffer.
+        start: usize,
+        /// Payload end offset in the scanned buffer.
+        end: usize,
+        /// Total bytes this frame occupied, including framing.
+        consumed: usize,
+    },
+    /// A complete frame whose CRC failed. The boundary is still trustworthy
+    /// (`consumed` bytes to drain); the payload must be discarded.
+    CorruptPayload {
+        /// Total bytes the damaged frame occupied, including framing.
+        consumed: usize,
+    },
+    /// Not enough bytes buffered for a complete frame yet.
+    Incomplete,
+}
+
+/// Scan the front of `buf` for one frame.
+///
+/// # Errors
+/// [`NetError::Protocol`] when the header declares more than
+/// [`MAX_PAYLOAD`] bytes — the length field itself is untrustworthy and the
+/// caller must drop the connection after reporting.
+pub fn parse_frame(buf: &[u8]) -> NetResult<FrameEvent> {
+    if buf.len() < 4 {
+        return Ok(FrameEvent::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(NetError::Protocol(format!(
+            "frame declares {len} payload bytes (max {MAX_PAYLOAD}); stream unsynchronizable"
+        )));
+    }
+    let total = 4 + len + 4;
+    if buf.len() < total {
+        return Ok(FrameEvent::Incomplete);
+    }
+    let payload = &buf[4..4 + len];
+    let declared =
+        u32::from_le_bytes([buf[4 + len], buf[4 + len + 1], buf[4 + len + 2], buf[4 + len + 3]]);
+    if crc32(payload) != declared {
+        return Ok(FrameEvent::CorruptPayload { consumed: total });
+    }
+    Ok(FrameEvent::Payload { start: 4, end: 4 + len, consumed: total })
+}
+
+/// Blocking read of exactly one CRC-clean frame from a stream (the client's
+/// read path: any damage on a client connection is fatal, unlike the
+/// server, which must survive whatever arrives).
+///
+/// # Errors
+/// [`NetError::ConnectionClosed`] on EOF at a frame boundary;
+/// [`NetError::Protocol`] on a torn frame, bad CRC, or oversized header;
+/// [`NetError::Io`] otherwise.
+pub fn read_frame(r: &mut impl std::io::Read, payload: &mut Vec<u8>) -> NetResult<()> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Err(NetError::ConnectionClosed),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(NetError::Protocol(format!(
+            "frame declares {len} payload bytes (max {MAX_PAYLOAD})"
+        )));
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload).map_err(torn)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer).map_err(torn)?;
+    if crc32(payload) != u32::from_le_bytes(trailer) {
+        return Err(NetError::Protocol("frame CRC mismatch".into()));
+    }
+    Ok(())
+}
+
+fn torn(e: std::io::Error) -> NetError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        NetError::Protocol("torn frame: stream ended mid-frame".into())
+    } else {
+        NetError::Io(e)
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// `read_exact`, except a clean EOF **before the first byte** is reported
+/// as [`ReadOutcome::Eof`] instead of an error (EOF between frames is a
+/// normal hang-up; EOF inside a frame is torn).
+fn read_exact_or_eof(r: &mut impl std::io::Read, buf: &mut [u8]) -> NetResult<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(NetError::Protocol("torn frame: stream ended mid-header".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_corruption_classification() {
+        let mut wire = Vec::new();
+        encode_frame(b"hello", &mut wire);
+        encode_frame(b"", &mut wire);
+        match parse_frame(&wire).unwrap() {
+            FrameEvent::Payload { start, end, consumed } => {
+                assert_eq!(&wire[start..end], b"hello");
+                assert_eq!(consumed, 5 + FRAME_OVERHEAD);
+                wire.drain(..consumed);
+            }
+            other => panic!("expected payload, got {other:?}"),
+        }
+        match parse_frame(&wire).unwrap() {
+            FrameEvent::Payload { start, end, consumed } => {
+                assert_eq!(start, end, "empty payload");
+                assert_eq!(consumed, FRAME_OVERHEAD);
+            }
+            other => panic!("expected payload, got {other:?}"),
+        }
+
+        // A flipped payload bit fails the CRC but keeps the boundary.
+        let mut wire = Vec::new();
+        encode_frame(b"hello", &mut wire);
+        wire[5] ^= 0x40;
+        assert_eq!(parse_frame(&wire).unwrap(), FrameEvent::CorruptPayload { consumed: 13 });
+
+        // An oversized header is fatal.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(parse_frame(&wire), Err(NetError::Protocol(_))));
+
+        // Short buffers are simply incomplete.
+        assert_eq!(parse_frame(&[1, 0]).unwrap(), FrameEvent::Incomplete);
+        assert_eq!(parse_frame(&5u32.to_le_bytes()).unwrap(), FrameEvent::Incomplete);
+    }
+}

@@ -1,0 +1,449 @@
+//! The TCP front-end: a thread-per-connection acceptor over a shared
+//! [`Engine`].
+//!
+//! ## Batching at the socket boundary
+//!
+//! Each connection handler drains its socket into an accumulation buffer
+//! and parses out every complete frame. Requests parsed in one pass — plus
+//! whatever else arrives within the configured accumulation window — are
+//! **coalesced per tenant key** and fed to [`Engine::recommend_batch`] /
+//! [`Engine::record_batch`], so a pipelined burst of n rounds costs one
+//! shard-lock acquisition and one response syscall instead of n of each.
+//! Coalescing preserves per-key operation order (a key's recommends and
+//! records never reorder relative to each other) but completes whole groups
+//! at a time, so responses legitimately return out of order across keys —
+//! which is why the protocol carries request IDs.
+//!
+//! ## Damage policy
+//!
+//! * Payload bit-flip (CRC fails, boundary intact): typed
+//!   [`ErrorCode::Malformed`] response, connection continues at the next
+//!   frame boundary.
+//! * Undecodable payload (CRC clean, body nonsense): typed
+//!   [`ErrorCode::Malformed`] response echoing the request ID when the
+//!   header was long enough to carry one.
+//! * Oversized length header: typed [`ErrorCode::Oversized`] response, then
+//!   the connection closes — with the length field untrusted there is no
+//!   next boundary to resynchronize to.
+//! * Torn frame at EOF / peer reset: the connection closes quietly.
+//!
+//! The handler never panics on input bytes; every decode is bounds-checked.
+
+use crate::error::{ErrorCode, NetError, NetResult};
+use crate::frame::{encode_frame, parse_frame, FrameEvent};
+use crate::protocol::{decode_request, encode_response, Request, Response, UNKNOWN_REQUEST_ID};
+use banditware_core::{CoreError, Ticket};
+use banditware_serve::Engine;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long a connection keeps accumulating frames after the first one
+    /// of a batch before processing (`Duration::ZERO` — the default —
+    /// processes whatever each socket read delivered: pipelined bursts
+    /// still coalesce naturally, and single sync requests see no added
+    /// latency).
+    pub batch_window: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { batch_window: Duration::ZERO }
+    }
+}
+
+impl ServerConfig {
+    /// Builder-style accumulation window.
+    #[must_use]
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+}
+
+/// A running TCP server. Dropping it (or calling [`NetServer::shutdown`])
+/// stops the acceptor and joins every connection thread.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    /// The engine is shared: several servers (or in-process callers) may
+    /// serve the same one concurrently.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on bind failure.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> NetResult<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let engine = Arc::clone(&engine);
+                    let shutdown = Arc::clone(&shutdown);
+                    let window = config.batch_window;
+                    let handle = std::thread::spawn(move || {
+                        // A handler failure only affects its own connection.
+                        let _ = handle_connection(&engine, stream, &shutdown, window);
+                    });
+                    conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+                }
+            })
+        };
+        Ok(NetServer { local_addr, shutdown, acceptor: Some(acceptor), conns })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, wake every connection, and join all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor's `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One parsed inbound item, in arrival order.
+enum Inbound {
+    Request(u64, Request),
+    /// Already answered at parse time (CRC failure, undecodable payload).
+    Reject(u64, Response),
+}
+
+/// Requests grouped for batched execution, in creation order.
+enum Group {
+    Recommend { key: String, ids: Vec<u64>, contexts: Vec<Vec<f64>> },
+    Record { key: String, ids: Vec<u64>, outcomes: Vec<(Ticket, f64)> },
+    Checkpoint { id: u64, key: String },
+    Ping { id: u64 },
+    Reject { id: u64, resp: Response },
+}
+
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    window: Duration,
+) -> NetResult<()> {
+    let mut stream = stream;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    let mut rx: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut tx: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut payload_scratch: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut pending: Vec<Inbound> = Vec::new();
+    // `None` = no batch open; `Some(deadline)` = accumulate until then.
+    let mut deadline: Option<Instant> = None;
+
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        // While a batch window is open, wake exactly when it expires rather
+        // than at the (longer) shutdown-poll cadence.
+        let wait = match deadline {
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100))
+                .min(POLL),
+            None => POLL,
+        };
+        stream.set_read_timeout(Some(wait))?;
+        let read = match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed. Serve what was already complete, then stop.
+                if !pending.is_empty() {
+                    process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+                }
+                return Ok(());
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                0
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+            Err(_) => return Ok(()), // reset mid-conversation: close quietly
+        };
+        rx.extend_from_slice(&chunk[..read]);
+
+        // Parse every complete frame currently buffered.
+        let mut fatal_oversize = false;
+        loop {
+            match parse_frame(&rx) {
+                Ok(FrameEvent::Incomplete) => break,
+                Ok(FrameEvent::Payload { start, end, consumed }) => {
+                    payload_scratch.clear();
+                    payload_scratch.extend_from_slice(&rx[start..end]);
+                    rx.drain(..consumed);
+                    pending.push(parse_payload(&payload_scratch));
+                }
+                Ok(FrameEvent::CorruptPayload { consumed }) => {
+                    rx.drain(..consumed);
+                    pending.push(Inbound::Reject(
+                        UNKNOWN_REQUEST_ID,
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: "frame CRC mismatch; payload discarded".into(),
+                        },
+                    ));
+                }
+                Err(_) => {
+                    // Length header past the ceiling: answer, then close —
+                    // the stream has no trustworthy next boundary.
+                    pending.push(Inbound::Reject(
+                        UNKNOWN_REQUEST_ID,
+                        Response::Error {
+                            code: ErrorCode::Oversized,
+                            message: format!(
+                                "frame exceeds the {} byte payload ceiling",
+                                crate::frame::MAX_PAYLOAD
+                            ),
+                        },
+                    ));
+                    fatal_oversize = true;
+                    break;
+                }
+            }
+        }
+
+        if fatal_oversize {
+            process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+            return Ok(());
+        }
+        if pending.is_empty() {
+            continue;
+        }
+        // Open the accumulation window at the first buffered request; flush
+        // when it expires (or immediately with a zero window — everything
+        // one socket read delivered still coalesces).
+        let open = *deadline.get_or_insert_with(|| Instant::now() + window);
+        if Instant::now() >= open {
+            process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+            deadline = None;
+        }
+    }
+}
+
+/// Decode one CRC-clean payload, salvaging the request ID from the fixed
+/// header position on decode failure so the error response routes back to
+/// the right caller.
+fn parse_payload(payload: &[u8]) -> Inbound {
+    match decode_request(payload) {
+        Ok((id, req)) => Inbound::Request(id, req),
+        Err(e) => {
+            let id = if payload.len() >= 9 {
+                u64::from_le_bytes(payload[1..9].try_into().expect("9-byte header"))
+            } else {
+                UNKNOWN_REQUEST_ID
+            };
+            Inbound::Reject(
+                id,
+                Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+            )
+        }
+    }
+}
+
+/// Coalesce the pending requests into per-(key, operation) groups, execute
+/// each group through the engine's batch entry points, and write every
+/// response in one syscall.
+fn process_batch(
+    engine: &Engine,
+    stream: &mut TcpStream,
+    pending: &mut Vec<Inbound>,
+    tx: &mut Vec<u8>,
+) -> NetResult<()> {
+    let mut groups: Vec<Group> = Vec::new();
+    // Per key: the index of its most recent group. A same-key same-op
+    // request appends there (coalescing across interleaved other-key
+    // traffic); a same-key *different*-op request starts a fresh group, so
+    // one key's recommend/record order is never reordered.
+    let mut last_group: HashMap<String, usize> = HashMap::new();
+    for inbound in pending.drain(..) {
+        match inbound {
+            Inbound::Reject(id, resp) => groups.push(Group::Reject { id, resp }),
+            Inbound::Request(id, Request::Ping) => groups.push(Group::Ping { id }),
+            Inbound::Request(id, Request::Checkpoint { key }) => {
+                last_group.remove(&key);
+                groups.push(Group::Checkpoint { id, key });
+            }
+            Inbound::Request(id, Request::Recommend { key, features }) => {
+                if let Some(&gi) = last_group.get(&key) {
+                    if let Group::Recommend { ids, contexts, .. } = &mut groups[gi] {
+                        ids.push(id);
+                        contexts.push(features);
+                        continue;
+                    }
+                }
+                last_group.insert(key.clone(), groups.len());
+                groups.push(Group::Recommend { key, ids: vec![id], contexts: vec![features] });
+            }
+            Inbound::Request(id, Request::Record { key, ticket, runtime }) => {
+                if let Some(&gi) = last_group.get(&key) {
+                    if let Group::Record { ids, outcomes, .. } = &mut groups[gi] {
+                        ids.push(id);
+                        outcomes.push((Ticket::from_id(ticket), runtime));
+                        continue;
+                    }
+                }
+                last_group.insert(key.clone(), groups.len());
+                groups.push(Group::Record {
+                    key,
+                    ids: vec![id],
+                    outcomes: vec![(Ticket::from_id(ticket), runtime)],
+                });
+            }
+        }
+    }
+
+    tx.clear();
+    let mut payload = Vec::new();
+    let mut push = |id: u64, resp: &Response, tx: &mut Vec<u8>| {
+        encode_response(id, resp, &mut payload);
+        encode_frame(&payload, tx);
+    };
+
+    for group in groups {
+        match group {
+            Group::Reject { id, resp } => push(id, &resp, tx),
+            Group::Ping { id } => push(id, &Response::Pong, tx),
+            Group::Checkpoint { id, key } => {
+                let mut bytes = Vec::new();
+                match engine.save_shard_checkpoint(&key, &mut bytes) {
+                    Ok(()) => push(id, &Response::Checkpoint { bytes }, tx),
+                    Err(e) => {
+                        let code = match &e {
+                            CoreError::InvalidParameter { .. } => ErrorCode::Unsupported,
+                            _ => ErrorCode::Engine,
+                        };
+                        push(id, &Response::Error { code, message: e.to_string() }, tx);
+                    }
+                }
+            }
+            Group::Recommend { key, ids, contexts } => {
+                match engine.recommend_batch(&key, &contexts) {
+                    Ok(results) => {
+                        for (id, (ticket, rec)) in ids.iter().zip(results) {
+                            push(
+                                *id,
+                                &Response::Recommend {
+                                    ticket: ticket.id(),
+                                    arm: rec.arm as u32,
+                                    explored: rec.explored,
+                                    predicted_runtime: rec.predicted_runtime,
+                                    resource_cost: rec.resource_cost,
+                                    name: rec.name.to_string(),
+                                },
+                                tx,
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        // Batch validation is atomic; retry individually so
+                        // each request gets its own verdict.
+                        for (id, x) in ids.iter().zip(&contexts) {
+                            match engine.recommend(&key, x) {
+                                Ok((ticket, rec)) => push(
+                                    *id,
+                                    &Response::Recommend {
+                                        ticket: ticket.id(),
+                                        arm: rec.arm as u32,
+                                        explored: rec.explored,
+                                        predicted_runtime: rec.predicted_runtime,
+                                        resource_cost: rec.resource_cost,
+                                        name: rec.name.to_string(),
+                                    },
+                                    tx,
+                                ),
+                                Err(e) => push(
+                                    *id,
+                                    &Response::Error {
+                                        code: ErrorCode::Engine,
+                                        message: e.to_string(),
+                                    },
+                                    tx,
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+            Group::Record { key, ids, outcomes } => match engine.record_batch(&key, &outcomes) {
+                Ok(()) => {
+                    for id in ids {
+                        push(id, &Response::RecordOk, tx);
+                    }
+                }
+                Err(_) => {
+                    for (id, (ticket, runtime)) in ids.iter().zip(&outcomes) {
+                        match engine.record(&key, *ticket, *runtime) {
+                            Ok(()) => push(*id, &Response::RecordOk, tx),
+                            Err(e) => push(
+                                *id,
+                                &Response::Error {
+                                    code: ErrorCode::Engine,
+                                    message: e.to_string(),
+                                },
+                                tx,
+                            ),
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    stream.write_all(tx).map_err(NetError::Io)
+}

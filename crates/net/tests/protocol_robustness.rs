@@ -1,0 +1,247 @@
+//! Protocol robustness: randomized damage against a **live** server must
+//! never crash it, and a connection that just had a frame rejected must
+//! still serve valid traffic.
+//!
+//! One server (shared across every proptest case) backs all connections;
+//! if any damage sequence killed a handler thread or panicked the process,
+//! every subsequent case would fail loudly. Damage kinds:
+//!
+//! * bit-flip inside a frame's payload or CRC trailer (recoverable: typed
+//!   Malformed error, connection continues),
+//! * CRC-clean frames whose body does not decode (recoverable, request ID
+//!   salvaged),
+//! * frames torn by a mid-frame hang-up (connection ends quietly),
+//! * oversized length headers (typed Oversized error, then close),
+//! * valid frames interleaved across several writes with pauses (must
+//!   simply work).
+
+use banditware_core::{ArmSpec, BanditConfig};
+use banditware_net::frame::{encode_frame, read_frame, MAX_PAYLOAD};
+use banditware_net::protocol::{
+    decode_response, encode_request, Request, Response, UNKNOWN_REQUEST_ID,
+};
+use banditware_net::{ErrorCode, NetError, NetServer, ServerConfig};
+use banditware_serve::EngineBuilder;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// The shared live server. Leaked on purpose: it must stay up for the whole
+/// test process so every case hits the same instance.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let engine = Arc::new(
+            EngineBuilder::new(ArmSpec::unit_costs(3), 2)
+                .config(BanditConfig::paper().with_seed(3))
+                .build()
+                .expect("engine builds"),
+        );
+        let server = NetServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        std::mem::forget(server);
+        addr
+    })
+}
+
+fn connect() -> TcpStream {
+    let stream = TcpStream::connect(server_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    // A hung read is a deadlocked test; fail it instead.
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream
+}
+
+fn request_frame(id: u64, req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_request(id, req, &mut payload);
+    let mut wire = Vec::new();
+    encode_frame(&payload, &mut wire);
+    wire
+}
+
+fn read_response(stream: &mut TcpStream) -> (u64, Response) {
+    let mut payload = Vec::new();
+    read_frame(stream, &mut payload).expect("read response frame");
+    decode_response(&payload).expect("decode response")
+}
+
+/// One randomized abuse step. `Fatal` variants run on their own throwaway
+/// connection (the protocol defines them as connection-ending); the rest
+/// run on the case's main connection, which must keep working afterwards.
+#[derive(Debug, Clone)]
+enum Damage {
+    BitFlip { features: (f64, f64), pos: u64, bit: u8 },
+    GarbageBody { body: Vec<u8> },
+    InterleavedWrites { features: (f64, f64), split: u64 },
+    TornFrame { features: (f64, f64), keep: u64 },
+    OversizedHeader { extra: u32 },
+}
+
+fn damage_strategy() -> impl Strategy<Value = Damage> {
+    (
+        0u8..5,
+        (0.5f64..8.0, 0.5f64..8.0),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..24),
+        0u32..1024,
+    )
+        .prop_map(|(kind, features, knob, body, extra)| match kind {
+            0 => Damage::BitFlip { features, pos: knob, bit: (knob % 8) as u8 },
+            1 => Damage::GarbageBody { body },
+            2 => Damage::InterleavedWrites { features, split: knob },
+            3 => Damage::TornFrame { features, keep: knob },
+            _ => Damage::OversizedHeader { extra },
+        })
+}
+
+fn apply(stream: &mut TcpStream, next_id: &mut u64, damage: &Damage) -> Result<(), TestCaseError> {
+    match damage {
+        Damage::BitFlip { features, pos, bit } => {
+            let id = *next_id;
+            *next_id += 1;
+            let mut wire = request_frame(
+                id,
+                &Request::Recommend { key: "wf".into(), features: vec![features.0, features.1] },
+            );
+            // Flip anywhere in payload or CRC trailer — never the length
+            // header, which the CRC does not cover (a corrupted length is
+            // the oversized/desync case, exercised separately).
+            let idx = 4 + (*pos as usize % (wire.len() - 4));
+            wire[idx] ^= 1 << (bit % 8);
+            stream.write_all(&wire).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let (got, resp) = read_response(stream);
+            prop_assert_eq!(got, UNKNOWN_REQUEST_ID);
+            match resp {
+                Response::Error { code, .. } => prop_assert_eq!(code, ErrorCode::Malformed),
+                other => return Err(TestCaseError::fail(format!("expected error: {other:?}"))),
+            }
+        }
+        Damage::GarbageBody { body } => {
+            // CRC-clean frame whose payload is nonsense: opcode 0x6E, a
+            // request ID far above anything the case will legitimately use,
+            // then arbitrary bytes.
+            let garbage_id = (1u64 << 60) | *next_id;
+            let mut payload = vec![0x6E];
+            payload.extend_from_slice(&garbage_id.to_le_bytes());
+            payload.extend_from_slice(body);
+            let mut wire = Vec::new();
+            encode_frame(&payload, &mut wire);
+            stream.write_all(&wire).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let (got, resp) = read_response(stream);
+            prop_assert_eq!(got, garbage_id, "request ID salvaged from undecodable payload");
+            match resp {
+                Response::Error { code, .. } => prop_assert_eq!(code, ErrorCode::Malformed),
+                other => return Err(TestCaseError::fail(format!("expected error: {other:?}"))),
+            }
+        }
+        Damage::InterleavedWrites { features, split } => {
+            let id = *next_id;
+            *next_id += 1;
+            let wire = request_frame(
+                id,
+                &Request::Recommend { key: "wf".into(), features: vec![features.0, features.1] },
+            );
+            let at = 1 + (*split as usize % (wire.len() - 1));
+            stream.write_all(&wire[..at]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            stream.flush().ok();
+            std::thread::sleep(Duration::from_millis(1));
+            stream.write_all(&wire[at..]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let (got, resp) = read_response(stream);
+            prop_assert_eq!(got, id);
+            prop_assert!(
+                matches!(resp, Response::Recommend { .. }),
+                "split-across-writes frame served normally: {:?}",
+                resp
+            );
+        }
+        Damage::TornFrame { features, keep } => {
+            // A peer that hangs up mid-frame: its own connection dies
+            // quietly; nobody else notices.
+            let mut victim = connect();
+            let wire = request_frame(
+                7,
+                &Request::Recommend { key: "wf".into(), features: vec![features.0, features.1] },
+            );
+            let at = *keep as usize % wire.len();
+            victim.write_all(&wire[..at]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            victim.shutdown(std::net::Shutdown::Write).ok();
+            let mut payload = Vec::new();
+            match read_frame(&mut victim, &mut payload) {
+                Err(NetError::ConnectionClosed) => {}
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "torn connection should close without a response, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Damage::OversizedHeader { extra } => {
+            let mut victim = connect();
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&(MAX_PAYLOAD as u32 + 1 + extra).to_le_bytes());
+            wire.extend_from_slice(b"whatever follows is unsynchronizable");
+            victim.write_all(&wire).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let (got, resp) = read_response(&mut victim);
+            prop_assert_eq!(got, UNKNOWN_REQUEST_ID);
+            match resp {
+                Response::Error { code, .. } => prop_assert_eq!(code, ErrorCode::Oversized),
+                other => return Err(TestCaseError::fail(format!("expected error: {other:?}"))),
+            }
+            let mut payload = Vec::new();
+            match read_frame(&mut victim, &mut payload) {
+                Err(NetError::ConnectionClosed) => {}
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "oversized header should end the connection, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Valid round-trip proving the connection (and server) still work.
+fn assert_live(stream: &mut TcpStream, next_id: &mut u64) -> Result<(), TestCaseError> {
+    let id = *next_id;
+    *next_id += 1;
+    let wire =
+        request_frame(id, &Request::Recommend { key: "wf".into(), features: vec![1.0, 2.0] });
+    stream.write_all(&wire).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let (got, resp) = read_response(stream);
+    prop_assert_eq!(got, id);
+    prop_assert!(
+        matches!(resp, Response::Recommend { .. }),
+        "valid traffic after damage still succeeds: {:?}",
+        resp
+    );
+    let pid = *next_id;
+    *next_id += 1;
+    let wire = request_frame(pid, &Request::Ping);
+    stream.write_all(&wire).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let (got, resp) = read_response(stream);
+    prop_assert_eq!(got, pid);
+    prop_assert_eq!(resp, Response::Pong);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn damaged_streams_never_crash_a_live_server(
+        ops in prop::collection::vec(damage_strategy(), 1..6),
+    ) {
+        let mut stream = connect();
+        let mut next_id = 1u64;
+        for op in &ops {
+            apply(&mut stream, &mut next_id, op)?;
+            // After every damage step the same connection (for recoverable
+            // damage) keeps serving valid traffic.
+            assert_live(&mut stream, &mut next_id)?;
+        }
+    }
+}

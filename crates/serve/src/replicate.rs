@@ -61,7 +61,6 @@ use crate::wal::{
     decode_key, encode_key, io_err, read_manifest, replay_segment, segment_index, segment_name,
     DurableEngine, FileMeta, RecoveryReport, ReplayStats, WalOptions, MANIFEST_FILE, SNAPSHOT_FILE,
 };
-use banditware_core::tolerance::tolerant_select;
 use banditware_core::{persist, Recommendation};
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -572,34 +571,28 @@ impl FollowerEngine {
     }
 
     /// Exploit-only recommendation from the replicated state (`None` for an
-    /// unknown key): **tolerant selection over the current runtime
-    /// predictions** — Algorithm 1's exploitation rule (the ε-greedy
-    /// family's, and what the CLI `recommend` uses) — with **no**
-    /// exploration draw, no RNG consumption, and no ticket opened, so
-    /// serving reads never perturb the state replication delivered.
-    ///
-    /// Policies with a *specialized* exploitation rule (LinUCB's LCB
-    /// argmin, the budgeted objective) are served by this same
-    /// tolerant-over-means rule, which may pick a different arm than their
-    /// own exploit path would; a promoted engine's `recommend` always uses
-    /// the policy's real rule. A trait-level read-only `Policy::exploit`
-    /// is the ROADMAP follow-up.
+    /// unknown key): the policy's **own exploitation rule**
+    /// ([`banditware_core::Policy::exploit`]) — LinUCB's LCB argmin, the
+    /// budgeted objective, Boltzmann's distribution mode, tolerant
+    /// selection for the ε-greedy family — with **no** exploration draw,
+    /// no RNG consumption, and no ticket opened, so serving reads never
+    /// perturb the state replication delivered. A follower therefore
+    /// answers arm-for-arm what a just-promoted primary's exploit path
+    /// would (pinned across every builder policy in the tests below).
     ///
     /// # Errors
     /// Feature-arity validation.
     pub fn recommend(&self, key: &str, features: &[f64]) -> ServeResult<Option<Recommendation>> {
-        let tolerance = self.engine.config().tolerance;
         self.engine
             .with_shard(key, |shard| -> banditware_core::Result<Recommendation> {
-                let preds = shard.policy().predict_all(features)?;
                 let costs: Vec<f64> = shard.specs().iter().map(|s| s.resource_cost).collect();
-                let arm = tolerant_select(&preds, &costs, tolerance)?;
+                let arm = shard.policy().exploit(features, &costs)?;
                 let spec = &shard.specs()[arm];
                 Ok(Recommendation {
                     arm,
                     name: spec.name.clone(),
                     resource_cost: spec.resource_cost,
-                    predicted_runtime: preds[arm],
+                    predicted_runtime: shard.policy().predict(arm, features).unwrap_or(f64::NAN),
                     explored: false,
                 })
             })
@@ -757,5 +750,179 @@ mod tests {
         assert_eq!(promoted.engine().with_shard("wf", |s| s.rounds()).unwrap(), 31);
         let _ = fs::remove_dir_all(&primary_dir);
         let _ = fs::remove_dir_all(&replica_dir);
+    }
+
+    /// One probe's serving outcomes across the three rules under test.
+    struct ProbeArms {
+        /// What the follower served.
+        follower: usize,
+        /// What the promoted engine's `Policy::exploit` picks.
+        exploit: usize,
+        /// What the old (buggy) tolerant-selection-over-means rule picks.
+        old_rule: usize,
+    }
+
+    /// Ship a trained primary, serve each probe through the follower, then
+    /// promote and report — per probe — the follower's arm, the promoted
+    /// exploit arm, and the arm the pre-fix tolerant-over-means rule would
+    /// have served.
+    fn follower_vs_promoted(
+        name: &str,
+        builder: impl Fn() -> EngineBuilder,
+        rounds: usize,
+        runtime_for: impl Fn(usize, usize) -> f64,
+        probes: &[Vec<f64>],
+    ) -> Vec<ProbeArms> {
+        let primary_dir = tmp_dir(&format!("agree-primary-{name}"));
+        let replica_dir = tmp_dir(&format!("agree-replica-{name}"));
+        let (primary, _) = DurableEngine::open(builder(), WalOptions::new(&primary_dir)).unwrap();
+        for i in 0..rounds {
+            let x = [(i % 7) as f64 + 1.0];
+            let (t, rec) = primary.recommend("wf", &x).unwrap();
+            primary.record("wf", t, runtime_for(i, rec.arm)).unwrap();
+        }
+        let replicator = Replicator::new(FsTransport::new(&replica_dir));
+        replicator.ship_all(&primary, true).unwrap();
+        let (follower, _) = FollowerEngine::open(builder(), WalOptions::new(&replica_dir)).unwrap();
+        let follower_arms: Vec<usize> = probes
+            .iter()
+            .map(|x| follower.recommend("wf", x).unwrap().expect("replicated key").arm)
+            .collect();
+        drop(primary);
+        let (promoted, _) = follower.promote().unwrap();
+        let tolerance = promoted.engine().config().tolerance;
+        let out = probes
+            .iter()
+            .zip(follower_arms)
+            .map(|(x, follower_arm)| {
+                promoted
+                    .engine()
+                    .with_shard("wf", |s| {
+                        let costs: Vec<f64> = s.specs().iter().map(|sp| sp.resource_cost).collect();
+                        let preds = s.policy().predict_all(x).unwrap();
+                        ProbeArms {
+                            follower: follower_arm,
+                            exploit: s.policy().exploit(x, &costs).unwrap(),
+                            old_rule: banditware_core::tolerance::tolerant_select(
+                                &preds, &costs, tolerance,
+                            )
+                            .unwrap(),
+                        }
+                    })
+                    .expect("promoted key")
+            })
+            .collect();
+        let _ = fs::remove_dir_all(&primary_dir);
+        let _ = fs::remove_dir_all(&replica_dir);
+        out
+    }
+
+    /// The PR-6 exploit-rule pin: a follower answers arm-for-arm what a
+    /// just-promoted primary's `Policy::exploit` path would, for **every**
+    /// builder policy (the replica and the promoted engine rebuild the same
+    /// state from the same shipped files, so any disagreement is a serving
+    /// rule divergence, exactly the old tolerant-over-means bug).
+    #[test]
+    fn follower_agrees_with_promoted_exploit_for_all_policies() {
+        for name in crate::builder::policy_names() {
+            let builder = || {
+                Engine::builder(ArmSpec::unit_costs(3), 1)
+                    .policy(*name)
+                    .config(BanditConfig::paper().with_seed(11))
+            };
+            let probes = vec![vec![1.5], vec![4.0], vec![6.5]];
+            for (i, arms) in follower_vs_promoted(
+                name,
+                builder,
+                40,
+                |i, arm| 10.0 + arm as f64 * 3.0 + (i % 3) as f64,
+                &probes,
+            )
+            .into_iter()
+            .enumerate()
+            {
+                assert_eq!(
+                    arms.follower, arms.exploit,
+                    "policy {name:?}: follower arm {} != promoted exploit arm {} for probe {i}",
+                    arms.follower, arms.exploit
+                );
+            }
+        }
+    }
+
+    /// Regression (previously failing): LinUCB's exploitation rule is the
+    /// LCB argmin, not tolerant selection over means. Train one arm heavily
+    /// and leave a near-as-good arm with few pulls: its wide confidence
+    /// interval drags its LCB below the favorite's, so the two rules pick
+    /// different arms — and the follower must serve the LCB one.
+    #[test]
+    fn follower_serves_linucb_lcb_argmin_not_tolerant_means() {
+        let builder = || {
+            Engine::builder(ArmSpec::unit_costs(3), 1)
+                .policy("linucb")
+                .config(BanditConfig::paper().with_seed(3))
+        };
+        // Runtime by arm: arm 0 fastest (pulled most once LCBs settle),
+        // arm 1 slightly slower (few pulls), arm 2 far slower (one pull —
+        // the widest CI). Probing *below* the training range (contexts are
+        // 1..=7) puts the ridge-shrunk, wide-interval arms in play: at
+        // x=0.72 the LCB argmin and the mean argmin provably differ
+        // (deterministic — LinUCB consumes no RNG).
+        let probes = vec![vec![0.72]];
+        let arms = follower_vs_promoted(
+            "linucb-lcb",
+            builder,
+            60,
+            |_, arm| [10.0, 11.0, 30.0][arm],
+            &probes,
+        )
+        .remove(0);
+        assert_eq!(arms.follower, arms.exploit, "follower must serve the LCB argmin");
+        // The engineered state actually discriminates: the pre-fix rule
+        // picks a different arm for this probe, so this test fails against
+        // the old follower serving path.
+        assert_ne!(
+            arms.exploit, arms.old_rule,
+            "probe must separate the LCB argmin from tolerant-over-means"
+        );
+    }
+
+    /// Regression (previously failing): the budgeted policy exploits by
+    /// scalarized objective (runtime-only in the builder wiring), while the
+    /// old follower rule applied the engine's *tolerance* to raw resource
+    /// costs — with a 5-second tolerance and a cheap arm within 5s of the
+    /// fastest, the two rules provably diverge.
+    #[test]
+    fn follower_serves_budgeted_objective_not_tolerant_means() {
+        let specs =
+            vec![ArmSpec::new(0, "fast-expensive", 10.0), ArmSpec::new(1, "slow-cheap", 1.0)];
+        let config = BanditConfig::paper()
+            .with_seed(5)
+            .with_tolerance(banditware_core::Tolerance::seconds(5.0).unwrap());
+        let builder = {
+            let specs = specs.clone();
+            move || {
+                Engine::builder(specs.clone(), 1).policy("budgeted-epsilon-greedy").config(config)
+            }
+        };
+        // Arm 0 runs in ~10s, arm 1 in ~13s: within the 5s tolerance, so
+        // the old rule would serve the cheap arm 1; the budgeted
+        // runtime-only objective exploits arm 0.
+        let probes = vec![vec![3.0]];
+        let arms = follower_vs_promoted(
+            "budgeted-objective",
+            builder,
+            60,
+            |_, arm| [10.0, 13.0][arm],
+            &probes,
+        )
+        .remove(0);
+        assert_eq!(arms.follower, arms.exploit, "follower must serve the budgeted objective");
+        assert_eq!(arms.exploit, 0, "runtime-only objective exploits the fastest arm");
+        assert_eq!(
+            arms.old_rule, 1,
+            "the 5s tolerance makes the pre-fix rule serve the cheap arm — \
+             this test fails against the old follower serving path"
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! banditware-cli compact <app> <wal-dir> [--policy P] [--seed S]
 //! banditware-cli replicate <app> <primary-wal-dir> <follower-dir> [--policy P] [--seed S] [--seal]
 //! banditware-cli promote <app> <follower-dir> [--policy P] [--seed S]
+//! banditware-cli serve <app> [--policy P] [--seed S] [--addr A] [--window-us U]
+//! banditware-cli call <addr> <ping|recommend|record|checkpoint> [--key K] [...]
 //! ```
 //!
 //! The policy is a **runtime** choice (`--policy epsilon-greedy|linucb|
@@ -29,6 +31,11 @@
 //! primary WAL directory's durable snapshots + sealed segments to a
 //! follower directory; `promote` fails a follower directory over into a
 //! full serving engine (printing the per-key watermarks it took over at).
+//!
+//! `serve` exposes an engine over TCP (the `banditware-net` framed
+//! protocol; `--addr 127.0.0.1:0` picks an ephemeral port and prints it,
+//! `--window-us` sets the request-coalescing window) and runs until stdin
+//! closes; `call` is the matching one-shot client.
 
 use banditware::core::tolerance::tolerant_select;
 use banditware::eval::protocol::run_experiment_with;
@@ -61,6 +68,11 @@ const USAGE: &str = "usage:
   banditware-cli compact <app> <wal-dir> [--policy P] [--seed S]
   banditware-cli replicate <app> <primary-wal-dir> <follower-dir> [--policy P] [--seed S] [--seal]
   banditware-cli promote <app> <follower-dir> [--policy P] [--seed S]
+  banditware-cli serve <app> [--policy P] [--seed S] [--addr A] [--window-us U]
+  banditware-cli call <addr> ping
+  banditware-cli call <addr> recommend [--key K] --features a,b,c
+  banditware-cli call <addr> record [--key K] --ticket T --runtime R
+  banditware-cli call <addr> checkpoint [--key K] [--out FILE]
 
 policies (P): epsilon-greedy (default), exact-epsilon-greedy, scaled-epsilon-greedy,
               plain-epsilon-greedy, budgeted-epsilon-greedy, linucb, thompson, ucb1,
@@ -78,6 +90,8 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("compact") => cmd_compact(&args[1..]),
         Some("replicate") => cmd_replicate(&args[1..]),
         Some("promote") => cmd_promote(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("call") => cmd_call(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -271,14 +285,18 @@ fn cmd_train(args: &[String]) -> Result<String, String> {
     ))
 }
 
+fn parse_features(feature_str: &str) -> Result<Vec<f64>, String> {
+    feature_str
+        .split(',')
+        .map(|f| f.trim().parse::<f64>().map_err(|e| format!("bad feature {f:?}: {e}")))
+        .collect()
+}
+
 fn cmd_recommend(args: &[String]) -> Result<String, String> {
     let a = app(args.first().ok_or("recommend: missing application")?)?;
     let history_path = args.get(1).ok_or("recommend: missing history path")?;
     let feature_str = flag(args, "--features").ok_or("recommend: missing --features")?;
-    let features: Vec<f64> = feature_str
-        .split(',')
-        .map(|f| f.trim().parse::<f64>().map_err(|e| format!("bad feature {f:?}: {e}")))
-        .collect::<Result<_, _>>()?;
+    let features = parse_features(&feature_str)?;
     if features.len() != a.features.len() {
         return Err(format!(
             "{} expects {} features ({}), got {}",
@@ -444,6 +462,98 @@ fn cmd_promote(args: &[String]) -> Result<String, String> {
          watermarks {:?}",
         stats.keys, stats.recorded_rounds, stats.in_flight, recovery.watermarks,
     ))
+}
+
+/// Expose an engine over TCP. Prints the bound address up front (port 0
+/// resolves to a real ephemeral port), then serves until stdin closes —
+/// the idiom that lets a parent process or shell script own the lifetime
+/// (`printf '' | banditware-cli serve …` runs one accept-less lifecycle).
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let a = app(args.first().ok_or("serve: missing application")?)?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let window_us: u64 = parse_flag(args, "--window-us", 0)?;
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "epsilon-greedy".to_string());
+    let engine =
+        std::sync::Arc::new(serving_builder(&a, args)?.build().map_err(|e| format!("serve: {e}"))?);
+    let config =
+        ServerConfig::default().with_batch_window(std::time::Duration::from_micros(window_us));
+    let mut server = NetServer::bind(engine, addr.as_str(), config)
+        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    {
+        use std::io::{BufRead as _, Write as _};
+        println!(
+            "serving {} on {} (policy {policy_name}, window {window_us} us); close stdin to stop",
+            a.name,
+            server.local_addr()
+        );
+        std::io::stdout().flush().ok();
+        for line in std::io::stdin().lock().lines() {
+            if line.is_err() {
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    Ok(format!("{} server on {} stopped", a.name, server.local_addr()))
+}
+
+/// One-shot client for a running `serve` instance. Every failure — unable
+/// to connect, transport damage, or a typed error from the server — comes
+/// back as a clean diagnostic on stderr with a nonzero exit, never a panic.
+fn cmd_call(args: &[String]) -> Result<String, String> {
+    let addr = args.first().ok_or("call: missing server address")?;
+    let action = args.get(1).ok_or("call: missing action (ping|recommend|record|checkpoint)")?;
+    let mut client =
+        NetClient::connect(addr.as_str()).map_err(|e| format!("call: cannot reach {addr}: {e}"))?;
+    let key = flag(args, "--key").unwrap_or_else(|| "default".to_string());
+    match action.as_str() {
+        "ping" => {
+            client.ping().map_err(|e| format!("call: {e}"))?;
+            Ok(format!("pong from {addr}"))
+        }
+        "recommend" => {
+            let feature_str =
+                flag(args, "--features").ok_or("call recommend: missing --features")?;
+            let features = parse_features(&feature_str)?;
+            let rec = client.recommend(&key, &features).map_err(|e| format!("call: {e}"))?;
+            Ok(format!(
+                "ticket {}: {} (arm {}, cost {}) predicted {:.1} s{}",
+                rec.ticket,
+                rec.name,
+                rec.arm,
+                rec.resource_cost,
+                rec.predicted_runtime,
+                if rec.explored { " [explored]" } else { "" }
+            ))
+        }
+        "record" => {
+            let ticket: u64 = flag(args, "--ticket")
+                .ok_or("call record: missing --ticket")?
+                .parse()
+                .map_err(|e| format!("bad --ticket: {e}"))?;
+            let runtime: f64 = flag(args, "--runtime")
+                .ok_or("call record: missing --runtime")?
+                .parse()
+                .map_err(|e| format!("bad --runtime: {e}"))?;
+            client.record(&key, ticket, runtime).map_err(|e| format!("call: {e}"))?;
+            Ok(format!("recorded {runtime} s against ticket {ticket} for key {key:?}"))
+        }
+        "checkpoint" => {
+            let bytes = client.checkpoint(&key).map_err(|e| format!("call: {e}"))?;
+            match flag(args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, &bytes)
+                        .map_err(|e| format!("call checkpoint: cannot write {path}: {e}"))?;
+                    Ok(format!(
+                        "wrote {} checkpoint byte(s) for key {key:?} to {path}",
+                        bytes.len()
+                    ))
+                }
+                None => Ok(format!("checkpoint for key {key:?}: {} byte(s)", bytes.len())),
+            }
+        }
+        other => Err(format!("call: unknown action {other:?}")),
+    }
 }
 
 #[cfg(test)]
@@ -724,6 +834,84 @@ mod tests {
         assert!(run(&s(&["promote", "cycles"])).is_err(), "missing follower dir");
         let _ = std::fs::remove_dir_all(&primary);
         let _ = std::fs::remove_dir_all(&follower);
+    }
+
+    #[test]
+    fn call_drives_a_live_server_over_tcp() {
+        // An in-process server stands in for a `serve` invocation (same
+        // engine wiring; `serve` itself blocks on stdin, exercised by the
+        // network_serving example in CI).
+        let a = app("cycles").unwrap();
+        let specs = specs_from_hardware(&a.hardware);
+        let engine = std::sync::Arc::new(Engine::builder(specs, a.features.len()).build().unwrap());
+        let mut server = NetServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let out = run(&s(&["call", &addr, "ping"])).unwrap();
+        assert!(out.contains("pong"), "{out}");
+
+        let out =
+            run(&s(&["call", &addr, "recommend", "--key", "wf", "--features", "480"])).unwrap();
+        assert!(out.contains("ticket 0"), "{out}");
+
+        let out = run(&s(&[
+            "call",
+            &addr,
+            "record",
+            "--key",
+            "wf",
+            "--ticket",
+            "0",
+            "--runtime",
+            "123.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("recorded 123.5 s against ticket 0"), "{out}");
+
+        let ckpt = tmp("net_call_ckpt.v3");
+        let out = run(&s(&["call", &addr, "checkpoint", "--key", "wf", "--out", &ckpt])).unwrap();
+        assert!(out.contains("checkpoint byte(s)"), "{out}");
+        assert!(std::fs::metadata(&ckpt).unwrap().len() > 0);
+
+        // Server-side rejections surface as clean Err diagnostics (main()
+        // turns these into stderr + exit 2), never panics.
+        let err =
+            run(&s(&["call", &addr, "record", "--key", "wf", "--ticket", "999", "--runtime", "1"]))
+                .unwrap_err();
+        assert!(err.starts_with("call:"), "{err}");
+        let err = run(&s(&["call", &addr, "recommend", "--key", "wf", "--features", "1,2,3"]))
+            .unwrap_err();
+        assert!(err.starts_with("call:"), "{err}");
+
+        // Usage errors.
+        assert!(run(&s(&["call", &addr])).is_err(), "missing action");
+        assert!(run(&s(&["call", &addr, "frob"])).is_err(), "unknown action");
+        assert!(run(&s(&["call", &addr, "recommend", "--key", "wf"])).is_err(), "no features");
+        assert!(
+            run(&s(&["call", &addr, "record", "--key", "wf", "--runtime", "1"])).is_err(),
+            "no ticket"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_connection_failure_is_a_clean_error() {
+        // A port nothing listens on: the diagnostic names the address and
+        // the command errors instead of panicking.
+        let err = run(&s(&["call", "127.0.0.1:9", "ping"])).unwrap_err();
+        assert!(err.contains("cannot reach 127.0.0.1:9"), "{err}");
+        assert!(run(&s(&["call"])).is_err(), "missing address");
+    }
+
+    #[test]
+    fn serve_validates_arguments() {
+        assert!(run(&s(&["serve"])).is_err(), "missing application");
+        assert!(run(&s(&["serve", "nope"])).is_err(), "unknown application");
+        assert!(run(&s(&["serve", "cycles", "--policy", "sarsa"])).is_err(), "unknown policy");
+        assert!(
+            run(&s(&["serve", "cycles", "--addr", "256.0.0.1:0"])).is_err(),
+            "unbindable address"
+        );
     }
 
     #[test]
