@@ -56,6 +56,17 @@ pub trait ArmEstimator: Send + Sync + std::fmt::Debug {
     /// arms look maximally attractive and seeds optimistic exploration.
     fn predict(&self, x: &[f64]) -> f64;
 
+    /// Borrow the live affine coefficients `(w, b)` when — and only when —
+    /// this estimator's [`ArmEstimator::predict`] is exactly
+    /// `vector::dot(w, x) + b` on its current fit. Columnar batch paths
+    /// ([`crate::FeatureFrame::predict_into`]) use them to evaluate all rows
+    /// with the identical accumulation order; estimators with any other
+    /// prediction rule return `None` (the default) and are evaluated
+    /// row-by-row instead.
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        None
+    }
+
     /// Absorb one `(x, runtime)` observation and refit.
     ///
     /// # Errors
@@ -142,6 +153,10 @@ impl ArmEstimator for LinearArm {
 
     fn predict(&self, x: &[f64]) -> f64 {
         self.current.predict(x)
+    }
+
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        Some((&self.current.weights, self.current.intercept))
     }
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
@@ -237,6 +252,10 @@ impl ArmEstimator for RecursiveArm {
 
     fn predict(&self, x: &[f64]) -> f64 {
         self.current.predict(x)
+    }
+
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        Some((&self.current.weights, self.current.intercept))
     }
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
@@ -369,6 +388,10 @@ impl ArmEstimator for Box<dyn ArmEstimator> {
 
     fn predict(&self, x: &[f64]) -> f64 {
         self.as_ref().predict(x)
+    }
+
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        self.as_ref().linear_coeffs()
     }
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {

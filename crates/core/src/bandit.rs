@@ -22,6 +22,7 @@
 //! A convenience [`BanditWare::run_round`] does recommend + record around a
 //! user-supplied executor closure (e.g. a cluster submission).
 
+use crate::frame::FeatureFrame;
 use crate::policy::{ArmSpec, Policy, Selection};
 use crate::{CoreError, Result};
 use std::collections::BTreeMap;
@@ -142,6 +143,10 @@ pub struct BanditWare<P: Policy> {
     /// this across bursts so the batched select path allocates nothing in
     /// steady state).
     batch_sels: Vec<Selection>,
+    /// Scratch: the columnar frame the row-slice shim
+    /// ([`BanditWare::recommend_batch`]) builds once per burst, reused
+    /// across bursts.
+    batch_frame: FeatureFrame,
 }
 
 impl<P: Policy> BanditWare<P> {
@@ -161,6 +166,7 @@ impl<P: Policy> BanditWare<P> {
             next_ticket: 0,
             legacy_pending: None,
             batch_sels: Vec::new(),
+            batch_frame: FeatureFrame::new(),
         }
     }
 
@@ -331,20 +337,45 @@ impl<P: Policy> BanditWare<P> {
         &mut self,
         contexts: &[Vec<f64>],
     ) -> Result<Vec<(Ticket, Recommendation)>> {
+        // Row-slice shim over the columnar path: transpose the burst once
+        // into the recommender-owned scratch frame (reused across bursts),
+        // then run the frame pipeline — bitwise identical by the
+        // [`crate::frame`] contract.
+        if contexts.is_empty() {
+            self.batch_sels.clear();
+            return Ok(Vec::new());
+        }
+        self.batch_frame.fill_from_rows(contexts)?;
+        let frame = std::mem::take(&mut self.batch_frame);
+        let out = self.recommend_batch_frame(&frame);
+        self.batch_frame = frame;
+        out
+    }
+
+    /// [`BanditWare::recommend_batch`] over an already-columnar batch
+    /// ([`FeatureFrame`]): one policy frame pass, then per-row ticket
+    /// bookkeeping. This is the layout the serving front-end builds once
+    /// per coalesced burst; results are bitwise identical to the row-slice
+    /// API on the same contexts.
+    ///
+    /// # Errors
+    /// Propagates policy validation; on error no tickets are issued.
+    pub fn recommend_batch_frame(
+        &mut self,
+        frame: &FeatureFrame,
+    ) -> Result<Vec<(Ticket, Recommendation)>> {
         // Zero-alloc select path: selections land in a recommender-owned
-        // scratch buffer (no per-burst `Vec<&[f64]>` of borrows, no fresh
-        // selections vector). The per-round work below is ticket
-        // bookkeeping only (the remembered features and the
-        // recommendation's display name are the two owned values the API
-        // hands out).
+        // scratch buffer. The per-round work below is ticket bookkeeping
+        // only (the remembered features and the recommendation's display
+        // name are the two owned values the API hands out).
         let BanditWare { policy, batch_sels, .. } = self;
-        policy.select_batch_into(&mut contexts.iter().map(Vec::as_slice), batch_sels)?;
+        policy.select_frame_into(frame, batch_sels)?;
         let mut out = Vec::with_capacity(self.batch_sels.len());
         for i in 0..self.batch_sels.len() {
             let sel = self.batch_sels[i];
-            let x = &contexts[i];
-            let rec = self.recommendation_for(sel.arm, sel.explored, x);
-            let ticket = self.issue_ticket(sel.arm, x.clone(), sel.explored);
+            let x = frame.row_to_vec(i);
+            let rec = self.recommendation_for(sel.arm, sel.explored, &x);
+            let ticket = self.issue_ticket(sel.arm, x, sel.explored);
             out.push((ticket, rec));
         }
         Ok(out)

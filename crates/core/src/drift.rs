@@ -97,6 +97,10 @@ impl ArmEstimator for DiscountedArm {
         self.current.predict(x)
     }
 
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        Some((&self.current.weights, self.current.intercept))
+    }
+
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         validate(x, self.acc.n_features(), runtime)?;
         self.acc.discount(self.gamma);
@@ -197,6 +201,10 @@ impl ArmEstimator for WindowedArm {
 
     fn predict(&self, x: &[f64]) -> f64 {
         self.current.predict(x)
+    }
+
+    fn linear_coeffs(&self) -> Option<(&[f64], f64)> {
+        Some((&self.current.weights, self.current.intercept))
     }
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {

@@ -19,6 +19,7 @@
 use crate::arm::{ArmEstimator, LinearArm, RecursiveArm};
 use crate::config::BanditConfig;
 use crate::error::CoreError;
+use crate::frame::{FeatureFrame, PredictScratch};
 use crate::policy::{check_arm, check_features, ArmSpec, Policy, Selection};
 use crate::snapshot::{arm_count_mismatch, kind_mismatch, PolicyState};
 use crate::tolerance::tolerant_select;
@@ -63,6 +64,11 @@ pub struct DecayingEpsilonGreedy<A: ArmEstimator> {
     costs: Vec<f64>,
     /// Reusable per-arm prediction buffer: `select` allocates nothing.
     preds: Vec<f64>,
+    /// Columnar batch scratch: per-arm prediction columns (`n_arms × n_rows`,
+    /// arm-major) filled by [`Policy::select_frame_into`].
+    frame_preds: Vec<f64>,
+    /// Lane accumulators for the columnar predict kernel.
+    frame_scratch: PredictScratch,
 }
 
 /// The default instantiation (incremental arms).
@@ -119,6 +125,8 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
             n_features,
             costs,
             preds,
+            frame_preds: Vec::new(),
+            frame_scratch: PredictScratch::new(),
         })
     }
 
@@ -187,6 +195,70 @@ impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
         }
         let arm = tolerant_select(&self.preds, &self.costs, self.config.tolerance)?;
         Ok(Selection { arm, explored: false })
+    }
+
+    fn select_frame_into(&mut self, frame: &FeatureFrame, out: &mut Vec<Selection>) -> Result<()> {
+        if frame.n_rows() == 0 {
+            // Mirror the row path on an empty burst: no selections, no RNG
+            // consumed, no width check (an empty frame carries no width).
+            out.clear();
+            return Ok(());
+        }
+        if frame.n_features() != self.n_features {
+            return Err(CoreError::FeatureDimMismatch {
+                got: frame.n_features(),
+                expected: self.n_features,
+            });
+        }
+        let n = frame.n_rows();
+        // Pass 1 — the schedule: draw per-row explore decisions in row
+        // order, exactly the RNG stream the row-slice path consumes (the
+        // draws never depend on predictions, so hoisting them is exact).
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            if self.rng.gen::<f64>() < self.epsilon {
+                let arm = self.rng.gen_range(0..self.arms.len());
+                out.push(Selection { arm, explored: true });
+            } else {
+                out.push(Selection { arm: usize::MAX, explored: false });
+            }
+        }
+        if out.iter().all(|s| s.explored) {
+            return Ok(());
+        }
+        // Pass 2 — the models: one prediction column per arm, each computed
+        // by the columnar kernel when the arm is affine (every in-tree
+        // linear-family arm is) and by row-gather otherwise.
+        let DecayingEpsilonGreedy {
+            arms, frame_preds, frame_scratch, preds, costs, config, ..
+        } = self;
+        frame_preds.clear();
+        frame_preds.resize(arms.len() * n, 0.0);
+        let mut row_buf: Vec<f64> = Vec::new();
+        for (a, arm) in arms.iter().enumerate() {
+            let col = &mut frame_preds[a * n..(a + 1) * n];
+            if let Some((w, b)) = arm.linear_coeffs() {
+                frame.predict_into(w, b, frame_scratch, col);
+            } else {
+                for (r, p) in col.iter_mut().enumerate() {
+                    frame.copy_row_into(r, &mut row_buf);
+                    *p = arm.predict(&row_buf);
+                }
+            }
+        }
+        // Pass 3 — tolerant selection per exploit row, gathering that row's
+        // per-arm predictions into the same buffer `select` uses.
+        for (r, sel) in out.iter_mut().enumerate() {
+            if sel.explored {
+                continue;
+            }
+            for (a, p) in preds.iter_mut().enumerate() {
+                *p = frame_preds[a * n + r];
+            }
+            sel.arm = tolerant_select(preds, costs, config.tolerance)?;
+        }
+        Ok(())
     }
 
     fn exploit(&self, x: &[f64], _costs: &[f64]) -> Result<usize> {

@@ -16,6 +16,10 @@
 //!   per update).
 //! * [`tolerance`] — the tolerant-selection rule (Algorithm 1 step 7).
 //! * [`policy`] — the [`policy::Policy`] trait shared by every algorithm.
+//! * [`frame`] — columnar ([`frame::FeatureFrame`]) batch contexts: the
+//!   serving layers transpose each coalesced burst once so the per-arm
+//!   predict sweep and the scaler pass stride contiguous memory, bitwise
+//!   identical to the row-slice path.
 //! * [`epsilon`] — [`epsilon::DecayingEpsilonGreedy`], Algorithm 1 itself.
 //! * [`linucb`], [`thompson`], [`ucb`], [`boltzmann`] — the "different and
 //!   more complex contextual bandit algorithms" the paper's §5 plans as
@@ -41,6 +45,7 @@ pub mod config;
 pub mod drift;
 pub mod epsilon;
 pub mod error;
+pub mod frame;
 pub mod linucb;
 pub mod objective;
 pub mod persist;
@@ -59,6 +64,7 @@ pub use config::BanditConfig;
 pub use drift::{DiscountedArm, WindowedArm};
 pub use epsilon::DecayingEpsilonGreedy;
 pub use error::CoreError;
+pub use frame::{FeatureFrame, PredictScratch};
 pub use objective::{BudgetedEpsilonGreedy, Objective};
 pub use policy::{ArmSpec, Policy, Selection};
 pub use scaler::{ScaledPolicy, StandardScaler};

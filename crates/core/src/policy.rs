@@ -107,6 +107,34 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
         Ok(())
     }
 
+    /// [`Policy::select_batch_into`] over a **columnar** batch
+    /// ([`crate::FeatureFrame`]): one selection per frame row, into `out`
+    /// (cleared first), **bitwise identical** to the row-slice path — same
+    /// selections, same RNG stream consumption (see the [`crate::frame`]
+    /// module docs for the contract). The default gathers each row and
+    /// delegates to [`Policy::select`]; policies with a columnar kernel
+    /// ([`crate::DecayingEpsilonGreedy`]) and batch-amortizing wrappers
+    /// ([`crate::ScaledPolicy`]) override it so the per-arm predict loop and
+    /// the scaler pass stride contiguous columns.
+    ///
+    /// # Errors
+    /// Propagates [`Policy::select`] validation; on error the buffer
+    /// contents are unspecified (randomness may have been consumed).
+    fn select_frame_into(
+        &mut self,
+        frame: &crate::FeatureFrame,
+        out: &mut Vec<Selection>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(frame.n_rows());
+        let mut row = Vec::with_capacity(frame.n_features());
+        for r in 0..frame.n_rows() {
+            frame.copy_row_into(r, &mut row);
+            out.push(self.select(&row)?);
+        }
+        Ok(())
+    }
+
     /// Record the observed runtime of `arm` on context `x` and refit.
     ///
     /// # Errors
@@ -248,6 +276,14 @@ impl Policy for Box<dyn Policy> {
         out: &mut Vec<Selection>,
     ) -> Result<()> {
         (**self).select_batch_into(xs, out)
+    }
+
+    fn select_frame_into(
+        &mut self,
+        frame: &crate::FeatureFrame,
+        out: &mut Vec<Selection>,
+    ) -> Result<()> {
+        (**self).select_frame_into(frame, out)
     }
 
     fn exploit(&self, x: &[f64], costs: &[f64]) -> Result<usize> {

@@ -9,6 +9,7 @@
 //! keep passing raw features while the wrapped policy sees z-scores.
 
 use crate::error::CoreError;
+use crate::frame::FeatureFrame;
 use crate::policy::{ArmSpec, Policy, Selection};
 use crate::snapshot::{kind_mismatch, PolicyState, WelfordState};
 use crate::Result;
@@ -96,6 +97,63 @@ impl StandardScaler {
         Ok(())
     }
 
+    /// Absorb a whole columnar batch: each per-feature Welford accumulator
+    /// walks its own contiguous column. Bitwise identical to absorbing the
+    /// frame's rows one [`StandardScaler::observe`] at a time — an
+    /// accumulator only ever sees its own feature's values, in row order
+    /// either way.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn observe_frame(&mut self, frame: &FeatureFrame) -> Result<()> {
+        if frame.n_features() != self.dims.len() {
+            return Err(CoreError::FeatureDimMismatch {
+                got: frame.n_features(),
+                expected: self.dims.len(),
+            });
+        }
+        for (f, w) in self.dims.iter_mut().enumerate() {
+            for &v in frame.column(f) {
+                w.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Standardize a whole columnar batch into `dst` (overwritten, storage
+    /// reused): per column, `z = (v − mean) / std` with the statistics
+    /// learned so far — element-wise, so bitwise identical to
+    /// [`StandardScaler::transform`] row by row. Constant features map to 0;
+    /// with no observations the frame passes through unchanged.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`].
+    pub fn transform_frame(&self, src: &FeatureFrame, dst: &mut FeatureFrame) -> Result<()> {
+        if src.n_features() != self.dims.len() {
+            return Err(CoreError::FeatureDimMismatch {
+                got: src.n_features(),
+                expected: self.dims.len(),
+            });
+        }
+        dst.copy_from(src);
+        if self.n_obs() == 0 {
+            return Ok(());
+        }
+        for (f, w) in self.dims.iter().enumerate() {
+            let sd = w.std_dev();
+            let col = dst.column_mut(f);
+            if sd > 0.0 {
+                let mean = w.mean();
+                for v in col {
+                    *v = (*v - mean) / sd;
+                }
+            } else {
+                col.fill(0.0);
+            }
+        }
+        Ok(())
+    }
+
     /// Per-feature means.
     pub fn means(&self) -> Vec<f64> {
         self.dims.iter().map(Welford::mean).collect()
@@ -163,6 +221,9 @@ pub struct ScaledPolicy<P: Policy> {
     flat: Vec<f64>,
     /// Read-path scratch: one standardized context for `&self` receivers.
     read_z: std::sync::Mutex<Vec<f64>>,
+    /// Scratch: a whole standardized batch in columnar layout (the frame
+    /// path's counterpart to `flat`).
+    zframe: FeatureFrame,
 }
 
 impl<P: Policy + Clone> Clone for ScaledPolicy<P> {
@@ -173,6 +234,7 @@ impl<P: Policy + Clone> Clone for ScaledPolicy<P> {
             zbuf: self.zbuf.clone(),
             flat: self.flat.clone(),
             read_z: std::sync::Mutex::new(Vec::new()),
+            zframe: self.zframe.clone(),
         }
     }
 }
@@ -187,6 +249,7 @@ impl<P: Policy> ScaledPolicy<P> {
             zbuf: Vec::with_capacity(n),
             flat: Vec::new(),
             read_z: std::sync::Mutex::new(Vec::with_capacity(n)),
+            zframe: FeatureFrame::new(),
         }
     }
 
@@ -249,6 +312,20 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
             chunk.copy_from_slice(zbuf);
         }
         inner.select_batch_into(&mut flat.chunks_exact(n), out)
+    }
+
+    fn select_frame_into(&mut self, frame: &FeatureFrame, out: &mut Vec<Selection>) -> Result<()> {
+        // The columnar twin of `select_batch_into`: absorb every context,
+        // then standardize them all against the same (post-batch)
+        // statistics — column by column, into a policy-owned scratch frame.
+        if frame.n_rows() == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let ScaledPolicy { inner, scaler, zframe, .. } = self;
+        scaler.observe_frame(frame)?;
+        scaler.transform_frame(frame, zframe)?;
+        inner.select_frame_into(zframe, out)
     }
 
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {

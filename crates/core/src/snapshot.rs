@@ -23,7 +23,7 @@ use crate::error::CoreError;
 use crate::Result;
 use banditware_linalg::cholesky::FactorParts;
 use banditware_linalg::lstsq::LinearFit;
-use banditware_linalg::online::{NormalEqState, RankOneState};
+use banditware_linalg::online::{NeqFactorState, NormalEqState, RankOneState};
 use std::io::Write;
 
 /// One feature dimension of a standard scaler (a Welford accumulator).
@@ -242,11 +242,20 @@ fn write_neq(out: &mut String, acc: &NormalEqState) {
     let _ = write!(out, ",{}", join_f64s(&acc.zty));
     let _ = write!(out, ",{}", join_f64s(&acc.ztz));
     match &acc.factor {
-        Some((lambda, parts)) => {
-            let _ = write!(out, ",1,{lambda}");
-            let _ = write!(out, ",{}", join_f64s(&parts.lt));
-            let _ = write!(out, ",{}", join_f64s(&parts.d));
-            let _ = write!(out, ",{}", join_f64s(&parts.dinv));
+        Some(f) => {
+            // Flag 1: canonical ridge regularizer (reg[0] = 0, reg[i] = λ) —
+            // reconstructed from λ on parse, and exactly what pre-reg
+            // snapshots decode to. Flag 2: jittered factor, explicit reg
+            // vector appended after lt/d/dinv.
+            let canonical = f.reg.first().is_some_and(|&r0| r0 == 0.0)
+                && f.reg[1..].iter().all(|&r| r == f.lambda);
+            let _ = write!(out, ",{},{}", if canonical { 1 } else { 2 }, f.lambda);
+            let _ = write!(out, ",{}", join_f64s(&f.parts.lt));
+            let _ = write!(out, ",{}", join_f64s(&f.parts.d));
+            let _ = write!(out, ",{}", join_f64s(&f.parts.dinv));
+            if !canonical {
+                let _ = write!(out, ",{}", join_f64s(&f.reg));
+            }
         }
         None => {
             let _ = write!(out, ",0");
@@ -495,12 +504,20 @@ fn parse_neq(f: &mut Fields) -> Result<NormalEqState> {
     let ztz = f.f64s(dim * dim, "ztz")?;
     let factor = match f.usize("has_factor")? {
         0 => None,
-        1 => {
+        flag @ (1 | 2) => {
             let lambda = f.f64("lambda")?;
             let lt = f.f64s(dim * dim, "lt")?;
             let d = f.f64s(dim, "d")?;
             let dinv = f.f64s(dim, "dinv")?;
-            Some((lambda, FactorParts { dim, lt, d, dinv }))
+            let reg = if flag == 2 {
+                f.f64s(dim, "reg")?
+            } else {
+                // Canonical un-jittered factor: reg is implied by λ.
+                let mut reg = vec![lambda; dim];
+                reg[0] = 0.0;
+                reg
+            };
+            Some(NeqFactorState { lambda, parts: FactorParts { dim, lt, d, dinv }, reg })
         }
         other => return Err(parse_err(f.line, format!("bad has_factor flag {other}"))),
     };
@@ -719,15 +736,16 @@ mod tests {
             yty: 14.0,
             zty: vec![6.0, 11.0],
             ztz: vec![3.0, 6.0, 6.0, 14.0],
-            factor: Some((
-                0.0,
-                FactorParts {
+            factor: Some(NeqFactorState {
+                lambda: 0.0,
+                parts: FactorParts {
                     dim: 2,
                     lt: vec![1.0, 2.0, 0.0, 1.0],
                     d: vec![3.0, 2.0],
                     dinv: vec![1.0 / 3.0, 0.5],
                 },
-            )),
+                reg: vec![0.0, 0.0],
+            }),
         }
     }
 
@@ -830,6 +848,39 @@ mod tests {
         ];
         for state in &states {
             assert_eq!(&roundtrip(state), state, "roundtrip of {:?}", state.kind());
+        }
+    }
+
+    #[test]
+    fn jittered_factor_reg_roundtrips_via_flag_2() {
+        // A non-canonical regularizer (baked jitter on the diagonal) must be
+        // carried explicitly; a canonical one stays on the compact flag-1 form.
+        let mut acc = neq_state();
+        if let Some(f) = &mut acc.factor {
+            f.lambda = 0.5;
+            f.reg = vec![1e-9, 0.5 + 2e-9];
+        }
+        let state = PolicyState::Boltzmann {
+            temperature: 1.0,
+            rng: [9, 8, 7, 6],
+            arms: vec![ArmState::Recursive { acc: acc.clone(), fit: fit() }],
+        };
+        let mut buf = Vec::new();
+        write_policy_state(&state, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(",recursive,1,3,14,"), "arm payload present:\n{text}");
+        assert_eq!(roundtrip(&state), state);
+        let parsed = roundtrip(&state);
+        if let PolicyState::Boltzmann { arms, .. } = &parsed {
+            if let ArmState::Recursive { acc: racc, .. } = &arms[0] {
+                let f = racc.factor.as_ref().unwrap();
+                assert_eq!(f.reg[0].to_bits(), (1e-9f64).to_bits());
+                assert_eq!(f.reg[1].to_bits(), (0.5f64 + 2e-9).to_bits());
+            } else {
+                panic!("arm kind changed");
+            }
+        } else {
+            panic!("variant changed");
         }
     }
 

@@ -1,8 +1,11 @@
 //! The PR-3 acceptance gate: the steady-state record path performs **zero
 //! heap allocations**, verified by a counting global allocator.
 //!
-//! Everything is asserted from a single `#[test]` so no sibling test thread
-//! can pollute the process-wide counter.
+//! The counter is process-wide, so this binary opts out of the libtest
+//! harness (`harness = false` in `Cargo.toml`) and runs its sections
+//! sequentially from `main`: even serialized `#[test]` bodies flake,
+//! because the harness's own threads allocate (result printing, channel
+//! bookkeeping) inside a sibling's counting window.
 
 use banditware_core::arm::{ArmEstimator, RecursiveArm};
 use banditware_core::boltzmann::Boltzmann;
@@ -10,7 +13,7 @@ use banditware_core::drift::DiscountedArm;
 use banditware_core::linucb::LinUcb;
 use banditware_core::scaler::ScaledPolicy;
 use banditware_core::thompson::LinThompson;
-use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, Policy};
+use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, FeatureFrame, Policy};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -66,7 +69,6 @@ fn count_allocs(rounds: usize, mut op: impl FnMut(usize)) -> u64 {
     allocations() - before
 }
 
-#[test]
 fn steady_state_record_path_is_allocation_free() {
     const M: usize = 16;
     let mut x = vec![0.0; M];
@@ -179,7 +181,6 @@ fn steady_state_record_path_is_allocation_free() {
 /// with a caller buffer, LinUCB's `lcb` — performs zero heap allocations
 /// once warm, across the policies whose read paths previously allocated
 /// (LinUCB/Thompson augmented contexts, the scaled wrapper's transform).
-#[test]
 fn read_path_is_allocation_free() {
     const M: usize = 16;
     let mut x = vec![0.0; M];
@@ -242,7 +243,6 @@ fn read_path_is_allocation_free() {
 /// selections buffer — the path `Engine::recommend_batch` drives per
 /// coalesced network burst — performs zero heap allocations once warm,
 /// including the scaled wrapper's absorb-all-then-transform-all pass.
-#[test]
 fn batched_select_path_is_allocation_free() {
     const M: usize = 16;
     const B: usize = 32;
@@ -306,4 +306,65 @@ fn batched_select_path_is_allocation_free() {
         policy.select_batch_into(&mut xs.iter().map(Vec::as_slice), &mut out).unwrap();
     });
     assert_eq!(n, 0, "LinUCB select_batch_into allocated {n} times in 100 warm bursts");
+
+    // --- The PR-7 columnar pin: refilling a reused `FeatureFrame` in place
+    // and selecting through `select_frame_into` (the per-arm columnar
+    // predict kernel + the scaled wrapper's column-wise scaler pass) stays
+    // allocation-free once warm. ---
+    let mut frame = FeatureFrame::new();
+
+    let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(5),
+        M,
+        BanditConfig::paper().with_epsilon0(0.1).with_seed(9),
+    )
+    .unwrap();
+    for round in 0..50 {
+        fill_batch(&mut xs, round);
+        policy.observe(round % 5, &xs[0], 10.0 + (round % 17) as f64).unwrap();
+    }
+    frame.fill_from_rows(&xs).unwrap();
+    policy.select_frame_into(&frame, &mut out).unwrap();
+    let n = count_allocs(100, |round| {
+        fill_batch(&mut xs, 50 + round);
+        frame.fill_from_rows(&xs).unwrap();
+        policy.select_frame_into(&frame, &mut out).unwrap();
+    });
+    assert_eq!(n, 0, "ε-greedy frame path allocated {n} times in 100 warm bursts");
+
+    let mut policy = ScaledPolicy::new(
+        DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(4),
+            M,
+            BanditConfig::paper().with_epsilon0(0.1).with_seed(10),
+        )
+        .unwrap(),
+    );
+    for round in 0..50 {
+        fill_batch(&mut xs, round);
+        let sel = policy.select(&xs[0]).unwrap();
+        policy.observe(sel.arm, &xs[0], 10.0 + (round % 11) as f64).unwrap();
+    }
+    frame.fill_from_rows(&xs).unwrap();
+    policy.select_frame_into(&frame, &mut out).unwrap();
+    let n = count_allocs(100, |round| {
+        fill_batch(&mut xs, 50 + round);
+        frame.fill_from_rows(&xs).unwrap();
+        policy.select_frame_into(&frame, &mut out).unwrap();
+    });
+    assert_eq!(n, 0, "scaled frame path allocated {n} times in 100 warm bursts");
+}
+
+fn main() {
+    for (name, section) in [
+        (
+            "steady_state_record_path_is_allocation_free",
+            steady_state_record_path_is_allocation_free as fn(),
+        ),
+        ("read_path_is_allocation_free", read_path_is_allocation_free),
+        ("batched_select_path_is_allocation_free", batched_select_path_is_allocation_free),
+    ] {
+        section();
+        println!("alloc_free: {name} ... ok");
+    }
 }

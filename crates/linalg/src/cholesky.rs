@@ -440,6 +440,11 @@ impl UpdatableCholesky {
             a *= d_old * inv_new;
             self.d[j] = d_new;
             self.dinv[j] = inv_new;
+            // Deliberately left in pairwise scalar form: the loop
+            // vectorizer turns this exact shape into two 4-wide FMAs per
+            // block, and every explicit `[f64; 4]` block variant measured
+            // 30–45% *slower* (the unrolled body falls back to the weaker
+            // SLP vectorizer). See BENCH_PR7.json `cholupdate_m64`.
             let row = self.lt.row_mut(j);
             for (lji, wi) in row[j + 1..].iter_mut().zip(&mut self.work[j + 1..]) {
                 *wi -= p * *lji;
@@ -494,10 +499,49 @@ impl UpdatableCholesky {
             )));
         }
         // `L z = b` with unit L, column-oriented (column k of L is row k of
-        // Lᵀ, contiguous): division-free.
-        for k in 0..n {
+        // Lᵀ, contiguous): division-free. Rows run in rank-4 panels: a 4×4
+        // unit-triangular head solved in the exact scalar order, then one
+        // fused pass applying all four column updates to the remainder.
+        // Every element still receives its four `+= (-y_k)·l` updates in
+        // ascending-k order, so the result is bitwise identical to four
+        // sequential `axpy` sweeps — it just loads `bx` once instead of
+        // four times and keeps four FMA chains in flight.
+        let mut k = 0;
+        while k + 4 <= n {
+            let r0 = self.lt.row(k);
+            let r1 = self.lt.row(k + 1);
+            let r2 = self.lt.row(k + 2);
+            let r3 = self.lt.row(k + 3);
+            let n0 = -bx[k];
+            bx[k + 1] += n0 * r0[k + 1];
+            bx[k + 2] += n0 * r0[k + 2];
+            bx[k + 3] += n0 * r0[k + 3];
+            let n1 = -bx[k + 1];
+            bx[k + 2] += n1 * r1[k + 2];
+            bx[k + 3] += n1 * r1[k + 3];
+            let n2 = -bx[k + 2];
+            bx[k + 3] += n2 * r2[k + 3];
+            let n3 = -bx[k + 3];
+            for ((((b, &l0), &l1), &l2), &l3) in bx[k + 4..]
+                .iter_mut()
+                .zip(&r0[k + 4..])
+                .zip(&r1[k + 4..])
+                .zip(&r2[k + 4..])
+                .zip(&r3[k + 4..])
+            {
+                let mut v = *b;
+                v += n0 * l0;
+                v += n1 * l1;
+                v += n2 * l2;
+                v += n3 * l3;
+                *b = v;
+            }
+            k += 4;
+        }
+        while k < n {
             let yk = bx[k];
             crate::vector::axpy(-yk, &self.lt.row(k)[k + 1..], &mut bx[k + 1..]);
+            k += 1;
         }
         // `D y = z`: one pipelined multiply per component.
         for (x, di) in bx.iter_mut().zip(&self.dinv) {

@@ -125,6 +125,14 @@ impl Matrix {
         &self.data
     }
 
+    /// Flat mutable row-major view of the underlying buffer. Lets kernels
+    /// split several rows out at once (e.g. rank-4 panel updates) where
+    /// [`Matrix::row_mut`] could only hand out one row per borrow.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consume into the underlying buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data

@@ -22,6 +22,77 @@ use crate::matrix::Matrix;
 use crate::vector;
 use crate::Result;
 
+/// Rank-1 Gram update `ZᵀZ ← ZᵀZ + sign·z·zᵀ`, maintaining **only the
+/// upper triangle** (including the diagonal) in rank-4 row panels.
+///
+/// The full-matrix formulation is store-bandwidth-bound — measured, a
+/// rank-4 full-row kernel is no faster than row-at-a-time `axpy` — so the
+/// real win is halving the traffic: the lower triangle is never written
+/// (see the `ztz` field invariant). Each upper element still receives
+/// exactly its one product `sign·zᵢ·zⱼ`, bitwise identical to what the
+/// full update produced (IEEE multiplication commutes bit-for-bit, so the
+/// mirrored element's history is the same).
+#[inline]
+fn gram_rank_one(ztz: &mut Matrix, z: &[f64], sign: f64) {
+    let n = z.len();
+    let data = ztz.as_mut_slice();
+    let mut i = 0;
+    while i + 4 <= n {
+        let (_, rest) = data.split_at_mut(i * n);
+        let (r0, rest) = rest.split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, rest) = rest.split_at_mut(n);
+        let (r3, _) = rest.split_at_mut(n);
+        let (a0, a1, a2, a3) = (sign * z[i], sign * z[i + 1], sign * z[i + 2], sign * z[i + 3]);
+        // Triangular head columns i..i+4, then one fused pass over the
+        // shared suffix i+4.. for all four rows.
+        r0[i] += a0 * z[i];
+        r0[i + 1] += a0 * z[i + 1];
+        r0[i + 2] += a0 * z[i + 2];
+        r0[i + 3] += a0 * z[i + 3];
+        r1[i + 1] += a1 * z[i + 1];
+        r1[i + 2] += a1 * z[i + 2];
+        r1[i + 3] += a1 * z[i + 3];
+        r2[i + 2] += a2 * z[i + 2];
+        r2[i + 3] += a2 * z[i + 3];
+        r3[i + 3] += a3 * z[i + 3];
+        for ((((&zj, e0), e1), e2), e3) in z[i + 4..]
+            .iter()
+            .zip(&mut r0[i + 4..])
+            .zip(&mut r1[i + 4..])
+            .zip(&mut r2[i + 4..])
+            .zip(&mut r3[i + 4..])
+        {
+            *e0 += a0 * zj;
+            *e1 += a1 * zj;
+            *e2 += a2 * zj;
+            *e3 += a3 * zj;
+        }
+        i += 4;
+    }
+    while i < n {
+        vector::axpy(sign * z[i], &z[i..], &mut data[i * n + i..(i + 1) * n]);
+        i += 1;
+    }
+}
+
+/// The serialized form of a live incremental factor: the ridge it was
+/// built for, its exact `LDLᵀ` buffers, and the baked diagonal regularizer
+/// (see [`NormalEqState::factor`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeqFactorState {
+    /// The ridge the factor was built for.
+    pub lambda: f64,
+    /// The exact `LDLᵀ` buffers.
+    pub parts: FactorParts,
+    /// The diagonal regularizer `R` baked into the factor, in the original
+    /// (unscaled) space: `reg[i] = (i == 0 ? 0 : λ) + jitter·sᵢ²` with the
+    /// Jacobi scales `sᵢ` frozen at factor-build time. The O(m) residual
+    /// recovery (`RSS = yᵀy − cᵀ(Zᵀy) − cᵀRc`) reads it on every solve, so
+    /// it is state, not cache.
+    pub reg: Vec<f64>,
+}
+
 /// The exact serialized form of a [`NormalEquations`] accumulator: the
 /// sufficient statistics plus (when live) the incrementally maintained
 /// Cholesky factor. Restoring via [`NormalEquations::from_state`] is
@@ -39,10 +110,9 @@ pub struct NormalEqState {
     pub zty: Vec<f64>,
     /// `ZᵀZ`, row-major, `(n_features + 1)²`.
     pub ztz: Vec<f64>,
-    /// The live incremental factor, if any: the ridge it was built for and
-    /// its exact `LDLᵀ` buffers. `None` is the dirty state (the next solve
-    /// re-factorizes — valid, just O(m³) once).
-    pub factor: Option<(f64, FactorParts)>,
+    /// The live incremental factor, if any. `None` is the dirty state (the
+    /// next solve re-factorizes — valid, just O(m³) once).
+    pub factor: Option<NeqFactorState>,
 }
 
 /// The exact serialized form of a [`RankOneInverse`]: `A⁻¹` and `Xᵀy`
@@ -103,15 +173,21 @@ impl SolveScratch {
     }
 }
 
-/// The incrementally maintained factor: `L` with
-/// `LLᵀ = ZᵀZ + λ·diag(0, 1, …, 1)` (+ the jitter baked in by a fallback
-/// re-factorization, if one was ever needed).
+/// The incrementally maintained factor: `L` with `LLᵀ = ZᵀZ + R`, where
+/// `R = λ·diag(0, 1, …, 1)` plus the jitter baked in by a fallback
+/// re-factorization (if one was ever needed).
 #[derive(Debug, Clone)]
 struct IncrementalFactor {
     chol: UpdatableCholesky,
     /// The ridge the factor was built for; a solve with a different λ
     /// re-factorizes.
     lambda: f64,
+    /// The baked diagonal regularizer `R` in the original space (length
+    /// `dim`). Rank-1 updates leave it untouched; `discount` scales it by
+    /// γ alongside the factor. Enables the O(m) residual recovery
+    /// `RSS = yᵀy − cᵀ(Zᵀy) − cᵀRc` in place of the old O(m²) quadratic
+    /// pass (since `(ZᵀZ + R)c = Zᵀy` implies `cᵀZᵀZc = cᵀZᵀy − cᵀRc`).
+    reg: Vec<f64>,
 }
 
 /// Running normal-equations accumulator for a linear model with intercept.
@@ -122,7 +198,13 @@ struct IncrementalFactor {
 pub struct NormalEquations {
     /// Augmented dimension (`n_features + 1`).
     dim: usize,
-    /// `ZᵀZ`, symmetric `dim × dim`.
+    /// `ZᵀZ`, symmetric `dim × dim`. **Invariant:** only the upper triangle
+    /// (`j ≥ i`, diagonal included) is maintained by `push`/`forget` —
+    /// halving the store traffic of the hottest record-path loop. The lower
+    /// triangle is unspecified; readers go through
+    /// [`NormalEquations::ztz_at`] (or mirror on export) and bulk
+    /// whole-buffer operations (scale, add, zero) are still safe because
+    /// they keep the upper triangle correct.
     ztz: Matrix,
     /// `Zᵀy`.
     zty: Vec<f64>,
@@ -176,14 +258,12 @@ impl NormalEquations {
                 self.dim - 1
             )));
         }
-        // z = [1, x]; the Gram update runs one contiguous axpy per row
+        // z = [1, x]; the Gram update runs contiguous rank-4 row panels
         // (each entry still receives the single product z_i·z_j, so the
         // statistics are bit-identical to the triangular formulation).
         self.aug[0] = 1.0;
         self.aug[1..].copy_from_slice(x);
-        for i in 0..self.dim {
-            vector::axpy(self.aug[i], &self.aug, self.ztz.row_mut(i));
-        }
+        gram_rank_one(&mut self.ztz, &self.aug, 1.0);
         vector::axpy(y, &self.aug, &mut self.zty);
         self.yty += y * y;
         self.n += 1;
@@ -223,9 +303,7 @@ impl NormalEquations {
         }
         self.aug[0] = 1.0;
         self.aug[1..].copy_from_slice(x);
-        for i in 0..self.dim {
-            vector::axpy(-self.aug[i], &self.aug, self.ztz.row_mut(i));
-        }
+        gram_rank_one(&mut self.ztz, &self.aug, -1.0);
         vector::axpy(-y, &self.aug, &mut self.zty);
         self.yty -= y * y;
         self.n -= 1;
@@ -251,7 +329,13 @@ impl NormalEquations {
                 other.dim - 1
             )));
         }
-        self.ztz = self.ztz.add(&other.ztz)?;
+        // In-place element-wise adds (same dims checked above): the
+        // allocating `Matrix::add` built a whole fresh Gram matrix per
+        // merge. Both sides maintain the upper triangle, so the sum does
+        // too.
+        for (a, &b) in self.ztz.as_mut_slice().iter_mut().zip(other.ztz.as_slice()) {
+            *a += b;
+        }
         for (a, b) in self.zty.iter_mut().zip(&other.zty) {
             *a += b;
         }
@@ -290,13 +374,13 @@ impl NormalEquations {
         let mut out = LinearFit::zeros(self.dim - 1);
         match &self.factor {
             Some(f) if f.lambda == lambda => {
-                self.solve_from_factor(&f.chol, &mut scratch, &mut out)?;
+                self.solve_from_factor(&f.chol, &f.reg, &mut scratch, &mut out)?;
             }
             _ => {
                 // `&self` receiver: compute the factor without caching it
                 // (mutating entry points cache; see `solve_into`).
-                let chol = self.fresh_factor(lambda, &mut scratch)?;
-                self.solve_from_factor(&chol, &mut scratch, &mut out)?;
+                let (chol, reg) = self.fresh_factor(lambda, &mut scratch)?;
+                self.solve_from_factor(&chol, &reg, &mut scratch, &mut out)?;
             }
         }
         Ok(out)
@@ -334,11 +418,11 @@ impl NormalEquations {
         }
         let needs_refactor = !matches!(&self.factor, Some(f) if f.lambda == lambda);
         if needs_refactor {
-            let chol = self.fresh_factor(lambda, scratch)?;
-            self.factor = Some(IncrementalFactor { chol, lambda });
+            let (chol, reg) = self.fresh_factor(lambda, scratch)?;
+            self.factor = Some(IncrementalFactor { chol, lambda, reg });
         }
         let f = self.factor.as_ref().expect("factor refreshed above");
-        self.solve_from_factor(&f.chol, scratch, out)
+        self.solve_from_factor(&f.chol, &f.reg, scratch, out)
     }
 
     /// True when a live factor for `lambda` exists, i.e. the next
@@ -347,13 +431,35 @@ impl NormalEquations {
         matches!(&self.factor, Some(f) if f.lambda == lambda)
     }
 
+    /// Symmetry-aware element read of `ZᵀZ`: the mirror of an unmaintained
+    /// lower-triangle element is its upper-triangle twin (bitwise equal to
+    /// what full maintenance would have stored there).
+    #[inline]
+    fn ztz_at(&self, i: usize, j: usize) -> f64 {
+        if j >= i {
+            self.ztz[(i, j)]
+        } else {
+            self.ztz[(j, i)]
+        }
+    }
+
     /// Build the factor `L` with `LLᵀ = ZᵀZ + λ·diag(0,1,…,1)` from
     /// scratch. The decomposition runs on the Jacobi-scaled Gram matrix
     /// (robustness + scale-aware jitter, exactly the legacy arithmetic);
     /// the returned factor is mapped back to the unscaled space by row
     /// scaling — `chol(D A D) = D·chol(A)` for diagonal `D` — so that later
     /// rank-1 updates need no knowledge of the (per-push changing) scales.
-    fn fresh_factor(&self, lambda: f64, scratch: &mut SolveScratch) -> Result<UpdatableCholesky> {
+    ///
+    /// Also returns the baked diagonal regularizer `R` in the original
+    /// space (`reg[i] = (i == 0 ? 0 : λ) + jitter·sᵢ²` — any jitter applied
+    /// in the scaled space maps back through the frozen scales), which the
+    /// O(m) residual recovery in [`NormalEquations::solve_from_factor`]
+    /// needs on every subsequent solve.
+    fn fresh_factor(
+        &self,
+        lambda: f64,
+        scratch: &mut SolveScratch,
+    ) -> Result<(UpdatableCholesky, Vec<f64>)> {
         scratch.resize(self.dim);
         // Jacobi scale factors s_i = sqrt((ZᵀZ)_ii); zero-variance columns
         // keep scale 1 so the scaled system stays well-defined.
@@ -365,35 +471,37 @@ impl NormalEquations {
         scratch.gram.reset_zeroed(self.dim, self.dim);
         for i in 0..self.dim {
             for j in 0..self.dim {
-                scratch.gram[(i, j)] = self.ztz[(i, j)] / (scales[i] * scales[j]);
+                scratch.gram[(i, j)] = self.ztz_at(i, j) / (scales[i] * scales[j]);
             }
         }
         for i in 1..self.dim {
             scratch.gram[(i, i)] += lambda / (scales[i] * scales[i]);
         }
-        let ch = match Cholesky::decompose(&scratch.gram) {
-            Ok(ch) => ch,
+        let (ch, jitter) = match Cholesky::decompose(&scratch.gram) {
+            Ok(ch) => (ch, 0.0),
             Err(_) => {
                 let scale = scratch.gram.max_abs().max(f64::MIN_POSITIVE);
-                let (ch, _) = Cholesky::decompose_jittered(&scratch.gram, scale * 1e-10, 24)?;
-                ch
+                Cholesky::decompose_jittered(&scratch.gram, scale * 1e-10, 24)?
             }
         };
         let mut l = ch.into_l();
+        let mut reg = vec![0.0; self.dim];
         for i in 0..self.dim {
             let si = scratch.scales[i];
+            reg[i] = if i == 0 { 0.0 } else { lambda } + jitter * si * si;
             for j in 0..=i {
                 l[(i, j)] *= si;
             }
         }
-        Ok(UpdatableCholesky::from_factor(l))
+        Ok((UpdatableCholesky::from_factor(l), reg))
     }
 
-    /// Refit from an existing factor: O(m²) substitution + the RSS
+    /// Refit from an existing factor: O(m²) substitution + the O(m) RSS
     /// recovery, writing into `out` without allocating.
     fn solve_from_factor(
         &self,
         chol: &UpdatableCholesky,
+        reg: &[f64],
         scratch: &mut SolveScratch,
         out: &mut LinearFit,
     ) -> Result<()> {
@@ -404,16 +512,16 @@ impl NormalEquations {
         out.intercept = coeffs[0];
         out.weights.resize(self.dim - 1, 0.0);
         out.weights.copy_from_slice(&coeffs[1..]);
-        // RSS = yᵀy − 2 cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
-        // The quadratic form exploits symmetry (upper-triangle row suffixes
-        // only — half the flops of an explicit ZᵀZ·c).
-        let mut quad = 0.0;
-        for i in 0..self.dim {
-            let row = self.ztz.row(i);
-            let ci = coeffs[i];
-            quad += ci * (row[i] * ci + 2.0 * vector::dot(&row[i + 1..], &coeffs[i + 1..]));
+        // RSS = yᵀy − 2cᵀ(Zᵀy) + cᵀ(ZᵀZ)c, clamped at 0 against rounding.
+        // The factor satisfies `(ZᵀZ + R)c = Zᵀy` for its baked diagonal
+        // regularizer `R`, so `cᵀ(ZᵀZ)c = cᵀ(Zᵀy) − cᵀRc` — the residual
+        // identity collapses the old O(m²) quadratic pass to O(m):
+        // RSS = yᵀy − cᵀ(Zᵀy) − Σᵢ regᵢ·cᵢ².
+        let mut reg_quad = 0.0;
+        for (&ri, &ci) in reg.iter().zip(coeffs.iter()) {
+            reg_quad += ri * ci * ci;
         }
-        out.residual_ss = (self.yty - 2.0 * vector::dot(coeffs, &self.zty) + quad).max(0.0);
+        out.residual_ss = (self.yty - vector::dot(coeffs, &self.zty) - reg_quad).max(0.0);
         out.n_obs = self.n;
         Ok(())
     }
@@ -426,8 +534,22 @@ impl NormalEquations {
             n: self.n,
             yty: self.yty,
             zty: self.zty.clone(),
-            ztz: self.ztz.as_slice().to_vec(),
-            factor: self.factor.as_ref().map(|f| (f.lambda, f.chol.to_parts())),
+            // Export mirrors the maintained upper triangle into a full
+            // symmetric matrix — bitwise the matrix full maintenance kept.
+            ztz: {
+                let mut full = vec![0.0; self.dim * self.dim];
+                for i in 0..self.dim {
+                    for j in 0..self.dim {
+                        full[i * self.dim + j] = self.ztz_at(i, j);
+                    }
+                }
+                full
+            },
+            factor: self.factor.as_ref().map(|f| NeqFactorState {
+                lambda: f.lambda,
+                parts: f.chol.to_parts(),
+                reg: f.reg.clone(),
+            }),
         }
     }
 
@@ -448,16 +570,23 @@ impl NormalEquations {
             )));
         }
         let factor = match &state.factor {
-            Some((lambda, parts)) => {
-                if parts.dim != dim {
+            Some(f) => {
+                if f.parts.dim != dim {
                     return Err(LinalgError::ShapeMismatch(format!(
                         "factor dim {} against accumulator dim {dim}",
-                        parts.dim
+                        f.parts.dim
+                    )));
+                }
+                if f.reg.len() != dim {
+                    return Err(LinalgError::ShapeMismatch(format!(
+                        "factor regularizer len {} against accumulator dim {dim}",
+                        f.reg.len()
                     )));
                 }
                 Some(IncrementalFactor {
-                    chol: UpdatableCholesky::from_parts(parts)?,
-                    lambda: *lambda,
+                    chol: UpdatableCholesky::from_parts(&f.parts)?,
+                    lambda: f.lambda,
+                    reg: f.reg.clone(),
                 })
             }
             None => None,
@@ -511,7 +640,14 @@ impl NormalEquations {
         // lazily instead (the discount path — drift-aware arms — solves
         // with λ = 0, keeping it O(m²)).
         match &mut self.factor {
-            Some(f) if f.lambda == 0.0 => f.chol.scale(gamma),
+            Some(f) if f.lambda == 0.0 => {
+                f.chol.scale(gamma);
+                // The baked jitter diagonal scales with the factor too:
+                // L ← √γ·L represents γ·(ZᵀZ + R), i.e. R ← γ·R.
+                for r in &mut f.reg {
+                    *r *= gamma;
+                }
+            }
             Some(_) => self.factor = None,
             None => {}
         }
@@ -1040,13 +1176,18 @@ mod tests {
         bad.zty.pop();
         assert!(NormalEquations::from_state(&bad).is_err());
         let mut bad = state.clone();
-        if let Some((_, parts)) = &mut bad.factor {
-            parts.d[0] = -1.0;
+        if let Some(f) = &mut bad.factor {
+            f.parts.d[0] = -1.0;
+        }
+        assert!(NormalEquations::from_state(&bad).is_err());
+        let mut bad = state.clone();
+        if let Some(f) = &mut bad.factor {
+            f.parts.dim = 99;
         }
         assert!(NormalEquations::from_state(&bad).is_err());
         let mut bad = state;
-        if let Some((_, parts)) = &mut bad.factor {
-            parts.dim = 99;
+        if let Some(f) = &mut bad.factor {
+            f.reg.pop();
         }
         assert!(NormalEquations::from_state(&bad).is_err());
     }

@@ -1,10 +1,27 @@
 //! Free functions over `&[f64]` slices.
 //!
 //! The bandit hot path works on small feature vectors; plain slices keep the
-//! API friction-free (callers pass `&[f64]` straight from their own storage)
-//! and let the compiler auto-vectorize the simple loops.
+//! API friction-free (callers pass `&[f64]` straight from their own storage).
+//!
+//! ## 4-lane block kernels
+//!
+//! The hot kernels (`dot`, `axpy`, `scale`, `norm2`) process explicit
+//! `[f64; 4]` blocks with scalar tails. `chunks_exact(4)` + an array
+//! conversion gives the optimizer fixed-size, bounds-check-free loop bodies
+//! it turns into SIMD-width code — without `portable_simd` or any
+//! dependency. Every kernel preserves the accumulation order of the
+//! pre-block scalar implementation **bit for bit**: `dot` keeps the same
+//! four independent accumulators combined as `(s0+s1)+(s2+s3)+tail`, the
+//! element-wise kernels touch each element with the identical operation,
+//! and `norm2` only takes its block fast path when it provably replays the
+//! scalar rescaling sequence. Golden determinism tests across the workspace
+//! rely on this contract.
 
 /// Dot product of two equal-length slices.
+///
+/// Accumulation order (part of the workspace determinism contract): four
+/// independent lane accumulators over blocks of 4, combined as
+/// `(s0 + s1) + (s2 + s3) + tail` with a sequential scalar tail.
 ///
 /// # Panics
 /// Panics if the slices have different lengths (programmer error on the hot
@@ -12,12 +29,13 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    // Manual 4-way unroll: keeps four independent accumulators so the FP
-    // adds pipeline instead of serializing on one register. `chunks_exact`
-    // carries the same accumulation order as the original indexed loop
-    // (bitwise-identical results) while proving the bounds away.
+    // Explicit 4-lane blocks: the `[f64; 4]` bodies are bounds-check-free
+    // and lane-independent, so the backend keeps four FP adds in flight
+    // (one vector fma per block) instead of serializing on one register.
     let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
     for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        let ca: &[f64; 4] = ca.try_into().expect("block of 4");
+        let cb: &[f64; 4] = cb.try_into().expect("block of 4");
         s0 += ca[0] * cb[0];
         s1 += ca[1] * cb[1];
         s2 += ca[2] * cb[2];
@@ -35,7 +53,19 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    // Element-wise: blocking changes nothing about the value each lane
+    // computes, so the result is bitwise identical to the scalar loop.
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        let cy: &mut [f64; 4] = cy.try_into().expect("block of 4");
+        let cx: &[f64; 4] = cx.try_into().expect("block of 4");
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -43,16 +73,63 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Scale a slice in place: `x ← alpha * x`.
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
+    let mut xc = x.chunks_exact_mut(4);
+    for cx in &mut xc {
+        let cx: &mut [f64; 4] = cx.try_into().expect("block of 4");
+        cx[0] *= alpha;
+        cx[1] *= alpha;
+        cx[2] *= alpha;
+        cx[3] *= alpha;
+    }
+    for xi in xc.into_remainder() {
         *xi *= alpha;
     }
 }
 
 /// Euclidean (L2) norm, computed with scaling to avoid overflow/underflow.
+///
+/// The rescaling recurrence is inherently sequential, but once a running
+/// maximum is established most blocks contain no new maximum; those blocks
+/// take a straight-line 4-lane path that performs the *same* operations in
+/// the same element order (adding an exact `0.0` for zero elements, which
+/// the scalar path skips — bitwise identical either way), so the result
+/// never differs from the scalar implementation.
 pub fn norm2(x: &[f64]) -> f64 {
     let mut scale_acc = 0.0f64;
     let mut ssq = 1.0f64;
-    for &v in x {
+    let blocks = x.chunks_exact(4);
+    let tail = blocks.remainder();
+    for c in blocks {
+        let c: &[f64; 4] = c.try_into().expect("block of 4");
+        let (a0, a1, a2, a3) = (c[0].abs(), c[1].abs(), c[2].abs(), c[3].abs());
+        if scale_acc > 0.0
+            && a0 <= scale_acc
+            && a1 <= scale_acc
+            && a2 <= scale_acc
+            && a3 <= scale_acc
+        {
+            // No new maximum in the block: replay the scalar updates
+            // straight-line. `(0/scale)² = 0` and `ssq + 0.0 == ssq`
+            // (ssq ≥ 1), so not skipping zeros is exact.
+            ssq += (a0 / scale_acc).powi(2);
+            ssq += (a1 / scale_acc).powi(2);
+            ssq += (a2 / scale_acc).powi(2);
+            ssq += (a3 / scale_acc).powi(2);
+        } else {
+            for &v in c {
+                if v != 0.0 {
+                    let a = v.abs();
+                    if scale_acc < a {
+                        ssq = 1.0 + ssq * (scale_acc / a).powi(2);
+                        scale_acc = a;
+                    } else {
+                        ssq += (a / scale_acc).powi(2);
+                    }
+                }
+            }
+        }
+    }
+    for &v in tail {
         if v != 0.0 {
             let a = v.abs();
             if scale_acc < a {
@@ -88,6 +165,28 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "add: length mismatch");
     a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise subtraction `out ← a - b` into a caller-provided buffer
+/// (the allocation-free flavour of [`sub`]; hot paths should prefer this).
+#[inline]
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Element-wise addition `out ← a + b` into a caller-provided buffer
+/// (the allocation-free flavour of [`add`]; hot paths should prefer this).
+#[inline]
+pub fn add_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "add_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "add_into: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
 }
 
 /// Index of the minimum value. Returns `None` on an empty slice or if every
@@ -188,6 +287,46 @@ mod tests {
         // first of equal values wins
         assert_eq!(argmin(&[1.0, 1.0]), Some(0));
         assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn add_sub_into_match_allocating() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.75 - 3.0).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i * i) as f64 * 0.1).collect();
+        let mut out = vec![0.0; 13];
+        sub_into(&a, &b, &mut out);
+        assert_eq!(out, sub(&a, &b));
+        add_into(&a, &b, &mut out);
+        assert_eq!(out, add(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn sub_into_bad_out_panics() {
+        sub_into(&[1.0], &[2.0], &mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm2_block_fast_path_matches_scalar_order() {
+        // Descending then mixed magnitudes: the first block establishes the
+        // max, later full blocks take the straight-line path (with zeros).
+        let x: [f64; 16] =
+            [8.0, -3.0, 2.0, 1.0, 0.5, 0.0, -0.25, 4.0, 1.0, 1.0, 0.0, 0.0, 7.5, -2.0, 9.0, 0.1];
+        let mut scale_acc = 0.0f64;
+        let mut ssq = 1.0f64;
+        for &v in &x {
+            if v != 0.0 {
+                let a = v.abs();
+                if scale_acc < a {
+                    ssq = 1.0 + ssq * (scale_acc / a).powi(2);
+                    scale_acc = a;
+                } else {
+                    ssq += (a / scale_acc).powi(2);
+                }
+            }
+        }
+        let reference = scale_acc * ssq.sqrt();
+        assert_eq!(norm2(&x).to_bits(), reference.to_bits());
     }
 
     #[test]

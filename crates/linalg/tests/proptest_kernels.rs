@@ -1,0 +1,162 @@
+//! Bitwise pins for the 4-lane block kernels in `vector`.
+//!
+//! The block kernels (`dot`, `axpy`, `scale`, `norm2`) promise to preserve
+//! the accumulation order of the pre-block scalar implementations **bit for
+//! bit** — the workspace's golden determinism suites lean on that contract.
+//! Each test here re-implements the original scalar kernel inline and
+//! compares against the shipped block kernel with `to_bits` equality across
+//! every length in `0..=67`, so all four tail residues (and the empty slice)
+//! are exercised on every case.
+
+use banditware_linalg::vector;
+use proptest::prelude::*;
+
+/// Pre-block `dot`: four independent accumulators over an indexed loop,
+/// combined as `(s0 + s1) + (s2 + s3) + tail` with a sequential tail.
+fn dot_ref(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let rem = a.len() - a.len() % 4;
+    let mut tail = 0.0;
+    for (x, y) in a[rem..].iter().zip(&b[rem..]) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Pre-block `axpy`: plain element-wise loop.
+fn axpy_ref(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Pre-block `scale`: plain element-wise loop.
+fn scale_ref(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Pre-block `norm2`: the classic sequential rescaling recurrence, zeros
+/// skipped.
+fn norm2_ref(x: &[f64]) -> f64 {
+    let mut scale_acc = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale_acc < a {
+                ssq = 1.0 + ssq * (scale_acc / a).powi(2);
+                scale_acc = a;
+            } else {
+                ssq += (a / scale_acc).powi(2);
+            }
+        }
+    }
+    scale_acc * ssq.sqrt()
+}
+
+/// Element strategy mixing magnitudes (including exact zeros, so the
+/// `norm2` zero-skip vs straight-line-block paths both fire) without
+/// producing NaNs or infinities.
+fn element() -> impl Strategy<Value = f64> {
+    (-1e3..1e3f64, 0u8..6).prop_map(|(v, class)| match class {
+        0 => 0.0,
+        1 => v * 1e-9,
+        2 => v * 1e6,
+        _ => v,
+    })
+}
+
+/// A pair of equal-length vectors covering every block/tail shape in
+/// `0..=67`.
+fn vec_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..=67).prop_flat_map(|n| {
+        (prop::collection::vec(element(), n), prop::collection::vec(element(), n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_block_kernel_is_bitwise_scalar((a, b) in vec_pair()) {
+        prop_assert_eq!(vector::dot(&a, &b).to_bits(), dot_ref(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_block_kernel_is_bitwise_scalar(
+        (x, y) in vec_pair(),
+        alpha in -1e3..1e3f64,
+    ) {
+        let mut got = y.clone();
+        let mut want = y;
+        vector::axpy(alpha, &x, &mut got);
+        axpy_ref(alpha, &x, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_block_kernel_is_bitwise_scalar(
+        x in (0usize..=67).prop_flat_map(|n| prop::collection::vec(element(), n)),
+        alpha in -1e3..1e3f64,
+    ) {
+        let mut got = x.clone();
+        let mut want = x;
+        vector::scale(alpha, &mut got);
+        scale_ref(alpha, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn norm2_block_kernel_is_bitwise_scalar(
+        x in (0usize..=67).prop_flat_map(|n| prop::collection::vec(element(), n)),
+    ) {
+        prop_assert_eq!(vector::norm2(&x).to_bits(), norm2_ref(&x).to_bits());
+    }
+}
+
+/// Exhaustive sweep over every length 0..=67 with a deterministic ramp, so
+/// each tail residue is pinned even if the random cases cluster.
+#[test]
+fn kernels_bitwise_scalar_all_lengths_0_to_67() {
+    for n in 0..=67usize {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 3.1).collect();
+        let b: Vec<f64> = (0..n).map(|i| 5.0 - (i as f64) * 0.91).collect();
+        assert_eq!(vector::dot(&a, &b).to_bits(), dot_ref(&a, &b).to_bits(), "dot length {n}");
+
+        let mut got = b.clone();
+        let mut want = b.clone();
+        vector::axpy(-0.625, &a, &mut got);
+        axpy_ref(-0.625, &a, &mut want);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "axpy length {n}"
+        );
+
+        let mut got = a.clone();
+        let mut want = a.clone();
+        vector::scale(1.0 / 3.0, &mut got);
+        scale_ref(1.0 / 3.0, &mut want);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "scale length {n}"
+        );
+
+        assert_eq!(vector::norm2(&a).to_bits(), norm2_ref(&a).to_bits(), "norm2 length {n}");
+    }
+}

@@ -32,7 +32,7 @@
 use crate::error::{ErrorCode, NetError, NetResult};
 use crate::frame::{encode_frame, parse_frame, FrameEvent};
 use crate::protocol::{decode_request, encode_response, Request, Response, UNKNOWN_REQUEST_ID};
-use banditware_core::{CoreError, Ticket};
+use banditware_core::{CoreError, FeatureFrame, Ticket};
 use banditware_serve::Engine;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -306,6 +306,9 @@ fn process_batch(
     tx: &mut Vec<u8>,
 ) -> NetResult<()> {
     let mut groups: Vec<Group> = Vec::new();
+    // Columnar staging for recommend bursts, reused across this batch's
+    // groups: each burst is transposed once here, outside the stripe lock.
+    let mut burst = FeatureFrame::new();
     // Per key: the index of its most recent group. A same-key same-op
     // request appends there (coalescing across interleaved other-key
     // traffic); a same-key *different*-op request starts a fresh group, so
@@ -373,7 +376,14 @@ fn process_batch(
                 }
             }
             Group::Recommend { key, ids, contexts } => {
-                match engine.recommend_batch(&key, &contexts) {
+                // Build the frame once per coalesced burst and drive the
+                // columnar engine path; a ragged burst (or any batch
+                // validation failure) falls through to the per-request
+                // retry below.
+                let batched = burst
+                    .fill_from_rows(&contexts)
+                    .and_then(|()| engine.recommend_batch_frame(&key, &burst));
+                match batched {
                     Ok(results) => {
                         for (id, (ticket, rec)) in ids.iter().zip(results) {
                             push(

@@ -19,8 +19,8 @@
 use crate::builder::{build_policy, EngineBuilder};
 use banditware_core::persist::{self, Checkpoint, HistorySnapshot};
 use banditware_core::{
-    ArmSpec, BanditConfig, BanditWare, CoreError, Observation, Policy, Recommendation, Result,
-    Retention, Ticket,
+    ArmSpec, BanditConfig, BanditWare, CoreError, FeatureFrame, Observation, Policy,
+    Recommendation, Result, Retention, Ticket,
 };
 use std::collections::HashMap;
 use std::sync::RwLock;
@@ -204,6 +204,20 @@ impl Engine {
         contexts: &[Vec<f64>],
     ) -> Result<Vec<(Ticket, Recommendation)>> {
         self.with_shard_mut(key, |shard| shard.recommend_batch(contexts))?
+    }
+
+    /// [`Engine::recommend_batch`] over an already-columnar burst: the
+    /// caller transposes once outside the stripe lock, the shard runs the
+    /// frame pipeline directly (bitwise identical to the row-slice path).
+    ///
+    /// # Errors
+    /// Propagates policy validation; on error no tickets are issued.
+    pub fn recommend_batch_frame(
+        &self,
+        key: &str,
+        frame: &FeatureFrame,
+    ) -> Result<Vec<(Ticket, Recommendation)>> {
+        self.with_shard_mut(key, |shard| shard.recommend_batch_frame(frame))?
     }
 
     /// Record the runtime for an in-flight ticket of `key`. Tickets may be

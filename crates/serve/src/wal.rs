@@ -1149,6 +1149,18 @@ impl DurableEngine {
         self.engine.recommend_batch(key, contexts).map_err(Into::into)
     }
 
+    /// Batched recommend for `key` over a columnar frame (not logged).
+    ///
+    /// # Errors
+    /// Propagates policy validation.
+    pub fn recommend_batch_frame(
+        &self,
+        key: &str,
+        frame: &banditware_core::FeatureFrame,
+    ) -> ServeResult<Vec<(Ticket, Recommendation)>> {
+        self.engine.recommend_batch_frame(key, frame).map_err(Into::into)
+    }
+
     /// Record one runtime and append it to the key's WAL (apply + append
     /// under the same shard-lock critical section, flushed — and fsynced,
     /// per the [`Durability`] policy — before returning).
