@@ -45,24 +45,26 @@ echo "==> bench_serve (batched vs per-call throughput, tracked number)"
 cargo bench -p banditware-bench --bench bench_serve
 
 # The perf trajectory writes to target/ (untracked) so a CI run never
-# dirties the committed BENCH_PR{3,4,5,6,7}.json snapshots with
+# dirties the committed BENCH_PR{3,4,5,6,7,8}.json snapshots with
 # machine-local timing noise; refresh them deliberately when the hot path,
 # the recovery path, the replication path, or the network path changes:
 #   cargo run --release -p banditware-bench --bin perf_baseline \
 #       BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json \
-#       BENCH_PR7.json
+#       BENCH_PR7.json BENCH_PR8.json
 # The run also enforces the PR-4 acceptance gate (v3 snapshot-restore time
 # at n=100k history must stay within 2x of n=1k — recovery independent of
 # history length), the PR-5 gate (follower staleness after a no-seal ship
-# stays under 2x the records-per-segment at every rotation size), and the
+# stays under 2x the records-per-segment at every rotation size), the
 # PR-6 gate (the TCP front-end sustains >= 50k rounds/sec at 8 loopback
-# connections), and the PR-7 gates (record_m64 at least 1.3x faster than
+# connections), the PR-7 gates (record_m64 at least 1.3x faster than
 # the PR-3 committed median, and the columnar engine round no slower than
-# the row round).
-echo "==> perf trajectory (record/select/engine + kernels + recovery + catch-up + net round-trip -> target/BENCH_PR{3,4,5,6,7}.json)"
+# the row round), and the PR-8 gates (the frame record path never slower
+# than the per-ticket row path at batch 64, record_m64 still >= 1.3x the
+# PR-3 committed median).
+echo "==> perf trajectory (record/select/engine + kernels + recovery + catch-up + net round-trip -> target/BENCH_PR{3,4,5,6,7,8}.json)"
 cargo run --release -p banditware-bench --bin perf_baseline \
     target/BENCH_PR3.json target/BENCH_PR4.json target/BENCH_PR5.json target/BENCH_PR6.json \
-    target/BENCH_PR7.json
+    target/BENCH_PR7.json target/BENCH_PR8.json
 
 echo "==> crash-recovery smoke run (WAL + v3 snapshot example)"
 cargo run --release --example crash_recovery >/dev/null

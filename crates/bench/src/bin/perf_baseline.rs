@@ -25,15 +25,22 @@
 //! (`recommend_batch_frame` over a staged `FeatureFrame` against the
 //! row-slice `recommend_batch`), with two PR-7 acceptance gates —
 //! `record_m64` at least 1.3× faster than the PR-3 committed number, and
-//! the columnar round no slower than the row round. `ci.sh` runs this on
-//! every pass so future PRs extend the trajectory instead of re-asserting
-//! complexity claims.
+//! the columnar round no slower than the row round. `BENCH_PR8.json` adds
+//! the columnar *record* group: the rank-64 Gram fold
+//! (`NormalEquations::push_block`) against 64 sequential pushes, the
+//! refactor cost a fold-then-refactor variant would pay instead of the
+//! per-row cholupdates, and the record-isolating engine round — per-ticket
+//! `record` loop vs one `record_batch_frame` grouped absorption — with the
+//! PR-8 acceptance gates: the frame record path never slower than the row
+//! path at batch 64, and `record_m64` still ≥ 1.3× the PR-3 committed
+//! median. `ci.sh` runs this on every pass so future PRs extend the
+//! trajectory instead of re-asserting complexity claims.
 //!
 //! Usage: `cargo run --release -p banditware-bench --bin perf_baseline
 //! [OUT_PR3.json [OUT_PR4.json [OUT_PR5.json [OUT_PR6.json
-//! [OUT_PR7.json]]]]]` (defaults `BENCH_PR3.json` / `BENCH_PR4.json` /
-//! `BENCH_PR5.json` / `BENCH_PR6.json` / `BENCH_PR7.json` in the current
-//! directory).
+//! [OUT_PR7.json [OUT_PR8.json]]]]]]` (defaults `BENCH_PR3.json` /
+//! `BENCH_PR4.json` / `BENCH_PR5.json` / `BENCH_PR6.json` /
+//! `BENCH_PR7.json` / `BENCH_PR8.json` in the current directory).
 
 use banditware_core::arm::{ArmEstimator, RecursiveArm};
 use banditware_core::persist::{
@@ -43,7 +50,9 @@ use banditware_core::{
     ArmSpec, BanditConfig, BanditWare, DecayingEpsilonGreedy, FeatureFrame, Policy, Retention,
     Ticket,
 };
-use banditware_linalg::{vector, Matrix, UpdatableCholesky};
+use banditware_linalg::{
+    vector, LinearFit, Matrix, NormalEquations, SolveScratch, UpdatableCholesky,
+};
 use banditware_serve::{
     DurableEngine, Engine, FollowerEngine, FsTransport, Replicator, WalOptions,
 };
@@ -197,6 +206,90 @@ fn bench_engine_round_frame(batch: usize) -> f64 {
             issued.iter().map(|(t, r)| (*t, 10.0 + r.arm as f64)).collect();
         engine.record_batch("tenant", &outcomes).unwrap();
     }) / batch as f64
+}
+
+/// The record-side twin pair of [`bench_engine_round_frame`]: identical
+/// burst selection (frame recommend on both variants), so the delta
+/// isolates the record path — a per-ticket `record` loop (one stripe-lock
+/// acquisition and one row observe per outcome, the pre-PR-8 per-request
+/// path) vs one `record_batch_frame` grouped columnar absorption.
+fn bench_engine_record(batch: usize, frame_record: bool) -> f64 {
+    let engine = Engine::builder(ArmSpec::unit_costs(4), 8)
+        .config(BanditConfig::paper().with_epsilon0(0.1).with_seed(5))
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut frame = FeatureFrame::new();
+    let run = |engine: &Engine, frame: &FeatureFrame| {
+        let issued = engine.recommend_batch_frame("tenant", frame).unwrap();
+        if frame_record {
+            let outcomes: Vec<(Ticket, f64)> =
+                issued.iter().map(|(t, r)| (*t, 10.0 + r.arm as f64)).collect();
+            engine.record_batch_frame("tenant", &outcomes).unwrap();
+        } else {
+            for (t, r) in &issued {
+                engine.record("tenant", *t, 10.0 + r.arm as f64).unwrap();
+            }
+        }
+    };
+    for _ in 0..20 {
+        let contexts: Vec<Vec<f64>> = (0..batch).map(|_| context(8, &mut rng)).collect();
+        frame.fill_from_rows(&contexts).unwrap();
+        run(&engine, &frame);
+    }
+    let contexts: Vec<Vec<f64>> = (0..batch).map(|_| context(8, &mut rng)).collect();
+    frame.fill_from_rows(&contexts).unwrap();
+    median_ns_per_op(15, 30, move || run(&engine, &frame)) / batch as f64
+}
+
+/// The tentpole kernel pair: one rank-`k` columnar Gram fold
+/// ([`NormalEquations::push_block`]) vs `k` sequential
+/// [`NormalEquations::push`] calls, on a warmed accumulator with a live
+/// LDLᵀ factor (the serving configuration: every absorbed row also
+/// cholupdates the factor). Reported per *block*, not per row.
+fn bench_push(m: usize, k: usize, block: bool) -> f64 {
+    let mut rng = StdRng::seed_from_u64(54);
+    let mut acc = NormalEquations::new(m);
+    for _ in 0..200 {
+        let x = context(m, &mut rng);
+        acc.push(&x, rng.gen_range(1.0..100.0)).unwrap();
+    }
+    let mut scratch = SolveScratch::new();
+    let mut fit = LinearFit::zeros(m);
+    acc.solve_into(1e-3, &mut scratch, &mut fit).unwrap(); // factor goes live
+    let rows: Vec<Vec<f64>> = (0..k).map(|_| context(m, &mut rng)).collect();
+    let ys: Vec<f64> = (0..k).map(|_| rng.gen_range(1.0..100.0)).collect();
+    let mut xcols = vec![0.0; m * k];
+    for (r, row) in rows.iter().enumerate() {
+        for (f, &v) in row.iter().enumerate() {
+            xcols[f * k + r] = v;
+        }
+    }
+    median_ns_per_op(15, 200, move || {
+        if block {
+            acc.push_block(&xcols, &ys).unwrap();
+        } else {
+            for (row, &y) in rows.iter().zip(&ys) {
+                acc.push(row, y).unwrap();
+            }
+        }
+    })
+}
+
+/// One from-scratch LDLᵀ factorization of a `dim × dim` SPD Gram — what a
+/// fold-then-refactor `push_block` variant would pay per block instead of
+/// the `k` rank-1 cholupdates.
+fn bench_refactor(dim: usize) -> f64 {
+    let spd = Matrix::from_fn(dim, dim, |i, j| {
+        if i == j {
+            dim as f64 + 1.0
+        } else {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    median_ns_per_op(15, 200, move || {
+        std::hint::black_box(UpdatableCholesky::decompose(std::hint::black_box(&spd)).unwrap());
+    })
 }
 
 /// One tenant's lifetime: an ε-greedy recommender over `m` features after
@@ -449,6 +542,7 @@ fn main() {
     let out_path_pr5 = std::env::args().nth(3).unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let out_path_pr6 = std::env::args().nth(4).unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let out_path_pr7 = std::env::args().nth(5).unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out_path_pr8 = std::env::args().nth(6).unwrap_or_else(|| "BENCH_PR8.json".to_string());
 
     let current: Vec<(&str, f64)> = vec![
         ("record_m4", bench_record(4)),
@@ -647,5 +741,52 @@ fn main() {
         "PR-7 acceptance: the columnar engine round must be no slower than the row round, \
          got {engine_round_frame_b64:.1} ns vs {engine_round_rows_b64:.1} ns \
          ({frame_over_rows:.2}x)"
+    );
+
+    // --- PR 8: the columnar record group — the rank-64 Gram fold vs 64
+    // sequential pushes, the fold-then-refactor alternative's refactor
+    // cost, and the record-isolating engine round (per-ticket record loop
+    // vs one grouped frame absorption). Cross-window comparisons take the
+    // best of three for the same robustness reasons as the PR-7 gates. ---
+    let push_block_m64_k64 = best_of_3(bench_push(64, 64, true), &|| bench_push(64, 64, true));
+    let push_seq_m64_k64 = best_of_3(bench_push(64, 64, false), &|| bench_push(64, 64, false));
+    let refactor_m65 = bench_refactor(65);
+    let record_m64_pr8 = best_of_3(bench_record(64), &|| bench_record(64));
+    let engine_record_rows_b64 =
+        best_of_3(bench_engine_record(64, false), &|| bench_engine_record(64, false));
+    let engine_record_frame_b64 =
+        best_of_3(bench_engine_record(64, true), &|| bench_engine_record(64, true));
+    let push_block_speedup = push_seq_m64_k64 / push_block_m64_k64;
+    let record_m64_speedup_pr8 = PR3_RECORD_M64 / record_m64_pr8;
+    let record_frame_speedup = engine_record_rows_b64 / engine_record_frame_b64;
+    let record_frame_over_rows = engine_record_frame_b64 / engine_record_rows_b64;
+    let json = format!(
+        "{{\n  \"schema\": \"banditware-bench-v1\",\n  \"pr\": 8,\n  \"unit\": \"ns_per_op\",\n  \
+         \"kernels\": {{\n    \"push_block_m64_k64\": {push_block_m64_k64:.1},\n    \
+         \"push_seq_m64_k64\": {push_seq_m64_k64:.1},\n    \
+         \"refactor_m65\": {refactor_m65:.1}\n  }},\n  \
+         \"push_block_speedup\": {push_block_speedup:.2},\n  \
+         \"record_m64\": {record_m64_pr8:.1},\n  \
+         \"record_m64_pr3_committed\": {PR3_RECORD_M64:.1},\n  \
+         \"record_m64_speedup_vs_pr3\": {record_m64_speedup_pr8:.2},\n  \
+         \"engine_record_b64_rows\": {engine_record_rows_b64:.1},\n  \
+         \"engine_record_b64_frame\": {engine_record_frame_b64:.1},\n  \
+         \"record_frame_speedup\": {record_frame_speedup:.2},\n  \
+         \"record_frame_over_rows\": {record_frame_over_rows:.2}\n}}\n",
+    );
+    std::fs::write(&out_path_pr8, &json).expect("write bench json");
+    println!("{json}");
+    println!("wrote {out_path_pr8}");
+    assert!(
+        record_frame_speedup >= 1.0,
+        "PR-8 acceptance: the frame record path must never be slower than the per-ticket row \
+         path at batch 64, got {engine_record_frame_b64:.1} ns vs {engine_record_rows_b64:.1} ns \
+         ({record_frame_speedup:.2}x)"
+    );
+    assert!(
+        record_m64_speedup_pr8 >= 1.3,
+        "PR-8 acceptance: record_m64 must stay at least 1.3x faster than the PR-3 committed \
+         median ({PR3_RECORD_M64:.1} ns), got {record_m64_pr8:.1} ns \
+         ({record_m64_speedup_pr8:.2}x)"
     );
 }

@@ -73,6 +73,45 @@ pub trait ArmEstimator: Send + Sync + std::fmt::Debug {
     /// [`CoreError::FeatureDimMismatch`] / [`CoreError::InvalidRuntime`].
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()>;
 
+    /// Absorb a columnar block of `k = ys.len()` observations. `xcols` is
+    /// feature-major: feature `f` of the block occupies
+    /// `xcols[f·k .. (f+1)·k]`, one value per row in row order.
+    ///
+    /// **Bitwise contract:** the resulting estimator state is identical —
+    /// bit for bit — to `k` sequential [`ArmEstimator::update`] calls in
+    /// row order, and on error the same prefix is absorbed and the same
+    /// error is returned (`absorbed` reports how many leading rows were
+    /// fully taken, so callers can account for partial absorption).
+    ///
+    /// The default gathers rows one at a time and delegates to `update`;
+    /// linear-family estimators override it with columnar kernels (a rank-k
+    /// Gram fold for [`RecursiveArm`], a single deferred refit for
+    /// [`LinearArm`]).
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`] when `xcols.len()` is not
+    /// `n_features·k`, plus everything `update` can return.
+    fn absorb_block(&mut self, xcols: &[f64], ys: &[f64], absorbed: &mut usize) -> Result<()> {
+        *absorbed = 0;
+        let k = ys.len();
+        let nf = self.n_features();
+        if xcols.len() != nf * k {
+            return Err(CoreError::FeatureDimMismatch {
+                got: if k == 0 { xcols.len() } else { xcols.len() / k },
+                expected: nf,
+            });
+        }
+        let mut row = vec![0.0; nf];
+        for (r, &y) in ys.iter().enumerate() {
+            for (f, dst) in row.iter_mut().enumerate() {
+                *dst = xcols[f * k + r];
+            }
+            self.update(&row, y)?;
+            *absorbed = r + 1;
+        }
+        Ok(())
+    }
+
     /// Current fitted coefficients.
     fn fit(&self) -> LinearFit;
 
@@ -165,6 +204,44 @@ impl ArmEstimator for LinearArm {
         self.ys.push(runtime);
         self.current = fit_ols(&self.design, &self.ys)?;
         Ok(())
+    }
+
+    fn absorb_block(&mut self, xcols: &[f64], ys: &[f64], absorbed: &mut usize) -> Result<()> {
+        // `fit_ols` is a pure function of the stored data, so the k−1
+        // intermediate refits of the sequential path only ever overwrite
+        // `current` — appending every valid row first and fitting once
+        // yields the same bits as the last sequential refit, at 1/k the
+        // cost. Validation still runs per row in row order so a bad row
+        // absorbs exactly the sequential prefix before erroring.
+        *absorbed = 0;
+        let k = ys.len();
+        if xcols.len() != self.n_features * k {
+            return Err(CoreError::FeatureDimMismatch {
+                got: if k == 0 { xcols.len() } else { xcols.len() / k },
+                expected: self.n_features,
+            });
+        }
+        let mut row = vec![0.0; self.n_features];
+        let mut failure = None;
+        for (r, &y) in ys.iter().enumerate() {
+            for (f, dst) in row.iter_mut().enumerate() {
+                *dst = xcols[f * k + r];
+            }
+            if let Err(e) = validate(&row, self.n_features, y) {
+                failure = Some(e);
+                break;
+            }
+            self.design.push_row(&row).expect("validated arity");
+            self.ys.push(y);
+            *absorbed = r + 1;
+        }
+        if *absorbed > 0 {
+            self.current = fit_ols(&self.design, &self.ys)?;
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn fit(&self) -> LinearFit {
@@ -262,6 +339,67 @@ impl ArmEstimator for RecursiveArm {
         validate(x, self.acc.n_features(), runtime)?;
         self.acc.push(x, runtime)?;
         self.acc.solve_into(self.ridge, &mut self.scratch, &mut self.current)?;
+        Ok(())
+    }
+
+    fn absorb_block(&mut self, xcols: &[f64], ys: &[f64], absorbed: &mut usize) -> Result<()> {
+        // The columnar fast path: one rank-k Gram fold + one refit. Bitwise
+        // equal to k sequential updates because (a) `push_block` pins the
+        // per-entry accumulation order and runs the identical per-row
+        // cholupdate sweep, and (b) the k−1 intermediate
+        // `solve_from_factor` calls the sequential path performs are pure
+        // reads of the accumulator (they write only the scratch and
+        // `current`, both fully overwritten by the final solve) — skipping
+        // them changes nothing but the cost.
+        //
+        // The fold requires a factor that is live for this ridge (otherwise
+        // the sequential path would re-factorize mid-stream and cholupdate
+        // from there — a different float history); cold arms take the exact
+        // row-by-row loop instead. Ditto any invalid runtime: the
+        // sequential loop is the reference for which prefix lands before
+        // the error.
+        *absorbed = 0;
+        let k = ys.len();
+        let nf = self.acc.n_features();
+        if xcols.len() != nf * k {
+            return Err(CoreError::FeatureDimMismatch {
+                got: if k == 0 { xcols.len() } else { xcols.len() / k },
+                expected: nf,
+            });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        let fast =
+            self.acc.factor_is_live(self.ridge) && ys.iter().all(|&y| y.is_finite() && y > 0.0);
+        if !fast {
+            // Cold / invalid-input path (never the steady-state loop): row
+            // gathers through `update`, the reference semantics.
+            let mut row = vec![0.0; nf];
+            for (r, &y) in ys.iter().enumerate() {
+                for (f, dst) in row.iter_mut().enumerate() {
+                    *dst = xcols[f * k + r];
+                }
+                self.update(&row, y)?;
+                *absorbed = r + 1;
+            }
+            return Ok(());
+        }
+        let folded = self.acc.push_block(xcols, ys)?;
+        *absorbed = folded;
+        self.acc.solve_into(self.ridge, &mut self.scratch, &mut self.current)?;
+        // A mid-block cholupdate failure (not reachable for rank-1 adds,
+        // but contractually handled): the solve above re-factorized exactly
+        // where the sequential path would have; finish the remainder row by
+        // row.
+        for r in folded..k {
+            let mut row = vec![0.0; nf];
+            for (f, dst) in row.iter_mut().enumerate() {
+                *dst = xcols[f * k + r];
+            }
+            self.update(&row, ys[r])?;
+            *absorbed = r + 1;
+        }
         Ok(())
     }
 
@@ -396,6 +534,10 @@ impl ArmEstimator for Box<dyn ArmEstimator> {
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         self.as_mut().update(x, runtime)
+    }
+
+    fn absorb_block(&mut self, xcols: &[f64], ys: &[f64], absorbed: &mut usize) -> Result<()> {
+        self.as_mut().absorb_block(xcols, ys, absorbed)
     }
 
     fn fit(&self) -> LinearFit {
@@ -566,6 +708,86 @@ mod tests {
         assert_eq!(arm.mean(), 0.0);
         assert_eq!(MeanArm::default().n_obs(), 0);
         assert_eq!(arm.fit().weights.len(), 0);
+    }
+
+    fn to_cols(data: &[(Vec<f64>, f64)]) -> (Vec<f64>, Vec<f64>) {
+        let k = data.len();
+        let nf = data.first().map_or(0, |(x, _)| x.len());
+        let mut cols = vec![0.0; nf * k];
+        let mut ys = Vec::with_capacity(k);
+        for (r, (x, y)) in data.iter().enumerate() {
+            for (f, &v) in x.iter().enumerate() {
+                cols[f * k + r] = v;
+            }
+            ys.push(*y);
+        }
+        (cols, ys)
+    }
+
+    fn assert_fit_bits(a: &LinearFit, b: &LinearFit) {
+        assert_eq!(a.intercept.to_bits(), b.intercept.to_bits());
+        assert_eq!(a.residual_ss.to_bits(), b.residual_ss.to_bits());
+        assert_eq!(a.n_obs, b.n_obs);
+        assert_eq!(a.weights.len(), b.weights.len());
+        for (x, y) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn absorb_block_bitwise_matches_sequential_updates() {
+        let data = linear_data();
+        let (cols, ys) = to_cols(&data);
+        // Cold and warm recursive arms, and the paper-faithful linear arm.
+        let mut rec_blk = RecursiveArm::new(2);
+        let mut rec_seq = RecursiveArm::new(2);
+        let mut lin_blk = LinearArm::new(2);
+        let mut lin_seq = LinearArm::new(2);
+        for round in 0..2 {
+            let mut absorbed = 0;
+            rec_blk.absorb_block(&cols, &ys, &mut absorbed).unwrap();
+            assert_eq!(absorbed, data.len(), "round {round}");
+            lin_blk.absorb_block(&cols, &ys, &mut absorbed).unwrap();
+            assert_eq!(absorbed, data.len());
+            feed(&mut rec_seq, &data);
+            feed(&mut lin_seq, &data);
+            assert_eq!(rec_blk.state(), rec_seq.state(), "recursive round {round}");
+            assert_fit_bits(&rec_blk.fit(), &rec_seq.fit());
+            assert_eq!(lin_blk.state(), lin_seq.state(), "linear round {round}");
+        }
+    }
+
+    #[test]
+    fn absorb_block_partial_prefix_on_invalid_runtime() {
+        // An invalid runtime mid-block absorbs exactly the sequential
+        // prefix and leaves the estimator where row-by-row updates would.
+        let mut data = linear_data();
+        data[4].1 = f64::NAN;
+        let (cols, ys) = to_cols(&data);
+        for (blk, seq) in [
+            (&mut RecursiveArm::new(2) as &mut dyn ArmEstimator, &mut RecursiveArm::new(2) as _),
+            (&mut LinearArm::new(2) as &mut dyn ArmEstimator, &mut LinearArm::new(2) as _),
+        ] {
+            let mut absorbed = 0;
+            assert!(matches!(
+                blk.absorb_block(&cols, &ys, &mut absorbed),
+                Err(CoreError::InvalidRuntime(_))
+            ));
+            assert_eq!(absorbed, 4);
+            let seq: &mut dyn ArmEstimator = seq;
+            for (x, y) in &data[..4] {
+                seq.update(x, *y).unwrap();
+            }
+            assert!(seq.update(&data[4].0, data[4].1).is_err());
+            assert_eq!(blk.state(), seq.state());
+        }
+
+        // Wrong-size block: rejected untouched.
+        let mut arm = RecursiveArm::new(2);
+        let mut absorbed = 9;
+        assert!(arm.absorb_block(&cols[..3], &ys, &mut absorbed).is_err());
+        assert_eq!(absorbed, 0);
+        assert_eq!(arm.n_obs(), 0);
     }
 
     #[test]

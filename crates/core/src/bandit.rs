@@ -22,7 +22,7 @@
 //! A convenience [`BanditWare::run_round`] does recommend + record around a
 //! user-supplied executor closure (e.g. a cluster submission).
 
-use crate::frame::FeatureFrame;
+use crate::frame::{FeatureFrame, ObservationFrame};
 use crate::policy::{ArmSpec, Policy, Selection};
 use crate::{CoreError, Result};
 use std::collections::BTreeMap;
@@ -147,6 +147,19 @@ pub struct BanditWare<P: Policy> {
     /// ([`BanditWare::recommend_batch`]) builds once per burst, reused
     /// across bursts.
     batch_frame: FeatureFrame,
+    /// Scratch: sorted ticket ids for duplicate detection in
+    /// [`BanditWare::validate_record_batch`] (replaces a per-call
+    /// `HashSet`, so batch validation allocates nothing in steady state).
+    batch_ids: Vec<u64>,
+    /// Scratch: the rounds closed by an in-progress
+    /// [`BanditWare::record_batch_frame`], staged out of the ticket table.
+    batch_rounds: Vec<InFlightRound>,
+    /// Scratch: the columnar observation batch
+    /// ([`BanditWare::record_batch_frame`] stages each burst here, reused
+    /// across bursts).
+    batch_obs: ObservationFrame,
+    /// Scratch: per-row absorbed flags from the policy's frame observe.
+    batch_absorbed: Vec<bool>,
 }
 
 impl<P: Policy> BanditWare<P> {
@@ -167,6 +180,10 @@ impl<P: Policy> BanditWare<P> {
             legacy_pending: None,
             batch_sels: Vec::new(),
             batch_frame: FeatureFrame::new(),
+            batch_ids: Vec::new(),
+            batch_rounds: Vec::new(),
+            batch_obs: ObservationFrame::new(),
+            batch_absorbed: Vec::new(),
         }
     }
 
@@ -410,14 +427,15 @@ impl<P: Policy> BanditWare<P> {
     /// every runtime positive and finite **before** anything is absorbed,
     /// so a malformed call leaves the recommender untouched.
     ///
-    /// Absorption itself is per outcome: each successfully observed round
-    /// is consumed (ticket closed, history appended) immediately, so if the
-    /// policy's refit fails mid-batch — a numerical failure, not a request
-    /// error — the already-recorded prefix is properly recorded and only
-    /// the failing round and its successors stay open. Retrying the open
-    /// remainder can therefore never double-count an observation: a
-    /// consumed ticket in the retry surfaces as
-    /// [`crate::CoreError::UnknownTicket`].
+    /// This is a shim over [`BanditWare::record_batch_frame`] (results are
+    /// bitwise identical): the burst is staged into a columnar
+    /// [`ObservationFrame`] and absorbed in one policy frame pass. Every
+    /// round the policy absorbs is consumed (ticket closed, history
+    /// appended); any round it does not — a numerical refit failure, not a
+    /// request error — **stays open** for retry or
+    /// [`BanditWare::drop_ticket`]. Retrying the open remainder can never
+    /// double-count an observation: a consumed ticket in the retry surfaces
+    /// as [`crate::CoreError::UnknownTicket`].
     ///
     /// # Errors
     /// [`crate::CoreError::UnknownTicket`] for a ticket not in flight,
@@ -425,31 +443,161 @@ impl<P: Policy> BanditWare<P> {
     /// the batch, [`crate::CoreError::InvalidRuntime`] for a non-positive
     /// or non-finite runtime; policy validation otherwise.
     pub fn record_batch(&mut self, outcomes: &[(Ticket, f64)]) -> Result<()> {
-        let mut seen = std::collections::HashSet::with_capacity(outcomes.len());
+        self.record_batch_frame(outcomes)
+    }
+
+    /// Atomic request validation for a record batch: every ticket open,
+    /// no ticket listed twice, every runtime positive and finite. Leaves
+    /// the recommender untouched; allocation-free in steady state (dedup
+    /// runs over a reused sorted scratch buffer instead of a `HashSet`).
+    ///
+    /// Durable serving layers call this *before* touching the filesystem,
+    /// so a malformed request cannot mint WAL state for a key.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::UnknownTicket`] /
+    /// [`crate::CoreError::InvalidRuntime`] for the first offending row (in
+    /// input order); [`crate::CoreError::InvalidParameter`] for a ticket
+    /// listed twice in the batch.
+    pub fn validate_record_batch(&mut self, outcomes: &[(Ticket, f64)]) -> Result<()> {
         for &(ticket, runtime) in outcomes {
             if !self.in_flight.contains_key(&ticket.0) {
                 return Err(CoreError::UnknownTicket { ticket: ticket.0 });
-            }
-            if !seen.insert(ticket.0) {
-                return Err(CoreError::InvalidParameter {
-                    name: "outcomes",
-                    detail: format!("ticket {} listed twice in one batch", ticket.0),
-                });
             }
             if !runtime.is_finite() || runtime <= 0.0 {
                 return Err(CoreError::InvalidRuntime(runtime));
             }
         }
-        for &(ticket, runtime) in outcomes {
-            let round = self.in_flight.get(&ticket.0).expect("validated above");
-            self.policy.observe(round.arm, &round.features, runtime)?;
-            let round = self.in_flight.remove(&ticket.0).expect("present above");
-            if self.legacy_pending == Some(ticket) {
-                self.legacy_pending = None;
+        self.batch_ids.clear();
+        self.batch_ids.extend(outcomes.iter().map(|&(ticket, _)| ticket.0));
+        self.batch_ids.sort_unstable();
+        for pair in self.batch_ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(CoreError::InvalidParameter {
+                    name: "outcomes",
+                    detail: format!("ticket {} listed twice in one batch", pair[0]),
+                });
             }
-            self.push_history(round.arm, round.features, runtime, round.explored);
         }
         Ok(())
+    }
+
+    /// Record a batch of outcomes through the **columnar** observe path:
+    /// after atomic validation ([`BanditWare::validate_record_batch`]) the
+    /// burst is closed out of the ticket table, staged into a reused
+    /// [`ObservationFrame`], and handed to the policy as one
+    /// [`Policy::observe_frame`] pass — for the contextual ε-greedy family
+    /// that means per-arm grouped rank-k absorption instead of one refit
+    /// per row, bitwise identical to recording the rounds one at a time in
+    /// input order.
+    ///
+    /// Rounds the policy absorbs are consumed (history appended, legacy
+    /// slot cleared); rounds it does not absorb — a mid-batch numerical
+    /// failure — are **re-opened** under their original ticket ids so the
+    /// caller can retry or drop them. With a policy that absorbs rows in
+    /// input order the open remainder is exactly the failing round and its
+    /// successors; a grouped-absorption policy may absorb a non-prefix
+    /// subset (rows of arms it finished before the failing arm), which only
+    /// ever leaves *fewer* rounds open.
+    ///
+    /// Rounds whose remembered feature width disagrees with the policy's
+    /// (possible only via [`BanditWare::reopen_ticket`] on a non-contextual
+    /// policy, which skips the width check) cannot be staged columnar; such
+    /// a batch falls back to row-by-row absorption with identical
+    /// semantics.
+    ///
+    /// # Errors
+    /// As [`BanditWare::record_batch`].
+    pub fn record_batch_frame(&mut self, outcomes: &[(Ticket, f64)]) -> Result<()> {
+        self.record_batch_frame_logged(outcomes, |_, _, _, _| {})
+    }
+
+    /// [`BanditWare::record_batch_frame`] with a per-absorbed-round
+    /// callback `log(seq, ticket, round, runtime)`, invoked in frame row
+    /// order immediately before the round enters the history (`seq` is the
+    /// absolute round number the observation gets). Durable serving layers
+    /// use this to build a group-commit WAL buffer in the same critical
+    /// section as the in-memory apply, without re-looking-up or cloning the
+    /// closed rounds.
+    ///
+    /// # Errors
+    /// As [`BanditWare::record_batch`].
+    pub fn record_batch_frame_logged(
+        &mut self,
+        outcomes: &[(Ticket, f64)],
+        mut log: impl FnMut(usize, Ticket, &InFlightRound, f64),
+    ) -> Result<()> {
+        if outcomes.is_empty() {
+            return Ok(());
+        }
+        self.validate_record_batch(outcomes)?;
+        // Close every ticket up front (single table lookup per round; the
+        // rounds move into a reused scratch vector). Rounds the policy does
+        // not absorb are re-inserted below — the BTreeMap keys by id, so
+        // re-opening restores the exact original table order.
+        let mut rounds = std::mem::take(&mut self.batch_rounds);
+        rounds.clear();
+        for &(ticket, _) in outcomes {
+            rounds.push(self.in_flight.remove(&ticket.0).expect("validated above"));
+        }
+        let nf = self.policy.n_features();
+        let uniform = rounds.iter().all(|round| round.features.len() == nf);
+        let result = if uniform {
+            let mut obs = std::mem::take(&mut self.batch_obs);
+            let mut absorbed = std::mem::take(&mut self.batch_absorbed);
+            obs.begin(outcomes.len(), nf);
+            for (i, round) in rounds.iter().enumerate() {
+                obs.set_row(i, round.arm, &round.features, outcomes[i].1, round.explored)
+                    .expect("uniform width checked above");
+            }
+            let result = self.policy.observe_frame(&obs, &mut absorbed);
+            for (i, round) in rounds.drain(..).enumerate() {
+                let (ticket, runtime) = outcomes[i];
+                if absorbed[i] {
+                    log(self.rounds(), ticket, &round, runtime);
+                    if self.legacy_pending == Some(ticket) {
+                        self.legacy_pending = None;
+                    }
+                    self.push_history(round.arm, round.features, runtime, round.explored);
+                } else {
+                    self.in_flight.insert(ticket.0, round);
+                }
+            }
+            self.batch_obs = obs;
+            self.batch_absorbed = absorbed;
+            result
+        } else {
+            // Ragged remembered widths: absorb row by row (the reference
+            // semantics the frame path is pinned against).
+            let mut failure = None;
+            let mut drain = rounds.drain(..).enumerate();
+            for (i, round) in &mut drain {
+                let (ticket, runtime) = outcomes[i];
+                match self.policy.observe(round.arm, &round.features, runtime) {
+                    Ok(()) => {
+                        log(self.rounds(), ticket, &round, runtime);
+                        if self.legacy_pending == Some(ticket) {
+                            self.legacy_pending = None;
+                        }
+                        self.push_history(round.arm, round.features, runtime, round.explored);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        self.in_flight.insert(ticket.0, round);
+                        break;
+                    }
+                }
+            }
+            for (i, round) in drain {
+                self.in_flight.insert(outcomes[i].0 .0, round);
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        };
+        self.batch_rounds = rounds;
+        result
     }
 
     /// Abandon an in-flight round (e.g. the job was cancelled or its runtime

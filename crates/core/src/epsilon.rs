@@ -69,6 +69,15 @@ pub struct DecayingEpsilonGreedy<A: ArmEstimator> {
     frame_preds: Vec<f64>,
     /// Lane accumulators for the columnar predict kernel.
     frame_scratch: PredictScratch,
+    /// Record-path scratches for [`Policy::observe_frame`]'s per-arm
+    /// grouping (counting-sort offsets/cursors, row permutation, and the
+    /// gathered per-arm column block) — all reused, so batched absorption
+    /// allocates nothing once warm.
+    group_offsets: Vec<usize>,
+    group_cursor: Vec<usize>,
+    group_rows: Vec<u32>,
+    block_cols: Vec<f64>,
+    block_ys: Vec<f64>,
 }
 
 /// The default instantiation (incremental arms).
@@ -127,6 +136,11 @@ impl<A: ArmEstimator> DecayingEpsilonGreedy<A> {
             preds,
             frame_preds: Vec::new(),
             frame_scratch: PredictScratch::new(),
+            group_offsets: Vec::new(),
+            group_cursor: Vec::new(),
+            group_rows: Vec::new(),
+            block_cols: Vec::new(),
+            block_ys: Vec::new(),
         })
     }
 
@@ -275,6 +289,101 @@ impl<A: ArmEstimator> Policy for DecayingEpsilonGreedy<A> {
         // Step 12: decay once per observed workflow.
         self.epsilon *= self.config.decay;
         Ok(())
+    }
+
+    fn observe_frame(
+        &mut self,
+        frame: &crate::ObservationFrame,
+        absorbed: &mut Vec<bool>,
+    ) -> Result<()> {
+        let n = frame.n_rows();
+        absorbed.clear();
+        absorbed.resize(n, false);
+        if n == 0 {
+            return Ok(());
+        }
+        let n_arms = self.arms.len();
+        if frame.n_features() != self.n_features || frame.arms().iter().any(|&a| a >= n_arms) {
+            // A row is going to fail validation: take the row-gather
+            // reference loop so the error surfaces at exactly the row (and
+            // with exactly the prefix absorbed) the sequential path
+            // produces.
+            return crate::policy::observe_frame_rows(self, frame, absorbed);
+        }
+        let nf = self.n_features;
+        let DecayingEpsilonGreedy {
+            arms,
+            config,
+            epsilon,
+            group_offsets,
+            group_cursor,
+            group_rows,
+            block_cols,
+            block_ys,
+            ..
+        } = self;
+        // Group rows by arm with a stable counting sort: per-arm row order
+        // equals frame row order, so each arm's estimator sees the exact
+        // observation sequence the row loop feeds it — arm updates commute
+        // across arms (disjoint state), which is what makes the grouped
+        // absorption bitwise-identical on success.
+        group_offsets.clear();
+        group_offsets.resize(n_arms + 1, 0);
+        for &a in frame.arms() {
+            group_offsets[a + 1] += 1;
+        }
+        for a in 0..n_arms {
+            group_offsets[a + 1] += group_offsets[a];
+        }
+        group_rows.clear();
+        group_rows.resize(n, 0);
+        group_cursor.clear();
+        group_cursor.extend_from_slice(&group_offsets[..n_arms]);
+        for (r, &a) in frame.arms().iter().enumerate() {
+            group_rows[group_cursor[a]] = r as u32;
+            group_cursor[a] += 1;
+        }
+        let mut result = Ok(());
+        let mut n_absorbed = 0usize;
+        for (a, arm) in arms.iter_mut().enumerate() {
+            let grp = &group_rows[group_offsets[a]..group_offsets[a + 1]];
+            if grp.is_empty() {
+                continue;
+            }
+            // Gather this arm's rows into a contiguous feature-major block:
+            // one pass per feature column, streaming the frame's contiguous
+            // column storage.
+            let k = grp.len();
+            block_cols.clear();
+            block_cols.resize(nf * k, 0.0);
+            for f in 0..nf {
+                let col = frame.features().column(f);
+                for (dst, &r) in block_cols[f * k..(f + 1) * k].iter_mut().zip(grp.iter()) {
+                    *dst = col[r as usize];
+                }
+            }
+            block_ys.clear();
+            block_ys.extend(grp.iter().map(|&r| frame.outcome(r as usize)));
+            let mut sub = 0;
+            let res = arm.absorb_block(block_cols, block_ys, &mut sub);
+            for &r in &grp[..sub] {
+                absorbed[r as usize] = true;
+            }
+            n_absorbed += sub;
+            if let Err(e) = res {
+                // Completed groups stay absorbed; unflagged rows are the
+                // caller's to re-open.
+                result = Err(e);
+                break;
+            }
+        }
+        // Step 12, batched: one decay per absorbed observation — the same
+        // multiply sequence the interleaved row loop applies (the decay
+        // never reads arm state, so hoisting it is exact).
+        for _ in 0..n_absorbed {
+            *epsilon *= config.decay;
+        }
+        result
     }
 
     fn predict(&self, arm: usize, x: &[f64]) -> Result<f64> {

@@ -96,6 +96,38 @@ impl FeatureFrame {
         Ok(())
     }
 
+    /// Reset to an `n_rows × n_features` frame of zeros (reusing storage),
+    /// ready for row-at-a-time filling via [`FeatureFrame::set_row`]. This
+    /// is the staging entry point for producers whose rows are not
+    /// contiguous `Vec`s (the record path scatters ticket-table rounds in).
+    pub fn begin(&mut self, n_rows: usize, n_features: usize) {
+        self.n_rows = n_rows;
+        self.n_features = n_features;
+        self.cols.clear();
+        self.cols.resize(n_features * n_rows, 0.0);
+    }
+
+    /// Scatter one row into a frame prepared by [`FeatureFrame::begin`].
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`] when `row.len() != n_features`.
+    ///
+    /// # Panics
+    /// Panics when `r >= n_rows`.
+    pub fn set_row(&mut self, r: usize, row: &[f64]) -> Result<()> {
+        if row.len() != self.n_features {
+            return Err(CoreError::FeatureDimMismatch {
+                got: row.len(),
+                expected: self.n_features,
+            });
+        }
+        assert!(r < self.n_rows, "row {r} of a {}-row frame", self.n_rows);
+        for (f, &v) in row.iter().enumerate() {
+            self.cols[f * self.n_rows + r] = v;
+        }
+        Ok(())
+    }
+
     /// Overwrite this frame with a copy of `src`, reusing storage.
     pub fn copy_from(&mut self, src: &FeatureFrame) {
         self.n_rows = src.n_rows;
@@ -148,7 +180,13 @@ impl FeatureFrame {
         assert!(r < self.n_rows, "row {r} of a {}-row frame", self.n_rows);
         out.clear();
         out.reserve(self.n_features);
-        out.extend(self.cols[r..].iter().step_by(self.n_rows.max(1)).take(self.n_features));
+        // A zero-feature frame stores no columns at all: `cols[r..]` would
+        // slice past the empty store for r > 0 (non-contextual policies
+        // issue such frames).
+        if self.n_features == 0 {
+            return;
+        }
+        out.extend(self.cols[r..].iter().step_by(self.n_rows).take(self.n_features));
     }
 
     /// Row `r` as an owned vector.
@@ -203,6 +241,142 @@ impl FeatureFrame {
         {
             *o = ((a0 + a1) + (a2 + a3) + *o) + intercept;
         }
+    }
+}
+
+/// A batch of completed observations in columnar layout — the record-side
+/// twin of [`FeatureFrame`].
+///
+/// Features reuse [`FeatureFrame`] storage (column-major, so the rank-k
+/// Gram fold streams contiguous feature columns); outcomes, arms, and
+/// explored flags ride along as per-row lanes. Buffers are reused across
+/// [`ObservationFrame::begin`] cycles, so a steady-state record loop stages
+/// every burst without allocating.
+///
+/// The same bitwise-determinism contract as the select side applies:
+/// absorbing a frame through [`crate::Policy::observe_frame`] produces
+/// exactly the policy state of row-by-row [`crate::Policy::observe`] calls
+/// in row order (see `crates/core/tests/record_frame_equivalence.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ObservationFrame {
+    features: FeatureFrame,
+    outcomes: Vec<f64>,
+    arms: Vec<usize>,
+    explored: Vec<bool>,
+}
+
+impl ObservationFrame {
+    /// New empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset to `n_rows` zeroed observations of `n_features` features
+    /// (reusing storage), ready for [`ObservationFrame::set_row`].
+    pub fn begin(&mut self, n_rows: usize, n_features: usize) {
+        self.features.begin(n_rows, n_features);
+        self.outcomes.clear();
+        self.outcomes.resize(n_rows, 0.0);
+        self.arms.clear();
+        self.arms.resize(n_rows, 0);
+        self.explored.clear();
+        self.explored.resize(n_rows, false);
+    }
+
+    /// Stage one completed round into row `r`.
+    ///
+    /// # Errors
+    /// [`CoreError::FeatureDimMismatch`] when `features.len()` disagrees
+    /// with the frame width.
+    ///
+    /// # Panics
+    /// Panics when `r >= n_rows`.
+    pub fn set_row(
+        &mut self,
+        r: usize,
+        arm: usize,
+        features: &[f64],
+        outcome: f64,
+        explored: bool,
+    ) -> Result<()> {
+        self.features.set_row(r, features)?;
+        self.outcomes[r] = outcome;
+        self.arms[r] = arm;
+        self.explored[r] = explored;
+        Ok(())
+    }
+
+    /// Number of observations in the batch.
+    pub fn n_rows(&self) -> usize {
+        self.features.n_rows()
+    }
+
+    /// Number of features per observation.
+    pub fn n_features(&self) -> usize {
+        self.features.n_features()
+    }
+
+    /// True when the frame holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The feature block, columnar.
+    pub fn features(&self) -> &FeatureFrame {
+        &self.features
+    }
+
+    /// Mutable feature block — for in-place columnar transforms (the
+    /// scaler's standardization pass). Callers must keep the row count in
+    /// step with the lanes.
+    pub fn features_mut(&mut self) -> &mut FeatureFrame {
+        &mut self.features
+    }
+
+    /// Outcome (runtime) lane, one per row.
+    pub fn outcomes(&self) -> &[f64] {
+        &self.outcomes
+    }
+
+    /// Arm lane, one per row.
+    pub fn arms(&self) -> &[usize] {
+        &self.arms
+    }
+
+    /// Outcome of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r >= n_rows`.
+    pub fn outcome(&self, r: usize) -> f64 {
+        self.outcomes[r]
+    }
+
+    /// Arm of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r >= n_rows`.
+    pub fn arm(&self, r: usize) -> usize {
+        self.arms[r]
+    }
+
+    /// Explored flag of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r >= n_rows`.
+    pub fn explored(&self, r: usize) -> bool {
+        self.explored[r]
+    }
+
+    /// Copy the non-feature lanes (outcomes, arms, explored) from `src`,
+    /// reusing storage. Used by wrappers that transform features into a
+    /// scratch frame but pass the bookkeeping lanes through unchanged.
+    pub fn copy_lanes_from(&mut self, src: &ObservationFrame) {
+        self.outcomes.clear();
+        self.outcomes.extend_from_slice(&src.outcomes);
+        self.arms.clear();
+        self.arms.extend_from_slice(&src.arms);
+        self.explored.clear();
+        self.explored.extend_from_slice(&src.explored);
     }
 }
 

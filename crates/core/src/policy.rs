@@ -143,6 +143,38 @@ pub trait Policy: Send + Sync + std::fmt::Debug {
     /// [`crate::CoreError::InvalidRuntime`].
     fn observe(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()>;
 
+    /// Absorb a whole **columnar** batch of completed observations
+    /// ([`crate::ObservationFrame`]) — the record-side twin of
+    /// [`Policy::select_frame_into`].
+    ///
+    /// `absorbed` is cleared, resized to `n_rows`, and set `true` for every
+    /// row whose observation was fully taken; callers use it to decide
+    /// which tickets to close and which rounds to re-open. The first
+    /// failure stops absorption and is returned (rows not flagged were not
+    /// absorbed at all).
+    ///
+    /// **Bitwise contract:** on success the policy lands in exactly the
+    /// state of row-by-row [`Policy::observe`] calls in row order — model
+    /// statistics, schedules, and RNG positions (`observe` consumes no
+    /// randomness). The default gathers each row and delegates to
+    /// `observe`, flagging a strict prefix on failure; policies with
+    /// columnar absorb kernels ([`crate::DecayingEpsilonGreedy`] groups
+    /// rows per arm into one [`crate::ArmEstimator::absorb_block`] each)
+    /// and transforming wrappers ([`crate::ScaledPolicy`] standardizes the
+    /// whole frame in one columnar pass) override it. Overrides may absorb
+    /// a non-prefix subset when a mid-batch failure interrupts per-arm
+    /// groups — `absorbed` is the source of truth.
+    ///
+    /// # Errors
+    /// See [`Policy::observe`].
+    fn observe_frame(
+        &mut self,
+        frame: &crate::ObservationFrame,
+        absorbed: &mut Vec<bool>,
+    ) -> Result<()> {
+        observe_frame_rows(self, frame, absorbed)
+    }
+
     /// Absorb an observation whose context this policy has **not** seen
     /// through its own [`Policy::select`] — warm starts from historical
     /// traces and checkpoint replay. The default delegates to
@@ -294,6 +326,14 @@ impl Policy for Box<dyn Policy> {
         (**self).observe(arm, x, runtime)
     }
 
+    fn observe_frame(
+        &mut self,
+        frame: &crate::ObservationFrame,
+        absorbed: &mut Vec<bool>,
+    ) -> Result<()> {
+        (**self).observe_frame(frame, absorbed)
+    }
+
     fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {
         (**self).warm_start(arm, x, runtime)
     }
@@ -325,6 +365,27 @@ impl Policy for Box<dyn Policy> {
     fn restore(&mut self, state: &PolicyState) -> Result<()> {
         (**self).restore(state)
     }
+}
+
+/// The row-gather reference implementation of [`Policy::observe_frame`]:
+/// gather each row, delegate to [`Policy::observe`] in row order, flag the
+/// absorbed prefix, stop at the first failure. Shared by the trait default
+/// and by columnar overrides as their fallback when a batch fails
+/// pre-validation (so error positions match the sequential path exactly).
+pub(crate) fn observe_frame_rows<P: Policy + ?Sized>(
+    policy: &mut P,
+    frame: &crate::ObservationFrame,
+    absorbed: &mut Vec<bool>,
+) -> Result<()> {
+    absorbed.clear();
+    absorbed.resize(frame.n_rows(), false);
+    let mut row = Vec::with_capacity(frame.n_features());
+    for r in 0..frame.n_rows() {
+        frame.features().copy_row_into(r, &mut row);
+        policy.observe(frame.arm(r), &row, frame.outcome(r))?;
+        absorbed[r] = true;
+    }
+    Ok(())
 }
 
 /// Validate a context's arity against a policy's feature count.

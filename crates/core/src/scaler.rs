@@ -224,6 +224,9 @@ pub struct ScaledPolicy<P: Policy> {
     /// Scratch: a whole standardized batch in columnar layout (the frame
     /// path's counterpart to `flat`).
     zframe: FeatureFrame,
+    /// Scratch: a whole standardized *observation* batch (the record-path
+    /// counterpart to `zframe`).
+    zobs: crate::ObservationFrame,
 }
 
 impl<P: Policy + Clone> Clone for ScaledPolicy<P> {
@@ -235,6 +238,7 @@ impl<P: Policy + Clone> Clone for ScaledPolicy<P> {
             flat: self.flat.clone(),
             read_z: std::sync::Mutex::new(Vec::new()),
             zframe: self.zframe.clone(),
+            zobs: self.zobs.clone(),
         }
     }
 }
@@ -250,6 +254,7 @@ impl<P: Policy> ScaledPolicy<P> {
             flat: Vec::new(),
             read_z: std::sync::Mutex::new(Vec::with_capacity(n)),
             zframe: FeatureFrame::new(),
+            zobs: crate::ObservationFrame::new(),
         }
     }
 
@@ -335,6 +340,27 @@ impl<P: Policy> Policy for ScaledPolicy<P> {
         let ScaledPolicy { inner, scaler, zbuf, .. } = self;
         scaler.transform_into(x, zbuf)?;
         inner.observe(arm, zbuf, runtime)
+    }
+
+    fn observe_frame(
+        &mut self,
+        frame: &crate::ObservationFrame,
+        absorbed: &mut Vec<bool>,
+    ) -> Result<()> {
+        // The columnar twin of `observe`: the matching select path already
+        // absorbed these contexts into the scaler, so this only transforms —
+        // one column-wise standardization pass against the *fixed* current
+        // statistics instead of one `transform_into` per row. Element-wise,
+        // so bitwise identical to the row loop; the bookkeeping lanes pass
+        // through untouched.
+        let ScaledPolicy { inner, scaler, zobs, .. } = self;
+        if let Err(e) = scaler.transform_frame(frame.features(), zobs.features_mut()) {
+            absorbed.clear();
+            absorbed.resize(frame.n_rows(), false);
+            return Err(e);
+        }
+        zobs.copy_lanes_from(frame);
+        inner.observe_frame(zobs, absorbed)
     }
 
     fn warm_start(&mut self, arm: usize, x: &[f64], runtime: f64) -> Result<()> {

@@ -13,7 +13,9 @@ use banditware_core::drift::DiscountedArm;
 use banditware_core::linucb::LinUcb;
 use banditware_core::scaler::ScaledPolicy;
 use banditware_core::thompson::LinThompson;
-use banditware_core::{ArmSpec, BanditConfig, DecayingEpsilonGreedy, FeatureFrame, Policy};
+use banditware_core::{
+    ArmSpec, BanditConfig, DecayingEpsilonGreedy, FeatureFrame, ObservationFrame, Policy,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -355,6 +357,83 @@ fn batched_select_path_is_allocation_free() {
     assert_eq!(n, 0, "scaled frame path allocated {n} times in 100 warm bursts");
 }
 
+/// The PR-8 columnar record pin: staging a burst into a reused
+/// [`ObservationFrame`] and absorbing it through `observe_frame` — the
+/// per-arm counting sort, the feature-major block gather, the rank-k Gram
+/// fold (`push_block` + live-factor cholupdates), and the scaled wrapper's
+/// column transform — performs zero heap allocations once warm. The select
+/// path got this pin in PR 7; the record path never had one.
+fn batched_record_path_is_allocation_free() {
+    const M: usize = 16;
+    const B: usize = 32;
+    let mut xs: Vec<Vec<f64>> = (0..B).map(|_| vec![0.0; M]).collect();
+    let mut obs = ObservationFrame::new();
+    let mut absorbed: Vec<bool> = Vec::new();
+
+    let fill_batch = |xs: &mut [Vec<f64>], round: usize| {
+        for (i, x) in xs.iter_mut().enumerate() {
+            fill_context(x, round * B + i);
+        }
+    };
+    // Stage the round's burst: deterministic arms across `n_arms`,
+    // strictly positive runtimes (the rank-k fast path).
+    let stage = |obs: &mut ObservationFrame, xs: &[Vec<f64>], round: usize, n_arms: usize| {
+        obs.begin(B, M);
+        for (i, x) in xs.iter().enumerate() {
+            let arm = (round * B + i) % n_arms;
+            let rt = 10.0 + ((round + i) % 17) as f64;
+            obs.set_row(i, arm, x, rt, false).unwrap();
+        }
+    };
+
+    // --- ε-greedy grouped rank-k absorption (the serving default). ---
+    let mut policy = DecayingEpsilonGreedy::<RecursiveArm>::new(
+        ArmSpec::unit_costs(5),
+        M,
+        BanditConfig::paper().with_epsilon0(0.1).with_seed(11),
+    )
+    .unwrap();
+    for round in 0..50 {
+        fill_batch(&mut xs, round);
+        policy.observe(round % 5, &xs[0], 10.0 + (round % 17) as f64).unwrap();
+    }
+    // Warm the group/block scratches (and every arm's live factor) once.
+    fill_batch(&mut xs, 50);
+    stage(&mut obs, &xs, 50, 5);
+    policy.observe_frame(&obs, &mut absorbed).unwrap();
+    let n = count_allocs(100, |round| {
+        fill_batch(&mut xs, 51 + round);
+        stage(&mut obs, &xs, 51 + round, 5);
+        policy.observe_frame(&obs, &mut absorbed).unwrap();
+    });
+    assert_eq!(n, 0, "ε-greedy observe_frame allocated {n} times in 100 warm bursts");
+
+    // --- Scaled ε-greedy: the column transform + lane copy must reuse the
+    // wrapper's staging frame. ---
+    let mut policy = ScaledPolicy::new(
+        DecayingEpsilonGreedy::<RecursiveArm>::new(
+            ArmSpec::unit_costs(4),
+            M,
+            BanditConfig::paper().with_epsilon0(0.1).with_seed(12),
+        )
+        .unwrap(),
+    );
+    for round in 0..50 {
+        fill_batch(&mut xs, round);
+        let sel = policy.select(&xs[0]).unwrap();
+        policy.observe(sel.arm, &xs[0], 10.0 + (round % 11) as f64).unwrap();
+    }
+    fill_batch(&mut xs, 50);
+    stage(&mut obs, &xs, 50, 4);
+    policy.observe_frame(&obs, &mut absorbed).unwrap();
+    let n = count_allocs(100, |round| {
+        fill_batch(&mut xs, 51 + round);
+        stage(&mut obs, &xs, 51 + round, 4);
+        policy.observe_frame(&obs, &mut absorbed).unwrap();
+    });
+    assert_eq!(n, 0, "scaled observe_frame allocated {n} times in 100 warm bursts");
+}
+
 fn main() {
     for (name, section) in [
         (
@@ -363,6 +442,7 @@ fn main() {
         ),
         ("read_path_is_allocation_free", read_path_is_allocation_free),
         ("batched_select_path_is_allocation_free", batched_select_path_is_allocation_free),
+        ("batched_record_path_is_allocation_free", batched_record_path_is_allocation_free),
     ] {
         section();
         println!("alloc_free: {name} ... ok");

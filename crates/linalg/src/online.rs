@@ -277,6 +277,192 @@ impl NormalEquations {
         Ok(())
     }
 
+    /// Absorb a columnar block of `k` observations in one rank-k Gram fold:
+    /// `ZᵀZ += BᵀB` (upper triangle only), `Zᵀy += Bᵀy`, `Σy²`, and the
+    /// count, where `B` is the augmented `k × dim` design block. `xcols` is
+    /// **feature-major** (column-striding): feature `f` occupies
+    /// `xcols[f·k .. (f+1)·k]`, one value per row in row order — exactly the
+    /// layout a struct-of-arrays frame hands over without a transpose.
+    ///
+    /// **Bitwise contract:** for every Gram entry `(i, j)`, the moment
+    /// vector, and `Σy²`, rows are accumulated sequentially in row order
+    /// with the same per-row float ops `push` performs — so the resulting
+    /// statistics are bit-for-bit identical to `k` sequential
+    /// [`NormalEquations::push`] calls (same trick the `vector` block
+    /// kernels pin in `proptest_kernels.rs`). Vectorization happens *across*
+    /// four adjacent Gram columns (independent accumulators), never across
+    /// rows of one entry. The live LDLᵀ factor is refreshed by the same
+    /// per-row `cholupdate` sweep `push` runs — a fold-then-refactor variant
+    /// (invalidate the factor, one O(m³) re-factorization at the next solve)
+    /// was measured at m=64 (`BENCH_PR8.json`): one re-factorization ≈ 34 µs
+    /// vs ≈ 1.2 µs per cholupdate, so refactoring would win raw time for
+    /// k ≳ 28 — but its factor differs from the row path's in the low bits
+    /// (a fresh decomposition is not the same arithmetic as k incremental
+    /// rank-1 updates), which breaks the bitwise-identity contract, and at
+    /// serving burst sizes (k ≤ 64, usually far less) the cholupdate sweep
+    /// also wins every k < ~28 case. The per-row sweep stays.
+    ///
+    /// Returns the number of rows fully absorbed. This is `k` unless a
+    /// cholupdate fails on some row `r` (not reachable for `+zzᵀ` with the
+    /// current pivot floor, but handled exactly like `push`): the factor is
+    /// invalidated, statistics for rows `0..=r` are folded (matching the
+    /// sequential path, where row `r`'s statistics land before its factor
+    /// update fails), and `r + 1` is returned — the caller re-solves (which
+    /// re-factorizes, exactly as the row path would at row `r`) and pushes
+    /// the remaining rows one at a time.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `xcols.len() != n_features·k`
+    /// (the accumulator is untouched in that case).
+    pub fn push_block(&mut self, xcols: &[f64], ys: &[f64]) -> Result<usize> {
+        let k = ys.len();
+        let nf = self.dim - 1;
+        if xcols.len() != nf * k {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "push_block: {} column values for {} rows of {} features",
+                xcols.len(),
+                k,
+                nf
+            )));
+        }
+        if k == 0 {
+            return Ok(0);
+        }
+        // Phase 1 — factor maintenance, per row (see the bitwise contract
+        // above). Runs before the statistics fold, which is safe: the factor
+        // state depends only on the row vectors and prior factor state, the
+        // statistics only on the rows and prior statistics, so the two
+        // interleaved-per-row phases commute bit-for-bit.
+        let mut rows = k;
+        if self.factor.is_some() {
+            for r in 0..k {
+                self.aug[0] = 1.0;
+                for (f, dst) in self.aug[1..].iter_mut().enumerate() {
+                    *dst = xcols[f * k + r];
+                }
+                let fac = self.factor.as_mut().expect("live until a failed update breaks");
+                if fac.chol.update(&self.aug).is_err() {
+                    self.factor = None;
+                    rows = r + 1;
+                    break;
+                }
+            }
+        }
+        // Phase 2 — fold statistics for rows 0..rows.
+        self.fold_stats_block(xcols, ys, k, rows);
+        Ok(rows)
+    }
+
+    /// The statistics half of [`NormalEquations::push_block`]: fold the
+    /// first `rows` of a `k`-row feature-major block into `ZᵀZ` (upper
+    /// triangle), `Zᵀy`, `Σy²`, and the count, preserving `push`'s per-entry
+    /// accumulation order bit for bit.
+    fn fold_stats_block(&mut self, xcols: &[f64], ys: &[f64], k: usize, rows: usize) {
+        let dim = self.dim;
+        let data = self.ztz.as_mut_slice();
+        // Gram row 0 — the implicit all-ones intercept column z₀ ≡ 1.
+        // Entry (0,0) takes one `+= 1.0·1.0` per row; entry (0,j) takes
+        // `+= 1.0·zⱼ`, and `1.0·x` is bitwise `x` under IEEE-754, so the
+        // fold adds the column values directly.
+        {
+            let row0 = &mut data[..dim];
+            let mut d = row0[0];
+            for _ in 0..rows {
+                d += 1.0;
+            }
+            row0[0] = d;
+            let mut j = 1;
+            while j + 4 <= dim {
+                let c0 = &xcols[(j - 1) * k..(j - 1) * k + rows];
+                let c1 = &xcols[j * k..j * k + rows];
+                let c2 = &xcols[(j + 1) * k..(j + 1) * k + rows];
+                let c3 = &xcols[(j + 2) * k..(j + 2) * k + rows];
+                let (mut a0, mut a1, mut a2, mut a3) =
+                    (row0[j], row0[j + 1], row0[j + 2], row0[j + 3]);
+                for r in 0..rows {
+                    a0 += c0[r];
+                    a1 += c1[r];
+                    a2 += c2[r];
+                    a3 += c3[r];
+                }
+                row0[j] = a0;
+                row0[j + 1] = a1;
+                row0[j + 2] = a2;
+                row0[j + 3] = a3;
+                j += 4;
+            }
+            while j < dim {
+                let c = &xcols[(j - 1) * k..(j - 1) * k + rows];
+                let mut a = row0[j];
+                for r in 0..rows {
+                    a += c[r];
+                }
+                row0[j] = a;
+                j += 1;
+            }
+        }
+        // Gram rows i ≥ 1: entry (i, j) accumulates `zᵢ·zⱼ` over rows in
+        // row order, vectorized across four adjacent j entries (independent
+        // accumulators — each entry's own sum stays strictly sequential).
+        for i in 1..dim {
+            let zi = &xcols[(i - 1) * k..(i - 1) * k + rows];
+            let row = &mut data[i * dim..(i + 1) * dim];
+            let mut j = i;
+            while j + 4 <= dim {
+                let c0 = &xcols[(j - 1) * k..(j - 1) * k + rows];
+                let c1 = &xcols[j * k..j * k + rows];
+                let c2 = &xcols[(j + 1) * k..(j + 1) * k + rows];
+                let c3 = &xcols[(j + 2) * k..(j + 2) * k + rows];
+                let (mut a0, mut a1, mut a2, mut a3) = (row[j], row[j + 1], row[j + 2], row[j + 3]);
+                for r in 0..rows {
+                    let z = zi[r];
+                    a0 += z * c0[r];
+                    a1 += z * c1[r];
+                    a2 += z * c2[r];
+                    a3 += z * c3[r];
+                }
+                row[j] = a0;
+                row[j + 1] = a1;
+                row[j + 2] = a2;
+                row[j + 3] = a3;
+                j += 4;
+            }
+            while j < dim {
+                let c = &xcols[(j - 1) * k..(j - 1) * k + rows];
+                let mut a = row[j];
+                for r in 0..rows {
+                    a += zi[r] * c[r];
+                }
+                row[j] = a;
+                j += 1;
+            }
+        }
+        // Moment vector: `push` runs `axpy(y, z, zty)`, i.e. `zty[i] += y·zᵢ`
+        // per row — same operand order here. Entry 0 sees `y·1.0`, bitwise
+        // `y`.
+        {
+            let mut d = self.zty[0];
+            for r in 0..rows {
+                d += ys[r];
+            }
+            self.zty[0] = d;
+        }
+        for i in 1..dim {
+            let zi = &xcols[(i - 1) * k..(i - 1) * k + rows];
+            let mut a = self.zty[i];
+            for r in 0..rows {
+                a += ys[r] * zi[r];
+            }
+            self.zty[i] = a;
+        }
+        let mut yy = self.yty;
+        for r in 0..rows {
+            yy += ys[r] * ys[r];
+        }
+        self.yty = yy;
+        self.n += rows;
+    }
+
     /// Remove one previously absorbed `(x, y)` observation — the
     /// sliding-window forgetting primitive. Statistics are subtracted and
     /// the live factor is rank-1 **downdated** in O(m²); if the downdate
@@ -887,6 +1073,55 @@ mod tests {
         let mut acc = NormalEquations::new(2);
         assert!(acc.push(&[1.0], 1.0).is_err());
         assert_eq!(acc.n_features(), 2);
+    }
+
+    /// Transpose rows into the feature-major column block `push_block`
+    /// expects.
+    fn to_cols(data: &[(Vec<f64>, f64)], nf: usize) -> (Vec<f64>, Vec<f64>) {
+        let k = data.len();
+        let mut cols = vec![0.0; nf * k];
+        let mut ys = Vec::with_capacity(k);
+        for (r, (x, y)) in data.iter().enumerate() {
+            for (f, &v) in x.iter().enumerate() {
+                cols[f * k + r] = v;
+            }
+            ys.push(*y);
+        }
+        (cols, ys)
+    }
+
+    #[test]
+    fn push_block_bitwise_matches_sequential_pushes() {
+        let data = sample_data();
+        let (cols, ys) = to_cols(&data, 2);
+
+        // Cold accumulator (no live factor).
+        let mut blk = NormalEquations::new(2);
+        assert_eq!(blk.push_block(&cols, &ys).unwrap(), data.len());
+        let mut seq = NormalEquations::new(2);
+        for (x, y) in &data {
+            seq.push(x, *y).unwrap();
+        }
+        assert_eq!(blk.to_state(), seq.to_state());
+
+        // Warm accumulator with a live factor: the per-row cholupdate sweep
+        // must leave the factor bitwise where k sequential pushes would.
+        let mut scratch = SolveScratch::new();
+        let mut out = LinearFit::zeros(2);
+        blk.solve_into(0.25, &mut scratch, &mut out).unwrap();
+        seq.solve_into(0.25, &mut scratch, &mut out).unwrap();
+        assert!(blk.factor_is_live(0.25));
+        assert_eq!(blk.push_block(&cols, &ys).unwrap(), data.len());
+        for (x, y) in &data {
+            seq.push(x, *y).unwrap();
+        }
+        assert_eq!(blk.to_state(), seq.to_state());
+
+        // Empty block is a no-op; a wrong-size block is rejected untouched.
+        let before = blk.to_state();
+        assert_eq!(blk.push_block(&[], &[]).unwrap(), 0);
+        assert!(blk.push_block(&cols[..3], &ys).is_err());
+        assert_eq!(blk.to_state(), before);
     }
 
     #[test]

@@ -430,28 +430,33 @@ fn process_batch(
                     }
                 }
             }
-            Group::Record { key, ids, outcomes } => match engine.record_batch(&key, &outcomes) {
-                Ok(()) => {
-                    for id in ids {
-                        push(id, &Response::RecordOk, tx);
+            Group::Record { key, ids, outcomes } => {
+                // Columnar frame absorption for the coalesced burst (one
+                // WAL group commit, per-arm rank-k folds); bitwise
+                // identical to per-request recording.
+                match engine.record_batch_frame(&key, &outcomes) {
+                    Ok(()) => {
+                        for id in ids {
+                            push(id, &Response::RecordOk, tx);
+                        }
                     }
-                }
-                Err(_) => {
-                    for (id, (ticket, runtime)) in ids.iter().zip(&outcomes) {
-                        match engine.record(&key, *ticket, *runtime) {
-                            Ok(()) => push(*id, &Response::RecordOk, tx),
-                            Err(e) => push(
-                                *id,
-                                &Response::Error {
-                                    code: ErrorCode::Engine,
-                                    message: e.to_string(),
-                                },
-                                tx,
-                            ),
+                    Err(_) => {
+                        for (id, (ticket, runtime)) in ids.iter().zip(&outcomes) {
+                            match engine.record(&key, *ticket, *runtime) {
+                                Ok(()) => push(*id, &Response::RecordOk, tx),
+                                Err(e) => push(
+                                    *id,
+                                    &Response::Error {
+                                        code: ErrorCode::Engine,
+                                        message: e.to_string(),
+                                    },
+                                    tx,
+                                ),
+                            }
                         }
                     }
                 }
-            },
+            }
         }
     }
 

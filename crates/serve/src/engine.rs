@@ -247,6 +247,24 @@ impl Engine {
             .ok_or(CoreError::UnknownTicket { ticket: first.id() })?
     }
 
+    /// [`Engine::record_batch`] through the columnar observe path: the
+    /// shard stages the burst into its reused
+    /// [`banditware_core::ObservationFrame`] and absorbs it in one policy
+    /// frame pass (per-arm grouped rank-k folds
+    /// for the linear families), bitwise identical to recording the rounds
+    /// one at a time — see [`BanditWare::record_batch_frame`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownTicket`] / [`CoreError::InvalidRuntime`]; policy
+    /// validation otherwise.
+    pub fn record_batch_frame(&self, key: &str, outcomes: &[(Ticket, f64)]) -> Result<()> {
+        let Some(&(first, _)) = outcomes.first() else {
+            return Ok(());
+        };
+        self.with_existing_shard_mut(key, |shard| shard.record_batch_frame(outcomes))
+            .ok_or(CoreError::UnknownTicket { ticket: first.id() })?
+    }
+
     /// Abandon an in-flight round of `key`. Returns whether a round was
     /// actually dropped.
     pub fn drop_ticket(&self, key: &str, ticket: Ticket) -> bool {

@@ -1220,63 +1220,57 @@ impl DurableEngine {
     /// validation and [`CoreError::Io`] otherwise (all via
     /// [`ServeError::Core`]); [`ServeError::LockPoisoned`].
     pub fn record_batch(&self, key: &str, outcomes: &[(Ticket, f64)]) -> ServeResult<()> {
+        self.record_batch_frame(key, outcomes)
+    }
+
+    /// [`DurableEngine::record_batch`] through the columnar observe path:
+    /// one atomic validation pass, one policy frame absorption
+    /// ([`banditware_core::BanditWare::record_batch_frame_logged`] — per-arm
+    /// grouped rank-k folds for the linear families), and still **one** WAL
+    /// append + flush for the whole group. The logged callback builds the
+    /// group-commit buffer in the same shard-lock critical section as the
+    /// in-memory apply, one line per absorbed round in frame row order, so
+    /// the log bytes are identical to recording the rounds one at a time.
+    ///
+    /// # Errors
+    /// As [`DurableEngine::record_batch`].
+    pub fn record_batch_frame(&self, key: &str, outcomes: &[(Ticket, f64)]) -> ServeResult<()> {
         let Some(&(first, _)) = outcomes.first() else {
             return Ok(());
         };
         self.engine
             .with_existing_shard_mut(key, |shard| -> ServeResult<()> {
-                // Atomic request validation, mirroring the core facade.
-                let mut seen = std::collections::HashSet::with_capacity(outcomes.len());
-                for &(ticket, runtime) in outcomes {
-                    if shard.in_flight_round(ticket).is_none() {
-                        return Err(CoreError::UnknownTicket { ticket: ticket.id() }.into());
-                    }
-                    if !seen.insert(ticket.id()) {
-                        return Err(ServeError::Core(CoreError::InvalidParameter {
-                            name: "outcomes",
-                            detail: format!("ticket {} listed twice in one batch", ticket.id()),
-                        }));
-                    }
-                    if !runtime.is_finite() || runtime <= 0.0 {
-                        return Err(CoreError::InvalidRuntime(runtime).into());
-                    }
-                }
-                // Validation passed: now it is safe to materialize the
-                // key's WAL state on disk. Acquire (healing if poisoned)
-                // the appender before absorbing anything — a lock failure
-                // must not leave absorbed rounds missing from the log.
+                // Atomic request validation first (the core facade's own
+                // check, allocation-free): a malformed request must not
+                // materialize WAL state for the key on disk.
+                shard.validate_record_batch(outcomes)?;
+                // Acquire (healing if poisoned) the appender before
+                // absorbing anything — a lock failure must not leave
+                // absorbed rounds missing from the log.
                 let wal = self.key_wal(key)?;
                 let mut appender = Self::lock_wal(&wal)?;
-                // Absorb round by round, building the group-commit buffer;
-                // flush whatever was absorbed even on a mid-batch policy
-                // failure, so the log never lags the in-memory state.
+                // One frame absorption, building the group-commit buffer
+                // from the logged callback; flush whatever was absorbed
+                // even on a mid-batch policy failure, so the log never
+                // lags the in-memory state.
                 let mut group = String::new();
                 let mut n_records = 0u64;
-                let mut failure = None;
-                for &(ticket, runtime) in outcomes {
-                    let round = shard.in_flight_round(ticket).expect("validated above").clone();
-                    if let Err(e) = shard.record_ticket(ticket, runtime) {
-                        failure = Some(e);
-                        break;
-                    }
-                    let seq = shard.rounds() - 1;
-                    group.push_str(&format_wal_line(
-                        seq,
-                        ticket,
-                        round.arm,
-                        round.explored,
-                        runtime,
-                        &round.features,
-                    ));
-                    n_records += 1;
-                }
+                let result =
+                    shard.record_batch_frame_logged(outcomes, |seq, ticket, round, runtime| {
+                        group.push_str(&format_wal_line(
+                            seq,
+                            ticket,
+                            round.arm,
+                            round.explored,
+                            runtime,
+                            &round.features,
+                        ));
+                        n_records += 1;
+                    });
                 if !group.is_empty() {
                     appender.append(&group, n_records)?;
                 }
-                match failure {
-                    Some(e) => Err(e.into()),
-                    None => Ok(()),
-                }
+                result.map_err(Into::into)
             })
             .ok_or(ServeError::Core(CoreError::UnknownTicket { ticket: first.id() }))?
     }
