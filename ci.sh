@@ -33,9 +33,10 @@ cargo run --release --example concurrent_serving >/dev/null
 
 # The network acceptance gate: a TCP client stream (sync, pipelined, and a
 # checkpoint fetch, all on a loopback port-0 bind) must be bitwise
-# identical to an identically-seeded in-process engine (the example
-# asserts it).
-echo "==> network serving run (framed TCP front-end -> bitwise equivalence gate)"
+# identical to an identically-seeded in-process engine, in both server
+# modes — thread-per-connection and the epoll reactor (the example asserts
+# it).
+echo "==> network serving run (framed TCP front-end, both modes -> bitwise equivalence gate)"
 cargo run --release --example network_serving >/dev/null
 
 echo "==> cargo build --benches --release (criterion benches compile)"
@@ -45,12 +46,12 @@ echo "==> bench_serve (batched vs per-call throughput, tracked number)"
 cargo bench -p banditware-bench --bench bench_serve
 
 # The perf trajectory writes to target/ (untracked) so a CI run never
-# dirties the committed BENCH_PR{3,4,5,6,7,8}.json snapshots with
-# machine-local timing noise; refresh them deliberately when the hot path,
-# the recovery path, the replication path, or the network path changes:
+# dirties the committed BENCH_PR{3..9}.json snapshots with machine-local
+# timing noise; refresh them deliberately when the hot path, the recovery
+# path, the replication path, or the network path changes:
 #   cargo run --release -p banditware-bench --bin perf_baseline \
 #       BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json \
-#       BENCH_PR7.json BENCH_PR8.json
+#       BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
 # The run also enforces the PR-4 acceptance gate (v3 snapshot-restore time
 # at n=100k history must stay within 2x of n=1k — recovery independent of
 # history length), the PR-5 gate (follower staleness after a no-seal ship
@@ -58,13 +59,16 @@ cargo bench -p banditware-bench --bench bench_serve
 # PR-6 gate (the TCP front-end sustains >= 50k rounds/sec at 8 loopback
 # connections), the PR-7 gates (record_m64 at least 1.3x faster than
 # the PR-3 committed median, and the columnar engine round no slower than
-# the row round), and the PR-8 gates (the frame record path never slower
+# the row round), the PR-8 gates (the frame record path never slower
 # than the per-ticket row path at batch 64, record_m64 still >= 1.3x the
-# PR-3 committed median).
-echo "==> perf trajectory (record/select/engine + kernels + recovery + catch-up + net round-trip -> target/BENCH_PR{3,4,5,6,7,8}.json)"
+# PR-3 committed median), and the PR-9 gates (the epoll reactor matches
+# thread-per-connection fan-out throughput at 8 connections and doubles it
+# at 256, a 1024-connection run is served to completion, and the staged
+# rank-64 Gram fold is no slower than sequential pushes).
+echo "==> perf trajectory (record/select/engine + kernels + recovery + catch-up + net round-trip + reactor fan-out -> target/BENCH_PR{3..9}.json)"
 cargo run --release -p banditware-bench --bin perf_baseline \
     target/BENCH_PR3.json target/BENCH_PR4.json target/BENCH_PR5.json target/BENCH_PR6.json \
-    target/BENCH_PR7.json target/BENCH_PR8.json
+    target/BENCH_PR7.json target/BENCH_PR8.json target/BENCH_PR9.json
 
 echo "==> crash-recovery smoke run (WAL + v3 snapshot example)"
 cargo run --release --example crash_recovery >/dev/null

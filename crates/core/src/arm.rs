@@ -112,6 +112,28 @@ pub trait ArmEstimator: Send + Sync + std::fmt::Debug {
         Ok(())
     }
 
+    /// [`ArmEstimator::absorb_block`] with an additional caller-staged
+    /// **row-major** copy of the same block (`xrows[r·nf .. (r+1)·nf]` is
+    /// row `r`). Estimators whose per-row kernels walk whole rows — the
+    /// recursive arm's cholupdate sweep — read the contiguous staging
+    /// instead of a stride-`k` gather; everything else ignores `xrows`.
+    /// Same values, same arithmetic: the bitwise contract of
+    /// `absorb_block` is unchanged.
+    ///
+    /// # Errors
+    /// As [`ArmEstimator::absorb_block`].
+    fn absorb_block_staged(
+        &mut self,
+        xcols: &[f64],
+        xrows: &[f64],
+        ys: &[f64],
+        absorbed: &mut usize,
+    ) -> Result<()> {
+        debug_assert_eq!(xrows.len(), xcols.len());
+        let _ = xrows;
+        self.absorb_block(xcols, ys, absorbed)
+    }
+
     /// Current fitted coefficients.
     fn fit(&self) -> LinearFit;
 
@@ -403,6 +425,49 @@ impl ArmEstimator for RecursiveArm {
         Ok(())
     }
 
+    fn absorb_block_staged(
+        &mut self,
+        xcols: &[f64],
+        xrows: &[f64],
+        ys: &[f64],
+        absorbed: &mut usize,
+    ) -> Result<()> {
+        // Same structure as `absorb_block` above, but every per-row access
+        // — the cholupdate sweep inside `push_block_staged`, the cold
+        // path, the post-failure remainder — reads the contiguous row
+        // staging instead of gathering at stride k. Identical values in
+        // identical order, so the bitwise contract carries over.
+        *absorbed = 0;
+        let k = ys.len();
+        let nf = self.acc.n_features();
+        if xcols.len() != nf * k || xrows.len() != nf * k {
+            return Err(CoreError::FeatureDimMismatch {
+                got: if k == 0 { xcols.len() } else { xcols.len() / k },
+                expected: nf,
+            });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        let fast =
+            self.acc.factor_is_live(self.ridge) && ys.iter().all(|&y| y.is_finite() && y > 0.0);
+        if !fast {
+            for (r, &y) in ys.iter().enumerate() {
+                self.update(&xrows[r * nf..(r + 1) * nf], y)?;
+                *absorbed = r + 1;
+            }
+            return Ok(());
+        }
+        let folded = self.acc.push_block_staged(xcols, xrows, ys)?;
+        *absorbed = folded;
+        self.acc.solve_into(self.ridge, &mut self.scratch, &mut self.current)?;
+        for r in folded..k {
+            self.update(&xrows[r * nf..(r + 1) * nf], ys[r])?;
+            *absorbed = r + 1;
+        }
+        Ok(())
+    }
+
     fn fit(&self) -> LinearFit {
         self.current.clone()
     }
@@ -538,6 +603,16 @@ impl ArmEstimator for Box<dyn ArmEstimator> {
 
     fn absorb_block(&mut self, xcols: &[f64], ys: &[f64], absorbed: &mut usize) -> Result<()> {
         self.as_mut().absorb_block(xcols, ys, absorbed)
+    }
+
+    fn absorb_block_staged(
+        &mut self,
+        xcols: &[f64],
+        xrows: &[f64],
+        ys: &[f64],
+        absorbed: &mut usize,
+    ) -> Result<()> {
+        self.as_mut().absorb_block_staged(xcols, xrows, ys, absorbed)
     }
 
     fn fit(&self) -> LinearFit {

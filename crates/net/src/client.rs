@@ -15,7 +15,7 @@
 
 use crate::error::{NetError, NetResult};
 use crate::frame::{encode_frame, read_frame};
-use crate::protocol::{decode_response, encode_request, Request, Response};
+use crate::protocol::{decode_response, encode_request, Request, Response, UNKNOWN_REQUEST_ID};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -128,6 +128,15 @@ impl NetClient {
             let decoded = read.and_then(|()| decode_response(&payload));
             self.payload = payload;
             let (got, resp) = decoded?;
+            // An error frame carrying the unknown request ID is addressed
+            // to the connection, not to any one request (e.g. a `Busy`
+            // reject at the accept ceiling): surface it to whoever is
+            // waiting instead of stashing it under an ID nobody owns.
+            if got == UNKNOWN_REQUEST_ID {
+                if let Response::Error { code, message } = resp {
+                    return Err(NetError::Remote { code, message });
+                }
+            }
             self.stash.insert(got, resp);
         }
     }

@@ -24,6 +24,11 @@ pub enum ErrorCode {
     /// [`crate::frame::MAX_PAYLOAD`]; the connection closes after this
     /// response because the stream cannot be resynchronized.
     Oversized = 4,
+    /// The server is at its configured connection capacity
+    /// ([`crate::ServerConfig::max_connections`]); the connection closes
+    /// after this response. Sent with the unknown request ID — it rejects
+    /// the connection, not any one request.
+    Busy = 5,
 }
 
 impl ErrorCode {
@@ -34,6 +39,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::Engine),
             3 => Some(ErrorCode::Unsupported),
             4 => Some(ErrorCode::Oversized),
+            5 => Some(ErrorCode::Busy),
             _ => None,
         }
     }
@@ -46,6 +52,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Engine => write!(f, "engine"),
             ErrorCode::Unsupported => write!(f, "unsupported"),
             ErrorCode::Oversized => write!(f, "oversized"),
+            ErrorCode::Busy => write!(f, "busy"),
         }
     }
 }

@@ -11,10 +11,11 @@
 //! path uses.
 //!
 //! ```text
-//!  client                    server (thread per connection)
-//!  ───────                   ──────────────────────────────
+//!  client                    server (thread-per-conn or epoll reactor)
+//!  ───────                   ─────────────────────────────────────────
 //!  [len|payload|crc] ───────▶ accumulate → parse frames
 //!  [len|payload|crc] ───────▶ coalesce per (key, op) within the window
+//!                             (the reactor coalesces ACROSS connections)
 //!                             └─▶ Engine::recommend_batch / record_batch
 //!  ◀─────── [len|payload|crc] one write for the whole batch,
 //!                             responses matched by request ID
@@ -24,7 +25,8 @@
 //!   with the serve crate's WAL).
 //! * [`protocol`] — opcodes, request/response bodies, bounds-checked
 //!   decoding.
-//! * [`server`] — [`NetServer`]: acceptor + per-connection batching loop.
+//! * [`server`] — [`NetServer`]: acceptor + the shared batching core, in
+//!   either [`ServerMode`] (thread-per-connection or epoll reactor).
 //! * [`client`] — [`NetClient`]: sync calls and explicit pipelining.
 //!
 //! `std::net` only — consistent with the workspace's zero-registry-deps
@@ -34,12 +36,15 @@
 #![deny(unsafe_code)]
 
 pub mod client;
+pub(crate) mod conn;
 pub mod error;
 pub mod frame;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
+pub(crate) mod sys_epoll;
 
 pub use client::{NetClient, RemoteRecommendation};
 pub use error::{ErrorCode, NetError, NetResult};
 pub use protocol::{Request, Response};
-pub use server::{NetServer, ServerConfig};
+pub use server::{NetServer, ServerConfig, ServerMode};

@@ -1,18 +1,27 @@
-//! The TCP front-end: a thread-per-connection acceptor over a shared
-//! [`Engine`].
+//! The TCP front-end over a shared [`Engine`], in one of two modes.
+//!
+//! ## Serving modes
+//!
+//! [`ServerMode::ThreadPerConn`] (the default) dedicates one blocking
+//! thread to each connection — simple, fair, and fast up to the low
+//! hundreds of connections. [`ServerMode::Reactor`] runs a small fixed pool
+//! of epoll event loops ([`crate::reactor`]) with nonblocking sockets:
+//! connection count stops costing threads, and each reactor wake coalesces
+//! requests **across every ready connection**, so batch efficiency grows
+//! with concurrency instead of being capped per socket. Byte-level protocol
+//! behavior is identical in both modes; they share the batching core below.
 //!
 //! ## Batching at the socket boundary
 //!
-//! Each connection handler drains its socket into an accumulation buffer
-//! and parses out every complete frame. Requests parsed in one pass — plus
-//! whatever else arrives within the configured accumulation window — are
-//! **coalesced per tenant key** and fed to [`Engine::recommend_batch`] /
-//! [`Engine::record_batch`], so a pipelined burst of n rounds costs one
-//! shard-lock acquisition and one response syscall instead of n of each.
-//! Coalescing preserves per-key operation order (a key's recommends and
-//! records never reorder relative to each other) but completes whole groups
-//! at a time, so responses legitimately return out of order across keys —
-//! which is why the protocol carries request IDs.
+//! Requests parsed in one readiness pass — plus whatever else arrives
+//! within the configured accumulation window — are **coalesced per tenant
+//! key** and fed to [`Engine::recommend_batch_frame`] /
+//! [`Engine::record_batch_frame`], so a burst of n rounds costs one
+//! shard-lock acquisition and one response syscall per connection instead
+//! of n of each. Coalescing preserves per-key operation order (a key's
+//! recommends and records never reorder relative to each other) but
+//! completes whole groups at a time, so responses legitimately return out
+//! of order across keys — which is why the protocol carries request IDs.
 //!
 //! ## Damage policy
 //!
@@ -26,39 +35,83 @@
 //!   the connection closes — with the length field untrusted there is no
 //!   next boundary to resynchronize to.
 //! * Torn frame at EOF / peer reset: the connection closes quietly.
+//! * Accept past [`ServerConfig::max_connections`]: typed
+//!   [`ErrorCode::Busy`] response, then the new connection closes;
+//!   established connections are unaffected.
 //!
-//! The handler never panics on input bytes; every decode is bounds-checked.
+//! The handlers never panic on input bytes; every decode is bounds-checked.
 
 use crate::error::{ErrorCode, NetError, NetResult};
 use crate::frame::{encode_frame, parse_frame, FrameEvent};
 use crate::protocol::{decode_request, encode_response, Request, Response, UNKNOWN_REQUEST_ID};
+use crate::reactor::{self, ReactorHandle};
 use banditware_core::{CoreError, FeatureFrame, Ticket};
 use banditware_serve::Engine;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How often a blocked connection read wakes up to check the shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
+/// How often a blocked connection read (or an idle reactor) wakes up to
+/// check the shutdown flag.
+pub(crate) const POLL: Duration = Duration::from_millis(25);
+
+/// Which serving architecture handles accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One blocking thread per connection (the default; best for up to the
+    /// low hundreds of connections).
+    #[default]
+    ThreadPerConn,
+    /// A fixed pool of epoll event-loop threads with nonblocking sockets
+    /// and cross-connection request coalescing (best at high connection
+    /// counts).
+    Reactor,
+}
+
+impl std::str::FromStr for ServerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "thread" | "thread-per-conn" => Ok(ServerMode::ThreadPerConn),
+            "reactor" | "epoll" => Ok(ServerMode::Reactor),
+            other => Err(format!("unknown server mode {other:?} (expected thread|reactor)")),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// How long a connection keeps accumulating frames after the first one
-    /// of a batch before processing (`Duration::ZERO` — the default —
-    /// processes whatever each socket read delivered: pipelined bursts
-    /// still coalesce naturally, and single sync requests see no added
-    /// latency).
+    /// How long a batch keeps accumulating frames after the first one
+    /// before processing (`Duration::ZERO` — the default — processes
+    /// whatever each readiness pass delivered: pipelined bursts still
+    /// coalesce naturally, and single sync requests see no added latency).
     pub batch_window: Duration,
+    /// Serving architecture (see [`ServerMode`]).
+    pub mode: ServerMode,
+    /// Event-loop threads in [`ServerMode::Reactor`]; `0` (the default)
+    /// resolves to `min(available cores, 4)`. Ignored by
+    /// [`ServerMode::ThreadPerConn`].
+    pub reactor_threads: usize,
+    /// Accept ceiling: a connection arriving while this many are
+    /// established gets a typed [`ErrorCode::Busy`] frame and a graceful
+    /// close instead of service. `usize::MAX` (the default) never rejects.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { batch_window: Duration::ZERO }
+        ServerConfig {
+            batch_window: Duration::ZERO,
+            mode: ServerMode::default(),
+            reactor_threads: 0,
+            max_connections: usize::MAX,
+        }
     }
 }
 
@@ -69,16 +122,46 @@ impl ServerConfig {
         self.batch_window = window;
         self
     }
+
+    /// Builder-style serving mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ServerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style reactor thread count (`0` = auto).
+    #[must_use]
+    pub fn with_reactor_threads(mut self, threads: usize) -> Self {
+        self.reactor_threads = threads;
+        self
+    }
+
+    /// Builder-style connection ceiling.
+    #[must_use]
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max;
+        self
+    }
+
+    /// The reactor pool size this configuration resolves to.
+    pub fn resolved_reactor_threads(&self) -> usize {
+        if self.reactor_threads > 0 {
+            return self.reactor_threads;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+    }
 }
 
 /// A running TCP server. Dropping it (or calling [`NetServer::shutdown`])
-/// stops the acceptor and joins every connection thread.
+/// stops the acceptor and joins every serving thread.
 #[derive(Debug)]
 pub struct NetServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactors: Vec<ReactorHandle>,
 }
 
 impl NetServer {
@@ -97,27 +180,74 @@ impl NetServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        // Established-connection count, shared by the acceptor (ceiling
+        // check) and whoever retires connections (handler thread exit /
+        // reactor close).
+        let live = Arc::new(AtomicUsize::new(0));
+        let max_connections = config.max_connections;
+
+        let reactors = match config.mode {
+            ServerMode::ThreadPerConn => Vec::new(),
+            ServerMode::Reactor => reactor::spawn_reactors(
+                &engine,
+                config.resolved_reactor_threads(),
+                config.batch_window,
+                &shutdown,
+                &live,
+            )?,
+        };
+
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
+            let live = Arc::clone(&live);
+            let window = config.batch_window;
+            let mode = config.mode;
+            let dispatch: Vec<Arc<reactor::ReactorShared>> =
+                reactors.iter().map(|r| Arc::clone(&r.shared)).collect();
             std::thread::spawn(move || {
+                let mut next = 0usize;
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let engine = Arc::clone(&engine);
-                    let shutdown = Arc::clone(&shutdown);
-                    let window = config.batch_window;
-                    let handle = std::thread::spawn(move || {
-                        // A handler failure only affects its own connection.
-                        let _ = handle_connection(&engine, stream, &shutdown, window);
-                    });
-                    conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+                    if live.load(Ordering::Acquire) >= max_connections {
+                        reject_busy(stream);
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::AcqRel);
+                    match mode {
+                        ServerMode::ThreadPerConn => {
+                            let engine = Arc::clone(&engine);
+                            let shutdown = Arc::clone(&shutdown);
+                            let live = Arc::clone(&live);
+                            let handle = std::thread::spawn(move || {
+                                // A handler failure only affects its own
+                                // connection.
+                                let _ = handle_connection(&engine, stream, &shutdown, window);
+                                live.fetch_sub(1, Ordering::AcqRel);
+                            });
+                            conns
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(handle);
+                        }
+                        ServerMode::Reactor => {
+                            let target = &dispatch[next % dispatch.len()];
+                            next = next.wrapping_add(1);
+                            target
+                                .inbox
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push_back(stream);
+                            target.wake.wake();
+                        }
+                    }
                 }
             })
         };
-        Ok(NetServer { local_addr, shutdown, acceptor: Some(acceptor), conns })
+        Ok(NetServer { local_addr, shutdown, acceptor: Some(acceptor), conns, reactors })
     }
 
     /// The bound address (the real port when bound with port 0).
@@ -142,6 +272,10 @@ impl NetServer {
         for handle in handles {
             let _ = handle.join();
         }
+        for r in std::mem::take(&mut self.reactors) {
+            r.shared.wake.wake();
+            let _ = r.handle.join();
+        }
     }
 }
 
@@ -151,20 +285,56 @@ impl Drop for NetServer {
     }
 }
 
+/// Answer a connection arriving past the ceiling with a typed `Busy` frame
+/// (unknown request ID — it rejects the connection, not any one request)
+/// and close gracefully.
+fn reject_busy(mut stream: TcpStream) {
+    let mut payload = Vec::new();
+    encode_response(
+        UNKNOWN_REQUEST_ID,
+        &Response::Error { code: ErrorCode::Busy, message: "server at connection capacity".into() },
+        &mut payload,
+    );
+    let mut frame = Vec::new();
+    encode_frame(&payload, &mut frame);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(&frame);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
 /// One parsed inbound item, in arrival order.
-enum Inbound {
+pub(crate) enum Inbound {
+    /// A decoded request, tagged with its wire request ID.
     Request(u64, Request),
     /// Already answered at parse time (CRC failure, undecodable payload).
     Reject(u64, Response),
 }
 
-/// Requests grouped for batched execution, in creation order.
+/// Requests grouped for batched execution, in creation order. Each entry in
+/// `ids` pairs the originating connection slot with the wire request ID, so
+/// responses route back across connections.
 enum Group {
-    Recommend { key: String, ids: Vec<u64>, contexts: Vec<Vec<f64>> },
-    Record { key: String, ids: Vec<u64>, outcomes: Vec<(Ticket, f64)> },
-    Checkpoint { id: u64, key: String },
-    Ping { id: u64 },
-    Reject { id: u64, resp: Response },
+    Recommend { key: String, ids: Vec<(usize, u64)>, contexts: Vec<Vec<f64>> },
+    Record { key: String, ids: Vec<(usize, u64)>, outcomes: Vec<(Ticket, f64)> },
+    Checkpoint { slot: usize, id: u64, key: String },
+    Ping { slot: usize, id: u64 },
+    Reject { slot: usize, id: u64, resp: Response },
+}
+
+/// Reusable buffers for [`execute_batch`], so steady-state batching
+/// allocates nothing per wake.
+pub(crate) struct BatchScratch {
+    /// Columnar staging for recommend bursts: each coalesced burst is
+    /// transposed once here, outside the stripe lock.
+    burst: FeatureFrame,
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new() -> BatchScratch {
+        BatchScratch { burst: FeatureFrame::new(), payload: Vec::new(), frame: Vec::new() }
+    }
 }
 
 fn handle_connection(
@@ -180,7 +350,8 @@ fn handle_connection(
     let mut tx: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut payload_scratch: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
-    let mut pending: Vec<Inbound> = Vec::new();
+    let mut pending: Vec<(usize, Inbound)> = Vec::new();
+    let mut scratch = BatchScratch::new();
     // `None` = no batch open; `Some(deadline)` = accumulate until then.
     let mut deadline: Option<Instant> = None;
 
@@ -202,7 +373,7 @@ fn handle_connection(
             Ok(0) => {
                 // Peer closed. Serve what was already complete, then stop.
                 if !pending.is_empty() {
-                    process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+                    process_batch(engine, &mut stream, &mut pending, &mut scratch, &mut tx)?;
                 }
                 return Ok(());
             }
@@ -227,30 +398,36 @@ fn handle_connection(
                     payload_scratch.clear();
                     payload_scratch.extend_from_slice(&rx[start..end]);
                     rx.drain(..consumed);
-                    pending.push(parse_payload(&payload_scratch));
+                    pending.push((0, parse_payload(&payload_scratch)));
                 }
                 Ok(FrameEvent::CorruptPayload { consumed }) => {
                     rx.drain(..consumed);
-                    pending.push(Inbound::Reject(
-                        UNKNOWN_REQUEST_ID,
-                        Response::Error {
-                            code: ErrorCode::Malformed,
-                            message: "frame CRC mismatch; payload discarded".into(),
-                        },
+                    pending.push((
+                        0,
+                        Inbound::Reject(
+                            UNKNOWN_REQUEST_ID,
+                            Response::Error {
+                                code: ErrorCode::Malformed,
+                                message: "frame CRC mismatch; payload discarded".into(),
+                            },
+                        ),
                     ));
                 }
                 Err(_) => {
                     // Length header past the ceiling: answer, then close —
                     // the stream has no trustworthy next boundary.
-                    pending.push(Inbound::Reject(
-                        UNKNOWN_REQUEST_ID,
-                        Response::Error {
-                            code: ErrorCode::Oversized,
-                            message: format!(
-                                "frame exceeds the {} byte payload ceiling",
-                                crate::frame::MAX_PAYLOAD
-                            ),
-                        },
+                    pending.push((
+                        0,
+                        Inbound::Reject(
+                            UNKNOWN_REQUEST_ID,
+                            Response::Error {
+                                code: ErrorCode::Oversized,
+                                message: format!(
+                                    "frame exceeds the {} byte payload ceiling",
+                                    crate::frame::MAX_PAYLOAD
+                                ),
+                            },
+                        ),
                     ));
                     fatal_oversize = true;
                     break;
@@ -259,7 +436,7 @@ fn handle_connection(
         }
 
         if fatal_oversize {
-            process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+            process_batch(engine, &mut stream, &mut pending, &mut scratch, &mut tx)?;
             return Ok(());
         }
         if pending.is_empty() {
@@ -270,7 +447,7 @@ fn handle_connection(
         // one socket read delivered still coalesces).
         let open = *deadline.get_or_insert_with(|| Instant::now() + window);
         if Instant::now() >= open {
-            process_batch(engine, &mut stream, &mut pending, &mut tx)?;
+            process_batch(engine, &mut stream, &mut pending, &mut scratch, &mut tx)?;
             deadline = None;
         }
     }
@@ -279,7 +456,7 @@ fn handle_connection(
 /// Decode one CRC-clean payload, salvaging the request ID from the fixed
 /// header position on decode failure so the error response routes back to
 /// the right caller.
-fn parse_payload(payload: &[u8]) -> Inbound {
+pub(crate) fn parse_payload(payload: &[u8]) -> Inbound {
     match decode_request(payload) {
         Ok((id, req)) => Inbound::Request(id, req),
         Err(e) => {
@@ -296,47 +473,66 @@ fn parse_payload(payload: &[u8]) -> Inbound {
     }
 }
 
-/// Coalesce the pending requests into per-(key, operation) groups, execute
-/// each group through the engine's batch entry points, and write every
-/// response in one syscall.
+/// The thread-per-connection wrapper over [`execute_batch`]: every inbound
+/// item carries slot 0, responses accumulate in `tx`, and the whole batch
+/// ships in one write syscall.
 fn process_batch(
     engine: &Engine,
     stream: &mut TcpStream,
-    pending: &mut Vec<Inbound>,
+    pending: &mut Vec<(usize, Inbound)>,
+    scratch: &mut BatchScratch,
     tx: &mut Vec<u8>,
 ) -> NetResult<()> {
+    tx.clear();
+    execute_batch(engine, pending, scratch, &mut |_slot, bytes| tx.extend_from_slice(bytes));
+    stream.write_all(tx).map_err(NetError::Io)
+}
+
+/// The batching core shared by both serving modes: coalesce the pending
+/// requests — **across connections** — into per-(key, operation) groups,
+/// execute each group through the engine's columnar batch entry points, and
+/// hand every encoded response frame to `sink` tagged with the connection
+/// slot it belongs to.
+pub(crate) fn execute_batch(
+    engine: &Engine,
+    pending: &mut Vec<(usize, Inbound)>,
+    scratch: &mut BatchScratch,
+    sink: &mut dyn FnMut(usize, &[u8]),
+) {
     let mut groups: Vec<Group> = Vec::new();
-    // Columnar staging for recommend bursts, reused across this batch's
-    // groups: each burst is transposed once here, outside the stripe lock.
-    let mut burst = FeatureFrame::new();
     // Per key: the index of its most recent group. A same-key same-op
-    // request appends there (coalescing across interleaved other-key
-    // traffic); a same-key *different*-op request starts a fresh group, so
-    // one key's recommend/record order is never reordered.
+    // request appends there (coalescing across interleaved other-key — and
+    // other-connection — traffic); a same-key *different*-op request starts
+    // a fresh group, so one key's recommend/record order is never
+    // reordered.
     let mut last_group: HashMap<String, usize> = HashMap::new();
-    for inbound in pending.drain(..) {
+    for (slot, inbound) in pending.drain(..) {
         match inbound {
-            Inbound::Reject(id, resp) => groups.push(Group::Reject { id, resp }),
-            Inbound::Request(id, Request::Ping) => groups.push(Group::Ping { id }),
+            Inbound::Reject(id, resp) => groups.push(Group::Reject { slot, id, resp }),
+            Inbound::Request(id, Request::Ping) => groups.push(Group::Ping { slot, id }),
             Inbound::Request(id, Request::Checkpoint { key }) => {
                 last_group.remove(&key);
-                groups.push(Group::Checkpoint { id, key });
+                groups.push(Group::Checkpoint { slot, id, key });
             }
             Inbound::Request(id, Request::Recommend { key, features }) => {
                 if let Some(&gi) = last_group.get(&key) {
                     if let Group::Recommend { ids, contexts, .. } = &mut groups[gi] {
-                        ids.push(id);
+                        ids.push((slot, id));
                         contexts.push(features);
                         continue;
                     }
                 }
                 last_group.insert(key.clone(), groups.len());
-                groups.push(Group::Recommend { key, ids: vec![id], contexts: vec![features] });
+                groups.push(Group::Recommend {
+                    key,
+                    ids: vec![(slot, id)],
+                    contexts: vec![features],
+                });
             }
             Inbound::Request(id, Request::Record { key, ticket, runtime }) => {
                 if let Some(&gi) = last_group.get(&key) {
                     if let Group::Record { ids, outcomes, .. } = &mut groups[gi] {
-                        ids.push(id);
+                        ids.push((slot, id));
                         outcomes.push((Ticket::from_id(ticket), runtime));
                         continue;
                     }
@@ -344,34 +540,35 @@ fn process_batch(
                 last_group.insert(key.clone(), groups.len());
                 groups.push(Group::Record {
                     key,
-                    ids: vec![id],
+                    ids: vec![(slot, id)],
                     outcomes: vec![(Ticket::from_id(ticket), runtime)],
                 });
             }
         }
     }
 
-    tx.clear();
-    let mut payload = Vec::new();
-    let mut push = |id: u64, resp: &Response, tx: &mut Vec<u8>| {
-        encode_response(id, resp, &mut payload);
-        encode_frame(&payload, tx);
+    let BatchScratch { burst, payload, frame } = scratch;
+    let mut push = |slot: usize, id: u64, resp: &Response, sink: &mut dyn FnMut(usize, &[u8])| {
+        encode_response(id, resp, payload);
+        frame.clear();
+        encode_frame(payload, frame);
+        sink(slot, frame);
     };
 
     for group in groups {
         match group {
-            Group::Reject { id, resp } => push(id, &resp, tx),
-            Group::Ping { id } => push(id, &Response::Pong, tx),
-            Group::Checkpoint { id, key } => {
+            Group::Reject { slot, id, resp } => push(slot, id, &resp, sink),
+            Group::Ping { slot, id } => push(slot, id, &Response::Pong, sink),
+            Group::Checkpoint { slot, id, key } => {
                 let mut bytes = Vec::new();
                 match engine.save_shard_checkpoint(&key, &mut bytes) {
-                    Ok(()) => push(id, &Response::Checkpoint { bytes }, tx),
+                    Ok(()) => push(slot, id, &Response::Checkpoint { bytes }, sink),
                     Err(e) => {
                         let code = match &e {
                             CoreError::InvalidParameter { .. } => ErrorCode::Unsupported,
                             _ => ErrorCode::Engine,
                         };
-                        push(id, &Response::Error { code, message: e.to_string() }, tx);
+                        push(slot, id, &Response::Error { code, message: e.to_string() }, sink);
                     }
                 }
             }
@@ -382,11 +579,12 @@ fn process_batch(
                 // retry below.
                 let batched = burst
                     .fill_from_rows(&contexts)
-                    .and_then(|()| engine.recommend_batch_frame(&key, &burst));
+                    .and_then(|()| engine.recommend_batch_frame(&key, burst));
                 match batched {
                     Ok(results) => {
-                        for (id, (ticket, rec)) in ids.iter().zip(results) {
+                        for ((slot, id), (ticket, rec)) in ids.iter().zip(results) {
                             push(
+                                *slot,
                                 *id,
                                 &Response::Recommend {
                                     ticket: ticket.id(),
@@ -396,16 +594,17 @@ fn process_batch(
                                     resource_cost: rec.resource_cost,
                                     name: rec.name.to_string(),
                                 },
-                                tx,
+                                sink,
                             );
                         }
                     }
                     Err(_) => {
                         // Batch validation is atomic; retry individually so
                         // each request gets its own verdict.
-                        for (id, x) in ids.iter().zip(&contexts) {
+                        for ((slot, id), x) in ids.iter().zip(&contexts) {
                             match engine.recommend(&key, x) {
                                 Ok((ticket, rec)) => push(
+                                    *slot,
                                     *id,
                                     &Response::Recommend {
                                         ticket: ticket.id(),
@@ -415,15 +614,16 @@ fn process_batch(
                                         resource_cost: rec.resource_cost,
                                         name: rec.name.to_string(),
                                     },
-                                    tx,
+                                    sink,
                                 ),
                                 Err(e) => push(
+                                    *slot,
                                     *id,
                                     &Response::Error {
                                         code: ErrorCode::Engine,
                                         message: e.to_string(),
                                     },
-                                    tx,
+                                    sink,
                                 ),
                             }
                         }
@@ -436,21 +636,22 @@ fn process_batch(
                 // identical to per-request recording.
                 match engine.record_batch_frame(&key, &outcomes) {
                     Ok(()) => {
-                        for id in ids {
-                            push(id, &Response::RecordOk, tx);
+                        for (slot, id) in ids {
+                            push(slot, id, &Response::RecordOk, sink);
                         }
                     }
                     Err(_) => {
-                        for (id, (ticket, runtime)) in ids.iter().zip(&outcomes) {
+                        for ((slot, id), (ticket, runtime)) in ids.iter().zip(&outcomes) {
                             match engine.record(&key, *ticket, *runtime) {
-                                Ok(()) => push(*id, &Response::RecordOk, tx),
+                                Ok(()) => push(*slot, *id, &Response::RecordOk, sink),
                                 Err(e) => push(
+                                    *slot,
                                     *id,
                                     &Response::Error {
                                         code: ErrorCode::Engine,
                                         message: e.to_string(),
                                     },
-                                    tx,
+                                    sink,
                                 ),
                             }
                         }
@@ -459,6 +660,4 @@ fn process_batch(
             }
         }
     }
-
-    stream.write_all(tx).map_err(NetError::Io)
 }

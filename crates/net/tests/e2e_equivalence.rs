@@ -5,7 +5,9 @@
 //! the sync path and the pipelined path.
 
 use banditware_core::{ArmSpec, BanditConfig};
-use banditware_net::{ErrorCode, NetClient, NetError, NetServer, Response, ServerConfig};
+use banditware_net::{
+    ErrorCode, NetClient, NetError, NetServer, Response, ServerConfig, ServerMode,
+};
 use banditware_serve::{Engine, EngineBuilder};
 use std::sync::Arc;
 use std::time::Duration;
@@ -107,8 +109,18 @@ fn tcp_stream_bitwise_identical_to_in_process() {
 }
 
 #[test]
+fn tcp_stream_bitwise_identical_to_in_process_reactor() {
+    assert_streams_identical(ServerConfig::default().with_mode(ServerMode::Reactor), 120, 0);
+}
+
+#[test]
 fn tcp_stream_bitwise_identical_with_pipelined_bursts() {
     assert_streams_identical(ServerConfig::default(), 120, 3);
+}
+
+#[test]
+fn tcp_stream_bitwise_identical_with_pipelined_bursts_reactor() {
+    assert_streams_identical(ServerConfig::default().with_mode(ServerMode::Reactor), 120, 3);
 }
 
 #[test]
@@ -117,6 +129,113 @@ fn tcp_stream_bitwise_identical_with_accumulation_window() {
     // stream must still match the sequential in-process reference exactly.
     let config = ServerConfig::default().with_batch_window(Duration::from_millis(2));
     assert_streams_identical(config, 60, 4);
+}
+
+#[test]
+fn tcp_stream_bitwise_identical_with_accumulation_window_reactor() {
+    let config = ServerConfig::default()
+        .with_mode(ServerMode::Reactor)
+        .with_batch_window(Duration::from_millis(2));
+    assert_streams_identical(config, 60, 4);
+}
+
+#[test]
+fn reactor_cross_connection_coalescing_is_bitwise_equivalent() {
+    // Several connections on distinct tenant keys, all funneled through
+    // one reactor thread: requests arriving in the same wake coalesce
+    // across connections, and every key's stream must still match a
+    // sequential in-process reference bit for bit.
+    let reference = engine();
+    let served = engine();
+    let config = ServerConfig::default().with_mode(ServerMode::Reactor).with_reactor_threads(1);
+    let mut server = NetServer::bind(served, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    let mut clients: Vec<NetClient> =
+        (0..CLIENTS).map(|_| NetClient::connect(addr).expect("connect")).collect();
+    let keys: Vec<String> = (0..CLIENTS).map(|c| format!("wf-{c}")).collect();
+
+    for i in 0..60 {
+        // Fire every client's recommend before waiting on any, so the
+        // requests land in the reactor close together and have the chance
+        // to coalesce into one cross-connection burst.
+        let ids: Vec<u64> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(c, client)| {
+                let id = client.send_recommend(&keys[c], &context(i));
+                client.flush().expect("flush");
+                id
+            })
+            .collect();
+        for (c, client) in clients.iter_mut().enumerate() {
+            let remote = match client.wait(ids[c]).expect("recommend") {
+                Response::Recommend { ticket, arm, explored, predicted_runtime, .. } => {
+                    (ticket, arm as usize, explored, predicted_runtime)
+                }
+                other => panic!("expected recommend, got {other:?}"),
+            };
+            let (lt, lr) = reference.recommend(&keys[c], &context(i)).expect("local");
+            assert_eq!(remote.0, lt.id(), "ticket, client {c} round {i}");
+            assert_eq!(remote.1, lr.arm, "arm, client {c} round {i}");
+            assert_eq!(remote.2, lr.explored, "explored, client {c} round {i}");
+            assert_eq!(
+                remote.3.to_bits(),
+                lr.predicted_runtime.to_bits(),
+                "predicted bits, client {c} round {i}"
+            );
+            client.record(&keys[c], remote.0, runtime(i, lr.arm)).expect("remote record");
+            reference.record(&keys[c], lt, runtime(i, lr.arm)).expect("local record");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_ceiling_rejects_with_busy_and_keeps_serving() {
+    for mode in [ServerMode::ThreadPerConn, ServerMode::Reactor] {
+        let config = ServerConfig::default().with_mode(mode).with_max_connections(2);
+        let mut server = NetServer::bind(engine(), "127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr();
+
+        let mut a = NetClient::connect(addr).expect("connect a");
+        let mut b = NetClient::connect(addr).expect("connect b");
+        a.ping().expect("a serves");
+        b.ping().expect("b serves");
+
+        // The third connection is accepted only to be told why it can't
+        // stay: a typed Busy frame, then a graceful close.
+        let mut c = NetClient::connect(addr).expect("tcp connect still succeeds");
+        match c.ping() {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::Busy, "mode {mode:?}")
+            }
+            other => panic!("expected busy reject in mode {mode:?}, got {other:?}"),
+        }
+
+        // Established connections are unaffected by the reject.
+        let rec = a.recommend("wf-a", &context(0)).expect("a still serves");
+        a.record("wf-a", rec.ticket, 5.0).expect("a records");
+        b.ping().expect("b still serves");
+
+        // A freed seat is reusable.
+        drop(a);
+        let mut d = loop {
+            // The server retires the dropped connection asynchronously;
+            // retry until the seat frees up.
+            let mut d = NetClient::connect(addr).expect("connect d");
+            match d.ping() {
+                Ok(()) => break d,
+                Err(NetError::Remote { code: ErrorCode::Busy, .. }) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("unexpected error reclaiming seat: {e}"),
+            }
+        };
+        d.ping().expect("d serves on the freed seat");
+        server.shutdown();
+    }
 }
 
 #[test]

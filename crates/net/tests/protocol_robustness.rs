@@ -1,10 +1,11 @@
 //! Protocol robustness: randomized damage against a **live** server must
 //! never crash it, and a connection that just had a frame rejected must
-//! still serve valid traffic.
+//! still serve valid traffic — in **both** serving modes.
 //!
-//! One server (shared across every proptest case) backs all connections;
-//! if any damage sequence killed a handler thread or panicked the process,
-//! every subsequent case would fail loudly. Damage kinds:
+//! One server per mode (shared across every proptest case) backs all
+//! connections; if any damage sequence killed a handler thread (or wedged
+//! a reactor loop) or panicked the process, every subsequent case would
+//! fail loudly. Damage kinds:
 //!
 //! * bit-flip inside a frame's payload or CRC trailer (recoverable: typed
 //!   Malformed error, connection continues),
@@ -13,41 +14,52 @@
 //! * frames torn by a mid-frame hang-up (connection ends quietly),
 //! * oversized length headers (typed Oversized error, then close),
 //! * valid frames interleaved across several writes with pauses (must
-//!   simply work).
+//!   simply work),
+//! * slow-loris dribble: many connections feeding one byte per write must
+//!   not stall other clients' round-trips (reactor-specific test below —
+//!   a single event loop owns every connection there).
 
 use banditware_core::{ArmSpec, BanditConfig};
 use banditware_net::frame::{encode_frame, read_frame, MAX_PAYLOAD};
 use banditware_net::protocol::{
     decode_response, encode_request, Request, Response, UNKNOWN_REQUEST_ID,
 };
-use banditware_net::{ErrorCode, NetError, NetServer, ServerConfig};
+use banditware_net::{ErrorCode, NetError, NetServer, ServerConfig, ServerMode};
 use banditware_serve::EngineBuilder;
 use proptest::prelude::*;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// The shared live server. Leaked on purpose: it must stay up for the whole
-/// test process so every case hits the same instance.
-fn server_addr() -> SocketAddr {
-    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
-    *ADDR.get_or_init(|| {
-        let engine = Arc::new(
-            EngineBuilder::new(ArmSpec::unit_costs(3), 2)
-                .config(BanditConfig::paper().with_seed(3))
-                .build()
-                .expect("engine builds"),
-        );
-        let server = NetServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
-        let addr = server.local_addr();
-        std::mem::forget(server);
-        addr
-    })
+fn start_server(config: ServerConfig) -> SocketAddr {
+    let engine = Arc::new(
+        EngineBuilder::new(ArmSpec::unit_costs(3), 2)
+            .config(BanditConfig::paper().with_seed(3))
+            .build()
+            .expect("engine builds"),
+    );
+    let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    // Leaked on purpose: the server must stay up for the whole test
+    // process so every case hits the same instance.
+    std::mem::forget(server);
+    addr
 }
 
-fn connect() -> TcpStream {
-    let stream = TcpStream::connect(server_addr()).expect("connect");
+/// The shared live server for `mode` (one per mode, started lazily).
+fn server_addr(mode: ServerMode) -> SocketAddr {
+    static THREAD: OnceLock<SocketAddr> = OnceLock::new();
+    static REACTOR: OnceLock<SocketAddr> = OnceLock::new();
+    match mode {
+        ServerMode::ThreadPerConn => *THREAD.get_or_init(|| start_server(ServerConfig::default())),
+        ServerMode::Reactor => *REACTOR
+            .get_or_init(|| start_server(ServerConfig::default().with_mode(ServerMode::Reactor))),
+    }
+}
+
+fn connect(mode: ServerMode) -> TcpStream {
+    let stream = TcpStream::connect(server_addr(mode)).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
     // A hung read is a deadlocked test; fail it instead.
     stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
@@ -97,7 +109,12 @@ fn damage_strategy() -> impl Strategy<Value = Damage> {
         })
 }
 
-fn apply(stream: &mut TcpStream, next_id: &mut u64, damage: &Damage) -> Result<(), TestCaseError> {
+fn apply(
+    mode: ServerMode,
+    stream: &mut TcpStream,
+    next_id: &mut u64,
+    damage: &Damage,
+) -> Result<(), TestCaseError> {
     match damage {
         Damage::BitFlip { features, pos, bit } => {
             let id = *next_id;
@@ -160,7 +177,7 @@ fn apply(stream: &mut TcpStream, next_id: &mut u64, damage: &Damage) -> Result<(
         Damage::TornFrame { features, keep } => {
             // A peer that hangs up mid-frame: its own connection dies
             // quietly; nobody else notices.
-            let mut victim = connect();
+            let mut victim = connect(mode);
             let wire = request_frame(
                 7,
                 &Request::Recommend { key: "wf".into(), features: vec![features.0, features.1] },
@@ -179,7 +196,7 @@ fn apply(stream: &mut TcpStream, next_id: &mut u64, damage: &Damage) -> Result<(
             }
         }
         Damage::OversizedHeader { extra } => {
-            let mut victim = connect();
+            let mut victim = connect(mode);
             let mut wire = Vec::new();
             wire.extend_from_slice(&(MAX_PAYLOAD as u32 + 1 + extra).to_le_bytes());
             wire.extend_from_slice(b"whatever follows is unsynchronizable");
@@ -228,6 +245,18 @@ fn assert_live(stream: &mut TcpStream, next_id: &mut u64) -> Result<(), TestCase
     Ok(())
 }
 
+fn run_damage_case(mode: ServerMode, ops: &[Damage]) -> Result<(), TestCaseError> {
+    let mut stream = connect(mode);
+    let mut next_id = 1u64;
+    for op in ops {
+        apply(mode, &mut stream, &mut next_id, op)?;
+        // After every damage step the same connection (for recoverable
+        // damage) keeps serving valid traffic.
+        assert_live(&mut stream, &mut next_id)?;
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
@@ -235,13 +264,73 @@ proptest! {
     fn damaged_streams_never_crash_a_live_server(
         ops in prop::collection::vec(damage_strategy(), 1..6),
     ) {
-        let mut stream = connect();
-        let mut next_id = 1u64;
-        for op in &ops {
-            apply(&mut stream, &mut next_id, op)?;
-            // After every damage step the same connection (for recoverable
-            // damage) keeps serving valid traffic.
-            assert_live(&mut stream, &mut next_id)?;
+        run_damage_case(ServerMode::ThreadPerConn, &ops)?;
+    }
+
+    #[test]
+    fn damaged_streams_never_crash_a_live_reactor(
+        ops in prop::collection::vec(damage_strategy(), 1..6),
+    ) {
+        run_damage_case(ServerMode::Reactor, &ops)?;
+    }
+}
+
+/// Slow-loris: many connections dribbling one byte per write must not
+/// stall anyone else. Run against a **single** reactor thread — the
+/// hardest case, since that one event loop owns every connection — with a
+/// fresh server so loris connections cannot leak into the shared ones.
+#[test]
+fn slow_loris_connections_do_not_stall_other_clients() {
+    let addr = start_server(
+        ServerConfig::default().with_mode(ServerMode::Reactor).with_reactor_threads(1),
+    );
+
+    const LORIS: usize = 40;
+    let frame =
+        request_frame(1, &Request::Recommend { key: "drip".into(), features: vec![1.0, 2.0] });
+    let mut loris: Vec<(TcpStream, usize)> = (0..LORIS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("loris connect");
+            s.set_nodelay(true).expect("nodelay");
+            s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+            (s, 0)
+        })
+        .collect();
+
+    // Dribble the frame one byte at a time across all loris connections,
+    // interleaved with a well-behaved client's synchronous round-trips.
+    // Every round-trip must complete promptly even though 40 connections
+    // sit mid-frame the whole time.
+    let mut client = TcpStream::connect(addr).expect("client connect");
+    client.set_nodelay(true).expect("nodelay");
+    client.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut next_id = 100u64;
+
+    let started = Instant::now();
+    for step in 0..frame.len() {
+        for (s, sent) in &mut loris {
+            s.write_all(&frame[*sent..*sent + 1]).expect("dribble one byte");
+            *sent += 1;
         }
+        // Two full rounds between dribbles: if the reactor stalled on the
+        // half-written frames, the 10 s read timeout would fail this.
+        for _ in 0..2 {
+            assert_live(&mut client, &mut next_id).unwrap_or_else(|e| {
+                panic!("round-trip stalled behind slow-loris at byte {step}: {e}")
+            });
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "interleaved rounds took {:?} — the loop is being starved",
+        started.elapsed()
+    );
+
+    // Once each dribbled frame finally completes, it is served normally.
+    for (mut s, sent) in loris {
+        assert_eq!(sent, frame.len());
+        let (got, resp) = read_response(&mut s);
+        assert_eq!(got, 1);
+        assert!(matches!(resp, Response::Recommend { .. }), "loris frame served: {resp:?}");
     }
 }
