@@ -117,7 +117,30 @@ fn run(
             }
             None => POLL.as_millis() as i32,
         };
-        let n = ep.wait(&mut events, timeout_ms).unwrap_or(0);
+        // EINTR surfaces as Ok(0) inside `wait`; anything else (EBADF,
+        // EFAULT, ...) means this epoll instance is broken for good —
+        // retrying would spin forever serving nobody. Log, close this
+        // reactor's connections, and release their seats under the accept
+        // ceiling so the rest of the server keeps its capacity.
+        let n = match ep.wait(&mut events, timeout_ms) {
+            Ok(n) => n,
+            Err(e) => {
+                let open = conns.iter().filter(|c| c.is_some()).count();
+                let queued = shared
+                    .inbox
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .drain(..)
+                    .count();
+                eprintln!(
+                    "banditware-net: reactor epoll_wait failed ({e}); \
+                     closing this reactor's {} connection(s)",
+                    open + queued
+                );
+                live.fetch_sub(open + queued, Ordering::AcqRel);
+                return;
+            }
+        };
         if shutdown.load(Ordering::Acquire) {
             // Dropping the connections closes their sockets; in-flight
             // requests are abandoned exactly as the threaded mode abandons
@@ -200,7 +223,12 @@ fn run(
             } else {
                 conn.pending_tx() > TX_CAP
             };
-            if conn.closing && conn.pending_tx() == 0 {
+            // A clean-EOF connection retires only after its queue drained
+            // AND no decoded requests of its own still sit in the open
+            // batch window — closing earlier would drop its completed
+            // requests (the EOF contract serves them) and free the slot
+            // for reuse while `pending` still routes responses to it.
+            if conn.closing && conn.pending_tx() == 0 && !pending.iter().any(|(s, _)| *s == slot) {
                 close(&ep, &mut conns, &mut free, live, slot);
                 continue;
             }

@@ -300,6 +300,28 @@ fn reject_busy(mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.write_all(&frame);
     let _ = stream.shutdown(std::net::Shutdown::Write);
+    // The client has usually already written its first request; dropping
+    // the socket with those bytes unread can turn the close into an RST
+    // that discards the in-flight Busy frame. Linger briefly reading until
+    // the peer closes so the typed rejection reliably arrives. Bounded in
+    // time so a hostile dribbler cannot pin the acceptor.
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
 }
 
 /// One parsed inbound item, in arrival order.

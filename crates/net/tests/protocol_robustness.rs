@@ -275,6 +275,62 @@ proptest! {
     }
 }
 
+/// Clean EOF while a batch window is still accumulating: the reactor must
+/// hold the connection open until the window expires and serve every
+/// request that was complete before the EOF (the documented clean-EOF
+/// contract, same as thread-per-conn), and it must NOT free the slot early
+/// — a connection adopted into a prematurely freed slot would receive the
+/// EOF'd client's responses (cross-client misdelivery).
+#[test]
+fn eof_during_open_batch_window_still_serves_and_never_misroutes() {
+    let addr = start_server(
+        ServerConfig::default()
+            .with_mode(ServerMode::Reactor)
+            .with_reactor_threads(1)
+            .with_batch_window(Duration::from_millis(300)),
+    );
+
+    // Client A: two complete requests, then an immediate write-shutdown so
+    // the reactor sees the EOF while the window still holds both requests.
+    let mut a = TcpStream::connect(addr).expect("connect a");
+    a.set_nodelay(true).expect("nodelay");
+    a.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut wire = request_frame(1, &Request::Ping);
+    wire.extend_from_slice(&request_frame(
+        2,
+        &Request::Recommend { key: "wf".into(), features: vec![1.0, 2.0] },
+    ));
+    a.write_all(&wire).expect("write a");
+    a.shutdown(std::net::Shutdown::Write).expect("eof a");
+
+    // Client B connects inside the window; were A's slot freed at EOF, the
+    // single reactor would adopt B into it and route A's responses here.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut b = TcpStream::connect(addr).expect("connect b");
+    b.set_nodelay(true).expect("nodelay");
+    b.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    b.write_all(&request_frame(42, &Request::Ping)).expect("write b");
+
+    // A's completed requests are served once the window expires...
+    let (got, resp) = read_response(&mut a);
+    assert_eq!(got, 1, "a's ping answered after its EOF");
+    assert_eq!(resp, Response::Pong);
+    let (got, resp) = read_response(&mut a);
+    assert_eq!(got, 2, "a's recommend answered after its EOF");
+    assert!(matches!(resp, Response::Recommend { .. }), "a's recommend: {resp:?}");
+    // ...and only then does the connection close.
+    let mut payload = Vec::new();
+    match read_frame(&mut a, &mut payload) {
+        Err(NetError::ConnectionClosed) => {}
+        other => panic!("a should close after its responses, got {other:?}"),
+    }
+
+    // B's first response is its own — nothing of A's leaked into its slot.
+    let (got, resp) = read_response(&mut b);
+    assert_eq!(got, 42, "b receives only its own response");
+    assert_eq!(resp, Response::Pong);
+}
+
 /// Slow-loris: many connections dribbling one byte per write must not
 /// stall anyone else. Run against a **single** reactor thread — the
 /// hardest case, since that one event loop owns every connection — with a
