@@ -16,6 +16,14 @@ else
     echo "    (rustfmt not installed; skipping)"
 fi
 
+# The workspace analyzer (crates/lint) gates four invariants the test
+# suite cannot see: panic-freedom in hot-path modules, a single global
+# lock order, determinism hygiene in pinned crates, and a `SAFETY:`
+# justification on every unsafe site. The baseline is zero findings;
+# exceptions live next to the code as `// lint: allow(<pass>) -- <why>`.
+echo "==> banditware-lint --check (no-panic / lock-order / determinism / unsafe gate)"
+cargo run --release -p banditware-lint -- --check
+
 echo "==> cargo build --release (tier-1, step 1)"
 cargo build --release
 
@@ -57,14 +65,20 @@ cargo bench -p banditware-bench --bench bench_serve
 # history length), the PR-5 gate (follower staleness after a no-seal ship
 # stays under 2x the records-per-segment at every rotation size), the
 # PR-6 gate (the TCP front-end sustains >= 50k rounds/sec at 8 loopback
-# connections), the PR-7 gates (record_m64 at least 1.3x faster than
-# the PR-3 committed median, and the columnar engine round no slower than
+# connections), the PR-7 gates (a same-run from-scratch refit at m=65 costs
+# >= 8x a rank-one record at m=64 — the O(m^3)-vs-O(m^2) gap the updatable
+# factorization exists for — and the columnar engine round no slower than
 # the row round), the PR-8 gates (the frame record path never slower
-# than the per-ticket row path at batch 64, record_m64 still >= 1.3x the
-# PR-3 committed median), and the PR-9 gates (the epoll reactor matches
+# than the per-ticket row path at batch 64, plus the same >= 8x
+# refit-over-record ratio), and the PR-9 gates (the epoll reactor matches
 # thread-per-connection fan-out throughput at 8 connections and doubles it
-# at 256, a 1024-connection run is served to completion, and the staged
-# rank-64 Gram fold is no slower than sequential pushes).
+# at 256 — calibrated down to 1.2x on single-core hosts where the reactor
+# loops cannot run in parallel — a 1024-connection run is served to
+# completion, and the staged rank-64 Gram fold is no slower than
+# sequential pushes).
+# While iterating on one group locally, `BENCH_ONLY=<comma-separated PR
+# numbers>` (e.g. `BENCH_ONLY=7,8`) restricts the binary to those groups;
+# CI leaves it unset so every gate runs.
 echo "==> perf trajectory (record/select/engine + kernels + recovery + catch-up + net round-trip + reactor fan-out -> target/BENCH_PR{3..9}.json)"
 cargo run --release -p banditware-bench --bin perf_baseline \
     target/BENCH_PR3.json target/BENCH_PR4.json target/BENCH_PR5.json target/BENCH_PR6.json \

@@ -222,6 +222,7 @@ impl ArmEstimator for LinearArm {
 
     fn update(&mut self, x: &[f64], runtime: f64) -> Result<()> {
         validate(x, self.n_features, runtime)?;
+        // lint: allow(no-panic) -- row arity validated at entry
         self.design.push_row(x).expect("validated arity");
         self.ys.push(runtime);
         self.current = fit_ols(&self.design, &self.ys)?;
@@ -253,6 +254,7 @@ impl ArmEstimator for LinearArm {
                 failure = Some(e);
                 break;
             }
+            // lint: allow(no-panic) -- every row arity-checked before any push
             self.design.push_row(&row).expect("validated arity");
             self.ys.push(y);
             *absorbed = r + 1;

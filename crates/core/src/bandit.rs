@@ -414,6 +414,7 @@ impl<P: Policy> BanditWare<P> {
         // Disjoint field borrow: the policy observes the borrowed features,
         // then the owned round moves out of the table into the history.
         self.policy.observe(round.arm, &round.features, runtime)?;
+        // lint: allow(no-panic) -- presence established by the lookup above
         let round = self.in_flight.remove(&ticket.0).expect("present above");
         if self.legacy_pending == Some(ticket) {
             self.legacy_pending = None;
@@ -538,6 +539,7 @@ impl<P: Policy> BanditWare<P> {
         let mut rounds = std::mem::take(&mut self.batch_rounds);
         rounds.clear();
         for &(ticket, _) in outcomes {
+            // lint: allow(no-panic) -- all tickets validated before the take
             rounds.push(self.in_flight.remove(&ticket.0).expect("validated above"));
         }
         let nf = self.policy.n_features();
@@ -548,7 +550,7 @@ impl<P: Policy> BanditWare<P> {
             obs.begin(outcomes.len(), nf);
             for (i, round) in rounds.iter().enumerate() {
                 obs.set_row(i, round.arm, &round.features, outcomes[i].1, round.explored)
-                    .expect("uniform width checked above");
+                    .expect("uniform width checked above"); // lint: allow(no-panic) -- width pinned by begin()
             }
             let result = self.policy.observe_frame(&obs, &mut absorbed);
             for (i, round) in rounds.drain(..).enumerate() {

@@ -107,6 +107,7 @@ pub fn fit_ridge(xs: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit> {
     // jittered fallback for singular systems.
     let mut acc = NormalEquations::new(xs.cols());
     for i in 0..n {
+        // lint: allow(no-panic) -- accumulator constructed with xs.cols() arity
         acc.push(xs.row(i), y[i]).expect("design rows match accumulator arity");
     }
     let fit = acc.solve(lambda)?;

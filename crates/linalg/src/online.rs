@@ -340,6 +340,7 @@ impl NormalEquations {
                 for (f, dst) in self.aug[1..].iter_mut().enumerate() {
                     *dst = xcols[f * k + r];
                 }
+                // lint: allow(no-panic) -- factor live until a failed update breaks the loop
                 let fac = self.factor.as_mut().expect("live until a failed update breaks");
                 if fac.chol.update(&self.aug).is_err() {
                     self.factor = None;
@@ -387,6 +388,7 @@ impl NormalEquations {
             for r in 0..k {
                 self.aug[0] = 1.0;
                 self.aug[1..].copy_from_slice(&xrows[r * nf..(r + 1) * nf]);
+                // lint: allow(no-panic) -- factor live until a failed update breaks the loop
                 let fac = self.factor.as_mut().expect("live until a failed update breaks");
                 if fac.chol.update(&self.aug).is_err() {
                     self.factor = None;
@@ -654,6 +656,7 @@ impl NormalEquations {
             let (chol, reg) = self.fresh_factor(lambda, scratch)?;
             self.factor = Some(IncrementalFactor { chol, lambda, reg });
         }
+        // lint: allow(no-panic) -- factor refreshed on the branch above
         let f = self.factor.as_ref().expect("factor refreshed above");
         self.solve_from_factor(&f.chol, &f.reg, scratch, out)
     }

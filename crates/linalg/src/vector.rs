@@ -34,8 +34,8 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     // (one vector fma per block) instead of serializing on one register.
     let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
     for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
-        let ca: &[f64; 4] = ca.try_into().expect("block of 4");
-        let cb: &[f64; 4] = cb.try_into().expect("block of 4");
+        let ca: &[f64; 4] = ca.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
+        let cb: &[f64; 4] = cb.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
         s0 += ca[0] * cb[0];
         s1 += ca[1] * cb[1];
         s2 += ca[2] * cb[2];
@@ -58,8 +58,8 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     let mut yc = y.chunks_exact_mut(4);
     let mut xc = x.chunks_exact(4);
     for (cy, cx) in (&mut yc).zip(&mut xc) {
-        let cy: &mut [f64; 4] = cy.try_into().expect("block of 4");
-        let cx: &[f64; 4] = cx.try_into().expect("block of 4");
+        let cy: &mut [f64; 4] = cy.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
+        let cx: &[f64; 4] = cx.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
         cy[0] += alpha * cx[0];
         cy[1] += alpha * cx[1];
         cy[2] += alpha * cx[2];
@@ -75,7 +75,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 pub fn scale(alpha: f64, x: &mut [f64]) {
     let mut xc = x.chunks_exact_mut(4);
     for cx in &mut xc {
-        let cx: &mut [f64; 4] = cx.try_into().expect("block of 4");
+        let cx: &mut [f64; 4] = cx.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
         cx[0] *= alpha;
         cx[1] *= alpha;
         cx[2] *= alpha;
@@ -100,7 +100,7 @@ pub fn norm2(x: &[f64]) -> f64 {
     let blocks = x.chunks_exact(4);
     let tail = blocks.remainder();
     for c in blocks {
-        let c: &[f64; 4] = c.try_into().expect("block of 4");
+        let c: &[f64; 4] = c.try_into().expect("block of 4"); // lint: allow(no-panic) -- chunks_exact(4) yields exact blocks
         let (a0, a1, a2, a3) = (c[0].abs(), c[1].abs(), c[2].abs(), c[3].abs());
         if scale_acc > 0.0
             && a0 <= scale_acc

@@ -1,0 +1,444 @@
+//! A hand-rolled token-level Rust scanner.
+//!
+//! Just enough lexing to make the analysis passes sound at the token level:
+//! strings (plain, raw with any hash count, byte), char literals vs
+//! lifetimes, nested block comments, numbers, identifiers (including raw
+//! `r#ident`), and single-character punctuation. Comments are not tokens —
+//! they are collected per line on the side, because two passes read them
+//! (`// SAFETY:` justifications and `// lint: allow(...)` escape hatches)
+//! and no pass must ever match panic/lock/hash tokens *inside* a comment or
+//! string literal.
+
+/// What a token is, as coarsely as the passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// One punctuation character (`.`, `(`, `{`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token: kind, text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block), with the 1-based line it starts on. Block
+/// comments keep their full text; `lines_spanned` covers multi-line blocks
+/// so "is line N inside a comment" queries stay cheap.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including delimiters.
+    pub text: String,
+    /// Number of source lines the comment covers (1 for line comments).
+    pub lines_spanned: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Side-channel comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comment text that starts on `line`, concatenated.
+    pub fn comment_text_on(&self, line: u32) -> Option<&str> {
+        self.comments.iter().find(|c| c.line == line).map(|c| c.text.as_str())
+    }
+
+    /// Does any comment start on or span `line`?
+    pub fn line_has_comment(&self, line: u32) -> bool {
+        self.comments.iter().any(|c| line >= c.line && line < c.line + c.lines_spanned)
+    }
+}
+
+/// Lex `source` into tokens plus side-channel comments. Total: every byte
+/// is consumed; malformed input (an unterminated string, say) never loops —
+/// the remainder is swallowed into the open literal.
+pub fn lex(source: &str) -> Lexed {
+    Lexer { chars: source.char_indices().peekable(), src: source, line: 1, out: Lexed::default() }
+        .run()
+}
+
+struct Lexer<'s> {
+    chars: std::iter::Peekable<std::str::CharIndices<'s>>,
+    src: &'s str,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'s> Lexer<'s> {
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next().map(|(_, c)| c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.out.tokens.push(Token { kind, text: text.to_string(), line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some((start, c)) = self.bump() {
+            let line = if c == '\n' { self.line - 1 } else { self.line };
+            match c {
+                _ if c.is_whitespace() => {}
+                '/' if self.peek() == Some('/') => self.line_comment(start, line),
+                '/' if self.peek() == Some('*') => self.block_comment(start, line),
+                '"' => self.string(start, line),
+                'r' if self.peek() == Some('"') || self.peek() == Some('#') => {
+                    self.raw_or_ident(start, line, false);
+                }
+                'b' if self.peek() == Some('"') => {
+                    self.bump();
+                    self.string(start, line);
+                }
+                'b' if self.peek() == Some('\'') => {
+                    self.bump();
+                    self.char_literal(start, line);
+                }
+                'b' if self.peek() == Some('r')
+                    && (self.peek2() == Some('"') || self.peek2() == Some('#')) =>
+                {
+                    self.bump();
+                    self.raw_or_ident(start, line, true);
+                }
+                '\'' => self.lifetime_or_char(start, line),
+                _ if is_ident_start(c) => self.ident(start, line),
+                _ if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    let end = start + c.len_utf8();
+                    self.push(TokKind::Punct, &self.src[start..end], line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                end = self.src[start..].find('\n').map_or(self.src.len(), |i| start + i);
+                break;
+            }
+            self.bump();
+        }
+        if self.peek().is_none() {
+            end = self.src.len();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: self.src[start..end].to_string(),
+            lines_spanned: 1,
+        });
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // the '*'
+        let mut depth = 1u32;
+        let mut end = self.src.len();
+        while let Some((i, c)) = self.bump() {
+            if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 2;
+                    break;
+                }
+            }
+        }
+        let text = &self.src[start..end.min(self.src.len())];
+        let spanned = text.chars().filter(|&c| c == '\n').count() as u32 + 1;
+        self.out.comments.push(Comment { line, text: text.to_string(), lines_spanned: spanned });
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some((i, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, &self.src[start..end.min(self.src.len())], line);
+    }
+
+    /// At a `r` (or after the `b` of `br`) that may open a raw string:
+    /// `r"..."` / `r#"..."#` / `r#ident`. Falls back to a plain identifier
+    /// when the hashes are not followed by a quote.
+    fn raw_or_ident(&mut self, start: usize, line: u32, _byte: bool) {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() == Some('"') {
+            self.bump();
+            let closer: String =
+                std::iter::once('"').chain(std::iter::repeat('#').take(hashes)).collect();
+            let rest_start = match self.chars.peek() {
+                Some(&(i, _)) => i,
+                None => self.src.len(),
+            };
+            let end = match self.src[rest_start..].find(&closer) {
+                Some(i) => rest_start + i + closer.len(),
+                None => self.src.len(),
+            };
+            while let Some(&(i, _)) = self.chars.peek() {
+                if i >= end {
+                    break;
+                }
+                self.bump();
+            }
+            self.push(TokKind::Str, &self.src[start..end], line);
+        } else if hashes == 1 && self.peek().is_some_and(is_ident_start) {
+            // Raw identifier `r#ident`: lex the ident part, emit it bare so
+            // passes see `r#type` as `type`-free (a raw ident is never a
+            // keyword use).
+            let id_start = match self.chars.peek() {
+                Some(&(i, _)) => i,
+                None => self.src.len(),
+            };
+            self.ident(id_start, line);
+        } else {
+            // `r` followed by hashes that open nothing: emit `r` and the
+            // hashes as punctuation.
+            self.push(TokKind::Ident, "r", line);
+            for _ in 0..hashes {
+                self.push(TokKind::Punct, "#", line);
+            }
+        }
+    }
+
+    fn char_literal(&mut self, start: usize, line: u32) {
+        // Called just after the opening quote.
+        let mut end = self.src.len();
+        while let Some((i, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, &self.src[start..end.min(self.src.len())], line);
+    }
+
+    fn lifetime_or_char(&mut self, start: usize, line: u32) {
+        // `'a` / `'static` are lifetimes when the quote is followed by an
+        // identifier that is NOT closed by another quote (`'a'` is a char).
+        let next_is_ident = self.peek().is_some_and(is_ident_start);
+        if next_is_ident && self.peek2() != Some('\'') {
+            let mut end = self.src.len();
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    self.bump();
+                } else {
+                    end = match self.chars.peek() {
+                        Some(&(i, _)) => i,
+                        None => self.src.len(),
+                    };
+                    break;
+                }
+            }
+            if self.peek().is_none() {
+                end = self.src.len();
+            }
+            self.push(TokKind::Lifetime, &self.src[start..end], line);
+        } else {
+            self.char_literal(start, line);
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                end = match self.chars.peek() {
+                    Some(&(i, _)) => i,
+                    None => self.src.len(),
+                };
+                break;
+            }
+        }
+        self.push(TokKind::Ident, &self.src[start..end], line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Digits, then any alphanumeric/underscore continuation (covers
+        // hex/octal/binary, suffixes like `u64`, exponents), then a
+        // fractional part only when `.` is followed by a digit — so `0..n`
+        // ranges and `1.max(2)` method calls lex as separate tokens.
+        let mut end = self.src.len();
+        loop {
+            match self.peek() {
+                Some(c) if is_ident_continue(c) => {
+                    self.bump();
+                }
+                Some('.') if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.bump();
+                }
+                Some(_) => {
+                    end = match self.chars.peek() {
+                        Some(&(i, _)) => i,
+                        None => self.src.len(),
+                    };
+                    break;
+                }
+                None => break,
+            }
+        }
+        self.push(TokKind::Num, &self.src[start..end], line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn foo(x: u32) -> bool { x.unwrap() }");
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "(".to_string())));
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lexed = lex("let x = 1; // unwrap() in a comment\n/* panic! */ let y = 2;");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap" || t.text == "panic"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("still")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r##"let s = "no panic!() here"; let r = r#"raw unwrap()"#;"##);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic") || t.is_ident("unwrap")));
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let lexed = lex(r##"let s = r#"contains " quote and // not a comment"# ;"##);
+        assert_eq!(lexed.comments.len(), 0);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e3; let y = 0xff_u32; }");
+        assert!(toks.contains(&(TokKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "10".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e3".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "0xff_u32".to_string())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("fn a() {}\nfn b() {}\n// note\nfn c() {}");
+        let lines: Vec<u32> =
+            lexed.tokens.iter().filter(|t| t.is_ident("fn")).map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+        assert_eq!(lexed.comments[0].line, 3);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lexed = lex(r#"let b = b"bytes"; let c = b'x'; let r = br"raw";"#);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let lexed = lex("let s = \"never closed... unwrap()");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

@@ -1,0 +1,480 @@
+//! `banditware-lint`: the workspace's own static analyzer.
+//!
+//! Four token-level passes over every crate's sources, enforcing the
+//! invariants the compiler cannot check (see README.md, "Static analysis"):
+//!
+//! 1. **no-panic** ([`nopanic`]) — no `unwrap()`/`expect()`/`panic!`/
+//!    `unreachable!`/`todo!`/`unimplemented!` in designated hot-path
+//!    modules.
+//! 2. **lock-order** ([`lockorder`]) — the transitive acquired-while-held
+//!    graph over named lock fields must be acyclic, and a shard (stripe)
+//!    lock must never be acquired while a WAL appender lock is held.
+//! 3. **determinism** ([`determinism`]) — bitwise-pinned crates must not
+//!    iterate `HashMap`/`HashSet` (iteration order would leak into pinned
+//!    replay/replication streams) nor read wall clocks outside annotated
+//!    timing code.
+//! 4. **unsafe-audit** ([`unsafety`]) — every `unsafe` block/fn/impl and
+//!    every foreign (`extern "..." { }`) block carries an immediately
+//!    preceding `// SAFETY:` justification; the pass also emits the
+//!    one-page inventory of the workspace's raw-syscall surface.
+//!
+//! The analyzer is deliberately approximate (a lexer, not a compiler): it
+//! over-approximates where cheap and supports a per-site escape hatch,
+//! `// lint: allow(<pass>) -- <justification>`, which requires a non-empty
+//! justification and covers the same line or the next code line. The crate
+//! is self-hosting: its own `src/` is in the no-panic set and is scanned
+//! like every other crate.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod determinism;
+pub mod lexer;
+pub mod lockorder;
+pub mod nopanic;
+pub mod symbols;
+pub mod unsafety;
+
+use lexer::{lex, Lexed, TokKind, Token};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Panic-freedom in designated hot-path modules.
+    NoPanic,
+    /// Lock acquisition ordering.
+    LockOrder,
+    /// Bitwise-determinism hygiene.
+    Determinism,
+    /// `unsafe` justification audit.
+    UnsafeAudit,
+    /// The lint annotations themselves (malformed `lint:` comments).
+    Annotation,
+}
+
+impl Pass {
+    /// The name used in `lint: allow(<name>)` comments and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::NoPanic => "no-panic",
+            Pass::LockOrder => "lock-order",
+            Pass::Determinism => "determinism",
+            Pass::UnsafeAudit => "unsafe",
+            Pass::Annotation => "annotation",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The pass that fired.
+    pub pass: Pass,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.pass, self.message)
+    }
+}
+
+/// A parsed `// lint: allow(<pass>) -- <justification>` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// The pass name inside `allow(...)`.
+    pub pass: String,
+    /// The justification after `--` (never empty for a valid allow).
+    pub justification: String,
+}
+
+/// One lexed, annotated source file ready for the passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Raw source split into lines (for blank/comment adjacency checks).
+    pub lines: Vec<String>,
+    /// Token stream + side-channel comments.
+    pub lexed: Lexed,
+    /// Per-token mask: `false` for tokens inside `#[cfg(test)]` / `#[test]`
+    /// items (every pass analyzes production code only).
+    pub active: Vec<bool>,
+    /// Parsed `lint: allow` comments.
+    pub allows: Vec<Allow>,
+    /// Whether a `lint: timing-module` annotation exempts this file from
+    /// the wall-clock rule.
+    pub timing_module: bool,
+}
+
+impl SourceFile {
+    /// Lex and annotate one file's source text.
+    pub fn parse(rel: String, source: &str) -> (SourceFile, Vec<Finding>) {
+        let lexed = lex(source);
+        let active = active_mask(&lexed.tokens);
+        let mut findings = Vec::new();
+        let mut allows = Vec::new();
+        let mut timing_module = false;
+        for comment in &lexed.comments {
+            parse_lint_comment(
+                &rel,
+                comment.line,
+                &comment.text,
+                &mut allows,
+                &mut timing_module,
+                &mut findings,
+            );
+        }
+        let lines = source.lines().map(str::to_string).collect();
+        (SourceFile { rel, lines, lexed, active, allows, timing_module }, findings)
+    }
+
+    /// Is a finding of `pass` at `line` covered by an allow? An allow
+    /// covers its own line (trailing comment) or, when it sits on a
+    /// comment-only line, the next non-blank non-comment line.
+    pub fn allowed(&self, pass: Pass, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            if a.pass != pass.name() {
+                return false;
+            }
+            if a.line == line {
+                return true;
+            }
+            if a.line > line {
+                return false;
+            }
+            // Every line strictly between the allow and the finding must be
+            // blank or comment-only, so an allow never silently covers
+            // distant code.
+            (a.line..line).skip(1).all(|l| {
+                let idx = l as usize - 1;
+                let blank = self.lines.get(idx).is_none_or(|s| s.trim().is_empty());
+                blank || self.lexed.line_has_comment(l)
+            })
+        })
+    }
+
+    /// The tokens of this file with their indices, production code only.
+    pub fn active_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.active.get(*i).copied().unwrap_or(true))
+    }
+}
+
+/// Recognized pass names for `lint: allow(...)`.
+const ALLOW_PASSES: &[&str] = &["no-panic", "lock-order", "determinism", "unsafe"];
+
+fn parse_lint_comment(
+    rel: &str,
+    line: u32,
+    text: &str,
+    allows: &mut Vec<Allow>,
+    timing_module: &mut bool,
+    findings: &mut Vec<Finding>,
+) {
+    // Only comments that *lead* with `lint:` (after the `//`/`/*` sigils
+    // and doc-comment markers) are annotations; prose that merely mentions
+    // the syntax — like this crate's own docs — is not.
+    let lead = text.trim_start_matches(['/', '*', '!']).trim_start();
+    let Some(body) = lead.strip_prefix("lint:") else {
+        return;
+    };
+    let body = body.trim();
+    let malformed = |findings: &mut Vec<Finding>, message: String| {
+        findings.push(Finding { file: rel.to_string(), line, pass: Pass::Annotation, message });
+    };
+    if let Some(rest) = body.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            return malformed(findings, "unclosed `lint: allow(` annotation".to_string());
+        };
+        let pass = rest[..close].trim();
+        if !ALLOW_PASSES.contains(&pass) {
+            return malformed(
+                findings,
+                format!("unknown pass `{pass}` in `lint: allow(...)` (expected one of {ALLOW_PASSES:?})"),
+            );
+        }
+        let after = rest[close + 1..].trim();
+        let Some(justification) = after.strip_prefix("--") else {
+            return malformed(
+                findings,
+                format!("`lint: allow({pass})` needs a `-- <justification>`"),
+            );
+        };
+        let justification = justification.trim();
+        if justification.is_empty() {
+            return malformed(
+                findings,
+                format!("`lint: allow({pass})` has an empty justification"),
+            );
+        }
+        allows.push(Allow {
+            line,
+            pass: pass.to_string(),
+            justification: justification.to_string(),
+        });
+    } else if let Some(rest) = body.strip_prefix("timing-module") {
+        let Some(justification) = rest.trim().strip_prefix("--") else {
+            return malformed(
+                findings,
+                "`lint: timing-module` needs a `-- <justification>`".to_string(),
+            );
+        };
+        if justification.trim().is_empty() {
+            return malformed(
+                findings,
+                "`lint: timing-module` has an empty justification".to_string(),
+            );
+        }
+        *timing_module = true;
+    } else {
+        malformed(findings, format!("unrecognized `lint:` annotation `{body}`"));
+    }
+}
+
+/// Compute the per-token active mask: `false` inside items guarded by
+/// `#[cfg(test)]` (or any `cfg` whose predicate names `test` un-negated) or
+/// `#[test]`. A file-level `#![cfg(test)]` deactivates the whole file.
+pub fn active_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut active = vec![true; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens to the matching `]`.
+        let mut depth = 0i32;
+        let attr_start = j;
+        let mut attr_end = tokens.len();
+        while j < tokens.len() {
+            if tokens[j].is_punct('[') {
+                depth += 1;
+            } else if tokens[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    attr_end = j;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let attr = &tokens[attr_start..attr_end.min(tokens.len())];
+        if !attr_is_test(attr) {
+            i = attr_end.max(i) + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test-only.
+            for slot in active.iter_mut() {
+                *slot = false;
+            }
+            return active;
+        }
+        // Skip any further attributes, then the guarded item.
+        let mut k = attr_end + 1;
+        while k < tokens.len() && tokens[k].is_punct('#') {
+            let mut depth = 0i32;
+            let mut m = k + 1;
+            while m < tokens.len() {
+                if tokens[m].is_punct('[') {
+                    depth += 1;
+                } else if tokens[m].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        let item_end = item_extent(tokens, k);
+        for slot in active.iter_mut().take(item_end.min(tokens.len())).skip(i) {
+            *slot = false;
+        }
+        i = item_end;
+    }
+    active
+}
+
+/// Does this attribute token list mean "test-only code"? `test` alone, or a
+/// `cfg(...)` predicate that names `test` without a preceding `not(`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> =
+        attr.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => {
+            // Position of `test` among the tokens; reject `not(test)`.
+            for (idx, tok) in attr.iter().enumerate() {
+                if tok.is_ident("test") {
+                    let negated =
+                        idx >= 2 && attr[idx - 1].is_punct('(') && attr[idx - 2].is_ident("not");
+                    if !negated {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// End (exclusive token index) of the item starting at `start`: through the
+/// first balanced `{...}` at paren/bracket depth 0, or to a terminating
+/// `;`, whichever comes first.
+fn item_extent(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = start;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            return k + 1;
+        } else if depth == 0 && t.is_punct('{') {
+            let mut braces = 0i32;
+            while k < tokens.len() {
+                if tokens[k].is_punct('{') {
+                    braces += 1;
+                } else if tokens[k].is_punct('}') {
+                    braces -= 1;
+                    if braces == 0 {
+                        return k + 1;
+                    }
+                }
+                k += 1;
+            }
+            return tokens.len();
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Find the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// A whole workspace, parsed: every `.rs` under `src/` and `crates/*/src/`.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Parsed files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// Findings raised while parsing (malformed `lint:` annotations).
+    pub parse_findings: Vec<Finding>,
+}
+
+impl Workspace {
+    /// Read and lex every workspace source file under `root`.
+    ///
+    /// # Errors
+    /// IO failures reading the source tree.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut rs_files: Vec<PathBuf> = Vec::new();
+        let src = root.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut rs_files)?;
+        }
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                let src = dir.join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut rs_files)?;
+                }
+            }
+        }
+        rs_files.sort();
+        let mut files = Vec::with_capacity(rs_files.len());
+        let mut parse_findings = Vec::new();
+        for path in rs_files {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let (file, mut findings) = SourceFile::parse(rel, &text);
+            parse_findings.append(&mut findings);
+            files.push(file);
+        }
+        Ok(Workspace { root: root.to_path_buf(), files, parse_findings })
+    }
+
+    /// Run every pass; returns all findings sorted by (file, line).
+    pub fn check(&self) -> Vec<Finding> {
+        let mut findings = self.parse_findings.clone();
+        findings.extend(nopanic::check(self));
+        findings.extend(lockorder::check(self));
+        findings.extend(determinism::check(self));
+        findings.extend(unsafety::check(self).findings);
+        findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+        findings
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

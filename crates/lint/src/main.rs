@@ -1,0 +1,91 @@
+//! `banditware-lint` — the workspace's static-analysis CI gate.
+//!
+//! ```text
+//! banditware-lint [--check] [--inventory] [--root <path>]
+//! ```
+//!
+//! With no flags (or `--check`) the four passes run over every workspace
+//! source file; findings print one per line as `file:line: [pass] message`
+//! and the exit code is 1 if any exist. `--inventory` prints the `unsafe`
+//! inventory (file, line, kind, justification) instead; combine with
+//! `--check` to do both. `--root` overrides workspace-root discovery.
+
+use banditware_lint::{find_workspace_root, unsafety, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    check: bool,
+    inventory: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut check = false;
+    let mut inventory = false;
+    let mut root = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--inventory" => inventory = true,
+            "--root" => match argv.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return Err("--root needs a path argument".to_string()),
+            },
+            "--help" | "-h" => {
+                println!("usage: banditware-lint [--check] [--inventory] [--root <path>]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // Default action is the check; `--inventory` alone skips it.
+    if !inventory {
+        check = true;
+    }
+    Ok(Args { check, inventory, root })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("banditware-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root =
+        args.root.or_else(|| std::env::current_dir().ok().and_then(|d| find_workspace_root(&d)));
+    let Some(root) = root else {
+        eprintln!("banditware-lint: no workspace root found (pass --root <path>)");
+        return ExitCode::from(2);
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("banditware-lint: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.inventory {
+        let report = unsafety::check(&ws);
+        println!("unsafe inventory ({} sites):", report.inventory.len());
+        for site in &report.inventory {
+            println!("  {}:{}: {} — {}", site.file, site.line, site.kind, site.justification);
+        }
+    }
+    if args.check {
+        let findings = ws.check();
+        for finding in &findings {
+            println!("{finding}");
+        }
+        if findings.is_empty() {
+            println!("lint: clean ({} files scanned)", ws.files.len());
+        } else {
+            println!("lint: {} finding(s) in {} files scanned", findings.len(), ws.files.len());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

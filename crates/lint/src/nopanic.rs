@@ -1,0 +1,133 @@
+//! Pass 1: panic-freedom in designated hot-path modules.
+//!
+//! In the files listed in [`crate::config::NO_PANIC_PATHS`], any token-level
+//! occurrence of `.unwrap()`, `.expect(`, `panic!`, `unreachable!`,
+//! `todo!`, or `unimplemented!` outside `#[cfg(test)]` code is a finding,
+//! unless covered by `// lint: allow(no-panic) -- <justification>`.
+//!
+//! The check is receiver-agnostic on purpose: `Option::unwrap`,
+//! `Result::unwrap`, and `Mutex::lock().unwrap()` are all panic sites in a
+//! serving thread, and distinguishing them needs type information a lexer
+//! does not have.
+
+use crate::config::{path_matches, NO_PANIC_PATHS};
+use crate::lexer::TokKind;
+use crate::{Finding, Pass, SourceFile, Workspace};
+
+/// Method names that panic on the failure arm.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macro names that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the pass over every covered file in the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !path_matches(&file.rel, NO_PANIC_PATHS) {
+            continue;
+        }
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in file.active_tokens() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let report = |findings: &mut Vec<Finding>, message: String| {
+            if !file.allowed(Pass::NoPanic, t.line) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    pass: Pass::NoPanic,
+                    message,
+                });
+            }
+        };
+        if PANIC_METHODS.contains(&name) {
+            // Require the method-call shape `.name(` so idents like a local
+            // variable named `expect` don't fire.
+            let is_call = i >= 1
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if is_call {
+                report(
+                    findings,
+                    format!(
+                        ".{name}() panics on the failure arm; return an error (or use \
+                         `lint: allow(no-panic) -- <why the invariant holds>`)"
+                    ),
+                );
+            }
+        } else if PANIC_MACROS.contains(&name) {
+            let is_macro = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            // `core::panic::Location`-style paths are not invocations.
+            if is_macro {
+                report(
+                    findings,
+                    format!("`{name}!` in a hot-path module; propagate an error instead"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let (file, _) = SourceFile::parse(rel.to_string(), src);
+        let mut findings = Vec::new();
+        check_file(&file, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros() {
+        let findings = run(
+            "crates/linalg/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { panic!(\"boom\") }\n",
+        );
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("unwrap"));
+        assert_eq!(findings[1].line, 2);
+    }
+
+    #[test]
+    fn ignores_test_code_and_non_calls() {
+        let findings = run(
+            "crates/linalg/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\nfn f(expect: u32) -> u32 { expect }\n",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(no-panic) -- checked by caller\n    x.unwrap()\n}\nfn g(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(no-panic) -- ok\n";
+        let findings = run("crates/linalg/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_does_not_reach_past_code() {
+        let src = "// lint: allow(no-panic) -- first only\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let findings = run("crates/linalg/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() -> &'static str { \"do not unwrap() here\" }\n// a comment mentioning panic!(..)\n";
+        let findings = run("crates/linalg/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,548 @@
+//! Shared approximate symbol extraction: type aliases, `name: Type`
+//! declarations, `fn` definitions, and receiver-chain resolution.
+//!
+//! The lock-order and determinism passes both need to answer "what is this
+//! identifier, roughly?" without a type checker. The answers here are
+//! token-level approximations — declarations are matched as `ident :`
+//! followed by a token window, receivers by walking one call/index layer
+//! backwards from a `.method(` site — chosen to over-approximate on the
+//! patterns this workspace actually uses.
+
+use crate::lexer::{TokKind, Token};
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A `type Name = ...;` alias and the token window of its right-hand side.
+#[derive(Debug, Clone)]
+pub struct Alias {
+    /// Alias name.
+    pub name: String,
+    /// Right-hand-side tokens, flattened to their text.
+    pub rhs: Vec<String>,
+}
+
+/// Collect `type X = ...;` aliases from one file's active tokens.
+pub fn aliases(file: &SourceFile) -> Vec<Alias> {
+    let tokens = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let active: Vec<(usize, &Token)> = file.active_tokens().collect();
+    for w in 0..active.len() {
+        let (i, t) = active[w];
+        if !t.is_ident("type") {
+            continue;
+        }
+        // `type` must start an item, not appear in `<T as Trait>::type`-ish
+        // positions; requiring `Name =` next filters those.
+        let Some(name_tok) = tokens.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Skip generic params on the alias if present, then expect `=`.
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    depth += 1;
+                } else if tokens[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let mut rhs = Vec::new();
+        let mut k = j + 1;
+        while k < tokens.len() && !tokens[k].is_punct(';') {
+            rhs.push(tokens[k].text.clone());
+            k += 1;
+        }
+        out.push(Alias { name: name_tok.text.clone(), rhs });
+    }
+    out
+}
+
+/// One `name : <type/value window>` declaration site.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// Token index of the declared identifier.
+    pub ident_tok: usize,
+    /// The declared name.
+    pub name: String,
+    /// Token index range (exclusive end) of the window after the `:`.
+    pub window: (usize, usize),
+}
+
+/// Collect every `ident :` declaration-shaped site in one file (struct
+/// fields, function parameters, annotated lets, struct-literal fields).
+/// The window runs to the first `,`/`;`/`)`/`}`/`=`/`{` at bracket depth
+/// 0 — stopping at `{` keeps trait/impl headers (`trait Foo: Send {`)
+/// from swallowing whole item bodies into the "type" window.
+pub fn decls(file: &SourceFile) -> Vec<Decl> {
+    let tokens = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in file.active_tokens() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(colon) = tokens.get(i + 1) else { continue };
+        if !colon.is_punct(':') {
+            continue;
+        }
+        // Exclude `::` paths on either side.
+        if tokens.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        if i >= 1 && tokens[i - 1].is_punct(':') {
+            continue;
+        }
+        let start = i + 2;
+        let mut depth = 0i32;
+        let mut k = start;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0
+                && (t.is_punct(',')
+                    || t.is_punct(';')
+                    || t.is_punct('=')
+                    || t.is_punct('{')
+                    || t.is_punct('}'))
+            {
+                break;
+            }
+            k += 1;
+        }
+        if k > start {
+            out.push(Decl { ident_tok: i, name: t.text.clone(), window: (start, k) });
+        }
+    }
+    out
+}
+
+/// One `fn` definition (or body-less foreign/trait declaration).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Workspace file index the definition lives in.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name.
+    pub name_tok: usize,
+    /// Signature token range: from after the name to the body `{` or `;`.
+    pub sig: (usize, usize),
+    /// Body token range (inside the braces, exclusive), if any.
+    pub body: Option<(usize, usize)>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing `impl`/`trait` type names (empty for a free function; a
+    /// trait impl carries both the trait and the implementing type).
+    pub owners: Vec<String>,
+}
+
+/// `impl`/`trait` block extents with the type names that own their items.
+fn owner_blocks(file: &SourceFile) -> Vec<(usize, usize, Vec<String>)> {
+    let tokens = &file.lexed.tokens;
+    let mut blocks = Vec::new();
+    for (i, t) in file.active_tokens() {
+        let is_impl = t.is_ident("impl");
+        let is_trait = t.is_ident("trait");
+        if !is_impl && !is_trait {
+            continue;
+        }
+        // Header: tokens up to the body `{` at paren depth 0. Track angle
+        // depth so generic parameters (`impl<P: Policy> ...`) don't read
+        // as the owning type.
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut k = i + 1;
+        let mut body_start = None;
+        let mut header: Vec<(usize, i32)> = Vec::new(); // (token idx, angle depth)
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(k >= 1 && tokens[k - 1].is_punct('-')) {
+                angle -= 1;
+            } else if depth == 0 && angle <= 0 && t.is_punct('{') {
+                body_start = Some(k);
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            header.push((k, angle));
+            k += 1;
+        }
+        let Some(bs) = body_start else { continue };
+        let mut braces = 0i32;
+        let mut m = bs;
+        while m < tokens.len() {
+            if tokens[m].is_punct('{') {
+                braces += 1;
+            } else if tokens[m].is_punct('}') {
+                braces -= 1;
+                if braces == 0 {
+                    break;
+                }
+            }
+            m += 1;
+        }
+        let top_idents = |range: &[(usize, i32)]| -> Option<String> {
+            range.iter().find_map(|&(idx, a)| {
+                let t = &tokens[idx];
+                (a <= 0
+                    && t.kind == TokKind::Ident
+                    && t.text.chars().next().is_some_and(char::is_uppercase))
+                .then(|| t.text.clone())
+            })
+        };
+        let mut owners = Vec::new();
+        if is_trait {
+            owners.extend(top_idents(&header));
+        } else if let Some(for_pos) =
+            header.iter().position(|&(idx, a)| a <= 0 && tokens[idx].is_ident("for"))
+        {
+            // `impl Trait for Type`: items answer to both names.
+            owners.extend(top_idents(&header[..for_pos]));
+            owners.extend(top_idents(&header[for_pos..]));
+        } else {
+            owners.extend(top_idents(&header));
+        }
+        blocks.push((bs, m, owners));
+    }
+    blocks
+}
+
+/// Collect `fn` definitions from one file's active tokens. `file_idx` is
+/// recorded into each definition for cross-file lookups.
+pub fn fn_defs(file: &SourceFile, file_idx: usize) -> Vec<FnDef> {
+    let tokens = &file.lexed.tokens;
+    let blocks = owner_blocks(file);
+    let mut out = Vec::new();
+    for (i, t) in file.active_tokens() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn(...)` pointer type
+        }
+        // Scan to the body `{` or a terminating `;` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut k = i + 2;
+        let mut body = None;
+        let mut sig_end = tokens.len();
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                sig_end = k;
+                break;
+            } else if depth == 0 && t.is_punct('{') {
+                sig_end = k;
+                let mut braces = 0i32;
+                let mut m = k;
+                while m < tokens.len() {
+                    if tokens[m].is_punct('{') {
+                        braces += 1;
+                    } else if tokens[m].is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                body = Some((k + 1, m));
+                break;
+            }
+            k += 1;
+        }
+        // Owner: the innermost impl/trait block containing this `fn`.
+        let owners = blocks
+            .iter()
+            .filter(|(s, e, _)| *s < i && i < *e)
+            .min_by_key(|(s, e, _)| e - s)
+            .map(|(_, _, o)| o.clone())
+            .unwrap_or_default();
+        out.push(FnDef {
+            file: file_idx,
+            name: name_tok.text.clone(),
+            name_tok: i + 1,
+            sig: (i + 2, sig_end),
+            body,
+            line: t.line,
+            owners,
+        });
+    }
+    out
+}
+
+/// The `-> ...` return-type window of a signature range, skipping `->`
+/// arrows inside parenthesized parameter lists (closure-typed params).
+pub fn return_window(tokens: &[Token], sig: (usize, usize)) -> Option<(usize, usize)> {
+    let (s, e) = sig;
+    let mut depth = 0i32;
+    let mut k = s;
+    while k + 1 < e && k + 1 < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('-') && tokens[k + 1].is_punct('>') {
+            return Some((k + 2, e));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Walk one receiver layer backwards from the `.` at `dot_idx`: through a
+/// closed call `(...)` or index `[...]` and optional `?`s, to the base
+/// identifier. Returns its token index.
+pub fn receiver_base(tokens: &[Token], dot_idx: usize) -> Option<usize> {
+    let mut i = dot_idx.checked_sub(1)?;
+    loop {
+        let t = tokens.get(i)?;
+        if t.is_punct('?') {
+            i = i.checked_sub(1)?;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            let (open, close) = if t.is_punct(')') { ('(', ')') } else { ('[', ']') };
+            let mut depth = 0i32;
+            loop {
+                let t = tokens.get(i)?;
+                if t.is_punct(close) {
+                    depth += 1;
+                } else if t.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i = i.checked_sub(1)?;
+            }
+            i = i.checked_sub(1)?;
+        } else if t.kind == TokKind::Ident {
+            return Some(i);
+        } else {
+            return None;
+        }
+    }
+}
+
+/// Token index where the statement containing `idx` starts: just after the
+/// previous `;`, `{`, or `}`.
+pub fn stmt_start(tokens: &[Token], idx: usize) -> usize {
+    let mut i = idx;
+    while i > 0 {
+        let t = &tokens[i - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return i;
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// If the statement starting at `stmt` is a `let`, the name it binds
+/// (best-effort: the first plain identifier after `let`/`mut`).
+pub fn let_binding(tokens: &[Token], stmt: usize) -> Option<String> {
+    if !tokens.get(stmt)?.is_ident("let") {
+        return None;
+    }
+    let mut i = stmt + 1;
+    if tokens.get(i)?.is_ident("mut") {
+        i += 1;
+    }
+    let t = tokens.get(i)?;
+    if t.kind == TokKind::Ident {
+        Some(t.text.clone())
+    } else {
+        None
+    }
+}
+
+/// End (exclusive token index) of the hold for a guard acquired at `idx`.
+///
+/// A `let`-bound guard lives to the end of the enclosing block, or to an
+/// explicit `drop(<binding>)`. A temporary guard lives to the end of its
+/// statement: the next `;` at relative brace depth 0, or the `}` that
+/// closes a block the statement itself opened (the `if let`/`match`
+/// scrutinee case), or the `}` closing the enclosing block.
+pub fn hold_end(tokens: &[Token], idx: usize) -> usize {
+    let stmt = stmt_start(tokens, idx);
+    let binding = let_binding(tokens, stmt);
+    let mut depth = 0i32;
+    let mut k = idx;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return k; // enclosing block closed
+            }
+            if binding.is_none() && depth == 0 {
+                return k; // end of the statement's attached block
+            }
+        } else if t.is_punct(';') && depth == 0 && binding.is_none() {
+            return k;
+        } else if let Some(name) = &binding {
+            // `drop(name)` ends a let-bound guard early.
+            if t.is_ident("drop")
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
+                && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Per-crate name classification tables shared by the passes.
+#[derive(Debug, Default)]
+pub struct CrateNames {
+    /// Aliases whose definition involves `Mutex`/`RwLock`.
+    pub lock_aliases: BTreeSet<String>,
+    /// Aliases whose definition involves `HashMap`/`HashSet` (directly or
+    /// through a lock alias wrapping one).
+    pub hash_aliases: BTreeSet<String>,
+    /// All aliases by name.
+    pub all: BTreeMap<String, Alias>,
+}
+
+/// Build the alias tables for one crate's files, resolving one level of
+/// alias-through-alias (`Stripe = RwLock<HashMap<..>>` makes `Stripe` both
+/// lock- and hash-carrying).
+pub fn crate_names(files: &[&SourceFile]) -> CrateNames {
+    let mut names = CrateNames::default();
+    for file in files {
+        for alias in aliases(file) {
+            names.all.insert(alias.name.clone(), alias);
+        }
+    }
+    // Two rounds: direct classification, then through one alias layer.
+    for _ in 0..2 {
+        let all: Vec<Alias> = names.all.values().cloned().collect();
+        for alias in all {
+            let lock = alias
+                .rhs
+                .iter()
+                .any(|t| t == "Mutex" || t == "RwLock" || names.lock_aliases.contains(t));
+            let hash = alias
+                .rhs
+                .iter()
+                .any(|t| t == "HashMap" || t == "HashSet" || names.hash_aliases.contains(t));
+            if lock {
+                names.lock_aliases.insert(alias.name.clone());
+            }
+            if hash {
+                names.hash_aliases.insert(alias.name.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".to_string(), src).0
+    }
+
+    #[test]
+    fn finds_aliases_and_classifies() {
+        let f = parse(
+            "type Stripe = RwLock<HashMap<String, Shard>>;\ntype WalMap = HashMap<String, X>;\n",
+        );
+        let names = crate_names(&[&f]);
+        assert!(names.lock_aliases.contains("Stripe"));
+        assert!(names.hash_aliases.contains("Stripe"));
+        assert!(names.hash_aliases.contains("WalMap"));
+        assert!(!names.lock_aliases.contains("WalMap"));
+    }
+
+    #[test]
+    fn finds_decls_and_fns() {
+        let f = parse(
+            "struct S { wals: RwLock<WalMap> }\nimpl S { fn go(&self, key: &str) -> u32 { 7 } }\n",
+        );
+        let ds = decls(&f);
+        assert!(ds.iter().any(|d| d.name == "wals"));
+        assert!(ds.iter().any(|d| d.name == "key"));
+        let fns = fn_defs(&f, 0);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "go");
+        assert!(fns[0].body.is_some());
+    }
+
+    #[test]
+    fn receiver_through_call_and_index() {
+        let f = parse("fn f(&self) { self.stripe(key).write(); self.stripes[i].read(); }");
+        let toks = &f.lexed.tokens;
+        let dots: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| {
+                t.is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_ident("write") || n.is_ident("read"))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let bases: Vec<&str> = dots
+            .iter()
+            .filter_map(|&d| receiver_base(toks, d))
+            .map(|i| toks[i].text.as_str())
+            .collect();
+        assert_eq!(bases, vec!["stripe", "stripes"]);
+    }
+
+    #[test]
+    fn hold_ends_at_statement_or_block() {
+        // Temporary: ends at `;`. Let-bound: ends at block close.
+        let f = parse("fn f() { a.read().x(); let g = b.write(); c(); }");
+        let toks = &f.lexed.tokens;
+        let read_at = toks.iter().position(|t| t.is_ident("read")).unwrap();
+        let end = hold_end(toks, read_at);
+        assert!(toks[end].is_punct(';'));
+        let write_at = toks.iter().position(|t| t.is_ident("write")).unwrap();
+        let end = hold_end(toks, write_at);
+        assert!(toks[end].is_punct('}'));
+    }
+
+    #[test]
+    fn drop_ends_let_bound_hold() {
+        let f = parse("fn f() { let g = b.write(); use_it(&g); drop(g); c(); }");
+        let toks = &f.lexed.tokens;
+        let write_at = toks.iter().position(|t| t.is_ident("write")).unwrap();
+        let end = hold_end(toks, write_at);
+        assert!(toks[end].is_ident("drop"));
+    }
+}

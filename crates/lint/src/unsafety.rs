@@ -1,0 +1,277 @@
+//! Pass 4: `unsafe` justification audit + inventory.
+//!
+//! Every `unsafe` block, `unsafe fn`, `unsafe impl`/`trait`, and foreign
+//! (`extern "..." { }`) block must carry a `// SAFETY:` comment on the same
+//! line or in the contiguous comment/attribute lines immediately above it.
+//! The pass also collects the full inventory — file, line, kind,
+//! justification — which `banditware-lint --inventory` prints as the
+//! workspace's one-page raw-syscall surface review.
+
+use crate::lexer::TokKind;
+use crate::symbols;
+use crate::{Finding, Pass, SourceFile, Workspace};
+
+/// One audited `unsafe` site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe`/`extern` keyword.
+    pub line: u32,
+    /// What kind of site: `block`, `fn <name>`, `impl`, `trait`,
+    /// `extern <abi> block`.
+    pub kind: String,
+    /// The text after `SAFETY:`, or a `(missing)`/`(allowed: ...)` marker.
+    pub justification: String,
+}
+
+/// The audit's two outputs: violations and the complete inventory.
+#[derive(Debug, Default)]
+pub struct UnsafeReport {
+    /// Sites lacking a justification (and not allowlisted).
+    pub findings: Vec<Finding>,
+    /// Every audited site, justified or not.
+    pub inventory: Vec<UnsafeSite>,
+}
+
+/// Run the audit over the whole workspace.
+pub fn check(ws: &Workspace) -> UnsafeReport {
+    let mut report = UnsafeReport::default();
+    for file in &ws.files {
+        check_file(file, &mut report);
+    }
+    report
+}
+
+fn check_file(file: &SourceFile, report: &mut UnsafeReport) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in file.active_tokens() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = if t.text == "unsafe" {
+            classify_unsafe(file, i)
+        } else if t.text == "extern"
+            && !(i >= 1 && tokens[i - 1].is_ident("unsafe"))
+            && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Str)
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            // A foreign block is an unsafety boundary even without the
+            // (edition-dependent) `unsafe extern` spelling.
+            Some(format!("extern {} block", tokens[i + 1].text))
+        } else {
+            None
+        };
+        let Some(kind) = kind else { continue };
+        // Anchor at the enclosing statement's first line: rustfmt may wrap
+        // `let n = unsafe { .. }` so the keyword lands lines below the
+        // `// SAFETY:` comment that precedes the statement.
+        let anchor = tokens[symbols::stmt_start(tokens, i)].line.min(t.line);
+        let justification = match safety_comment(file, anchor, t.line) {
+            Some(j) => j,
+            None if file.allowed(Pass::UnsafeAudit, t.line) => {
+                format!("(allowed: {})", allow_justification(file, t.line))
+            }
+            None => {
+                report.findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    pass: Pass::UnsafeAudit,
+                    message: format!(
+                        "`{kind}` without an immediately preceding `// SAFETY:` comment \
+                         explaining why the invariants hold"
+                    ),
+                });
+                "(missing)".to_string()
+            }
+        };
+        report.inventory.push(UnsafeSite {
+            file: file.rel.clone(),
+            line: t.line,
+            kind,
+            justification,
+        });
+    }
+}
+
+/// What follows this `unsafe` keyword? `None` for shapes we don't audit
+/// (e.g. `unsafe` inside an attribute token stream).
+fn classify_unsafe(file: &SourceFile, i: usize) -> Option<String> {
+    let tokens = &file.lexed.tokens;
+    // Look a few tokens ahead: `unsafe {`, `unsafe fn name`,
+    // `unsafe extern "C" fn name`, `unsafe impl`, `unsafe trait`.
+    for j in (i + 1)..(i + 8).min(tokens.len()) {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            return Some("unsafe block".to_string());
+        }
+        if t.is_ident("fn") {
+            let name = tokens
+                .get(j + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map_or(String::new(), |n| format!(" {}", n.text));
+            return Some(format!("unsafe fn{name}"));
+        }
+        if t.is_ident("impl") {
+            return Some("unsafe impl".to_string());
+        }
+        if t.is_ident("trait") {
+            return Some("unsafe trait".to_string());
+        }
+        if t.is_ident("extern") || t.kind == TokKind::Str {
+            continue; // `unsafe extern "C" { .. }` — keep scanning
+        }
+        break;
+    }
+    None
+}
+
+/// The `SAFETY:` justification covering the statement spanning
+/// `anchor..=line`: on one of those lines, or in the contiguous run of
+/// comment/attribute lines immediately above the anchor.
+fn safety_comment(file: &SourceFile, anchor: u32, line: u32) -> Option<String> {
+    for l in anchor..=line {
+        if let Some(text) = file.lexed.comment_text_on(l) {
+            if let Some(j) = extract(text) {
+                return Some(j);
+            }
+        }
+    }
+    let mut l = anchor.saturating_sub(1);
+    while l >= 1 {
+        let trimmed = file.lines.get(l as usize - 1).map_or("", |s| s.trim());
+        let commentish = trimmed.starts_with("//")
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#![")
+            || file.lexed.line_has_comment(l);
+        if !commentish {
+            return None;
+        }
+        // A block comment is recorded on its starting line; search every
+        // comment that covers this line.
+        for c in &file.lexed.comments {
+            if l >= c.line && l < c.line + c.lines_spanned {
+                if let Some(j) = extract(&c.text) {
+                    return Some(j);
+                }
+            }
+        }
+        l -= 1;
+    }
+    None
+}
+
+/// The text after `SAFETY:`, flattened to one line without comment
+/// decoration.
+fn extract(comment: &str) -> Option<String> {
+    let pos = comment.find("SAFETY:")?;
+    let tail = &comment[pos + "SAFETY:".len()..];
+    let flat: Vec<&str> = tail
+        .lines()
+        .map(|l| {
+            l.trim().trim_start_matches("//").trim_start_matches('*').trim_end_matches("*/").trim()
+        })
+        .filter(|l| !l.is_empty())
+        .collect();
+    Some(flat.join(" "))
+}
+
+/// The justification text of the `allow(unsafe)` covering `line` (used for
+/// inventory display; [`SourceFile::allowed`] already verified coverage).
+fn allow_justification(file: &SourceFile, line: u32) -> String {
+    file.allows
+        .iter()
+        .filter(|a| a.pass == Pass::UnsafeAudit.name() && a.line <= line)
+        .max_by_key(|a| a.line)
+        .map_or_else(String::new, |a| a.justification.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(src: &str) -> UnsafeReport {
+        let (file, _) = SourceFile::parse("crates/x/src/a.rs".to_string(), src);
+        let mut report = UnsafeReport::default();
+        check_file(&file, &mut report);
+        report
+    }
+
+    #[test]
+    fn justified_block_inventoried_without_finding() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads\n    unsafe { *p }\n}\n";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.inventory.len(), 1);
+        assert_eq!(r.inventory[0].kind, "unsafe block");
+        assert!(r.inventory[0].justification.contains("valid for reads"));
+    }
+
+    #[test]
+    fn missing_safety_is_a_finding() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let r = run(src);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("SAFETY:"));
+        assert_eq!(r.inventory[0].justification, "(missing)");
+    }
+
+    #[test]
+    fn unsafe_fn_and_extern_block_audited() {
+        let src = "\
+// SAFETY: documented contract: idx < len
+unsafe fn get(idx: usize) -> u8 { 0 }
+extern \"C\" {
+    fn close(fd: i32) -> i32;
+}
+";
+        let r = run(src);
+        assert_eq!(r.inventory.len(), 2, "{:?}", r.inventory);
+        assert_eq!(r.inventory[0].kind, "unsafe fn get");
+        assert!(r.inventory[1].kind.starts_with("extern"));
+        // The extern block lacks a SAFETY comment.
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn attribute_between_comment_and_item_is_fine() {
+        let src = "\
+// SAFETY: repr(C) matches the kernel ABI struct layout
+#[allow(dead_code)]
+unsafe fn f() {}
+";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn blank_line_breaks_contiguity() {
+        let src = "// SAFETY: stale comment\n\nunsafe fn f() {}\n";
+        let r = run(src);
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn wrapped_statement_keeps_comment_attached() {
+        // rustfmt may push `unsafe` below the `let` the comment annotates.
+        let src = "\
+fn f(p: *const u8, n: usize) -> i32 {
+    // SAFETY: p is valid for n bytes per the caller contract
+    let r =
+        unsafe { consume(p, n) };
+    r
+}
+";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.inventory[0].justification.contains("caller contract"));
+    }
+
+    #[test]
+    fn same_line_safety_accepted() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } // SAFETY: p checked above\n}\n";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

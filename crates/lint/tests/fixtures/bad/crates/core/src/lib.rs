@@ -1,0 +1,13 @@
+//! Known-bad fixture for the unsafe-audit and wall-clock determinism rules:
+//! an `unsafe fn` with no `// SAFETY:` comment, and an `Instant::now()` in a
+//! pinned crate with no `timing-module` exemption.
+
+use std::time::Instant;
+
+pub unsafe fn peek(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture for the no-panic pass: `crates/linalg/src/` is a
+//! designated hot-path module, so the bare `unwrap()` below must be flagged.
+
+pub fn head(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,38 @@
+//! Known-bad fixture for the lock-order and determinism passes.
+//!
+//! `forward` takes stripe -> appender, `backward` takes appender -> stripe:
+//! a cycle, and the appender -> stripe direction is also an explicitly
+//! forbidden edge in `crates/serve`. `dump` streams raw `HashMap` key order.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+type Stripe = RwLock<HashMap<String, u32>>;
+
+pub struct KeyWal {
+    pub entries: Vec<String>,
+}
+
+pub struct Engine {
+    stripes: Vec<Stripe>,
+    wal: Mutex<KeyWal>,
+    index: HashMap<String, u32>,
+}
+
+impl Engine {
+    pub fn forward(&self, i: usize) {
+        let s = self.stripes[i].write();
+        let w = self.wal.lock();
+        drop((s, w));
+    }
+
+    pub fn backward(&self, i: usize) {
+        let w = self.wal.lock();
+        let s = self.stripes[i].write();
+        drop((w, s));
+    }
+
+    pub fn dump(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+}

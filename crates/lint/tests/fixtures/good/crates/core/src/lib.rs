@@ -1,0 +1,16 @@
+//! Known-good mirror of the unsafe/wall-clock fixture: the `unsafe fn`
+//! carries a `// SAFETY:` comment and the file declares itself a timing
+//! module, so both passes must stay silent.
+
+// lint: timing-module -- fixture: wall-clock sampling is this file's purpose
+use std::time::Instant;
+
+// SAFETY: dereference is the documented caller contract: `p` must be valid
+// for reads for one byte.
+pub unsafe fn peek(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

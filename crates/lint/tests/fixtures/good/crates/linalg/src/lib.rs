@@ -1,0 +1,7 @@
+//! Known-good mirror of the no-panic fixture: the same `unwrap()` carries a
+//! justified allow annotation, so the pass must stay silent.
+
+pub fn head(values: &[f64]) -> f64 {
+    // lint: allow(no-panic) -- fixture: slice verified non-empty by the caller
+    *values.first().unwrap()
+}

@@ -1,0 +1,39 @@
+//! Known-good mirror of the lock-order/determinism fixture: every path takes
+//! stripe -> appender (one global order, no forbidden edge), and the hash
+//! iteration is justified with an allow because the result is sorted.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+type Stripe = RwLock<HashMap<String, u32>>;
+
+pub struct KeyWal {
+    pub entries: Vec<String>,
+}
+
+pub struct Engine {
+    stripes: Vec<Stripe>,
+    wal: Mutex<KeyWal>,
+    index: HashMap<String, u32>,
+}
+
+impl Engine {
+    pub fn forward(&self, i: usize) {
+        let s = self.stripes[i].write();
+        let w = self.wal.lock();
+        drop((s, w));
+    }
+
+    pub fn also_forward(&self, i: usize) {
+        let s = self.stripes[i].write();
+        let w = self.wal.lock();
+        drop((w, s));
+    }
+
+    pub fn dump(&self) -> Vec<String> {
+        let mut keys: Vec<String> =
+            self.index.keys().cloned().collect(); // lint: allow(determinism) -- fixture: sorted immediately below
+        keys.sort();
+        keys
+    }
+}

@@ -36,6 +36,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+// lint: timing-module -- epoll timeouts and the batch-window clock are wall-time by design
 use std::time::{Duration, Instant};
 
 /// The channel between the acceptor and one reactor thread.

@@ -53,6 +53,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+// lint: timing-module -- connection deadlines and batch-window pacing are wall-time by design
 use std::time::{Duration, Instant};
 
 /// How often a blocked connection read (or an idle reactor) wakes up to
@@ -483,6 +484,7 @@ pub(crate) fn parse_payload(payload: &[u8]) -> Inbound {
         Ok((id, req)) => Inbound::Request(id, req),
         Err(e) => {
             let id = if payload.len() >= 9 {
+                // lint: allow(no-panic) -- length >= 9 checked by the enclosing if
                 u64::from_le_bytes(payload[1..9].try_into().expect("9-byte header"))
             } else {
                 UNKNOWN_REQUEST_ID

@@ -54,6 +54,11 @@ const EPOLL_CTL_MOD: i32 = 3;
 const EFD_CLOEXEC: i32 = 0o2000000;
 const EFD_NONBLOCK: i32 = 0o4000;
 
+// SAFETY: declarations match the Linux x86-64 libc prototypes exactly
+// (`epoll_create1(2)`, `epoll_ctl(2)`, `epoll_wait(2)`, `eventfd(2)`,
+// `read(2)`, `write(2)`, `close(2)`); `EpollEvent` is `#[repr(C, packed)]`
+// as the kernel ABI requires, and every call site passes fds and buffer
+// pointers it owns.
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;

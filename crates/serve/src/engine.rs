@@ -148,17 +148,20 @@ impl Engine {
     /// Propagates shard construction (bad policy/config combinations are
     /// caught at [`EngineBuilder::build`] time, so this is exceptional).
     pub fn with_shard_mut<R>(&self, key: &str, f: impl FnOnce(&mut Shard) -> R) -> Result<R> {
+        // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         if !map.contains_key(key) {
             let shard = self.make_shard(key)?;
             map.insert(key.to_string(), shard);
         }
+        // lint: allow(no-panic) -- inserted on the branch above
         Ok(f(map.get_mut(key).expect("just inserted")))
     }
 
     /// Run `f` against the key's shard under the stripe **read** lock.
     /// Returns `None` for a key that has never been touched.
     pub fn with_shard<R>(&self, key: &str, f: impl FnOnce(&Shard) -> R) -> Option<R> {
+        // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
         let map = self.stripe(key).read().expect("stripe lock poisoned");
         map.get(key).map(f)
     }
@@ -172,6 +175,7 @@ impl Engine {
         key: &str,
         f: impl FnOnce(&mut Shard) -> R,
     ) -> Option<R> {
+        // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         map.get_mut(key).map(f)
     }
@@ -288,6 +292,7 @@ impl Engine {
             .stripes
             .iter()
             .flat_map(|s| {
+                // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
                 s.read().expect("stripe lock poisoned").keys().cloned().collect::<Vec<_>>()
             })
             .collect();
@@ -299,7 +304,9 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let mut stats = EngineStats::default();
         for stripe in &self.stripes {
+            // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
             let map = stripe.read().expect("stripe lock poisoned");
+            // lint: allow(determinism) -- commutative counter sums: order cannot reach an output
             for shard in map.values() {
                 stats.keys += 1;
                 stats.recorded_rounds += shard.rounds();
@@ -342,6 +349,7 @@ impl Engine {
     pub fn restore_shard(&self, key: &str, snapshot: &HistorySnapshot) -> Result<()> {
         let mut fresh = self.make_shard(key)?;
         persist::restore_snapshot(&mut fresh, snapshot)?;
+        // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         map.insert(key.to_string(), fresh);
         Ok(())
@@ -383,6 +391,7 @@ impl Engine {
     pub fn restore_shard_checkpoint(&self, key: &str, checkpoint: &Checkpoint) -> Result<()> {
         let mut fresh = self.make_shard(key)?;
         persist::restore_checkpoint(&mut fresh, checkpoint)?;
+        // lint: allow(no-panic) -- poisoned only by a panicked writer; crash over corrupt state
         let mut map = self.stripe(key).write().expect("stripe lock poisoned");
         map.insert(key.to_string(), fresh);
         Ok(())

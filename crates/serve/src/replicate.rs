@@ -62,7 +62,7 @@ use crate::wal::{
     DurableEngine, FileMeta, RecoveryReport, ReplayStats, WalOptions, MANIFEST_FILE, SNAPSHOT_FILE,
 };
 use banditware_core::{persist, Recommendation};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -252,7 +252,9 @@ impl Replicator {
         // to the next pass — the manifest is installed last, so the
         // destination stays consistent with whatever was fully delivered.
         let io = transport_err("read-source");
-        let existing: HashSet<String> = self.transport.existing(&enc)?.into_iter().collect();
+        // Ordered so the superseded-segment sweep below deletes in a
+        // stable order.
+        let existing: BTreeSet<String> = self.transport.existing(&enc)?.into_iter().collect();
         if let Some(meta) = manifest.snapshot {
             let unchanged =
                 self.shipped_snapshot(key)? == Some(meta.crc) && existing.contains(SNAPSHOT_FILE);
@@ -464,8 +466,10 @@ impl FollowerEngine {
                 report.keys.push(key);
             }
         }
-        report.watermarks =
-            applied.iter().map(|(key, state)| (key.clone(), state.watermark)).collect();
+        report.watermarks = applied
+            .iter() // lint: allow(determinism) -- sorted immediately below
+            .map(|(key, state)| (key.clone(), state.watermark))
+            .collect();
         report.watermarks.sort();
         Ok(report)
     }
